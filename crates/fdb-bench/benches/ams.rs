@@ -1,0 +1,48 @@
+//! E7 — Lemma 3: Algorithm AMS runs in `O(n²)`.
+//!
+//! Times `minimal_schema` across schema sizes and topologies. The series
+//! over `n` is the paper's (implicit) figure; the fitted exponent is
+//! extracted by `cargo run -p fdb-bench --bin scaling --release`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fdb_graph::minimal_schema;
+use fdb_workload::{SchemaGenConfig, Topology};
+
+fn bench_ams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ams_minimal_schema");
+    group.sample_size(20);
+    for topo in [Topology::Path, Topology::Tree, Topology::Grid] {
+        for n in [16usize, 32, 64, 128, 256] {
+            let schema = topo.build(n);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{topo:?}"), n),
+                &schema,
+                |b, schema| b.iter(|| minimal_schema(schema)),
+            );
+        }
+    }
+    group.finish();
+
+    // Random dense schemas stress the classification with many candidate
+    // walks per edge.
+    let mut group = c.benchmark_group("ams_random_schema");
+    group.sample_size(20);
+    for n in [16usize, 32, 64, 128] {
+        let schema = SchemaGenConfig {
+            n_functions: n,
+            n_types: (n / 4).max(2),
+            seed: 0xA115,
+        }
+        .generate();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &schema, |b, schema| {
+            b.iter(|| minimal_schema(schema))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ams);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E8 — Method 2.1 cost: polynomial on acyclic graphs, exponential cycle
+//! enumeration on cyclic ones.
+//!
+//! * `design_acyclic/*` grows acyclic schemas: per §2.2, each addition
+//!   finds at most one cycle in `O(n)`, the whole session `O(n³)`
+//!   worst-case (our measured growth is gentler because the paths are
+//!   short).
+//! * `design_ladder/*` grows a `width`-parallel ladder where the number
+//!   of simple cycles created by the closing edges is `widthᵐ` — the
+//!   exponential case the paper warns about. Enumeration runs unbounded
+//!   to expose the blow-up; sizes are kept small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fdb_graph::{DesignConfig, DesignSession, FirstCandidateDesigner, KeepAllDesigner, PathLimits};
+use fdb_types::Schema;
+use fdb_workload::Topology;
+
+fn run_session(schema: &Schema, keep_all: bool, config: DesignConfig) {
+    let mut session = DesignSession::with_config(config);
+    let mut first = FirstCandidateDesigner;
+    let mut keep = KeepAllDesigner;
+    for def in schema.functions() {
+        let designer: &mut dyn fdb_graph::Designer = if keep_all { &mut keep } else { &mut first };
+        session
+            .add_function(
+                &def.name,
+                schema.type_name(def.domain),
+                schema.type_name(def.range),
+                def.functionality,
+                designer,
+            )
+            .expect("bench schemas replay cleanly");
+    }
+    std::hint::black_box(session.base_functions());
+}
+
+fn bench_design(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_acyclic");
+    group.sample_size(20);
+    for topo in [Topology::Path, Topology::Tree] {
+        for n in [16usize, 32, 64, 128, 256] {
+            let schema = topo.build(n);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{topo:?}"), n),
+                &schema,
+                |b, schema| b.iter(|| run_session(schema, false, DesignConfig::default())),
+            );
+        }
+    }
+    group.finish();
+
+    // Cyclic case A: the designer breaks every cycle (graph stays thin;
+    // each addition's cycle set stays small) — the paper's intended
+    // acyclic-maintenance mode.
+    let mut group = c.benchmark_group("design_ladder_breaking");
+    group.sample_size(20);
+    for rungs in [4usize, 8, 16, 32] {
+        let schema = Topology::Ladder { width: 3 }.build(rungs * 3);
+        group.throughput(Throughput::Elements((rungs * 3) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rungs), &schema, |b, schema| {
+            b.iter(|| run_session(schema, false, DesignConfig::default()))
+        });
+    }
+    group.finish();
+
+    // Cyclic case B: the designer keeps every cycle (KeepAll), the graph
+    // stays a 2-wide ladder, and the final function closes the ladder end
+    // to end — the 2^m simple paths between its endpoints each become a
+    // cycle, so unbounded enumeration is exponential in the rung count m
+    // ("addition of an edge may result in an exponential number of
+    // cycles", §2.2). Small sizes only.
+    let mut group = c.benchmark_group("design_ladder_keep_all");
+    group.sample_size(10);
+    for rungs in [4usize, 6, 8, 10, 12] {
+        let mut schema = Topology::Ladder { width: 2 }.build(rungs * 2);
+        schema
+            .declare(
+                "close",
+                "t0",
+                &format!("t{rungs}"),
+                fdb_types::Functionality::ManyMany,
+            )
+            .unwrap();
+        let config = DesignConfig {
+            cycle_limits: PathLimits::unbounded(),
+            derivation_limits: PathLimits::unbounded(),
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rungs),
+            &(schema, config),
+            |b, (schema, config)| b.iter(|| run_session(schema, true, *config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_design);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Derived-query evaluation: `derived_truth` and extension computation
+//! versus instance size and derivation length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fdb_core::Database;
+use fdb_types::{Derivation, Schema, Step};
+use fdb_workload::populate;
+
+/// A k-step composition chain: f0: v0→v1, …, f{k-1}: v{k-1}→vk, and
+/// derived `top = f0 o … o f{k-1}`.
+fn chain_database(k: usize, facts: usize, domain: usize, seed: u64) -> Database {
+    let mut builder = Schema::builder();
+    for i in 0..k {
+        builder = builder.function(
+            &format!("f{i}"),
+            &format!("v{i}"),
+            &format!("v{}", i + 1),
+            "many-many",
+        );
+    }
+    builder = builder.function("top", "v0", &format!("v{k}"), "many-many");
+    let schema = builder.build().unwrap();
+    let mut db = Database::new(schema);
+    let steps: Vec<Step> = (0..k)
+        .map(|i| Step::identity(db.resolve(&format!("f{i}")).unwrap()))
+        .collect();
+    let top = db.resolve("top").unwrap();
+    db.register_derived(top, vec![Derivation::new(steps).unwrap()])
+        .unwrap();
+    populate(&mut db, seed, facts, domain);
+    db
+}
+
+fn bench_query(c: &mut Criterion) {
+    // Truth queries vs instance size, fixed chain length 2.
+    let mut group = c.benchmark_group("derived_truth_by_size");
+    group.sample_size(30);
+    for facts in [1_000usize, 5_000, 20_000] {
+        let db = chain_database(2, facts, (facts / 10).max(8), 3);
+        let top = db.resolve("top").unwrap();
+        let target = db
+            .extension(top)
+            .unwrap()
+            .first()
+            .expect("non-empty extension")
+            .clone();
+        group.throughput(Throughput::Elements(facts as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &db, |b, db| {
+            b.iter(|| db.truth(top, &target.x, &target.y).unwrap())
+        });
+    }
+    group.finish();
+
+    // Truth queries vs derivation length, fixed size.
+    let mut group = c.benchmark_group("derived_truth_by_chain_length");
+    group.sample_size(30);
+    for k in [1usize, 2, 4, 8] {
+        let db = chain_database(k, 2_000, 50, 4);
+        let top = db.resolve("top").unwrap();
+        let ext = db.extension(top).unwrap();
+        let Some(target) = ext.first().cloned() else {
+            continue; // long sparse chains may have empty views
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &db, |b, db| {
+            b.iter(|| db.truth(top, &target.x, &target.y).unwrap())
+        });
+    }
+    group.finish();
+
+    // Full extension computation.
+    let mut group = c.benchmark_group("derived_extension");
+    group.sample_size(10);
+    for facts in [500usize, 2_000] {
+        let db = chain_database(2, facts, (facts / 10).max(8), 5);
+        let top = db.resolve("top").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &db, |b, db| {
+            b.iter(|| db.extension(top).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

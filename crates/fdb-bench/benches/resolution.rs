@@ -1,0 +1,83 @@
+//! E11 — FD-based ambiguity resolution (the §5 extension), as an
+//! ablation: time of `resolve_ambiguities` and the amount of partial
+//! information it clears, versus the number of pending NVCs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use fdb_core::{resolve_ambiguities, Database};
+use fdb_types::{Derivation, Schema, Step, Value};
+
+/// A grading database with `pending` NVC-backed grades and the matching
+/// concrete scores already inserted — resolution collapses all of them.
+fn pending_db(pending: usize) -> Database {
+    let schema = Schema::builder()
+        .function("score", "[student; course]", "marks", "many-one")
+        .function("cutoff", "marks", "letter_grade", "many-one")
+        .function("grade", "[student; course]", "letter_grade", "many-one")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let (score, grade) = (db.resolve("score").unwrap(), db.resolve("grade").unwrap());
+    let cutoff = db.resolve("cutoff").unwrap();
+    db.register_derived(
+        grade,
+        vec![Derivation::new(vec![Step::identity(score), Step::identity(cutoff)]).unwrap()],
+    )
+    .unwrap();
+    for i in 0..pending {
+        db.insert(grade, Value::atom(format!("s{i}")), Value::atom("A"))
+            .unwrap();
+        db.insert(
+            score,
+            Value::atom(format!("s{i}")),
+            Value::atom(format!("m{i}")),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_resolution");
+    group.sample_size(15);
+    for pending in [10usize, 50, 100, 200] {
+        let db = pending_db(pending);
+        group.bench_with_input(BenchmarkId::from_parameter(pending), &db, |b, db| {
+            b.iter_batched(
+                || db.clone(),
+                |mut d| {
+                    let out = resolve_ambiguities(&mut d);
+                    assert_eq!(out.nulls_unified, pending);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // Ablation: querying a fact supported only through null links, with
+    // and without resolution having run.
+    let mut group = c.benchmark_group("query_with_vs_without_resolution");
+    group.sample_size(15);
+    for pending in [50usize, 200] {
+        let unresolved = pending_db(pending);
+        let mut resolved = unresolved.clone();
+        resolve_ambiguities(&mut resolved);
+        let grade = unresolved.resolve("grade").unwrap();
+        let x = Value::atom("s0");
+        let y = Value::atom("A");
+        group.bench_with_input(
+            BenchmarkId::new("unresolved", pending),
+            &unresolved,
+            |b, db| b.iter(|| db.truth(grade, &x, &y).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("resolved", pending), &resolved, |b, db| {
+            b.iter(|| db.truth(grade, &x, &y).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E9 — side-effect comparison: translation cost of view deletes under
+//! naive / Dayal–Bernstein / Fagin–Ullman–Vardi semantics versus the
+//! fdb NC/NVC derived delete.
+//!
+//! Timing is secondary here (the `[6]`/`[9]` searches are combinatorial
+//! by specification); the headline numbers — side-effect counts and
+//! rejection rates, which must be 0/0 for fdb — are produced by
+//! `cargo run -p fdb-bench --bin side_effects_report --release`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use fdb_core::Database;
+use fdb_relational::{dayal_bernstein_delete, fuv_delete, naive_delete};
+use fdb_types::{Derivation, Schema, Step};
+use fdb_workload::chain_db_workload;
+
+fn mirror_fdb(db: &fdb_relational::ChainDb) -> Database {
+    let schema = Schema::builder()
+        .function("r1", "A", "B", "many-many")
+        .function("r2", "B", "C", "many-many")
+        .function("view", "A", "C", "many-many")
+        .build()
+        .unwrap();
+    let mut fdb = Database::new(schema);
+    let (r1, r2, view) = (
+        fdb.resolve("r1").unwrap(),
+        fdb.resolve("r2").unwrap(),
+        fdb.resolve("view").unwrap(),
+    );
+    fdb.register_derived(
+        view,
+        vec![Derivation::new(vec![Step::identity(r1), Step::identity(r2)]).unwrap()],
+    )
+    .unwrap();
+    for i in 0..2 {
+        let f = if i == 0 { r1 } else { r2 };
+        for (l, r) in db.relation(i).iter() {
+            fdb.insert(f, l.clone(), r.clone()).unwrap();
+        }
+    }
+    fdb
+}
+
+fn bench_side_effects(c: &mut Criterion) {
+    for tuples in [50usize, 200] {
+        let db = chain_db_workload(0xE9, 2, tuples, (tuples / 5).max(4));
+        let view: Vec<_> = db.view().into_iter().collect();
+        let (x, y) = view.first().expect("workload view non-empty").clone();
+        let fdb = mirror_fdb(&db);
+        let view_fn = fdb.resolve("view").unwrap();
+
+        let mut group = c.benchmark_group(format!("view_delete_{tuples}"));
+        group.sample_size(20);
+
+        group.bench_function(BenchmarkId::new("naive", tuples), |b| {
+            b.iter(|| naive_delete(&db, &x, &y))
+        });
+        group.bench_function(BenchmarkId::new("dayal_bernstein", tuples), |b| {
+            b.iter(|| dayal_bernstein_delete(&db, &x, &y))
+        });
+        group.bench_function(BenchmarkId::new("fagin_ullman_vardi", tuples), |b| {
+            b.iter(|| fuv_delete(&db, &x, &y))
+        });
+        group.bench_function(BenchmarkId::new("fdb_nc_nvc", tuples), |b| {
+            b.iter_batched(
+                || fdb.clone(),
+                |mut d| {
+                    d.delete(view_fn, &x, &y).unwrap();
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_side_effects);
+criterion_main!(benches);

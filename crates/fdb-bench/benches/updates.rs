@@ -1,0 +1,144 @@
+//! E10 — update-operation microbenchmarks.
+//!
+//! Cost of each §4.1 procedure against instance size: `base-insert`,
+//! `base-delete`, `derived-insert` (NVC creation and clean-up),
+//! `derived-delete` (chain enumeration + NC creation), and the ambiguity
+//! bookkeeping (`dismantle-NC` through conflicting inserts).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use fdb_core::Database;
+use fdb_types::{Derivation, Schema, Step, Value};
+use fdb_workload::populate;
+
+fn university_db(seed: u64, facts: usize, domain: usize) -> Database {
+    let schema = Schema::builder()
+        .function("teach", "faculty", "course", "many-many")
+        .function("class_list", "course", "student", "many-many")
+        .function("pupil", "faculty", "student", "many-many")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let (t, c, p) = (
+        db.resolve("teach").unwrap(),
+        db.resolve("class_list").unwrap(),
+        db.resolve("pupil").unwrap(),
+    );
+    db.register_derived(
+        p,
+        vec![Derivation::new(vec![Step::identity(t), Step::identity(c)]).unwrap()],
+    )
+    .unwrap();
+    populate(&mut db, seed, facts, domain);
+    db
+}
+
+fn v(s: String) -> Value {
+    Value::atom(s)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    for size in [1_000usize, 10_000] {
+        let domain = (size / 10).max(8);
+        let base = university_db(7, size, domain);
+        let teach = base.resolve("teach").unwrap();
+        let pupil = base.resolve("pupil").unwrap();
+
+        let mut group = c.benchmark_group(format!("updates_{size}"));
+        group.sample_size(30);
+
+        group.bench_function(BenchmarkId::new("base_insert", size), |b| {
+            let mut i = 0u64;
+            b.iter_batched(
+                || base.clone(),
+                |mut db| {
+                    i += 1;
+                    db.insert(
+                        teach,
+                        v(format!("faculty#new{i}")),
+                        v(format!("course#new{i}")),
+                    )
+                    .unwrap();
+                    db
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(BenchmarkId::new("base_delete", size), |b| {
+            // Delete an existing fact (the first row).
+            let (x, y) = {
+                let row = base.store().table(teach).rows().next().unwrap();
+                (row.x.clone(), row.y.clone())
+            };
+            b.iter_batched(
+                || base.clone(),
+                |mut db| {
+                    db.delete(teach, &x, &y).unwrap();
+                    db
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(BenchmarkId::new("derived_insert_fresh", size), |b| {
+            let mut i = 0u64;
+            b.iter_batched(
+                || base.clone(),
+                |mut db| {
+                    i += 1;
+                    db.insert(
+                        pupil,
+                        v(format!("faculty#new{i}")),
+                        v(format!("student#new{i}")),
+                    )
+                    .unwrap();
+                    db
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(BenchmarkId::new("derived_insert_cleanup", size), |b| {
+            // Second insert of the same derived fact: exists-NVC + clean-up.
+            let mut seeded = base.clone();
+            seeded
+                .insert(pupil, v("faculty#nvc".into()), v("student#nvc".into()))
+                .unwrap();
+            b.iter_batched(
+                || seeded.clone(),
+                |mut db| {
+                    db.insert(pupil, v("faculty#nvc".into()), v("student#nvc".into()))
+                        .unwrap();
+                    db
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(BenchmarkId::new("derived_delete", size), |b| {
+            // Delete a derived fact that actually has chains.
+            let ext = base.extension(pupil).unwrap();
+            let target = ext.first().expect("populated instance has pupils").clone();
+            b.iter_batched(
+                || base.clone(),
+                |mut db| {
+                    db.delete(pupil, &target.x, &target.y).unwrap();
+                    db
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(BenchmarkId::new("truth_query_derived", size), |b| {
+            let ext = base.extension(pupil).unwrap();
+            let target = ext.first().unwrap().clone();
+            b.iter(|| base.truth(pupil, &target.x, &target.y).unwrap())
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

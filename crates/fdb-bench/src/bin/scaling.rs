@@ -1,0 +1,97 @@
+//! E7 / E8 report: measured scaling of Algorithm AMS and Method 2.1.
+//!
+//! Prints the time series and fitted exponents backing Lemma 3 (AMS is
+//! `O(n²)`) and the §2.2 cost analysis (Method 2.1 polynomial on acyclic
+//! graphs; exponential cycle enumeration on cyclic ones).
+//!
+//! ```sh
+//! cargo run -p fdb-bench --bin scaling --release
+//! ```
+
+use fdb_bench::{fit_exponent, fit_growth_rate, median_secs};
+use fdb_graph::{
+    minimal_schema, DesignConfig, DesignSession, FirstCandidateDesigner, KeepAllDesigner,
+    PathLimits,
+};
+use fdb_types::{Functionality, Schema};
+use fdb_workload::Topology;
+
+fn run_session(schema: &Schema, keep_all: bool, config: DesignConfig) {
+    let mut session = DesignSession::with_config(config);
+    let mut first = FirstCandidateDesigner;
+    let mut keep = KeepAllDesigner;
+    for def in schema.functions() {
+        let designer: &mut dyn fdb_graph::Designer = if keep_all { &mut keep } else { &mut first };
+        session
+            .add_function(
+                &def.name,
+                schema.type_name(def.domain),
+                schema.type_name(def.range),
+                def.functionality,
+                designer,
+            )
+            .expect("scaling schemas replay cleanly");
+    }
+}
+
+fn main() {
+    println!("== E7: Algorithm AMS (Lemma 3 claims O(n^2)) ==");
+    for topo in [Topology::Path, Topology::Tree, Topology::Grid] {
+        let mut points = Vec::new();
+        println!("{topo:?} schemas:");
+        println!("  {:>6}  {:>12}", "n", "median (ms)");
+        for n in [32usize, 64, 128, 256, 512] {
+            let schema = topo.build(n);
+            let t = median_secs(5, || {
+                std::hint::black_box(minimal_schema(&schema));
+            });
+            println!("  {:>6}  {:>12.3}", n, t * 1e3);
+            points.push((n as f64, t));
+        }
+        println!(
+            "  fitted exponent: {:.2} (paper: <= 2)\n",
+            fit_exponent(&points)
+        );
+    }
+
+    println!("== E8a: Method 2.1 on acyclic schemas (paper: O(n^3) worst case) ==");
+    for topo in [Topology::Path, Topology::Tree] {
+        let mut points = Vec::new();
+        println!("{topo:?} schemas:");
+        println!("  {:>6}  {:>12}", "n", "median (ms)");
+        for n in [32usize, 64, 128, 256, 512] {
+            let schema = topo.build(n);
+            let t = median_secs(5, || run_session(&schema, false, DesignConfig::default()));
+            println!("  {:>6}  {:>12.3}", n, t * 1e3);
+            points.push((n as f64, t));
+        }
+        println!(
+            "  fitted exponent: {:.2} (polynomial; paper bound 3)\n",
+            fit_exponent(&points)
+        );
+    }
+
+    println!("== E8b: Method 2.1 on a cyclic ladder with a closing edge ==");
+    println!("   (2^m simple cycles through the closing edge; enumeration unbounded)");
+    let mut points = Vec::new();
+    println!("  {:>6}  {:>12}  {:>12}", "rungs", "median (ms)", "cycles");
+    for rungs in [6usize, 8, 10, 12, 14] {
+        let mut schema = Topology::Ladder { width: 2 }.build(rungs * 2);
+        schema
+            .declare("close", "t0", &format!("t{rungs}"), Functionality::ManyMany)
+            .unwrap();
+        let config = DesignConfig {
+            cycle_limits: PathLimits::unbounded(),
+            derivation_limits: PathLimits::unbounded(),
+        };
+        let t = median_secs(3, || run_session(&schema, true, config));
+        println!("  {:>6}  {:>12.3}  {:>12}", rungs, t * 1e3, 1u64 << rungs);
+        points.push((rungs as f64, t));
+    }
+    let rate = fit_growth_rate(&points);
+    println!(
+        "  fitted growth: e^({:.2}·m) ≈ {:.2}^m per rung (paper: exponential; ideal 2^m)",
+        rate,
+        rate.exp()
+    );
+}

@@ -1,0 +1,153 @@
+//! Whole-database consistency checking.
+//!
+//! The motivation of the paper is that redundant specification threatens
+//! consistency; this module provides the runtime checks the engine (and
+//! the test suite) uses to assert that the bookkeeping invariants hold
+//! after every operation.
+
+use fdb_storage::Truth;
+use fdb_types::FunctionId;
+
+use crate::database::Database;
+
+/// One detected violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A derived function's table holds rows (derived facts must never be
+    /// stored, §3.2).
+    DerivedFunctionStored(FunctionId),
+    /// The NC ↔ NCL dual structure is out of sync.
+    DualityBroken(String),
+    /// A stored row is flagged true but participates in an NC.
+    TrueFactInNc(FunctionId),
+    /// A registered derivation mentions a derived function.
+    DerivationUsesDerived {
+        /// The derived function whose derivation is broken.
+        function: FunctionId,
+        /// The derived function appearing as a step.
+        step: FunctionId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DerivedFunctionStored(id) => {
+                write!(f, "derived function {id} has stored rows")
+            }
+            Violation::DualityBroken(msg) => write!(f, "NC/NCL duality broken: {msg}"),
+            Violation::TrueFactInNc(id) => {
+                write!(f, "a true fact of {id} participates in an NC")
+            }
+            Violation::DerivationUsesDerived { function, step } => {
+                write!(f, "derivation of {function} uses derived {step}")
+            }
+        }
+    }
+}
+
+impl Database {
+    /// Runs every consistency check, returning all violations found.
+    pub fn check_consistency(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+
+        for f in self.derived_functions() {
+            if !self.store().table(f).is_empty() {
+                out.push(Violation::DerivedFunctionStored(f));
+            }
+            for d in self.derivations(f) {
+                for step in d.steps() {
+                    if self.is_derived(step.function) {
+                        out.push(Violation::DerivationUsesDerived {
+                            function: f,
+                            step: step.function,
+                        });
+                    }
+                }
+            }
+        }
+
+        if let Some(msg) = self.store().check_duality() {
+            out.push(Violation::DualityBroken(msg));
+        }
+
+        for f in self.base_functions() {
+            let any_true_in_nc = self
+                .store()
+                .table(f)
+                .rows()
+                .any(|r| r.truth == Truth::True && !r.ncl.is_empty());
+            if any_true_in_nc {
+                out.push(Violation::TrueFactInNc(f));
+            }
+        }
+
+        out
+    }
+
+    /// Convenience: `true` when no violation is found.
+    pub fn is_consistent(&self) -> bool {
+        self.check_consistency().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{Derivation, Schema, Step, Value};
+
+    fn university() -> Database {
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let (t, c, p) = (
+            db.resolve("teach").unwrap(),
+            db.resolve("class_list").unwrap(),
+            db.resolve("pupil").unwrap(),
+        );
+        db.register_derived(
+            p,
+            vec![Derivation::new(vec![Step::identity(t), Step::identity(c)]).unwrap()],
+        )
+        .unwrap();
+        db
+    }
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn fresh_database_is_consistent() {
+        assert!(university().is_consistent());
+    }
+
+    #[test]
+    fn consistency_holds_through_update_sequence() {
+        let mut db = university();
+        let (t, c, p) = (
+            db.resolve("teach").unwrap(),
+            db.resolve("class_list").unwrap(),
+            db.resolve("pupil").unwrap(),
+        );
+        db.insert(t, v("euclid"), v("math")).unwrap();
+        db.insert(c, v("math"), v("john")).unwrap();
+        assert!(db.is_consistent());
+        db.delete(p, &v("euclid"), &v("john")).unwrap();
+        assert!(db.is_consistent());
+        db.insert(p, v("gauss"), v("bill")).unwrap();
+        assert!(db.is_consistent());
+        db.delete(t, &v("euclid"), &v("math")).unwrap();
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn violations_render() {
+        let viol = Violation::DerivedFunctionStored(fdb_types::FunctionId(3));
+        assert!(viol.to_string().contains("F3"));
+    }
+}

@@ -1,0 +1,391 @@
+//! The [`Database`]: schema + derivations + extensional store.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use fdb_graph::{minimal_schema, DesignOutcome};
+use fdb_storage::chain::DeletePolicy;
+use fdb_storage::{ChainLimits, Store};
+use fdb_types::{Derivation, FdbError, FunctionId, Result, Schema};
+
+/// Which derivation realises a derived insert when several are
+/// registered (cyclic function graphs give derived functions multiple
+/// derivations; one witness chain suffices to make the fact true).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum InsertPolicy {
+    /// Use the first registered derivation (declaration order) — the
+    /// paper's implicit choice, since it assumes one derivation.
+    #[default]
+    FirstDerivation,
+    /// Use a shortest registered derivation, minimising the null values
+    /// the NVC introduces.
+    ShortestDerivation,
+}
+
+/// A functional database instance: a conceptual [`Schema`], the
+/// registered derivations of its derived functions, and the extensional
+/// [`Store`] holding the base tables with their partial-information
+/// bookkeeping.
+///
+/// Base functions are exactly the schema functions with no registered
+/// derivation; derived functions "do not exist in the database" (§3.2) —
+/// their tables stay empty and every read is computed through chains.
+///
+/// ```
+/// use fdb_core::Database;
+/// use fdb_storage::Truth;
+/// use fdb_types::{schema_s1, Value};
+///
+/// // Build from Table 1 via Algorithm AMS (valid under the UFA).
+/// let mut db = Database::from_ams(schema_s1())?;
+/// let score = db.resolve("score")?;
+/// let cutoff = db.resolve("cutoff")?;
+/// let grade = db.resolve("grade")?; // derived: score o cutoff
+///
+/// db.insert(score, Value::atom("[ann; db]"), Value::atom("91"))?;
+/// db.insert(cutoff, Value::atom("91"), Value::atom("A"))?;
+/// assert_eq!(
+///     db.truth(grade, &Value::atom("[ann; db]"), &Value::atom("A"))?,
+///     Truth::True
+/// );
+/// # Ok::<(), fdb_types::FdbError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Database {
+    schema: Schema,
+    derived: BTreeMap<FunctionId, Vec<Derivation>>,
+    store: Store,
+    /// Cap applied to chain enumeration in queries and derived updates.
+    chain_limits: ChainLimits,
+    /// Ambiguous-chain knob for derived deletes (default: the paper's
+    /// faithful semantics).
+    #[serde(default)]
+    delete_policy: DeletePolicy,
+    /// Derivation choice for derived inserts.
+    #[serde(default)]
+    insert_policy: InsertPolicy,
+}
+
+impl Database {
+    /// A database over `schema` with every function base.
+    pub fn new(schema: Schema) -> Self {
+        let store = Store::new(schema.len());
+        Database {
+            schema,
+            derived: BTreeMap::new(),
+            store,
+            chain_limits: ChainLimits::default(),
+            delete_policy: DeletePolicy::default(),
+            insert_policy: InsertPolicy::default(),
+        }
+    }
+
+    /// Builds a database from a finished design session: the outcome's
+    /// confirmed derivations become the derived-function registry.
+    pub fn from_design(schema: Schema, outcome: &DesignOutcome) -> Result<Self> {
+        let mut db = Database::new(schema);
+        for (f, ders) in &outcome.derived {
+            db.register_derived(*f, ders.clone())?;
+        }
+        Ok(db)
+    }
+
+    /// Builds a database by running Algorithm AMS on the schema (valid
+    /// under the Unique Form Assumption).
+    pub fn from_ams(schema: Schema) -> Result<Self> {
+        let outcome = minimal_schema(&schema);
+        let mut db = Database::new(schema);
+        for d in &outcome.derived {
+            db.register_derived(d.function, d.derivations.clone())?;
+        }
+        Ok(db)
+    }
+
+    /// Declares a new function on a live database (the language front end
+    /// lets users grow the schema incrementally). The function starts out
+    /// base; use [`Database::register_derived`] to make it derived.
+    pub fn declare_function(
+        &mut self,
+        name: &str,
+        domain: &str,
+        range: &str,
+        functionality: fdb_types::Functionality,
+    ) -> Result<FunctionId> {
+        let id = self.schema.declare(name, domain, range, functionality)?;
+        self.store.ensure_table(id);
+        Ok(id)
+    }
+
+    /// Registers `f` as derived with the given derivations.
+    ///
+    /// Every derivation must be well-formed for `f` (endpoints and
+    /// functionality must match) and mention only base functions.
+    pub fn register_derived(&mut self, f: FunctionId, derivations: Vec<Derivation>) -> Result<()> {
+        let def = self.schema.function(f).clone();
+        for d in &derivations {
+            let (dom, rng) = d.endpoints(&self.schema)?;
+            if (dom, rng) != (def.domain, def.range) {
+                return Err(FdbError::MalformedDerivation(format!(
+                    "derivation {} of {} has wrong endpoints",
+                    d.render(&self.schema),
+                    def.name
+                )));
+            }
+            if d.functionality(&self.schema) != def.functionality {
+                return Err(FdbError::MalformedDerivation(format!(
+                    "derivation {} of {} has functionality {} but {} is declared {}",
+                    d.render(&self.schema),
+                    def.name,
+                    d.functionality(&self.schema),
+                    def.name,
+                    def.functionality
+                )));
+            }
+            for step in d.steps() {
+                if step.function == f {
+                    return Err(FdbError::MalformedDerivation(format!(
+                        "derivation of {} mentions itself",
+                        def.name
+                    )));
+                }
+                if self.derived.contains_key(&step.function) {
+                    return Err(FdbError::MalformedDerivation(format!(
+                        "derivation of {} uses derived function {}",
+                        def.name,
+                        self.schema.function(step.function).name
+                    )));
+                }
+            }
+        }
+        // A function that gains a derivation must not already hold data.
+        if !self.store.table(f).is_empty() {
+            return Err(FdbError::Internal(format!(
+                "cannot mark {} derived: its table is non-empty",
+                def.name
+            )));
+        }
+        self.derived.insert(f, derivations);
+        Ok(())
+    }
+
+    /// Appends one derivation to `f`'s registry (registering `f` as
+    /// derived if it was base), with the same validation as
+    /// [`Database::register_derived`]. The language front end's repeated
+    /// `DERIVE f = …` statements accumulate through this.
+    pub fn add_derivation(&mut self, f: FunctionId, derivation: Derivation) -> Result<()> {
+        let mut all = self.derivations(f).to_vec();
+        all.push(derivation);
+        self.register_derived(f, all)
+    }
+
+    /// `true` if `f` is a derived function.
+    pub fn is_derived(&self, f: FunctionId) -> bool {
+        self.derived.contains_key(&f)
+    }
+
+    /// The derivations of `f` (empty slice if base).
+    pub fn derivations(&self, f: FunctionId) -> &[Derivation] {
+        self.derived.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The base functions, in declaration order.
+    pub fn base_functions(&self) -> Vec<FunctionId> {
+        self.schema
+            .functions()
+            .iter()
+            .map(|d| d.id)
+            .filter(|f| !self.is_derived(*f))
+            .collect()
+    }
+
+    /// The derived functions, in declaration order.
+    pub fn derived_functions(&self) -> Vec<FunctionId> {
+        self.schema
+            .functions()
+            .iter()
+            .map(|d| d.id)
+            .filter(|f| self.is_derived(*f))
+            .collect()
+    }
+
+    /// The conceptual schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Read access to the extensional store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable access to the store — used by the update and resolution
+    /// modules in this crate; external callers should go through
+    /// [`crate::Update`].
+    pub(crate) fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// The chain-enumeration cap used by queries and derived updates.
+    pub fn chain_limits(&self) -> ChainLimits {
+        self.chain_limits
+    }
+
+    /// Overrides the chain-enumeration cap.
+    pub fn set_chain_limits(&mut self, limits: ChainLimits) {
+        self.chain_limits = limits;
+    }
+
+    /// The delete policy for derived deletes.
+    pub fn delete_policy(&self) -> DeletePolicy {
+        self.delete_policy
+    }
+
+    /// Overrides the delete policy (ablation knob; the default is the
+    /// paper's faithful semantics).
+    pub fn set_delete_policy(&mut self, policy: DeletePolicy) {
+        self.delete_policy = policy;
+    }
+
+    /// The insert policy for derived inserts.
+    pub fn insert_policy(&self) -> InsertPolicy {
+        self.insert_policy
+    }
+
+    /// Overrides the insert policy.
+    pub fn set_insert_policy(&mut self, policy: InsertPolicy) {
+        self.insert_policy = policy;
+    }
+
+    /// Resolves a function by name.
+    pub fn resolve(&self, name: &str) -> Result<FunctionId> {
+        self.schema.resolve(name)
+    }
+
+    /// Rebuilds in-memory indexes after deserialisation.
+    pub fn rebuild_index(&mut self) {
+        self.schema.rebuild_index();
+        self.store.rebuild_index();
+    }
+
+    /// Compacts every base table, dropping delete tombstones and
+    /// rebuilding indexes. Logical state is unchanged; long-running
+    /// instances with churn call this periodically.
+    pub fn compact(&mut self) -> usize {
+        let mut dropped = 0;
+        for f in self.base_functions() {
+            let table = self.store.table_mut(f);
+            dropped += table.tombstones();
+            table.compact();
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{schema_s1, Step};
+
+    #[test]
+    fn from_ams_registers_paper_derivations() {
+        let db = Database::from_ams(schema_s1()).unwrap();
+        let grade = db.resolve("grade").unwrap();
+        let teach = db.resolve("teach").unwrap();
+        assert!(db.is_derived(grade));
+        assert!(db.is_derived(teach));
+        assert_eq!(db.base_functions().len(), 3);
+        assert_eq!(
+            db.derivations(grade)[0].render(db.schema()),
+            "score o cutoff"
+        );
+    }
+
+    #[test]
+    fn register_derived_validates_endpoints() {
+        let mut db = Database::new(schema_s1());
+        let grade = db.resolve("grade").unwrap();
+        let teach = db.resolve("teach").unwrap();
+        // teach: faculty → course is no derivation of grade.
+        let bad = Derivation::single(Step::identity(teach));
+        assert!(matches!(
+            db.register_derived(grade, vec![bad]),
+            Err(FdbError::MalformedDerivation(_))
+        ));
+    }
+
+    #[test]
+    fn register_derived_validates_functionality() {
+        let mut db = Database::new(schema_s1());
+        let grade = db.resolve("grade").unwrap();
+        let score = db.resolve("score").unwrap();
+        // score alone ends at marks, not letter_grade → endpoint error
+        // (functionality errors need matching endpoints; covered by the
+        // self-mention and derived-step cases below).
+        let bad = Derivation::single(Step::identity(score));
+        assert!(db.register_derived(grade, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn register_derived_rejects_self_mention() {
+        let mut db = Database::new(schema_s1());
+        let grade = db.resolve("grade").unwrap();
+        let d = Derivation::single(Step::identity(grade));
+        assert!(matches!(
+            db.register_derived(grade, vec![d]),
+            Err(FdbError::MalformedDerivation(_))
+        ));
+    }
+
+    #[test]
+    fn register_derived_rejects_derived_steps() {
+        let mut db = Database::from_ams(schema_s1()).unwrap();
+        let taught_by = db.resolve("taught_by").unwrap();
+        let teach = db.resolve("teach").unwrap(); // derived under AMS
+        let d = Derivation::single(Step::inverse(teach));
+        assert!(matches!(
+            db.register_derived(taught_by, vec![d]),
+            Err(FdbError::MalformedDerivation(_))
+        ));
+    }
+
+    #[test]
+    fn compact_preserves_logical_state() {
+        let mut db = Database::new(schema_s1());
+        let score = db.resolve("score").unwrap();
+        for i in 0..10 {
+            db.insert(
+                score,
+                fdb_types::Value::atom(format!("s{i}")),
+                fdb_types::Value::atom(format!("m{i}")),
+            )
+            .unwrap();
+        }
+        for i in 0..5 {
+            db.delete(
+                score,
+                &fdb_types::Value::atom(format!("s{i}")),
+                &fdb_types::Value::atom(format!("m{i}")),
+            )
+            .unwrap();
+        }
+        let before = db.extension(score).unwrap();
+        let dropped = db.compact();
+        assert_eq!(dropped, 5);
+        assert_eq!(db.extension(score).unwrap(), before);
+        assert_eq!(db.compact(), 0);
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn base_derived_partition() {
+        let db = Database::from_ams(schema_s1()).unwrap();
+        let base = db.base_functions();
+        let derived = db.derived_functions();
+        assert_eq!(base.len() + derived.len(), db.schema().len());
+        for f in base {
+            assert!(!db.is_derived(f));
+            assert!(db.derivations(f).is_empty());
+        }
+    }
+}

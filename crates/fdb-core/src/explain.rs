@@ -1,0 +1,235 @@
+//! Provenance: *why* is a fact true, ambiguous, or false?
+//!
+//! The §3.2 truth semantics makes every verdict traceable to evidence —
+//! chains of base facts, their match quality, their flags, and the NCs
+//! covering them. [`Database::explain`] surfaces that evidence so a user
+//! staring at an `A` flag or a `*` marker can see exactly which negated
+//! conjunction or null mismatch produced it. The language front end
+//! exposes it as `EXPLAIN f(x, y)`.
+
+use fdb_storage::chain::chains_deriving;
+use fdb_storage::{Fact, Truth};
+use fdb_types::{FunctionId, MatchKind, Result, Value};
+
+use crate::database::Database;
+
+/// One chain of base facts considered as evidence for a derived fact.
+#[derive(Clone, Debug)]
+pub struct ChainEvidence {
+    /// Which registered derivation (index into
+    /// [`Database::derivations`]) produced this chain.
+    pub derivation: usize,
+    /// The base facts of the chain, in step order.
+    pub facts: Vec<Fact>,
+    /// Combined match quality (links + endpoints).
+    pub matching: MatchKind,
+    /// Three-valued conjunction of the member flags.
+    pub flags: Truth,
+    /// `true` if the chain is a superset of some live NC — evidence that
+    /// has been negated by a derived delete.
+    pub covered_by_nc: bool,
+}
+
+impl ChainEvidence {
+    /// What this chain contributes under §3.2.
+    pub fn contribution(&self) -> Truth {
+        if self.matching == MatchKind::Exact && self.flags == Truth::True {
+            Truth::True
+        } else if self.covered_by_nc {
+            Truth::False
+        } else {
+            Truth::Ambiguous
+        }
+    }
+}
+
+/// The full explanation of one fact's truth value.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The verdict (identical to [`Database::truth`]).
+    pub truth: Truth,
+    /// `true` if the function is derived (base facts have no chains).
+    pub is_derived: bool,
+    /// The evidence chains (empty for base facts and for derived facts
+    /// with no supporting chains at all).
+    pub chains: Vec<ChainEvidence>,
+}
+
+impl Database {
+    /// Explains the truth value of `f(x) = y`.
+    pub fn explain(&self, f: FunctionId, x: &Value, y: &Value) -> Result<Explanation> {
+        let truth = self.truth(f, x, y)?;
+        if !self.is_derived(f) {
+            return Ok(Explanation {
+                truth,
+                is_derived: false,
+                chains: Vec::new(),
+            });
+        }
+        let mut chains = Vec::new();
+        for (di, derivation) in self.derivations(f).iter().enumerate() {
+            for chain in chains_deriving(self.store(), derivation, x, y, true, self.chain_limits())
+            {
+                let covered = self.store().ncs().chain_covers_some_nc(&chain.facts);
+                chains.push(ChainEvidence {
+                    derivation: di,
+                    facts: chain.facts,
+                    matching: chain.matching,
+                    flags: chain.flags,
+                    covered_by_nc: covered,
+                });
+            }
+        }
+        Ok(Explanation {
+            truth,
+            is_derived: true,
+            chains,
+        })
+    }
+}
+
+/// Renders an explanation for human consumption.
+pub fn render_explanation(db: &Database, f: FunctionId, explanation: &Explanation) -> String {
+    use std::fmt::Write as _;
+    let name = &db.schema().function(f).name;
+    let mut out = format!("verdict: {}\n", explanation.truth.flag());
+    if !explanation.is_derived {
+        let _ = writeln!(
+            out,
+            "{name} is a base function: the verdict is its stored flag (F if absent)"
+        );
+        return out;
+    }
+    if explanation.chains.is_empty() {
+        let _ = writeln!(out, "no chain of base facts derives this pair");
+        return out;
+    }
+    for (i, c) in explanation.chains.iter().enumerate() {
+        let facts = c
+            .facts
+            .iter()
+            .map(|fact| {
+                format!(
+                    "<{}, {}, {}> [{}]",
+                    db.schema().function(fact.function).name,
+                    fact.x,
+                    fact.y,
+                    db.store().base_truth(fact).flag()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" . ");
+        let m = match c.matching {
+            MatchKind::Exact => "exact",
+            MatchKind::Ambiguous => "ambiguous (null mismatch)",
+            MatchKind::None => "mismatch",
+        };
+        let nc = if c.covered_by_nc {
+            ", negated by an NC"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "chain {}: via derivation {} — {facts} — match: {m}{nc} ⇒ {}",
+            i + 1,
+            db.derivations(f)[c.derivation].render(db.schema()),
+            c.contribution().flag()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{Derivation, Schema, Step};
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn university() -> Database {
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let (t, c, p) = (
+            db.resolve("teach").unwrap(),
+            db.resolve("class_list").unwrap(),
+            db.resolve("pupil").unwrap(),
+        );
+        db.register_derived(
+            p,
+            vec![Derivation::new(vec![Step::identity(t), Step::identity(c)]).unwrap()],
+        )
+        .unwrap();
+        db.insert(t, v("euclid"), v("math")).unwrap();
+        db.insert(c, v("math"), v("john")).unwrap();
+        db.insert(c, v("math"), v("bill")).unwrap();
+        db
+    }
+
+    #[test]
+    fn true_fact_explained_by_exact_true_chain() {
+        let db = university();
+        let p = db.resolve("pupil").unwrap();
+        let e = db.explain(p, &v("euclid"), &v("john")).unwrap();
+        assert_eq!(e.truth, Truth::True);
+        assert_eq!(e.chains.len(), 1);
+        assert_eq!(e.chains[0].contribution(), Truth::True);
+        assert!(!e.chains[0].covered_by_nc);
+        let text = render_explanation(&db, p, &e);
+        assert!(text.contains("verdict: T"));
+        assert!(text.contains("<teach, euclid, math> [T]"));
+    }
+
+    #[test]
+    fn negated_fact_shows_nc_coverage() {
+        let mut db = university();
+        let p = db.resolve("pupil").unwrap();
+        db.delete(p, &v("euclid"), &v("john")).unwrap();
+        let e = db.explain(p, &v("euclid"), &v("john")).unwrap();
+        assert_eq!(e.truth, Truth::False);
+        assert_eq!(e.chains.len(), 1);
+        assert!(e.chains[0].covered_by_nc);
+        assert_eq!(e.chains[0].contribution(), Truth::False);
+        let text = render_explanation(&db, p, &e);
+        assert!(text.contains("negated by an NC"));
+        // The sibling fact: ambiguous through the shared ambiguous fact.
+        let e = db.explain(p, &v("euclid"), &v("bill")).unwrap();
+        assert_eq!(e.truth, Truth::Ambiguous);
+        assert!(!e.chains[0].covered_by_nc);
+        assert_eq!(e.chains[0].flags, Truth::Ambiguous);
+    }
+
+    #[test]
+    fn ambiguous_null_match_is_labelled() {
+        let mut db = university();
+        let p = db.resolve("pupil").unwrap();
+        db.insert(p, v("gauss"), v("bill")).unwrap(); // NVC via n1
+        let e = db.explain(p, &v("gauss"), &v("john")).unwrap();
+        assert_eq!(e.truth, Truth::Ambiguous);
+        assert!(e.chains.iter().any(|c| c.matching == MatchKind::Ambiguous));
+        let text = render_explanation(&db, p, &e);
+        assert!(text.contains("ambiguous (null mismatch)"));
+    }
+
+    #[test]
+    fn base_and_absent_facts_explained() {
+        let db = university();
+        let t = db.resolve("teach").unwrap();
+        let e = db.explain(t, &v("euclid"), &v("math")).unwrap();
+        assert!(!e.is_derived);
+        assert_eq!(e.truth, Truth::True);
+        let p = db.resolve("pupil").unwrap();
+        let e = db.explain(p, &v("nobody"), &v("nothing")).unwrap();
+        assert_eq!(e.truth, Truth::False);
+        assert!(e.chains.is_empty());
+        let text = render_explanation(&db, p, &e);
+        assert!(text.contains("no chain"));
+    }
+}

@@ -1,0 +1,44 @@
+//! The fdb functional database engine.
+//!
+//! Ties together the three layers of the reproduction:
+//!
+//! * `fdb-types` — schemas and derivation expressions,
+//! * `fdb-graph` — derived-function identification (§2: AMS and the
+//!   Method 2.1 design aid),
+//! * `fdb-storage` — extensional tables with three-valued truth, NCs and
+//!   NVCs (§3.2, §4),
+//!
+//! into a [`Database`] offering the update operations of §3 —
+//! `INS(f, <x,y>)`, `DEL(f, <x,y>)`, `REP(f, <x₁,y₁>, <x₂,y₂>)` — on base
+//! *and* derived functions, three-valued queries, consistency checking,
+//! snapshots, and the §5 "future work" extension that uses
+//! functionality-implied functional dependencies to resolve ambiguous
+//! information ([`resolve`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod database;
+pub mod explain;
+pub mod materialize;
+pub mod query;
+pub mod resolve;
+pub mod session;
+pub mod shared;
+pub mod snapshot;
+pub mod stats;
+pub mod txn;
+pub mod update;
+pub mod wal;
+
+pub use database::{Database, InsertPolicy};
+pub use explain::{render_explanation, ChainEvidence, Explanation};
+pub use materialize::MaterializedExtension;
+pub use resolve::{resolve_ambiguities, ResolutionOutcome};
+pub use session::design_database;
+pub use shared::SharedDatabase;
+pub use stats::DatabaseStats;
+pub use txn::Transaction;
+pub use update::Update;
+pub use wal::{replay, LogRecord, LoggedDatabase, ReplayReport, Wal};

@@ -1,0 +1,146 @@
+//! Materialised extensions of derived functions.
+//!
+//! Derived facts are never stored (§3.2), so every read recomputes
+//! chains. For read-heavy workloads a caller can *materialise* a derived
+//! function's extension and refresh it only when the underlying store has
+//! actually changed — staleness is detected through the store's monotone
+//! mutation counter, so a refresh after `k` reads and no writes costs one
+//! integer comparison.
+//!
+//! Materialisation is a client-side cache, deliberately outside
+//! [`Database`]: the engine's truth semantics stay pull-based and
+//! storage-faithful, and no hidden interior mutability complicates
+//! snapshots or sharing.
+
+use fdb_storage::{DerivedPair, Truth};
+use fdb_types::{FunctionId, Result, Value};
+
+use crate::database::Database;
+
+/// A cached extension of one derived (or base) function.
+#[derive(Clone, Debug)]
+pub struct MaterializedExtension {
+    function: FunctionId,
+    version: u64,
+    pairs: Vec<DerivedPair>,
+}
+
+impl MaterializedExtension {
+    /// Computes the extension of `f` and records the store version.
+    pub fn new(db: &Database, f: FunctionId) -> Result<Self> {
+        Ok(MaterializedExtension {
+            function: f,
+            version: db.store().version(),
+            pairs: db.extension(f)?,
+        })
+    }
+
+    /// The cached function.
+    pub fn function(&self) -> FunctionId {
+        self.function
+    }
+
+    /// `true` if the store has mutated since this cache was computed.
+    pub fn is_stale(&self, db: &Database) -> bool {
+        db.store().version() != self.version
+    }
+
+    /// Recomputes if stale; returns `true` if a refresh happened.
+    pub fn refresh(&mut self, db: &Database) -> Result<bool> {
+        if !self.is_stale(db) {
+            return Ok(false);
+        }
+        self.pairs = db.extension(self.function)?;
+        self.version = db.store().version();
+        Ok(true)
+    }
+
+    /// The cached pairs, sorted by (x, y).
+    pub fn pairs(&self) -> &[DerivedPair] {
+        &self.pairs
+    }
+
+    /// Truth lookup against the cache (binary search; [`Truth::False`]
+    /// for absent pairs). Callers must [`MaterializedExtension::refresh`]
+    /// first if the database may have changed.
+    pub fn truth(&self, x: &Value, y: &Value) -> Truth {
+        self.pairs
+            .binary_search_by(|p| (&p.x, &p.y).cmp(&(x, y)))
+            .map(|i| self.pairs[i].truth)
+            .unwrap_or(Truth::False)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{Derivation, Schema, Step};
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn university() -> Database {
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let (t, c, p) = (
+            db.resolve("teach").unwrap(),
+            db.resolve("class_list").unwrap(),
+            db.resolve("pupil").unwrap(),
+        );
+        db.register_derived(
+            p,
+            vec![Derivation::new(vec![Step::identity(t), Step::identity(c)]).unwrap()],
+        )
+        .unwrap();
+        db.insert(t, v("euclid"), v("math")).unwrap();
+        db.insert(c, v("math"), v("john")).unwrap();
+        db.insert(c, v("math"), v("bill")).unwrap();
+        db
+    }
+
+    #[test]
+    fn cache_answers_match_live_queries() {
+        let db = university();
+        let pupil = db.resolve("pupil").unwrap();
+        let cache = MaterializedExtension::new(&db, pupil).unwrap();
+        assert_eq!(cache.pairs().len(), 2);
+        assert_eq!(cache.truth(&v("euclid"), &v("john")), Truth::True);
+        assert_eq!(cache.truth(&v("euclid"), &v("nobody")), Truth::False);
+        assert!(!cache.is_stale(&db));
+    }
+
+    #[test]
+    fn mutations_invalidate_and_refresh_recomputes() {
+        let mut db = university();
+        let pupil = db.resolve("pupil").unwrap();
+        let teach = db.resolve("teach").unwrap();
+        let mut cache = MaterializedExtension::new(&db, pupil).unwrap();
+
+        db.insert(teach, v("laplace"), v("math")).unwrap();
+        assert!(cache.is_stale(&db));
+        assert!(cache.refresh(&db).unwrap());
+        assert_eq!(cache.pairs().len(), 4);
+        assert!(!cache.refresh(&db).unwrap(), "second refresh is a no-op");
+
+        // Derived deletes (NC creation) also invalidate.
+        db.delete(pupil, &v("euclid"), &v("john")).unwrap();
+        assert!(cache.is_stale(&db));
+        cache.refresh(&db).unwrap();
+        assert_eq!(cache.truth(&v("euclid"), &v("john")), Truth::False);
+        assert_eq!(cache.truth(&v("euclid"), &v("bill")), Truth::Ambiguous);
+    }
+
+    #[test]
+    fn works_for_base_functions_too() {
+        let db = university();
+        let teach = db.resolve("teach").unwrap();
+        let cache = MaterializedExtension::new(&db, teach).unwrap();
+        assert_eq!(cache.truth(&v("euclid"), &v("math")), Truth::True);
+    }
+}

@@ -1,0 +1,259 @@
+//! Three-valued queries over base and derived functions.
+//!
+//! "The truth values of base facts existing in the database are indicated
+//! by their logical state (true or ambiguous). Those not existing in the
+//! database are false. Derived facts do not exist in the database and
+//! their truth value is determined [from chains]" (§3.2).
+
+use fdb_storage::chain::{derived_extension, derived_truth};
+use fdb_storage::{DerivedPair, Fact, Truth};
+use fdb_types::{FunctionId, Result, Value};
+
+use crate::database::Database;
+
+impl Database {
+    /// Truth value of the fact `f(x) = y`.
+    pub fn truth(&self, f: FunctionId, x: &Value, y: &Value) -> Result<Truth> {
+        if self.is_derived(f) {
+            Ok(derived_truth(
+                self.store(),
+                self.derivations(f),
+                x,
+                y,
+                self.chain_limits(),
+            ))
+        } else {
+            Ok(self.store().base_truth(&Fact {
+                function: f,
+                x: x.clone(),
+                y: y.clone(),
+            }))
+        }
+    }
+
+    /// Truth value looked up by function name.
+    pub fn truth_by_name(&self, f: &str, x: &Value, y: &Value) -> Result<Truth> {
+        self.truth(self.resolve(f)?, x, y)
+    }
+
+    /// The visible extension of `f`: all non-false pairs with their truth
+    /// values, sorted by (x, y). For a base function these are the stored
+    /// rows; for a derived function the extension is computed through
+    /// chains, omitting pairs with null endpoints.
+    pub fn extension(&self, f: FunctionId) -> Result<Vec<DerivedPair>> {
+        if self.is_derived(f) {
+            Ok(derived_extension(
+                self.store(),
+                self.derivations(f),
+                self.chain_limits(),
+            ))
+        } else {
+            let mut rows: Vec<DerivedPair> = self
+                .store()
+                .table(f)
+                .rows()
+                .map(|r| DerivedPair {
+                    x: r.x.clone(),
+                    y: r.y.clone(),
+                    truth: r.truth,
+                })
+                .collect();
+            rows.sort_by(|a, b| (&a.x, &a.y).cmp(&(&b.x, &b.y)));
+            Ok(rows)
+        }
+    }
+
+    /// The image `f(x)`: every `y` with `f(x) = y` non-false, with truth
+    /// values. (Functions are relations, so the image is a set.)
+    pub fn image(&self, f: FunctionId, x: &Value) -> Result<Vec<(Value, Truth)>> {
+        Ok(self
+            .extension(f)?
+            .into_iter()
+            .filter(|p| &p.x == x)
+            .map(|p| (p.y, p.truth))
+            .collect())
+    }
+
+    /// The inverse image `f⁻¹(y)`.
+    pub fn inverse_image(&self, f: FunctionId, y: &Value) -> Result<Vec<(Value, Truth)>> {
+        Ok(self
+            .extension(f)?
+            .into_iter()
+            .filter(|p| &p.y == y)
+            .map(|p| (p.x, p.truth))
+            .collect())
+    }
+
+    /// Evaluates an *ad-hoc* derivation expression at a point:
+    /// `x : (u₁f₁ o … o u_k f_k)` — the DAPLEX-style path query, without
+    /// registering a derived function. Steps must be base functions
+    /// (derived functions are expanded by the caller or queried via
+    /// [`Database::image`]). Returns the non-false images of `x`, sorted,
+    /// with §3.2 truth values.
+    pub fn eval_expression(
+        &self,
+        derivation: &fdb_types::Derivation,
+        x: &Value,
+    ) -> Result<Vec<(Value, Truth)>> {
+        // Validate: well-formed over the schema and base-only.
+        derivation.endpoints(self.schema())?;
+        for step in derivation.steps() {
+            if self.is_derived(step.function) {
+                return Err(fdb_types::FdbError::MalformedDerivation(format!(
+                    "expression step {} is a derived function; expand it first",
+                    self.schema().function(step.function).name
+                )));
+            }
+        }
+        let derivations = [derivation.clone()];
+        let mut out: Vec<(Value, Truth)> =
+            fdb_storage::chain::derived_extension(self.store(), &derivations, self.chain_limits())
+                .into_iter()
+                .filter(|p| &p.x == x)
+                .map(|p| (p.y, p.truth))
+                .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{Derivation, Schema, Step};
+
+    fn university() -> Database {
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let teach = db.resolve("teach").unwrap();
+        let class_list = db.resolve("class_list").unwrap();
+        let pupil = db.resolve("pupil").unwrap();
+        db.register_derived(
+            pupil,
+            vec![Derivation::new(vec![Step::identity(teach), Step::identity(class_list)]).unwrap()],
+        )
+        .unwrap();
+        db
+    }
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    /// Loads the §3 instance.
+    fn load(db: &mut Database) {
+        let teach = db.resolve("teach").unwrap();
+        let class_list = db.resolve("class_list").unwrap();
+        db.insert(teach, v("euclid"), v("math")).unwrap();
+        db.insert(teach, v("laplace"), v("math")).unwrap();
+        db.insert(teach, v("laplace"), v("physics")).unwrap();
+        db.insert(class_list, v("math"), v("john")).unwrap();
+        db.insert(class_list, v("math"), v("bill")).unwrap();
+    }
+
+    #[test]
+    fn derived_extension_matches_paper_instance() {
+        let mut db = university();
+        load(&mut db);
+        let pupil = db.resolve("pupil").unwrap();
+        let ext = db.extension(pupil).unwrap();
+        let pairs: Vec<(String, String)> = ext
+            .iter()
+            .map(|p| (p.x.to_string(), p.y.to_string()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("euclid".into(), "bill".into()),
+                ("euclid".into(), "john".into()),
+                ("laplace".into(), "bill".into()),
+                ("laplace".into(), "john".into()),
+            ]
+        );
+        assert!(ext.iter().all(|p| p.truth == Truth::True));
+    }
+
+    #[test]
+    fn image_and_inverse_image() {
+        let mut db = university();
+        load(&mut db);
+        let pupil = db.resolve("pupil").unwrap();
+        let img = db.image(pupil, &v("euclid")).unwrap();
+        assert_eq!(img.len(), 2);
+        let inv = db.inverse_image(pupil, &v("john")).unwrap();
+        assert_eq!(inv.len(), 2);
+        let teach = db.resolve("teach").unwrap();
+        assert_eq!(db.image(teach, &v("laplace")).unwrap().len(), 2);
+        assert_eq!(db.image(teach, &v("gauss")).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn base_extension_is_sorted_rows() {
+        let mut db = university();
+        load(&mut db);
+        let teach = db.resolve("teach").unwrap();
+        let ext = db.extension(teach).unwrap();
+        assert_eq!(ext.len(), 3);
+        assert!(ext
+            .windows(2)
+            .all(|w| (&w[0].x, &w[0].y) <= (&w[1].x, &w[1].y)));
+    }
+
+    #[test]
+    fn eval_expression_runs_ad_hoc_queries() {
+        let mut db = university();
+        load(&mut db);
+        let teach = db.resolve("teach").unwrap();
+        let class_list = db.resolve("class_list").unwrap();
+        // euclid : (teach o class_list)
+        let d = Derivation::new(vec![Step::identity(teach), Step::identity(class_list)]).unwrap();
+        let ys = db.eval_expression(&d, &v("euclid")).unwrap();
+        assert_eq!(
+            ys.iter().map(|(y, _)| y.to_string()).collect::<Vec<_>>(),
+            vec!["bill", "john"]
+        );
+        // john : (class_list⁻¹ o teach⁻¹) — who lectures to john?
+        let d = Derivation::new(vec![Step::inverse(class_list), Step::inverse(teach)]).unwrap();
+        let ys = db.eval_expression(&d, &v("john")).unwrap();
+        assert_eq!(
+            ys.iter().map(|(y, _)| y.to_string()).collect::<Vec<_>>(),
+            vec!["euclid", "laplace"]
+        );
+    }
+
+    #[test]
+    fn eval_expression_rejects_derived_steps_and_bad_chains() {
+        let mut db = university();
+        load(&mut db);
+        let pupil = db.resolve("pupil").unwrap();
+        let teach = db.resolve("teach").unwrap();
+        let d = Derivation::single(Step::identity(pupil));
+        assert!(db.eval_expression(&d, &v("euclid")).is_err());
+        let cutoff_like = Derivation::new(vec![
+            Step::identity(teach),
+            Step::identity(teach), // course is not faculty: broken chain
+        ])
+        .unwrap();
+        assert!(db.eval_expression(&cutoff_like, &v("euclid")).is_err());
+    }
+
+    #[test]
+    fn truth_by_name() {
+        let mut db = university();
+        load(&mut db);
+        assert_eq!(
+            db.truth_by_name("pupil", &v("euclid"), &v("john")).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            db.truth_by_name("pupil", &v("gauss"), &v("john")).unwrap(),
+            Truth::False
+        );
+        assert!(db.truth_by_name("nonexistent", &v("a"), &v("b")).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! FD-based resolution of ambiguous information — the §5 extension.
+//!
+//! "It is clear that functional dependencies also play an important role
+//! in resolving partial information. In functional databases the type
+//! functional information indicates relevant functional dependencies."
+//!
+//! A base function declared *functional* (many-one or one-one) carries the
+//! FD `x → y`; an *injective* one (one-many or one-one) carries `y → x`.
+//! Two **true** facts that agree on the determining side must agree on
+//! the determined side, which lets the system:
+//!
+//! * **unify nulls**: if `score(s1) = n₁` and `score(s1) = 85` are both
+//!   true and `score` is many-one, then `n₁ = 85` — the null introduced by
+//!   a derived insert is replaced by the concrete value everywhere
+//!   (including inside NC conjuncts), collapsing NVC links onto real data;
+//! * **falsify contradicted ambiguous facts**: an *ambiguous* fact whose
+//!   determined side is a concrete value different from the true fact's
+//!   value cannot hold under the FD, so it is deleted (asserted false);
+//! * **detect conflicts**: two true facts with distinct concrete
+//!   determined values violate the declared functionality; they are
+//!   reported, never silently repaired.
+//!
+//! Only *true* facts drive inference: an ambiguous fact might be false,
+//! so nothing may be concluded from it.
+
+use fdb_storage::Truth;
+use fdb_types::{FunctionId, Value};
+
+use crate::database::Database;
+
+/// Summary of one resolution pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResolutionOutcome {
+    /// Null values unified with concrete values (or representative nulls).
+    pub nulls_unified: usize,
+    /// Ambiguous facts falsified (deleted) by FD contradiction.
+    pub facts_falsified: usize,
+    /// FD violations among true facts, rendered for the user.
+    pub conflicts: Vec<String>,
+    /// Number of fixpoint iterations executed.
+    pub iterations: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// Group by x, determine y (the FD of a functional mapping).
+    ByX,
+    /// Group by y, determine x (the FD of an injective mapping).
+    ByY,
+}
+
+/// One action discovered by a scan, applied after the scan completes.
+enum Action {
+    Substitute { from: Value, to: Value },
+    Falsify { f: FunctionId, x: Value, y: Value },
+    Conflict(String),
+}
+
+/// Runs FD-based resolution to fixpoint.
+pub fn resolve_ambiguities(db: &mut Database) -> ResolutionOutcome {
+    let mut outcome = ResolutionOutcome::default();
+    loop {
+        outcome.iterations += 1;
+        let actions = scan(db);
+        if actions.is_empty() {
+            break;
+        }
+        let mut progressed = false;
+        for action in actions {
+            match action {
+                Action::Substitute { from, to } => {
+                    db.store_mut().substitute_null(&from, &to);
+                    outcome.nulls_unified += 1;
+                    progressed = true;
+                }
+                Action::Falsify { f, x, y } => {
+                    if db.store_mut().base_delete(f, &x, &y) {
+                        outcome.facts_falsified += 1;
+                        progressed = true;
+                    }
+                }
+                Action::Conflict(msg) => {
+                    if !outcome.conflicts.contains(&msg) {
+                        outcome.conflicts.push(msg);
+                    }
+                }
+            }
+            // Apply one mutating action per scan: substitutions invalidate
+            // the remaining scan results.
+            if progressed {
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    outcome
+}
+
+fn scan(db: &Database) -> Vec<Action> {
+    let mut actions = Vec::new();
+    scan_unit_ncs(db, &mut actions);
+    for f in db.base_functions() {
+        let def = db.schema().function(f);
+        if def.functionality.is_functional() {
+            scan_side(db, f, Side::ByX, &mut actions);
+        }
+        if def.functionality.is_injective() {
+            scan_side(db, f, Side::ByY, &mut actions);
+        }
+    }
+    actions
+}
+
+/// Unit-NC propagation: an NC with a single conjunct asserts that exact
+/// fact false — the flag system records it merely as ambiguous (created,
+/// e.g., by deleting a derived fact whose derivation has length one, or
+/// after FD falsification shrank a chain's support). Deleting the fact
+/// realises the NC's meaning and dismantles it.
+fn scan_unit_ncs(db: &Database, actions: &mut Vec<Action>) {
+    for (_, facts) in db.store().ncs().iter() {
+        if let [only] = facts {
+            actions.push(Action::Falsify {
+                f: only.function,
+                x: only.x.clone(),
+                y: only.y.clone(),
+            });
+        }
+    }
+}
+
+fn scan_side(db: &Database, f: FunctionId, side: Side, actions: &mut Vec<Action>) {
+    use std::collections::HashMap;
+    let table = db.store().table(f);
+    let name = &db.schema().function(f).name;
+    // key → (true determined values, ambiguous determined values)
+    let mut groups: HashMap<Value, (Vec<Value>, Vec<Value>)> = HashMap::new();
+    for row in table.rows() {
+        let (key, det) = match side {
+            Side::ByX => (row.x.clone(), row.y.clone()),
+            Side::ByY => (row.y.clone(), row.x.clone()),
+        };
+        let entry = groups.entry(key).or_default();
+        match row.truth {
+            Truth::True => entry.0.push(det),
+            Truth::Ambiguous => entry.1.push(det),
+            Truth::False => unreachable!("stored rows are never false"),
+        }
+    }
+    for (key, (true_vals, amb_vals)) in groups {
+        // Representative among true values: prefer a concrete atom.
+        let atoms: Vec<&Value> = true_vals.iter().filter(|v| !v.is_null()).collect();
+        let nulls: Vec<&Value> = true_vals.iter().filter(|v| v.is_null()).collect();
+        let mut distinct_atoms = atoms.clone();
+        distinct_atoms.sort();
+        distinct_atoms.dedup();
+        if distinct_atoms.len() > 1 {
+            actions.push(Action::Conflict(format!(
+                "FD violation in {name}: key {key} determines {} distinct values",
+                distinct_atoms.len()
+            )));
+            continue;
+        }
+        let rep: Option<&Value> = distinct_atoms
+            .first()
+            .copied()
+            .or_else(|| nulls.first().copied());
+        let Some(rep) = rep else { continue };
+        // Unify every other true null with the representative.
+        for n in &nulls {
+            if *n != rep {
+                actions.push(Action::Substitute {
+                    from: (*n).clone(),
+                    to: rep.clone(),
+                });
+            }
+        }
+        // Falsify ambiguous facts whose concrete determined value
+        // contradicts the true one.
+        if !rep.is_null() {
+            for a in &amb_vals {
+                if !a.is_null() && a != rep {
+                    let (x, y) = match side {
+                        Side::ByX => (key.clone(), a.clone()),
+                        Side::ByY => (a.clone(), key.clone()),
+                    };
+                    actions.push(Action::Falsify { f, x, y });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{Derivation, Schema, Step, Value};
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    /// grade = score o cutoff over many-one base functions.
+    fn grading_db() -> Database {
+        let schema = Schema::builder()
+            .function("score", "[student; course]", "marks", "many-one")
+            .function("cutoff", "marks", "letter_grade", "many-one")
+            .function("grade", "[student; course]", "letter_grade", "many-one")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let (score, cutoff, grade) = (
+            db.resolve("score").unwrap(),
+            db.resolve("cutoff").unwrap(),
+            db.resolve("grade").unwrap(),
+        );
+        db.register_derived(
+            grade,
+            vec![Derivation::new(vec![Step::identity(score), Step::identity(cutoff)]).unwrap()],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn null_unification_through_functional_fd() {
+        let mut db = grading_db();
+        let (score, grade) = (db.resolve("score").unwrap(), db.resolve("grade").unwrap());
+        // Derived insert threads a null: score(s1) = n1, cutoff(n1) = A.
+        db.insert(grade, v("s1"), v("A")).unwrap();
+        assert_eq!(db.stats().null_facts, 2);
+        // Later the concrete mark arrives.
+        db.insert(score, v("s1"), v("85")).unwrap();
+        let out = resolve_ambiguities(&mut db);
+        assert_eq!(out.nulls_unified, 1);
+        assert!(out.conflicts.is_empty());
+        // The NVC collapsed onto real data: cutoff(85) = A, no null facts.
+        assert_eq!(db.stats().null_facts, 0);
+        let cutoff = db.resolve("cutoff").unwrap();
+        assert!(db.store().table(cutoff).contains(&v("85"), &v("A")));
+        // grade(s1) = A is still provable, now through concrete values.
+        assert_eq!(
+            db.truth(grade, &v("s1"), &v("A")).unwrap(),
+            fdb_storage::Truth::True
+        );
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn ambiguous_fact_contradicting_fd_is_falsified() {
+        let mut db = grading_db();
+        let (score, cutoff, grade) = (
+            db.resolve("score").unwrap(),
+            db.resolve("cutoff").unwrap(),
+            db.resolve("grade").unwrap(),
+        );
+        db.insert(score, v("s1"), v("85")).unwrap();
+        db.insert(cutoff, v("85"), v("B")).unwrap();
+        // Deleting grade(s1, B) makes both facts ambiguous via an NC.
+        db.delete(grade, &v("s1"), &v("B")).unwrap();
+        assert_eq!(db.stats().ambiguous_facts, 2);
+        // A true fact contradicting the ambiguous cutoff arrives: the FD
+        // says cutoff(85) is unique, so cutoff(85)=B must be false.
+        db.insert(cutoff, v("85"), v("C")).unwrap();
+        // (base-insert of a *different* pair does not dismantle the NC of
+        // <cutoff, 85, B>; resolution does, via the FD.)
+        let out = resolve_ambiguities(&mut db);
+        assert_eq!(out.facts_falsified, 1);
+        assert!(!db.store().table(cutoff).contains(&v("85"), &v("B")));
+        // Falsifying the NC member dismantled the NC, and score(s1)=85
+        // remains (still flagged ambiguous — dismantling does not assert).
+        assert_eq!(db.store().ncs().len(), 0);
+        assert!(db.store().table(score).contains(&v("s1"), &v("85")));
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn conflicts_are_reported_not_repaired() {
+        let mut db = grading_db();
+        let cutoff = db.resolve("cutoff").unwrap();
+        db.insert(cutoff, v("85"), v("A")).unwrap();
+        db.insert(cutoff, v("85"), v("B")).unwrap();
+        let before = db.stats();
+        let out = resolve_ambiguities(&mut db);
+        assert_eq!(out.conflicts.len(), 1);
+        assert!(out.conflicts[0].contains("cutoff"));
+        assert_eq!(db.stats(), before, "conflicting facts left untouched");
+    }
+
+    #[test]
+    fn injective_fd_unifies_on_range_side() {
+        // one-many: injective, so y → x.
+        let schema = Schema::builder()
+            .function("advisees", "faculty", "student", "one-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let f = db.resolve("advisees").unwrap();
+        // System-level null (as created by some NVC): n1 advises s1.
+        let n1 = db.store_mut().fresh_null();
+        db.store_mut().base_insert(f, n1.clone(), v("s1"));
+        db.insert(f, v("prof"), v("s1")).unwrap();
+        let out = resolve_ambiguities(&mut db);
+        assert_eq!(out.nulls_unified, 1);
+        assert!(db.store().table(f).contains(&v("prof"), &v("s1")));
+        assert_eq!(db.store().table(f).len(), 1);
+    }
+
+    #[test]
+    fn two_true_nulls_unify_with_each_other() {
+        let schema = Schema::builder()
+            .function("advisor", "student", "faculty", "many-one")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let f = db.resolve("advisor").unwrap();
+        let n1 = db.store_mut().fresh_null();
+        let n2 = db.store_mut().fresh_null();
+        db.store_mut().base_insert(f, v("s1"), n1.clone());
+        db.store_mut().base_insert(f, v("s1"), n2.clone());
+        let out = resolve_ambiguities(&mut db);
+        assert_eq!(out.nulls_unified, 1);
+        assert_eq!(db.store().table(f).len(), 1);
+    }
+
+    #[test]
+    fn unit_nc_propagation_falsifies_single_conjunct() {
+        // taught_by = teach^-1: deleting a derived fact with a one-step
+        // derivation creates an NC over exactly one base fact. The NC
+        // logically asserts that fact false; resolution realises it.
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("taught_by", "course", "faculty", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let (teach, taught_by) = (
+            db.resolve("teach").unwrap(),
+            db.resolve("taught_by").unwrap(),
+        );
+        db.register_derived(taught_by, vec![Derivation::single(Step::inverse(teach))])
+            .unwrap();
+        db.insert(teach, v("euclid"), v("math")).unwrap();
+        db.delete(taught_by, &v("math"), &v("euclid")).unwrap();
+        // Before resolution: the base fact is stored-but-ambiguous while
+        // its unit NC says it is false.
+        assert_eq!(db.store().ncs().len(), 1);
+        assert!(db.store().table(teach).contains(&v("euclid"), &v("math")));
+        let out = resolve_ambiguities(&mut db);
+        assert_eq!(out.facts_falsified, 1);
+        assert!(!db.store().table(teach).contains(&v("euclid"), &v("math")));
+        assert_eq!(db.store().ncs().len(), 0);
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn resolution_is_idempotent() {
+        let mut db = grading_db();
+        let (score, grade) = (db.resolve("score").unwrap(), db.resolve("grade").unwrap());
+        db.insert(grade, v("s1"), v("A")).unwrap();
+        db.insert(score, v("s1"), v("85")).unwrap();
+        resolve_ambiguities(&mut db);
+        let stable = db.stats();
+        let again = resolve_ambiguities(&mut db);
+        assert_eq!(again.nulls_unified, 0);
+        assert_eq!(again.facts_falsified, 0);
+        assert_eq!(db.stats(), stable);
+    }
+
+    #[test]
+    fn no_inference_from_ambiguous_facts() {
+        // Ambiguous facts must not drive unification.
+        let mut db = grading_db();
+        let (score, cutoff, grade) = (
+            db.resolve("score").unwrap(),
+            db.resolve("cutoff").unwrap(),
+            db.resolve("grade").unwrap(),
+        );
+        db.insert(score, v("s1"), v("85")).unwrap();
+        db.insert(cutoff, v("85"), v("B")).unwrap();
+        db.delete(grade, &v("s1"), &v("B")).unwrap(); // both now ambiguous
+                                                      // A null alongside an ambiguous concrete fact: no true fact, no
+                                                      // unification.
+        let n = db.store_mut().fresh_null();
+        db.store_mut().base_insert(score, v("s1"), n);
+        let before_nulls = db.stats().null_facts;
+        let out = resolve_ambiguities(&mut db);
+        // score(s1)=n1 is TRUE (fresh base insert); score(s1)=85 is
+        // ambiguous. The FD group's only true value is the null → the null
+        // stays (nothing concrete to unify with), and the ambiguous 85 is
+        // NOT falsified (rep is a null, not a concrete contradiction).
+        assert_eq!(out.facts_falsified, 0);
+        assert_eq!(db.stats().null_facts, before_nulls);
+    }
+}

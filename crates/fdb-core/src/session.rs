@@ -1,0 +1,96 @@
+//! Bridging the §2 design aid to a runnable database.
+//!
+//! "Information regarding minimal schema, derived functions and their
+//! derivations can be extracted from the dynamic function graph … at any
+//! juncture by the designer (typically at the end of the design)" — this
+//! module performs that extraction and instantiates a [`Database`] whose
+//! derived-function registry is exactly what the designer confirmed.
+
+use fdb_graph::{DesignConfig, DesignSession, Designer};
+use fdb_types::{Functionality, Result};
+
+use crate::database::Database;
+
+/// A function declaration for [`design_database`].
+#[derive(Clone, Debug)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Domain type name.
+    pub domain: String,
+    /// Range type name.
+    pub range: String,
+    /// Declared functionality.
+    pub functionality: Functionality,
+}
+
+impl FunctionDecl {
+    /// Convenience constructor; `functionality` is parsed
+    /// (`"many-one"`, `"many - many"`, …).
+    pub fn new(name: &str, domain: &str, range: &str, functionality: &str) -> Result<Self> {
+        Ok(FunctionDecl {
+            name: name.to_owned(),
+            domain: domain.to_owned(),
+            range: range.to_owned(),
+            functionality: functionality.parse()?,
+        })
+    }
+}
+
+/// Runs a full Method 2.1 design session over `functions` (in order) with
+/// the given designer, then builds the resulting [`Database`].
+pub fn design_database(
+    functions: &[FunctionDecl],
+    designer: &mut dyn Designer,
+    config: DesignConfig,
+) -> Result<Database> {
+    let mut session = DesignSession::with_config(config);
+    for f in functions {
+        session.add_function(&f.name, &f.domain, &f.range, f.functionality, designer)?;
+    }
+    let (outcome, schema) = session.finish(designer);
+    Database::from_design(schema, &outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_graph::ScriptedDesigner;
+
+    /// Replay of the §2.3 design trace, abbreviated to the pupil shape.
+    #[test]
+    fn design_session_to_database() {
+        let decls = vec![
+            FunctionDecl::new("teach", "faculty", "course", "many-many").unwrap(),
+            FunctionDecl::new("class_list", "course", "student", "many-many").unwrap(),
+            FunctionDecl::new("pupil", "faculty", "student", "many-many").unwrap(),
+        ];
+        let mut designer = ScriptedDesigner::new();
+        designer.push_decision_by_name("pupil");
+        designer.default_confirm(true);
+        let db = design_database(&decls, &mut designer, DesignConfig::default()).unwrap();
+        let pupil = db.resolve("pupil").unwrap();
+        assert!(db.is_derived(pupil));
+        assert_eq!(
+            db.derivations(pupil)[0].render(db.schema()),
+            "teach o class_list"
+        );
+        assert_eq!(db.base_functions().len(), 2);
+    }
+
+    #[test]
+    fn invalid_functionality_is_reported() {
+        assert!(FunctionDecl::new("f", "a", "b", "sideways").is_err());
+    }
+
+    #[test]
+    fn keep_all_designer_yields_all_base() {
+        let decls = vec![
+            FunctionDecl::new("teach", "faculty", "course", "many-many").unwrap(),
+            FunctionDecl::new("taught_by", "course", "faculty", "many-many").unwrap(),
+        ];
+        let mut designer = fdb_graph::KeepAllDesigner;
+        let db = design_database(&decls, &mut designer, DesignConfig::default()).unwrap();
+        assert!(db.derived_functions().is_empty());
+    }
+}

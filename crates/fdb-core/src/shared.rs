@@ -1,0 +1,199 @@
+//! Shared, thread-safe access to a database.
+//!
+//! The paper's design aid is single-user, but a database library needs a
+//! concurrency story. [`SharedDatabase`] is a cheaply cloneable handle
+//! over `Arc<RwLock<Database>>` (parking_lot): many concurrent readers,
+//! exclusive writers, and closure-scoped access so guards can never leak
+//! across await points or outlive the handle. Update-level atomicity is
+//! inherited from the engine (each `INS`/`DEL`/`REP` leaves the store
+//! consistent); multi-update atomicity uses [`SharedDatabase::write`]
+//! plus [`crate::Database::apply_all`].
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use fdb_storage::Truth;
+use fdb_types::{FunctionId, Result, Value};
+
+use crate::database::Database;
+use crate::stats::DatabaseStats;
+use crate::update::Update;
+
+/// A cloneable, thread-safe handle to a [`Database`].
+#[derive(Clone, Debug)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+}
+
+impl SharedDatabase {
+    /// Wraps a database for shared access.
+    pub fn new(db: Database) -> Self {
+        SharedDatabase {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Runs a closure with shared read access.
+    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs a closure with exclusive write access.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Extracts the database, if this is the last handle; otherwise
+    /// returns the handle back.
+    pub fn try_unwrap(self) -> std::result::Result<Database, SharedDatabase> {
+        Arc::try_unwrap(self.inner)
+            .map(RwLock::into_inner)
+            .map_err(|inner| SharedDatabase { inner })
+    }
+
+    // --- convenience wrappers for the common operations ---
+
+    /// Resolves a function name.
+    pub fn resolve(&self, name: &str) -> Result<FunctionId> {
+        self.read(|db| db.resolve(name))
+    }
+
+    /// `INS(f, <x, y>)`.
+    pub fn insert(&self, f: FunctionId, x: Value, y: Value) -> Result<()> {
+        self.write(|db| db.insert(f, x, y))
+    }
+
+    /// `DEL(f, <x, y>)`.
+    pub fn delete(&self, f: FunctionId, x: &Value, y: &Value) -> Result<()> {
+        self.write(|db| db.delete(f, x, y))
+    }
+
+    /// Applies a batch atomically.
+    pub fn apply_all(&self, updates: Vec<Update>) -> Result<usize> {
+        self.write(|db| db.apply_all(updates))
+    }
+
+    /// Truth of a fact.
+    pub fn truth(&self, f: FunctionId, x: &Value, y: &Value) -> Result<Truth> {
+        self.read(|db| db.truth(f, x, y))
+    }
+
+    /// Instance statistics.
+    pub fn stats(&self) -> DatabaseStats {
+        self.read(|db| db.stats())
+    }
+
+    /// Consistency check.
+    pub fn is_consistent(&self) -> bool {
+        self.read(|db| db.is_consistent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{Derivation, Schema, Step};
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn university() -> Database {
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let (t, c, p) = (
+            db.resolve("teach").unwrap(),
+            db.resolve("class_list").unwrap(),
+            db.resolve("pupil").unwrap(),
+        );
+        db.register_derived(
+            p,
+            vec![Derivation::new(vec![Step::identity(t), Step::identity(c)]).unwrap()],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let shared = SharedDatabase::new(university());
+        let other = shared.clone();
+        let teach = shared.resolve("teach").unwrap();
+        shared.insert(teach, v("euclid"), v("math")).unwrap();
+        assert_eq!(other.stats().base_facts, 1);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let shared = SharedDatabase::new(university());
+        let teach = shared.resolve("teach").unwrap();
+        let class_list = shared.resolve("class_list").unwrap();
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    h.insert(teach, v(&format!("prof{w}_{i}")), v(&format!("c{i}")))
+                        .unwrap();
+                    h.insert(class_list, v(&format!("c{i}")), v(&format!("s{w}_{i}")))
+                        .unwrap();
+                }
+            }));
+        }
+        for r in 0..4 {
+            let h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let pupil = h.resolve("pupil").unwrap();
+                for i in 0..50 {
+                    let _ = h
+                        .truth(pupil, &v(&format!("prof{r}_{i}")), &v(&format!("s{r}_{i}")))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.stats().base_facts, 4 * 50 * 2);
+        assert!(shared.is_consistent());
+    }
+
+    #[test]
+    fn try_unwrap_returns_database_when_unique() {
+        let shared = SharedDatabase::new(university());
+        let clone = shared.clone();
+        let shared = match shared.try_unwrap() {
+            Err(handle) => handle, // clone still alive
+            Ok(_) => panic!("should not unwrap with two handles"),
+        };
+        drop(clone);
+        let db = shared.try_unwrap().expect("last handle unwraps");
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn atomic_batches_under_sharing() {
+        let shared = SharedDatabase::new(university());
+        let teach = shared.resolve("teach").unwrap();
+        let err = shared.apply_all(vec![
+            Update::Insert {
+                function: teach,
+                x: v("a"),
+                y: v("b"),
+            },
+            Update::Insert {
+                function: teach,
+                x: Value::Null(fdb_types::NullId(1)),
+                y: v("boom"),
+            },
+        ]);
+        assert!(err.is_err());
+        assert_eq!(shared.stats().base_facts, 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! The §3 update operations: `INS`, `DEL`, `REP` on base and derived
+//! functions.
+//!
+//! "An update on a base function is directly effected on the extensionally
+//! stored table. An update on a derived function is translated into a
+//! corresponding sequence of updates on the base functions of its
+//! derivation" — via NVC creation/clean-up for inserts and NC creation for
+//! deletes (§4.1), so that the partial information an update generates is
+//! *stored* rather than approximated.
+//!
+//! User updates must mention concrete values only; null values are
+//! system-introduced witnesses and may not appear in an `INS`/`DEL`/`REP`
+//! request.
+
+use fdb_storage::chain as chain_ops;
+use fdb_storage::nvc as nvc_ops;
+use fdb_types::{FdbError, FunctionId, Result, Value};
+
+use crate::database::Database;
+
+/// A simple (tuple-at-a-time) update request, as in §3: a general update
+/// is a sequence of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// `INS(f, <x, y>)`.
+    Insert {
+        /// Target function.
+        function: FunctionId,
+        /// Domain value.
+        x: Value,
+        /// Range value.
+        y: Value,
+    },
+    /// `DEL(f, <x, y>)`.
+    Delete {
+        /// Target function.
+        function: FunctionId,
+        /// Domain value.
+        x: Value,
+        /// Range value.
+        y: Value,
+    },
+    /// `REP(f, <x₁, y₁>, <x₂, y₂>)` — delete the first pair, insert the
+    /// second.
+    Replace {
+        /// Target function.
+        function: FunctionId,
+        /// Pair to remove.
+        old: (Value, Value),
+        /// Pair to add.
+        new: (Value, Value),
+    },
+}
+
+impl Database {
+    /// Applies one update.
+    pub fn apply(&mut self, update: Update) -> Result<()> {
+        match update {
+            Update::Insert { function, x, y } => self.insert(function, x, y),
+            Update::Delete { function, x, y } => self.delete(function, &x, &y),
+            Update::Replace { function, old, new } => self.replace(function, old, new),
+        }
+    }
+
+    /// `INS(f, <x, y>)`: asserts the fact true. On a base function the
+    /// pair is stored (resolving any ambiguity); on a derived function the
+    /// insert is realised as an NVC through the function's first
+    /// registered derivation (`derived-insert`, §4.1).
+    pub fn insert(&mut self, f: FunctionId, x: Value, y: Value) -> Result<()> {
+        self.check_user_values(&x, &y)?;
+        if self.is_derived(f) {
+            let derivations = self.derivations(f);
+            let derivation = match self.insert_policy() {
+                crate::database::InsertPolicy::FirstDerivation => derivations.first(),
+                crate::database::InsertPolicy::ShortestDerivation => {
+                    derivations.iter().min_by_key(|d| d.len())
+                }
+            }
+            .cloned()
+            .ok_or_else(|| FdbError::NoDerivation(self.schema().function(f).name.clone()))?;
+            nvc_ops::derived_insert(self.store_mut(), &derivation, x, y);
+        } else {
+            self.store_mut().base_insert(f, x, y);
+        }
+        Ok(())
+    }
+
+    /// `DEL(f, <x, y>)`: asserts the fact false. On a base function the
+    /// pair is removed (dismantling its NCs); on a derived function every
+    /// exactly matching chain of every registered derivation becomes an NC
+    /// (`derived-delete`, §4.1).
+    pub fn delete(&mut self, f: FunctionId, x: &Value, y: &Value) -> Result<()> {
+        self.check_user_values(x, y)?;
+        if self.is_derived(f) {
+            if self.derivations(f).is_empty() {
+                return Err(FdbError::NoDerivation(
+                    self.schema().function(f).name.clone(),
+                ));
+            }
+            let derivations = self.derivations(f).to_vec();
+            let limits = self.chain_limits();
+            let policy = self.delete_policy();
+            chain_ops::derived_delete_with_policy(
+                self.store_mut(),
+                &derivations,
+                x,
+                y,
+                policy,
+                limits,
+            );
+        } else {
+            self.store_mut().base_delete(f, x, y);
+        }
+        Ok(())
+    }
+
+    /// `REP(f, <x₁,y₁>, <x₂,y₂>)`: the old pair must currently be true or
+    /// ambiguous; it is deleted, then the new pair inserted.
+    pub fn replace(
+        &mut self,
+        f: FunctionId,
+        old: (Value, Value),
+        new: (Value, Value),
+    ) -> Result<()> {
+        self.check_user_values(&old.0, &old.1)?;
+        self.check_user_values(&new.0, &new.1)?;
+        let present = if self.is_derived(f) {
+            self.truth(f, &old.0, &old.1)? != fdb_storage::Truth::False
+        } else {
+            self.store().table(f).contains(&old.0, &old.1)
+        };
+        if !present {
+            return Err(FdbError::ReplaceMissing(format!(
+                "{}(<{}, {}>)",
+                self.schema().function(f).name,
+                old.0,
+                old.1
+            )));
+        }
+        self.delete(f, &old.0, &old.1)?;
+        self.insert(f, new.0, new.1)
+    }
+
+    fn check_user_values(&self, x: &Value, y: &Value) -> Result<()> {
+        if x.is_null() || y.is_null() {
+            return Err(FdbError::NullInUserUpdate);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_storage::Truth;
+    use fdb_types::{Schema, Value};
+
+    /// The §3/§4.2 database: teach, class_list base; pupil derived with
+    /// derivation `teach o class_list` (registered explicitly, as the
+    /// designer of §2 would confirm it).
+    fn university() -> Database {
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let teach = db.resolve("teach").unwrap();
+        let class_list = db.resolve("class_list").unwrap();
+        let pupil = db.resolve("pupil").unwrap();
+        let d = fdb_types::Derivation::new(vec![
+            fdb_types::Step::identity(teach),
+            fdb_types::Step::identity(class_list),
+        ])
+        .unwrap();
+        db.register_derived(pupil, vec![d]).unwrap();
+        db
+    }
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn ams_is_order_dependent_on_the_pupil_triangle() {
+        // With pupil declared first, AMS classifies it derived with the
+        // paper's derivation; with teach first, AMS instead derives teach
+        // from pupil o class_list⁻¹ (minimal schemas are not unique).
+        let pupil_first = Schema::builder()
+            .function("pupil", "faculty", "student", "many-many")
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .build()
+            .unwrap();
+        let db = Database::from_ams(pupil_first).unwrap();
+        let pupil = db.resolve("pupil").unwrap();
+        assert!(db.is_derived(pupil));
+        assert_eq!(
+            db.derivations(pupil)[0].render(db.schema()),
+            "teach o class_list"
+        );
+
+        let teach_first = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let db = Database::from_ams(teach_first).unwrap();
+        let teach = db.resolve("teach").unwrap();
+        assert!(db.is_derived(teach));
+    }
+
+    #[test]
+    fn base_updates_hit_tables_directly() {
+        let mut db = university();
+        let teach = db.resolve("teach").unwrap();
+        db.insert(teach, v("euclid"), v("math")).unwrap();
+        assert!(db.store().table(teach).contains(&v("euclid"), &v("math")));
+        db.delete(teach, &v("euclid"), &v("math")).unwrap();
+        assert!(!db.store().table(teach).contains(&v("euclid"), &v("math")));
+    }
+
+    #[test]
+    fn derived_insert_creates_nvc() {
+        let mut db = university();
+        let pupil = db.resolve("pupil").unwrap();
+        db.insert(pupil, v("gauss"), v("bill")).unwrap();
+        assert_eq!(db.store().nulls().generated(), 1);
+        assert_eq!(
+            db.truth(pupil, &v("gauss"), &v("bill")).unwrap(),
+            Truth::True
+        );
+        // pupil's own table stays empty — derived facts are never stored.
+        assert!(db.store().table(pupil).is_empty());
+    }
+
+    #[test]
+    fn derived_delete_creates_nc() {
+        let mut db = university();
+        let (teach, class_list, pupil) = (
+            db.resolve("teach").unwrap(),
+            db.resolve("class_list").unwrap(),
+            db.resolve("pupil").unwrap(),
+        );
+        db.insert(teach, v("euclid"), v("math")).unwrap();
+        db.insert(class_list, v("math"), v("john")).unwrap();
+        db.delete(pupil, &v("euclid"), &v("john")).unwrap();
+        assert_eq!(db.store().ncs().len(), 1);
+        assert_eq!(
+            db.truth(pupil, &v("euclid"), &v("john")).unwrap(),
+            Truth::False
+        );
+        // No base fact was removed — the "side effect free" claim.
+        assert!(db.store().table(teach).contains(&v("euclid"), &v("math")));
+        assert!(db
+            .store()
+            .table(class_list)
+            .contains(&v("math"), &v("john")));
+    }
+
+    #[test]
+    fn nulls_rejected_in_user_updates() {
+        let mut db = university();
+        let teach = db.resolve("teach").unwrap();
+        let n = Value::Null(fdb_types::NullId(1));
+        assert_eq!(
+            db.insert(teach, n.clone(), v("math")).unwrap_err(),
+            FdbError::NullInUserUpdate
+        );
+        assert_eq!(
+            db.delete(teach, &v("x"), &n).unwrap_err(),
+            FdbError::NullInUserUpdate
+        );
+    }
+
+    #[test]
+    fn replace_requires_presence() {
+        let mut db = university();
+        let teach = db.resolve("teach").unwrap();
+        let err = db
+            .replace(teach, (v("euclid"), v("math")), (v("euclid"), v("physics")))
+            .unwrap_err();
+        assert!(matches!(err, FdbError::ReplaceMissing(_)));
+        db.insert(teach, v("euclid"), v("math")).unwrap();
+        db.replace(teach, (v("euclid"), v("math")), (v("euclid"), v("physics")))
+            .unwrap();
+        assert!(!db.store().table(teach).contains(&v("euclid"), &v("math")));
+        assert!(db
+            .store()
+            .table(teach)
+            .contains(&v("euclid"), &v("physics")));
+    }
+
+    #[test]
+    fn replace_on_derived_function() {
+        let mut db = university();
+        let pupil = db.resolve("pupil").unwrap();
+        db.insert(pupil, v("gauss"), v("bill")).unwrap();
+        db.replace(pupil, (v("gauss"), v("bill")), (v("gauss"), v("john")))
+            .unwrap();
+        assert_eq!(
+            db.truth(pupil, &v("gauss"), &v("john")).unwrap(),
+            Truth::True
+        );
+        assert_ne!(
+            db.truth(pupil, &v("gauss"), &v("bill")).unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn delete_policy_ablation() {
+        use fdb_storage::chain::DeletePolicy;
+        use fdb_storage::Truth;
+        // teach(gauss) = n1, class_list(math) = john: pupil(gauss, john)
+        // is ambiguous (n1 might be math).
+        let build = |policy: DeletePolicy| {
+            let mut db = university();
+            db.set_delete_policy(policy);
+            let pupil = db.resolve("pupil").unwrap();
+            let class_list = db.resolve("class_list").unwrap();
+            db.insert(pupil, v("gauss"), v("someone")).unwrap(); // creates teach(gauss)=n1
+            db.insert(class_list, v("math"), v("john")).unwrap();
+            db.delete(pupil, &v("gauss"), &v("john")).unwrap();
+            let t = db.truth(pupil, &v("gauss"), &v("john")).unwrap();
+            (t, db.store().ncs().len())
+        };
+        // Faithful (paper): the ambiguous chain is not negated; the fact
+        // stays ambiguous.
+        let (truth, ncs) = build(DeletePolicy::Faithful);
+        assert_eq!(truth, Truth::Ambiguous);
+        assert_eq!(ncs, 0);
+        // Strict: the ambiguous chain is negated too; the fact is false.
+        let (truth, ncs) = build(DeletePolicy::Strict);
+        assert_eq!(truth, Truth::False);
+        assert_eq!(ncs, 1);
+    }
+
+    #[test]
+    fn insert_policy_picks_derivation() {
+        use crate::database::InsertPolicy;
+        // p: a → c with a 2-step and a 1-step derivation.
+        let build = |policy: InsertPolicy| {
+            let schema = Schema::builder()
+                .function("f", "a", "b", "many-many")
+                .function("g", "b", "c", "many-many")
+                .function("h", "a", "c", "many-many")
+                .function("p", "a", "c", "many-many")
+                .build()
+                .unwrap();
+            let mut db = Database::new(schema);
+            let (f, g, h, p) = (
+                db.resolve("f").unwrap(),
+                db.resolve("g").unwrap(),
+                db.resolve("h").unwrap(),
+                db.resolve("p").unwrap(),
+            );
+            db.register_derived(
+                p,
+                vec![
+                    fdb_types::Derivation::new(vec![
+                        fdb_types::Step::identity(f),
+                        fdb_types::Step::identity(g),
+                    ])
+                    .unwrap(),
+                    fdb_types::Derivation::single(fdb_types::Step::identity(h)),
+                ],
+            )
+            .unwrap();
+            db.set_insert_policy(policy);
+            db.insert(p, v("x"), v("z")).unwrap();
+            (db.store().nulls().generated(), db.store().table(h).len())
+        };
+        // First derivation: the 2-step one — a null is created.
+        let (nulls, h_rows) = build(InsertPolicy::FirstDerivation);
+        assert_eq!(nulls, 1);
+        assert_eq!(h_rows, 0);
+        // Shortest derivation: direct insert into h, no nulls.
+        let (nulls, h_rows) = build(InsertPolicy::ShortestDerivation);
+        assert_eq!(nulls, 0);
+        assert_eq!(h_rows, 1);
+    }
+
+    #[test]
+    fn apply_dispatches() {
+        let mut db = university();
+        let teach = db.resolve("teach").unwrap();
+        db.apply(Update::Insert {
+            function: teach,
+            x: v("a"),
+            y: v("b"),
+        })
+        .unwrap();
+        db.apply(Update::Replace {
+            function: teach,
+            old: (v("a"), v("b")),
+            new: (v("a"), v("c")),
+        })
+        .unwrap();
+        db.apply(Update::Delete {
+            function: teach,
+            x: v("a"),
+            y: v("c"),
+        })
+        .unwrap();
+        assert_eq!(db.store().fact_count(), 0);
+    }
+}

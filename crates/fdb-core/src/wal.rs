@@ -1,0 +1,471 @@
+//! Write-ahead logging and crash recovery.
+//!
+//! The paper's system is an in-memory design aid; a database library
+//! needs durability. The WAL is a newline-delimited JSON log of
+//! [`LogRecord`]s — schema declarations, derivation registrations, and
+//! the three §3 update operations — identified by *function name* rather
+//! than id so a log is meaningful independent of declaration order
+//! details. Replaying the log from an empty database reconstructs the
+//! exact logical state, including NCs, NVCs and the null-generator
+//! watermark (updates are deterministic).
+//!
+//! Recovery tolerates a torn tail: a final partial line (the classic
+//! crash-during-append artifact) is ignored and reported, never an error.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use fdb_types::{Derivation, FdbError, Functionality, Result, Step, Value};
+
+use crate::database::Database;
+
+/// One durable log entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// `DECLARE name: domain -> range (functionality)`.
+    Declare {
+        /// Function name.
+        name: String,
+        /// Domain type name.
+        domain: String,
+        /// Range type name.
+        range: String,
+        /// Declared functionality.
+        functionality: Functionality,
+    },
+    /// Registration of a derivation for `name`.
+    Derive {
+        /// The derived function's name.
+        name: String,
+        /// Steps as `(function name, inverted)` pairs.
+        steps: Vec<(String, bool)>,
+    },
+    /// `INS(f, <x, y>)`.
+    Insert {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: Value,
+        /// Range value.
+        y: Value,
+    },
+    /// `DEL(f, <x, y>)`.
+    Delete {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: Value,
+        /// Range value.
+        y: Value,
+    },
+    /// `REP(f, <x₁,y₁>, <x₂,y₂>)`.
+    Replace {
+        /// Function name.
+        function: String,
+        /// Pair to remove.
+        old: (Value, Value),
+        /// Pair to add.
+        new: (Value, Value),
+    },
+}
+
+fn io_err(what: &str, e: std::io::Error) -> FdbError {
+    FdbError::Internal(format!("wal: {what}: {e}"))
+}
+
+/// An append-only log file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl Wal {
+    /// Creates a new, empty log (truncating any existing file).
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let file = File::create(path.as_ref()).map_err(|e| io_err("create", e))?;
+        Ok(Wal {
+            path: path.as_ref().to_owned(),
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Opens an existing log for appending (creating it if absent).
+    pub fn open_append(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())
+            .map_err(|e| io_err("open", e))?;
+        Ok(Wal {
+            path: path.as_ref().to_owned(),
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(&mut self, record: &LogRecord) -> Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| FdbError::Internal(format!("wal: serialise: {e}")))?;
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| io_err("append", e))
+    }
+
+    /// Durably syncs the file to disk.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush().map_err(|e| io_err("flush", e))?;
+        self.writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| io_err("sync", e))
+    }
+}
+
+/// Outcome of a [`replay`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records applied.
+    pub applied: usize,
+    /// `true` if a torn (non-JSON) final line was skipped.
+    pub torn_tail: bool,
+}
+
+/// Applies one record to a database.
+pub fn apply_record(db: &mut Database, record: &LogRecord) -> Result<()> {
+    match record {
+        LogRecord::Declare {
+            name,
+            domain,
+            range,
+            functionality,
+        } => {
+            db.declare_function(name, domain, range, *functionality)?;
+            Ok(())
+        }
+        LogRecord::Derive { name, steps } => {
+            let f = db.resolve(name)?;
+            let steps: Result<Vec<Step>> = steps
+                .iter()
+                .map(|(n, inv)| {
+                    db.resolve(n).map(|id| {
+                        if *inv {
+                            Step::inverse(id)
+                        } else {
+                            Step::identity(id)
+                        }
+                    })
+                })
+                .collect();
+            db.register_derived(f, vec![Derivation::new(steps?)?])
+        }
+        LogRecord::Insert { function, x, y } => {
+            let f = db.resolve(function)?;
+            db.insert(f, x.clone(), y.clone())
+        }
+        LogRecord::Delete { function, x, y } => {
+            let f = db.resolve(function)?;
+            db.delete(f, x, y)
+        }
+        LogRecord::Replace { function, old, new } => {
+            let f = db.resolve(function)?;
+            db.replace(f, old.clone(), new.clone())
+        }
+    }
+}
+
+/// Rebuilds a database by replaying a log from scratch.
+///
+/// A torn final line is skipped (see module docs); any *interior* parse
+/// failure or semantic error is a hard error — the log is corrupt.
+pub fn replay(path: impl AsRef<Path>) -> Result<(Database, ReplayReport)> {
+    let file = File::open(path.as_ref()).map_err(|e| io_err("open for replay", e))?;
+    let reader = BufReader::new(file);
+    let mut db = Database::new(fdb_types::Schema::new());
+    let mut report = ReplayReport::default();
+    let mut pending_error: Option<String> = None;
+    for line in reader.lines() {
+        let line = line.map_err(|e| io_err("read", e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(bad) = pending_error.take() {
+            // The malformed line was not the last one: corrupt log.
+            return Err(FdbError::Internal(format!(
+                "wal: corrupt interior record: {bad}"
+            )));
+        }
+        match serde_json::from_str::<LogRecord>(&line) {
+            Ok(record) => {
+                apply_record(&mut db, &record)?;
+                report.applied += 1;
+            }
+            Err(_) => pending_error = Some(line),
+        }
+    }
+    if pending_error.is_some() {
+        report.torn_tail = true;
+    }
+    Ok((db, report))
+}
+
+/// A database coupled to a WAL: every successful mutation is logged, so
+/// the on-disk log always reconstructs the in-memory state.
+#[derive(Debug)]
+pub struct LoggedDatabase {
+    db: Database,
+    wal: Wal,
+}
+
+impl LoggedDatabase {
+    /// Creates a fresh logged database with an empty log.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(LoggedDatabase {
+            db: Database::new(fdb_types::Schema::new()),
+            wal: Wal::create(path)?,
+        })
+    }
+
+    /// Recovers the database from an existing log and reopens it for
+    /// appending. Returns the replay report alongside.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, ReplayReport)> {
+        let (db, report) = replay(path.as_ref())?;
+        let wal = Wal::open_append(path)?;
+        Ok((LoggedDatabase { db, wal }, report))
+    }
+
+    /// Read access to the live database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn logged(&mut self, record: LogRecord) -> Result<()> {
+        apply_record(&mut self.db, &record)?;
+        self.wal.append(&record)
+    }
+
+    /// Declares a function (logged).
+    pub fn declare(
+        &mut self,
+        name: &str,
+        domain: &str,
+        range: &str,
+        functionality: Functionality,
+    ) -> Result<()> {
+        self.logged(LogRecord::Declare {
+            name: name.to_owned(),
+            domain: domain.to_owned(),
+            range: range.to_owned(),
+            functionality,
+        })
+    }
+
+    /// Registers a derivation by step names (logged).
+    pub fn derive(&mut self, name: &str, steps: &[(&str, bool)]) -> Result<()> {
+        self.logged(LogRecord::Derive {
+            name: name.to_owned(),
+            steps: steps
+                .iter()
+                .map(|(n, inv)| ((*n).to_owned(), *inv))
+                .collect(),
+        })
+    }
+
+    /// `INS` (logged).
+    pub fn insert(&mut self, function: &str, x: Value, y: Value) -> Result<()> {
+        self.logged(LogRecord::Insert {
+            function: function.to_owned(),
+            x,
+            y,
+        })
+    }
+
+    /// `DEL` (logged).
+    pub fn delete(&mut self, function: &str, x: Value, y: Value) -> Result<()> {
+        self.logged(LogRecord::Delete {
+            function: function.to_owned(),
+            x,
+            y,
+        })
+    }
+
+    /// `REP` (logged).
+    pub fn replace(
+        &mut self,
+        function: &str,
+        old: (Value, Value),
+        new: (Value, Value),
+    ) -> Result<()> {
+        self.logged(LogRecord::Replace {
+            function: function.to_owned(),
+            old,
+            new,
+        })
+    }
+
+    /// Durably syncs the log.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_storage::Truth;
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fdb_wal_test_{}_{name}.log", std::process::id()));
+        p
+    }
+
+    fn build_logged(path: &Path) -> LoggedDatabase {
+        let mut ldb = LoggedDatabase::create(path).unwrap();
+        ldb.declare("teach", "faculty", "course", Functionality::ManyMany)
+            .unwrap();
+        ldb.declare("class_list", "course", "student", Functionality::ManyMany)
+            .unwrap();
+        ldb.declare("pupil", "faculty", "student", Functionality::ManyMany)
+            .unwrap();
+        ldb.derive("pupil", &[("teach", false), ("class_list", false)])
+            .unwrap();
+        ldb.insert("teach", v("euclid"), v("math")).unwrap();
+        ldb.insert("class_list", v("math"), v("john")).unwrap();
+        ldb.insert("class_list", v("math"), v("bill")).unwrap();
+        ldb.delete("pupil", v("euclid"), v("john")).unwrap();
+        ldb.insert("pupil", v("gauss"), v("bill")).unwrap();
+        ldb
+    }
+
+    #[test]
+    fn replay_reconstructs_exact_state() {
+        let path = tmp("replay");
+        let ldb = build_logged(&path);
+        let live_snapshot = ldb.database().to_snapshot().unwrap();
+        drop(ldb);
+
+        let (recovered, report) = replay(&path).unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(report.applied, 9);
+        assert_eq!(recovered.to_snapshot().unwrap(), live_snapshot);
+        // Spot-check the partial information survived.
+        let p = recovered.resolve("pupil").unwrap();
+        assert_eq!(
+            recovered.truth(p, &v("euclid"), &v("john")).unwrap(),
+            Truth::False
+        );
+        assert_eq!(
+            recovered.truth(p, &v("euclid"), &v("bill")).unwrap(),
+            Truth::Ambiguous
+        );
+        assert_eq!(
+            recovered.truth(p, &v("gauss"), &v("bill")).unwrap(),
+            Truth::True
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_recovers_and_continues_appending() {
+        let path = tmp("continue");
+        drop(build_logged(&path));
+
+        let (mut ldb, report) = LoggedDatabase::open(&path).unwrap();
+        assert_eq!(report.applied, 9);
+        ldb.insert("teach", v("gauss"), v("math")).unwrap();
+        drop(ldb);
+
+        let (recovered, report) = replay(&path).unwrap();
+        assert_eq!(report.applied, 10);
+        let p = recovered.resolve("pupil").unwrap();
+        // gauss-john is ambiguous (<class_list, math, john> is still an
+        // ambiguous leftover of the earlier derived delete); gauss-bill is
+        // true through the NVC.
+        assert_eq!(
+            recovered.truth(p, &v("gauss"), &v("john")).unwrap(),
+            Truth::Ambiguous
+        );
+        assert_eq!(
+            recovered.truth(p, &v("gauss"), &v("bill")).unwrap(),
+            Truth::True
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let path = tmp("torn");
+        drop(build_logged(&path));
+        // Simulate a crash mid-append.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"Insert\":{\"function\":\"tea").unwrap();
+        }
+        let (recovered, report) = replay(&path).unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(report.applied, 9);
+        assert!(recovered.is_consistent());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let path = tmp("corrupt");
+        drop(build_logged(&path));
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"garbage line\n").unwrap();
+            f.write_all(
+                b"{\"Insert\":{\"function\":\"teach\",\"x\":{\"Atom\":\"a\"},\"y\":{\"Atom\":\"b\"}}}\n",
+            )
+            .unwrap();
+        }
+        assert!(replay(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_operations_are_not_logged() {
+        let path = tmp("failed_ops");
+        let mut ldb = LoggedDatabase::create(&path).unwrap();
+        ldb.declare("f", "a", "b", Functionality::OneOne).unwrap();
+        assert!(ldb.insert("ghost", v("x"), v("y")).is_err());
+        drop(ldb);
+        let (_, report) = replay(&path).unwrap();
+        assert_eq!(report.applied, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replace_round_trips_through_log() {
+        let path = tmp("replace");
+        let mut ldb = LoggedDatabase::create(&path).unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        ldb.insert("f", v("x"), v("y1")).unwrap();
+        ldb.replace("f", (v("x"), v("y1")), (v("x"), v("y2")))
+            .unwrap();
+        drop(ldb);
+        let (recovered, _) = replay(&path).unwrap();
+        let f = recovered.resolve("f").unwrap();
+        assert!(recovered.store().table(f).contains(&v("x"), &v("y2")));
+        assert!(!recovered.store().table(f).contains(&v("x"), &v("y1")));
+        std::fs::remove_file(&path).ok();
+    }
+}

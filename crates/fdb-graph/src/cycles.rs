@@ -1,0 +1,242 @@
+//! Cycle analysis for the on-line design aid.
+//!
+//! §2.2: "redundancies in the conceptual schema are characterised by cycles
+//! in the function graph". When Method 2.1 adds a function `e = (a, b)`,
+//! every cycle through `e` is a simple `a`–`b` path avoiding `e`, closed by
+//! `e` itself. For each such cycle the *candidate derived functions* are
+//! the edges whose syntactic and type-functional information agrees with
+//! the rest of the cycle (the complementary path between the edge's
+//! endpoints).
+
+use std::collections::HashSet;
+
+use fdb_types::{Derivation, FunctionId, Schema};
+
+use crate::graph::{EdgeId, FunctionGraph};
+use crate::paths::{all_simple_paths, Path, PathLimits, PathStep};
+
+/// A cycle created by the addition of `new_edge`.
+#[derive(Clone, Debug)]
+pub struct Cycle {
+    /// The edge whose insertion closed this cycle.
+    pub new_edge: EdgeId,
+    /// The complementary simple path between the new edge's endpoints.
+    pub rest: Path,
+}
+
+impl Cycle {
+    /// The edges of the cycle in cyclic order: the new edge first, then the
+    /// complementary path walked from the new edge's range back to its
+    /// domain... more precisely, `new_edge` followed by `rest`'s edges.
+    pub fn edges(&self) -> Vec<EdgeId> {
+        let mut out = Vec::with_capacity(self.rest.len() + 1);
+        out.push(self.new_edge);
+        out.extend(self.rest.steps.iter().map(|s| s.edge));
+        out
+    }
+
+    /// Length (number of edges) of the cycle.
+    pub fn len(&self) -> usize {
+        self.rest.len() + 1
+    }
+
+    /// Cycles always contain at least two edges (or one self-loop plus the
+    /// new edge), so never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The functions around the cycle, new function first.
+    pub fn functions(&self, graph: &FunctionGraph) -> Vec<FunctionId> {
+        self.edges()
+            .into_iter()
+            .map(|e| graph.edge(e).function)
+            .collect()
+    }
+
+    /// Renders the cycle as the paper does: `grade - score - cutoff`.
+    pub fn render(&self, graph: &FunctionGraph, schema: &Schema) -> String {
+        self.functions(graph)
+            .into_iter()
+            .map(|f| schema.function(f).name.clone())
+            .collect::<Vec<_>>()
+            .join(" - ")
+    }
+
+    /// The candidate derived functions of this cycle: each edge whose
+    /// declared syntax and functionality agree with the complementary path
+    /// around the cycle (§2.2). Checked "by simply traversing the cycle".
+    pub fn candidates(&self, graph: &FunctionGraph) -> Vec<FunctionId> {
+        let steps = self.oriented_steps(graph);
+        let l = steps.len();
+        let mut out = Vec::new();
+        for i in 0..l {
+            // Complementary path of edge i: the other l-1 edges, traversed
+            // from edge i's traversal source around the other way —
+            // equivalently, walk the cycle forward from i+1 … i-1 and the
+            // result leads from edge i's target back to its source; invert
+            // it to get source → target.
+            let edge = graph.edge(steps[i].edge);
+            let fwd: Vec<PathStep> = (1..l).map(|k| steps[(i + k) % l]).collect();
+            // `fwd` runs from target(steps[i]) around to source(steps[i]).
+            // Reverse it (flipping directions) to run source → target.
+            let comp: Vec<PathStep> = fwd
+                .iter()
+                .rev()
+                .map(|s| PathStep {
+                    edge: s.edge,
+                    dir: s.dir.flip(),
+                })
+                .collect();
+            let comp_path = Path {
+                start: edge.source(steps[i].dir),
+                steps: comp,
+            };
+            // Compare in traversal orientation: effective functionality of
+            // edge i along its traversal direction vs the complementary
+            // path's composed functionality. (Endpoints agree by
+            // construction.)
+            let edge_fun = edge.functionality_along(steps[i].dir);
+            if comp_path.functionality(graph) == Some(edge_fun) {
+                out.push(edge.function);
+            }
+        }
+        out
+    }
+
+    /// Derivation of the new edge's function from the rest of the cycle,
+    /// oriented domain → range of the new function.
+    pub fn derivation_of_new(&self, graph: &FunctionGraph) -> Derivation {
+        let new = graph.edge(self.new_edge);
+        // `rest` runs from new.a to new.b (it was enumerated that way), so
+        // it already is the derivation of new's function.
+        debug_assert_eq!(self.rest.start, new.a);
+        self.rest.to_derivation(graph)
+    }
+
+    /// The cycle as a list of oriented steps starting with the new edge
+    /// traversed forward (domain → range), then the complementary path
+    /// walked back from range to domain.
+    fn oriented_steps(&self, graph: &FunctionGraph) -> Vec<PathStep> {
+        let new = graph.edge(self.new_edge);
+        let mut steps = Vec::with_capacity(self.len());
+        steps.push(PathStep {
+            edge: self.new_edge,
+            dir: crate::graph::Dir::Forward,
+        });
+        // rest runs new.a → new.b; to continue the cycle from new.b back to
+        // new.a we walk rest in reverse with flipped directions.
+        steps.extend(self.rest.steps.iter().rev().map(|s| PathStep {
+            edge: s.edge,
+            dir: s.dir.flip(),
+        }));
+        let _ = new;
+        steps
+    }
+}
+
+/// Finds all cycles that the (already inserted) edge `new_edge` is part of:
+/// the simple paths between its endpoints that avoid it.
+pub fn cycles_through_edge(
+    graph: &FunctionGraph,
+    new_edge: EdgeId,
+    limits: PathLimits,
+) -> Vec<Cycle> {
+    let e = graph.edge(new_edge);
+    let excluded: HashSet<EdgeId> = [new_edge].into();
+    all_simple_paths(graph, e.a, e.b, &excluded, limits)
+        .into_iter()
+        .map(|rest| Cycle { new_edge, rest })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{schema_s1, schema_s2, Functionality, Schema};
+
+    #[test]
+    fn parallel_teach_taught_by_cycle() {
+        let s = schema_s1();
+        let g = FunctionGraph::from_schema(&s);
+        let taught_by_edge = g.edge_of(s.resolve("taught_by").unwrap()).unwrap().id;
+        let cycles = cycles_through_edge(&g, taught_by_edge, PathLimits::default());
+        assert_eq!(cycles.len(), 1);
+        let c = &cycles[0];
+        assert_eq!(c.len(), 2);
+        // Both many-many functions are candidates.
+        let cands = c.candidates(&g);
+        assert_eq!(cands.len(), 2);
+        assert!(cands.contains(&s.resolve("teach").unwrap()));
+        assert!(cands.contains(&s.resolve("taught_by").unwrap()));
+        assert_eq!(c.render(&g, &s), "taught_by - teach");
+    }
+
+    #[test]
+    fn s2_triangle_all_three_candidates() {
+        // Under pure syntax+functionality, each many-many function of S2 is
+        // a candidate — the paper's point about why UFA rejects S2.
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let lect_edge = g.edge_of(s.resolve("lecturer_of").unwrap()).unwrap().id;
+        let cycles = cycles_through_edge(&g, lect_edge, PathLimits::default());
+        assert_eq!(cycles.len(), 1);
+        let cands = cycles[0].candidates(&g);
+        assert_eq!(cands.len(), 3);
+    }
+
+    #[test]
+    fn grade_cycle_candidates_respect_functionality() {
+        // grade (many-one), score (many-one), cutoff (many-one):
+        // grade's complement score o cutoff is many-one        → candidate;
+        // score's complement grade o cutoff⁻¹ is many-many     → not;
+        // cutoff's complement score⁻¹ o grade is many-many     → not.
+        let s = schema_s1();
+        let g = FunctionGraph::from_schema(&s);
+        let grade_edge = g.edge_of(s.resolve("grade").unwrap()).unwrap().id;
+        let cycles = cycles_through_edge(&g, grade_edge, PathLimits::default());
+        assert_eq!(cycles.len(), 1);
+        let cands = cycles[0].candidates(&g);
+        assert_eq!(cands, vec![s.resolve("grade").unwrap()]);
+    }
+
+    #[test]
+    fn derivation_of_new_is_complementary_path() {
+        let s = schema_s1();
+        let g = FunctionGraph::from_schema(&s);
+        let grade_edge = g.edge_of(s.resolve("grade").unwrap()).unwrap().id;
+        let cycles = cycles_through_edge(&g, grade_edge, PathLimits::default());
+        let d = cycles[0].derivation_of_new(&g);
+        assert_eq!(d.render(&s), "score o cutoff");
+    }
+
+    #[test]
+    fn no_cycles_in_a_tree() {
+        let s = Schema::builder()
+            .function("f", "a", "b", "many-one")
+            .function("g", "b", "c", "many-one")
+            .function("h", "b", "d", "one-many")
+            .build()
+            .unwrap();
+        let g = FunctionGraph::from_schema(&s);
+        for def in s.functions() {
+            let e = g.edge_of(def.id).unwrap().id;
+            assert!(cycles_through_edge(&g, e, PathLimits::default()).is_empty());
+        }
+    }
+
+    #[test]
+    fn self_loop_pair_cycle() {
+        // Two self-loops on the same node form a 2-cycle.
+        let mut s = Schema::new();
+        s.declare("h", "a", "a", Functionality::OneOne).unwrap();
+        let k = s.declare("k", "a", "a", Functionality::OneOne).unwrap();
+        let g = FunctionGraph::from_schema(&s);
+        let k_edge = g.edge_of(k).unwrap().id;
+        let cycles = cycles_through_edge(&g, k_edge, PathLimits::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 2);
+        // Both one-one loops are candidates (inverse of one-one is one-one).
+        assert_eq!(cycles[0].candidates(&g).len(), 2);
+    }
+}

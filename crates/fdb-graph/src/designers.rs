@@ -1,0 +1,314 @@
+//! Ready-made [`Designer`] implementations.
+//!
+//! The paper's designer is a human at a terminal; tests, benches and
+//! workloads need programmable stand-ins:
+//!
+//! * [`ScriptedDesigner`] — replays a fixed list of decisions (used to
+//!   replay the §2.3 trace verbatim);
+//! * [`KeepAllDesigner`] — never removes an edge (models a designer who
+//!   always disagrees, leaving the graph cyclic);
+//! * [`FirstCandidateDesigner`] — always removes the first candidate
+//!   (a deterministic automatic policy for benchmarks);
+//! * [`OracleDesigner`] — knows the generator's ground truth and answers
+//!   the way a perfectly informed designer would; used to measure how much
+//!   designer interaction Method 2.1 needs (experiment E8) and to validate
+//!   round-trips on synthetic schemas.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use fdb_types::{Derivation, FunctionId, Schema};
+
+use crate::design::{CycleDecision, CycleReport, Designer};
+
+/// Replays scripted decisions and confirmations in order.
+///
+/// Decisions are scripted *by function name* so a script can be written
+/// before ids exist. When the decision queue is empty the designer falls
+/// back to `KeepAll` (or panics in [`strict`](ScriptedDesigner::strict)
+/// mode). Confirmations likewise fall back to `default_confirm`.
+#[derive(Debug, Default)]
+pub struct ScriptedDesigner {
+    decisions: VecDeque<ScriptedDecision>,
+    confirmations: VecDeque<bool>,
+    default_confirm: bool,
+    strict: bool,
+}
+
+#[derive(Debug)]
+enum ScriptedDecision {
+    RemoveByName(String),
+    KeepAll,
+}
+
+impl ScriptedDesigner {
+    /// A designer with empty script that keeps all cycles by default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A designer that panics if consulted at all — for asserting that a
+    /// sequence of additions creates no cycles.
+    pub fn strict() -> Self {
+        ScriptedDesigner {
+            strict: true,
+            ..Self::default()
+        }
+    }
+
+    /// Scripts the removal of the function named `name` for the next cycle.
+    pub fn push_decision_by_name(&mut self, name: &str) -> &mut Self {
+        self.decisions
+            .push_back(ScriptedDecision::RemoveByName(name.to_owned()));
+        self
+    }
+
+    /// Scripts a "keep all" (disagree) answer for the next cycle.
+    pub fn push_keep(&mut self) -> &mut Self {
+        self.decisions.push_back(ScriptedDecision::KeepAll);
+        self
+    }
+
+    /// Scripts the next derivation confirmation answer.
+    pub fn push_confirmation(&mut self, confirm: bool) -> &mut Self {
+        self.confirmations.push_back(confirm);
+        self
+    }
+
+    /// Sets the answer used when the confirmation queue runs dry.
+    pub fn default_confirm(&mut self, confirm: bool) -> &mut Self {
+        self.default_confirm = confirm;
+        self
+    }
+}
+
+impl Designer for ScriptedDesigner {
+    fn resolve_cycle(&mut self, schema: &Schema, report: &CycleReport) -> CycleDecision {
+        match self.decisions.pop_front() {
+            Some(ScriptedDecision::RemoveByName(name)) => {
+                let f = schema
+                    .resolve(&name)
+                    .unwrap_or_else(|_| panic!("scripted function {name:?} unknown"));
+                CycleDecision::Remove(f)
+            }
+            Some(ScriptedDecision::KeepAll) => CycleDecision::KeepAll,
+            None if self.strict => {
+                panic!("strict designer consulted for cycle {}", report.rendered)
+            }
+            None => CycleDecision::KeepAll,
+        }
+    }
+
+    fn confirm_derivation(
+        &mut self,
+        _schema: &Schema,
+        _function: FunctionId,
+        _derivation: &Derivation,
+    ) -> bool {
+        if self.strict {
+            panic!("strict designer asked to confirm a derivation");
+        }
+        self.confirmations
+            .pop_front()
+            .unwrap_or(self.default_confirm)
+    }
+}
+
+/// Never removes an edge; confirms every derivation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeepAllDesigner;
+
+impl Designer for KeepAllDesigner {
+    fn resolve_cycle(&mut self, _schema: &Schema, _report: &CycleReport) -> CycleDecision {
+        CycleDecision::KeepAll
+    }
+
+    fn confirm_derivation(
+        &mut self,
+        _schema: &Schema,
+        _function: FunctionId,
+        _derivation: &Derivation,
+    ) -> bool {
+        true
+    }
+}
+
+/// Always removes the first candidate of the reported cycle (preferring
+/// the newly added function when it is a candidate); confirms every
+/// derivation. Deterministic, designer-free operation for benchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FirstCandidateDesigner;
+
+impl Designer for FirstCandidateDesigner {
+    fn resolve_cycle(&mut self, _schema: &Schema, report: &CycleReport) -> CycleDecision {
+        if report.candidates.contains(&report.new_function) {
+            CycleDecision::Remove(report.new_function)
+        } else {
+            match report.candidates.first() {
+                Some(&f) => CycleDecision::Remove(f),
+                None => CycleDecision::KeepAll,
+            }
+        }
+    }
+
+    fn confirm_derivation(
+        &mut self,
+        _schema: &Schema,
+        _function: FunctionId,
+        _derivation: &Derivation,
+    ) -> bool {
+        true
+    }
+}
+
+/// A designer that knows the ground truth of a generated workload.
+///
+/// `derived` holds the names of the functions the generator constructed as
+/// redundant; the oracle removes a cycle edge iff it is a candidate and is
+/// ground-truth derived (preferring the newly added function). Derivations
+/// are confirmed against `valid_derivations` when provided (keyed by
+/// function name, value = rendered derivation strings), otherwise all are
+/// confirmed.
+#[derive(Debug, Default)]
+pub struct OracleDesigner {
+    derived: HashSet<String>,
+    valid_derivations: HashMap<String, HashSet<String>>,
+    /// Count of cycle reports received — the "dialogue cost" measured in E8.
+    pub cycles_reported: usize,
+    /// Count of derivation confirmations requested.
+    pub confirmations_requested: usize,
+}
+
+impl OracleDesigner {
+    /// Creates an oracle that knows which function names are derived.
+    pub fn new<I: IntoIterator<Item = String>>(derived: I) -> Self {
+        OracleDesigner {
+            derived: derived.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Registers the set of valid rendered derivations for a function.
+    pub fn set_valid_derivations<I: IntoIterator<Item = String>>(
+        &mut self,
+        function: &str,
+        derivations: I,
+    ) {
+        self.valid_derivations
+            .insert(function.to_owned(), derivations.into_iter().collect());
+    }
+
+    fn is_derived(&self, schema: &Schema, f: FunctionId) -> bool {
+        self.derived.contains(&schema.function(f).name)
+    }
+}
+
+impl Designer for OracleDesigner {
+    fn resolve_cycle(&mut self, schema: &Schema, report: &CycleReport) -> CycleDecision {
+        self.cycles_reported += 1;
+        if report.candidates.contains(&report.new_function)
+            && self.is_derived(schema, report.new_function)
+        {
+            return CycleDecision::Remove(report.new_function);
+        }
+        for &c in &report.candidates {
+            if self.is_derived(schema, c) {
+                return CycleDecision::Remove(c);
+            }
+        }
+        CycleDecision::KeepAll
+    }
+
+    fn confirm_derivation(
+        &mut self,
+        schema: &Schema,
+        function: FunctionId,
+        derivation: &Derivation,
+    ) -> bool {
+        self.confirmations_requested += 1;
+        let name = &schema.function(function).name;
+        match self.valid_derivations.get(name) {
+            Some(valid) => valid.contains(&derivation.render(schema)),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignSession;
+    use fdb_types::Functionality;
+
+    #[test]
+    fn oracle_removes_only_ground_truth_derived() {
+        let mut session = DesignSession::new();
+        let mut oracle = OracleDesigner::new(["taught_by".to_owned()]);
+        session
+            .add_function(
+                "teach",
+                "faculty",
+                "course",
+                Functionality::ManyMany,
+                &mut oracle,
+            )
+            .unwrap();
+        session
+            .add_function(
+                "taught_by",
+                "course",
+                "faculty",
+                Functionality::ManyMany,
+                &mut oracle,
+            )
+            .unwrap();
+        assert_eq!(oracle.cycles_reported, 1);
+        let derived = session.derived_functions();
+        assert_eq!(derived.len(), 1);
+        assert_eq!(session.schema().function(derived[0]).name, "taught_by");
+    }
+
+    #[test]
+    fn oracle_keeps_cycle_of_all_base_functions() {
+        let mut session = DesignSession::new();
+        let mut oracle = OracleDesigner::new(Vec::<String>::new());
+        session
+            .add_function("f", "a", "b", Functionality::ManyMany, &mut oracle)
+            .unwrap();
+        session
+            .add_function("g", "a", "b", Functionality::ManyMany, &mut oracle)
+            .unwrap();
+        assert!(session.derived_functions().is_empty());
+        assert_eq!(oracle.cycles_reported, 1);
+    }
+
+    #[test]
+    fn oracle_filters_derivations() {
+        let mut session = DesignSession::new();
+        let mut oracle = OracleDesigner::new(["g".to_owned()]);
+        session
+            .add_function("f", "a", "b", Functionality::ManyMany, &mut oracle)
+            .unwrap();
+        session
+            .add_function("g", "b", "a", Functionality::ManyMany, &mut oracle)
+            .unwrap();
+        oracle.set_valid_derivations("g", ["f^-1".to_owned()]);
+        let (outcome, schema) = session.finish(&mut oracle);
+        let g = schema.resolve("g").unwrap();
+        let ders = outcome.derivations_of(g).unwrap();
+        assert_eq!(ders.len(), 1);
+        assert_eq!(ders[0].render(&schema), "f^-1");
+    }
+
+    #[test]
+    #[should_panic(expected = "strict designer")]
+    fn strict_designer_panics_when_consulted() {
+        let mut session = DesignSession::new();
+        let mut strict = ScriptedDesigner::strict();
+        session
+            .add_function("f", "a", "b", Functionality::ManyMany, &mut strict)
+            .unwrap();
+        session
+            .add_function("g", "a", "b", Functionality::ManyMany, &mut strict)
+            .unwrap();
+    }
+}

@@ -1,0 +1,205 @@
+//! Syntactic and type-functional equivalence.
+//!
+//! A path is **syntactically equivalent** to a function `F : D₁ → D₂` when
+//! it leads from `D₁` to `D₂`, and **type-functionally equivalent** when
+//! its composed functionality equals `F`'s declared functionality (§2.1).
+//! Under the Unique Form Assumption these two checks *imply* semantic
+//! equivalence, which is what lets AMS classify functions purely
+//! syntactically.
+//!
+//! [`exists_equivalent_walk`] decides the existence question in
+//! `O(|E|)` time per query by a BFS over the *product graph*
+//! (node × functionality-so-far). The functionality algebra has only four
+//! elements and composition is associative, so "some walk from `D₁` to
+//! `D₂` composes to φ" is plain reachability over at most `4·|V|` states.
+//! Walks (rather than simple paths) are the right notion here: the paper's
+//! closure `⟨G⟩` allows a derivation to use the same function more than
+//! once. This product construction is what makes AMS `O(n²)` overall
+//! (Lemma 3).
+
+use std::collections::{HashSet, VecDeque};
+
+use fdb_types::{FunctionDef, Functionality, Schema, TypeId};
+
+use crate::graph::{EdgeId, FunctionGraph};
+use crate::paths::Path;
+
+/// Returns `true` if some walk (length ≥ 1) from `from` to `to`, avoiding
+/// the `excluded` edges, has composed functionality exactly `target`.
+pub fn exists_equivalent_walk(
+    graph: &FunctionGraph,
+    from: TypeId,
+    to: TypeId,
+    target: Functionality,
+    excluded: &HashSet<EdgeId>,
+) -> bool {
+    // State = (node, functionality of the walk so far). 4·|V| states.
+    let mut visited: HashSet<(TypeId, Functionality)> = HashSet::new();
+    let mut queue: VecDeque<(TypeId, Functionality)> = VecDeque::new();
+
+    // Seed with the single-edge walks out of `from` so that the empty walk
+    // is never accepted.
+    for (edge, dir, next) in graph.neighbors(from) {
+        if excluded.contains(&edge) {
+            continue;
+        }
+        let f = graph.edge(edge).functionality_along(dir);
+        if visited.insert((next, f)) {
+            queue.push_back((next, f));
+        }
+    }
+
+    while let Some((node, f)) = queue.pop_front() {
+        if node == to && f == target {
+            return true;
+        }
+        for (edge, dir, next) in graph.neighbors(node) {
+            if excluded.contains(&edge) {
+                continue;
+            }
+            let g = f.compose(graph.edge(edge).functionality_along(dir));
+            if visited.insert((next, g)) {
+                queue.push_back((next, g));
+            }
+        }
+    }
+    false
+}
+
+/// Returns `true` if `path` is syntactically and type-functionally
+/// equivalent to the function `def` — i.e. it is a *candidate derivation*
+/// of `def`.
+pub fn path_matches_function(graph: &FunctionGraph, path: &Path, def: &FunctionDef) -> bool {
+    !path.is_empty()
+        && path.start == def.domain
+        && path.end(graph) == def.range
+        && path.functionality(graph) == Some(def.functionality)
+}
+
+/// Returns `true` if the two functions are syntactically equivalent (same
+/// domain and same range type).
+pub fn syntactically_equivalent(a: &FunctionDef, b: &FunctionDef) -> bool {
+    a.domain == b.domain && a.range == b.range
+}
+
+/// Convenience: check equivalence of `def` against some walk in the graph
+/// that avoids `def`'s own edge (the AMS step-2 test for one edge).
+pub fn derivable_without_self(
+    graph: &FunctionGraph,
+    schema: &Schema,
+    def: &FunctionDef,
+    additionally_excluded: &HashSet<EdgeId>,
+) -> bool {
+    let mut excluded = additionally_excluded.clone();
+    if let Some(e) = graph.edge_of(def.id) {
+        excluded.insert(e.id);
+    }
+    let _ = schema; // schema currently unused; kept for future FD-aware checks
+    exists_equivalent_walk(graph, def.domain, def.range, def.functionality, &excluded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{all_simple_paths, PathLimits};
+    use fdb_types::{schema_s1, schema_s2, Schema};
+
+    fn none() -> HashSet<EdgeId> {
+        HashSet::new()
+    }
+
+    #[test]
+    fn taught_by_is_derivable_from_teach_inverse() {
+        let s = schema_s1();
+        let g = FunctionGraph::from_schema(&s);
+        let taught_by = s.function_by_name("taught_by").unwrap();
+        assert!(derivable_without_self(&g, &s, taught_by, &none()));
+    }
+
+    #[test]
+    fn grade_is_derivable_from_score_o_cutoff() {
+        let s = schema_s1();
+        let g = FunctionGraph::from_schema(&s);
+        let grade = s.function_by_name("grade").unwrap();
+        assert!(derivable_without_self(&g, &s, grade, &none()));
+    }
+
+    #[test]
+    fn cutoff_not_derivable_once_grade_and_score_gone() {
+        let s = schema_s1();
+        let mut g = FunctionGraph::from_schema(&s);
+        g.remove_function(s.resolve("grade").unwrap());
+        let cutoff = s.function_by_name("cutoff").unwrap();
+        // Remaining path marks -> [student;course] -> ... : score⁻¹ o grade
+        // is gone; score⁻¹ alone ends at [student; course]; no walk to
+        // letter_grade without grade. So cutoff must not be derivable.
+        assert!(!derivable_without_self(&g, &s, cutoff, &none()));
+    }
+
+    #[test]
+    fn functionality_must_match_exactly() {
+        // f: a→b many-one, g: a→b many-many. g's edge is syntactically
+        // equivalent to f but not type-functionally.
+        let mut s = Schema::new();
+        let f = s.declare("f", "a", "b", Functionality::ManyOne).unwrap();
+        s.declare("g", "a", "b", Functionality::ManyMany).unwrap();
+        let g_graph = FunctionGraph::from_schema(&s);
+        let fdef = s.function(f).clone();
+        // Excluding f itself, the only walk a→b is via g (many-many) or
+        // longer walks alternating g/g⁻¹, none of which are many-one.
+        assert!(!derivable_without_self(&g_graph, &s, &fdef, &none()));
+    }
+
+    #[test]
+    fn walks_may_reuse_functions() {
+        // h: a→a one-one. Walk h o h : a→a one-one derives a second
+        // self-loop k: a→a one-one.
+        let mut s = Schema::new();
+        s.declare("h", "a", "a", Functionality::OneOne).unwrap();
+        let k = s.declare("k", "a", "a", Functionality::OneOne).unwrap();
+        let g = FunctionGraph::from_schema(&s);
+        let kdef = s.function(k).clone();
+        assert!(derivable_without_self(&g, &s, &kdef, &none()));
+    }
+
+    #[test]
+    fn path_matches_function_checks_all_three_conditions() {
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let lecturer_of = s.function_by_name("lecturer_of").unwrap();
+        let excl: HashSet<EdgeId> = [g.edge_of(lecturer_of.id).unwrap().id].into();
+        let paths = all_simple_paths(
+            &g,
+            lecturer_of.domain,
+            lecturer_of.range,
+            &excl,
+            PathLimits::default(),
+        );
+        assert_eq!(paths.len(), 1);
+        assert!(path_matches_function(&g, &paths[0], lecturer_of));
+        // The same path does not match teach (wrong endpoints).
+        let teach = s.function_by_name("teach").unwrap();
+        assert!(!path_matches_function(&g, &paths[0], teach));
+    }
+
+    #[test]
+    fn syntactic_equivalence() {
+        let s = schema_s1();
+        let grade = s.function_by_name("grade").unwrap();
+        let score = s.function_by_name("score").unwrap();
+        let cutoff = s.function_by_name("cutoff").unwrap();
+        assert!(!syntactically_equivalent(grade, score)); // ranges differ
+        assert!(!syntactically_equivalent(grade, cutoff)); // domains differ
+        assert!(syntactically_equivalent(grade, grade));
+    }
+
+    #[test]
+    fn excluded_edges_are_respected() {
+        let s = schema_s1();
+        let g = FunctionGraph::from_schema(&s);
+        let taught_by = s.function_by_name("taught_by").unwrap();
+        let teach_edge = g.edge_of(s.resolve("teach").unwrap()).unwrap().id;
+        let excl: HashSet<EdgeId> = [teach_edge].into();
+        assert!(!derivable_without_self(&g, &s, taught_by, &excl));
+    }
+}

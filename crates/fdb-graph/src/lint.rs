@@ -1,0 +1,252 @@
+//! Schema diagnostics — a batch "design lint" over a finished schema.
+//!
+//! The on-line design aid (Method 2.1) catches redundancy as functions
+//! arrive; [`diagnose`] is the complementary *offline* sweep a reviewer
+//! runs over an existing conceptual schema: which functions are
+//! syntactically derivable from the rest (redundancy suspects, to be
+//! confirmed by a designer, per the paper's S2 lesson), which pairs are
+//! mutually derivable (pure aliases like `teach`/`taught_by`), how many
+//! cycles carry no candidate at all (benign redundancy in connectivity,
+//! like the `score - cutoff - attendance_eval - attendance` cycle of
+//! §2.3), and whether the schema splits into disconnected components.
+
+use std::collections::HashSet;
+
+use fdb_types::{FunctionId, Schema, TypeId};
+
+use crate::cycles::cycles_through_edge;
+use crate::equiv::derivable_without_self;
+use crate::graph::FunctionGraph;
+use crate::paths::PathLimits;
+
+/// The result of a diagnostic sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaDiagnostics {
+    /// Functions syntactically + type-functionally derivable from the
+    /// rest of the schema. Under the UFA these *are* derived; without it
+    /// they are suspects for the designer.
+    pub derivable: Vec<FunctionId>,
+    /// Unordered pairs that are each derivable from the other alone
+    /// (parallel equivalent edges — alias pairs).
+    pub mutually_derivable_pairs: Vec<(FunctionId, FunctionId)>,
+    /// Simple cycles with no candidate derived function: connectivity
+    /// redundancy the design aid cannot break (capped enumeration).
+    pub candidate_free_cycles: usize,
+    /// Total simple cycles found (capped enumeration).
+    pub cycles: usize,
+    /// Connected components of the function graph (0 for an empty graph).
+    pub components: usize,
+}
+
+impl SchemaDiagnostics {
+    /// `true` when nothing suspicious was found.
+    pub fn is_clean(&self) -> bool {
+        self.derivable.is_empty() && self.cycles == 0
+    }
+}
+
+/// Runs the diagnostic sweep. Cycle enumeration is capped by `limits`.
+pub fn diagnose(schema: &Schema, limits: PathLimits) -> SchemaDiagnostics {
+    let graph = FunctionGraph::from_schema(schema);
+    let mut out = SchemaDiagnostics::default();
+
+    // Derivable functions.
+    for def in schema.functions() {
+        if derivable_without_self(&graph, schema, def, &HashSet::new()) {
+            out.derivable.push(def.id);
+        }
+    }
+
+    // Mutually derivable pairs: each derivable using only the other.
+    let all_edges: Vec<_> = graph.edges().map(|e| e.id).collect();
+    for (i, def_a) in schema.functions().iter().enumerate() {
+        for def_b in schema.functions().iter().skip(i + 1) {
+            let only = |keep: FunctionId| -> HashSet<_> {
+                all_edges
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        let f = graph.edge(e).function;
+                        f != keep && f != def_a.id && f != def_b.id
+                    })
+                    .collect()
+            };
+            // a derivable from {b} alone, and b derivable from {a} alone.
+            let a_from_b = derivable_without_self(&graph, schema, def_a, &only(def_b.id));
+            let b_from_a = derivable_without_self(&graph, schema, def_b, &only(def_a.id));
+            if a_from_b && b_from_a {
+                out.mutually_derivable_pairs.push((def_a.id, def_b.id));
+            }
+        }
+    }
+
+    // Cycles (deduplicated by edge set) and candidate-free cycles.
+    let mut seen: HashSet<Vec<crate::graph::EdgeId>> = HashSet::new();
+    for def in schema.functions() {
+        let Some(edge) = graph.edge_of(def.id) else {
+            continue;
+        };
+        for cycle in cycles_through_edge(&graph, edge.id, limits) {
+            let mut key = cycle.edges();
+            key.sort_unstable();
+            if !seen.insert(key) {
+                continue;
+            }
+            out.cycles += 1;
+            if cycle.candidates(&graph).is_empty() {
+                out.candidate_free_cycles += 1;
+            }
+        }
+    }
+
+    // Connected components.
+    let nodes = graph.nodes();
+    let mut unvisited: HashSet<TypeId> = nodes.iter().copied().collect();
+    while let Some(&start) = unvisited.iter().next() {
+        out.components += 1;
+        let mut stack = vec![start];
+        unvisited.remove(&start);
+        while let Some(n) = stack.pop() {
+            for (_, _, next) in graph.neighbors(n) {
+                if unvisited.remove(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders diagnostics for human consumption.
+pub fn render_diagnostics(schema: &Schema, d: &SchemaDiagnostics) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let name = |f: FunctionId| schema.function(f).name.clone();
+    if d.is_clean() {
+        let _ = writeln!(out, "no redundancy suspects found");
+    }
+    if !d.derivable.is_empty() {
+        let names: Vec<_> = d.derivable.iter().map(|&f| name(f)).collect();
+        let _ = writeln!(
+            out,
+            "derivable from the rest (designer should confirm): {}",
+            names.join(", ")
+        );
+    }
+    for &(a, b) in &d.mutually_derivable_pairs {
+        let _ = writeln!(out, "alias pair: {} <-> {}", name(a), name(b));
+    }
+    let _ = writeln!(
+        out,
+        "cycles: {} ({} without any candidate derived function)",
+        d.cycles, d.candidate_free_cycles
+    );
+    let _ = writeln!(out, "connected components: {}", d.components);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{schema_s1, schema_s2};
+
+    #[test]
+    fn s1_diagnostics() {
+        let s1 = schema_s1();
+        let d = diagnose(&s1, PathLimits::default());
+        // grade, teach, taught_by are all derivable from the rest.
+        let names: Vec<_> = d
+            .derivable
+            .iter()
+            .map(|&f| s1.function(f).name.as_str())
+            .collect();
+        assert!(names.contains(&"grade"));
+        assert!(names.contains(&"teach"));
+        assert!(names.contains(&"taught_by"));
+        assert!(!names.contains(&"score"));
+        // teach <-> taught_by is the alias pair.
+        assert_eq!(d.mutually_derivable_pairs.len(), 1);
+        let (a, b) = d.mutually_derivable_pairs[0];
+        let mut pair = [s1.function(a).name.as_str(), s1.function(b).name.as_str()];
+        pair.sort_unstable();
+        assert_eq!(pair, ["taught_by", "teach"]);
+        // The graph has two components: the grading side and the
+        // faculty/course side.
+        assert_eq!(d.components, 2);
+        assert!(d.cycles >= 2);
+    }
+
+    #[test]
+    fn s2_triangle_diagnostics() {
+        let s2 = schema_s2();
+        let d = diagnose(&s2, PathLimits::default());
+        assert_eq!(d.derivable.len(), 3, "every S2 function looks derivable");
+        assert!(d.mutually_derivable_pairs.is_empty(), "no 1-1 alias pairs");
+        assert_eq!(d.cycles, 1);
+        assert_eq!(d.candidate_free_cycles, 0);
+        assert_eq!(d.components, 1);
+    }
+
+    #[test]
+    fn clean_tree_is_clean() {
+        let schema = fdb_types::Schema::builder()
+            .function("f", "a", "b", "many-one")
+            .function("g", "b", "c", "one-many")
+            .build()
+            .unwrap();
+        let d = diagnose(&schema, PathLimits::default());
+        assert!(d.is_clean());
+        assert_eq!(d.components, 1);
+        let text = render_diagnostics(&schema, &d);
+        assert!(text.contains("no redundancy suspects"));
+    }
+
+    #[test]
+    fn university_design_schema_diagnostics() {
+        // The full §2.3 schema before any design decision: grade,
+        // taught_by, lecturer_of are derivable; the candidate-free
+        // 4-cycle exists once grade is considered present.
+        let mut schema = fdb_types::Schema::new();
+        for (n, d, r, f) in fdb_workload_like() {
+            schema.declare(n, d, r, f.parse().unwrap()).unwrap();
+        }
+        let diag = diagnose(&schema, PathLimits::default());
+        let names: Vec<_> = diag
+            .derivable
+            .iter()
+            .map(|&f| schema.function(f).name.as_str())
+            .collect();
+        assert!(names.contains(&"taught_by"));
+        assert!(names.contains(&"lecturer_of"));
+        assert!(names.contains(&"grade"));
+        assert!(diag.candidate_free_cycles >= 1);
+        let text = render_diagnostics(&schema, &diag);
+        assert!(text.contains("alias pair: teach <-> taught_by"));
+    }
+
+    /// The §2.3 declarations (duplicated from fdb-workload to avoid a
+    /// dependency cycle).
+    fn fdb_workload_like() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
+        vec![
+            ("teach", "faculty", "course", "many-many"),
+            ("taught_by", "course", "faculty", "many-many"),
+            ("class_list", "course", "student", "many-many"),
+            ("lecturer_of", "student", "faculty", "many-many"),
+            ("grade", "[student; course]", "letter_grade", "many-one"),
+            (
+                "attendance",
+                "[student; course]",
+                "attn_percentage",
+                "many-one",
+            ),
+            (
+                "attendance_eval",
+                "attn_percentage",
+                "letter_grade",
+                "many-one",
+            ),
+            ("score", "[student; course]", "marks", "many-one"),
+            ("cutoff", "marks", "letter_grade", "many-one"),
+        ]
+    }
+}

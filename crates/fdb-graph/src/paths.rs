@@ -1,0 +1,363 @@
+//! Simple-path enumeration over the function graph.
+//!
+//! Derivations of a derived function correspond to paths between the
+//! function's domain and range nodes (§2.2: "To obtain the derivations of
+//! a derived function the system will first find all paths between its
+//! pair of nodes"). Cycle analysis (§2.2 Method 2.1) also reduces to path
+//! enumeration: the cycles created by adding edge `e = (a, b)` are exactly
+//! the simple `a`–`b` paths that avoid `e`.
+//!
+//! Enumeration is exponential in the worst case — the paper itself notes
+//! that "addition of an edge may result in an exponential number of
+//! cycles" — so every entry point takes [`PathLimits`] caps.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use fdb_types::{Derivation, Functionality, Schema, Step, TypeId};
+
+use crate::graph::{Dir, EdgeId, FunctionGraph};
+
+/// One traversal step of a path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The edge traversed.
+    pub edge: EdgeId,
+    /// Direction of traversal relative to the edge's declared orientation.
+    pub dir: Dir,
+}
+
+/// A path in the function graph: a start node plus traversal steps.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Path {
+    /// The node the path departs from.
+    pub start: TypeId,
+    /// The steps, in traversal order.
+    pub steps: Vec<PathStep>,
+}
+
+impl Path {
+    /// Number of edges in the path.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the path has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The node the path arrives at.
+    pub fn end(&self, graph: &FunctionGraph) -> TypeId {
+        self.steps
+            .last()
+            .map_or(self.start, |s| graph.edge(s.edge).target(s.dir))
+    }
+
+    /// The node sequence `D_{i₁}, …, D_{i_k}` of the path.
+    pub fn nodes(&self, graph: &FunctionGraph) -> Vec<TypeId> {
+        let mut nodes = Vec::with_capacity(self.steps.len() + 1);
+        nodes.push(self.start);
+        for s in &self.steps {
+            nodes.push(graph.edge(s.edge).target(s.dir));
+        }
+        nodes
+    }
+
+    /// Composed type functionality of the path (inverse functionality for
+    /// edges traversed backwards).
+    pub fn functionality(&self, graph: &FunctionGraph) -> Option<Functionality> {
+        self.steps
+            .iter()
+            .map(|s| graph.edge(s.edge).functionality_along(s.dir))
+            .reduce(Functionality::compose)
+    }
+
+    /// Converts the path into the derivation expression it denotes:
+    /// a forward traversal is `identity F`, a backward one `inverse F`.
+    pub fn to_derivation(&self, graph: &FunctionGraph) -> Derivation {
+        let steps = self
+            .steps
+            .iter()
+            .map(|s| {
+                let f = graph.edge(s.edge).function;
+                match s.dir {
+                    Dir::Forward => Step::identity(f),
+                    Dir::Backward => Step::inverse(f),
+                }
+            })
+            .collect();
+        Derivation::new(steps).expect("paths used as derivations are non-empty")
+    }
+
+    /// Renders the path as the paper prints cycles:
+    /// `teach - class_list - lecturer_of` (function names in step order).
+    pub fn render(&self, graph: &FunctionGraph, schema: &Schema) -> String {
+        self.steps
+            .iter()
+            .map(|s| schema.function(graph.edge(s.edge).function).name.clone())
+            .collect::<Vec<_>>()
+            .join(" - ")
+    }
+
+    /// The multiset of edge ids, sorted — used to deduplicate closed walks
+    /// discovered in both rotational directions.
+    pub fn edge_key(&self) -> Vec<EdgeId> {
+        let mut ids: Vec<EdgeId> = self.steps.iter().map(|s| s.edge).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Caps on path enumeration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PathLimits {
+    /// Maximum number of edges in a path.
+    pub max_len: usize,
+    /// Maximum number of paths returned.
+    pub max_paths: usize,
+}
+
+impl Default for PathLimits {
+    fn default() -> Self {
+        PathLimits {
+            max_len: 64,
+            max_paths: 10_000,
+        }
+    }
+}
+
+impl PathLimits {
+    /// Effectively unlimited enumeration (used by the exponential-growth
+    /// benchmark, E8).
+    pub fn unbounded() -> Self {
+        PathLimits {
+            max_len: usize::MAX,
+            max_paths: usize::MAX,
+        }
+    }
+}
+
+/// Enumerates the node-simple paths from `from` to `to` that avoid the
+/// `excluded` edges.
+///
+/// "Node-simple" means no intermediate node repeats; when `from == to` the
+/// start node may be revisited exactly once, at the end, so the result is
+/// the set of simple cycles through `from` (each cycle reported once even
+/// though the DFS discovers it in both rotational directions).
+///
+/// Paths have at least one edge; the empty path is never returned.
+pub fn all_simple_paths(
+    graph: &FunctionGraph,
+    from: TypeId,
+    to: TypeId,
+    excluded: &HashSet<EdgeId>,
+    limits: PathLimits,
+) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut visited: HashSet<TypeId> = HashSet::new();
+    visited.insert(from);
+    let mut steps: Vec<PathStep> = Vec::new();
+    let mut seen_keys: HashSet<Vec<EdgeId>> = HashSet::new();
+    let closed = from == to;
+    dfs(
+        graph,
+        from,
+        to,
+        excluded,
+        limits,
+        &mut visited,
+        &mut steps,
+        &mut out,
+        &mut seen_keys,
+        closed,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    graph: &FunctionGraph,
+    cur: TypeId,
+    goal: TypeId,
+    excluded: &HashSet<EdgeId>,
+    limits: PathLimits,
+    visited: &mut HashSet<TypeId>,
+    steps: &mut Vec<PathStep>,
+    out: &mut Vec<Path>,
+    seen_keys: &mut HashSet<Vec<EdgeId>>,
+    closed: bool,
+) {
+    if out.len() >= limits.max_paths || steps.len() >= limits.max_len {
+        return;
+    }
+    // Collect incidences first: `neighbors` borrows the graph immutably and
+    // the recursion only needs the tuple data.
+    let incidences: Vec<(EdgeId, Dir, TypeId)> = graph.neighbors(cur).collect();
+    for (edge, dir, next) in incidences {
+        if out.len() >= limits.max_paths {
+            return;
+        }
+        if excluded.contains(&edge) || steps.iter().any(|s| s.edge == edge) {
+            continue;
+        }
+        if next == goal {
+            steps.push(PathStep { edge, dir });
+            let path = Path {
+                start: path_start(goal, steps, graph),
+                steps: steps.clone(),
+            };
+            // Closed walks are discovered in both rotational directions;
+            // deduplicate by edge multiset.
+            if !closed || seen_keys.insert(path.edge_key()) {
+                out.push(path);
+            }
+            steps.pop();
+            // A goal that is not the start may still be passed through? No:
+            // node-simple paths end at the first arrival at the goal.
+            continue;
+        }
+        if visited.contains(&next) {
+            continue;
+        }
+        visited.insert(next);
+        steps.push(PathStep { edge, dir });
+        dfs(
+            graph, next, goal, excluded, limits, visited, steps, out, seen_keys, closed,
+        );
+        steps.pop();
+        visited.remove(&next);
+    }
+}
+
+fn path_start(goal: TypeId, steps: &[PathStep], graph: &FunctionGraph) -> TypeId {
+    steps
+        .first()
+        .map_or(goal, |s| graph.edge(s.edge).source(s.dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{schema_s1, schema_s2, Op};
+
+    fn no_excl() -> HashSet<EdgeId> {
+        HashSet::new()
+    }
+
+    #[test]
+    fn parallel_edges_give_two_paths() {
+        let s = schema_s1();
+        let g = FunctionGraph::from_schema(&s);
+        let faculty = s.types().lookup("faculty").unwrap();
+        let course = s.types().lookup("course").unwrap();
+        let paths = all_simple_paths(&g, faculty, course, &no_excl(), PathLimits::default());
+        // teach forward, taught_by backward.
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.len(), 1);
+            assert_eq!(p.end(&g), course);
+        }
+    }
+
+    #[test]
+    fn s1_grade_paths() {
+        let s = schema_s1();
+        let g = FunctionGraph::from_schema(&s);
+        let grade = s.function_by_name("grade").unwrap();
+        // Exclude the grade edge itself, as AMS step 2 does.
+        let grade_edge = g.edge_of(grade.id).unwrap().id;
+        let excl: HashSet<EdgeId> = [grade_edge].into();
+        let paths = all_simple_paths(&g, grade.domain, grade.range, &excl, PathLimits::default());
+        // Only score o cutoff remains.
+        assert_eq!(paths.len(), 1);
+        let d = paths[0].to_derivation(&g);
+        assert_eq!(d.render(&s), "score o cutoff");
+        assert_eq!(paths[0].functionality(&g), Some(Functionality::ManyOne));
+    }
+
+    #[test]
+    fn s2_triangle_paths_use_inverses() {
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let lecturer_of = s.function_by_name("lecturer_of").unwrap();
+        let excl: HashSet<EdgeId> = [g.edge_of(lecturer_of.id).unwrap().id].into();
+        let paths = all_simple_paths(
+            &g,
+            lecturer_of.domain,
+            lecturer_of.range,
+            &excl,
+            PathLimits::default(),
+        );
+        assert_eq!(paths.len(), 1);
+        let d = paths[0].to_derivation(&g);
+        assert_eq!(d.render(&s), "class_list^-1 o teach^-1");
+        assert_eq!(d.steps()[0].op, Op::Inverse);
+    }
+
+    #[test]
+    fn closed_walks_deduplicated() {
+        // Triangle: cycles through a node found once, not once per direction.
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let faculty = s.types().lookup("faculty").unwrap();
+        let cycles = all_simple_paths(&g, faculty, faculty, &no_excl(), PathLimits::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 3);
+    }
+
+    #[test]
+    fn limits_cap_enumeration() {
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let faculty = s.types().lookup("faculty").unwrap();
+        let course = s.types().lookup("course").unwrap();
+        let limits = PathLimits {
+            max_len: 1,
+            max_paths: 10,
+        };
+        let paths = all_simple_paths(&g, faculty, course, &no_excl(), limits);
+        assert_eq!(paths.len(), 1); // the 2-edge path is cut off
+        let limits = PathLimits {
+            max_len: 8,
+            max_paths: 1,
+        };
+        let paths = all_simple_paths(&g, faculty, course, &no_excl(), limits);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn nodes_and_render() {
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let student = s.types().lookup("student").unwrap();
+        let faculty = s.types().lookup("faculty").unwrap();
+        let lecturer_edge = g.edge_of(s.resolve("lecturer_of").unwrap()).unwrap().id;
+        let excl: HashSet<EdgeId> = [lecturer_edge].into();
+        let paths = all_simple_paths(&g, student, faculty, &excl, PathLimits::default());
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        let nodes = p.nodes(&g);
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0], student);
+        assert_eq!(nodes[2], faculty);
+        assert_eq!(p.render(&g, &s), "class_list - teach");
+    }
+
+    #[test]
+    fn self_loop_cycle_found_once() {
+        let mut s = Schema::new();
+        let f = s
+            .declare("mentor", "person", "person", Functionality::ManyMany)
+            .unwrap();
+        let mut g = FunctionGraph::new();
+        g.add_function(&s, f);
+        let person = s.types().lookup("person").unwrap();
+        let cycles = all_simple_paths(&g, person, person, &no_excl(), PathLimits::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 1);
+    }
+
+    use fdb_types::Schema;
+}

@@ -1,0 +1,219 @@
+//! Human-readable rendering of graphs, cycles and design sessions.
+//!
+//! The `design_aid` example uses these helpers to print the dynamic
+//! function graph the way Figure 1 of the paper presents it: one line per
+//! edge, `domain --name--> range`, plus the base/derived summary.
+
+use std::fmt::Write as _;
+
+use fdb_types::{FunctionId, Schema};
+
+use crate::design::{CycleDecision, DesignEvent, DesignOutcome, DesignSession};
+use crate::graph::FunctionGraph;
+
+/// Renders the live edges of the function graph, one per line, sorted by
+/// function declaration order.
+pub fn render_graph(graph: &FunctionGraph, schema: &Schema) -> String {
+    let mut out = String::new();
+    for edge in graph.edges() {
+        let def = schema.function(edge.function);
+        let _ = writeln!(
+            out,
+            "{} --{}--> {}  ({})",
+            schema.type_name(edge.a),
+            def.name,
+            schema.type_name(edge.b),
+            def.functionality
+        );
+    }
+    out
+}
+
+/// Renders the live function graph as Graphviz DOT, for visual inspection
+/// of the Figure 1 state (`dot -Tpng` renders it).
+pub fn render_dot(graph: &FunctionGraph, schema: &Schema) -> String {
+    let mut out = String::from("digraph function_graph {\n  rankdir=LR;\n");
+    let mut nodes: Vec<_> = graph.nodes();
+    nodes.sort_unstable();
+    for n in nodes {
+        let _ = writeln!(out, "  \"{}\";", schema.type_name(n));
+    }
+    for edge in graph.edges() {
+        let def = schema.function(edge.function);
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{} ({})\"];",
+            schema.type_name(edge.a),
+            schema.type_name(edge.b),
+            def.name,
+            def.functionality
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the current base/derived split of a design session.
+pub fn render_session_summary(session: &DesignSession) -> String {
+    let schema = session.schema();
+    let names = |fs: &[FunctionId]| -> String {
+        fs.iter()
+            .map(|&f| schema.function(f).name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "base functions: {}\nderived functions: {}\n",
+        names(&session.base_functions()),
+        names(&session.derived_functions())
+    )
+}
+
+/// Renders the session's audit log as a numbered transcript.
+pub fn render_log(session: &DesignSession) -> String {
+    let schema = session.schema();
+    let mut out = String::new();
+    for (i, event) in session.log().iter().enumerate() {
+        match event {
+            DesignEvent::Added(f) => {
+                let _ = writeln!(out, "{:>3}. added {}", i + 1, schema.render_def(*f));
+            }
+            DesignEvent::CycleResolved { report, decision } => {
+                let cands = report
+                    .candidates
+                    .iter()
+                    .map(|&f| schema.function(f).name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let action = match decision {
+                    CycleDecision::Remove(f) => {
+                        format!("designer removed {}", schema.function(*f).name)
+                    }
+                    CycleDecision::KeepAll => "designer kept all edges".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>3}. cycle {} | candidates: [{}] | {}",
+                    i + 1,
+                    report.rendered,
+                    cands,
+                    action
+                );
+            }
+            DesignEvent::CyclesTruncated {
+                new_function,
+                reported,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{:>3}. WARNING: cycle enumeration for {} truncated after {} cycles",
+                    i + 1,
+                    schema.function(*new_function).name,
+                    reported
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a finished design outcome: the base functions and, for each
+/// derived function, its confirmed derivations the way §2.3 lists them
+/// (`taught_by = teach^-1`).
+pub fn render_outcome(outcome: &DesignOutcome, schema: &Schema) -> String {
+    let mut out = String::new();
+    let base_names = outcome
+        .base
+        .iter()
+        .map(|&f| schema.function(f).name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "base: {base_names}");
+    for (f, ders) in &outcome.derived {
+        let name = &schema.function(*f).name;
+        if ders.is_empty() {
+            let _ = writeln!(out, "{name} = <no confirmed derivation>");
+        }
+        for d in ders {
+            let _ = writeln!(out, "{name} = {}", d.render(schema));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignSession;
+    use crate::designers::{KeepAllDesigner, ScriptedDesigner};
+    use fdb_types::Functionality;
+
+    fn session_with_pair() -> DesignSession {
+        let mut s = DesignSession::new();
+        let mut keep = KeepAllDesigner;
+        s.add_function(
+            "teach",
+            "faculty",
+            "course",
+            Functionality::ManyMany,
+            &mut keep,
+        )
+        .unwrap();
+        let mut script = ScriptedDesigner::new();
+        script.push_decision_by_name("taught_by");
+        s.add_function(
+            "taught_by",
+            "course",
+            "faculty",
+            Functionality::ManyMany,
+            &mut script,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn graph_rendering_lists_live_edges() {
+        let s = session_with_pair();
+        let text = render_graph(s.graph(), s.schema());
+        assert!(text.contains("faculty --teach--> course"));
+        assert!(!text.contains("taught_by"));
+    }
+
+    #[test]
+    fn summary_splits_base_and_derived() {
+        let s = session_with_pair();
+        let text = render_session_summary(&s);
+        assert!(text.contains("base functions: teach"));
+        assert!(text.contains("derived functions: taught_by"));
+    }
+
+    #[test]
+    fn log_mentions_cycle_and_decision() {
+        let s = session_with_pair();
+        let text = render_log(&s);
+        assert!(text.contains("cycle taught_by - teach"));
+        assert!(text.contains("designer removed taught_by"));
+    }
+
+    #[test]
+    fn dot_rendering_is_wellformed() {
+        let s = session_with_pair();
+        let dot = render_dot(s.graph(), s.schema());
+        assert!(dot.starts_with("digraph function_graph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("\"faculty\" -> \"course\" [label=\"teach (many-many)\"];"));
+        assert!(!dot.contains("taught_by")); // removed edge not rendered
+    }
+
+    #[test]
+    fn outcome_rendering_lists_derivations() {
+        let s = session_with_pair();
+        let mut confirm = ScriptedDesigner::new();
+        confirm.default_confirm(true);
+        let (outcome, schema) = s.finish(&mut confirm);
+        let text = render_outcome(&outcome, &schema);
+        assert!(text.contains("base: teach"));
+        assert!(text.contains("taught_by = teach^-1"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Property-based tests for the §2 machinery (experiment E12).
+//!
+//! These check the structural content of Lemma 2 (AMS output covers the
+//! schema and is minimal) and the invariants of path enumeration and the
+//! design session on randomly generated schemas.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use fdb_graph::designers::FirstCandidateDesigner;
+use fdb_graph::{
+    all_simple_paths, cycles_through_edge, exists_equivalent_walk, minimal_schema, DesignSession,
+    FunctionGraph, PathLimits,
+};
+use fdb_types::{Functionality, Schema};
+
+/// A compact description of a random schema: functions as
+/// (domain_index, range_index, functionality_index).
+fn arb_schema(max_types: usize, max_funs: usize) -> impl Strategy<Value = Schema> {
+    (1..=max_types).prop_flat_map(move |ntypes| {
+        proptest::collection::vec((0..ntypes, 0..ntypes, 0..4usize), 0..=max_funs).prop_map(
+            move |funs| {
+                let mut schema = Schema::new();
+                for (i, (d, r, f)) in funs.into_iter().enumerate() {
+                    schema
+                        .declare(
+                            &format!("f{i}"),
+                            &format!("t{d}"),
+                            &format!("t{r}"),
+                            Functionality::ALL[f],
+                        )
+                        .expect("generated names are unique");
+                }
+                schema
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lemma 2, coverage half: every function of S is base or derivable
+    /// from the base functions.
+    #[test]
+    fn ams_output_covers_schema(schema in arb_schema(6, 10)) {
+        let out = minimal_schema(&schema);
+        let mut minimal_graph = FunctionGraph::from_schema(&schema);
+        for d in &out.derived {
+            minimal_graph.remove_function(d.function);
+        }
+        for d in &out.derived {
+            let def = schema.function(d.function);
+            prop_assert!(
+                exists_equivalent_walk(
+                    &minimal_graph,
+                    def.domain,
+                    def.range,
+                    def.functionality,
+                    &HashSet::new(),
+                ),
+                "derived {} not derivable from the minimal schema",
+                def.name
+            );
+        }
+    }
+
+    /// Lemma 2, minimality half: no base function is derivable from the
+    /// other base functions.
+    #[test]
+    fn ams_output_is_minimal(schema in arb_schema(6, 10)) {
+        let out = minimal_schema(&schema);
+        let mut minimal_graph = FunctionGraph::from_schema(&schema);
+        for d in &out.derived {
+            minimal_graph.remove_function(d.function);
+        }
+        for &b in &out.base {
+            let def = schema.function(b);
+            let own_edge = minimal_graph.edge_of(b).expect("base edge alive").id;
+            let excl: HashSet<_> = [own_edge].into();
+            prop_assert!(
+                !exists_equivalent_walk(
+                    &minimal_graph,
+                    def.domain,
+                    def.range,
+                    def.functionality,
+                    &excl,
+                ),
+                "base {} is derivable from the rest: M is not minimal",
+                def.name
+            );
+        }
+    }
+
+    /// AMS partitions the schema: base ∪ derived = S, base ∩ derived = ∅.
+    #[test]
+    fn ams_partitions_schema(schema in arb_schema(6, 10)) {
+        let out = minimal_schema(&schema);
+        let base: HashSet<_> = out.base.iter().copied().collect();
+        let derived: HashSet<_> = out.derived.iter().map(|d| d.function).collect();
+        prop_assert!(base.is_disjoint(&derived));
+        prop_assert_eq!(base.len() + derived.len(), schema.len());
+    }
+
+    /// Every extracted derivation is well-formed: endpoints and composed
+    /// functionality equal the derived function's declaration, and all
+    /// steps are base functions.
+    #[test]
+    fn ams_derivations_are_well_formed(schema in arb_schema(6, 10)) {
+        let out = minimal_schema(&schema);
+        for d in &out.derived {
+            let def = schema.function(d.function);
+            for der in &d.derivations {
+                let (dom, rng) = der.endpoints(&schema).expect("derivation chains");
+                prop_assert_eq!((dom, rng), (def.domain, def.range));
+                prop_assert_eq!(der.functionality(&schema), def.functionality);
+                for step in der.steps() {
+                    prop_assert!(out.is_base(step.function));
+                }
+            }
+        }
+    }
+
+    /// Path enumeration returns node-simple paths with correct endpoints
+    /// that honour exclusions.
+    #[test]
+    fn simple_paths_are_simple_and_correct(schema in arb_schema(5, 8)) {
+        let graph = FunctionGraph::from_schema(&schema);
+        let nodes = graph.nodes();
+        if nodes.len() < 2 {
+            return Ok(());
+        }
+        let from = nodes[0];
+        let to = nodes[nodes.len() - 1];
+        let excluded: HashSet<_> = graph
+            .edges()
+            .take(1)
+            .map(|e| e.id)
+            .collect();
+        for p in all_simple_paths(&graph, from, to, &excluded, PathLimits::default()) {
+            prop_assert_eq!(p.start, from);
+            prop_assert_eq!(p.end(&graph), to);
+            for s in &p.steps {
+                prop_assert!(!excluded.contains(&s.edge));
+            }
+            // Node-simplicity: interior nodes never repeat.
+            let ns = p.nodes(&graph);
+            let interior = &ns[..ns.len() - 1];
+            let uniq: HashSet<_> = interior.iter().collect();
+            prop_assert_eq!(uniq.len(), interior.len());
+        }
+    }
+
+    /// Cycles through an edge really contain that edge's endpoints as a
+    /// connected closed walk, and every candidate's complementary path is
+    /// equivalent by construction.
+    #[test]
+    fn cycles_are_closed_and_candidates_are_sound(schema in arb_schema(5, 8)) {
+        let graph = FunctionGraph::from_schema(&schema);
+        for edge in graph.edges() {
+            for cycle in cycles_through_edge(&graph, edge.id, PathLimits { max_len: 8, max_paths: 64 }) {
+                prop_assert_eq!(cycle.rest.start, edge.a);
+                prop_assert_eq!(cycle.rest.end(&graph), edge.b);
+                // Every candidate is a function on the cycle.
+                let fs = cycle.functions(&graph);
+                for c in cycle.candidates(&graph) {
+                    prop_assert!(fs.contains(&c));
+                }
+            }
+        }
+    }
+
+    /// A design session driven by `FirstCandidateDesigner` always
+    /// partitions the declared functions into base + derived, and every
+    /// base function still has a live edge.
+    #[test]
+    fn design_session_partitions(schema in arb_schema(5, 8)) {
+        let mut session = DesignSession::new();
+        let mut designer = FirstCandidateDesigner;
+        for def in schema.functions() {
+            session
+                .add_function(
+                    &def.name,
+                    schema.type_name(def.domain),
+                    schema.type_name(def.range),
+                    def.functionality,
+                    &mut designer,
+                )
+                .unwrap();
+        }
+        let base = session.base_functions();
+        let derived = session.derived_functions();
+        prop_assert_eq!(base.len() + derived.len(), schema.len());
+        for f in base {
+            prop_assert!(session.graph().edge_of(f).is_some());
+        }
+        for f in derived {
+            prop_assert!(session.graph().edge_of(f).is_none());
+        }
+    }
+
+    /// AMS is idempotent: running it on (a schema isomorphic to) its own
+    /// minimal schema classifies everything base.
+    #[test]
+    fn ams_is_idempotent_on_minimal_schema(schema in arb_schema(6, 10)) {
+        let out = minimal_schema(&schema);
+        let mut reduced = Schema::new();
+        for &f in &out.base {
+            let def = schema.function(f);
+            reduced
+                .declare(
+                    &def.name,
+                    schema.type_name(def.domain),
+                    schema.type_name(def.range),
+                    def.functionality,
+                )
+                .unwrap();
+        }
+        let out2 = minimal_schema(&reduced);
+        prop_assert!(out2.derived.is_empty(),
+            "minimal schema was further reducible: {:?}",
+            out2.derived.iter().map(|d| &reduced.function(d.function).name).collect::<Vec<_>>());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every enumerated minimal schema is covering and minimal, and the
+    /// greedy AMS result is always among the enumerated set.
+    #[test]
+    fn enumerated_minimal_schemas_are_sound(schema in arb_schema(4, 7)) {
+        let all = fdb_graph::all_minimal_schemas(&schema, 256);
+        prop_assert!(!all.is_empty(), "at least one minimal schema exists");
+        for base in &all {
+            let mut graph = FunctionGraph::from_schema(&schema);
+            for def in schema.functions() {
+                if !base.contains(&def.id) {
+                    graph.remove_function(def.id);
+                }
+            }
+            // Coverage: every non-base function derivable from base.
+            for def in schema.functions() {
+                if base.contains(&def.id) {
+                    continue;
+                }
+                prop_assert!(exists_equivalent_walk(
+                    &graph, def.domain, def.range, def.functionality, &HashSet::new(),
+                ));
+            }
+            // Minimality: no base function derivable from the others.
+            for &b in base {
+                let def = schema.function(b);
+                let own = graph.edge_of(b).unwrap().id;
+                let excl: HashSet<_> = [own].into();
+                prop_assert!(!exists_equivalent_walk(
+                    &graph, def.domain, def.range, def.functionality, &excl,
+                ));
+            }
+        }
+        // AMS's answer appears in the enumeration.
+        let ams: Vec<_> = minimal_schema(&schema).base;
+        prop_assert!(all.contains(&ams));
+    }
+}

@@ -1,0 +1,178 @@
+//! Cross-validation of the product-graph reachability check.
+//!
+//! `exists_equivalent_walk` is the `O(|E|)` primitive that makes AMS
+//! quadratic (Lemma 3). Its specification: *some walk of length ≥ 1 from
+//! `from` to `to` composes to exactly the target functionality*. This
+//! suite validates it against a brute-force walk enumerator with a bound
+//! of `4·|V|` edges — sufficient because a shortest witness never repeats
+//! a (node, functionality) state, of which there are at most `4·|V|`.
+//!
+//! Note walks, not simple paths: the closure `⟨G⟩` of §2.1 allows a
+//! derivation to reuse functions, and the two notions genuinely differ —
+//! one of the tests below exhibits a functionality reachable only by
+//! revisiting an edge.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use fdb_graph::{exists_equivalent_walk, FunctionGraph};
+use fdb_types::{Functionality, Schema, TypeId};
+
+/// Independent oracle: level-by-level dynamic programming. `R_L` is the
+/// set of `(node, functionality)` pairs realised by some walk of exactly
+/// `L` edges from `from`; the union over `1 ≤ L ≤ max_len` decides the
+/// query. A shortest witness never repeats a `(node, functionality)`
+/// state, so `max_len = 4·|V|` is complete.
+fn brute_force_walk(
+    graph: &FunctionGraph,
+    from: TypeId,
+    to: TypeId,
+    target: Functionality,
+    max_len: usize,
+) -> bool {
+    let mut level: HashSet<(TypeId, Functionality)> = HashSet::new();
+    // Walks of length 1.
+    for (edge, dir, next) in graph.neighbors(from) {
+        level.insert((next, graph.edge(edge).functionality_along(dir)));
+    }
+    let mut ever: HashSet<(TypeId, Functionality)> = level.clone();
+    for _ in 1..max_len {
+        // R_L is computed purely from R_{L-1} — states may recur at
+        // several lengths; only the per-level set is deduplicated, keeping
+        // this oracle's control flow independent of the queue-based BFS it
+        // validates.
+        let mut next_level = HashSet::new();
+        for &(node, f) in &level {
+            for (edge, dir, next) in graph.neighbors(node) {
+                let g = f.compose(graph.edge(edge).functionality_along(dir));
+                next_level.insert((next, g));
+            }
+        }
+        if next_level.is_subset(&ever) && next_level == level {
+            break; // fixed point
+        }
+        ever.extend(next_level.iter().copied());
+        level = next_level;
+        if level.is_empty() {
+            break;
+        }
+    }
+    ever.contains(&(to, target))
+}
+
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    (2..6usize).prop_flat_map(|ntypes| {
+        proptest::collection::vec((0..ntypes, 0..ntypes, 0..4usize), 1..10).prop_map(move |funs| {
+            let mut schema = Schema::new();
+            for (i, (d, r, f)) in funs.into_iter().enumerate() {
+                schema
+                    .declare(
+                        &format!("f{i}"),
+                        &format!("t{d}"),
+                        &format!("t{r}"),
+                        Functionality::ALL[f],
+                    )
+                    .unwrap();
+            }
+            schema
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// BFS and bounded brute force agree on every (from, to, target).
+    #[test]
+    fn product_bfs_matches_brute_force(schema in arb_schema()) {
+        let graph = FunctionGraph::from_schema(&schema);
+        let nodes = graph.nodes();
+        let bound = 4 * nodes.len().max(1);
+        for &from in &nodes {
+            for &to in &nodes {
+                for target in Functionality::ALL {
+                    let fast = exists_equivalent_walk(
+                        &graph, from, to, target, &HashSet::new(),
+                    );
+                    let slow = brute_force_walk(&graph, from, to, target, bound);
+                    prop_assert_eq!(
+                        fast, slow,
+                        "disagreement for {} -> {} @ {:?}",
+                        schema.type_name(from), schema.type_name(to), target
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn walks_reach_functionalities_simple_paths_cannot() {
+    // f: a→b one-one, g: b→a many-one. The only simple a–b paths are the
+    // single edges (one-one / one-many), but the walk f o g o f composes
+    // to many-one — reachable only by reusing f.
+    let mut schema = Schema::new();
+    schema
+        .declare("f", "a", "b", Functionality::OneOne)
+        .unwrap();
+    schema
+        .declare("g", "b", "a", Functionality::ManyOne)
+        .unwrap();
+    let graph = FunctionGraph::from_schema(&schema);
+    let a = schema.types().lookup("a").unwrap();
+    let b = schema.types().lookup("b").unwrap();
+    assert!(exists_equivalent_walk(
+        &graph,
+        a,
+        b,
+        Functionality::ManyOne,
+        &HashSet::new()
+    ));
+    assert!(brute_force_walk(&graph, a, b, Functionality::ManyOne, 8));
+    // And the single-edge functionality is of course also reachable.
+    assert!(exists_equivalent_walk(
+        &graph,
+        a,
+        b,
+        Functionality::OneOne,
+        &HashSet::new()
+    ));
+}
+
+#[test]
+fn unreachable_functionality_is_rejected() {
+    // A single many-one edge: the reachable a→b functionalities are
+    // many-one (f itself) and many-many (f o f⁻¹ o f, which the
+    // conservative algebra degrades). Injectivity is lost by the very
+    // first step and never recovers, so one-one and one-many are
+    // unreachable.
+    let mut schema = Schema::new();
+    schema
+        .declare("f", "a", "b", Functionality::ManyOne)
+        .unwrap();
+    let graph = FunctionGraph::from_schema(&schema);
+    let a = schema.types().lookup("a").unwrap();
+    let b = schema.types().lookup("b").unwrap();
+    assert!(exists_equivalent_walk(
+        &graph,
+        a,
+        b,
+        Functionality::ManyOne,
+        &HashSet::new()
+    ));
+    assert!(exists_equivalent_walk(
+        &graph,
+        a,
+        b,
+        Functionality::ManyMany,
+        &HashSet::new()
+    ));
+    for bad in [Functionality::OneOne, Functionality::OneMany] {
+        assert!(
+            !exists_equivalent_walk(&graph, a, b, bad, &HashSet::new()),
+            "{bad:?} must be unreachable"
+        );
+        assert!(!brute_force_walk(&graph, a, b, bad, 8));
+    }
+}

@@ -1,0 +1,147 @@
+//! Abstract syntax of the fdb language.
+
+/// One step of a `DERIVE` expression: a function name, possibly inverted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeriveStep {
+    /// Function name.
+    pub name: String,
+    /// `true` for `name^-1`.
+    pub inverse: bool,
+}
+
+/// One statement of the language (one line).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Statement {
+    /// `DECLARE name: dom -> rng (functionality)`.
+    Declare {
+        /// Function name.
+        name: String,
+        /// Domain type name (compound types in brackets).
+        domain: String,
+        /// Range type name.
+        range: String,
+        /// Functionality text, e.g. `many-one`.
+        functionality: String,
+    },
+    /// `DERIVE name = f o g^-1 o …`.
+    Derive {
+        /// The derived function's name.
+        name: String,
+        /// Derivation steps, first applied first.
+        steps: Vec<DeriveStep>,
+    },
+    /// `INSERT f(x, y)`.
+    Insert {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: String,
+        /// Range value.
+        y: String,
+    },
+    /// `DELETE f(x, y)`.
+    Delete {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: String,
+        /// Range value.
+        y: String,
+    },
+    /// `REPLACE f(x1, y1) WITH (x2, y2)`.
+    Replace {
+        /// Function name.
+        function: String,
+        /// Pair to remove.
+        old: (String, String),
+        /// Pair to add.
+        new: (String, String),
+    },
+    /// `QUERY f(x)` — the image of `x`.
+    Query {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: String,
+    },
+    /// `TRUTH f(x, y)`.
+    Truth {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: String,
+        /// Range value.
+        y: String,
+    },
+    /// `SHOW f` — the stored table (base) or computed extension (derived).
+    Show {
+        /// Function name.
+        function: String,
+    },
+    /// `DERIVATIONS f`.
+    Derivations {
+        /// Function name.
+        function: String,
+    },
+    /// `SCHEMA`.
+    Schema,
+    /// `STATS`.
+    Stats,
+    /// `RESOLVE` — run the FD-based ambiguity-resolution pass.
+    Resolve,
+    /// `CHECK` — run the consistency checker.
+    Check,
+    /// `HELP`.
+    Help,
+    /// `BEGIN` — open a transaction (savepoint).
+    Begin,
+    /// `COMMIT` — make the open transaction permanent.
+    Commit,
+    /// `ABORT` — roll back to the savepoint.
+    Abort,
+    /// `SAVE "path"` — write a snapshot of the database.
+    Save {
+        /// Destination file path.
+        path: String,
+    },
+    /// `LOAD "path"` — replace the database with a snapshot.
+    Load {
+        /// Source file path.
+        path: String,
+    },
+    /// `DUMP "path"` — export a re-runnable script (schema + true facts).
+    Dump {
+        /// Destination file path.
+        path: String,
+    },
+    /// `EVAL x : f o g^-1 o …` — ad-hoc path-expression query.
+    Eval {
+        /// The starting value.
+        x: String,
+        /// Expression steps.
+        steps: Vec<DeriveStep>,
+    },
+    /// `INVERSE f(y)` — the inverse image of `y` under `f`.
+    Inverse {
+        /// Function name.
+        function: String,
+        /// Range value.
+        y: String,
+    },
+    /// `EXPLAIN f(x, y)` — evidence for a fact's truth value.
+    Explain {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: String,
+        /// Range value.
+        y: String,
+    },
+    /// `SOURCE "path"` — execute a script file, line by line.
+    Source {
+        /// Script file path.
+        path: String,
+    },
+    /// Blank line / comment-only line.
+    Empty,
+}

@@ -1,0 +1,635 @@
+//! Statement evaluator.
+
+use fdb_core::{resolve_ambiguities, Database};
+use fdb_types::{Derivation, FdbError, Result, Schema, Step, Value};
+
+use crate::ast::{DeriveStep, Statement};
+use crate::format::render_function;
+use crate::parser::parse_statement;
+
+/// The language engine: a [`Database`] plus statement evaluation.
+///
+/// ```
+/// use fdb_lang::Engine;
+///
+/// let mut engine = Engine::new();
+/// for line in [
+///     "DECLARE teach: faculty -> course (many-many)",
+///     "DECLARE class_list: course -> student (many-many)",
+///     "DECLARE pupil: faculty -> student (many-many)",
+///     "DERIVE pupil = teach o class_list",
+///     "INSERT teach(euclid, math)",
+///     "INSERT class_list(math, john)",
+/// ] {
+///     engine.execute_line(line)?;
+/// }
+/// assert_eq!(engine.execute_line("TRUTH pupil(euclid, john)")?, "T\n");
+/// # Ok::<(), fdb_types::FdbError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    db: Database,
+    line: u32,
+    /// Savepoint of an open `BEGIN` transaction.
+    savepoint: Option<Database>,
+    /// Nesting depth of `SOURCE` execution (guards self-sourcing scripts).
+    source_depth: u8,
+}
+
+const HELP: &str = "\
+statements (one per line; `--` starts a comment):
+  DECLARE name: dom -> rng (functionality)   declare a function
+  DERIVE name = f o g^-1 o ...               register a derivation
+  INSERT f(x, y)    DELETE f(x, y)           updates (INS/DEL also work)
+  REPLACE f(x1, y1) WITH (x2, y2)            replace a pair
+  QUERY f(x)                                 image of x under f
+  TRUTH f(x, y)                              T / A / F
+  SHOW f                                     table or computed extension
+  DERIVATIONS f                              registered derivations
+  EVAL x : f o g^-1 o ...                    ad-hoc path expression
+  EXPLAIN f(x, y)                            evidence for a verdict
+  INVERSE f(y)                               inverse image of y
+  SOURCE \"file\"                              run a script file
+  BEGIN / COMMIT / ABORT                     savepoint transactions
+  SAVE \"file\"    LOAD \"file\"                 snapshot persistence
+  DUMP \"file\"                                re-runnable script export
+  SCHEMA  STATS  RESOLVE  CHECK  HELP
+";
+
+impl Engine {
+    /// A fresh engine over an empty schema.
+    pub fn new() -> Self {
+        Engine {
+            db: Database::new(Schema::new()),
+            line: 0,
+            savepoint: None,
+            source_depth: 0,
+        }
+    }
+
+    /// An engine over an existing database.
+    pub fn with_database(db: Database) -> Self {
+        Engine {
+            db,
+            line: 0,
+            savepoint: None,
+            source_depth: 0,
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Consumes the engine, returning the database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Parses and executes one line, returning the printable result.
+    pub fn execute_line(&mut self, line: &str) -> Result<String> {
+        self.line += 1;
+        let stmt = parse_statement(line, self.line)?;
+        self.execute(stmt)
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute(&mut self, stmt: Statement) -> Result<String> {
+        match stmt {
+            Statement::Empty => Ok(String::new()),
+            Statement::Help => Ok(HELP.to_owned()),
+            Statement::Declare {
+                name,
+                domain,
+                range,
+                functionality,
+            } => {
+                let f = functionality.parse()?;
+                self.db.declare_function(&name, &domain, &range, f)?;
+                Ok(format!("declared {name}: {domain} -> {range} ({f})\n"))
+            }
+            Statement::Derive { name, steps } => {
+                let f = self.db.resolve(&name)?;
+                let derivation = self.build_derivation(&steps)?;
+                let rendered = derivation.render(self.db.schema());
+                self.db.add_derivation(f, derivation)?;
+                Ok(format!("derived {name} = {rendered}\n"))
+            }
+            Statement::Insert { function, x, y } => {
+                let f = self.db.resolve(&function)?;
+                self.db.insert(f, Value::atom(&x), Value::atom(&y))?;
+                Ok(format!("inserted {function}({x}, {y})\n"))
+            }
+            Statement::Delete { function, x, y } => {
+                let f = self.db.resolve(&function)?;
+                self.db.delete(f, &Value::atom(&x), &Value::atom(&y))?;
+                Ok(format!("deleted {function}({x}, {y})\n"))
+            }
+            Statement::Replace { function, old, new } => {
+                let f = self.db.resolve(&function)?;
+                self.db.replace(
+                    f,
+                    (Value::atom(&old.0), Value::atom(&old.1)),
+                    (Value::atom(&new.0), Value::atom(&new.1)),
+                )?;
+                Ok(format!(
+                    "replaced {function}({}, {}) with ({}, {})\n",
+                    old.0, old.1, new.0, new.1
+                ))
+            }
+            Statement::Query { function, x } => {
+                let f = self.db.resolve(&function)?;
+                let image = self.db.image(f, &Value::atom(&x))?;
+                if image.is_empty() {
+                    return Ok(format!("{function}({x}) = {{}}\n"));
+                }
+                let items: Vec<String> = image
+                    .into_iter()
+                    .map(|(y, t)| match t {
+                        fdb_storage::Truth::Ambiguous => format!("{y}*"),
+                        _ => y.to_string(),
+                    })
+                    .collect();
+                Ok(format!("{function}({x}) = {{{}}}\n", items.join(", ")))
+            }
+            Statement::Truth { function, x, y } => {
+                let f = self.db.resolve(&function)?;
+                let t = self.db.truth(f, &Value::atom(&x), &Value::atom(&y))?;
+                Ok(format!("{}\n", t.flag()))
+            }
+            Statement::Show { function } => {
+                let f = self.db.resolve(&function)?;
+                render_function(&self.db, f)
+            }
+            Statement::Derivations { function } => {
+                let f = self.db.resolve(&function)?;
+                if !self.db.is_derived(f) {
+                    return Ok(format!("{function} is a base function\n"));
+                }
+                let mut out = String::new();
+                for d in self.db.derivations(f) {
+                    out.push_str(&format!("{function} = {}\n", d.render(self.db.schema())));
+                }
+                Ok(out)
+            }
+            Statement::Schema => Ok(self.db.schema().to_string()),
+            Statement::Stats => {
+                let s = self.db.stats();
+                Ok(format!(
+                    "base facts: {} | ambiguous: {} | NCs: {} | nulls: {} | functions: {} base + {} derived\n",
+                    s.base_facts,
+                    s.ambiguous_facts,
+                    s.ncs,
+                    s.nulls_generated,
+                    s.base_functions,
+                    s.derived_functions
+                ))
+            }
+            Statement::Resolve => {
+                let out = resolve_ambiguities(&mut self.db);
+                let mut text = format!(
+                    "resolved: {} nulls unified, {} facts falsified\n",
+                    out.nulls_unified, out.facts_falsified
+                );
+                for c in out.conflicts {
+                    text.push_str(&format!("CONFLICT: {c}\n"));
+                }
+                Ok(text)
+            }
+            Statement::Check => {
+                let violations = self.db.check_consistency();
+                if violations.is_empty() {
+                    Ok("consistent\n".to_owned())
+                } else {
+                    let mut text = String::new();
+                    for vl in violations {
+                        text.push_str(&format!("VIOLATION: {vl}\n"));
+                    }
+                    Ok(text)
+                }
+            }
+            Statement::Eval { x, steps } => {
+                let derivation = self.build_derivation(&steps)?;
+                let ys = self.db.eval_expression(&derivation, &Value::atom(&x))?;
+                let items: Vec<String> = ys
+                    .into_iter()
+                    .map(|(y, t)| match t {
+                        fdb_storage::Truth::Ambiguous => format!("{y}*"),
+                        _ => y.to_string(),
+                    })
+                    .collect();
+                Ok(format!(
+                    "{x} : {} = {{{}}}\n",
+                    derivation.render(self.db.schema()),
+                    items.join(", ")
+                ))
+            }
+            Statement::Inverse { function, y } => {
+                let f = self.db.resolve(&function)?;
+                let xs = self.db.inverse_image(f, &Value::atom(&y))?;
+                let items: Vec<String> = xs
+                    .into_iter()
+                    .map(|(x, t)| match t {
+                        fdb_storage::Truth::Ambiguous => format!("{x}*"),
+                        _ => x.to_string(),
+                    })
+                    .collect();
+                Ok(format!("{function}^-1({y}) = {{{}}}\n", items.join(", ")))
+            }
+            Statement::Dump { path } => {
+                let script = crate::format::dump_script(&self.db)?;
+                std::fs::write(&path, script).map_err(|e| FdbError::Parse {
+                    line: self.line,
+                    message: format!("cannot write {path}: {e}"),
+                })?;
+                Ok(format!("dumped script to {path}\n"))
+            }
+            Statement::Explain { function, x, y } => {
+                let f = self.db.resolve(&function)?;
+                let e = self.db.explain(f, &Value::atom(&x), &Value::atom(&y))?;
+                Ok(fdb_core::render_explanation(&self.db, f, &e))
+            }
+            Statement::Source { path } => {
+                const MAX_SOURCE_DEPTH: u8 = 16;
+                if self.source_depth >= MAX_SOURCE_DEPTH {
+                    return Err(FdbError::Parse {
+                        line: self.line,
+                        message: format!(
+                            "SOURCE nesting exceeds {MAX_SOURCE_DEPTH} (circular include?)"
+                        ),
+                    });
+                }
+                let text = std::fs::read_to_string(&path).map_err(|e| FdbError::Parse {
+                    line: self.line,
+                    message: format!("cannot read {path}: {e}"),
+                })?;
+                self.source_depth += 1;
+                let mut out = String::new();
+                let mut result = Ok(());
+                for line in text.lines() {
+                    match self.execute_line(line) {
+                        Ok(text) => out.push_str(&text),
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                self.source_depth -= 1;
+                result.map(|()| out)
+            }
+            Statement::Begin => {
+                if self.savepoint.is_some() {
+                    return Err(FdbError::Parse {
+                        line: self.line,
+                        message: "a transaction is already open".into(),
+                    });
+                }
+                self.savepoint = Some(self.db.clone());
+                Ok("transaction started\n".to_owned())
+            }
+            Statement::Commit => match self.savepoint.take() {
+                Some(_) => Ok("committed\n".to_owned()),
+                None => Err(FdbError::Parse {
+                    line: self.line,
+                    message: "no open transaction".into(),
+                }),
+            },
+            Statement::Abort => match self.savepoint.take() {
+                Some(saved) => {
+                    self.db = saved;
+                    Ok("rolled back\n".to_owned())
+                }
+                None => Err(FdbError::Parse {
+                    line: self.line,
+                    message: "no open transaction".into(),
+                }),
+            },
+            Statement::Save { path } => {
+                let snapshot = self.db.to_snapshot()?;
+                std::fs::write(&path, snapshot).map_err(|e| FdbError::Parse {
+                    line: self.line,
+                    message: format!("cannot write {path}: {e}"),
+                })?;
+                Ok(format!("saved snapshot to {path}\n"))
+            }
+            Statement::Load { path } => {
+                if self.savepoint.is_some() {
+                    return Err(FdbError::Parse {
+                        line: self.line,
+                        message: "cannot LOAD inside an open transaction".into(),
+                    });
+                }
+                let text = std::fs::read_to_string(&path).map_err(|e| FdbError::Parse {
+                    line: self.line,
+                    message: format!("cannot read {path}: {e}"),
+                })?;
+                self.db = Database::from_snapshot(&text)?;
+                Ok(format!("loaded snapshot from {path}\n"))
+            }
+        }
+    }
+
+    fn build_derivation(&self, steps: &[DeriveStep]) -> Result<Derivation> {
+        let mut out = Vec::with_capacity(steps.len());
+        for s in steps {
+            let f = self.db.resolve(&s.name)?;
+            out.push(if s.inverse {
+                Step::inverse(f)
+            } else {
+                Step::identity(f)
+            });
+        }
+        Derivation::new(out).map_err(|e| match e {
+            FdbError::MalformedDerivation(m) => FdbError::Parse {
+                line: self.line,
+                message: m,
+            },
+            other => other,
+        })
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(engine: &mut Engine, script: &str) -> Vec<Result<String>> {
+        script.lines().map(|l| engine.execute_line(l)).collect()
+    }
+
+    #[test]
+    fn full_university_script() {
+        let mut e = Engine::new();
+        let results = run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT teach(laplace, math)\n\
+             INSERT class_list(math, john)\n\
+             INSERT class_list(math, bill)\n\
+             TRUTH pupil(euclid, john)",
+        );
+        for r in &results[..8] {
+            r.as_ref().unwrap();
+        }
+        assert_eq!(results[8].as_ref().unwrap(), "T\n");
+    }
+
+    #[test]
+    fn derived_delete_and_query_through_language() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)\n\
+             INSERT class_list(math, bill)\n\
+             DELETE pupil(euclid, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "F\n");
+        // euclid's image: only bill remains, ambiguously.
+        let q = e.execute_line("QUERY pupil(euclid)").unwrap();
+        assert_eq!(q, "pupil(euclid) = {bill*}\n");
+        let show = e.execute_line("SHOW teach").unwrap();
+        assert!(show.contains("euclid  math  A  {g1}"));
+        assert_eq!(e.execute_line("CHECK").unwrap(), "consistent\n");
+    }
+
+    #[test]
+    fn derive_with_inverse_through_language() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE taught_by: course -> faculty (many-many)\n\
+             DERIVE taught_by = teach^-1\n\
+             INSERT teach(euclid, math)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        assert_eq!(
+            e.execute_line("TRUTH taught_by(math, euclid)").unwrap(),
+            "T\n"
+        );
+        let ders = e.execute_line("DERIVATIONS taught_by").unwrap();
+        assert_eq!(ders, "taught_by = teach^-1\n");
+    }
+
+    #[test]
+    fn resolve_through_language() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE score: [student; course] -> marks (many-one)\n\
+             DECLARE cutoff: marks -> letter_grade (many-one)\n\
+             DECLARE grade: [student; course] -> letter_grade (many-one)\n\
+             DERIVE grade = score o cutoff\n\
+             INSERT grade(s1, A)\n\
+             INSERT score(s1, 85)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        let out = e.execute_line("RESOLVE").unwrap();
+        assert!(out.contains("1 nulls unified"));
+        let cutoff = e.execute_line("SHOW cutoff").unwrap();
+        assert!(cutoff.contains("85  A  T"));
+    }
+
+    #[test]
+    fn eval_and_inverse_through_language() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             INSERT teach(euclid, math)\n\
+             INSERT teach(laplace, math)\n\
+             INSERT class_list(math, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        assert_eq!(
+            e.execute_line("EVAL euclid : teach o class_list").unwrap(),
+            "euclid : teach o class_list = {john}\n"
+        );
+        assert_eq!(
+            e.execute_line("EVAL john : class_list^-1 o teach^-1")
+                .unwrap(),
+            "john : class_list^-1 o teach^-1 = {euclid, laplace}\n"
+        );
+        assert_eq!(
+            e.execute_line("INVERSE teach(math)").unwrap(),
+            "teach^-1(math) = {euclid, laplace}\n"
+        );
+    }
+
+    #[test]
+    fn explain_through_language() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)\n\
+             DELETE pupil(euclid, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        let out = e.execute_line("EXPLAIN pupil(euclid, john)").unwrap();
+        assert!(out.contains("verdict: F"));
+        assert!(out.contains("negated by an NC"));
+        let out = e.execute_line("EXPLAIN teach(euclid, math)").unwrap();
+        assert!(out.contains("verdict: A"));
+        assert!(out.contains("base function"));
+    }
+
+    #[test]
+    fn circular_source_is_rejected() {
+        let path = std::env::temp_dir().join(format!("fdb_circular_{}.fdb", std::process::id()));
+        std::fs::write(&path, format!("SOURCE \"{}\"\n", path.display())).unwrap();
+        let mut e = Engine::new();
+        let err = e
+            .execute_line(&format!("SOURCE \"{}\"", path.display()))
+            .unwrap_err();
+        assert!(err.to_string().contains("nesting"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn source_runs_script_files() {
+        let path = std::env::temp_dir().join(format!("fdb_source_{}.fdb", std::process::id()));
+        std::fs::write(
+            &path,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             -- a comment\n\
+             INSERT teach(euclid, math)\n",
+        )
+        .unwrap();
+        let mut e = Engine::new();
+        let out = e
+            .execute_line(&format!("SOURCE \"{}\"", path.display()))
+            .unwrap();
+        assert!(out.contains("declared teach"));
+        assert!(out.contains("inserted teach"));
+        assert_eq!(e.execute_line("TRUTH teach(euclid, math)").unwrap(), "T\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transactions_through_language() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             INSERT teach(euclid, math)\n\
+             BEGIN\n\
+             INSERT teach(gauss, algebra)\n\
+             DELETE teach(euclid, math)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        assert_eq!(e.database().stats().base_facts, 1);
+        e.execute_line("ABORT").unwrap();
+        assert_eq!(e.database().stats().base_facts, 1);
+        assert_eq!(e.execute_line("TRUTH teach(euclid, math)").unwrap(), "T\n");
+        assert_eq!(
+            e.execute_line("TRUTH teach(gauss, algebra)").unwrap(),
+            "F\n"
+        );
+        // COMMIT path.
+        e.execute_line("BEGIN").unwrap();
+        e.execute_line("INSERT teach(gauss, algebra)").unwrap();
+        e.execute_line("COMMIT").unwrap();
+        assert_eq!(
+            e.execute_line("TRUTH teach(gauss, algebra)").unwrap(),
+            "T\n"
+        );
+        // Errors on unbalanced transaction statements.
+        assert!(e.execute_line("COMMIT").is_err());
+        assert!(e.execute_line("ABORT").is_err());
+        e.execute_line("BEGIN").unwrap();
+        assert!(e.execute_line("BEGIN").is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("fdb_lang_snapshot_{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_owned();
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)\n\
+             DELETE pupil(euclid, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        e.execute_line(&format!("SAVE \"{path_str}\"")).unwrap();
+
+        let mut fresh = Engine::new();
+        fresh.execute_line(&format!("LOAD \"{path_str}\"")).unwrap();
+        assert_eq!(
+            fresh.execute_line("TRUTH pupil(euclid, john)").unwrap(),
+            "F\n"
+        );
+        let show = fresh.execute_line("SHOW teach").unwrap();
+        assert!(show.contains("euclid  math  A  {g1}"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_are_surfaced_with_line_numbers() {
+        let mut e = Engine::new();
+        let err = e.execute_line("INSERT ghost(a, b)").unwrap_err();
+        assert!(matches!(err, FdbError::UnknownFunction(_)));
+        let err = e.execute_line("GIBBERISH").unwrap_err();
+        assert!(matches!(err, FdbError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn stats_and_schema_and_help() {
+        let mut e = Engine::new();
+        e.execute_line("DECLARE f: a -> b (one-one)").unwrap();
+        assert!(e.execute_line("SCHEMA").unwrap().contains("1. f: a -> b"));
+        assert!(e.execute_line("STATS").unwrap().contains("base facts: 0"));
+        assert!(e.execute_line("HELP").unwrap().contains("DECLARE"));
+    }
+}

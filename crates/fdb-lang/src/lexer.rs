@@ -1,0 +1,233 @@
+//! Line lexer for the fdb language.
+
+use fdb_types::{FdbError, Result};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (`teach`, `INSERT`, `many-many`, `85`).
+    Ident(String),
+    /// Double-quoted string literal (quotes stripped, `\"` unescaped).
+    Str(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `->`.
+    Arrow,
+    /// `=`.
+    Equals,
+    /// `^-1`.
+    Inverse,
+}
+
+/// Lexes one statement line. Comments (`--` to end of line) are dropped.
+pub fn lex(line: &str, line_no: u32) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            '-' if line[i..].starts_with("--") => break, // comment
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '[' => {
+                chars.next();
+                out.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Token::RBracket);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            ';' => {
+                chars.next();
+                out.push(Token::Semi);
+            }
+            ':' => {
+                chars.next();
+                out.push(Token::Colon);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Equals);
+            }
+            '^' => {
+                if line[i..].starts_with("^-1") {
+                    chars.next();
+                    chars.next();
+                    chars.next();
+                    out.push(Token::Inverse);
+                } else {
+                    return Err(FdbError::Parse {
+                        line: line_no,
+                        message: "expected `^-1`".into(),
+                    });
+                }
+            }
+            '-' if line[i..].starts_with("->") => {
+                chars.next();
+                chars.next();
+                out.push(Token::Arrow);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => {
+                            if let Some((_, e)) = chars.next() {
+                                s.push(e);
+                            }
+                        }
+                        c => s.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(FdbError::Parse {
+                        line: line_no,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '#' || c == '.' || c == '-' => {
+                // Identifiers may contain `-` (functionality names like
+                // many-one) but `-` only continues an ident, it cannot
+                // start one unless followed by an alphanumeric (handled by
+                // the `->` case above firing first).
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '#' || d == '.' || d == '-' {
+                        // Stop identifiers before `->`.
+                        if d == '-' && line[j..].starts_with("->") {
+                            break;
+                        }
+                        if d == '-' && line[j..].starts_with("--") {
+                            break;
+                        }
+                        end = j + d.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(line[start..end].to_owned()));
+            }
+            other => {
+                return Err(FdbError::Parse {
+                    line: line_no,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Token::*;
+    use super::*;
+
+    #[test]
+    fn lexes_declare_statement() {
+        let toks = lex(
+            "DECLARE grade: [student; course] -> letter_grade (many-one)",
+            1,
+        )
+        .unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Ident("DECLARE".into()),
+                Ident("grade".into()),
+                Colon,
+                LBracket,
+                Ident("student".into()),
+                Semi,
+                Ident("course".into()),
+                RBracket,
+                Arrow,
+                Ident("letter_grade".into()),
+                LParen,
+                Ident("many-one".into()),
+                RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_inverse_and_composition() {
+        let toks = lex("DERIVE lecturer_of = class_list^-1 o teach^-1", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Ident("DERIVE".into()),
+                Ident("lecturer_of".into()),
+                Equals,
+                Ident("class_list".into()),
+                Inverse,
+                Ident("o".into()),
+                Ident("teach".into()),
+                Inverse,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let toks = lex("STATS -- how bad is it?", 1).unwrap();
+        assert_eq!(toks, vec![Ident("STATS".into())]);
+        assert!(lex("-- whole line comment", 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn string_literals() {
+        let toks = lex(r#"INSERT teach("Dr. Euclid", math)"#, 1).unwrap();
+        assert_eq!(toks[2], LParen);
+        assert_eq!(toks[3], Str("Dr. Euclid".into()));
+        assert!(matches!(
+            lex(r#"INSERT teach("oops, math)"#, 3),
+            Err(FdbError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn numeric_atoms_lex_as_idents() {
+        let toks = lex("INSERT cutoff(85, A)", 1).unwrap();
+        assert_eq!(toks[3], Ident("85".into()));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(lex("QUERY f(x) @", 2).is_err());
+    }
+}

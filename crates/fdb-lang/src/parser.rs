@@ -1,0 +1,358 @@
+//! Recursive-descent parser: one statement per line.
+
+use fdb_types::{FdbError, Result};
+
+use crate::ast::{DeriveStep, Statement};
+use crate::lexer::{lex, Token};
+
+/// Parses one line into a [`Statement`].
+pub fn parse_statement(line: &str, line_no: u32) -> Result<Statement> {
+    let tokens = lex(line, line_no)?;
+    Parser {
+        tokens,
+        pos: 0,
+        line: line_no,
+    }
+    .statement()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    line: u32,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> FdbError {
+        FdbError::Parse {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<()> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            Some(got) => Err(self.err(format!("expected {what}, found {got:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of line"))),
+        }
+    }
+
+    /// An identifier or string literal used as a value or name.
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) | Some(Token::Str(s)) => Ok(s),
+            Some(got) => Err(self.err(format!("expected {what}, found {got:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of line"))),
+        }
+    }
+
+    /// A type name: an identifier or a bracketed compound `[a; b]`.
+    fn type_name(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::LBracket) => {
+                self.next();
+                let mut parts = vec![self.type_name()?];
+                while self.peek() == Some(&Token::Semi) {
+                    self.next();
+                    parts.push(self.type_name()?);
+                }
+                self.expect(&Token::RBracket, "`]`")?;
+                Ok(format!("[{}]", parts.join("; ")))
+            }
+            _ => self.ident("type name"),
+        }
+    }
+
+    fn pair(&mut self) -> Result<(String, String)> {
+        self.expect(&Token::LParen, "`(`")?;
+        let x = self.ident("value")?;
+        self.expect(&Token::Comma, "`,`")?;
+        let y = self.ident("value")?;
+        self.expect(&Token::RParen, "`)`")?;
+        Ok((x, y))
+    }
+
+    fn end(&mut self) -> Result<()> {
+        if let Some(t) = self.peek() {
+            return Err(self.err(format!("unexpected trailing input: {t:?}")));
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let Some(first) = self.next() else {
+            return Ok(Statement::Empty);
+        };
+        let keyword = match first {
+            Token::Ident(s) => s.to_ascii_uppercase(),
+            other => return Err(self.err(format!("expected a keyword, found {other:?}"))),
+        };
+        let stmt = match keyword.as_str() {
+            "DECLARE" => {
+                let name = self.ident("function name")?;
+                self.expect(&Token::Colon, "`:`")?;
+                let domain = self.type_name()?;
+                self.expect(&Token::Arrow, "`->`")?;
+                let range = self.type_name()?;
+                self.expect(&Token::LParen, "`(`")?;
+                let functionality = self.ident("functionality")?;
+                self.expect(&Token::RParen, "`)`")?;
+                Statement::Declare {
+                    name,
+                    domain,
+                    range,
+                    functionality,
+                }
+            }
+            "DERIVE" => {
+                let name = self.ident("function name")?;
+                self.expect(&Token::Equals, "`=`")?;
+                let mut steps = vec![self.derive_step()?];
+                loop {
+                    match self.peek() {
+                        Some(Token::Ident(o)) if o.eq_ignore_ascii_case("o") => {
+                            self.next();
+                            steps.push(self.derive_step()?);
+                        }
+                        _ => break,
+                    }
+                }
+                Statement::Derive { name, steps }
+            }
+            "INSERT" | "INS" => {
+                let function = self.ident("function name")?;
+                let (x, y) = self.pair()?;
+                Statement::Insert { function, x, y }
+            }
+            "DELETE" | "DEL" => {
+                let function = self.ident("function name")?;
+                let (x, y) = self.pair()?;
+                Statement::Delete { function, x, y }
+            }
+            "REPLACE" | "REP" => {
+                let function = self.ident("function name")?;
+                let old = self.pair()?;
+                let with = self.ident("`WITH`")?;
+                if !with.eq_ignore_ascii_case("WITH") {
+                    return Err(self.err("expected `WITH`"));
+                }
+                let new = self.pair()?;
+                Statement::Replace { function, old, new }
+            }
+            "QUERY" => {
+                let function = self.ident("function name")?;
+                self.expect(&Token::LParen, "`(`")?;
+                let x = self.ident("value")?;
+                self.expect(&Token::RParen, "`)`")?;
+                Statement::Query { function, x }
+            }
+            "TRUTH" => {
+                let function = self.ident("function name")?;
+                let (x, y) = self.pair()?;
+                Statement::Truth { function, x, y }
+            }
+            "SHOW" => Statement::Show {
+                function: self.ident("function name")?,
+            },
+            "DERIVATIONS" => Statement::Derivations {
+                function: self.ident("function name")?,
+            },
+            "EVAL" => {
+                let x = self.ident("value")?;
+                self.expect(&Token::Colon, "`:`")?;
+                let mut steps = vec![self.derive_step()?];
+                loop {
+                    match self.peek() {
+                        Some(Token::Ident(o)) if o.eq_ignore_ascii_case("o") => {
+                            self.next();
+                            steps.push(self.derive_step()?);
+                        }
+                        _ => break,
+                    }
+                }
+                Statement::Eval { x, steps }
+            }
+            "INVERSE" => {
+                let function = self.ident("function name")?;
+                self.expect(&Token::LParen, "`(`")?;
+                let y = self.ident("value")?;
+                self.expect(&Token::RParen, "`)`")?;
+                Statement::Inverse { function, y }
+            }
+            "DUMP" => Statement::Dump {
+                path: self.ident("file path")?,
+            },
+            "EXPLAIN" => {
+                let function = self.ident("function name")?;
+                let (x, y) = self.pair()?;
+                Statement::Explain { function, x, y }
+            }
+            "SOURCE" => Statement::Source {
+                path: self.ident("file path")?,
+            },
+            "BEGIN" => Statement::Begin,
+            "COMMIT" => Statement::Commit,
+            "ABORT" | "ROLLBACK" => Statement::Abort,
+            "SAVE" => Statement::Save {
+                path: self.ident("file path")?,
+            },
+            "LOAD" => Statement::Load {
+                path: self.ident("file path")?,
+            },
+            "SCHEMA" => Statement::Schema,
+            "STATS" => Statement::Stats,
+            "RESOLVE" => Statement::Resolve,
+            "CHECK" => Statement::Check,
+            "HELP" => Statement::Help,
+            other => return Err(self.err(format!("unknown statement `{other}`"))),
+        };
+        self.end()?;
+        Ok(stmt)
+    }
+
+    fn derive_step(&mut self) -> Result<DeriveStep> {
+        let name = self.ident("function name")?;
+        let inverse = if self.peek() == Some(&Token::Inverse) {
+            self.next();
+            true
+        } else {
+            false
+        };
+        Ok(DeriveStep { name, inverse })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declare_with_compound_domain() {
+        let s = parse_statement(
+            "DECLARE grade: [student; course] -> letter_grade (many-one)",
+            1,
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            Statement::Declare {
+                name: "grade".into(),
+                domain: "[student; course]".into(),
+                range: "letter_grade".into(),
+                functionality: "many-one".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_derive_with_inverses() {
+        let s = parse_statement("DERIVE lecturer_of = class_list^-1 o teach^-1", 1).unwrap();
+        match s {
+            Statement::Derive { name, steps } => {
+                assert_eq!(name, "lecturer_of");
+                assert_eq!(steps.len(), 2);
+                assert!(steps.iter().all(|s| s.inverse));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_updates_and_queries() {
+        assert_eq!(
+            parse_statement("INSERT teach(euclid, math)", 1).unwrap(),
+            Statement::Insert {
+                function: "teach".into(),
+                x: "euclid".into(),
+                y: "math".into(),
+            }
+        );
+        assert_eq!(
+            parse_statement("del pupil(euclid, john)", 1).unwrap(),
+            Statement::Delete {
+                function: "pupil".into(),
+                x: "euclid".into(),
+                y: "john".into(),
+            }
+        );
+        assert_eq!(
+            parse_statement("REPLACE teach(a, b) WITH (a, c)", 1).unwrap(),
+            Statement::Replace {
+                function: "teach".into(),
+                old: ("a".into(), "b".into()),
+                new: ("a".into(), "c".into()),
+            }
+        );
+        assert_eq!(
+            parse_statement("QUERY pupil(euclid)", 1).unwrap(),
+            Statement::Query {
+                function: "pupil".into(),
+                x: "euclid".into(),
+            }
+        );
+        assert_eq!(
+            parse_statement("TRUTH pupil(euclid, john)", 1).unwrap(),
+            Statement::Truth {
+                function: "pupil".into(),
+                x: "euclid".into(),
+                y: "john".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_nullary_statements() {
+        assert_eq!(parse_statement("SCHEMA", 1).unwrap(), Statement::Schema);
+        assert_eq!(parse_statement("stats", 1).unwrap(), Statement::Stats);
+        assert_eq!(parse_statement("Resolve", 1).unwrap(), Statement::Resolve);
+        assert_eq!(parse_statement("CHECK", 1).unwrap(), Statement::Check);
+        assert_eq!(parse_statement("", 1).unwrap(), Statement::Empty);
+        assert_eq!(
+            parse_statement("  -- nothing", 1).unwrap(),
+            Statement::Empty
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse_statement("SCHEMA extra", 1).is_err());
+        assert!(parse_statement("INSERT teach(a, b) c", 1).is_err());
+    }
+
+    #[test]
+    fn missing_with_is_an_error() {
+        assert!(parse_statement("REPLACE f(a, b) (c, d)", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_keyword_is_an_error() {
+        let err = parse_statement("FROBNICATE x", 7).unwrap_err();
+        assert!(matches!(err, FdbError::Parse { line: 7, .. }));
+    }
+
+    #[test]
+    fn quoted_values() {
+        let s = parse_statement(r#"INSERT teach("Dr. Euclid", math)"#, 1).unwrap();
+        assert_eq!(
+            s,
+            Statement::Insert {
+                function: "teach".into(),
+                x: "Dr. Euclid".into(),
+                y: "math".into(),
+            }
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! A line-oriented REPL over [`Engine`].
+//!
+//! Reads statements from any `BufRead`, writes results to any `Write`, so
+//! the REPL is fully testable; the `quickstart` example wires it to
+//! stdin/stdout.
+
+use std::io::{BufRead, Write};
+
+use fdb_types::Result;
+
+use crate::engine::Engine;
+
+/// Runs the REPL until end of input or a `QUIT`/`EXIT` line. Errors are
+/// printed, not fatal. Returns the engine so callers can inspect the
+/// final database state.
+pub fn run_repl<R: BufRead, W: Write>(
+    mut engine: Engine,
+    input: R,
+    mut output: W,
+    prompt: bool,
+) -> Result<Engine> {
+    if prompt {
+        let _ = write!(output, "fdb> ");
+        let _ = output.flush();
+    }
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if trimmed.eq_ignore_ascii_case("quit") || trimmed.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match engine.execute_line(&line) {
+            Ok(text) => {
+                let _ = output.write_all(text.as_bytes());
+            }
+            Err(e) => {
+                let _ = writeln!(output, "error: {e}");
+            }
+        }
+        if prompt {
+            let _ = write!(output, "fdb> ");
+            let _ = output.flush();
+        }
+    }
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repl_runs_script_and_reports_errors() {
+        let script = "DECLARE teach: faculty -> course (many-many)\n\
+                      INSERT teach(euclid, math)\n\
+                      INSERT ghost(a, b)\n\
+                      TRUTH teach(euclid, math)\n\
+                      QUIT\n\
+                      TRUTH teach(euclid, math)\n";
+        let mut out = Vec::new();
+        let engine = run_repl(Engine::new(), script.as_bytes(), &mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("declared teach"));
+        assert!(text.contains("error: unknown function \"ghost\""));
+        assert!(text.contains("T\n"));
+        // Input after QUIT was not executed.
+        assert_eq!(text.matches("T\n").count(), 1);
+        // Engine state is returned.
+        assert_eq!(engine.database().stats().base_facts, 1);
+    }
+
+    #[test]
+    fn repl_prompt_mode_prints_prompts() {
+        let mut out = Vec::new();
+        run_repl(Engine::new(), "STATS\n".as_bytes(), &mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("fdb> "));
+        assert_eq!(text.matches("fdb> ").count(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! Relational substrate and view-update baselines.
+//!
+//! §3.1 of Yerneni & Lanka contrasts their NC/NVC update semantics with
+//! the relational view-update literature: Dayal–Bernstein's "correct
+//! translation" criterion `[6]` and Fagin–Ullman–Vardi's minimal-change
+//! semantics `[9]`, plus the naive translation their §3 example warns
+//! about. None of that 1980s code survives, so this crate re-implements
+//! the three baselines over a minimal relational substrate, specialised to
+//! *chain views* — views of the form `π_{A,Z}(r₁ ⋈ r₂ ⋈ … ⋈ r_k)` over
+//! binary relations, which are exactly the relational mirror of function
+//! composition and the shape of every example in the paper.
+//!
+//! The crate exists so the benchmarks (experiments E5 and E9) can measure
+//! what the paper claims qualitatively: the baselines trade side effects
+//! (or rejections) for expressibility, while the functional database's
+//! NC/NVC semantics stores the partial information and has no side
+//! effects by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod chain_db;
+pub mod metrics;
+
+pub use baselines::{
+    dayal_bernstein_delete, dayal_bernstein_insert, fuv_delete, fuv_insert, naive_delete,
+    naive_insert, Translation,
+};
+pub use chain_db::{BinaryRelation, ChainDb};
+pub use metrics::{delete_side_effects, insert_side_effects, SideEffects};

@@ -1,0 +1,159 @@
+//! Side-effect measurement — the "goodness" metric of §3.1.
+//!
+//! "The 'goodness' of the approximation is measured by quantifying the
+//! undesirable side effect." For a delete of view tuple `t`, the side
+//! effect of a translation is the set of *other* view tuples that changed
+//! (disappeared or appeared); for an insert, the set of view tuples other
+//! than `t` that appeared or disappeared.
+
+use std::collections::BTreeSet;
+
+use fdb_types::Value;
+
+use crate::baselines::Translation;
+use crate::chain_db::ChainDb;
+
+/// Side effects of a translation on the view.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SideEffects {
+    /// View tuples (≠ the updated one) that vanished.
+    pub lost: BTreeSet<(Value, Value)>,
+    /// View tuples (≠ the updated one) that appeared.
+    pub gained: BTreeSet<(Value, Value)>,
+    /// `true` if the translation failed to achieve the requested effect.
+    pub effect_missed: bool,
+}
+
+impl SideEffects {
+    /// Total number of collateral view changes.
+    pub fn count(&self) -> usize {
+        self.lost.len() + self.gained.len()
+    }
+
+    /// `true` when the translation is "correct" in the `[6]` sense.
+    pub fn is_side_effect_free(&self) -> bool {
+        self.count() == 0 && !self.effect_missed
+    }
+}
+
+fn diff(
+    before: &BTreeSet<(Value, Value)>,
+    after: &BTreeSet<(Value, Value)>,
+    target: &(Value, Value),
+) -> SideEffects {
+    let mut s = SideEffects::default();
+    for t in before.difference(after) {
+        if t != target {
+            s.lost.insert(t.clone());
+        }
+    }
+    for t in after.difference(before) {
+        if t != target {
+            s.gained.insert(t.clone());
+        }
+    }
+    s
+}
+
+/// Applies `translation` to a copy of `db` and measures the side effects
+/// of deleting view tuple `(x, y)`.
+pub fn delete_side_effects(
+    db: &ChainDb,
+    translation: &Translation,
+    x: &Value,
+    y: &Value,
+) -> SideEffects {
+    let before = db.view();
+    let mut trial = db.clone();
+    translation.apply(&mut trial);
+    let after = trial.view();
+    let target = (x.clone(), y.clone());
+    let mut s = diff(&before, &after, &target);
+    s.effect_missed = after.contains(&target);
+    s
+}
+
+/// Applies `translation` to a copy of `db` and measures the side effects
+/// of inserting view tuple `(x, y)`.
+pub fn insert_side_effects(
+    db: &ChainDb,
+    translation: &Translation,
+    x: &Value,
+    y: &Value,
+) -> SideEffects {
+    let before = db.view();
+    let mut trial = db.clone();
+    translation.apply(&mut trial);
+    let after = trial.view();
+    let target = (x.clone(), y.clone());
+    let mut s = diff(&before, &after, &target);
+    s.effect_missed = !after.contains(&target);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{dayal_bernstein_delete, fuv_delete, naive_delete};
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn pupil_db() -> ChainDb {
+        let mut db = ChainDb::new(2);
+        db.insert(0, "euclid", "math");
+        db.insert(0, "laplace", "math");
+        db.insert(0, "laplace", "physics");
+        db.insert(1, "math", "john");
+        db.insert(1, "math", "bill");
+        db
+    }
+
+    #[test]
+    fn naive_delete_side_effects_match_paper() {
+        // §3: deleting <euclid, math> collaterally deletes pupil(euclid,
+        // bill); deleting <math, john> collaterally deletes pupil(laplace,
+        // john).
+        let db = pupil_db();
+        let t = naive_delete(&db, &v("euclid"), &v("john")).unwrap();
+        let s = delete_side_effects(&db, &t, &v("euclid"), &v("john"));
+        assert!(!s.effect_missed);
+        assert_eq!(s.count(), 1);
+        let lost: Vec<_> = s.lost.iter().cloned().collect();
+        assert!(lost == vec![(v("euclid"), v("bill"))] || lost == vec![(v("laplace"), v("john"))]);
+    }
+
+    #[test]
+    fn fuv_delete_has_measured_side_effects_here() {
+        let db = pupil_db();
+        let t = fuv_delete(&db, &v("euclid"), &v("john")).unwrap();
+        let s = delete_side_effects(&db, &t, &v("euclid"), &v("john"));
+        assert!(!s.effect_missed);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn db_delete_when_accepted_is_side_effect_free() {
+        // Single-chain instance: DB accepts and is clean.
+        let mut db = ChainDb::new(2);
+        db.insert(0, "euclid", "math");
+        db.insert(1, "math", "john");
+        let t = dayal_bernstein_delete(&db, &v("euclid"), &v("john")).unwrap();
+        let s = delete_side_effects(&db, &t, &v("euclid"), &v("john"));
+        assert!(s.is_side_effect_free());
+    }
+
+    #[test]
+    fn effect_missed_detection() {
+        let db = pupil_db();
+        // An empty translation misses the effect.
+        let t = Translation {
+            deletions: vec![],
+            insertions: vec![],
+        };
+        let s = delete_side_effects(&db, &t, &v("euclid"), &v("john"));
+        assert!(s.effect_missed);
+        assert_eq!(s.count(), 0);
+    }
+}

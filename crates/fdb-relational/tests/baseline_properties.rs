@@ -1,0 +1,122 @@
+//! Correctness properties of the baseline view-update translators, on
+//! random chain databases.
+
+use proptest::prelude::*;
+
+use fdb_relational::{
+    dayal_bernstein_delete, dayal_bernstein_insert, delete_side_effects, fuv_delete, fuv_insert,
+    insert_side_effects, naive_delete, naive_insert, ChainDb,
+};
+use fdb_types::Value;
+
+/// Random chain database: k ∈ {2, 3}, small dense domains so views are
+/// non-trivial but the combinatorial searches stay fast.
+fn arb_chain_db() -> impl Strategy<Value = (ChainDb, Vec<(Value, Value)>)> {
+    (2usize..=3, 1usize..12, 2usize..4).prop_flat_map(|(k, tuples, domain)| {
+        proptest::collection::vec((0..k, 0..domain, 0..domain), tuples).prop_map(move |entries| {
+            let mut db = ChainDb::new(k);
+            for (rel, l, r) in entries {
+                db.insert(rel, format!("v{rel}#{l}"), format!("v{}#{r}", rel + 1));
+            }
+            let view: Vec<(Value, Value)> = db.view().into_iter().collect();
+            (db, view)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dayal–Bernstein deletes, when accepted, are correct by definition:
+    /// effect achieved, zero view side effects.
+    #[test]
+    fn db_deletes_are_correct((db, view) in arb_chain_db()) {
+        for (x, y) in view.iter().take(3) {
+            if let Some(t) = dayal_bernstein_delete(&db, x, y) {
+                let s = delete_side_effects(&db, &t, x, y);
+                prop_assert!(s.is_side_effect_free());
+            }
+        }
+    }
+
+    /// FUV deletes achieve the effect and are minimal: no proper subset of
+    /// the returned deletions removes the view tuple.
+    #[test]
+    fn fuv_deletes_achieve_effect_minimally((db, view) in arb_chain_db()) {
+        for (x, y) in view.iter().take(3) {
+            let t = fuv_delete(&db, x, y).expect("tuple is in the view");
+            let s = delete_side_effects(&db, &t, x, y);
+            prop_assert!(!s.effect_missed);
+            for skip in 0..t.deletions.len() {
+                let mut trial = db.clone();
+                for (i, d) in t.deletions.iter().enumerate() {
+                    if i != skip {
+                        trial.remove(d);
+                    }
+                }
+                prop_assert!(
+                    trial.view().contains(&(x.clone(), y.clone())),
+                    "a proper subset already removed the tuple: not minimal"
+                );
+            }
+        }
+    }
+
+    /// Naive deletes remove one base tuple; they achieve the effect when
+    /// the view tuple has a single witnessing chain, and can *miss* it
+    /// when several chains witness the tuple — part of what makes the
+    /// translation naive.
+    #[test]
+    fn naive_deletes_single_chain_behaviour((db, view) in arb_chain_db()) {
+        for (x, y) in view.iter().take(3) {
+            let t = naive_delete(&db, x, y).expect("tuple is in the view");
+            prop_assert_eq!(t.deletions.len(), 1);
+            let s = delete_side_effects(&db, &t, x, y);
+            if db.chains_for(x, y).len() == 1 {
+                prop_assert!(!s.effect_missed);
+            }
+        }
+    }
+
+    /// All insert translators achieve the effect; skolem (naive) inserts
+    /// are side-effect free; DB inserts, when accepted, are side-effect
+    /// free; FUV inserts never cost more than the naive full chain.
+    #[test]
+    fn insert_translators_achieve_effect((db, _view) in arb_chain_db()) {
+        let mut seq = 0u64;
+        let x = Value::atom("v0#fresh");
+        let y = Value::atom(format!("v{}#0", db.arity()));
+        let tn = naive_insert(&db, &x, &y, &mut seq);
+        let sn = insert_side_effects(&db, &tn, &x, &y);
+        prop_assert!(!sn.effect_missed);
+        prop_assert_eq!(sn.count(), 0, "skolem chains never add other view tuples");
+        prop_assert_eq!(tn.cost(), db.arity());
+
+        let tf = fuv_insert(&db, &x, &y, &mut seq);
+        let sf = insert_side_effects(&db, &tf, &x, &y);
+        prop_assert!(!sf.effect_missed);
+        prop_assert!(tf.cost() <= tn.cost());
+
+        if let Some(td) = dayal_bernstein_insert(&db, &x, &y, &mut seq) {
+            let sd = insert_side_effects(&db, &td, &x, &y);
+            prop_assert!(sd.is_side_effect_free());
+            prop_assert!(td.cost() <= tf.cost(),
+                "DB picks among minimal completions only");
+        }
+    }
+
+    /// The view is exactly the endpoints of the chains: consistency of the
+    /// two traversal implementations.
+    #[test]
+    fn view_and_chains_agree((db, view) in arb_chain_db()) {
+        for (x, y) in &view {
+            prop_assert!(!db.chains_for(x, y).is_empty());
+        }
+        // And chains never witness a non-view pair (spot-check endpoints
+        // built from the active boundary values).
+        let probe_x = Value::atom("v0#0");
+        let probe_y = Value::atom(format!("v{}#0", db.arity()));
+        let in_view = view.contains(&(probe_x.clone(), probe_y.clone()));
+        prop_assert_eq!(!db.chains_for(&probe_x, &probe_y).is_empty(), in_view);
+    }
+}

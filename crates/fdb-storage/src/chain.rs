@@ -1,0 +1,651 @@
+//! Chains of base facts and the §3.2 truth semantics of derived facts.
+//!
+//! "A derived fact can be obtained by composing a chain of base facts if
+//! adjacent pairs of facts in the chain match. […] A derived fact is true
+//! if it is obtained from a chain of true base facts which matches
+//! exactly. It is ambiguous if it can be obtained from a chain of base
+//! facts which is not a superset of a NC and each chain of base facts
+//! from which it can be obtained either does not match exactly or
+//! contains at least one ambiguous fact. A derived fact is false if it is
+//! neither true nor ambiguous."
+//!
+//! A chain for the derivation `f = u₁f₁ o … o u_k f_k` is a sequence of
+//! rows, one from each step's table, oriented by the step's operator (an
+//! inverse step reads its table right-to-left). Matching of adjacent
+//! links — and of the chain's endpoints against the queried pair — uses
+//! [`fdb_types::MatchKind`]: exact, ambiguous (through null values), or
+//! none.
+//!
+//! `derived-delete` also lives here: it converts every *exactly* matching
+//! chain that derives the deleted pair into an NC. (Chains that only
+//! match ambiguously assert nothing exact about the pair; negating them
+//! would falsify base facts the update does not speak about, which is
+//! precisely the side-effect behaviour the paper rejects.)
+
+use serde::{Deserialize, Serialize};
+
+use fdb_types::{Derivation, MatchKind, Op, Step, Value};
+
+use crate::fact::Fact;
+use crate::store::Store;
+use crate::truth::Truth;
+
+/// Caps on chain enumeration (ambiguous matching through nulls can fan
+/// out combinatorially).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ChainLimits {
+    /// Maximum number of chains collected per query.
+    pub max_chains: usize,
+}
+
+impl Default for ChainLimits {
+    fn default() -> Self {
+        ChainLimits { max_chains: 10_000 }
+    }
+}
+
+/// One chain of base facts deriving some pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chain {
+    /// The facts, in derivation-step order.
+    pub facts: Vec<Fact>,
+    /// Combined match quality of all links and both endpoints.
+    pub matching: MatchKind,
+    /// Three-valued conjunction of the member facts' truth flags.
+    pub flags: Truth,
+}
+
+impl Chain {
+    /// `true` if this chain proves its derived fact true: exact matching
+    /// and all members true.
+    pub fn proves_true(&self) -> bool {
+        self.matching == MatchKind::Exact && self.flags == Truth::True
+    }
+}
+
+/// A pair in the computed extension of a derived function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivedPair {
+    /// Domain value.
+    pub x: Value,
+    /// Range value.
+    pub y: Value,
+    /// Truth of the derived fact `(x, y)`.
+    pub truth: Truth,
+}
+
+/// How a derivation step reads its table.
+#[derive(Clone, Copy, Debug)]
+struct StepView {
+    function: fdb_types::FunctionId,
+    inverted: bool,
+}
+
+impl StepView {
+    fn of(step: &Step) -> Self {
+        StepView {
+            function: step.function,
+            inverted: step.op == Op::Inverse,
+        }
+    }
+
+    /// The link's left value (the side matched against the incoming value).
+    fn left<'v>(&self, x: &'v Value, y: &'v Value) -> &'v Value {
+        if self.inverted {
+            y
+        } else {
+            x
+        }
+    }
+
+    /// The link's right value (carried to the next step).
+    fn right<'v>(&self, x: &'v Value, y: &'v Value) -> &'v Value {
+        if self.inverted {
+            x
+        } else {
+            y
+        }
+    }
+}
+
+/// Enumerates chains of stored facts for `derivation` whose left endpoint
+/// matches `x` and right endpoint matches `y`.
+///
+/// With `allow_ambiguous` every link (and endpoint) may match ambiguously
+/// through nulls; otherwise only exact matches are followed — the mode
+/// `derived-delete` uses.
+pub fn chains_deriving(
+    store: &Store,
+    derivation: &Derivation,
+    x: &Value,
+    y: &Value,
+    allow_ambiguous: bool,
+    limits: ChainLimits,
+) -> Vec<Chain> {
+    let views: Vec<StepView> = derivation.steps().iter().map(StepView::of).collect();
+    let mut out = Vec::new();
+    let mut facts = Vec::with_capacity(views.len());
+    search(
+        store,
+        &views,
+        0,
+        x,
+        y,
+        MatchKind::Exact,
+        Truth::True,
+        allow_ambiguous,
+        limits,
+        &mut facts,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    store: &Store,
+    views: &[StepView],
+    depth: usize,
+    incoming: &Value,
+    goal_y: &Value,
+    matching: MatchKind,
+    flags: Truth,
+    allow_ambiguous: bool,
+    limits: ChainLimits,
+    facts: &mut Vec<Fact>,
+    out: &mut Vec<Chain>,
+) {
+    if out.len() >= limits.max_chains {
+        return;
+    }
+    let view = views[depth];
+    let table = store.table(view.function);
+    // Candidate rows whose left side matches `incoming`.
+    let mut candidates: Vec<usize> = if view.inverted {
+        table.rows_with_y(incoming).collect()
+    } else {
+        table.rows_with_x(incoming).collect()
+    };
+    if allow_ambiguous {
+        if incoming.is_null() {
+            // A null matches everything at least ambiguously.
+            candidates = table.live_indices().collect();
+        } else if view.inverted {
+            candidates.extend(table.rows_with_null_y());
+        } else {
+            candidates.extend(table.rows_with_null_x());
+        }
+    }
+    for i in candidates {
+        if out.len() >= limits.max_chains {
+            return;
+        }
+        let Some(row) = table.row(i) else { continue };
+        let left = view.left(row.x, row.y);
+        let right = view.right(row.x, row.y).clone();
+        let link = incoming.matches(left);
+        if link == MatchKind::None {
+            continue;
+        }
+        let m = matching.and(link);
+        if !allow_ambiguous && m != MatchKind::Exact {
+            continue;
+        }
+        let fl = flags.and(row.truth);
+        facts.push(Fact {
+            function: view.function,
+            x: row.x.clone(),
+            y: row.y.clone(),
+        });
+        if depth + 1 == views.len() {
+            let endpoint = right.matches(goal_y);
+            let m_final = m.and(endpoint);
+            if m_final != MatchKind::None && (allow_ambiguous || m_final == MatchKind::Exact) {
+                out.push(Chain {
+                    facts: facts.clone(),
+                    matching: m_final,
+                    flags: fl,
+                });
+            }
+        } else {
+            search(
+                store,
+                views,
+                depth + 1,
+                &right,
+                goal_y,
+                m,
+                fl,
+                allow_ambiguous,
+                limits,
+                facts,
+                out,
+            );
+        }
+        facts.pop();
+    }
+}
+
+/// §3.2 truth of the derived fact `(x, y)` under a set of derivations
+/// (cyclic function graphs can give a derived function several
+/// derivations; evidence is combined with three-valued OR).
+pub fn derived_truth(
+    store: &Store,
+    derivations: &[Derivation],
+    x: &Value,
+    y: &Value,
+    limits: ChainLimits,
+) -> Truth {
+    let mut best = Truth::False;
+    for derivation in derivations {
+        for chain in chains_deriving(store, derivation, x, y, true, limits) {
+            if chain.proves_true() {
+                return Truth::True;
+            }
+            if !store.ncs().chain_covers_some_nc(&chain.facts) {
+                best = Truth::Ambiguous;
+            }
+        }
+    }
+    best
+}
+
+/// Computes the visible extension of a derived function: every pair of
+/// *non-null* endpoint values derivable through some chain, with its
+/// §3.2 truth value. Pairs whose truth is [`Truth::False`] (all their
+/// chains are negated) are omitted — they are not in the extension.
+///
+/// The result is sorted by (x, y) for deterministic display.
+pub fn derived_extension(
+    store: &Store,
+    derivations: &[Derivation],
+    limits: ChainLimits,
+) -> Vec<DerivedPair> {
+    let mut pairs: Vec<(Value, Value)> = Vec::new();
+    for derivation in derivations {
+        for chain in all_chains(store, derivation, limits) {
+            let first = &chain.facts[0];
+            let last = &chain.facts[chain.facts.len() - 1];
+            let sv_first = StepView::of(&derivation.steps()[0]);
+            let sv_last = StepView::of(&derivation.steps()[derivation.len() - 1]);
+            let x = sv_first.left(&first.x, &first.y).clone();
+            let y = sv_last.right(&last.x, &last.y).clone();
+            if !x.is_null() && !y.is_null() {
+                pairs.push((x, y));
+            }
+        }
+    }
+    pairs.sort();
+    pairs.dedup();
+    pairs
+        .into_iter()
+        .filter_map(|(x, y)| {
+            let truth = derived_truth(store, derivations, &x, &y, limits);
+            (truth != Truth::False).then_some(DerivedPair { x, y, truth })
+        })
+        .collect()
+}
+
+/// Enumerates every chain of the derivation regardless of endpoints
+/// (links matching at least ambiguously).
+fn all_chains(store: &Store, derivation: &Derivation, limits: ChainLimits) -> Vec<Chain> {
+    let views: Vec<StepView> = derivation.steps().iter().map(StepView::of).collect();
+    let first = views[0];
+    let table = store.table(first.function);
+    let mut out = Vec::new();
+    let mut facts = Vec::with_capacity(views.len());
+    for i in table.live_indices().collect::<Vec<_>>() {
+        if out.len() >= limits.max_chains {
+            break;
+        }
+        let Some(row) = table.row(i) else { continue };
+        let right = first.right(row.x, row.y).clone();
+        facts.push(Fact {
+            function: first.function,
+            x: row.x.clone(),
+            y: row.y.clone(),
+        });
+        if views.len() == 1 {
+            out.push(Chain {
+                facts: facts.clone(),
+                matching: MatchKind::Exact,
+                flags: row.truth,
+            });
+        } else {
+            search_open(
+                store,
+                &views,
+                1,
+                &right,
+                MatchKind::Exact,
+                row.truth,
+                limits,
+                &mut facts,
+                &mut out,
+            );
+        }
+        facts.pop();
+    }
+    out
+}
+
+/// Like [`search`], but with no goal endpoint: collects all full-length
+/// chains (used for extension computation).
+#[allow(clippy::too_many_arguments)]
+fn search_open(
+    store: &Store,
+    views: &[StepView],
+    depth: usize,
+    incoming: &Value,
+    matching: MatchKind,
+    flags: Truth,
+    limits: ChainLimits,
+    facts: &mut Vec<Fact>,
+    out: &mut Vec<Chain>,
+) {
+    if out.len() >= limits.max_chains {
+        return;
+    }
+    let view = views[depth];
+    let table = store.table(view.function);
+    let mut candidates: Vec<usize> = if view.inverted {
+        table.rows_with_y(incoming).collect()
+    } else {
+        table.rows_with_x(incoming).collect()
+    };
+    if incoming.is_null() {
+        candidates = table.live_indices().collect();
+    } else if view.inverted {
+        candidates.extend(table.rows_with_null_y());
+    } else {
+        candidates.extend(table.rows_with_null_x());
+    }
+    for i in candidates {
+        if out.len() >= limits.max_chains {
+            return;
+        }
+        let Some(row) = table.row(i) else { continue };
+        let left = view.left(row.x, row.y);
+        let link = incoming.matches(left);
+        if link == MatchKind::None {
+            continue;
+        }
+        let m = matching.and(link);
+        let fl = flags.and(row.truth);
+        let right = view.right(row.x, row.y).clone();
+        facts.push(Fact {
+            function: view.function,
+            x: row.x.clone(),
+            y: row.y.clone(),
+        });
+        if depth + 1 == views.len() {
+            out.push(Chain {
+                facts: facts.clone(),
+                matching: m,
+                flags: fl,
+            });
+        } else {
+            search_open(store, views, depth + 1, &right, m, fl, limits, facts, out);
+        }
+        facts.pop();
+    }
+}
+
+/// Which chains a derived delete negates — an ablation knob.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeletePolicy {
+    /// The paper's procedure: negate every *exactly* matching chain.
+    /// Chains that only match ambiguously (through mismatched nulls)
+    /// assert nothing exact about the deleted pair, and negating them
+    /// would falsify facts the update does not speak about — so they are
+    /// left alone, and the deleted fact may remain *ambiguous* when such
+    /// chains exist.
+    #[default]
+    Faithful,
+    /// Additionally negate ambiguously matching chains, guaranteeing the
+    /// deleted fact evaluates to `False` afterwards — at the cost of
+    /// asserting more than the update logically implies. Provided for the
+    /// ablation benchmark; not the paper's semantics.
+    Strict,
+}
+
+/// §4.1 `derived-delete(f, x, y)`: "for each path p of (f, x, y) do
+/// create-NC(p)" — every exactly matching chain becomes a negated
+/// conjunction (see [`DeletePolicy`] for the ambiguous-chain knob).
+/// Returns the ids of the NCs created.
+pub fn derived_delete(
+    store: &mut Store,
+    derivations: &[Derivation],
+    x: &Value,
+    y: &Value,
+    limits: ChainLimits,
+) -> Vec<crate::nc::NcId> {
+    derived_delete_with_policy(store, derivations, x, y, DeletePolicy::Faithful, limits)
+}
+
+/// [`derived_delete`] with an explicit [`DeletePolicy`].
+pub fn derived_delete_with_policy(
+    store: &mut Store,
+    derivations: &[Derivation],
+    x: &Value,
+    y: &Value,
+    policy: DeletePolicy,
+    limits: ChainLimits,
+) -> Vec<crate::nc::NcId> {
+    let allow_ambiguous = policy == DeletePolicy::Strict;
+    let mut chains: Vec<Vec<Fact>> = Vec::new();
+    for derivation in derivations {
+        for chain in chains_deriving(store, derivation, x, y, allow_ambiguous, limits) {
+            if !chains.contains(&chain.facts) {
+                chains.push(chain.facts);
+            }
+        }
+    }
+    chains
+        .into_iter()
+        .map(|facts| store.create_nc(facts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{FunctionId, Step};
+
+    const TEACH: FunctionId = FunctionId(0);
+    const CLASS_LIST: FunctionId = FunctionId(1);
+
+    fn pupil_derivation() -> Derivation {
+        Derivation::new(vec![Step::identity(TEACH), Step::identity(CLASS_LIST)]).unwrap()
+    }
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    /// The §3 instance: teach = {euclid→math, laplace→math, laplace→physics},
+    /// class_list = {math→john, math→bill}.
+    fn paper_instance() -> Store {
+        let mut s = Store::new(2);
+        s.base_insert(TEACH, v("euclid"), v("math"));
+        s.base_insert(TEACH, v("laplace"), v("math"));
+        s.base_insert(TEACH, v("laplace"), v("physics"));
+        s.base_insert(CLASS_LIST, v("math"), v("john"));
+        s.base_insert(CLASS_LIST, v("math"), v("bill"));
+        s
+    }
+
+    #[test]
+    fn exact_chain_of_true_facts_is_true() {
+        let s = paper_instance();
+        let d = [pupil_derivation()];
+        assert_eq!(
+            derived_truth(&s, &d, &v("euclid"), &v("john"), ChainLimits::default()),
+            Truth::True
+        );
+        assert_eq!(
+            derived_truth(&s, &d, &v("laplace"), &v("bill"), ChainLimits::default()),
+            Truth::False.or(Truth::True)
+        );
+    }
+
+    #[test]
+    fn absent_pair_is_false() {
+        let s = paper_instance();
+        let d = [pupil_derivation()];
+        assert_eq!(
+            derived_truth(&s, &d, &v("gauss"), &v("john"), ChainLimits::default()),
+            Truth::False
+        );
+        assert_eq!(
+            derived_truth(&s, &d, &v("euclid"), &v("nobody"), ChainLimits::default()),
+            Truth::False
+        );
+    }
+
+    #[test]
+    fn derived_delete_negates_the_single_chain() {
+        // u1 of the §4.2 trace: DEL(pupil, <euclid, john>).
+        let mut s = paper_instance();
+        let d = [pupil_derivation()];
+        let ncs = derived_delete(&mut s, &d, &v("euclid"), &v("john"), ChainLimits::default());
+        assert_eq!(ncs.len(), 1);
+        let conj = s.ncs().get(ncs[0]).unwrap();
+        assert_eq!(conj.len(), 2);
+        // The deleted pair is now false…
+        assert_eq!(
+            derived_truth(&s, &d, &v("euclid"), &v("john"), ChainLimits::default()),
+            Truth::False
+        );
+        // …its chain-mates became ambiguous (no side-effect deletion)…
+        assert_eq!(
+            derived_truth(&s, &d, &v("euclid"), &v("bill"), ChainLimits::default()),
+            Truth::Ambiguous
+        );
+        assert_eq!(
+            derived_truth(&s, &d, &v("laplace"), &v("john"), ChainLimits::default()),
+            Truth::Ambiguous
+        );
+        // …and the untouched pair stays true.
+        assert_eq!(
+            derived_truth(&s, &d, &v("laplace"), &v("bill"), ChainLimits::default()),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn extension_reproduces_pupil_after_u1() {
+        let mut s = paper_instance();
+        let d = [pupil_derivation()];
+        derived_delete(&mut s, &d, &v("euclid"), &v("john"), ChainLimits::default());
+        let ext = derived_extension(&s, &d, ChainLimits::default());
+        let rendered: Vec<String> = ext
+            .iter()
+            .map(|p| format!("{} {} {}", p.x, p.y, p.truth.flag()))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec!["euclid bill A", "laplace bill T", "laplace john A",]
+        );
+    }
+
+    #[test]
+    fn null_links_match_exactly_only_with_same_index() {
+        // NVC-style chain through n1 is exact; through mismatched nulls is
+        // ambiguous.
+        let mut s = Store::new(2);
+        let n1 = s.fresh_null();
+        let n2 = s.fresh_null();
+        s.base_insert(TEACH, v("gauss"), n1.clone());
+        s.base_insert(CLASS_LIST, n1.clone(), v("bill"));
+        s.base_insert(CLASS_LIST, n2.clone(), v("john"));
+        let d = [pupil_derivation()];
+        assert_eq!(
+            derived_truth(&s, &d, &v("gauss"), &v("bill"), ChainLimits::default()),
+            Truth::True
+        );
+        assert_eq!(
+            derived_truth(&s, &d, &v("gauss"), &v("john"), ChainLimits::default()),
+            Truth::Ambiguous
+        );
+    }
+
+    #[test]
+    fn inverse_steps_read_tables_backwards() {
+        // taught_by = teach⁻¹.
+        let mut s = Store::new(1);
+        s.base_insert(TEACH, v("euclid"), v("math"));
+        let d = [Derivation::single(Step::inverse(TEACH))];
+        assert_eq!(
+            derived_truth(&s, &d, &v("math"), &v("euclid"), ChainLimits::default()),
+            Truth::True
+        );
+        assert_eq!(
+            derived_truth(&s, &d, &v("euclid"), &v("math"), ChainLimits::default()),
+            Truth::False
+        );
+        let ext = derived_extension(&s, &d, ChainLimits::default());
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext[0].x, v("math"));
+        assert_eq!(ext[0].y, v("euclid"));
+    }
+
+    #[test]
+    fn ambiguous_fact_makes_chain_ambiguous_even_if_exact() {
+        let mut s = paper_instance();
+        let d = [pupil_derivation()];
+        // NC over a different derived fact's chain shares <teach,euclid,math>.
+        derived_delete(&mut s, &d, &v("euclid"), &v("john"), ChainLimits::default());
+        // euclid-bill's chain matches exactly but contains the ambiguous
+        // <teach,euclid,math>: not true, not NC-covered → ambiguous.
+        let chains = chains_deriving(
+            &s,
+            &pupil_derivation(),
+            &v("euclid"),
+            &v("bill"),
+            true,
+            ChainLimits::default(),
+        );
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].matching, MatchKind::Exact);
+        assert_eq!(chains[0].flags, Truth::Ambiguous);
+    }
+
+    #[test]
+    fn chain_limit_caps_enumeration() {
+        let mut s = Store::new(2);
+        for i in 0..20 {
+            s.base_insert(TEACH, v("x"), v(&format!("m{i}")));
+            s.base_insert(CLASS_LIST, v(&format!("m{i}")), v("y"));
+        }
+        let chains = chains_deriving(
+            &s,
+            &pupil_derivation(),
+            &v("x"),
+            &v("y"),
+            true,
+            ChainLimits { max_chains: 5 },
+        );
+        assert_eq!(chains.len(), 5);
+    }
+
+    #[test]
+    fn multiple_derivations_combine_with_or() {
+        // Derivation A yields ambiguous evidence, derivation B yields true:
+        // the fact is true.
+        let mut s = Store::new(3);
+        let other = FunctionId(2);
+        let n1 = s.fresh_null();
+        s.base_insert(TEACH, v("gauss"), n1.clone());
+        s.base_insert(CLASS_LIST, v("math"), v("john")); // mismatched link → ambiguous
+        s.base_insert(other, v("gauss"), v("john"));
+        let d = [
+            pupil_derivation(),
+            Derivation::single(Step::identity(other)),
+        ];
+        assert_eq!(
+            derived_truth(&s, &d, &v("gauss"), &v("john"), ChainLimits::default()),
+            Truth::True
+        );
+    }
+}

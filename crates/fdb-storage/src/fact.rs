@@ -1,0 +1,71 @@
+//! Facts: `<f, a, b>` triples representing `f(a) = b` (§3.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use fdb_types::{FunctionId, Value};
+
+/// A fact `f(a) = b`, denoted `<f, a, b>` in the paper.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Fact {
+    /// The function the fact belongs to.
+    pub function: FunctionId,
+    /// Domain value (`a`).
+    pub x: Value,
+    /// Range value (`b`).
+    pub y: Value,
+}
+
+impl Fact {
+    /// Builds a fact.
+    pub fn new(function: FunctionId, x: impl Into<Value>, y: impl Into<Value>) -> Self {
+        Fact {
+            function,
+            x: x.into(),
+            y: y.into(),
+        }
+    }
+
+    /// The `(x, y)` pair of the fact.
+    pub fn pair(&self) -> (Value, Value) {
+        (self.x.clone(), self.y.clone())
+    }
+
+    /// `true` if either side of the fact is a null value.
+    pub fn has_null(&self) -> bool {
+        self.x.is_null() || self.y.is_null()
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}, {}>", self.function, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::NullId;
+
+    #[test]
+    fn construction_and_pair() {
+        let f = Fact::new(FunctionId(0), "euclid", "math");
+        assert_eq!(f.pair(), (Value::atom("euclid"), Value::atom("math")));
+        assert!(!f.has_null());
+    }
+
+    #[test]
+    fn has_null_detects_either_side() {
+        let n = Value::Null(NullId(1));
+        assert!(Fact::new(FunctionId(0), n.clone(), Value::atom("x")).has_null());
+        assert!(Fact::new(FunctionId(0), Value::atom("x"), n).has_null());
+    }
+
+    #[test]
+    fn display_is_triple_notation() {
+        let f = Fact::new(FunctionId(2), "gauss", Value::Null(NullId(1)));
+        assert_eq!(f.to_string(), "<F2, gauss, n1>");
+    }
+}

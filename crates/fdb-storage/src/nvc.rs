@@ -1,0 +1,281 @@
+//! Null-valued chains (NVC) and the derived-insert procedure (§3.2, §4.1).
+//!
+//! Inserting a derived fact `<f, x, y>` with `f = f₁ o … o f_k` asserts
+//! that intermediate witnesses exist without naming them. The paper stores
+//! a *null-valued chain*: fresh, uniquely indexed nulls `n₁ … n_{k−1}`
+//! thread the chain `<x, n₁> ∈ f₁, <n₁, n₂> ∈ f₂, …, <n_{k−1}, y> ∈ f_k`.
+//!
+//! ```text
+//! derived-insert(f, x, y):
+//!   if exists-NVC(f, x, y) then clean-up-NVC(f, x, y)
+//!   else create-NVC(f, x, y)
+//! ```
+//!
+//! `clean-up-NVC` re-asserts every link with `base-insert`, which both
+//! dismantles any NCs the links were drawn into and resets their flags to
+//! `T` — "making an ambiguous NVC true".
+//!
+//! Inverse steps are handled by orientation: a step `u = inverse` stores
+//! its link `(v, w)` as the pair `<w, v>` in the step's table.
+
+use fdb_types::{Derivation, Op, Value};
+
+use crate::fact::Fact;
+use crate::store::Store;
+
+/// Orientation helper: the stored pair for a link `from → to` of `step`.
+fn oriented_pair(step: &fdb_types::Step, from: Value, to: Value) -> (Value, Value) {
+    match step.op {
+        Op::Identity => (from, to),
+        Op::Inverse => (to, from),
+    }
+}
+
+/// §4.1 `create-NVC(f, x, y)`: generates `k−1` fresh nulls and stores the
+/// chain. Returns the created facts in step order.
+pub fn create_nvc(store: &mut Store, derivation: &Derivation, x: Value, y: Value) -> Vec<Fact> {
+    let k = derivation.len();
+    let mut boundary = Vec::with_capacity(k + 1);
+    boundary.push(x);
+    for _ in 1..k {
+        let n = store.fresh_null();
+        boundary.push(n);
+    }
+    boundary.push(y);
+    let mut created = Vec::with_capacity(k);
+    for (j, step) in derivation.steps().iter().enumerate() {
+        let (px, py) = oriented_pair(step, boundary[j].clone(), boundary[j + 1].clone());
+        store.base_insert(step.function, px.clone(), py.clone());
+        created.push(Fact {
+            function: step.function,
+            x: px,
+            y: py,
+        });
+    }
+    created
+}
+
+/// §4.1 `exists-NVC(f, x, y)`: looks for a stored chain
+/// `<x, n₁> ∈ f₁, …, <n_{k−1}, y> ∈ f_k` whose intermediate values are all
+/// null. Returns the chain's facts if found.
+pub fn exists_nvc(
+    store: &Store,
+    derivation: &Derivation,
+    x: &Value,
+    y: &Value,
+) -> Option<Vec<Fact>> {
+    let mut facts = Vec::with_capacity(derivation.len());
+    find_nvc(store, derivation, 0, x, y, &mut facts).then_some(facts)
+}
+
+fn find_nvc(
+    store: &Store,
+    derivation: &Derivation,
+    depth: usize,
+    incoming: &Value,
+    goal: &Value,
+    facts: &mut Vec<Fact>,
+) -> bool {
+    let step = &derivation.steps()[depth];
+    let inverted = step.op == Op::Inverse;
+    let table = store.table(step.function);
+    let last = depth + 1 == derivation.len();
+    let candidates: Vec<usize> = if inverted {
+        table.rows_with_y(incoming).collect()
+    } else {
+        table.rows_with_x(incoming).collect()
+    };
+    for i in candidates {
+        let Some(row) = table.row(i) else { continue };
+        let next = if inverted { row.x } else { row.y };
+        if last {
+            if next == goal {
+                facts.push(Fact {
+                    function: step.function,
+                    x: row.x.clone(),
+                    y: row.y.clone(),
+                });
+                return true;
+            }
+        } else if next.is_null() {
+            facts.push(Fact {
+                function: step.function,
+                x: row.x.clone(),
+                y: row.y.clone(),
+            });
+            let next = next.clone();
+            if find_nvc(store, derivation, depth + 1, &next, goal, facts) {
+                return true;
+            }
+            facts.pop();
+        }
+    }
+    false
+}
+
+/// §4.1 `clean-up-NVC(f, x, y)`: re-asserts every link of the found NVC
+/// with `base-insert`, making an ambiguous NVC true. Returns `true` if an
+/// NVC was found and cleaned.
+pub fn cleanup_nvc(store: &mut Store, derivation: &Derivation, x: &Value, y: &Value) -> bool {
+    let Some(facts) = exists_nvc(store, derivation, x, y) else {
+        return false;
+    };
+    for fact in facts {
+        store.base_insert(fact.function, fact.x, fact.y);
+    }
+    true
+}
+
+/// §4.1 `derived-insert(f, x, y)` for one derivation.
+pub fn derived_insert(store: &mut Store, derivation: &Derivation, x: Value, y: Value) {
+    if cleanup_nvc(store, derivation, &x, &y) {
+        return;
+    }
+    create_nvc(store, derivation, x, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{derived_truth, ChainLimits};
+    use crate::truth::Truth;
+    use fdb_types::{FunctionId, NullId, Step};
+
+    const TEACH: FunctionId = FunctionId(0);
+    const CLASS_LIST: FunctionId = FunctionId(1);
+
+    fn pupil() -> Derivation {
+        Derivation::new(vec![Step::identity(TEACH), Step::identity(CLASS_LIST)]).unwrap()
+    }
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn create_nvc_threads_fresh_nulls() {
+        // u2 of the trace: INS(pupil, <gauss, bill>) creates
+        // <teach, gauss, n1> and <class_list, n1, bill>.
+        let mut s = Store::new(2);
+        let facts = create_nvc(&mut s, &pupil(), v("gauss"), v("bill"));
+        assert_eq!(facts.len(), 2);
+        assert_eq!(facts[0].x, v("gauss"));
+        assert_eq!(facts[0].y, Value::Null(NullId(1)));
+        assert_eq!(facts[1].x, Value::Null(NullId(1)));
+        assert_eq!(facts[1].y, v("bill"));
+        assert_eq!(
+            derived_truth(
+                &s,
+                &[pupil()],
+                &v("gauss"),
+                &v("bill"),
+                ChainLimits::default()
+            ),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn exists_nvc_finds_the_chain() {
+        let mut s = Store::new(2);
+        create_nvc(&mut s, &pupil(), v("gauss"), v("bill"));
+        let found = exists_nvc(&s, &pupil(), &v("gauss"), &v("bill")).unwrap();
+        assert_eq!(found.len(), 2);
+        assert!(exists_nvc(&s, &pupil(), &v("gauss"), &v("john")).is_none());
+    }
+
+    #[test]
+    fn exists_nvc_requires_null_intermediates() {
+        // A fully concrete chain is not an NVC.
+        let mut s = Store::new(2);
+        s.base_insert(TEACH, v("euclid"), v("math"));
+        s.base_insert(CLASS_LIST, v("math"), v("john"));
+        assert!(exists_nvc(&s, &pupil(), &v("euclid"), &v("john")).is_none());
+    }
+
+    #[test]
+    fn derived_insert_is_idempotent_via_cleanup() {
+        let mut s = Store::new(2);
+        derived_insert(&mut s, &pupil(), v("gauss"), v("bill"));
+        let count = s.fact_count();
+        derived_insert(&mut s, &pupil(), v("gauss"), v("bill"));
+        assert_eq!(s.fact_count(), count, "second insert reuses the NVC");
+        assert_eq!(s.nulls().generated(), 1);
+    }
+
+    #[test]
+    fn cleanup_resolves_ambiguous_links() {
+        // Insert a derived fact, delete it (NC over the NVC), insert again:
+        // the clean-up must dismantle the NC and restore truth.
+        let mut s = Store::new(2);
+        derived_insert(&mut s, &pupil(), v("gauss"), v("bill"));
+        crate::chain::derived_delete(
+            &mut s,
+            &[pupil()],
+            &v("gauss"),
+            &v("bill"),
+            ChainLimits::default(),
+        );
+        assert_eq!(
+            derived_truth(
+                &s,
+                &[pupil()],
+                &v("gauss"),
+                &v("bill"),
+                ChainLimits::default()
+            ),
+            Truth::False
+        );
+        derived_insert(&mut s, &pupil(), v("gauss"), v("bill"));
+        assert!(s.ncs().is_empty());
+        assert_eq!(
+            derived_truth(
+                &s,
+                &[pupil()],
+                &v("gauss"),
+                &v("bill"),
+                ChainLimits::default()
+            ),
+            Truth::True
+        );
+        assert_eq!(s.nulls().generated(), 1, "no second chain was created");
+    }
+
+    #[test]
+    fn single_step_derivation_inserts_directly() {
+        // k = 1: the NVC is the fact itself; no nulls are generated.
+        let mut s = Store::new(1);
+        let d = Derivation::single(Step::identity(TEACH));
+        derived_insert(&mut s, &d, v("euclid"), v("math"));
+        assert_eq!(s.nulls().generated(), 0);
+        assert!(s.table(TEACH).contains(&v("euclid"), &v("math")));
+    }
+
+    #[test]
+    fn inverse_step_orientation() {
+        // taught_by = teach⁻¹; INS(taught_by, <math, euclid>) stores
+        // <euclid, math> in teach.
+        let mut s = Store::new(1);
+        let d = Derivation::single(Step::inverse(TEACH));
+        derived_insert(&mut s, &d, v("math"), v("euclid"));
+        assert!(s.table(TEACH).contains(&v("euclid"), &v("math")));
+    }
+
+    #[test]
+    fn inverse_step_in_longer_chain() {
+        // lecturer_of = class_list⁻¹ o teach⁻¹;
+        // INS(lecturer_of, <john, euclid>) must store
+        // <n1, john> in class_list and <euclid, n1> in teach.
+        let mut s = Store::new(2);
+        let d = Derivation::new(vec![Step::inverse(CLASS_LIST), Step::inverse(TEACH)]).unwrap();
+        let facts = create_nvc(&mut s, &d, v("john"), v("euclid"));
+        assert_eq!(facts[0].function, CLASS_LIST);
+        assert_eq!(facts[0].x, Value::Null(NullId(1)));
+        assert_eq!(facts[0].y, v("john"));
+        assert_eq!(facts[1].function, TEACH);
+        assert_eq!(facts[1].x, v("euclid"));
+        assert_eq!(facts[1].y, Value::Null(NullId(1)));
+        // And exists-NVC finds it back through the inverse orientation.
+        assert!(exists_nvc(&s, &d, &v("john"), &v("euclid")).is_some());
+    }
+}

@@ -1,0 +1,507 @@
+//! The fact store: per-function tables + NC store + null generator.
+//!
+//! Implements the base-level procedures of §4.1 (`base-insert`,
+//! `base-delete`, `create-NC`, `dismantle-NC`). The derived-level
+//! procedures (`derived-insert` / `derived-delete` and their NVC helpers)
+//! live in [`crate::nvc`] and [`crate::chain`] because they need a
+//! derivation; the full update dispatch is assembled in `fdb-core`.
+
+use serde::{Deserialize, Serialize};
+
+use fdb_types::{FunctionId, NullGen, Value};
+
+use crate::fact::Fact;
+use crate::nc::{NcId, NcStore};
+use crate::table::Table;
+use crate::truth::Truth;
+
+/// The extensional state of a functional database instance.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Store {
+    tables: Vec<Table>,
+    ncs: NcStore,
+    nulls: NullGen,
+    /// Monotone mutation counter: bumped by every state-changing
+    /// operation, so caches (materialised extensions, see `fdb-core`) can
+    /// detect staleness cheaply.
+    #[serde(default)]
+    version: u64,
+}
+
+impl Store {
+    /// Creates an empty store with `n_functions` (initially empty) tables.
+    pub fn new(n_functions: usize) -> Self {
+        Store {
+            tables: (0..n_functions).map(|_| Table::new()).collect(),
+            ncs: NcStore::new(),
+            nulls: NullGen::new(),
+            version: 0,
+        }
+    }
+
+    /// Rebuilds all table indexes (after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        for t in &mut self.tables {
+            t.rebuild_index();
+        }
+    }
+
+    /// Grows the table vector so `f` has a table (used when functions are
+    /// declared after the store was created).
+    pub fn ensure_table(&mut self, f: FunctionId) {
+        while self.tables.len() <= f.index() {
+            self.tables.push(Table::new());
+        }
+    }
+
+    /// The table of `f`.
+    ///
+    /// # Panics
+    /// Panics if `f` has no table; call [`Store::ensure_table`] first.
+    pub fn table(&self, f: FunctionId) -> &Table {
+        &self.tables[f.index()]
+    }
+
+    /// Mutable access to the table of `f`.
+    pub fn table_mut(&mut self, f: FunctionId) -> &mut Table {
+        self.ensure_table(f);
+        &mut self.tables[f.index()]
+    }
+
+    /// The NC store.
+    pub fn ncs(&self) -> &NcStore {
+        &self.ncs
+    }
+
+    /// The null generator.
+    pub fn nulls(&self) -> &NullGen {
+        &self.nulls
+    }
+
+    /// Draws a fresh null value.
+    pub fn fresh_null(&mut self) -> Value {
+        self.version += 1;
+        self.nulls.fresh()
+    }
+
+    /// Monotone mutation counter (see the field's documentation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Truth flag of a base fact: the row's flag if stored, otherwise
+    /// [`Truth::False`] ("those not existing in the database are false").
+    pub fn base_truth(&self, fact: &Fact) -> Truth {
+        match self.tables.get(fact.function.index()) {
+            Some(t) => t.truth_of(&fact.x, &fact.y),
+            None => Truth::False,
+        }
+    }
+
+    /// §4.1 `create-NC(Conj-list)`: registers the NC, flags every conjunct
+    /// ambiguous and links it into the conjunct's NCL.
+    ///
+    /// Conjuncts must be stored facts (they come from chains of existing
+    /// rows); unknown conjuncts are ignored defensively after a debug
+    /// assertion.
+    pub fn create_nc(&mut self, conjuncts: Vec<Fact>) -> NcId {
+        self.version += 1;
+        let id = self.ncs.create(conjuncts.clone());
+        for fact in &conjuncts {
+            self.ensure_table(fact.function);
+            let table = &mut self.tables[fact.function.index()];
+            match table.position(&fact.x, &fact.y) {
+                Some(i) => table.attach_nc(i, id),
+                None => debug_assert!(false, "create-NC on unstored fact {fact}"),
+            }
+        }
+        id
+    }
+
+    /// §4.1 `dismantle-NC(d)`: unlinks every conjunct's NCL entry and
+    /// removes the NC. Flags are *not* reset — the conjuncts stay
+    /// ambiguous ("each element of NC(d) is ambiguous, while their
+    /// conjunction is not false").
+    pub fn dismantle_nc(&mut self, id: NcId) {
+        self.version += 1;
+        for fact in self.ncs.dismantle(id) {
+            if let Some(t) = self.tables.get_mut(fact.function.index()) {
+                if let Some(i) = t.position(&fact.x, &fact.y) {
+                    t.detach_nc(i, id);
+                }
+            }
+        }
+    }
+
+    /// §4.1 `base-insert(f, x, y)`:
+    ///
+    /// ```text
+    /// if (<x,y> not in table of f) then add <x,y,T,nil> to table of f
+    /// else { for each d in NCL of <x,y> do dismantle-NC(d);
+    ///        set the truth-flag of <x,y> to T }
+    /// ```
+    pub fn base_insert(&mut self, f: FunctionId, x: Value, y: Value) {
+        self.version += 1;
+        self.ensure_table(f);
+        let table = &mut self.tables[f.index()];
+        match table.position(&x, &y) {
+            None => {
+                table.insert(x, y);
+            }
+            Some(i) => {
+                let ncl: Vec<NcId> = table
+                    .row(i)
+                    .map(|r| r.ncl.iter().copied().collect())
+                    .unwrap_or_default();
+                for d in ncl {
+                    self.dismantle_nc(d);
+                }
+                self.tables[f.index()].set_truth(i, Truth::True);
+            }
+        }
+    }
+
+    /// §4.1 `base-delete(f, x, y)`:
+    ///
+    /// ```text
+    /// if (<x,y> present in table of f) then
+    ///   { for each d in NCL of <x,y> do dismantle-NC(d);
+    ///     remove <x,y> from table of f }
+    /// ```
+    ///
+    /// Returns `true` if the pair was present.
+    pub fn base_delete(&mut self, f: FunctionId, x: &Value, y: &Value) -> bool {
+        self.version += 1;
+        self.ensure_table(f);
+        let Some(i) = self.tables[f.index()].position(x, y) else {
+            return false;
+        };
+        let ncl: Vec<NcId> = self.tables[f.index()]
+            .row(i)
+            .map(|r| r.ncl.iter().copied().collect())
+            .unwrap_or_default();
+        for d in ncl {
+            self.dismantle_nc(d);
+        }
+        self.tables[f.index()].remove(x, y);
+        true
+    }
+
+    /// Substitutes the null value `from` by `to` throughout the database:
+    /// every row key and NC conjunct mentioning `from` is rewritten.
+    ///
+    /// This is the mechanical half of the paper's §5 observation that
+    /// functional dependencies resolve partial information — the logical
+    /// half (discovering that a null *must* equal a value) lives in
+    /// `fdb-core`'s resolution pass.
+    ///
+    /// If a rewritten row collides with an existing row, the rows merge:
+    /// if either was true the merged fact is treated as a fresh assertion
+    /// of truth (its NCs are dismantled, per `base-insert`); otherwise the
+    /// NCLs are unioned and the fact stays ambiguous.
+    ///
+    /// # Panics
+    /// Panics (debug) if `from` is not a null value.
+    pub fn substitute_null(&mut self, from: &Value, to: &Value) {
+        self.version += 1;
+        debug_assert!(from.is_null(), "substitute_null must be given a null");
+        if from == to {
+            return;
+        }
+        // 1. Rewrite NC conjunct keys first so later dismantles see the
+        //    post-substitution facts.
+        self.ncs.substitute_value(from, to);
+
+        // 2. Rewrite table rows.
+        let mut reassert: Vec<Fact> = Vec::new();
+        for fi in 0..self.tables.len() {
+            let affected: Vec<(Value, Value)> = self.tables[fi]
+                .rows()
+                .filter(|r| r.x == from || r.y == from)
+                .map(|r| (r.x.clone(), r.y.clone()))
+                .collect();
+            for (x, y) in affected {
+                let table = &mut self.tables[fi];
+                let i = table.position(&x, &y).expect("row was just listed");
+                let (truth, ncl) = {
+                    let r = table.row(i).expect("row alive");
+                    (r.truth, r.ncl.clone())
+                };
+                table.remove(&x, &y);
+                let nx = if x == *from { to.clone() } else { x };
+                let ny = if y == *from { to.clone() } else { y };
+                match table.position(&nx, &ny) {
+                    None => {
+                        table.restore_row(nx, ny, truth, ncl);
+                    }
+                    Some(j) => {
+                        // Merge with the existing row.
+                        let existing = table.row(j).expect("row alive");
+                        let either_true = existing.truth == Truth::True || truth == Truth::True;
+                        for &d in &ncl {
+                            table.attach_nc(j, d);
+                        }
+                        if either_true {
+                            reassert.push(Fact {
+                                function: FunctionId(fi as u32),
+                                x: nx,
+                                y: ny,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Re-assert merged-true facts through base-insert semantics.
+        for f in reassert {
+            self.base_insert(f.function, f.x, f.y);
+        }
+        // 4. Drop NCs that became degenerate: a conjunct key may now be
+        //    missing if its row merged away — the dual check keeps them
+        //    aligned because merging preserved keys; nothing to do.
+    }
+
+    /// Total number of live base facts across all tables.
+    pub fn fact_count(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Number of live base facts currently flagged ambiguous.
+    pub fn ambiguous_count(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(|t| t.rows())
+            .filter(|r| r.truth == Truth::Ambiguous)
+            .count()
+    }
+
+    /// Checks the NC ↔ NCL duality invariant: every NC conjunct is a
+    /// stored row whose NCL contains the NC, and every NCL entry points to
+    /// a live NC listing the row. Returns a description of the first
+    /// violation, if any.
+    pub fn check_duality(&self) -> Option<String> {
+        for (id, facts) in self.ncs.iter() {
+            for fact in facts {
+                let Some(t) = self.tables.get(fact.function.index()) else {
+                    return Some(format!("{id}: conjunct {fact} has no table"));
+                };
+                match t.position(&fact.x, &fact.y).and_then(|i| t.row(i)) {
+                    Some(row) if row.ncl.contains(&id) => {}
+                    Some(_) => return Some(format!("{id}: conjunct {fact} lacks back-pointer")),
+                    None => return Some(format!("{id}: conjunct {fact} not stored")),
+                }
+            }
+        }
+        for (fi, t) in self.tables.iter().enumerate() {
+            for row in t.rows() {
+                for &d in row.ncl.iter() {
+                    let listed = self.ncs.get(d).is_some_and(|facts| {
+                        facts
+                            .iter()
+                            .any(|f| f.function.index() == fi && &f.x == row.x && &f.y == row.y)
+                    });
+                    if !listed {
+                        return Some(format!(
+                            "row <{}, {}> of F{} points at {} which does not list it",
+                            row.x, row.y, fi, d
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId(i)
+    }
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn base_insert_fresh_row_is_true() {
+        let mut s = Store::new(2);
+        s.base_insert(f(0), v("euclid"), v("math"));
+        assert_eq!(
+            s.base_truth(&Fact::new(f(0), "euclid", "math")),
+            Truth::True
+        );
+        assert_eq!(s.fact_count(), 1);
+    }
+
+    #[test]
+    fn base_insert_on_ambiguous_fact_resolves_it() {
+        let mut s = Store::new(2);
+        s.base_insert(f(0), v("euclid"), v("math"));
+        s.base_insert(f(1), v("math"), v("john"));
+        let nc = s.create_nc(vec![
+            Fact::new(f(0), "euclid", "math"),
+            Fact::new(f(1), "math", "john"),
+        ]);
+        assert_eq!(
+            s.base_truth(&Fact::new(f(0), "euclid", "math")),
+            Truth::Ambiguous
+        );
+        // Re-asserting one conjunct dismantles the NC and sets it true…
+        s.base_insert(f(0), v("euclid"), v("math"));
+        assert!(!s.ncs().contains(nc));
+        assert_eq!(
+            s.base_truth(&Fact::new(f(0), "euclid", "math")),
+            Truth::True
+        );
+        // …while the other conjunct stays ambiguous (paper's u4 prelude).
+        assert_eq!(
+            s.base_truth(&Fact::new(f(1), "math", "john")),
+            Truth::Ambiguous
+        );
+    }
+
+    #[test]
+    fn base_delete_dismantles_ncs() {
+        let mut s = Store::new(2);
+        s.base_insert(f(0), v("euclid"), v("math"));
+        s.base_insert(f(1), v("math"), v("john"));
+        let nc = s.create_nc(vec![
+            Fact::new(f(0), "euclid", "math"),
+            Fact::new(f(1), "math", "john"),
+        ]);
+        assert!(s.base_delete(f(0), &v("euclid"), &v("math")));
+        assert!(!s.ncs().contains(nc));
+        assert_eq!(
+            s.base_truth(&Fact::new(f(0), "euclid", "math")),
+            Truth::False
+        );
+        // The surviving conjunct keeps flag A with empty NCL — the
+        // `math john A {}` state after u3 in the paper's trace.
+        assert_eq!(
+            s.base_truth(&Fact::new(f(1), "math", "john")),
+            Truth::Ambiguous
+        );
+        assert!(s
+            .table(f(1))
+            .row(s.table(f(1)).position(&v("math"), &v("john")).unwrap())
+            .unwrap()
+            .ncl
+            .is_empty());
+    }
+
+    #[test]
+    fn base_delete_absent_returns_false() {
+        let mut s = Store::new(1);
+        assert!(!s.base_delete(f(0), &v("a"), &v("b")));
+    }
+
+    #[test]
+    fn duality_invariant_holds_through_updates() {
+        let mut s = Store::new(2);
+        s.base_insert(f(0), v("a"), v("b"));
+        s.base_insert(f(1), v("b"), v("c"));
+        s.base_insert(f(1), v("b"), v("d"));
+        let _nc1 = s.create_nc(vec![Fact::new(f(0), "a", "b"), Fact::new(f(1), "b", "c")]);
+        let nc2 = s.create_nc(vec![Fact::new(f(0), "a", "b"), Fact::new(f(1), "b", "d")]);
+        assert!(s.check_duality().is_none());
+        s.dismantle_nc(nc2);
+        assert!(s.check_duality().is_none());
+        s.base_delete(f(0), &v("a"), &v("b"));
+        assert!(s.check_duality().is_none());
+        assert!(s.ncs().is_empty());
+    }
+
+    #[test]
+    fn fact_in_multiple_ncs() {
+        let mut s = Store::new(2);
+        s.base_insert(f(0), v("a"), v("b"));
+        s.base_insert(f(1), v("b"), v("c"));
+        s.base_insert(f(1), v("b"), v("d"));
+        let nc1 = s.create_nc(vec![Fact::new(f(0), "a", "b"), Fact::new(f(1), "b", "c")]);
+        let nc2 = s.create_nc(vec![Fact::new(f(0), "a", "b"), Fact::new(f(1), "b", "d")]);
+        let t = s.table(f(0));
+        let i = t.position(&v("a"), &v("b")).unwrap();
+        let ncl: Vec<NcId> = t.row(i).unwrap().ncl.iter().copied().collect();
+        assert_eq!(ncl, vec![nc1, nc2]);
+        // Inserting the shared conjunct dismantles both.
+        s.base_insert(f(0), v("a"), v("b"));
+        assert!(s.ncs().is_empty());
+        // b→c and b→d remain ambiguous.
+        assert_eq!(s.ambiguous_count(), 2);
+    }
+
+    #[test]
+    fn substitute_null_rewrites_rows_and_ncs() {
+        let mut s = Store::new(2);
+        let n1 = s.fresh_null();
+        s.base_insert(f(0), v("gauss"), n1.clone());
+        s.base_insert(f(1), n1.clone(), v("bill"));
+        let nc = s.create_nc(vec![Fact::new(f(0), v("gauss"), n1.clone())]);
+        s.substitute_null(&n1, &v("math"));
+        assert!(s.table(f(0)).contains(&v("gauss"), &v("math")));
+        assert!(s.table(f(1)).contains(&v("math"), &v("bill")));
+        assert!(!s.table(f(0)).contains(&v("gauss"), &n1));
+        // The NC conjunct was rewritten and duality holds.
+        let conj = s.ncs().get(nc).unwrap();
+        assert_eq!(conj[0].y, v("math"));
+        assert!(s.check_duality().is_none());
+    }
+
+    #[test]
+    fn substitute_null_merges_with_existing_row() {
+        let mut s = Store::new(1);
+        let n1 = s.fresh_null();
+        s.base_insert(f(0), v("gauss"), n1.clone());
+        s.base_insert(f(0), v("gauss"), v("math"));
+        let nc = s.create_nc(vec![Fact::new(f(0), v("gauss"), n1.clone())]);
+        assert_eq!(s.table(f(0)).len(), 2);
+        s.substitute_null(&n1, &v("math"));
+        // Rows merged; the surviving row was true, so the NC over the null
+        // row was dismantled by the re-assertion.
+        assert_eq!(s.table(f(0)).len(), 1);
+        assert_eq!(
+            s.base_truth(&Fact::new(f(0), v("gauss"), v("math"))),
+            Truth::True
+        );
+        assert!(!s.ncs().contains(nc));
+        assert!(s.check_duality().is_none());
+    }
+
+    #[test]
+    fn substitute_null_merge_of_two_ambiguous_rows_unions_ncls() {
+        let mut s = Store::new(2);
+        let n1 = s.fresh_null();
+        s.base_insert(f(0), v("a"), n1.clone());
+        s.base_insert(f(0), v("a"), v("b"));
+        s.base_insert(f(1), v("z"), v("w"));
+        let nc1 = s.create_nc(vec![
+            Fact::new(f(0), v("a"), n1.clone()),
+            Fact::new(f(1), v("z"), v("w")),
+        ]);
+        let nc2 = s.create_nc(vec![
+            Fact::new(f(0), v("a"), v("b")),
+            Fact::new(f(1), v("z"), v("w")),
+        ]);
+        s.substitute_null(&n1, &v("b"));
+        assert_eq!(s.table(f(0)).len(), 1);
+        let i = s.table(f(0)).position(&v("a"), &v("b")).unwrap();
+        let ncl: Vec<NcId> = s.table(f(0)).row(i).unwrap().ncl.iter().copied().collect();
+        assert_eq!(ncl, vec![nc1, nc2]);
+        assert_eq!(
+            s.base_truth(&Fact::new(f(0), v("a"), v("b"))),
+            Truth::Ambiguous
+        );
+        assert!(s.check_duality().is_none());
+    }
+
+    #[test]
+    fn fresh_nulls_are_sequential() {
+        let mut s = Store::new(0);
+        assert_eq!(s.fresh_null().to_string(), "n1");
+        assert_eq!(s.fresh_null().to_string(), "n2");
+        assert_eq!(s.nulls().generated(), 2);
+    }
+}

@@ -1,0 +1,409 @@
+//! Per-function extensional tables of quadruples `<a, b, T/A, NCL>` (§4).
+//!
+//! Rows keep their insertion order (the paper's worked-example tables are
+//! printed in insertion order) and are tombstoned on delete so row indices
+//! remain stable within one table. Lookup indexes by domain value, range
+//! value, and null-valuedness support the chain traversal of [`crate::chain`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use fdb_types::Value;
+
+use crate::nc::NcId;
+use crate::truth::Truth;
+
+/// A stored row (internal representation).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Row {
+    x: Value,
+    y: Value,
+    truth: Truth, // True or Ambiguous; never False while alive
+    ncl: BTreeSet<NcId>,
+    alive: bool,
+}
+
+/// A read-only view of one live row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowView<'t> {
+    /// Domain value.
+    pub x: &'t Value,
+    /// Range value.
+    pub y: &'t Value,
+    /// Truth flag (`T` or `A`).
+    pub truth: Truth,
+    /// The row's negated-conjunction list.
+    pub ncl: &'t BTreeSet<NcId>,
+}
+
+/// The extensional table of one base function.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Table {
+    rows: Vec<Row>,
+    #[serde(skip)]
+    index: HashMap<(Value, Value), usize>,
+    #[serde(skip)]
+    by_x: HashMap<Value, Vec<usize>>,
+    #[serde(skip)]
+    by_y: HashMap<Value, Vec<usize>>,
+    #[serde(skip)]
+    null_x: Vec<usize>,
+    #[serde(skip)]
+    null_y: Vec<usize>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the lookup indexes from the row log (after deserialising).
+    pub fn rebuild_index(&mut self) {
+        self.index.clear();
+        self.by_x.clear();
+        self.by_y.clear();
+        self.null_x.clear();
+        self.null_y.clear();
+        for i in 0..self.rows.len() {
+            if self.rows[i].alive {
+                self.index_row(i);
+            }
+        }
+    }
+
+    fn index_row(&mut self, i: usize) {
+        let (x, y) = (self.rows[i].x.clone(), self.rows[i].y.clone());
+        self.index.insert((x.clone(), y.clone()), i);
+        self.by_x.entry(x.clone()).or_default().push(i);
+        self.by_y.entry(y.clone()).or_default().push(i);
+        if x.is_null() {
+            self.null_x.push(i);
+        }
+        if y.is_null() {
+            self.null_y.push(i);
+        }
+    }
+
+    /// Inserts `(x, y)` with flag `T` and empty NCL, or returns the index
+    /// of the already-present row. The boolean is `true` if a new row was
+    /// created.
+    pub fn insert(&mut self, x: Value, y: Value) -> (usize, bool) {
+        if let Some(&i) = self.index.get(&(x.clone(), y.clone())) {
+            return (i, false);
+        }
+        let i = self.rows.len();
+        self.rows.push(Row {
+            x,
+            y,
+            truth: Truth::True,
+            ncl: BTreeSet::new(),
+            alive: true,
+        });
+        self.index_row(i);
+        (i, true)
+    }
+
+    /// Removes `(x, y)` if present, returning the NCL it carried.
+    pub fn remove(&mut self, x: &Value, y: &Value) -> Option<BTreeSet<NcId>> {
+        let i = self.index.remove(&(x.clone(), y.clone()))?;
+        self.rows[i].alive = false;
+        Some(std::mem::take(&mut self.rows[i].ncl))
+    }
+
+    /// Index of the live row `(x, y)`, if present.
+    pub fn position(&self, x: &Value, y: &Value) -> Option<usize> {
+        self.index.get(&(x.clone(), y.clone())).copied()
+    }
+
+    /// `true` if the pair is present (alive).
+    pub fn contains(&self, x: &Value, y: &Value) -> bool {
+        self.position(x, y).is_some()
+    }
+
+    /// View of the live row at `i`, if alive.
+    pub fn row(&self, i: usize) -> Option<RowView<'_>> {
+        let r = self.rows.get(i)?;
+        r.alive.then_some(RowView {
+            x: &r.x,
+            y: &r.y,
+            truth: r.truth,
+            ncl: &r.ncl,
+        })
+    }
+
+    /// Truth flag of a live pair ([`Truth::False`] if absent — absent base
+    /// facts are false, §3.2).
+    pub fn truth_of(&self, x: &Value, y: &Value) -> Truth {
+        match self.position(x, y) {
+            Some(i) => self.rows[i].truth,
+            None => Truth::False,
+        }
+    }
+
+    /// Sets the truth flag of a live row.
+    pub fn set_truth(&mut self, i: usize, truth: Truth) {
+        debug_assert!(truth != Truth::False, "stored rows are never false");
+        if let Some(r) = self.rows.get_mut(i) {
+            if r.alive {
+                r.truth = truth;
+            }
+        }
+    }
+
+    /// Adds an NC to a live row's NCL (and flags the row ambiguous, per
+    /// `create-NC`).
+    pub fn attach_nc(&mut self, i: usize, nc: NcId) {
+        if let Some(r) = self.rows.get_mut(i) {
+            if r.alive {
+                r.ncl.insert(nc);
+                r.truth = Truth::Ambiguous;
+            }
+        }
+    }
+
+    /// Removes an NC from a live row's NCL. Per the paper's
+    /// `dismantle-NC`, the flag is *not* reset: the member facts remain
+    /// ambiguous until a direct insert asserts them true.
+    pub fn detach_nc(&mut self, i: usize, nc: NcId) {
+        if let Some(r) = self.rows.get_mut(i) {
+            r.ncl.remove(&nc);
+        }
+    }
+
+    /// Low-level insert of a row with explicit flag and NCL, used by null
+    /// substitution to rebuild rows under a new key. If the pair already
+    /// exists the row is left untouched and `None` is returned; otherwise
+    /// the new row's index.
+    pub fn restore_row(
+        &mut self,
+        x: Value,
+        y: Value,
+        truth: Truth,
+        ncl: BTreeSet<NcId>,
+    ) -> Option<usize> {
+        if self.index.contains_key(&(x.clone(), y.clone())) {
+            return None;
+        }
+        let (i, _) = self.insert(x, y);
+        self.rows[i].truth = truth;
+        self.rows[i].ncl = ncl;
+        Some(i)
+    }
+
+    /// Live rows in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> {
+        self.rows.iter().filter(|r| r.alive).map(|r| RowView {
+            x: &r.x,
+            y: &r.y,
+            truth: r.truth,
+            ncl: &r.ncl,
+        })
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.iter().filter(|r| r.alive).count()
+    }
+
+    /// `true` if the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Indices of live rows whose domain value equals `v` exactly.
+    pub fn rows_with_x(&self, v: &Value) -> impl Iterator<Item = usize> + '_ {
+        self.by_x
+            .get(v)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |&i| self.rows[i].alive)
+    }
+
+    /// Indices of live rows whose range value equals `v` exactly.
+    pub fn rows_with_y(&self, v: &Value) -> impl Iterator<Item = usize> + '_ {
+        self.by_y
+            .get(v)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |&i| self.rows[i].alive)
+    }
+
+    /// Indices of live rows whose domain value is a null.
+    pub fn rows_with_null_x(&self) -> impl Iterator<Item = usize> + '_ {
+        self.null_x
+            .iter()
+            .copied()
+            .filter(move |&i| self.rows[i].alive)
+    }
+
+    /// Indices of live rows whose range value is a null.
+    pub fn rows_with_null_y(&self) -> impl Iterator<Item = usize> + '_ {
+        self.null_y
+            .iter()
+            .copied()
+            .filter(move |&i| self.rows[i].alive)
+    }
+
+    /// Indices of all live rows.
+    pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.rows.len()).filter(move |&i| self.rows[i].alive)
+    }
+
+    /// Number of tombstoned rows awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.rows.iter().filter(|r| !r.alive).count()
+    }
+
+    /// Drops tombstoned rows and rebuilds the indexes. Row indices are
+    /// invalidated (they are internal handles only; no NC conjunct stores
+    /// an index — conjuncts key by value pair, which compaction
+    /// preserves). Insertion order of live rows is kept.
+    pub fn compact(&mut self) {
+        if self.tombstones() == 0 {
+            return;
+        }
+        self.rows.retain(|r| r.alive);
+        self.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::NullId;
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = Table::new();
+        let (i, fresh) = t.insert(v("euclid"), v("math"));
+        assert!(fresh);
+        let (j, fresh2) = t.insert(v("euclid"), v("math"));
+        assert!(!fresh2);
+        assert_eq!(i, j);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.truth_of(&v("euclid"), &v("math")), Truth::True);
+        assert_eq!(t.truth_of(&v("euclid"), &v("physics")), Truth::False);
+    }
+
+    #[test]
+    fn remove_tombstones_and_returns_ncl() {
+        let mut t = Table::new();
+        let (i, _) = t.insert(v("a"), v("b"));
+        t.attach_nc(i, NcId(1));
+        let ncl = t.remove(&v("a"), &v("b")).unwrap();
+        assert_eq!(ncl.into_iter().collect::<Vec<_>>(), vec![NcId(1)]);
+        assert!(!t.contains(&v("a"), &v("b")));
+        assert!(t.remove(&v("a"), &v("b")).is_none());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_after_remove_is_fresh_and_true() {
+        let mut t = Table::new();
+        let (i, _) = t.insert(v("a"), v("b"));
+        t.attach_nc(i, NcId(1));
+        t.remove(&v("a"), &v("b"));
+        let (j, fresh) = t.insert(v("a"), v("b"));
+        assert!(fresh);
+        assert_ne!(i, j);
+        assert_eq!(t.truth_of(&v("a"), &v("b")), Truth::True);
+        assert!(t.row(j).unwrap().ncl.is_empty());
+    }
+
+    #[test]
+    fn attach_nc_flags_ambiguous_detach_keeps_flag() {
+        let mut t = Table::new();
+        let (i, _) = t.insert(v("a"), v("b"));
+        t.attach_nc(i, NcId(7));
+        assert_eq!(t.truth_of(&v("a"), &v("b")), Truth::Ambiguous);
+        t.detach_nc(i, NcId(7));
+        // dismantle-NC does not reset the flag (§4; see the `math john A {}`
+        // state after u3 in the paper's trace).
+        assert_eq!(t.truth_of(&v("a"), &v("b")), Truth::Ambiguous);
+        assert!(t.row(i).unwrap().ncl.is_empty());
+        t.set_truth(i, Truth::True);
+        assert_eq!(t.truth_of(&v("a"), &v("b")), Truth::True);
+    }
+
+    #[test]
+    fn value_indexes() {
+        let mut t = Table::new();
+        t.insert(v("math"), v("john"));
+        t.insert(v("math"), v("bill"));
+        t.insert(v("physics"), v("bill"));
+        assert_eq!(t.rows_with_x(&v("math")).count(), 2);
+        assert_eq!(t.rows_with_y(&v("bill")).count(), 2);
+        t.remove(&v("math"), &v("bill"));
+        assert_eq!(t.rows_with_x(&v("math")).count(), 1);
+        assert_eq!(t.rows_with_y(&v("bill")).count(), 1);
+    }
+
+    #[test]
+    fn null_indexes() {
+        let mut t = Table::new();
+        let n1 = Value::Null(NullId(1));
+        t.insert(v("gauss"), n1.clone());
+        t.insert(n1.clone(), v("bill"));
+        assert_eq!(t.rows_with_null_x().count(), 1);
+        assert_eq!(t.rows_with_null_y().count(), 1);
+        t.remove(&n1, &v("bill"));
+        assert_eq!(t.rows_with_null_x().count(), 0);
+    }
+
+    #[test]
+    fn rows_iterate_in_insertion_order() {
+        let mut t = Table::new();
+        t.insert(v("1"), v("a"));
+        t.insert(v("2"), v("b"));
+        t.insert(v("3"), v("c"));
+        t.remove(&v("2"), &v("b"));
+        let xs: Vec<String> = t.rows().map(|r| r.x.to_string()).collect();
+        assert_eq!(xs, vec!["1", "3"]);
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_keeps_order() {
+        let mut t = Table::new();
+        t.insert(v("1"), v("a"));
+        let (i2, _) = t.insert(v("2"), v("b"));
+        t.insert(v("3"), v("c"));
+        t.attach_nc(i2, NcId(4));
+        t.remove(&v("1"), &v("a"));
+        assert_eq!(t.tombstones(), 1);
+        t.compact();
+        assert_eq!(t.tombstones(), 0);
+        assert_eq!(t.len(), 2);
+        let xs: Vec<String> = t.rows().map(|r| r.x.to_string()).collect();
+        assert_eq!(xs, vec!["2", "3"]);
+        // Flags, NCLs and indexes survive compaction.
+        let j = t.position(&v("2"), &v("b")).unwrap();
+        assert_eq!(t.row(j).unwrap().truth, Truth::Ambiguous);
+        assert!(t.row(j).unwrap().ncl.contains(&NcId(4)));
+        assert_eq!(t.rows_with_x(&v("3")).count(), 1);
+        // Compacting an already-compact table is a no-op.
+        t.compact();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rebuild_index_after_serde() {
+        let mut t = Table::new();
+        t.insert(v("a"), v("b"));
+        t.insert(v("c"), v("d"));
+        t.remove(&v("a"), &v("b"));
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Table = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert!(back.contains(&v("c"), &v("d")));
+        assert!(!back.contains(&v("a"), &v("b")));
+        assert_eq!(back.len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, FdbError>;
+
+/// Errors raised by the fdb crates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FdbError {
+    /// A functionality string could not be parsed.
+    ParseFunctionality(String),
+    /// A function name was declared twice in one schema.
+    DuplicateFunction(String),
+    /// A function name is unknown in the schema.
+    UnknownFunction(String),
+    /// An object type name is unknown.
+    UnknownType(String),
+    /// A derivation is not well-formed (adjacent steps do not chain, or it
+    /// is empty).
+    MalformedDerivation(String),
+    /// An update targeted a derived function that has no derivation.
+    NoDerivation(String),
+    /// An update on a derived function passed null arguments (only the
+    /// system introduces nulls; users insert concrete facts).
+    NullInUserUpdate,
+    /// A base update targeted a derived function or vice versa.
+    WrongFunctionKind {
+        /// The function the update targeted.
+        function: String,
+        /// `true` if the function is derived but a base update was attempted.
+        is_derived: bool,
+    },
+    /// A replace update's deleted pair was absent.
+    ReplaceMissing(String),
+    /// Generic parse error from the language front end.
+    Parse {
+        /// 1-based line of the error.
+        line: u32,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// An internal invariant was violated (bug).
+    Internal(String),
+}
+
+impl fmt::Display for FdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdbError::ParseFunctionality(s) => {
+                write!(f, "cannot parse type functionality from {s:?}")
+            }
+            FdbError::DuplicateFunction(name) => {
+                write!(f, "function {name:?} declared more than once")
+            }
+            FdbError::UnknownFunction(name) => write!(f, "unknown function {name:?}"),
+            FdbError::UnknownType(name) => write!(f, "unknown object type {name:?}"),
+            FdbError::MalformedDerivation(why) => {
+                write!(f, "malformed derivation: {why}")
+            }
+            FdbError::NoDerivation(name) => {
+                write!(f, "derived function {name:?} has no registered derivation")
+            }
+            FdbError::NullInUserUpdate => {
+                write!(f, "user updates must not contain null values")
+            }
+            FdbError::WrongFunctionKind {
+                function,
+                is_derived,
+            } => {
+                if *is_derived {
+                    write!(f, "{function:?} is derived; use a derived update")
+                } else {
+                    write!(f, "{function:?} is a base function; use a base update")
+                }
+            }
+            FdbError::ReplaceMissing(what) => {
+                write!(f, "replace: pair to remove not present: {what}")
+            }
+            FdbError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            FdbError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FdbError::UnknownFunction("pupil".into());
+        assert!(e.to_string().contains("pupil"));
+        let e = FdbError::Parse {
+            line: 3,
+            message: "expected '->'".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&FdbError::NullInUserUpdate);
+    }
+}

@@ -1,0 +1,35 @@
+//! Seeded workload generators for the fdb benchmarks and tests.
+//!
+//! The paper has no benchmark suite (1989 design-aid papers rarely did),
+//! so reproducing its complexity claims (Lemma 3, the Method 2.1 cost
+//! analysis) and its qualitative side-effect comparison requires synthetic
+//! workloads. Everything here is deterministic given a seed, so every
+//! bench row and every property failure is reproducible.
+//!
+//! * [`topology`] — schema shapes with controlled cycle structure (paths,
+//!   stars, grids, cycle bundles, parallel ladders) for the AMS and
+//!   design-aid scaling benches;
+//! * [`schema_gen`] — random schemas and *redundant* schemas with known
+//!   ground truth (which functions are derived, and how);
+//! * [`instance_gen`] — random instances over a database's base tables;
+//! * [`update_gen`] — random update streams (base/derived × insert/delete)
+//!   and view-update streams for the relational baselines;
+//! * [`university`] — the paper's running example: the §2.3 design trace
+//!   input and the §3/§4.2 instance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod instance_gen;
+pub mod schema_gen;
+pub mod topology;
+pub mod university;
+pub mod update_gen;
+
+pub use instance_gen::populate;
+pub use schema_gen::{redundant_schema, GroundTruth, SchemaGenConfig};
+pub use topology::Topology;
+pub use university::{
+    university_at_scale, university_database, university_declarations, UNIVERSITY_TRACE,
+};
+pub use update_gen::{chain_db_workload, update_stream, UpdateKind, UpdateStreamConfig};

@@ -1,0 +1,229 @@
+//! Random schemas, including redundant schemas with known ground truth.
+//!
+//! [`redundant_schema`] builds an acyclic *base* skeleton and then adds
+//! derived functions that are (by construction) compositions of base
+//! paths. The ground truth — which names are derived and their unique
+//! derivations — feeds the `OracleDesigner` so the design-aid benchmarks
+//! can measure dialogue cost and verify that Method 2.1 recovers the
+//! truth.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use fdb_graph::{FunctionGraph, PathLimits};
+use fdb_types::{Derivation, Functionality, Schema};
+
+/// Configuration for plain random schema generation.
+#[derive(Clone, Copy, Debug)]
+pub struct SchemaGenConfig {
+    /// Number of functions.
+    pub n_functions: usize,
+    /// Number of object types to draw endpoints from.
+    pub n_types: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SchemaGenConfig {
+    /// Generates a random schema: endpoints and functionalities drawn
+    /// uniformly.
+    pub fn generate(&self) -> Schema {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut schema = Schema::new();
+        for i in 0..self.n_functions {
+            let d = rng.gen_range(0..self.n_types);
+            let r = rng.gen_range(0..self.n_types);
+            let f = Functionality::ALL[rng.gen_range(0..4)];
+            schema
+                .declare(&format!("f{i}"), &format!("t{d}"), &format!("t{r}"), f)
+                .unwrap();
+        }
+        schema
+    }
+}
+
+/// Ground truth attached to a generated redundant schema.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// Names of the functions constructed as derived.
+    pub derived: Vec<String>,
+    /// For each derived name, its constructed derivation rendered against
+    /// the returned schema (e.g. `"f0 o f3"`).
+    pub derivations: Vec<(String, String)>,
+}
+
+/// Builds a schema of `n_base` acyclic base functions (a random tree over
+/// types) plus `n_derived` functions that are compositions of random base
+/// paths of length ≥ 2, declared in shuffled order. Returns the schema and
+/// the ground truth.
+///
+/// All functions are many-many so that candidate detection cannot lean on
+/// functionality alone — the designer (oracle) is genuinely needed, as in
+/// the paper's S2 discussion.
+pub fn redundant_schema(seed: u64, n_base: usize, n_derived: usize) -> (Schema, GroundTruth) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_base = n_base.max(2);
+    let mm = Functionality::ManyMany;
+
+    // Base skeleton: a random tree (acyclic, connected) over n_base+1 types.
+    let mut base_schema = Schema::new();
+    for i in 0..n_base {
+        let parent = if i == 0 { 0 } else { rng.gen_range(0..=i - 1) };
+        // Function i connects t{parent} → t{i+1}; tree over t0..t{n_base}.
+        base_schema
+            .declare(
+                &format!("b{i}"),
+                &format!("t{parent}"),
+                &format!("t{}", i + 1),
+                mm,
+            )
+            .unwrap();
+    }
+    let graph = FunctionGraph::from_schema(&base_schema);
+
+    // Derived functions: random simple paths of length ≥ 2 in the tree.
+    let types: Vec<_> = graph.nodes();
+    let mut truth = GroundTruth::default();
+    let mut derived_specs: Vec<(String, String, String, Derivation)> = Vec::new();
+    let mut attempts = 0;
+    while derived_specs.len() < n_derived && attempts < n_derived * 50 {
+        attempts += 1;
+        let a = types[rng.gen_range(0..types.len())];
+        let b = types[rng.gen_range(0..types.len())];
+        if a == b {
+            continue;
+        }
+        let paths = fdb_graph::all_simple_paths(
+            &graph,
+            a,
+            b,
+            &std::collections::HashSet::new(),
+            PathLimits {
+                max_len: 6,
+                max_paths: 1,
+            },
+        );
+        let Some(path) = paths.into_iter().next() else {
+            continue;
+        };
+        if path.len() < 2 {
+            continue;
+        }
+        let name = format!("d{}", derived_specs.len());
+        let derivation = path.to_derivation(&graph);
+        derived_specs.push((
+            name,
+            base_schema.type_name(a).to_owned(),
+            base_schema.type_name(b).to_owned(),
+            derivation,
+        ));
+    }
+
+    // Final schema: base + derived declarations, shuffled so derived
+    // functions arrive at arbitrary points of the design session.
+    enum Decl {
+        Base(usize),
+        Derived(usize),
+    }
+    let mut order: Vec<Decl> = (0..n_base)
+        .map(Decl::Base)
+        .chain((0..derived_specs.len()).map(Decl::Derived))
+        .collect();
+    order.shuffle(&mut rng);
+
+    let mut schema = Schema::new();
+    for decl in &order {
+        match decl {
+            Decl::Base(i) => {
+                let def = base_schema.function_by_name(&format!("b{i}")).unwrap();
+                schema
+                    .declare(
+                        &format!("b{i}"),
+                        base_schema.type_name(def.domain),
+                        base_schema.type_name(def.range),
+                        mm,
+                    )
+                    .unwrap();
+            }
+            Decl::Derived(i) => {
+                let (name, dom, rng_ty, _) = &derived_specs[*i];
+                schema.declare(name, dom, rng_ty, mm).unwrap();
+            }
+        }
+    }
+    for (name, _, _, derivation) in &derived_specs {
+        truth.derived.push(name.clone());
+        truth
+            .derivations
+            .push((name.clone(), derivation.render(&base_schema)));
+    }
+    (schema, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_graph::{DesignSession, OracleDesigner};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SchemaGenConfig {
+            n_functions: 10,
+            n_types: 5,
+            seed: 7,
+        }
+        .generate();
+        let b = SchemaGenConfig {
+            n_functions: 10,
+            n_types: 5,
+            seed: 7,
+        }
+        .generate();
+        for (x, y) in a.functions().iter().zip(b.functions()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.functionality, y.functionality);
+        }
+    }
+
+    #[test]
+    fn redundant_schema_has_requested_shape() {
+        let (schema, truth) = redundant_schema(42, 10, 4);
+        assert_eq!(schema.len(), 10 + truth.derived.len());
+        assert!(!truth.derived.is_empty());
+        for name in &truth.derived {
+            assert!(schema.function_by_name(name).is_some());
+        }
+    }
+
+    #[test]
+    fn oracle_driven_design_recovers_ground_truth() {
+        let (schema, truth) = redundant_schema(7, 8, 3);
+        let mut oracle = OracleDesigner::new(truth.derived.iter().cloned());
+        let mut session = DesignSession::new();
+        for def in schema.functions() {
+            session
+                .add_function(
+                    &def.name,
+                    schema.type_name(def.domain),
+                    schema.type_name(def.range),
+                    def.functionality,
+                    &mut oracle,
+                )
+                .unwrap();
+        }
+        let derived_names: Vec<String> = session
+            .derived_functions()
+            .into_iter()
+            .map(|f| session.schema().function(f).name.clone())
+            .collect();
+        let mut expected = truth.derived.clone();
+        expected.sort();
+        let mut got = derived_names.clone();
+        got.sort();
+        assert_eq!(
+            got, expected,
+            "design aid must recover exactly the ground truth"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Schema topologies with controlled cycle structure.
+//!
+//! The complexity benches need function graphs whose shape is a knob:
+//! Lemma 3's `O(n²)` bound is exercised on acyclic shapes of growing `n`,
+//! and the "exponential number of cycles" caveat of §2.2 on shapes whose
+//! simple-path count grows combinatorially (parallel ladders).
+
+use fdb_types::{Functionality, Schema};
+
+/// A family of schema shapes, parameterised by function count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// `t0 → t1 → … → tn`: one function per edge of a path.
+    Path,
+    /// All functions share the domain `hub`.
+    Star,
+    /// A balanced binary tree of types, functions pointing to children.
+    Tree,
+    /// A √n × √n grid: functions along rows and columns — cyclic, with a
+    /// polynomial number of short cycles per added edge.
+    Grid,
+    /// A ladder of `width`-way parallel edge bundles: between consecutive
+    /// types t_i, t_{i+1} there are `width` parallel functions. The number
+    /// of simple paths from t_0 to t_m is `width^m` — the exponential
+    /// blow-up case.
+    Ladder {
+        /// Parallel functions per rung.
+        width: usize,
+    },
+}
+
+impl Topology {
+    /// Builds a schema with (at least) `n` functions in this shape.
+    ///
+    /// All functions are declared many-many so every parallel/cyclic path
+    /// is type-functionally equivalent — the adversarial case for cycle
+    /// analysis.
+    pub fn build(self, n: usize) -> Schema {
+        let mut schema = Schema::new();
+        let mm = Functionality::ManyMany;
+        match self {
+            Topology::Path => {
+                for i in 0..n {
+                    schema
+                        .declare(
+                            &format!("f{i}"),
+                            &format!("t{i}"),
+                            &format!("t{}", i + 1),
+                            mm,
+                        )
+                        .unwrap();
+                }
+            }
+            Topology::Star => {
+                for i in 0..n {
+                    schema
+                        .declare(&format!("f{i}"), "hub", &format!("leaf{i}"), mm)
+                        .unwrap();
+                }
+            }
+            Topology::Tree => {
+                for i in 0..n {
+                    let child = i + 1;
+                    let parent = i / 2;
+                    schema
+                        .declare(
+                            &format!("f{i}"),
+                            &format!("t{parent}"),
+                            &format!("t{child}"),
+                            mm,
+                        )
+                        .unwrap();
+                }
+            }
+            Topology::Grid => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                let side = side.max(2);
+                let mut declared = 0;
+                'outer: for r in 0..side {
+                    for c in 0..side {
+                        if c + 1 < side {
+                            schema
+                                .declare(
+                                    &format!("h{r}_{c}"),
+                                    &format!("g{r}_{c}"),
+                                    &format!("g{r}_{}", c + 1),
+                                    mm,
+                                )
+                                .unwrap();
+                            declared += 1;
+                            if declared >= n {
+                                break 'outer;
+                            }
+                        }
+                        if r + 1 < side {
+                            schema
+                                .declare(
+                                    &format!("v{r}_{c}"),
+                                    &format!("g{r}_{c}"),
+                                    &format!("g{}_{c}", r + 1),
+                                    mm,
+                                )
+                                .unwrap();
+                            declared += 1;
+                            if declared >= n {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            Topology::Ladder { width } => {
+                let width = width.max(1);
+                let rungs = n.div_ceil(width).max(1);
+                let mut declared = 0;
+                'outer: for r in 0..rungs {
+                    for w in 0..width {
+                        schema
+                            .declare(
+                                &format!("f{r}_{w}"),
+                                &format!("t{r}"),
+                                &format!("t{}", r + 1),
+                                mm,
+                            )
+                            .unwrap();
+                        declared += 1;
+                        if declared >= n {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_graph::{cycles_through_edge, FunctionGraph, PathLimits};
+
+    #[test]
+    fn shapes_have_requested_size() {
+        for topo in [
+            Topology::Path,
+            Topology::Star,
+            Topology::Tree,
+            Topology::Grid,
+            Topology::Ladder { width: 3 },
+        ] {
+            let s = topo.build(12);
+            assert_eq!(s.len(), 12, "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn path_star_tree_are_acyclic() {
+        for topo in [Topology::Path, Topology::Star, Topology::Tree] {
+            let s = topo.build(16);
+            let g = FunctionGraph::from_schema(&s);
+            for def in s.functions() {
+                let e = g.edge_of(def.id).unwrap().id;
+                assert!(
+                    cycles_through_edge(&g, e, PathLimits::default()).is_empty(),
+                    "{topo:?} produced a cycle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_path_count_is_exponential() {
+        // width w, m rungs → w^m simple paths end to end.
+        let s = Topology::Ladder { width: 2 }.build(8); // 4 rungs of 2
+        let g = FunctionGraph::from_schema(&s);
+        let t0 = s.types().lookup("t0").unwrap();
+        let t4 = s.types().lookup("t4").unwrap();
+        let paths = fdb_graph::all_simple_paths(
+            &g,
+            t0,
+            t4,
+            &std::collections::HashSet::new(),
+            PathLimits::unbounded(),
+        );
+        assert_eq!(paths.len(), 16); // 2^4
+    }
+
+    #[test]
+    fn grid_is_cyclic() {
+        let s = Topology::Grid.build(12);
+        let g = FunctionGraph::from_schema(&s);
+        let any_cycle = s.functions().iter().any(|def| {
+            let e = g.edge_of(def.id).unwrap().id;
+            !cycles_through_edge(&g, e, PathLimits::default()).is_empty()
+        });
+        assert!(any_cycle);
+    }
+}

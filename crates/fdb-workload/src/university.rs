@@ -1,0 +1,242 @@
+//! The paper's running example, as reusable fixtures.
+//!
+//! * [`UNIVERSITY_TRACE`] / [`university_declarations`] — the nine
+//!   function declarations of the §2.3 design trace, in paper order;
+//! * [`trace_designer`] — a scripted designer answering exactly as the
+//!   paper's designer does (remove `taught_by`, remove `lecturer_of`,
+//!   keep the attendance cycle, remove `grade`, keep the candidate-free
+//!   cycle; confirm three derivations, invalidate
+//!   `grade = attendance o attendance_eval`);
+//! * [`design_university`] — runs the full trace and returns the database
+//!   whose base/derived split is Figure 1;
+//! * [`university_database`] — the §3/§4.2 three-function database
+//!   (`pupil = teach o class_list`) loaded with the paper's instance.
+
+use fdb_core::session::FunctionDecl;
+use fdb_core::{design_database, Database};
+use fdb_graph::{DesignConfig, ScriptedDesigner};
+use fdb_types::{Derivation, Result, Schema, Step, Value};
+
+/// The §2.3 declarations: `(name, domain, range, functionality)`.
+pub const UNIVERSITY_TRACE: &[(&str, &str, &str, &str)] = &[
+    ("teach", "faculty", "course", "many-many"),
+    ("taught_by", "course", "faculty", "many-many"),
+    ("class_list", "course", "student", "many-many"),
+    ("lecturer_of", "student", "faculty", "many-many"),
+    ("grade", "[student; course]", "letter_grade", "many-one"),
+    (
+        "attendance",
+        "[student; course]",
+        "attn_percentage",
+        "many-one",
+    ),
+    (
+        "attendance_eval",
+        "attn_percentage",
+        "letter_grade",
+        "many-one",
+    ),
+    ("score", "[student; course]", "marks", "many-one"),
+    ("cutoff", "marks", "letter_grade", "many-one"),
+];
+
+/// The trace declarations as [`FunctionDecl`]s.
+pub fn university_declarations() -> Vec<FunctionDecl> {
+    UNIVERSITY_TRACE
+        .iter()
+        .map(|(n, d, r, f)| FunctionDecl::new(n, d, r, f).expect("trace is well-formed"))
+        .collect()
+}
+
+/// A designer scripted with the paper's §2.3 answers.
+pub fn trace_designer() -> ScriptedDesigner {
+    let mut d = ScriptedDesigner::new();
+    // Cycle teach - taught_by: remove taught_by.
+    d.push_decision_by_name("taught_by");
+    // Cycle teach - class_list - lecturer_of: remove lecturer_of.
+    d.push_decision_by_name("lecturer_of");
+    // Cycle grade - attendance - attendance_eval: "the designer does not
+    // agree with the system and no edge is removed".
+    d.push_keep();
+    // Adding cutoff creates two cycles; the first (grade - score - cutoff)
+    // has candidate grade, confirmed removed; the second has no candidate
+    // and is kept.
+    d.push_decision_by_name("grade");
+    d.push_keep();
+    // Derivation confirmations, in declaration order of the derived
+    // functions (taught_by, lecturer_of, grade):
+    d.push_confirmation(true); // taught_by = teach^-1
+    d.push_confirmation(true); // lecturer_of = class_list^-1 o teach^-1
+    d.push_confirmation(false); // grade = attendance o attendance_eval (invalidated)
+    d.push_confirmation(true); // grade = score o cutoff
+    d
+}
+
+/// Runs the full §2.3 design trace, returning the resulting database —
+/// base functions and confirmed derivations exactly as Figure 1 reports.
+pub fn design_university() -> Result<Database> {
+    let mut designer = trace_designer();
+    design_database(
+        &university_declarations(),
+        &mut designer,
+        DesignConfig::default(),
+    )
+}
+
+/// The §3 / §4.2 schema and instance: `teach`, `class_list` base and
+/// `pupil = teach o class_list` derived, loaded with
+/// `teach = {<euclid, math>, <laplace, math>, <laplace, physics>}` and
+/// `class_list = {<math, john>, <math, bill>}`.
+pub fn university_database() -> Result<Database> {
+    let schema = Schema::builder()
+        .function("teach", "faculty", "course", "many-many")
+        .function("class_list", "course", "student", "many-many")
+        .function("pupil", "faculty", "student", "many-many")
+        .build()?;
+    let mut db = Database::new(schema);
+    let teach = db.resolve("teach")?;
+    let class_list = db.resolve("class_list")?;
+    let pupil = db.resolve("pupil")?;
+    db.register_derived(
+        pupil,
+        vec![Derivation::new(vec![
+            Step::identity(teach),
+            Step::identity(class_list),
+        ])?],
+    )?;
+    db.insert(teach, Value::atom("euclid"), Value::atom("math"))?;
+    db.insert(teach, Value::atom("laplace"), Value::atom("math"))?;
+    db.insert(teach, Value::atom("laplace"), Value::atom("physics"))?;
+    db.insert(class_list, Value::atom("math"), Value::atom("john"))?;
+    db.insert(class_list, Value::atom("math"), Value::atom("bill"))?;
+    Ok(db)
+}
+
+/// A scaled-up instance of the §4.2 shape: `n_faculty` professors each
+/// teaching `courses_per_faculty` of `n_courses` courses, and
+/// `students_per_course` of `n_students` students per course — sized
+/// workloads for the E10 benches and the larger examples. Deterministic
+/// in `seed`.
+pub fn university_at_scale(
+    seed: u64,
+    n_faculty: usize,
+    n_courses: usize,
+    n_students: usize,
+    courses_per_faculty: usize,
+    students_per_course: usize,
+) -> Result<Database> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = university_database()?;
+    let teach = db.resolve("teach")?;
+    let class_list = db.resolve("class_list")?;
+    // Clear the tiny paper instance first.
+    for (f, rows) in [(teach, 3), (class_list, 2)] {
+        let pairs: Vec<(Value, Value)> = db
+            .store()
+            .table(f)
+            .rows()
+            .map(|r| (r.x.clone(), r.y.clone()))
+            .collect();
+        debug_assert_eq!(pairs.len(), rows);
+        for (x, y) in pairs {
+            db.delete(f, &x, &y)?;
+        }
+    }
+    for fi in 0..n_faculty {
+        for _ in 0..courses_per_faculty {
+            let c = rng.gen_range(0..n_courses.max(1));
+            db.insert(
+                teach,
+                Value::atom(format!("prof{fi}")),
+                Value::atom(format!("course{c}")),
+            )?;
+        }
+    }
+    for ci in 0..n_courses {
+        for _ in 0..students_per_course {
+            let s = rng.gen_range(0..n_students.max(1));
+            db.insert(
+                class_list,
+                Value::atom(format!("course{ci}")),
+                Value::atom(format!("student{s}")),
+            )?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_storage::Truth;
+
+    #[test]
+    fn design_trace_reproduces_figure_1() {
+        let db = design_university().unwrap();
+        let names = |fs: Vec<fdb_types::FunctionId>| -> Vec<String> {
+            fs.into_iter()
+                .map(|f| db.schema().function(f).name.clone())
+                .collect()
+        };
+        assert_eq!(
+            names(db.base_functions()),
+            vec![
+                "teach",
+                "class_list",
+                "attendance",
+                "attendance_eval",
+                "score",
+                "cutoff"
+            ]
+        );
+        assert_eq!(
+            names(db.derived_functions()),
+            vec!["taught_by", "lecturer_of", "grade"]
+        );
+    }
+
+    #[test]
+    fn design_trace_confirms_paper_derivations() {
+        let db = design_university().unwrap();
+        let render = |name: &str| -> Vec<String> {
+            let f = db.resolve(name).unwrap();
+            db.derivations(f)
+                .iter()
+                .map(|d| d.render(db.schema()))
+                .collect()
+        };
+        assert_eq!(render("taught_by"), vec!["teach^-1"]);
+        assert_eq!(render("lecturer_of"), vec!["class_list^-1 o teach^-1"]);
+        // Only score o cutoff survives designer filtering.
+        assert_eq!(render("grade"), vec!["score o cutoff"]);
+    }
+
+    #[test]
+    fn scaled_university_is_deterministic_and_consistent() {
+        let a = university_at_scale(7, 20, 15, 100, 3, 8).unwrap();
+        let b = university_at_scale(7, 20, 15, 100, 3, 8).unwrap();
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().base_facts > 100);
+        assert!(a.is_consistent());
+        // Derived queries work over the scaled instance.
+        let pupil = a.resolve("pupil").unwrap();
+        let ext = a.extension(pupil).unwrap();
+        assert!(!ext.is_empty());
+    }
+
+    #[test]
+    fn university_instance_matches_paper() {
+        let db = university_database().unwrap();
+        let pupil = db.resolve("pupil").unwrap();
+        let ext = db.extension(pupil).unwrap();
+        assert_eq!(ext.len(), 4);
+        assert!(ext.iter().all(|p| p.truth == Truth::True));
+        assert_eq!(
+            db.truth_by_name("pupil", &Value::atom("euclid"), &Value::atom("john"))
+                .unwrap(),
+            Truth::True
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Random update streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fdb_core::{Database, Update};
+use fdb_relational::ChainDb;
+use fdb_types::{FunctionId, Value};
+
+/// The kind mix of a generated stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Insert on a base function.
+    BaseInsert,
+    /// Delete on a base function.
+    BaseDelete,
+    /// Insert on a derived function.
+    DerivedInsert,
+    /// Delete on a derived function.
+    DerivedDelete,
+}
+
+/// Configuration for [`update_stream`].
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateStreamConfig {
+    /// Number of updates to generate.
+    pub length: usize,
+    /// Values per type domain.
+    pub domain_size: usize,
+    /// Percentage (0–100) of updates that target derived functions.
+    pub derived_pct: u8,
+    /// Percentage (0–100) of updates that are deletes.
+    pub delete_pct: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a random update stream against `db`'s schema. Updates target
+/// base or derived functions per `derived_pct`; values are drawn from the
+/// same `t#k` naming scheme as [`crate::populate`], so streams compose
+/// with populated instances.
+pub fn update_stream(db: &Database, config: UpdateStreamConfig) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let base = db.base_functions();
+    let derived: Vec<FunctionId> = db
+        .derived_functions()
+        .into_iter()
+        .filter(|&f| !db.derivations(f).is_empty())
+        .collect();
+    let mut out = Vec::with_capacity(config.length);
+    for _ in 0..config.length {
+        let use_derived =
+            !derived.is_empty() && rng.gen_range(0..100) < u32::from(config.derived_pct);
+        let f = if use_derived {
+            derived[rng.gen_range(0..derived.len())]
+        } else if base.is_empty() {
+            continue;
+        } else {
+            base[rng.gen_range(0..base.len())]
+        };
+        let def = db.schema().function(f);
+        let x = Value::atom(format!(
+            "{}#{}",
+            db.schema().type_name(def.domain),
+            rng.gen_range(0..config.domain_size)
+        ));
+        let y = Value::atom(format!(
+            "{}#{}",
+            db.schema().type_name(def.range),
+            rng.gen_range(0..config.domain_size)
+        ));
+        let delete = rng.gen_range(0..100) < u32::from(config.delete_pct);
+        out.push(if delete {
+            Update::Delete { function: f, x, y }
+        } else {
+            Update::Insert { function: f, x, y }
+        });
+    }
+    out
+}
+
+/// Builds a populated [`ChainDb`] of `k` relations mirroring a function
+/// composition chain, for the baseline comparison benches. Values at
+/// boundary `i` are `v{i}#{j}` with `j < domain_size`.
+pub fn chain_db_workload(
+    seed: u64,
+    k: usize,
+    tuples_per_relation: usize,
+    domain_size: usize,
+) -> ChainDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = ChainDb::new(k);
+    for i in 0..k {
+        for _ in 0..tuples_per_relation {
+            let l = format!("v{i}#{}", rng.gen_range(0..domain_size));
+            let r = format!("v{}#{}", i + 1, rng.gen_range(0..domain_size));
+            db.insert(i, l, r);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{Derivation, Schema, Step};
+
+    fn db() -> Database {
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let (t, c, p) = (
+            db.resolve("teach").unwrap(),
+            db.resolve("class_list").unwrap(),
+            db.resolve("pupil").unwrap(),
+        );
+        db.register_derived(
+            p,
+            vec![Derivation::new(vec![Step::identity(t), Step::identity(c)]).unwrap()],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_applies_cleanly() {
+        let mut database = db();
+        let config = UpdateStreamConfig {
+            length: 200,
+            domain_size: 8,
+            derived_pct: 30,
+            delete_pct: 40,
+            seed: 11,
+        };
+        let s1 = update_stream(&database, config);
+        let s2 = update_stream(&database, config);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 200);
+        for u in s1 {
+            database.apply(u).unwrap();
+        }
+        assert!(database.is_consistent());
+    }
+
+    #[test]
+    fn derived_pct_controls_targeting() {
+        let database = db();
+        let pupil = database.resolve("pupil").unwrap();
+        let all_base = update_stream(
+            &database,
+            UpdateStreamConfig {
+                length: 100,
+                domain_size: 4,
+                derived_pct: 0,
+                delete_pct: 50,
+                seed: 3,
+            },
+        );
+        assert!(all_base.iter().all(|u| match u {
+            Update::Insert { function, .. } | Update::Delete { function, .. } => *function != pupil,
+            Update::Replace { function, .. } => *function != pupil,
+        }));
+        let all_derived = update_stream(
+            &database,
+            UpdateStreamConfig {
+                length: 100,
+                domain_size: 4,
+                derived_pct: 100,
+                delete_pct: 50,
+                seed: 3,
+            },
+        );
+        assert!(all_derived.iter().all(|u| match u {
+            Update::Insert { function, .. } | Update::Delete { function, .. } => *function == pupil,
+            Update::Replace { function, .. } => *function == pupil,
+        }));
+    }
+
+    #[test]
+    fn chain_db_workload_joins() {
+        let db = chain_db_workload(9, 3, 60, 6);
+        assert_eq!(db.arity(), 3);
+        assert!(db.fact_count() > 0);
+        // With dense small domains the view is non-empty.
+        assert!(!db.view().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! The §2.3 interactive design-aid session.
+//!
+//! Replays the paper's ten-function design trace through Method 2.1 with
+//! a designer scripted to the paper's answers, printing every cycle
+//! report, every decision, the resulting dynamic function graph (Figure
+//! 1), and the confirmed derivations.
+//!
+//! Run with `--interactive` to play designer yourself: the program reads
+//! your decisions from stdin.
+//!
+//! ```sh
+//! cargo run --example design_aid
+//! cargo run --example design_aid -- --interactive
+//! ```
+
+use std::io::Write as _;
+
+use fdb::graph::report::{render_graph, render_log, render_outcome, render_session_summary};
+use fdb::graph::{CycleDecision, CycleReport, DesignSession, Designer};
+use fdb::types::{Derivation, FunctionId, Schema};
+use fdb::workload::university::{trace_designer, UNIVERSITY_TRACE};
+
+/// A designer that prints every report and reads answers from stdin.
+struct InteractiveDesigner;
+
+impl Designer for InteractiveDesigner {
+    fn resolve_cycle(&mut self, schema: &Schema, report: &CycleReport) -> CycleDecision {
+        println!("cycle found: {}", report.rendered);
+        let candidates: Vec<&str> = report
+            .candidates
+            .iter()
+            .map(|&f| schema.function(f).name.as_str())
+            .collect();
+        println!("candidate derived functions: {candidates:?}");
+        loop {
+            print!("remove which function (name, or empty to keep all)? ");
+            let _ = std::io::stdout().flush();
+            let mut line = String::new();
+            if std::io::stdin().read_line(&mut line).is_err() {
+                return CycleDecision::KeepAll;
+            }
+            let answer = line.trim();
+            if answer.is_empty() {
+                return CycleDecision::KeepAll;
+            }
+            match schema.resolve(answer) {
+                Ok(f) if report.candidates.contains(&f) => return CycleDecision::Remove(f),
+                Ok(_) => println!("{answer} is not a candidate of this cycle"),
+                Err(_) => println!("unknown function {answer}"),
+            }
+        }
+    }
+
+    fn confirm_derivation(
+        &mut self,
+        schema: &Schema,
+        function: FunctionId,
+        derivation: &Derivation,
+    ) -> bool {
+        print!(
+            "confirm {} = {}? [y/N] ",
+            schema.function(function).name,
+            derivation.render(schema)
+        );
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        let _ = std::io::stdin().read_line(&mut line);
+        line.trim().eq_ignore_ascii_case("y")
+    }
+}
+
+fn main() {
+    let interactive = std::env::args().any(|a| a == "--interactive");
+    let mut scripted = trace_designer();
+    let mut interactive_designer = InteractiveDesigner;
+    let designer: &mut dyn Designer = if interactive {
+        &mut interactive_designer
+    } else {
+        &mut scripted
+    };
+
+    let mut session = DesignSession::new();
+    for (name, dom, rng, f) in UNIVERSITY_TRACE {
+        println!("adding {name}: {dom} -> {rng} ({f})");
+        session
+            .add_function(
+                name,
+                dom,
+                rng,
+                f.parse().expect("trace functionality"),
+                designer,
+            )
+            .expect("trace replays cleanly");
+    }
+
+    println!("\n== design log ==");
+    print!("{}", render_log(&session));
+
+    println!("\n== dynamic function graph (Figure 1) ==");
+    print!("{}", render_graph(session.graph(), session.schema()));
+
+    println!("\n== summary ==");
+    print!("{}", render_session_summary(&session));
+
+    println!("\n== derivation confirmation ==");
+    let (outcome, schema) = session.finish(designer);
+    print!("{}", render_outcome(&outcome, &schema));
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build a functional database, register a derivation, run
+//! updates on base *and* derived functions, and watch the three-valued
+//! truth evolve.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fdb::core::Database;
+use fdb::lang::format::render_function;
+use fdb::types::{Derivation, FdbError, Schema, Step, Value};
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+fn main() -> Result<(), FdbError> {
+    // 1. Declare the conceptual schema. `pupil` will be derived:
+    //    pupil = teach o class_list.
+    let schema = Schema::builder()
+        .function("teach", "faculty", "course", "many-many")
+        .function("class_list", "course", "student", "many-many")
+        .function("pupil", "faculty", "student", "many-many")
+        .build()?;
+    println!("conceptual schema:\n{schema}");
+
+    let mut db = Database::new(schema);
+    let teach = db.resolve("teach")?;
+    let class_list = db.resolve("class_list")?;
+    let pupil = db.resolve("pupil")?;
+    db.register_derived(
+        pupil,
+        vec![Derivation::new(vec![
+            Step::identity(teach),
+            Step::identity(class_list),
+        ])?],
+    )?;
+
+    // 2. Base updates go straight to the stored tables.
+    db.insert(teach, v("euclid"), v("math"))?;
+    db.insert(teach, v("laplace"), v("math"))?;
+    db.insert(class_list, v("math"), v("john"))?;
+    db.insert(class_list, v("math"), v("bill"))?;
+    println!("pupil (computed, never stored):");
+    print!("{}", render_function(&db, pupil)?);
+
+    // 3. Delete a derived fact. No base fact is removed; instead the
+    //    derivation chain becomes a negated conjunction and its members
+    //    turn ambiguous (`A` flags, `*` markers).
+    db.delete(pupil, &v("euclid"), &v("john"))?;
+    println!("\nafter DEL(pupil, <euclid, john>):");
+    println!("teach:");
+    print!("{}", render_function(&db, teach)?);
+    println!("pupil:");
+    print!("{}", render_function(&db, pupil)?);
+
+    // 4. Insert a derived fact. A null-valued chain witnesses it.
+    db.insert(pupil, v("gauss"), v("bill"))?;
+    println!("\nafter INS(pupil, <gauss, bill>):");
+    println!("teach:");
+    print!("{}", render_function(&db, teach)?);
+    println!("pupil:");
+    print!("{}", render_function(&db, pupil)?);
+
+    // 5. Later base updates resolve the ambiguity.
+    db.insert(class_list, v("math"), v("john"))?; // re-assert: true again
+    db.insert(teach, v("gauss"), v("math"))?;
+    println!("\nafter the resolving inserts:");
+    println!("pupil:");
+    print!("{}", render_function(&db, pupil)?);
+
+    let stats = db.stats();
+    println!(
+        "\nstats: {} base facts, {} ambiguous, {} NCs, {} nulls generated",
+        stats.base_facts, stats.ambiguous_facts, stats.ncs, stats.nulls_generated
+    );
+    assert!(db.is_consistent());
+    Ok(())
+}

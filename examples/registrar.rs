@@ -1,0 +1,167 @@
+//! End-to-end registrar scenario on the full §2.3 university schema.
+//!
+//! A term in the life of a registrar's office, exercising every part of
+//! the system together:
+//!
+//! 1. the schema is designed interactively (Method 2.1, scripted to the
+//!    paper's answers) — `taught_by`, `lecturer_of` and `grade` come out
+//!    derived;
+//! 2. enrolment data arrives as base updates, all of it logged to a
+//!    write-ahead log;
+//! 3. grades are posted on the *derived* `grade` function before marks
+//!    exist — null-valued chains record the missing marks;
+//! 4. marks arrive; the FD-resolution pass collapses the NVCs onto them;
+//! 5. a grade appeal deletes a derived fact — negated conjunctions record
+//!    exactly what is now in doubt, with no collateral damage;
+//! 6. the process "crashes"; recovery replays the WAL and every truth
+//!    value survives.
+//!
+//! ```sh
+//! cargo run --example registrar
+//! ```
+
+use fdb::core::{resolve_ambiguities, Database, LoggedDatabase};
+use fdb::storage::Truth;
+use fdb::types::{FdbError, Value};
+use fdb::workload::university::design_university;
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+fn main() -> Result<(), FdbError> {
+    // ---- 1. design ----
+    let designed: Database = design_university()?;
+    println!("designed schema (base functions):");
+    for f in designed.base_functions() {
+        println!("  {}", designed.schema().render_def(f));
+    }
+    println!("derived functions with confirmed derivations:");
+    for f in designed.derived_functions() {
+        for d in designed.derivations(f) {
+            println!(
+                "  {} = {}",
+                designed.schema().function(f).name,
+                d.render(designed.schema())
+            );
+        }
+    }
+
+    // ---- 2. enrolment, WAL-logged ----
+    // The logged database is built from the same declarations so the log
+    // is self-contained and replayable from empty.
+    let wal_path = std::env::temp_dir().join(format!("fdb_registrar_{}.log", std::process::id()));
+    let mut ldb = LoggedDatabase::create(&wal_path)?;
+    for f in designed
+        .base_functions()
+        .into_iter()
+        .chain(designed.derived_functions())
+    {
+        let def = designed.schema().function(f);
+        ldb.declare(
+            &def.name,
+            designed.schema().type_name(def.domain),
+            designed.schema().type_name(def.range),
+            def.functionality,
+        )?;
+    }
+    for f in designed.derived_functions() {
+        let def = designed.schema().function(f);
+        for d in designed.derivations(f).iter().take(1) {
+            let steps: Vec<(&str, bool)> = d
+                .steps()
+                .iter()
+                .map(|s| {
+                    (
+                        designed.schema().function(s.function).name.as_str(),
+                        s.op == fdb::types::Op::Inverse,
+                    )
+                })
+                .collect();
+            ldb.derive(&def.name, &steps)?;
+        }
+    }
+
+    ldb.insert("teach", v("knuth"), v("algorithms"))?;
+    ldb.insert("teach", v("dijkstra"), v("algorithms"))?;
+    ldb.insert("class_list", v("algorithms"), v("ada"))?;
+    ldb.insert("class_list", v("algorithms"), v("alan"))?;
+    ldb.insert("attendance", v("[ada; algorithms]"), v("95"))?;
+    ldb.insert("attendance_eval", v("95"), v("A"))?;
+    println!(
+        "\nenrolment loaded: {} base facts",
+        ldb.database().stats().base_facts
+    );
+
+    // Derived queries work immediately:
+    let taught_by = ldb.database().resolve("taught_by")?;
+    let lecturers = ldb.database().image(taught_by, &v("algorithms"))?;
+    println!(
+        "taught_by(algorithms) = {:?}",
+        lecturers
+            .iter()
+            .map(|(f, _)| f.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // ---- 3. grades posted before marks exist ----
+    ldb.insert("grade", v("[ada; algorithms]"), v("A"))?;
+    ldb.insert("grade", v("[alan; algorithms]"), v("B"))?;
+    let s = ldb.database().stats();
+    println!(
+        "\ngrades posted ahead of marks: {} null facts across {} NVCs worth of nulls",
+        s.null_facts, s.nulls_generated
+    );
+
+    // ---- 4. marks arrive; FD resolution collapses the NVCs ----
+    ldb.insert("score", v("[ada; algorithms]"), v("91"))?;
+    ldb.insert("score", v("[alan; algorithms]"), v("74"))?;
+    // Resolution is a pure in-memory pass; replaying the WAL reproduces
+    // the same state and the pass can simply be re-run after recovery.
+    let mut db = ldb.database().clone();
+    let out = resolve_ambiguities(&mut db);
+    println!(
+        "resolution: {} nulls unified, {} facts falsified, {} conflicts",
+        out.nulls_unified,
+        out.facts_falsified,
+        out.conflicts.len()
+    );
+    let cutoff = db.resolve("cutoff")?;
+    println!("cutoff table now holds concrete pairs:");
+    for row in db.store().table(cutoff).rows() {
+        println!("  {}  {}  {}", row.x, row.y, row.truth.flag());
+    }
+
+    // ---- 5. a grade appeal ----
+    ldb.delete("grade", v("[alan; algorithms]"), v("B"))?;
+    let grade = ldb.database().resolve("grade")?;
+    println!(
+        "\nafter the appeal, grade([alan; algorithms]) = B is {:?}; the marks are now ambiguous:",
+        ldb.database()
+            .truth(grade, &v("[alan; algorithms]"), &v("B"))?
+    );
+    let score = ldb.database().resolve("score")?;
+    for row in ldb.database().store().table(score).rows() {
+        println!("  score: {}  {}  {}", row.x, row.y, row.truth.flag());
+    }
+
+    // ---- 6. crash and recovery ----
+    let live_snapshot = ldb.database().to_snapshot()?;
+    drop(ldb); // "crash"
+    let (recovered, report) = LoggedDatabase::open(&wal_path)?;
+    println!(
+        "\nrecovered {} log records (torn tail: {})",
+        report.applied, report.torn_tail
+    );
+    assert_eq!(recovered.database().to_snapshot()?, live_snapshot);
+    assert!(recovered.database().is_consistent());
+    assert_eq!(
+        recovered
+            .database()
+            .truth(grade, &v("[ada; algorithms]"), &v("A"))?,
+        Truth::True
+    );
+    println!("recovery byte-identical to pre-crash state; consistency OK");
+    std::fs::remove_file(&wal_path).ok();
+    Ok(())
+}

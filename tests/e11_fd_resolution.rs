@@ -1,0 +1,105 @@
+//! Experiment E11: the §5 "future work" extension — functional
+//! dependencies (implied by type functionality) resolving partial
+//! information, end to end through the engine.
+
+use fdb_core::{resolve_ambiguities, Database};
+use fdb_storage::Truth;
+use fdb_types::{Derivation, Schema, Step, Value};
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+/// The S1 grading pipeline: grade = score o cutoff, all many-one.
+fn grading_db() -> Database {
+    let schema = Schema::builder()
+        .function("score", "[student; course]", "marks", "many-one")
+        .function("cutoff", "marks", "letter_grade", "many-one")
+        .function("grade", "[student; course]", "letter_grade", "many-one")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let (s, c, g) = (
+        db.resolve("score").unwrap(),
+        db.resolve("cutoff").unwrap(),
+        db.resolve("grade").unwrap(),
+    );
+    db.register_derived(
+        g,
+        vec![Derivation::new(vec![Step::identity(s), Step::identity(c)]).unwrap()],
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn derived_insert_then_concrete_facts_collapse_the_nvc() {
+    let mut db = grading_db();
+    let (score, cutoff, grade) = (
+        db.resolve("score").unwrap(),
+        db.resolve("cutoff").unwrap(),
+        db.resolve("grade").unwrap(),
+    );
+    // The registrar records the grade before the marks arrive.
+    db.insert(grade, v("[ann; db_course]"), v("A")).unwrap();
+    assert_eq!(db.stats().nulls_generated, 1);
+    assert_eq!(db.stats().null_facts, 2);
+
+    // The marks arrive later.
+    db.insert(score, v("[ann; db_course]"), v("91")).unwrap();
+    let out = resolve_ambiguities(&mut db);
+    assert_eq!(out.nulls_unified, 1);
+    assert!(out.conflicts.is_empty());
+
+    // The NVC collapsed: cutoff(91) = A is now a concrete stored fact.
+    assert!(db.store().table(cutoff).contains(&v("91"), &v("A")));
+    assert_eq!(db.stats().null_facts, 0);
+    assert_eq!(
+        db.truth(grade, &v("[ann; db_course]"), &v("A")).unwrap(),
+        Truth::True
+    );
+    assert!(db.is_consistent());
+}
+
+#[test]
+fn resolution_cascades_across_multiple_nvcs() {
+    let mut db = grading_db();
+    let (score, grade) = (db.resolve("score").unwrap(), db.resolve("grade").unwrap());
+    // Three grades recorded ahead of their marks.
+    for (student, letter) in [("s1", "A"), ("s2", "B"), ("s3", "A")] {
+        db.insert(grade, v(student), v(letter)).unwrap();
+    }
+    assert_eq!(db.stats().nulls_generated, 3);
+    // Marks arrive for two of them.
+    db.insert(score, v("s1"), v("91")).unwrap();
+    db.insert(score, v("s3"), v("87")).unwrap();
+    let out = resolve_ambiguities(&mut db);
+    assert_eq!(out.nulls_unified, 2);
+    // s2's chain still pends on its null.
+    assert_eq!(db.stats().null_facts, 2);
+    assert_eq!(db.truth(grade, &v("s2"), &v("B")).unwrap(), Truth::True);
+    assert!(db.is_consistent());
+}
+
+#[test]
+fn quantifying_ambiguity_before_and_after() {
+    // §5: "In the presence of excessive ambiguous information it is
+    // desirable to quantify the degree of ambiguity." The stats API plus
+    // resolution give the ablation the resolution bench measures.
+    let mut db = grading_db();
+    let (score, grade) = (db.resolve("score").unwrap(), db.resolve("grade").unwrap());
+    for i in 0..10 {
+        db.insert(grade, v(&format!("s{i}")), v("A")).unwrap();
+    }
+    let before = db.stats();
+    assert_eq!(before.null_facts, 20);
+    for i in 0..10 {
+        db.insert(score, v(&format!("s{i}")), v(&format!("{}", 80 + i)))
+            .unwrap();
+    }
+    let out = resolve_ambiguities(&mut db);
+    assert_eq!(out.nulls_unified, 10);
+    let after = db.stats();
+    assert_eq!(after.null_facts, 0);
+    assert!(db.is_consistent());
+}

@@ -1,0 +1,55 @@
+//! Experiment E1: Table 1 (conceptual schema S1) and its AMS analysis.
+
+use fdb_graph::minimal_schema;
+use fdb_types::schema_s1;
+
+#[test]
+fn table1_renders_as_in_the_paper() {
+    let s1 = schema_s1();
+    let expected = "\
+1. grade: [student; course] -> letter_grade; (many - one)
+2. score: [student; course] -> marks; (many - one)
+3. cutoff: marks -> letter_grade; (many - one)
+4. teach: faculty -> course; (many - many)
+5. taught_by: course -> faculty; (many - many)
+";
+    assert_eq!(s1.to_string(), expected);
+}
+
+#[test]
+fn s1_under_ufa_separates_base_and_derived() {
+    // "under the assumed semantics, grade may be derived from the
+    // composition of score and cutoff (grade = score o cutoff)".
+    let s1 = schema_s1();
+    let out = minimal_schema(&s1);
+    let grade = s1.resolve("grade").unwrap();
+    assert!(!out.is_base(grade));
+    let ders = out.derivations_of(grade).unwrap();
+    assert_eq!(ders.len(), 1);
+    assert_eq!(ders[0].render(&s1), "score o cutoff");
+    // teach/taught_by are mutually derivable; AMS removes exactly one.
+    let teach = s1.resolve("teach").unwrap();
+    let taught_by = s1.resolve("taught_by").unwrap();
+    assert_ne!(out.is_base(teach), out.is_base(taught_by));
+    // score and cutoff stay base.
+    assert!(out.is_base(s1.resolve("score").unwrap()));
+    assert!(out.is_base(s1.resolve("cutoff").unwrap()));
+}
+
+#[test]
+fn s1_type_functionality_reasoning() {
+    // The worked functionality algebra behind E1: score o cutoff is
+    // many-one (matching grade); score o cutoff⁻¹-style paths are not.
+    let s1 = schema_s1();
+    let score = s1.function_by_name("score").unwrap();
+    let cutoff = s1.function_by_name("cutoff").unwrap();
+    let grade = s1.function_by_name("grade").unwrap();
+    assert_eq!(
+        score.functionality.compose(cutoff.functionality),
+        grade.functionality
+    );
+    assert_ne!(
+        score.functionality.compose(cutoff.functionality.inverse()),
+        grade.functionality
+    );
+}

@@ -1,0 +1,87 @@
+//! Experiment E2: the §2.1 counter-example schema S2.
+//!
+//! "Under the UFA any of the three functions should be construed as
+//! derived because each of them are syntactically and type functionally
+//! equivalent to the composition of the other two. Hence such a
+//! conceptual schema under the assumed semantics is not allowed." The
+//! designer-driven Method 2.1 resolves what pure syntax cannot: only
+//! `lecturer_of` is semantically derived.
+
+use std::collections::HashSet;
+
+use fdb_graph::{
+    cycles_through_edge, exists_equivalent_walk, minimal_schema, DesignSession, FunctionGraph,
+    PathLimits, ScriptedDesigner,
+};
+use fdb_types::schema_s2;
+
+#[test]
+fn every_s2_function_is_syntactically_derivable_from_the_other_two() {
+    let s2 = schema_s2();
+    let graph = FunctionGraph::from_schema(&s2);
+    for def in s2.functions() {
+        let own = graph.edge_of(def.id).unwrap().id;
+        let excl: HashSet<_> = [own].into();
+        assert!(
+            exists_equivalent_walk(&graph, def.domain, def.range, def.functionality, &excl),
+            "{} should look derivable under pure syntax",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn ufa_misclassifies_s2() {
+    // AMS must classify *some* function derived — but semantically only
+    // lecturer_of is, and AMS (edge order) picks teach. This is the
+    // paper's argument for the interactive methodology.
+    let s2 = schema_s2();
+    let out = minimal_schema(&s2);
+    assert_eq!(out.derived.len(), 1);
+    let wrongly_derived = s2.function(out.derived[0].function).name.clone();
+    assert_eq!(
+        wrongly_derived, "teach",
+        "AMS removes the first derivable edge"
+    );
+}
+
+#[test]
+fn design_aid_with_designer_gets_s2_right() {
+    let s2 = schema_s2();
+    let mut session = DesignSession::new();
+    let mut designer = ScriptedDesigner::new();
+    // teach, class_list create no cycle; lecturer_of closes the triangle.
+    designer.push_decision_by_name("lecturer_of");
+    designer.default_confirm(true);
+    for def in s2.functions() {
+        session
+            .add_function(
+                &def.name,
+                s2.type_name(def.domain),
+                s2.type_name(def.range),
+                def.functionality,
+                &mut designer,
+            )
+            .unwrap();
+    }
+    // The cycle reported all three as candidates…
+    let graph = FunctionGraph::from_schema(&s2);
+    let lect_edge = graph
+        .edge_of(s2.resolve("lecturer_of").unwrap())
+        .unwrap()
+        .id;
+    let cycles = cycles_through_edge(&graph, lect_edge, PathLimits::default());
+    assert_eq!(cycles[0].candidates(&graph).len(), 3);
+    // …and the designer picked the only semantically correct one.
+    let (outcome, schema) = session.finish(&mut designer);
+    let derived_names: Vec<String> = outcome
+        .derived
+        .iter()
+        .map(|(f, _)| schema.function(*f).name.clone())
+        .collect();
+    assert_eq!(derived_names, vec!["lecturer_of"]);
+    assert_eq!(
+        outcome.derived[0].1[0].render(&schema),
+        "class_list^-1 o teach^-1"
+    );
+}

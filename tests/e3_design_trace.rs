@@ -1,0 +1,149 @@
+//! Experiment E3: the §2.3 design trace and Figure 1.
+//!
+//! Replays the ten-function design session with a designer scripted to
+//! give exactly the paper's answers, and checks every intermediate
+//! nontrivial action plus the final state (Figure 1).
+
+use fdb_graph::report::{render_graph, render_outcome};
+use fdb_graph::{CycleDecision, DesignEvent, DesignSession};
+use fdb_workload::university::{design_university, trace_designer, UNIVERSITY_TRACE};
+
+#[test]
+fn trace_produces_figure_1_state() {
+    let db = design_university().unwrap();
+    let schema = db.schema();
+    let base: Vec<&str> = db
+        .base_functions()
+        .into_iter()
+        .map(|f| schema.function(f).name.as_str())
+        .collect();
+    let derived: Vec<&str> = db
+        .derived_functions()
+        .into_iter()
+        .map(|f| schema.function(f).name.as_str())
+        .collect();
+    // "The base functions are teach, class_list, score, cutoff,
+    //  attendance, and attendance_eval; the derived functions are
+    //  taught_by, lecturer_of, grade."
+    let mut base_sorted = base.clone();
+    base_sorted.sort_unstable();
+    assert_eq!(
+        base_sorted,
+        vec![
+            "attendance",
+            "attendance_eval",
+            "class_list",
+            "cutoff",
+            "score",
+            "teach"
+        ]
+    );
+    let mut derived_sorted = derived.clone();
+    derived_sorted.sort_unstable();
+    assert_eq!(derived_sorted, vec!["grade", "lecturer_of", "taught_by"]);
+}
+
+#[test]
+fn trace_reports_exactly_the_papers_nontrivial_actions() {
+    let mut session = DesignSession::new();
+    let mut designer = trace_designer();
+    for (name, dom, rng, f) in UNIVERSITY_TRACE {
+        session
+            .add_function(name, dom, rng, f.parse().unwrap(), &mut designer)
+            .unwrap();
+    }
+    let schema = session.schema();
+    let resolved: Vec<(String, Vec<String>, Option<String>)> = session
+        .log()
+        .iter()
+        .filter_map(|e| match e {
+            DesignEvent::CycleResolved { report, decision } => Some((
+                report.rendered.clone(),
+                report
+                    .candidates
+                    .iter()
+                    .map(|&f| schema.function(f).name.clone())
+                    .collect(),
+                match decision {
+                    CycleDecision::Remove(f) => Some(schema.function(*f).name.clone()),
+                    CycleDecision::KeepAll => None,
+                },
+            )),
+            _ => None,
+        })
+        .collect();
+
+    assert_eq!(resolved.len(), 5, "five nontrivial actions in the trace");
+
+    // 1. teach/taught_by cycle: both candidates, taught_by removed.
+    assert_eq!(resolved[0].0, "taught_by - teach");
+    assert_eq!(resolved[0].1.len(), 2);
+    assert_eq!(resolved[0].2.as_deref(), Some("taught_by"));
+
+    // 2. teach - class_list - lecturer_of: all three candidates,
+    //    lecturer_of removed.
+    assert!(resolved[1].0.contains("lecturer_of"));
+    assert_eq!(resolved[1].1.len(), 3);
+    assert_eq!(resolved[1].2.as_deref(), Some("lecturer_of"));
+
+    // 3. grade - attendance - attendance_eval: grade is the only
+    //    candidate, designer disagrees, nothing removed.
+    assert!(resolved[2].0.contains("attendance"));
+    assert_eq!(resolved[2].1, vec!["grade"]);
+    assert_eq!(resolved[2].2, None);
+
+    // 4. grade - score - cutoff: grade candidate, removed.
+    assert!(resolved[3].0.contains("score"));
+    assert_eq!(resolved[3].1, vec!["grade"]);
+    assert_eq!(resolved[3].2.as_deref(), Some("grade"));
+
+    // 5. score - cutoff - attendance_eval - attendance: no candidate.
+    assert_eq!(resolved[4].1, Vec::<String>::new());
+    assert_eq!(resolved[4].2, None);
+}
+
+#[test]
+fn trace_derivation_reporting_matches_paper() {
+    let mut session = DesignSession::new();
+    let mut designer = trace_designer();
+    for (name, dom, rng, f) in UNIVERSITY_TRACE {
+        session
+            .add_function(name, dom, rng, f.parse().unwrap(), &mut designer)
+            .unwrap();
+    }
+    // Potential derivations before designer filtering: grade has TWO
+    // (score o cutoff, attendance o attendance_eval).
+    let grade = session.schema().resolve("grade").unwrap();
+    let potentials = session.potential_derivations(grade);
+    assert_eq!(potentials.len(), 2);
+    // The designer invalidates the attendance one; Figure 1's summary:
+    let (outcome, schema) = session.finish(&mut designer);
+    let text = render_outcome(&outcome, &schema);
+    assert!(text.contains("taught_by = teach^-1"));
+    assert!(text.contains("lecturer_of = class_list^-1 o teach^-1"));
+    assert!(text.contains("grade = score o cutoff"));
+    assert!(!text.contains("grade = attendance o attendance_eval"));
+}
+
+#[test]
+fn figure_1_graph_rendering() {
+    let mut session = DesignSession::new();
+    let mut designer = trace_designer();
+    for (name, dom, rng, f) in UNIVERSITY_TRACE {
+        session
+            .add_function(name, dom, rng, f.parse().unwrap(), &mut designer)
+            .unwrap();
+    }
+    let text = render_graph(session.graph(), session.schema());
+    // Live edges are exactly the six base functions (Figure 1).
+    assert_eq!(text.lines().count(), 6);
+    assert!(text.contains("faculty --teach--> course"));
+    assert!(text.contains("course --class_list--> student"));
+    assert!(text.contains("[student; course] --score--> marks"));
+    assert!(text.contains("marks --cutoff--> letter_grade"));
+    assert!(text.contains("[student; course] --attendance--> attn_percentage"));
+    assert!(text.contains("attn_percentage --attendance_eval--> letter_grade"));
+    assert!(!text.contains("taught_by"));
+    assert!(!text.contains("lecturer_of"));
+    assert!(!text.contains("--grade-->"));
+}

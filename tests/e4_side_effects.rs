@@ -1,0 +1,114 @@
+//! Experiment E4: the §3 motivating example — naive translations of a
+//! derived delete cause the exact side effects the paper lists, while the
+//! NC semantics avoids both.
+
+use fdb_relational::{delete_side_effects, naive_delete, ChainDb, Translation};
+use fdb_storage::Truth;
+use fdb_types::Value;
+use fdb_workload::university_database;
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+/// The §3 instance as a relational chain (teach ⋈ class_list).
+fn pupil_chain() -> ChainDb {
+    let mut db = ChainDb::new(2);
+    db.insert(0, "euclid", "math");
+    db.insert(0, "laplace", "math");
+    db.insert(0, "laplace", "physics");
+    db.insert(1, "math", "john");
+    db.insert(1, "math", "bill");
+    db
+}
+
+#[test]
+fn papers_two_naive_translations_and_their_side_effects() {
+    // "One may attempt to achieve the desired effect by performing either
+    //  DEL(teach, <euclid, math>) or DEL(class_list, <math, john>).
+    //  However … both of these have the undesirable side effect of
+    //  deleting, from pupil, <euclid, bill> and <laplace, john>,
+    //  respectively."
+    let db = pupil_chain();
+
+    let t1 = Translation {
+        deletions: vec![(0, (v("euclid"), v("math")))],
+        insertions: vec![],
+    };
+    let s1 = delete_side_effects(&db, &t1, &v("euclid"), &v("john"));
+    assert!(!s1.effect_missed);
+    assert_eq!(
+        s1.lost.iter().cloned().collect::<Vec<_>>(),
+        vec![(v("euclid"), v("bill"))]
+    );
+
+    let t2 = Translation {
+        deletions: vec![(1, (v("math"), v("john")))],
+        insertions: vec![],
+    };
+    let s2 = delete_side_effects(&db, &t2, &v("euclid"), &v("john"));
+    assert!(!s2.effect_missed);
+    assert_eq!(
+        s2.lost.iter().cloned().collect::<Vec<_>>(),
+        vec![(v("laplace"), v("john"))]
+    );
+
+    // The generic naive translator picks one of the two.
+    let tn = naive_delete(&db, &v("euclid"), &v("john")).unwrap();
+    let sn = delete_side_effects(&db, &tn, &v("euclid"), &v("john"));
+    assert_eq!(sn.count(), 1);
+}
+
+#[test]
+fn nc_semantics_preserves_both_sibling_facts() {
+    // Same update against the functional database: u3 = DEL(pupil,
+    // <euclid, john>). Neither <euclid, bill> nor <laplace, john> is
+    // deleted — they become ambiguous, which is recorded, not guessed.
+    let mut db = university_database().unwrap();
+    let pupil = db.resolve("pupil").unwrap();
+    db.delete(pupil, &v("euclid"), &v("john")).unwrap();
+
+    assert_eq!(
+        db.truth(pupil, &v("euclid"), &v("john")).unwrap(),
+        Truth::False
+    );
+    assert_eq!(
+        db.truth(pupil, &v("euclid"), &v("bill")).unwrap(),
+        Truth::Ambiguous
+    );
+    assert_eq!(
+        db.truth(pupil, &v("laplace"), &v("john")).unwrap(),
+        Truth::Ambiguous
+    );
+    // And the pair supported by an untouched chain stays true.
+    assert_eq!(
+        db.truth(pupil, &v("laplace"), &v("bill")).unwrap(),
+        Truth::True
+    );
+    // No base fact was removed.
+    let teach = db.resolve("teach").unwrap();
+    let class_list = db.resolve("class_list").unwrap();
+    assert_eq!(db.store().table(teach).len(), 3);
+    assert_eq!(db.store().table(class_list).len(), 2);
+}
+
+#[test]
+fn base_updates_u1_u2_behave_conventionally() {
+    // "The following base updates, u1: INS(class_list, <physics, bill>),
+    //  and u2: DEL(teach, <laplace, physics>) are handled by adding …
+    //  and deleting … from the stored table."
+    let mut db = university_database().unwrap();
+    let teach = db.resolve("teach").unwrap();
+    let class_list = db.resolve("class_list").unwrap();
+    db.insert(class_list, v("physics"), v("bill")).unwrap();
+    assert!(db
+        .store()
+        .table(class_list)
+        .contains(&v("physics"), &v("bill")));
+    db.delete(teach, &v("laplace"), &v("physics")).unwrap();
+    assert!(!db
+        .store()
+        .table(teach)
+        .contains(&v("laplace"), &v("physics")));
+    assert!(db.is_consistent());
+}

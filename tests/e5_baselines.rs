@@ -1,0 +1,134 @@
+//! Experiment E5: the §3.1 relational example — the `[6]` and `[9]`
+//! update semantics on `v₁(AD) = π_AD(r₁ ⋈ r₂ ⋈ r₃)`.
+
+use fdb_relational::{
+    dayal_bernstein_delete, delete_side_effects, fuv_delete, ChainDb, Translation,
+};
+use fdb_types::Value;
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+/// r₁ = {<a1,b1>, <a1,b2>}, r₂ = {<b1,c1>, <b2,c1>}, r₃ = {<c1,d1>}.
+fn paper_31() -> ChainDb {
+    let mut db = ChainDb::new(3);
+    db.insert(0, "a1", "b1");
+    db.insert(0, "a1", "b2");
+    db.insert(1, "b1", "c1");
+    db.insert(1, "b2", "c1");
+    db.insert(2, "c1", "d1");
+    db
+}
+
+#[test]
+fn view_instance_matches_paper() {
+    let db = paper_31();
+    let view = db.view();
+    assert_eq!(view.len(), 1);
+    assert!(view.contains(&(v("a1"), v("d1"))));
+}
+
+#[test]
+fn u4_under_dayal_bernstein_semantics() {
+    // Any correct [6] translation removes (a1, d1) with zero view side
+    // effect. The paper's illustrative choice — DEL(r1,<a1,b1>) and
+    // DEL(r1,<a1,b2>) — is correct; so is our minimal one.
+    let db = paper_31();
+    let ours = dayal_bernstein_delete(&db, &v("a1"), &v("d1")).unwrap();
+    let s = delete_side_effects(&db, &ours, &v("a1"), &v("d1"));
+    assert!(s.is_side_effect_free());
+
+    let papers = Translation {
+        deletions: vec![(0, (v("a1"), v("b1"))), (0, (v("a1"), v("b2")))],
+        insertions: vec![],
+    };
+    let s = delete_side_effects(&db, &papers, &v("a1"), &v("d1"));
+    assert!(s.is_side_effect_free());
+}
+
+#[test]
+fn u4_under_fuv_semantics_deletes_r3_tuple() {
+    // "According to the semantics of [9] u4 is performed by deleting
+    //  DEL(r3, <c1, d1>), because this is the only way which results in a
+    //  new database that differs by exactly one fact."
+    let db = paper_31();
+    let t = fuv_delete(&db, &v("a1"), &v("d1")).unwrap();
+    assert_eq!(t.deletions, vec![(2, (v("c1"), v("d1")))]);
+    assert_eq!(t.cost(), 1);
+    // Verify the minimality claim: every single other base tuple fails to
+    // remove the view tuple on its own.
+    for i in 0..3 {
+        for pair in db.relation(i).iter() {
+            if (i, pair.clone()) == (2, (v("c1"), v("d1"))) {
+                continue;
+            }
+            let mut trial = db.clone();
+            trial.remove(&(i, pair.clone()));
+            assert!(
+                trial.view().contains(&(v("a1"), v("d1"))),
+                "removing r{}{:?} alone should not delete the view tuple",
+                i + 1,
+                pair
+            );
+        }
+    }
+}
+
+#[test]
+fn papers_information_theoretic_objection() {
+    // "Note that the only information specified by the update is that
+    //  <a1, d1> does not belong to v1. This does not imply the falsity of
+    //  any base fact." — After either baseline translation, a base fact
+    //  the update said nothing about is gone:
+    let db = paper_31();
+    let t = fuv_delete(&db, &v("a1"), &v("d1")).unwrap();
+    let mut after = db.clone();
+    t.apply(&mut after);
+    assert!(after.fact_count() < db.fact_count());
+    // In the functional database, the same delete removes NO base fact;
+    // it creates the two NCs corresponding to the two footnoted
+    // implications ¬(a1b1 ∧ b1c1 ∧ c1d1) and ¬(a1b2 ∧ b2c1 ∧ c1d1).
+    use fdb_core::Database;
+    use fdb_types::{Derivation, Schema, Step};
+    let schema = Schema::builder()
+        .function("r1", "A", "B", "many-many")
+        .function("r2", "B", "C", "many-many")
+        .function("r3", "C", "D", "many-many")
+        .function("v1", "A", "D", "many-many")
+        .build()
+        .unwrap();
+    let mut fdb = Database::new(schema);
+    let (r1, r2, r3, v1) = (
+        fdb.resolve("r1").unwrap(),
+        fdb.resolve("r2").unwrap(),
+        fdb.resolve("r3").unwrap(),
+        fdb.resolve("v1").unwrap(),
+    );
+    fdb.register_derived(
+        v1,
+        vec![Derivation::new(vec![
+            Step::identity(r1),
+            Step::identity(r2),
+            Step::identity(r3),
+        ])
+        .unwrap()],
+    )
+    .unwrap();
+    fdb.insert(r1, v("a1"), v("b1")).unwrap();
+    fdb.insert(r1, v("a1"), v("b2")).unwrap();
+    fdb.insert(r2, v("b1"), v("c1")).unwrap();
+    fdb.insert(r2, v("b2"), v("c1")).unwrap();
+    fdb.insert(r3, v("c1"), v("d1")).unwrap();
+    let before = fdb.stats().base_facts;
+    fdb.delete(v1, &v("a1"), &v("d1")).unwrap();
+    assert_eq!(fdb.stats().base_facts, before, "no base fact deleted");
+    assert_eq!(fdb.store().ncs().len(), 2, "one NC per derivation chain");
+    assert_eq!(
+        fdb.truth(v1, &v("a1"), &v("d1")).unwrap(),
+        fdb_storage::Truth::False
+    );
+    // All five base facts are now merely ambiguous, which is exactly the
+    // information content of the update — no more, no less.
+    assert_eq!(fdb.stats().ambiguous_facts, 5);
+}

@@ -1,0 +1,224 @@
+//! Experiment E6: the §4.2 five-update trace, state-by-state.
+//!
+//! The paper executes u1…u5 against the university instance and prints
+//! the three tables after each update. This test replays the trace and
+//! asserts the *exact* contents — truth flags, NCL entries, null chains,
+//! and the `*` ambiguity markers on the implied `pupil` facts.
+
+use fdb_core::Database;
+use fdb_lang::format::{render_base_table, render_derived_extension};
+use fdb_types::{Derivation, Schema, Step, Value};
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+/// The §4.2 instance: teach = {<euclid, math>, <laplace, math>},
+/// class_list = {<math, john>, <math, bill>}, pupil derived.
+fn section_42_database() -> Database {
+    let schema = Schema::builder()
+        .function("teach", "faculty", "course", "many-many")
+        .function("class_list", "course", "student", "many-many")
+        .function("pupil", "faculty", "student", "many-many")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let (t, c, p) = (
+        db.resolve("teach").unwrap(),
+        db.resolve("class_list").unwrap(),
+        db.resolve("pupil").unwrap(),
+    );
+    db.register_derived(
+        p,
+        vec![Derivation::new(vec![Step::identity(t), Step::identity(c)]).unwrap()],
+    )
+    .unwrap();
+    db.insert(t, v("euclid"), v("math")).unwrap();
+    db.insert(t, v("laplace"), v("math")).unwrap();
+    db.insert(c, v("math"), v("john")).unwrap();
+    db.insert(c, v("math"), v("bill")).unwrap();
+    db
+}
+
+/// Sorted lines of a rendered table, for order-insensitive comparison.
+fn lines(text: &str) -> Vec<&str> {
+    let mut out: Vec<&str> = text.lines().collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn initial_instance() {
+    let db = section_42_database();
+    let (t, c, p) = (
+        db.resolve("teach").unwrap(),
+        db.resolve("class_list").unwrap(),
+        db.resolve("pupil").unwrap(),
+    );
+    assert_eq!(
+        lines(&render_base_table(&db, t)),
+        vec!["euclid  math  T  {}", "laplace  math  T  {}"]
+    );
+    assert_eq!(
+        lines(&render_base_table(&db, c)),
+        vec!["math  bill  T  {}", "math  john  T  {}"]
+    );
+    assert_eq!(
+        lines(&render_derived_extension(&db, p).unwrap()),
+        vec![
+            "euclid  bill",
+            "euclid  john",
+            "laplace  bill",
+            "laplace  john"
+        ]
+    );
+    assert!(db.is_consistent());
+}
+
+#[test]
+fn full_trace_u1_to_u5() {
+    let mut db = section_42_database();
+    let (t, c, p) = (
+        db.resolve("teach").unwrap(),
+        db.resolve("class_list").unwrap(),
+        db.resolve("pupil").unwrap(),
+    );
+
+    // ---- u1: DEL(pupil, <euclid, john>) ----
+    db.delete(p, &v("euclid"), &v("john")).unwrap();
+    // "At this juncture F contains a NC, indexed by g1, of the facts
+    //  <teach, euclid, math> and <class_list, math, john>."
+    assert_eq!(db.store().ncs().len(), 1);
+    assert_eq!(
+        lines(&render_base_table(&db, t)),
+        vec!["euclid  math  A  {g1}", "laplace  math  T  {}"]
+    );
+    assert_eq!(
+        lines(&render_base_table(&db, c)),
+        vec!["math  bill  T  {}", "math  john  A  {g1}"]
+    );
+    // Pupil: euclid john gone; euclid bill and laplace john ambiguous (*).
+    assert_eq!(
+        lines(&render_derived_extension(&db, p).unwrap()),
+        vec!["euclid  bill  *", "laplace  bill", "laplace  john  *"]
+    );
+    assert!(db.is_consistent());
+
+    // ---- u2: INS(pupil, <gauss, bill>) ----
+    db.insert(p, v("gauss"), v("bill")).unwrap();
+    // NVC: <teach, gauss, n1>, <class_list, n1, bill>.
+    assert_eq!(
+        lines(&render_base_table(&db, t)),
+        vec![
+            "euclid  math  A  {g1}",
+            "gauss  n1  T  {}",
+            "laplace  math  T  {}"
+        ]
+    );
+    assert_eq!(
+        lines(&render_base_table(&db, c)),
+        vec![
+            "math  bill  T  {}",
+            "math  john  A  {g1}",
+            "n1  bill  T  {}"
+        ]
+    );
+    assert_eq!(
+        lines(&render_derived_extension(&db, p).unwrap()),
+        vec![
+            "euclid  bill  *",
+            "gauss  bill",
+            "gauss  john  *",
+            "laplace  bill",
+            "laplace  john  *"
+        ]
+    );
+    assert!(db.is_consistent());
+
+    // ---- u3: DEL(teach, <euclid, math>) ----
+    db.delete(t, &v("euclid"), &v("math")).unwrap();
+    // g1 dismantled; <class_list, math, john> remains AMBIGUOUS with an
+    // empty NCL — the paper's table prints `math john A {}`.
+    assert_eq!(db.store().ncs().len(), 0);
+    assert_eq!(
+        lines(&render_base_table(&db, t)),
+        vec!["gauss  n1  T  {}", "laplace  math  T  {}"]
+    );
+    assert_eq!(
+        lines(&render_base_table(&db, c)),
+        vec!["math  bill  T  {}", "math  john  A  {}", "n1  bill  T  {}"]
+    );
+    assert_eq!(
+        lines(&render_derived_extension(&db, p).unwrap()),
+        vec![
+            "gauss  bill",
+            "gauss  john  *",
+            "laplace  bill",
+            "laplace  john  *"
+        ]
+    );
+    assert!(db.is_consistent());
+
+    // ---- u4: INS(class_list, <math, john>) ----
+    db.insert(c, v("math"), v("john")).unwrap();
+    // The existing ambiguous fact is re-asserted true.
+    assert_eq!(
+        lines(&render_base_table(&db, c)),
+        vec!["math  bill  T  {}", "math  john  T  {}", "n1  bill  T  {}"]
+    );
+    // laplace john is true again; gauss john still ambiguous (through n1).
+    assert_eq!(
+        lines(&render_derived_extension(&db, p).unwrap()),
+        vec![
+            "gauss  bill",
+            "gauss  john  *",
+            "laplace  bill",
+            "laplace  john"
+        ]
+    );
+    assert!(db.is_consistent());
+
+    // ---- u5: INS(teach, <gauss, math>) ----
+    db.insert(t, v("gauss"), v("math")).unwrap();
+    assert_eq!(
+        lines(&render_base_table(&db, t)),
+        vec![
+            "gauss  math  T  {}",
+            "gauss  n1  T  {}",
+            "laplace  math  T  {}"
+        ]
+    );
+    // Everything in pupil is now true — the paper's final table has no *.
+    assert_eq!(
+        lines(&render_derived_extension(&db, p).unwrap()),
+        vec![
+            "gauss  bill",
+            "gauss  john",
+            "laplace  bill",
+            "laplace  john"
+        ]
+    );
+    assert!(db.is_consistent());
+}
+
+/// The paper's narration: "partial information is created by derived
+/// inserts (NVCs) and derived deletes (NCs) … ambiguous information is
+/// resolved through deletes (falsifying ambiguous facts), and inserts
+/// (making ambiguous facts true)."
+#[test]
+fn resolution_summary_statistics() {
+    let mut db = section_42_database();
+    let (t, c, p) = (
+        db.resolve("teach").unwrap(),
+        db.resolve("class_list").unwrap(),
+        db.resolve("pupil").unwrap(),
+    );
+    db.delete(p, &v("euclid"), &v("john")).unwrap();
+    assert_eq!(db.stats().ambiguous_facts, 2);
+    db.insert(p, v("gauss"), v("bill")).unwrap();
+    assert_eq!(db.stats().nulls_generated, 1);
+    db.delete(t, &v("euclid"), &v("math")).unwrap(); // falsifies one conjunct
+    db.insert(c, v("math"), v("john")).unwrap(); // re-asserts the other
+    assert_eq!(db.stats().ambiguous_facts, 0);
+    assert_eq!(db.stats().ncs, 0);
+}

@@ -1,0 +1,157 @@
+//! Derived functions with *multiple* derivations (cyclic function
+//! graphs, §2.2: "In the case of cyclic function graphs there can be
+//! multiple derivations for a derived function").
+//!
+//! Semantics under test: truth is the three-valued OR over all
+//! derivations; a derived delete negates the chains of *every*
+//! derivation (otherwise the fact would remain derivable — a missed
+//! effect); a derived insert needs only one witness chain, chosen by the
+//! insert policy.
+
+use fdb::core::database::InsertPolicy;
+use fdb::core::Database;
+use fdb::storage::Truth;
+use fdb::types::{Derivation, Schema, Step, Value};
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+/// reaches: a → c, derivable both via hop1 o hop2 and via direct.
+fn diamond() -> Database {
+    let schema = Schema::builder()
+        .function("hop1", "a", "b", "many-many")
+        .function("hop2", "b", "c", "many-many")
+        .function("direct", "a", "c", "many-many")
+        .function("reaches", "a", "c", "many-many")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let (h1, h2, d, r) = (
+        db.resolve("hop1").unwrap(),
+        db.resolve("hop2").unwrap(),
+        db.resolve("direct").unwrap(),
+        db.resolve("reaches").unwrap(),
+    );
+    db.register_derived(
+        r,
+        vec![
+            Derivation::new(vec![Step::identity(h1), Step::identity(h2)]).unwrap(),
+            Derivation::single(Step::identity(d)),
+        ],
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn truth_is_or_over_derivations() {
+    let mut db = diamond();
+    let (h1, h2, d, r) = (
+        db.resolve("hop1").unwrap(),
+        db.resolve("hop2").unwrap(),
+        db.resolve("direct").unwrap(),
+        db.resolve("reaches").unwrap(),
+    );
+    // Witness only via the two-hop derivation.
+    db.insert(h1, v("x"), v("m")).unwrap();
+    db.insert(h2, v("m"), v("z")).unwrap();
+    assert_eq!(db.truth(r, &v("x"), &v("z")).unwrap(), Truth::True);
+    // Witness only via the direct derivation.
+    db.insert(d, v("x2"), v("z2")).unwrap();
+    assert_eq!(db.truth(r, &v("x2"), &v("z2")).unwrap(), Truth::True);
+    // Extension unions both.
+    let ext = db.extension(r).unwrap();
+    assert_eq!(ext.len(), 2);
+}
+
+#[test]
+fn derived_delete_negates_all_derivations() {
+    let mut db = diamond();
+    let (h1, h2, d, r) = (
+        db.resolve("hop1").unwrap(),
+        db.resolve("hop2").unwrap(),
+        db.resolve("direct").unwrap(),
+        db.resolve("reaches").unwrap(),
+    );
+    // Both derivations witness (x, z).
+    db.insert(h1, v("x"), v("m")).unwrap();
+    db.insert(h2, v("m"), v("z")).unwrap();
+    db.insert(d, v("x"), v("z")).unwrap();
+    assert_eq!(db.truth(r, &v("x"), &v("z")).unwrap(), Truth::True);
+
+    db.delete(r, &v("x"), &v("z")).unwrap();
+    // One NC per chain: the 2-hop chain and the direct fact.
+    assert_eq!(db.store().ncs().len(), 2);
+    assert_eq!(db.truth(r, &v("x"), &v("z")).unwrap(), Truth::False);
+    // All three base facts are ambiguous, none deleted.
+    assert_eq!(db.stats().base_facts, 3);
+    assert_eq!(db.stats().ambiguous_facts, 3);
+    assert!(db.is_consistent());
+}
+
+#[test]
+fn reasserting_one_chain_reopens_the_question() {
+    let mut db = diamond();
+    let (h1, h2, d, r) = (
+        db.resolve("hop1").unwrap(),
+        db.resolve("hop2").unwrap(),
+        db.resolve("direct").unwrap(),
+        db.resolve("reaches").unwrap(),
+    );
+    db.insert(h1, v("x"), v("m")).unwrap();
+    db.insert(h2, v("m"), v("z")).unwrap();
+    db.insert(d, v("x"), v("z")).unwrap();
+    db.delete(r, &v("x"), &v("z")).unwrap();
+
+    // Re-asserting the direct base fact dismantles its NC and makes the
+    // derived fact true again through that derivation — the two-hop NC
+    // still stands, its members still ambiguous.
+    db.insert(d, v("x"), v("z")).unwrap();
+    assert_eq!(db.truth(r, &v("x"), &v("z")).unwrap(), Truth::True);
+    assert_eq!(db.store().ncs().len(), 1);
+    assert_eq!(db.stats().ambiguous_facts, 2);
+    assert!(db.is_consistent());
+}
+
+#[test]
+fn insert_policy_controls_witness_shape() {
+    // FirstDerivation: 2-hop NVC with one null. ShortestDerivation: the
+    // direct fact, no null.
+    let mut db = diamond();
+    let r = db.resolve("reaches").unwrap();
+    db.insert(r, v("p"), v("q")).unwrap();
+    assert_eq!(db.store().nulls().generated(), 1);
+
+    let mut db = diamond();
+    db.set_insert_policy(InsertPolicy::ShortestDerivation);
+    let (d, r) = (
+        db.resolve("direct").unwrap(),
+        db.resolve("reaches").unwrap(),
+    );
+    db.insert(r, v("p"), v("q")).unwrap();
+    assert_eq!(db.store().nulls().generated(), 0);
+    assert!(db.store().table(d).contains(&v("p"), &v("q")));
+    assert_eq!(db.truth(r, &v("p"), &v("q")).unwrap(), Truth::True);
+}
+
+#[test]
+fn delete_then_insert_round_trip_with_multiple_derivations() {
+    let mut db = diamond();
+    let (h1, h2, r) = (
+        db.resolve("hop1").unwrap(),
+        db.resolve("hop2").unwrap(),
+        db.resolve("reaches").unwrap(),
+    );
+    db.insert(h1, v("x"), v("m")).unwrap();
+    db.insert(h2, v("m"), v("z")).unwrap();
+    db.delete(r, &v("x"), &v("z")).unwrap();
+    assert_eq!(db.truth(r, &v("x"), &v("z")).unwrap(), Truth::False);
+    // Derived insert: no NVC exists (the concrete chain is not an NVC),
+    // so a fresh NVC is created through the first derivation; the fact is
+    // true again while the old chain's NC still stands.
+    db.insert(r, v("x"), v("z")).unwrap();
+    assert_eq!(db.truth(r, &v("x"), &v("z")).unwrap(), Truth::True);
+    assert_eq!(db.store().ncs().len(), 1);
+    assert!(db.is_consistent());
+}

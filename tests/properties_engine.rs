@@ -1,0 +1,194 @@
+//! Cross-crate, engine-level property tests: random update streams driven
+//! through the full stack must preserve consistency, snapshot round-trip
+//! fidelity, WAL-replay equivalence and transaction atomicity.
+
+use proptest::prelude::*;
+
+use fdb::core::{replay, Database, LogRecord, Update, Wal};
+use fdb::storage::Truth;
+use fdb::types::{Derivation, Schema, Step, Value};
+use fdb::workload::{update_stream, UpdateStreamConfig};
+
+fn university() -> Database {
+    let schema = Schema::builder()
+        .function("teach", "faculty", "course", "many-many")
+        .function("class_list", "course", "student", "many-many")
+        .function("pupil", "faculty", "student", "many-many")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let (t, c, p) = (
+        db.resolve("teach").unwrap(),
+        db.resolve("class_list").unwrap(),
+        db.resolve("pupil").unwrap(),
+    );
+    db.register_derived(
+        p,
+        vec![Derivation::new(vec![Step::identity(t), Step::identity(c)]).unwrap()],
+    )
+    .unwrap();
+    db
+}
+
+fn stream_for(db: &Database, seed: u64, length: usize) -> Vec<Update> {
+    update_stream(
+        db,
+        UpdateStreamConfig {
+            length,
+            domain_size: 5,
+            derived_pct: 40,
+            delete_pct: 45,
+            seed,
+        },
+    )
+}
+
+/// Every (x, y) pair of the small value domain, for truth-table probing.
+fn probe_pairs(db: &Database) -> Vec<(Value, Value)> {
+    let _ = db;
+    let mut out = Vec::new();
+    for i in 0..5 {
+        for j in 0..5 {
+            out.push((
+                Value::atom(format!("faculty#{i}")),
+                Value::atom(format!("student#{j}")),
+            ));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine stays consistent under arbitrary update streams.
+    #[test]
+    fn streams_preserve_consistency(seed in 0u64..10_000, len in 0usize..60) {
+        let mut db = university();
+        for u in stream_for(&db, seed, len) {
+            db.apply(u).unwrap();
+            prop_assert!(db.is_consistent());
+        }
+    }
+
+    /// A snapshot round trip preserves the truth value of every fact.
+    #[test]
+    fn snapshot_round_trip_preserves_all_truth(seed in 0u64..10_000, len in 0usize..60) {
+        let mut db = university();
+        for u in stream_for(&db, seed, len) {
+            db.apply(u).unwrap();
+        }
+        let restored = Database::from_snapshot(&db.to_snapshot().unwrap()).unwrap();
+        let pupil = db.resolve("pupil").unwrap();
+        for (x, y) in probe_pairs(&db) {
+            prop_assert_eq!(
+                db.truth(pupil, &x, &y).unwrap(),
+                restored.truth(pupil, &x, &y).unwrap()
+            );
+        }
+        prop_assert_eq!(db.stats(), restored.stats());
+    }
+
+    /// Replaying a WAL of the same stream reproduces the same state.
+    #[test]
+    fn wal_replay_is_equivalent(seed in 0u64..10_000, len in 0usize..50) {
+        let mut db = university();
+        let path = std::env::temp_dir().join(format!(
+            "fdb_prop_wal_{}_{seed}_{len}.log",
+            std::process::id()
+        ));
+        let mut wal = Wal::create(&path).unwrap();
+        for (name, dom, rng, f) in [
+            ("teach", "faculty", "course", "many-many"),
+            ("class_list", "course", "student", "many-many"),
+            ("pupil", "faculty", "student", "many-many"),
+        ] {
+            wal.append(&LogRecord::Declare {
+                name: name.into(),
+                domain: dom.into(),
+                range: rng.into(),
+                functionality: f.parse().unwrap(),
+            })
+            .unwrap();
+        }
+        wal.append(&LogRecord::Derive {
+            name: "pupil".into(),
+            steps: vec![("teach".into(), false), ("class_list".into(), false)],
+        })
+        .unwrap();
+        for u in stream_for(&db, seed, len) {
+            let record = match &u {
+                Update::Insert { function, x, y } => LogRecord::Insert {
+                    function: db.schema().function(*function).name.clone(),
+                    x: x.clone(),
+                    y: y.clone(),
+                },
+                Update::Delete { function, x, y } => LogRecord::Delete {
+                    function: db.schema().function(*function).name.clone(),
+                    x: x.clone(),
+                    y: y.clone(),
+                },
+                Update::Replace { function, old, new } => LogRecord::Replace {
+                    function: db.schema().function(*function).name.clone(),
+                    old: old.clone(),
+                    new: new.clone(),
+                },
+            };
+            db.apply(u).unwrap();
+            wal.append(&record).unwrap();
+        }
+        drop(wal);
+        let (replayed, report) = replay(&path).unwrap();
+        prop_assert!(!report.torn_tail);
+        prop_assert_eq!(replayed.to_snapshot().unwrap(), db.to_snapshot().unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `apply_all` is atomic: appending one failing update to any prefix
+    /// leaves the database exactly as before the batch.
+    #[test]
+    fn batches_are_atomic(seed in 0u64..10_000, len in 1usize..30) {
+        let mut db = university();
+        // Pre-populate with a deterministic prefix.
+        for u in stream_for(&db, seed ^ 0xABCD, 10) {
+            db.apply(u).unwrap();
+        }
+        let before = db.to_snapshot().unwrap();
+        let teach = db.resolve("teach").unwrap();
+        let mut batch = stream_for(&db, seed, len);
+        batch.push(Update::Insert {
+            function: teach,
+            x: Value::Null(fdb::types::NullId(77)),
+            y: Value::atom("boom"),
+        });
+        prop_assert!(db.apply_all(batch).is_err());
+        prop_assert_eq!(db.to_snapshot().unwrap(), before);
+    }
+
+    /// Derived truth is monotone under base inserts of chain links: adding
+    /// a base fact never flips another derived fact from true to false.
+    #[test]
+    fn base_inserts_never_falsify_derived_facts(seed in 0u64..10_000, len in 0usize..40) {
+        let mut db = university();
+        for u in stream_for(&db, seed, len) {
+            db.apply(u).unwrap();
+        }
+        let pupil = db.resolve("pupil").unwrap();
+        let teach = db.resolve("teach").unwrap();
+        let before: Vec<(Value, Value, Truth)> = probe_pairs(&db)
+            .into_iter()
+            .map(|(x, y)| {
+                let t = db.truth(pupil, &x, &y).unwrap();
+                (x, y, t)
+            })
+            .collect();
+        db.insert(teach, Value::atom("faculty#0"), Value::atom("course#0"))
+            .unwrap();
+        for (x, y, old) in before {
+            let new = db.truth(pupil, &x, &y).unwrap();
+            if old == Truth::True {
+                prop_assert_ne!(new, Truth::False, "pupil({}, {}) was falsified", x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The shipped `.fdb` script fixtures must execute cleanly through the
+//! language engine (they double as end-to-end smoke tests of SOURCE).
+
+use fdb::lang::Engine;
+use fdb::storage::Truth;
+use fdb::types::Value;
+
+fn v(s: &str) -> Value {
+    Value::atom(s)
+}
+
+#[test]
+fn university_script_runs() {
+    let mut engine = Engine::new();
+    let out = engine
+        .execute_line("SOURCE \"examples/scripts/university.fdb\"")
+        .expect("script executes cleanly");
+    assert!(out.contains("declared teach"));
+    assert!(out.contains("euclid  math  A  {g1}"));
+    assert!(out.contains("consistent"));
+    let db = engine.database();
+    let pupil = db.resolve("pupil").unwrap();
+    assert_eq!(
+        db.truth(pupil, &v("euclid"), &v("john")).unwrap(),
+        Truth::False
+    );
+    assert_eq!(
+        db.truth(pupil, &v("gauss"), &v("bill")).unwrap(),
+        Truth::True
+    );
+}
+
+#[test]
+fn grading_script_runs_and_resolves() {
+    let mut engine = Engine::new();
+    let out = engine
+        .execute_line("SOURCE \"examples/scripts/grading.fdb\"")
+        .expect("script executes cleanly");
+    assert!(out.contains("resolved: 2 nulls unified"));
+    assert!(out.contains("consistent"));
+    let db = engine.database();
+    let cutoff = db.resolve("cutoff").unwrap();
+    assert!(db.store().table(cutoff).contains(&v("91"), &v("A")));
+    assert!(db.store().table(cutoff).contains(&v("74"), &v("B")));
+    assert_eq!(db.stats().null_facts, 0);
+}
