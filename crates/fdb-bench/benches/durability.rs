@@ -1,0 +1,130 @@
+//! Durability trade-offs: append throughput per `SyncPolicy`, recovery
+//! latency per checkpoint interval.
+//!
+//! * `append_100/<policy>` — time to drive 100 logged inserts through a
+//!   fresh `LoggedDatabase` on the real filesystem. `Always` pays an
+//!   fsync per record; `EveryN` amortises it; `OnCheckpoint` defers it
+//!   entirely.
+//! * `recovery/<interval>` — time for `open_with` to recover a
+//!   600-record log laid down with the given checkpoint interval. Tight
+//!   intervals replay a short suffix from a recent snapshot; `none`
+//!   replays every record from scratch.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use fdb_core::{DurabilityConfig, FileStorage, LoggedDatabase, SyncPolicy, WalStorage};
+use fdb_types::{Functionality, Value};
+
+fn v(s: String) -> Value {
+    Value::atom(s)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fdb_bench_durability_{}_{tag}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn setup(dir: &PathBuf, config: DurabilityConfig) -> LoggedDatabase {
+    let storage: Arc<dyn WalStorage> = Arc::new(FileStorage);
+    let mut ldb = LoggedDatabase::create_with(storage, dir, config).unwrap();
+    ldb.declare("teach", "faculty", "course", Functionality::ManyMany)
+        .unwrap();
+    ldb.declare("class_list", "course", "student", Functionality::ManyMany)
+        .unwrap();
+    ldb.declare("pupil", "faculty", "student", Functionality::ManyMany)
+        .unwrap();
+    ldb.derive("pupil", &[("teach", false), ("class_list", false)])
+        .unwrap();
+    ldb
+}
+
+fn bench_append_throughput(c: &mut Criterion) {
+    let policies: [(&str, SyncPolicy); 4] = [
+        ("always", SyncPolicy::Always),
+        ("every16", SyncPolicy::EveryN(16)),
+        ("every64", SyncPolicy::EveryN(64)),
+        ("on_checkpoint", SyncPolicy::OnCheckpoint),
+    ];
+    let mut group = c.benchmark_group("append_100");
+    group.sample_size(20);
+    for (name, policy) in policies {
+        let dir = fresh_dir(name);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    setup(
+                        &dir,
+                        DurabilityConfig {
+                            sync_policy: policy,
+                            checkpoint_every: None,
+                            segment_max_bytes: 4 * 1024 * 1024,
+                        },
+                    )
+                },
+                |mut ldb| {
+                    for i in 0..100u32 {
+                        ldb.insert("teach", v(format!("p{i}")), v(format!("c{i}")))
+                            .unwrap();
+                    }
+                    ldb
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+fn bench_recovery_latency(c: &mut Criterion) {
+    let intervals: [(&str, Option<u64>); 3] =
+        [("ckpt64", Some(64)), ("ckpt256", Some(256)), ("none", None)];
+    let mut group = c.benchmark_group("recovery_600");
+    group.sample_size(20);
+    for (name, checkpoint_every) in intervals {
+        let config = DurabilityConfig {
+            sync_policy: SyncPolicy::EveryN(64),
+            checkpoint_every,
+            segment_max_bytes: 64 * 1024,
+        };
+        let dir = fresh_dir(name);
+        // Lay down the log once; recovery is read-only so it can be
+        // re-measured against the same directory.
+        let mut ldb = setup(&dir, config);
+        for i in 0..600u32 {
+            let (x, y) = (format!("p{}", i % 40), format!("c{}", i % 25));
+            if i % 5 == 4 {
+                ldb.delete("pupil", v(x), v(y)).unwrap();
+            } else {
+                ldb.insert("teach", v(x), v(y)).unwrap();
+            }
+        }
+        ldb.sync().unwrap();
+        drop(ldb);
+
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let storage: Arc<dyn WalStorage> = Arc::new(FileStorage);
+                let (recovered, report) = LoggedDatabase::open_with(storage, &dir, config).unwrap();
+                assert!(report.corruption.is_empty());
+                recovered.database().stats().base_facts
+            });
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append_throughput, bench_recovery_latency);
+criterion_main!(benches);

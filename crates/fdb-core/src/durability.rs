@@ -1,0 +1,939 @@
+//! The durable database engine: segmented WAL, checkpoints, sync policy.
+//!
+//! [`LoggedDatabase`] couples a live [`Database`] to a directory of v2
+//! WAL segments plus an atomically installed checkpoint:
+//!
+//! * every successful mutation is appended to the current segment;
+//! * segments rotate once they pass
+//!   [`DurabilityConfig::segment_max_bytes`];
+//! * every [`DurabilityConfig::checkpoint_every`] records (or on demand)
+//!   the whole database snapshot is written to a temp file, synced,
+//!   atomically renamed over `checkpoint.snap`, the directory entry is
+//!   synced, and the replayed segments are removed — recovery is then
+//!   *latest checkpoint + replay of the remaining suffix*;
+//! * [`SyncPolicy`] decides when appends are fsynced: every record,
+//!   every N records, or only at checkpoints.
+//!
+//! Recovery ([`LoggedDatabase::open_with`]) salvages rather than fails:
+//! a damaged segment is truncated to its valid prefix, the damaged
+//! suffix is moved aside into a `.quarantine` file, and everything after
+//! the first flaw is quarantined wholesale so appends never interleave
+//! with garbage. The [`RecoveryReport`] says exactly what happened.
+//!
+//! For compatibility, opening a *file* path (rather than a directory)
+//! recovers a legacy single-file log — including v1 plain-JSON logs —
+//! and keeps appending to it in its own format, without checkpoints.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use fdb_types::{FdbError, Functionality, Result, Value};
+
+use crate::database::Database;
+use crate::storage::{FileStorage, WalStorage};
+use crate::update::Update;
+use crate::wal::{
+    apply_record, io_err, parent_dir, scan, CorruptionEvent, LogRecord, RecoveryReport, Scan, Wal,
+};
+
+/// When appended records are fsynced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Sync after every record: no acknowledged record is ever lost.
+    #[default]
+    Always,
+    /// Sync after every `n` records: bounded loss window, higher
+    /// throughput.
+    EveryN(u32),
+    /// Sync only when a checkpoint is taken (or [`LoggedDatabase::sync`]
+    /// is called explicitly): fastest, weakest.
+    OnCheckpoint,
+}
+
+/// Tuning knobs for [`LoggedDatabase`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// When appends are fsynced.
+    pub sync_policy: SyncPolicy,
+    /// Take a checkpoint every this many records; `None` checkpoints
+    /// only on explicit [`LoggedDatabase::checkpoint`] calls.
+    pub checkpoint_every: Option<u64>,
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes.
+    pub segment_max_bytes: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            sync_policy: SyncPolicy::Always,
+            checkpoint_every: Some(1024),
+            segment_max_bytes: 256 * 1024,
+        }
+    }
+}
+
+const CHECKPOINT: &str = "checkpoint.snap";
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// The atomically installed checkpoint file's contents.
+#[derive(Debug, Serialize, Deserialize)]
+struct CheckpointDoc {
+    /// Highest sequence number the snapshot covers.
+    seq: u64,
+    /// [`Database::to_snapshot`] output.
+    snapshot: String,
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:010}.seg")
+}
+
+fn segment_first_seq(path: &Path) -> Option<u64> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Scans `path`, and if a flaw is found moves the damaged suffix into
+/// `<path>.quarantine` and truncates the file to its valid prefix.
+/// Returns the scan and the number of quarantined bytes.
+fn salvage_file(storage: &dyn WalStorage, path: &Path, first_seq: u64) -> Result<(Scan, u64)> {
+    let bytes = storage.read(path).map_err(|e| io_err("read segment", e))?;
+    let scanned = scan(&bytes, first_seq);
+    let mut quarantined = 0u64;
+    if scanned.flaw.is_some() {
+        let suffix = &bytes[scanned.valid_len as usize..];
+        if !suffix.is_empty() {
+            let qpath = quarantine_path(path);
+            let mut q = storage
+                .create(&qpath)
+                .map_err(|e| io_err("create quarantine", e))?;
+            q.append(suffix).map_err(|e| io_err("quarantine", e))?;
+            q.sync().map_err(|e| io_err("sync quarantine", e))?;
+            quarantined = suffix.len() as u64;
+        }
+        storage
+            .truncate(path, scanned.valid_len)
+            .map_err(|e| io_err("truncate damaged suffix", e))?;
+    }
+    Ok((scanned, quarantined))
+}
+
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".quarantine");
+    PathBuf::from(name)
+}
+
+/// A database coupled to a write-ahead log: every successful mutation is
+/// logged, so the on-disk state always reconstructs the in-memory state.
+#[derive(Debug)]
+pub struct LoggedDatabase {
+    db: Database,
+    storage: Arc<dyn WalStorage>,
+    dir: PathBuf,
+    wal: Wal,
+    config: DurabilityConfig,
+    /// Seq covered by the last installed checkpoint (0 = none).
+    checkpoint_seq: u64,
+    /// Records appended since the last sync.
+    unsynced: u32,
+    /// Records appended since the last checkpoint.
+    since_checkpoint: u64,
+    /// `true` when operating on a legacy single-file log (no rotation,
+    /// no checkpoints).
+    legacy: bool,
+}
+
+impl LoggedDatabase {
+    /// Creates a fresh logged database in `dir` (a directory; created if
+    /// absent, existing log state cleared) on the real filesystem with
+    /// default durability settings.
+    pub fn create(dir: impl AsRef<Path>) -> Result<Self> {
+        LoggedDatabase::create_with(
+            Arc::new(FileStorage),
+            dir.as_ref(),
+            DurabilityConfig::default(),
+        )
+    }
+
+    /// [`LoggedDatabase::create`] with explicit storage and config.
+    pub fn create_with(
+        storage: Arc<dyn WalStorage>,
+        dir: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_owned();
+        storage
+            .create_dir_all(&dir)
+            .map_err(|e| io_err("create dir", e))?;
+        // Truncating create: clear any previous log state.
+        for path in storage.list(&dir).map_err(|e| io_err("list dir", e))? {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("wal-") || name.starts_with("checkpoint.") {
+                storage
+                    .remove(&path)
+                    .map_err(|e| io_err("clear old log", e))?;
+            }
+        }
+        let wal = Wal::create_on(Arc::clone(&storage), dir.join(segment_name(1)), 1)?;
+        Ok(LoggedDatabase {
+            db: Database::new(fdb_types::Schema::new()),
+            storage,
+            dir,
+            wal,
+            config,
+            checkpoint_seq: 0,
+            unsynced: 0,
+            since_checkpoint: 0,
+            legacy: false,
+        })
+    }
+
+    /// Recovers the database from an existing log directory (or legacy
+    /// single-file log) and reopens it for appending. Returns the
+    /// recovery report alongside.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, RecoveryReport)> {
+        LoggedDatabase::open_with(
+            Arc::new(FileStorage),
+            path.as_ref(),
+            DurabilityConfig::default(),
+        )
+    }
+
+    /// [`LoggedDatabase::open`] with explicit storage and config.
+    pub fn open_with(
+        storage: Arc<dyn WalStorage>,
+        path: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let path = path.as_ref().to_owned();
+        if storage.is_file(&path) {
+            return LoggedDatabase::open_legacy(storage, path, config);
+        }
+        storage
+            .create_dir_all(&path)
+            .map_err(|e| io_err("create dir", e))?;
+        let dir = path;
+
+        let mut report = RecoveryReport::default();
+        let mut db = Database::new(fdb_types::Schema::new());
+        let mut base_seq = 0u64;
+
+        // A leftover temp file is an interrupted (never installed)
+        // checkpoint; discard it.
+        let tmp = dir.join(CHECKPOINT_TMP);
+        if storage.is_file(&tmp) {
+            storage
+                .remove(&tmp)
+                .map_err(|e| io_err("remove stale checkpoint.tmp", e))?;
+        }
+
+        let ckpt = dir.join(CHECKPOINT);
+        if storage.is_file(&ckpt) {
+            let bytes = storage
+                .read(&ckpt)
+                .map_err(|e| io_err("read checkpoint", e))?;
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|e| FdbError::Internal(format!("wal: checkpoint not UTF-8: {e}")))?;
+            let doc: CheckpointDoc = serde_json::from_str(text)
+                .map_err(|e| FdbError::Internal(format!("wal: checkpoint corrupt: {e}")))?;
+            db = Database::from_snapshot(&doc.snapshot)?;
+            base_seq = doc.seq;
+            report.checkpoint_seq = Some(doc.seq);
+            report.last_seq = Some(doc.seq);
+        }
+
+        let mut segments: Vec<(u64, PathBuf)> = storage
+            .list(&dir)
+            .map_err(|e| io_err("list dir", e))?
+            .into_iter()
+            .filter_map(|p| segment_first_seq(&p).map(|s| (s, p)))
+            .collect();
+        segments.sort();
+
+        let mut expected = base_seq + 1;
+        let mut halted = false;
+        let mut append_target: Option<PathBuf> = None;
+        for (first_seq, seg_path) in segments {
+            if halted || first_seq > expected {
+                // Unreachable after a flaw (or a missing segment): move
+                // the whole file aside.
+                let bytes = storage
+                    .read(&seg_path)
+                    .map_err(|e| io_err("read segment", e))?;
+                report.quarantined_bytes += bytes.len() as u64;
+                storage
+                    .rename(&seg_path, &quarantine_path(&seg_path))
+                    .map_err(|e| io_err("quarantine segment", e))?;
+                halted = true;
+                continue;
+            }
+            let (scanned, quarantined) = salvage_file(storage.as_ref(), &seg_path, first_seq)?;
+            report.segments_scanned += 1;
+            report.quarantined_bytes += quarantined;
+            for (seq, record) in &scanned.records {
+                if *seq <= base_seq {
+                    continue; // already covered by the checkpoint
+                }
+                apply_record(&mut db, record)?;
+                report.applied += 1;
+                report.last_seq = Some(*seq);
+                expected = seq + 1;
+            }
+            if let Some(flaw) = scanned.flaw {
+                report.torn_tail = flaw.is_torn_tail();
+                report.corruption.push(CorruptionEvent {
+                    segment: seg_path.clone(),
+                    flaw,
+                });
+                halted = true;
+            }
+            append_target = Some(seg_path);
+        }
+
+        storage.sync_dir(&dir).map_err(|e| io_err("sync dir", e))?;
+
+        let wal = match append_target {
+            Some(seg_path) => {
+                let first = segment_first_seq(&seg_path).unwrap_or(expected);
+                Wal::open_append_on(Arc::clone(&storage), seg_path, first)?
+            }
+            None => Wal::create_on(
+                Arc::clone(&storage),
+                dir.join(segment_name(expected)),
+                expected,
+            )?,
+        };
+
+        Ok((
+            LoggedDatabase {
+                db,
+                storage,
+                dir,
+                wal,
+                config,
+                checkpoint_seq: base_seq,
+                unsynced: 0,
+                since_checkpoint: 0,
+                legacy: false,
+            },
+            report,
+        ))
+    }
+
+    /// Recovery for a legacy single-file log (v1 or single-segment v2):
+    /// salvage, replay, keep appending in the file's own format.
+    fn open_legacy(
+        storage: Arc<dyn WalStorage>,
+        path: PathBuf,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (scanned, quarantined) = salvage_file(storage.as_ref(), &path, 1)?;
+        let mut db = Database::new(fdb_types::Schema::new());
+        let mut report = RecoveryReport {
+            segments_scanned: 1,
+            quarantined_bytes: quarantined,
+            ..RecoveryReport::default()
+        };
+        for (seq, record) in &scanned.records {
+            apply_record(&mut db, record)?;
+            report.applied += 1;
+            report.last_seq = Some(*seq);
+        }
+        if let Some(flaw) = scanned.flaw {
+            report.torn_tail = flaw.is_torn_tail();
+            report.corruption.push(CorruptionEvent {
+                segment: path.clone(),
+                flaw,
+            });
+        }
+        let dir = parent_dir(&path)
+            .map(Path::to_owned)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let wal = Wal::open_append_on(Arc::clone(&storage), &path, 1)?;
+        Ok((
+            LoggedDatabase {
+                db,
+                storage,
+                dir,
+                wal,
+                config,
+                checkpoint_seq: 0,
+                unsynced: 0,
+                since_checkpoint: 0,
+                legacy: true,
+            },
+            report,
+        ))
+    }
+
+    /// Read access to the live database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The log directory (or the legacy file's parent).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current durability configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.config
+    }
+
+    /// Changes when appends are fsynced, effective immediately.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.config.sync_policy = policy;
+    }
+
+    /// Sequence number of the last logged record (0 if none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.wal.next_seq() - 1
+    }
+
+    /// Sequence number covered by the last installed checkpoint (0 if
+    /// none).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
+    }
+
+    fn logged(&mut self, record: LogRecord) -> Result<()> {
+        apply_record(&mut self.db, &record)?;
+        self.wal.append(&record)?;
+        self.unsynced += 1;
+        self.since_checkpoint += 1;
+        match self.config.sync_policy {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::OnCheckpoint => {}
+        }
+        if !self.legacy {
+            if self.wal.len() >= self.config.segment_max_bytes {
+                self.rotate()?;
+            }
+            if let Some(every) = self.config.checkpoint_every {
+                if self.since_checkpoint >= every {
+                    self.checkpoint()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the current segment and starts a fresh one.
+    fn rotate(&mut self) -> Result<()> {
+        self.wal.sync()?;
+        self.unsynced = 0;
+        let next = self.wal.next_seq();
+        self.wal = Wal::create_on(
+            Arc::clone(&self.storage),
+            self.dir.join(segment_name(next)),
+            next,
+        )?;
+        Ok(())
+    }
+
+    /// Takes a checkpoint now: syncs the log, writes the full snapshot
+    /// to a temp file, atomically installs it (rename + directory sync),
+    /// then removes the segments it covers.
+    ///
+    /// Legacy single-file logs cannot checkpoint.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.legacy {
+            return Err(FdbError::Internal(
+                "wal: legacy single-file log cannot checkpoint; migrate to a log directory"
+                    .to_owned(),
+            ));
+        }
+        self.sync()?;
+        let seq = self.last_seq();
+        let doc = CheckpointDoc {
+            seq,
+            snapshot: self.db.to_snapshot()?,
+        };
+        let json = serde_json::to_string(&doc)
+            .map_err(|e| FdbError::Internal(format!("wal: serialise checkpoint: {e}")))?;
+        let tmp = self.dir.join(CHECKPOINT_TMP);
+        let mut f = self
+            .storage
+            .create(&tmp)
+            .map_err(|e| io_err("create checkpoint.tmp", e))?;
+        f.append(json.as_bytes())
+            .map_err(|e| io_err("write checkpoint", e))?;
+        f.sync().map_err(|e| io_err("sync checkpoint", e))?;
+        drop(f);
+        self.storage
+            .rename(&tmp, &self.dir.join(CHECKPOINT))
+            .map_err(|e| io_err("install checkpoint", e))?;
+        self.storage
+            .sync_dir(&self.dir)
+            .map_err(|e| io_err("sync dir", e))?;
+
+        // Everything up to `seq` is now covered: rotate to a fresh
+        // segment and drop the replayed ones.
+        self.rotate()?;
+        let current = self.wal.path().to_owned();
+        for path in self
+            .storage
+            .list(&self.dir)
+            .map_err(|e| io_err("list dir", e))?
+        {
+            if segment_first_seq(&path).is_some() && path != current {
+                self.storage
+                    .remove(&path)
+                    .map_err(|e| io_err("remove replayed segment", e))?;
+            }
+        }
+        self.storage
+            .sync_dir(&self.dir)
+            .map_err(|e| io_err("sync dir", e))?;
+        self.checkpoint_seq = seq;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Declares a function (logged).
+    pub fn declare(
+        &mut self,
+        name: &str,
+        domain: &str,
+        range: &str,
+        functionality: Functionality,
+    ) -> Result<()> {
+        self.logged(LogRecord::Declare {
+            name: name.to_owned(),
+            domain: domain.to_owned(),
+            range: range.to_owned(),
+            functionality,
+        })
+    }
+
+    /// Registers a derivation by step names (logged).
+    pub fn derive(&mut self, name: &str, steps: &[(&str, bool)]) -> Result<()> {
+        self.logged(LogRecord::Derive {
+            name: name.to_owned(),
+            steps: steps
+                .iter()
+                .map(|(n, inv)| ((*n).to_owned(), *inv))
+                .collect(),
+        })
+    }
+
+    /// `INS` (logged).
+    pub fn insert(&mut self, function: &str, x: Value, y: Value) -> Result<()> {
+        self.logged(LogRecord::Insert {
+            function: function.to_owned(),
+            x,
+            y,
+        })
+    }
+
+    /// `DEL` (logged).
+    pub fn delete(&mut self, function: &str, x: Value, y: Value) -> Result<()> {
+        self.logged(LogRecord::Delete {
+            function: function.to_owned(),
+            x,
+            y,
+        })
+    }
+
+    /// `REP` (logged).
+    pub fn replace(
+        &mut self,
+        function: &str,
+        old: (Value, Value),
+        new: (Value, Value),
+    ) -> Result<()> {
+        self.logged(LogRecord::Replace {
+            function: function.to_owned(),
+            old,
+            new,
+        })
+    }
+
+    /// Applies one engine-level [`Update`] (logged); the function id is
+    /// resolved to its name so the log stays id-independent.
+    pub fn apply_update(&mut self, update: &Update) -> Result<()> {
+        let record = match update {
+            Update::Insert { function, x, y } => LogRecord::Insert {
+                function: self.db.schema().function(*function).name.clone(),
+                x: x.clone(),
+                y: y.clone(),
+            },
+            Update::Delete { function, x, y } => LogRecord::Delete {
+                function: self.db.schema().function(*function).name.clone(),
+                x: x.clone(),
+                y: y.clone(),
+            },
+            Update::Replace { function, old, new } => LogRecord::Replace {
+                function: self.db.schema().function(*function).name.clone(),
+                old: old.clone(),
+                new: new.clone(),
+            },
+        };
+        self.logged(record)
+    }
+
+    /// Replays another database's schema and (first) derivations into
+    /// this log, so the log is self-contained. The target must be
+    /// freshly created.
+    pub fn import_schema(&mut self, source: &Database) -> Result<()> {
+        for f in source
+            .base_functions()
+            .into_iter()
+            .chain(source.derived_functions())
+        {
+            let def = source.schema().function(f);
+            self.declare(
+                &def.name,
+                source.schema().type_name(def.domain),
+                source.schema().type_name(def.range),
+                def.functionality,
+            )?;
+        }
+        for f in source.derived_functions() {
+            let def = source.schema().function(f);
+            for d in source.derivations(f).iter().take(1) {
+                let steps: Vec<(&str, bool)> = d
+                    .steps()
+                    .iter()
+                    .map(|s| {
+                        (
+                            source.schema().function(s.function).name.as_str(),
+                            s.op == fdb_types::Op::Inverse,
+                        )
+                    })
+                    .collect();
+                self.derive(&def.name, &steps)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Durably syncs the log.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::SimDisk;
+    use fdb_storage::Truth;
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn disk_dir() -> PathBuf {
+        PathBuf::from("/db")
+    }
+
+    fn build_logged(storage: Arc<SimDisk>, config: DurabilityConfig) -> LoggedDatabase {
+        let mut ldb = LoggedDatabase::create_with(storage, disk_dir(), config).unwrap();
+        ldb.declare("teach", "faculty", "course", Functionality::ManyMany)
+            .unwrap();
+        ldb.declare("class_list", "course", "student", Functionality::ManyMany)
+            .unwrap();
+        ldb.declare("pupil", "faculty", "student", Functionality::ManyMany)
+            .unwrap();
+        ldb.derive("pupil", &[("teach", false), ("class_list", false)])
+            .unwrap();
+        ldb.insert("teach", v("euclid"), v("math")).unwrap();
+        ldb.insert("class_list", v("math"), v("john")).unwrap();
+        ldb.insert("class_list", v("math"), v("bill")).unwrap();
+        ldb.delete("pupil", v("euclid"), v("john")).unwrap();
+        ldb.insert("pupil", v("gauss"), v("bill")).unwrap();
+        ldb
+    }
+
+    fn no_auto_checkpoint() -> DurabilityConfig {
+        DurabilityConfig {
+            checkpoint_every: None,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_recovers_and_continues_appending() {
+        let disk = Arc::new(SimDisk::new());
+        let ldb = build_logged(disk.clone(), no_auto_checkpoint());
+        let live = ldb.database().to_snapshot().unwrap();
+        drop(ldb);
+
+        let (mut ldb, report) = LoggedDatabase::open_with(
+            disk.clone() as Arc<dyn WalStorage>,
+            disk_dir(),
+            no_auto_checkpoint(),
+        )
+        .unwrap();
+        assert_eq!(report.applied, 9);
+        assert_eq!(ldb.database().to_snapshot().unwrap(), live);
+        ldb.insert("teach", v("gauss"), v("math")).unwrap();
+        drop(ldb);
+
+        let (recovered, report) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        assert_eq!(report.applied, 10);
+        let p = recovered.database().resolve("pupil").unwrap();
+        assert_eq!(
+            recovered
+                .database()
+                .truth(p, &v("gauss"), &v("bill"))
+                .unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn checkpoint_truncates_segments_and_recovery_uses_it() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb = build_logged(disk.clone(), no_auto_checkpoint());
+        let before = ldb.database().to_snapshot().unwrap();
+        ldb.checkpoint().unwrap();
+        assert_eq!(ldb.checkpoint_seq(), 9);
+        // Old segments are gone; one fresh (empty) segment remains.
+        let segs: Vec<_> = disk
+            .paths()
+            .into_iter()
+            .filter(|p| segment_first_seq(p).is_some())
+            .collect();
+        assert_eq!(segs.len(), 1);
+        ldb.insert("teach", v("hilbert"), v("logic")).unwrap();
+        drop(ldb);
+
+        let (recovered, report) =
+            LoggedDatabase::open_with(disk.clone() as _, disk_dir(), no_auto_checkpoint()).unwrap();
+        assert_eq!(report.checkpoint_seq, Some(9));
+        assert_eq!(report.applied, 1, "only the post-checkpoint suffix");
+        assert_eq!(report.last_seq, Some(10));
+        assert_ne!(recovered.database().to_snapshot().unwrap(), before);
+        let teach = recovered.database().resolve("teach").unwrap();
+        assert_eq!(
+            recovered
+                .database()
+                .truth(teach, &v("hilbert"), &v("logic"))
+                .unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn automatic_checkpoints_and_rotation_fire() {
+        let disk = Arc::new(SimDisk::new());
+        let config = DurabilityConfig {
+            sync_policy: SyncPolicy::EveryN(4),
+            checkpoint_every: Some(8),
+            segment_max_bytes: 512,
+        };
+        let mut ldb = LoggedDatabase::create_with(disk.clone(), disk_dir(), config).unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        for i in 0..40 {
+            ldb.insert("f", v(&format!("x{i}")), v(&format!("y{i}")))
+                .unwrap();
+        }
+        assert!(ldb.checkpoint_seq() >= 32, "auto checkpoints must fire");
+        let live = ldb.database().to_snapshot().unwrap();
+        drop(ldb);
+        let (recovered, report) = LoggedDatabase::open_with(disk, disk_dir(), config).unwrap();
+        assert!(report.checkpoint_seq.is_some());
+        assert_eq!(recovered.database().to_snapshot().unwrap(), live);
+    }
+
+    #[test]
+    fn interior_corruption_is_salvaged_with_quarantine() {
+        let disk = Arc::new(SimDisk::new());
+        let ldb = build_logged(disk.clone(), no_auto_checkpoint());
+        drop(ldb);
+        let seg = disk_dir().join(segment_name(1));
+        // Damage a byte well inside the segment.
+        let len = disk.size_of(&seg).unwrap();
+        disk.corrupt(&seg, len / 2, 0x10);
+
+        let (recovered, report) =
+            LoggedDatabase::open_with(disk.clone() as _, disk_dir(), no_auto_checkpoint()).unwrap();
+        assert!(report.damaged());
+        assert!(report.applied < 9);
+        assert!(report.quarantined_bytes > 0);
+        assert!(recovered.database().is_consistent());
+        // The damaged suffix was moved aside and the segment truncated.
+        assert!(disk.is_file(&quarantine_path(&seg)));
+        assert!(disk.size_of(&seg).unwrap() < len);
+        drop(recovered);
+
+        // Re-opening after salvage is clean.
+        let (_, report) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        assert!(report.corruption.is_empty());
+    }
+
+    #[test]
+    fn failed_sync_is_reported() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb = LoggedDatabase::create_with(
+            disk.clone(),
+            disk_dir(),
+            DurabilityConfig {
+                sync_policy: SyncPolicy::Always,
+                ..no_auto_checkpoint()
+            },
+        )
+        .unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        disk.fail_sync(1);
+        assert!(ldb.insert("f", v("x"), v("y")).is_err());
+    }
+
+    #[test]
+    fn sync_policy_every_n_batches_syncs() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb = LoggedDatabase::create_with(
+            disk.clone(),
+            disk_dir(),
+            DurabilityConfig {
+                sync_policy: SyncPolicy::EveryN(5),
+                ..no_auto_checkpoint()
+            },
+        )
+        .unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        let baseline = disk.syncs();
+        // The declare left one unsynced record, so syncs fire at the 4th
+        // and 9th insert: exactly two EveryN(5) syncs for 9 inserts.
+        for i in 0..9 {
+            ldb.insert("f", v(&format!("x{i}")), v(&format!("y{i}")))
+                .unwrap();
+        }
+        assert_eq!(disk.syncs() - baseline, 2);
+        ldb.insert("f", v("xz"), v("yz")).unwrap();
+        assert_eq!(disk.syncs() - baseline, 2);
+    }
+
+    #[test]
+    fn legacy_v1_file_recovers_and_continues() {
+        let disk = Arc::new(SimDisk::new());
+        let path = PathBuf::from("/legacy/old.log");
+        let mut f = disk.create(&path).unwrap();
+        for record in [
+            LogRecord::Declare {
+                name: "f".into(),
+                domain: "a".into(),
+                range: "b".into(),
+                functionality: Functionality::ManyMany,
+            },
+            LogRecord::Insert {
+                function: "f".into(),
+                x: v("x"),
+                y: v("y1"),
+            },
+        ] {
+            let mut line = serde_json::to_string(&record).unwrap().into_bytes();
+            line.push(b'\n');
+            f.append(&line).unwrap();
+        }
+        drop(f);
+
+        let (mut ldb, report) =
+            LoggedDatabase::open_with(disk.clone() as _, &path, no_auto_checkpoint()).unwrap();
+        assert_eq!(report.applied, 2);
+        ldb.insert("f", v("x"), v("y2")).unwrap();
+        assert!(ldb.checkpoint().is_err(), "legacy logs cannot checkpoint");
+        drop(ldb);
+
+        let (recovered, report) = crate::wal::replay_on(disk.as_ref(), &path).unwrap();
+        assert_eq!(report.applied, 3);
+        let f_id = recovered.resolve("f").unwrap();
+        assert!(recovered.store().table(f_id).contains(&v("x"), &v("y2")));
+    }
+
+    #[test]
+    fn replace_round_trips_through_log() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), disk_dir(), no_auto_checkpoint()).unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        ldb.insert("f", v("x"), v("y1")).unwrap();
+        ldb.replace("f", (v("x"), v("y1")), (v("x"), v("y2")))
+            .unwrap();
+        drop(ldb);
+        let (recovered, _) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        let f = recovered.database().resolve("f").unwrap();
+        let db = recovered.database();
+        assert!(db.store().table(f).contains(&v("x"), &v("y2")));
+        assert!(!db.store().table(f).contains(&v("x"), &v("y1")));
+    }
+
+    #[test]
+    fn failed_operations_are_not_logged() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), disk_dir(), no_auto_checkpoint()).unwrap();
+        ldb.declare("f", "a", "b", Functionality::OneOne).unwrap();
+        assert!(ldb.insert("ghost", v("x"), v("y")).is_err());
+        drop(ldb);
+        let (_, report) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        assert_eq!(report.applied, 1);
+    }
+
+    #[test]
+    fn import_schema_makes_log_self_contained() {
+        let schema = fdb_types::Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut designed = Database::new(schema);
+        let (t, c, p) = (
+            designed.resolve("teach").unwrap(),
+            designed.resolve("class_list").unwrap(),
+            designed.resolve("pupil").unwrap(),
+        );
+        designed
+            .register_derived(
+                p,
+                vec![fdb_types::Derivation::new(vec![
+                    fdb_types::Step::identity(t),
+                    fdb_types::Step::identity(c),
+                ])
+                .unwrap()],
+            )
+            .unwrap();
+
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), disk_dir(), no_auto_checkpoint()).unwrap();
+        ldb.import_schema(&designed).unwrap();
+        ldb.insert("pupil", v("gauss"), v("bill")).unwrap();
+        drop(ldb);
+
+        let (recovered, _) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        let p = recovered.database().resolve("pupil").unwrap();
+        assert!(recovered.database().is_derived(p));
+        assert_eq!(
+            recovered
+                .database()
+                .truth(p, &v("gauss"), &v("bill"))
+                .unwrap(),
+            Truth::True
+        );
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod consistency;
 pub mod database;
+pub mod durability;
 pub mod explain;
 pub mod materialize;
 pub mod query;
@@ -28,17 +29,23 @@ pub mod session;
 pub mod shared;
 pub mod snapshot;
 pub mod stats;
+pub mod storage;
 pub mod txn;
 pub mod update;
 pub mod wal;
 
 pub use database::{Database, InsertPolicy};
+pub use durability::{DurabilityConfig, LoggedDatabase, SyncPolicy};
 pub use explain::{render_explanation, ChainEvidence, Explanation};
 pub use materialize::MaterializedExtension;
 pub use resolve::{resolve_ambiguities, ResolutionOutcome};
-pub use session::design_database;
-pub use shared::SharedDatabase;
+pub use session::{design_database, design_logged_database};
+pub use shared::{SharedDatabase, SharedLoggedDatabase};
 pub use stats::DatabaseStats;
+pub use storage::{FileStorage, SimDisk, WalFile, WalStorage};
 pub use txn::Transaction;
 pub use update::Update;
-pub use wal::{replay, LogRecord, LoggedDatabase, ReplayReport, Wal};
+pub use wal::{replay, Corruption, CorruptionEvent, LogRecord, RecoveryReport, Wal};
+
+/// Former name of [`RecoveryReport`], kept for source compatibility.
+pub type ReplayReport = RecoveryReport;

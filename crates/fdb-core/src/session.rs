@@ -6,10 +6,15 @@
 //! module performs that extraction and instantiates a [`Database`] whose
 //! derived-function registry is exactly what the designer confirmed.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use fdb_graph::{DesignConfig, DesignSession, Designer};
 use fdb_types::{Functionality, Result};
 
 use crate::database::Database;
+use crate::durability::{DurabilityConfig, LoggedDatabase};
+use crate::storage::WalStorage;
 
 /// A function declaration for [`design_database`].
 #[derive(Clone, Debug)]
@@ -52,6 +57,24 @@ pub fn design_database(
     Database::from_design(schema, &outcome)
 }
 
+/// [`design_database`] straight into a durable [`LoggedDatabase`]: the
+/// confirmed declarations and derivations are themselves logged, so the
+/// log directory is self-contained and replayable from empty — the
+/// designer's dialogue never has to be repeated after a crash.
+pub fn design_logged_database(
+    functions: &[FunctionDecl],
+    designer: &mut dyn Designer,
+    config: DesignConfig,
+    storage: Arc<dyn WalStorage>,
+    dir: impl AsRef<Path>,
+    durability: DurabilityConfig,
+) -> Result<LoggedDatabase> {
+    let designed = design_database(functions, designer, config)?;
+    let mut ldb = LoggedDatabase::create_with(storage, dir, durability)?;
+    ldb.import_schema(&designed)?;
+    Ok(ldb)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +104,48 @@ mod tests {
     #[test]
     fn invalid_functionality_is_reported() {
         assert!(FunctionDecl::new("f", "a", "b", "sideways").is_err());
+    }
+
+    #[test]
+    fn design_logged_database_survives_recovery() {
+        use crate::durability::DurabilityConfig;
+        use crate::storage::SimDisk;
+
+        let decls = vec![
+            FunctionDecl::new("teach", "faculty", "course", "many-many").unwrap(),
+            FunctionDecl::new("class_list", "course", "student", "many-many").unwrap(),
+            FunctionDecl::new("pupil", "faculty", "student", "many-many").unwrap(),
+        ];
+        let mut designer = ScriptedDesigner::new();
+        designer.push_decision_by_name("pupil");
+        designer.default_confirm(true);
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb = design_logged_database(
+            &decls,
+            &mut designer,
+            DesignConfig::default(),
+            disk.clone() as Arc<dyn WalStorage>,
+            "/design_db",
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        ldb.insert(
+            "pupil",
+            fdb_types::Value::atom("gauss"),
+            fdb_types::Value::atom("bill"),
+        )
+        .unwrap();
+        drop(ldb);
+
+        let (recovered, report) =
+            LoggedDatabase::open_with(disk, "/design_db", DurabilityConfig::default()).unwrap();
+        assert!(report.corruption.is_empty());
+        let pupil = recovered.database().resolve("pupil").unwrap();
+        assert!(recovered.database().is_derived(pupil));
+        assert_eq!(
+            recovered.database().derivations(pupil)[0].render(recovered.database().schema()),
+            "teach o class_list"
+        );
     }
 
     #[test]

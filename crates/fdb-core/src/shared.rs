@@ -11,12 +11,13 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use fdb_storage::Truth;
 use fdb_types::{FunctionId, Result, Value};
 
 use crate::database::Database;
+use crate::durability::{LoggedDatabase, SyncPolicy};
 use crate::stats::DatabaseStats;
 use crate::update::Update;
 
@@ -72,6 +73,91 @@ impl SharedDatabase {
     /// Applies a batch atomically.
     pub fn apply_all(&self, updates: Vec<Update>) -> Result<usize> {
         self.write(|db| db.apply_all(updates))
+    }
+
+    /// Truth of a fact.
+    pub fn truth(&self, f: FunctionId, x: &Value, y: &Value) -> Result<Truth> {
+        self.read(|db| db.truth(f, x, y))
+    }
+
+    /// Instance statistics.
+    pub fn stats(&self) -> DatabaseStats {
+        self.read(|db| db.stats())
+    }
+
+    /// Consistency check.
+    pub fn is_consistent(&self) -> bool {
+        self.read(|db| db.is_consistent())
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`LoggedDatabase`]: shared
+/// access with every mutation written ahead to the log.
+///
+/// Writers serialise on one mutex so the log order *is* the apply order
+/// — replaying the log always reproduces the live state, no matter how
+/// many threads were appending. The [`SyncPolicy`] travels with the
+/// underlying engine; [`SharedLoggedDatabase::set_sync_policy`] adjusts
+/// it at runtime.
+#[derive(Clone, Debug)]
+pub struct SharedLoggedDatabase {
+    inner: Arc<Mutex<LoggedDatabase>>,
+}
+
+impl SharedLoggedDatabase {
+    /// Wraps a logged database for shared access.
+    pub fn new(ldb: LoggedDatabase) -> Self {
+        SharedLoggedDatabase {
+            inner: Arc::new(Mutex::new(ldb)),
+        }
+    }
+
+    /// Runs a closure with read access to the live database.
+    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(self.inner.lock().database())
+    }
+
+    /// Runs a closure with exclusive access to the logged engine.
+    pub fn with<R>(&self, f: impl FnOnce(&mut LoggedDatabase) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Extracts the engine, if this is the last handle; otherwise
+    /// returns the handle back.
+    pub fn try_unwrap(self) -> std::result::Result<LoggedDatabase, SharedLoggedDatabase> {
+        Arc::try_unwrap(self.inner)
+            .map(Mutex::into_inner)
+            .map_err(|inner| SharedLoggedDatabase { inner })
+    }
+
+    /// `INS` by function name (logged).
+    pub fn insert(&self, function: &str, x: Value, y: Value) -> Result<()> {
+        self.with(|ldb| ldb.insert(function, x, y))
+    }
+
+    /// `DEL` by function name (logged).
+    pub fn delete(&self, function: &str, x: Value, y: Value) -> Result<()> {
+        self.with(|ldb| ldb.delete(function, x, y))
+    }
+
+    /// Applies one engine-level update (logged).
+    pub fn apply_update(&self, update: &Update) -> Result<()> {
+        self.with(|ldb| ldb.apply_update(update))
+    }
+
+    /// Durably syncs the log.
+    pub fn sync(&self) -> Result<()> {
+        self.with(LoggedDatabase::sync)
+    }
+
+    /// Takes a checkpoint now.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.with(LoggedDatabase::checkpoint)
+    }
+
+    /// Changes when appends are fsynced.
+    pub fn set_sync_policy(&self, policy: SyncPolicy) {
+        self.with(|ldb| ldb.set_sync_policy(policy));
     }
 
     /// Truth of a fact.
@@ -175,6 +261,52 @@ mod tests {
         drop(clone);
         let db = shared.try_unwrap().expect("last handle unwraps");
         assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn shared_logged_writers_replay_to_live_state() {
+        use crate::durability::DurabilityConfig;
+        use crate::storage::SimDisk;
+
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb = LoggedDatabase::create_with(
+            disk.clone(),
+            "/shared_db",
+            DurabilityConfig {
+                sync_policy: SyncPolicy::EveryN(16),
+                checkpoint_every: Some(64),
+                segment_max_bytes: 4096,
+            },
+        )
+        .unwrap();
+        ldb.import_schema(&university()).unwrap();
+        let shared = SharedLoggedDatabase::new(ldb);
+
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    h.insert("teach", v(&format!("prof{w}_{i}")), v(&format!("c{i}")))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(shared.is_consistent());
+        let live = shared.read(|db| db.to_snapshot().unwrap());
+        let ldb = shared.try_unwrap().expect("last handle");
+        drop(ldb);
+
+        let (recovered, _) = LoggedDatabase::open_with(
+            disk,
+            "/shared_db",
+            crate::durability::DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.database().to_snapshot().unwrap(), live);
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! Storage abstraction under the WAL: real files or a simulated disk.
+//!
+//! The durability layer never touches `std::fs` directly; it goes through
+//! [`WalStorage`], which has two implementations:
+//!
+//! * [`FileStorage`] — the real filesystem, including parent-directory
+//!   fsync after create/rename so directory entries survive a crash;
+//! * [`SimDisk`] — a deterministic in-memory disk that can inject the
+//!   classic durability faults: torn writes cut at *any byte boundary*
+//!   (via a global write-byte budget), failed `sync` calls, short reads,
+//!   and bit-flip corruption of persisted bytes.
+//!
+//! `SimDisk` is what makes the crash matrix possible: a workload is run
+//! with a byte budget, the "machine" dies mid-write, and recovery is
+//! exercised against exactly the bytes that made it to the platter.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open, append-only file handle.
+pub trait WalFile: Send + fmt::Debug {
+    /// Appends bytes at the end of the file.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Durably syncs the file's contents.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The storage operations the durability layer needs.
+///
+/// Everything is path-addressed; implementations decide what a path
+/// means. All mutating operations are expected to be visible to
+/// subsequent `read`/`list` calls on the same storage.
+pub trait WalStorage: Send + Sync + fmt::Debug {
+    /// Creates (truncating) a file and opens it for appending.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
+    /// Opens an existing file for appending (creating it if absent).
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Truncates a file to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Atomically renames a file.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Whether a regular file exists at `path`.
+    fn is_file(&self, path: &Path) -> bool;
+    /// Lists the files directly inside `dir` (full paths, sorted).
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Creates a directory (and parents) if absent.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Durably syncs a directory's entries (fsync on the directory).
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------- files
+
+/// [`WalStorage`] over the real filesystem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileStorage;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl WalFile for RealFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.0.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl WalStorage for FileStorage {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn is_file(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // On unix an fsync on the directory fd persists the entries
+        // (created, renamed or removed names). Elsewhere opening a
+        // directory read-only may be refused; directory durability is then
+        // best-effort.
+        #[cfg(unix)]
+        {
+            File::open(dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
+        }
+    }
+}
+
+// ------------------------------------------------------------- sim disk
+
+fn crash_err() -> io::Error {
+    io::Error::other("sim disk: crashed (write budget exhausted)")
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    files: BTreeMap<PathBuf, Vec<u8>>,
+    dirs: BTreeSet<PathBuf>,
+    /// Total bytes ever accepted by `append`/`create` data writes.
+    total_written: u64,
+    /// Remaining bytes the disk will accept before "crashing".
+    write_budget: Option<u64>,
+    /// Once set, every mutating operation fails until [`SimDisk::revive`].
+    crashed: bool,
+    syncs: u64,
+    /// 1-based sync indices that must fail.
+    fail_syncs: BTreeSet<u64>,
+    /// `path → max bytes returned by the next read` (consumed on use).
+    short_reads: BTreeMap<PathBuf, u64>,
+}
+
+/// A deterministic in-memory disk with fault injection.
+///
+/// Cloning yields another handle onto the *same* disk, so a harness can
+/// keep a handle to inspect or corrupt state while the database holds
+/// another.
+#[derive(Clone, Debug, Default)]
+pub struct SimDisk {
+    state: Arc<Mutex<SimState>>,
+}
+
+#[derive(Debug)]
+struct SimFile {
+    state: Arc<Mutex<SimState>>,
+    path: PathBuf,
+}
+
+impl SimDisk {
+    /// A fresh, empty, fault-free disk.
+    pub fn new() -> Self {
+        SimDisk::default()
+    }
+
+    /// Limits the disk to accepting `budget` more data bytes; the write
+    /// that would exceed it is torn at the byte boundary and the disk
+    /// crashes. `None` removes the limit.
+    pub fn set_write_budget(&self, budget: Option<u64>) {
+        self.state.lock().unwrap().write_budget = budget;
+    }
+
+    /// Total data bytes accepted so far (the torn-write cursor).
+    pub fn total_written(&self) -> u64 {
+        self.state.lock().unwrap().total_written
+    }
+
+    /// Whether the disk has crashed (budget exhausted).
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Clears the crashed flag and the write budget, as if the machine
+    /// rebooted with the persisted bytes intact. Recovery then runs
+    /// against exactly what survived.
+    pub fn revive(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.crashed = false;
+        s.write_budget = None;
+    }
+
+    /// Makes the `nth` (1-based, counted from now on) sync call fail.
+    pub fn fail_sync(&self, nth: u64) {
+        let mut s = self.state.lock().unwrap();
+        let at = s.syncs + nth;
+        s.fail_syncs.insert(at);
+    }
+
+    /// Number of sync calls served so far.
+    pub fn syncs(&self) -> u64 {
+        self.state.lock().unwrap().syncs
+    }
+
+    /// XORs `mask` into the persisted byte of `path` at `offset`
+    /// (bit-flip corruption). Panics if the file or offset is absent —
+    /// corrupting nothing is a harness bug.
+    pub fn corrupt(&self, path: impl AsRef<Path>, offset: u64, mask: u8) {
+        let mut s = self.state.lock().unwrap();
+        let data = s
+            .files
+            .get_mut(path.as_ref())
+            .unwrap_or_else(|| panic!("sim disk: no file {:?}", path.as_ref()));
+        let byte = data
+            .get_mut(offset as usize)
+            .unwrap_or_else(|| panic!("sim disk: offset {offset} out of range"));
+        *byte ^= mask;
+    }
+
+    /// Arranges for the next read of `path` to return at most `len`
+    /// bytes (a short read), then behave normally.
+    pub fn set_short_read(&self, path: impl AsRef<Path>, len: u64) {
+        self.state
+            .lock()
+            .unwrap()
+            .short_reads
+            .insert(path.as_ref().to_owned(), len);
+    }
+
+    /// The persisted size of `path`, if it exists.
+    pub fn size_of(&self, path: impl AsRef<Path>) -> Option<u64> {
+        self.state
+            .lock()
+            .unwrap()
+            .files
+            .get(path.as_ref())
+            .map(|d| d.len() as u64)
+    }
+
+    /// All file paths currently on the disk.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.state.lock().unwrap().files.keys().cloned().collect()
+    }
+}
+
+impl SimState {
+    /// Accepts as much of `data` as the budget allows into `path`,
+    /// returning an error (torn write) if any byte was refused.
+    fn write_bytes(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        if self.crashed {
+            return Err(crash_err());
+        }
+        let room = match self.write_budget {
+            Some(budget) => (budget.saturating_sub(self.total_written)) as usize,
+            None => data.len(),
+        };
+        let kept = data.len().min(room);
+        self.files
+            .entry(path.to_owned())
+            .or_default()
+            .extend_from_slice(&data[..kept]);
+        self.total_written += kept as u64;
+        if kept < data.len() {
+            self.crashed = true;
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+}
+
+impl WalFile for SimFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.state.lock().unwrap().write_bytes(&self.path, data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_err());
+        }
+        s.syncs += 1;
+        let at = s.syncs;
+        if s.fail_syncs.remove(&at) {
+            return Err(io::Error::other("sim disk: injected sync failure"));
+        }
+        Ok(())
+    }
+}
+
+impl WalStorage for SimDisk {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_err());
+        }
+        s.files.insert(path.to_owned(), Vec::new());
+        Ok(Box::new(SimFile {
+            state: Arc::clone(&self.state),
+            path: path.to_owned(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_err());
+        }
+        s.files.entry(path.to_owned()).or_default();
+        Ok(Box::new(SimFile {
+            state: Arc::clone(&self.state),
+            path: path.to_owned(),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut s = self.state.lock().unwrap();
+        let data = s
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "sim disk: no such file"))?;
+        if let Some(limit) = s.short_reads.remove(path) {
+            let keep = (limit as usize).min(data.len());
+            return Ok(data[..keep].to_vec());
+        }
+        Ok(data)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_err());
+        }
+        let data = s
+            .files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "sim disk: no such file"))?;
+        data.truncate(len as usize);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_err());
+        }
+        let data = s
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "sim disk: no such file"))?;
+        s.files.insert(to.to_owned(), data);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_err());
+        }
+        s.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "sim disk: no such file"))
+    }
+
+    fn is_file(&self, path: &Path) -> bool {
+        self.state.lock().unwrap().files.contains_key(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let s = self.state.lock().unwrap();
+        Ok(s.files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_err());
+        }
+        s.dirs.insert(dir.to_owned());
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_err());
+        }
+        s.syncs += 1;
+        let at = s.syncs;
+        if s.fail_syncs.remove(&at) {
+            return Err(io::Error::other("sim disk: injected sync failure"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn sim_disk_round_trips_appends() {
+        let disk = SimDisk::new();
+        let mut f = disk.create(&p("/w/a.log")).unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(disk.read(&p("/w/a.log")).unwrap(), b"hello world");
+        assert_eq!(disk.total_written(), 11);
+    }
+
+    #[test]
+    fn write_budget_tears_at_byte_boundary() {
+        let disk = SimDisk::new();
+        disk.set_write_budget(Some(7));
+        let mut f = disk.create(&p("/w/a.log")).unwrap();
+        assert!(f.append(b"hello world").is_err());
+        assert!(disk.crashed());
+        // Exactly 7 bytes made it; everything after fails.
+        assert_eq!(disk.read(&p("/w/a.log")).unwrap(), b"hello w");
+        assert!(f.append(b"more").is_err());
+        assert!(f.sync().is_err());
+        disk.revive();
+        let mut f = disk.open_append(&p("/w/a.log")).unwrap();
+        f.append(b"!").unwrap();
+        assert_eq!(disk.read(&p("/w/a.log")).unwrap(), b"hello w!");
+    }
+
+    #[test]
+    fn injected_sync_failure_fires_once() {
+        let disk = SimDisk::new();
+        let mut f = disk.create(&p("/w/a.log")).unwrap();
+        disk.fail_sync(2);
+        f.sync().unwrap();
+        assert!(f.sync().is_err());
+        f.sync().unwrap();
+    }
+
+    #[test]
+    fn corrupt_flips_bits_and_short_read_truncates_once() {
+        let disk = SimDisk::new();
+        let mut f = disk.create(&p("/w/a.log")).unwrap();
+        f.append(b"abcdef").unwrap();
+        disk.corrupt("/w/a.log", 2, 0xFF);
+        let data = disk.read(&p("/w/a.log")).unwrap();
+        assert_eq!(data[2], b'c' ^ 0xFF);
+        disk.set_short_read("/w/a.log", 3);
+        assert_eq!(disk.read(&p("/w/a.log")).unwrap().len(), 3);
+        assert_eq!(disk.read(&p("/w/a.log")).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn rename_remove_and_list() {
+        let disk = SimDisk::new();
+        disk.create_dir_all(&p("/w")).unwrap();
+        drop(disk.create(&p("/w/a")).unwrap());
+        drop(disk.create(&p("/w/b")).unwrap());
+        disk.rename(&p("/w/a"), &p("/w/c")).unwrap();
+        assert_eq!(disk.list(&p("/w")).unwrap(), vec![p("/w/b"), p("/w/c")]);
+        disk.remove(&p("/w/b")).unwrap();
+        assert!(!disk.is_file(&p("/w/b")));
+        assert!(disk.is_file(&p("/w/c")));
+    }
+
+    #[test]
+    fn file_storage_round_trips() {
+        let dir = std::env::temp_dir().join(format!("fdb_storage_test_{}", std::process::id()));
+        let storage = FileStorage;
+        storage.create_dir_all(&dir).unwrap();
+        let path = dir.join("x.log");
+        let mut f = storage.create(&path).unwrap();
+        f.append(b"abc").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        storage.sync_dir(&dir).unwrap();
+        assert_eq!(storage.read(&path).unwrap(), b"abc");
+        let mut f = storage.open_append(&path).unwrap();
+        f.append(b"def").unwrap();
+        drop(f);
+        storage.truncate(&path, 4).unwrap();
+        assert_eq!(storage.read(&path).unwrap(), b"abcd");
+        let moved = dir.join("y.log");
+        storage.rename(&path, &moved).unwrap();
+        assert!(storage.is_file(&moved));
+        storage.remove(&moved).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,7 +34,7 @@ impl SchemaGenConfig {
         for i in 0..self.n_functions {
             let d = rng.gen_range(0..self.n_types);
             let r = rng.gen_range(0..self.n_types);
-            let f = Functionality::ALL[rng.gen_range(0..4)];
+            let f = Functionality::ALL[rng.gen_range(0..4usize)];
             schema
                 .declare(&format!("f{i}"), &format!("t{d}"), &format!("t{r}"), f)
                 .unwrap();

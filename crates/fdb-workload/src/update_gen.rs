@@ -50,7 +50,7 @@ pub fn update_stream(db: &Database, config: UpdateStreamConfig) -> Vec<Update> {
     let mut out = Vec::with_capacity(config.length);
     for _ in 0..config.length {
         let use_derived =
-            !derived.is_empty() && rng.gen_range(0..100) < u32::from(config.derived_pct);
+            !derived.is_empty() && rng.gen_range(0..100u32) < u32::from(config.derived_pct);
         let f = if use_derived {
             derived[rng.gen_range(0..derived.len())]
         } else if base.is_empty() {
@@ -69,7 +69,7 @@ pub fn update_stream(db: &Database, config: UpdateStreamConfig) -> Vec<Update> {
             db.schema().type_name(def.range),
             rng.gen_range(0..config.domain_size)
         ));
-        let delete = rng.gen_range(0..100) < u32::from(config.delete_pct);
+        let delete = rng.gen_range(0..100u32) < u32::from(config.delete_pct);
         out.push(if delete {
             Update::Delete { function: f, x, y }
         } else {

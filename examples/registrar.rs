@@ -48,39 +48,12 @@ fn main() -> Result<(), FdbError> {
     }
 
     // ---- 2. enrolment, WAL-logged ----
-    // The logged database is built from the same declarations so the log
-    // is self-contained and replayable from empty.
-    let wal_path = std::env::temp_dir().join(format!("fdb_registrar_{}.log", std::process::id()));
-    let mut ldb = LoggedDatabase::create(&wal_path)?;
-    for f in designed
-        .base_functions()
-        .into_iter()
-        .chain(designed.derived_functions())
-    {
-        let def = designed.schema().function(f);
-        ldb.declare(
-            &def.name,
-            designed.schema().type_name(def.domain),
-            designed.schema().type_name(def.range),
-            def.functionality,
-        )?;
-    }
-    for f in designed.derived_functions() {
-        let def = designed.schema().function(f);
-        for d in designed.derivations(f).iter().take(1) {
-            let steps: Vec<(&str, bool)> = d
-                .steps()
-                .iter()
-                .map(|s| {
-                    (
-                        designed.schema().function(s.function).name.as_str(),
-                        s.op == fdb::types::Op::Inverse,
-                    )
-                })
-                .collect();
-            ldb.derive(&def.name, &steps)?;
-        }
-    }
+    // The logged database imports the confirmed declarations and
+    // derivations, so the log directory is self-contained and replayable
+    // from empty.
+    let wal_dir = std::env::temp_dir().join(format!("fdb_registrar_{}", std::process::id()));
+    let mut ldb = LoggedDatabase::create(&wal_dir)?;
+    ldb.import_schema(&designed)?;
 
     ldb.insert("teach", v("knuth"), v("algorithms"))?;
     ldb.insert("teach", v("dijkstra"), v("algorithms"))?;
@@ -148,10 +121,10 @@ fn main() -> Result<(), FdbError> {
     // ---- 6. crash and recovery ----
     let live_snapshot = ldb.database().to_snapshot()?;
     drop(ldb); // "crash"
-    let (recovered, report) = LoggedDatabase::open(&wal_path)?;
+    let (recovered, report) = LoggedDatabase::open(&wal_dir)?;
     println!(
-        "\nrecovered {} log records (torn tail: {})",
-        report.applied, report.torn_tail
+        "\nrecovered {} log records from {} segment(s) (torn tail: {})",
+        report.applied, report.segments_scanned, report.torn_tail
     );
     assert_eq!(recovered.database().to_snapshot()?, live_snapshot);
     assert!(recovered.database().is_consistent());
@@ -162,6 +135,6 @@ fn main() -> Result<(), FdbError> {
         Truth::True
     );
     println!("recovery byte-identical to pre-crash state; consistency OK");
-    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_dir_all(&wal_dir).ok();
     Ok(())
 }

@@ -1,0 +1,112 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's non-poisoning API.
+//! A poisoned std lock (a writer panicked) is recovered by taking the
+//! inner guard anyway, matching parking_lot's behaviour of not
+//! propagating panics to other lock users.
+
+use std::fmt;
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+};
+
+/// A reader-writer lock with parking_lot's panic-tolerant API.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> StdReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> StdWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// A mutex with parking_lot's panic-tolerant API.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock.
+    pub fn lock(&self) -> StdMutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}

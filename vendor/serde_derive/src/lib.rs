@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io `serde_derive` is unavailable in this build
+//! environment, so this proc-macro derives the vendored `serde` crate's
+//! simplified data-model traits (`Serialize`/`Deserialize` over a
+//! self-describing `Content` tree). It hand-parses the item token stream
+//! (no `syn`/`quote`) and supports exactly the shapes this workspace
+//! uses: non-generic structs (named, tuple, unit) and enums (unit,
+//! tuple and struct variants), plus the `#[serde(transparent)]`,
+//! `#[serde(skip)]` and `#[serde(default)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Collects `#[...]` attribute groups, returning serde-relevant flags.
+/// Consumes tokens from the iterator until a non-attribute token, which
+/// is returned.
+fn skip_attrs(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> (FieldAttrs, bool) {
+    let mut attrs = FieldAttrs::default();
+    let mut transparent = false;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next(); // '#'
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(flag) = t {
+                                    match flag.to_string().as_str() {
+                                        "skip" | "skip_serializing" | "skip_deserializing" => {
+                                            attrs.skip = true
+                                        }
+                                        "default" => attrs.default = true,
+                                        "transparent" => transparent = true,
+                                        other => panic!(
+                                            "serde_derive stub: unsupported serde attribute `{other}`"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            other => panic!("serde_derive stub: malformed attribute: {other:?}"),
+        }
+    }
+    (attrs, transparent)
+}
+
+/// Skips an optional visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes type tokens up to a `,` at angle-bracket depth 0 (the comma
+/// is consumed too). Returns `true` if any tokens were consumed.
+fn skip_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut depth = 0i32;
+    let mut any = false;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    iter.next();
+                    return any;
+                }
+                _ => {}
+            }
+        }
+        any = true;
+        iter.next();
+    }
+    any
+}
+
+/// Parses the fields of a brace-delimited (named) body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (attrs, _) = skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesised (tuple) body.
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        let (_, _) = skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        if !skip_type(&mut iter) {
+            break;
+        }
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let (_, _) = skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream());
+                iter.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume a trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let (_, transparent) = skip_attrs(&mut iter);
+    skip_vis(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (type {name})");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            other => panic!("serde_derive stub: unsupported struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            if input.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .expect("transparent struct needs a field");
+                format!("::serde::Serialize::to_content(&self.{})", f.name)
+            } else {
+                let mut s = String::from("let mut __m = ::std::vec::Vec::new();\n");
+                for f in fields.iter().filter(|f| !f.attrs.skip) {
+                    s.push_str(&format!(
+                        "__m.push((::serde::Content::Str(\"{0}\".to_string()), ::serde::Serialize::to_content(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Content::Map(__m)");
+                s
+            }
+        }
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Unit) => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__a0) => ::serde::Content::Map(vec![(::serde::Content::Str(\"{vn}\".to_string()), ::serde::Serialize::to_content(__a0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(__a{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(::serde::Content::Str(\"{vn}\".to_string()), ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "{ let mut __m = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.push((::serde::Content::Str(\"{0}\".to_string()), ::serde::Serialize::to_content({0})));\n",
+                                f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Content::Map(vec![(::serde::Content::Str(\"");
+                        inner.push_str(vn);
+                        inner.push_str("\".to_string()), ::serde::Content::Map(__m))]) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {inner},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_content(&self) -> ::serde::Content {{\n {body}\n }}\n}}\n"
+    )
+}
+
+fn gen_named_field_reads(fields: &[Field], type_name: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            s.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.attrs.default {
+            s.push_str(&format!(
+                "{0}: match ::serde::map_get(__m, \"{0}\") {{ Some(__v) => ::serde::Deserialize::from_content(__v)?, None => ::std::default::Default::default() }},\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_content(::serde::map_get(__m, \"{0}\").ok_or_else(|| ::serde::DeError::new(\"{1}: missing field `{0}`\"))?)?,\n",
+                f.name, type_name
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            if input.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .expect("transparent struct needs a field");
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_content(__c)? }})",
+                    f.name
+                )
+            } else {
+                format!(
+                    "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::new(\"{name}: expected map\"))?;\nOk({name} {{\n{}\n}})",
+                    gen_named_field_reads(fields, name)
+                )
+            }
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(__s.get({i}).ok_or_else(|| ::serde::DeError::new(\"{name}: short tuple\"))?)?"))
+                .collect();
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::new(\"{name}: expected sequence\"))?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Unit) => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        payload_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(__payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(__s.get({i}).ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: short tuple\"))?)?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __s = __payload.as_seq().ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: expected sequence\"))?; Ok({name}::{vn}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __m = __payload.as_map().ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: expected map\"))?; Ok({name}::{vn} {{\n{}\n}}) }},\n",
+                            gen_named_field_reads(fields, name)
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::DeError::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __payload) = &__entries[0];\n\
+                 let __k = __k.as_str().ok_or_else(|| ::serde::DeError::new(\"{name}: non-string variant key\"))?;\n\
+                 match __k {{\n{payload_arms}\
+                 __other => Err(::serde::DeError::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::new(\"{name}: expected string or single-entry map\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n {body}\n }}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
+}
