@@ -84,8 +84,8 @@ fn bench_design(c: &mut Criterion) {
             )
             .unwrap();
         let config = DesignConfig {
-            cycle_limits: PathLimits::unbounded(),
-            derivation_limits: PathLimits::unbounded(),
+            cycle_limits: PathLimits::unbounded_for_benchmarks(),
+            derivation_limits: PathLimits::unbounded_for_benchmarks(),
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(rungs),

@@ -1,0 +1,133 @@
+//! Governor overhead: governed entry points with an *unbounded* governor
+//! versus the historic ungoverned paths, on the same workloads as
+//! `query_eval` and the graph benches.
+//!
+//! Two numbers matter:
+//!
+//! * ungoverned paths are compiled against [`fdb_core::Ungoverned`], a
+//!   zero-sized no-op — they must be unchanged from before the governor
+//!   existed;
+//! * the governed paths pay one atomic increment per step plus a clock
+//!   read every 16 steps — the budgeted figure is < 5% on derived-query
+//!   evaluation.
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fdb_core::{Database, Governor};
+use fdb_graph::{
+    all_simple_paths, all_simple_paths_governed, minimal_schema, minimal_schema_governed,
+    FunctionGraph, PathLimits,
+};
+use fdb_types::{Derivation, Schema, Step};
+use fdb_workload::populate;
+use fdb_workload::topology::Topology;
+
+/// Same shape as query_eval's chain database: k-step composition chain
+/// with a derived `top`.
+fn chain_database(k: usize, facts: usize, domain: usize, seed: u64) -> Database {
+    let mut builder = Schema::builder();
+    for i in 0..k {
+        builder = builder.function(
+            &format!("f{i}"),
+            &format!("v{i}"),
+            &format!("v{}", i + 1),
+            "many-many",
+        );
+    }
+    builder = builder.function("top", "v0", &format!("v{k}"), "many-many");
+    let schema = builder.build().unwrap();
+    let mut db = Database::new(schema);
+    let steps: Vec<Step> = (0..k)
+        .map(|i| Step::identity(db.resolve(&format!("f{i}")).unwrap()))
+        .collect();
+    let top = db.resolve("top").unwrap();
+    db.register_derived(top, vec![Derivation::new(steps).unwrap()])
+        .unwrap();
+    populate(&mut db, seed, facts, domain);
+    db
+}
+
+fn bench_governor_overhead(c: &mut Criterion) {
+    // Derived truth: ungoverned vs governed-with-unbounded-governor.
+    let mut group = c.benchmark_group("governor_overhead_truth");
+    group.sample_size(30);
+    for facts in [1_000usize, 5_000] {
+        let db = chain_database(2, facts, (facts / 10).max(8), 3);
+        let top = db.resolve("top").unwrap();
+        let target = db
+            .extension(top)
+            .unwrap()
+            .first()
+            .expect("non-empty extension")
+            .clone();
+        group.bench_with_input(BenchmarkId::new("ungoverned", facts), &db, |b, db| {
+            b.iter(|| db.truth(top, &target.x, &target.y).unwrap())
+        });
+        let gov = Governor::unbounded();
+        group.bench_with_input(BenchmarkId::new("governed", facts), &db, |b, db| {
+            b.iter(|| {
+                db.truth_governed(top, &target.x, &target.y, &gov)
+                    .unwrap()
+                    .value()
+            })
+        });
+    }
+    group.finish();
+
+    // Full extension computation, the chain-heavy path.
+    let mut group = c.benchmark_group("governor_overhead_extension");
+    group.sample_size(10);
+    for facts in [500usize, 2_000] {
+        let db = chain_database(2, facts, (facts / 10).max(8), 5);
+        let top = db.resolve("top").unwrap();
+        group.bench_with_input(BenchmarkId::new("ungoverned", facts), &db, |b, db| {
+            b.iter(|| db.extension(top).unwrap().len())
+        });
+        let gov = Governor::unbounded();
+        group.bench_with_input(BenchmarkId::new("governed", facts), &db, |b, db| {
+            b.iter(|| db.extension_governed(top, &gov).unwrap().value().len())
+        });
+    }
+    group.finish();
+
+    // Graph path enumeration on an exponential ladder.
+    let mut group = c.benchmark_group("governor_overhead_paths");
+    group.sample_size(20);
+    let schema = Topology::Ladder { width: 2 }.build(16); // 2^8 paths
+    let graph = FunctionGraph::from_schema(&schema);
+    let t0 = schema.types().lookup("t0").unwrap();
+    let t8 = schema.types().lookup("t8").unwrap();
+    let limits = PathLimits::unbounded_for_benchmarks();
+    group.bench_function(BenchmarkId::new("ungoverned", 256), |b| {
+        b.iter(|| all_simple_paths(&graph, t0, t8, &HashSet::new(), limits).len())
+    });
+    let gov = Governor::unbounded();
+    group.bench_function(BenchmarkId::new("governed", 256), |b| {
+        b.iter(|| {
+            all_simple_paths_governed(&graph, t0, t8, &HashSet::new(), limits, &gov)
+                .value()
+                .len()
+        })
+    });
+    group.finish();
+
+    // Algorithm AMS, the schema-design workhorse.
+    let mut group = c.benchmark_group("governor_overhead_ams");
+    group.sample_size(20);
+    for n in [32usize, 128] {
+        let schema = Topology::Grid.build(n);
+        group.bench_with_input(BenchmarkId::new("ungoverned", n), &schema, |b, schema| {
+            b.iter(|| minimal_schema(schema))
+        });
+        let gov = Governor::unbounded();
+        group.bench_with_input(BenchmarkId::new("governed", n), &schema, |b, schema| {
+            b.iter(|| minimal_schema_governed(schema, PathLimits::default(), &gov).value())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_governor_overhead);
+criterion_main!(benches);

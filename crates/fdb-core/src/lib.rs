@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod consistency;
 pub mod database;
@@ -40,12 +41,16 @@ pub use explain::{render_explanation, ChainEvidence, Explanation};
 pub use materialize::MaterializedExtension;
 pub use resolve::{resolve_ambiguities, ResolutionOutcome};
 pub use session::{design_database, design_logged_database};
-pub use shared::{SharedDatabase, SharedLoggedDatabase};
+pub use shared::{OverloadPolicy, SharedDatabase, SharedLoggedDatabase};
 pub use stats::DatabaseStats;
 pub use storage::{FileStorage, SimDisk, WalFile, WalStorage};
 pub use txn::Transaction;
 pub use update::Update;
 pub use wal::{replay, Corruption, CorruptionEvent, LogRecord, RecoveryReport, Wal};
+
+pub use fdb_governor::{
+    Budget, CancelToken, Governance, Governor, Outcome, StopReason, Ungoverned,
+};
 
 /// Former name of [`RecoveryReport`], kept for source compatibility.
 pub type ReplayReport = RecoveryReport;

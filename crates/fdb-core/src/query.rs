@@ -5,7 +5,10 @@
 //! database are false. Derived facts do not exist in the database and
 //! their truth value is determined [from chains]" (§3.2).
 
-use fdb_storage::chain::{derived_extension, derived_truth};
+use fdb_governor::{Governor, Outcome};
+use fdb_storage::chain::{
+    derived_extension, derived_extension_governed, derived_truth, derived_truth_governed,
+};
 use fdb_storage::{DerivedPair, Fact, Truth};
 use fdb_types::{FunctionId, Result, Value};
 
@@ -28,6 +31,38 @@ impl Database {
                 x: x.clone(),
                 y: y.clone(),
             }))
+        }
+    }
+
+    /// [`Database::truth`] under a [`Governor`].
+    ///
+    /// Chain enumeration checks the governor at step granularity; on a
+    /// stop the result is `Exhausted` carrying a *sound lower bound* on
+    /// the truth lattice (False < Ambiguous < True) — except that a
+    /// `True` proof found before the stop is still `Complete`, since
+    /// `True` is final.
+    pub fn truth_governed(
+        &self,
+        f: FunctionId,
+        x: &Value,
+        y: &Value,
+        governor: &Governor,
+    ) -> Result<Outcome<Truth>> {
+        if self.is_derived(f) {
+            Ok(derived_truth_governed(
+                self.store(),
+                self.derivations(f),
+                x,
+                y,
+                self.chain_limits(),
+                governor,
+            ))
+        } else {
+            Ok(Outcome::Complete(self.store().base_truth(&Fact {
+                function: f,
+                x: x.clone(),
+                y: y.clone(),
+            })))
         }
     }
 
@@ -63,6 +98,27 @@ impl Database {
         }
     }
 
+    /// [`Database::extension`] under a [`Governor`]. An `Exhausted`
+    /// result carries the pairs discovered before the stop — a sound
+    /// prefix of the full extension, never fabricated pairs.
+    pub fn extension_governed(
+        &self,
+        f: FunctionId,
+        governor: &Governor,
+    ) -> Result<Outcome<Vec<DerivedPair>>> {
+        if self.is_derived(f) {
+            Ok(derived_extension_governed(
+                self.store(),
+                self.derivations(f),
+                self.chain_limits(),
+                governor,
+            ))
+        } else {
+            // Base rows are already materialised; charge but don't split.
+            self.extension(f).map(Outcome::Complete)
+        }
+    }
+
     /// The image `f(x)`: every `y` with `f(x) = y` non-false, with truth
     /// values. (Functions are relations, so the image is a set.)
     pub fn image(&self, f: FunctionId, x: &Value) -> Result<Vec<(Value, Truth)>> {
@@ -74,6 +130,22 @@ impl Database {
             .collect())
     }
 
+    /// [`Database::image`] under a [`Governor`].
+    pub fn image_governed(
+        &self,
+        f: FunctionId,
+        x: &Value,
+        governor: &Governor,
+    ) -> Result<Outcome<Vec<(Value, Truth)>>> {
+        Ok(self.extension_governed(f, governor)?.map(|pairs| {
+            pairs
+                .into_iter()
+                .filter(|p| &p.x == x)
+                .map(|p| (p.y, p.truth))
+                .collect()
+        }))
+    }
+
     /// The inverse image `f⁻¹(y)`.
     pub fn inverse_image(&self, f: FunctionId, y: &Value) -> Result<Vec<(Value, Truth)>> {
         Ok(self
@@ -82,6 +154,22 @@ impl Database {
             .filter(|p| &p.y == y)
             .map(|p| (p.x, p.truth))
             .collect())
+    }
+
+    /// [`Database::inverse_image`] under a [`Governor`].
+    pub fn inverse_image_governed(
+        &self,
+        f: FunctionId,
+        y: &Value,
+        governor: &Governor,
+    ) -> Result<Outcome<Vec<(Value, Truth)>>> {
+        Ok(self.extension_governed(f, governor)?.map(|pairs| {
+            pairs
+                .into_iter()
+                .filter(|p| &p.y == y)
+                .map(|p| (p.x, p.truth))
+                .collect()
+        }))
     }
 
     /// Evaluates an *ad-hoc* derivation expression at a point:
@@ -95,16 +183,7 @@ impl Database {
         derivation: &fdb_types::Derivation,
         x: &Value,
     ) -> Result<Vec<(Value, Truth)>> {
-        // Validate: well-formed over the schema and base-only.
-        derivation.endpoints(self.schema())?;
-        for step in derivation.steps() {
-            if self.is_derived(step.function) {
-                return Err(fdb_types::FdbError::MalformedDerivation(format!(
-                    "expression step {} is a derived function; expand it first",
-                    self.schema().function(step.function).name
-                )));
-            }
-        }
+        self.validate_expression(derivation)?;
         let derivations = [derivation.clone()];
         let mut out: Vec<(Value, Truth)> =
             fdb_storage::chain::derived_extension(self.store(), &derivations, self.chain_limits())
@@ -114,6 +193,43 @@ impl Database {
                 .collect();
         out.sort();
         Ok(out)
+    }
+
+    /// [`Database::eval_expression`] under a [`Governor`].
+    pub fn eval_expression_governed(
+        &self,
+        derivation: &fdb_types::Derivation,
+        x: &Value,
+        governor: &Governor,
+    ) -> Result<Outcome<Vec<(Value, Truth)>>> {
+        self.validate_expression(derivation)?;
+        let derivations = [derivation.clone()];
+        let outcome =
+            derived_extension_governed(self.store(), &derivations, self.chain_limits(), governor);
+        Ok(outcome.map(|pairs| {
+            let mut out: Vec<(Value, Truth)> = pairs
+                .into_iter()
+                .filter(|p| &p.x == x)
+                .map(|p| (p.y, p.truth))
+                .collect();
+            out.sort();
+            out
+        }))
+    }
+
+    /// Validates an ad-hoc expression: well-formed over the schema and
+    /// base-only.
+    fn validate_expression(&self, derivation: &fdb_types::Derivation) -> Result<()> {
+        derivation.endpoints(self.schema())?;
+        for step in derivation.steps() {
+            if self.is_derived(step.function) {
+                return Err(fdb_types::FdbError::MalformedDerivation(format!(
+                    "expression step {} is a derived function; expand it first",
+                    self.schema().function(step.function).name
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -240,6 +356,65 @@ mod tests {
         ])
         .unwrap();
         assert!(db.eval_expression(&cutoff_like, &v("euclid")).is_err());
+    }
+
+    #[test]
+    fn governed_queries_match_ungoverned_when_unbounded() {
+        let mut db = university();
+        load(&mut db);
+        let pupil = db.resolve("pupil").unwrap();
+        let gov = Governor::unbounded();
+        assert_eq!(
+            db.extension_governed(pupil, &gov).unwrap().value(),
+            db.extension(pupil).unwrap()
+        );
+        assert_eq!(
+            db.truth_governed(pupil, &v("euclid"), &v("john"), &gov)
+                .unwrap()
+                .value(),
+            Truth::True
+        );
+        assert_eq!(
+            db.image_governed(pupil, &v("euclid"), &gov)
+                .unwrap()
+                .value(),
+            db.image(pupil, &v("euclid")).unwrap()
+        );
+        assert_eq!(
+            db.inverse_image_governed(pupil, &v("john"), &gov)
+                .unwrap()
+                .value(),
+            db.inverse_image(pupil, &v("john")).unwrap()
+        );
+    }
+
+    #[test]
+    fn governed_query_exhausts_under_tiny_step_budget() {
+        use fdb_governor::StopReason;
+        let mut db = university();
+        load(&mut db);
+        let pupil = db.resolve("pupil").unwrap();
+        let gov = Governor::with_max_steps(1);
+        let outcome = db.extension_governed(pupil, &gov).unwrap();
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.reason(), Some(StopReason::Steps));
+        // Exhausted partials are a prefix of the full answer.
+        let full = db.extension(pupil).unwrap();
+        let partial = outcome.value();
+        assert!(partial.iter().all(|p| full.contains(p)));
+    }
+
+    #[test]
+    fn governed_query_honours_cancellation() {
+        let mut db = university();
+        load(&mut db);
+        let pupil = db.resolve("pupil").unwrap();
+        let gov = Governor::unbounded();
+        gov.cancel_token().cancel();
+        let outcome = db
+            .truth_governed(pupil, &v("euclid"), &v("john"), &gov)
+            .unwrap();
+        assert_eq!(outcome.reason(), Some(fdb_governor::StopReason::Cancelled));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Shared, thread-safe access to a database.
+//! Shared, thread-safe access to a database — with overload shedding.
 //!
 //! The paper's design aid is single-user, but a database library needs a
 //! concurrency story. [`SharedDatabase`] is a cheaply cloneable handle
@@ -8,49 +8,158 @@
 //! inherited from the engine (each `INS`/`DEL`/`REP` leaves the store
 //! consistent); multi-update atomicity uses [`SharedDatabase::write`]
 //! plus [`crate::Database::apply_all`].
+//!
+//! Writes never block forever: acquisition is bounded by an
+//! [`OverloadPolicy`] — a lock timeout plus an admission gate capping
+//! in-flight writers — and a shed request comes back as the typed
+//! [`FdbError::Overloaded`], *before* any mutation happened, so it is
+//! always safe to retry.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
+use fdb_governor::{Governance, Governor};
 use fdb_storage::Truth;
-use fdb_types::{FunctionId, Result, Value};
+use fdb_types::{FdbError, FunctionId, Result, Value};
 
 use crate::database::Database;
 use crate::durability::{LoggedDatabase, SyncPolicy};
 use crate::stats::DatabaseStats;
 use crate::update::Update;
 
+/// Bounds on lock acquisition for the shared handles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// How long a writer may wait for the lock before the request is
+    /// shed with [`FdbError::Overloaded`].
+    pub lock_timeout: Duration,
+    /// Maximum writers simultaneously holding-or-awaiting the lock;
+    /// one more is rejected immediately (admission control) instead of
+    /// queueing behind a convoy.
+    pub max_inflight_writers: usize,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy {
+            lock_timeout: Duration::from_secs(2),
+            max_inflight_writers: 64,
+        }
+    }
+}
+
+/// Decrements the in-flight writer count when the write attempt ends
+/// (success, shed, or panic inside the closure).
+struct GatePass<'a>(&'a AtomicUsize);
+
+impl Drop for GatePass<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+fn overloaded(what: &str, waited: Duration) -> FdbError {
+    FdbError::Overloaded {
+        what: what.to_owned(),
+        waited_ms: waited.as_millis() as u64,
+    }
+}
+
 /// A cloneable, thread-safe handle to a [`Database`].
 #[derive(Clone, Debug)]
 pub struct SharedDatabase {
     inner: Arc<RwLock<Database>>,
+    gate: Arc<AtomicUsize>,
+    policy: OverloadPolicy,
 }
 
 impl SharedDatabase {
-    /// Wraps a database for shared access.
+    /// Wraps a database for shared access with the default
+    /// [`OverloadPolicy`].
     pub fn new(db: Database) -> Self {
+        SharedDatabase::with_policy(db, OverloadPolicy::default())
+    }
+
+    /// Wraps a database for shared access with an explicit policy.
+    pub fn with_policy(db: Database, policy: OverloadPolicy) -> Self {
         SharedDatabase {
             inner: Arc::new(RwLock::new(db)),
+            gate: Arc::new(AtomicUsize::new(0)),
+            policy,
         }
     }
 
-    /// Runs a closure with shared read access.
+    /// The handle's overload policy.
+    pub fn policy(&self) -> OverloadPolicy {
+        self.policy
+    }
+
+    /// Runs a closure with shared read access. Readers share the lock
+    /// and writers are bounded by the policy, so reads stay blocking.
     pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
         f(&self.inner.read())
     }
 
     /// Runs a closure with exclusive write access.
-    pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        f(&mut self.inner.write())
+    ///
+    /// Bounded: if the admission gate is full the request is rejected
+    /// immediately; if the lock cannot be acquired within the policy's
+    /// timeout the request is shed. Either way the error is
+    /// [`FdbError::Overloaded`], nothing was executed, and a retry is
+    /// safe.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> Result<R> {
+        self.write_bounded(self.policy.lock_timeout, f)
+    }
+
+    /// [`SharedDatabase::write`] with the wait additionally clamped to
+    /// `governor`'s remaining time (a request that would outlive its
+    /// deadline is shed early; a cancelled governor sheds immediately).
+    pub fn write_governed<R>(
+        &self,
+        governor: &Governor,
+        f: impl FnOnce(&mut Database) -> R,
+    ) -> Result<R> {
+        governor
+            .check()
+            .map_err(|r| r.into_error("database write"))?;
+        let timeout = match governor.remaining_time() {
+            Some(left) => left.min(self.policy.lock_timeout),
+            None => self.policy.lock_timeout,
+        };
+        self.write_bounded(timeout, f)
+    }
+
+    fn write_bounded<R>(&self, timeout: Duration, f: impl FnOnce(&mut Database) -> R) -> Result<R> {
+        let inflight = self.gate.fetch_add(1, Ordering::AcqRel);
+        let _pass = GatePass(&self.gate);
+        if inflight >= self.policy.max_inflight_writers {
+            return Err(overloaded("write admission gate", Duration::ZERO));
+        }
+        let t0 = Instant::now();
+        match self.inner.try_write_for(timeout) {
+            Some(mut guard) => Ok(f(&mut guard)),
+            None => Err(overloaded("database write lock", t0.elapsed())),
+        }
     }
 
     /// Extracts the database, if this is the last handle; otherwise
     /// returns the handle back.
     pub fn try_unwrap(self) -> std::result::Result<Database, SharedDatabase> {
-        Arc::try_unwrap(self.inner)
+        let SharedDatabase {
+            inner,
+            gate,
+            policy,
+        } = self;
+        Arc::try_unwrap(inner)
             .map(RwLock::into_inner)
-            .map_err(|inner| SharedDatabase { inner })
+            .map_err(|inner| SharedDatabase {
+                inner,
+                gate,
+                policy,
+            })
     }
 
     // --- convenience wrappers for the common operations ---
@@ -62,17 +171,17 @@ impl SharedDatabase {
 
     /// `INS(f, <x, y>)`.
     pub fn insert(&self, f: FunctionId, x: Value, y: Value) -> Result<()> {
-        self.write(|db| db.insert(f, x, y))
+        self.write(|db| db.insert(f, x, y))?
     }
 
     /// `DEL(f, <x, y>)`.
     pub fn delete(&self, f: FunctionId, x: &Value, y: &Value) -> Result<()> {
-        self.write(|db| db.delete(f, x, y))
+        self.write(|db| db.delete(f, x, y))?
     }
 
     /// Applies a batch atomically.
     pub fn apply_all(&self, updates: Vec<Update>) -> Result<usize> {
-        self.write(|db| db.apply_all(updates))
+        self.write(|db| db.apply_all(updates))?
     }
 
     /// Truth of a fact.
@@ -98,80 +207,141 @@ impl SharedDatabase {
 /// — replaying the log always reproduces the live state, no matter how
 /// many threads were appending. The [`SyncPolicy`] travels with the
 /// underlying engine; [`SharedLoggedDatabase::set_sync_policy`] adjusts
-/// it at runtime.
+/// it at runtime. All access is bounded by the handle's
+/// [`OverloadPolicy`] lock timeout: a request that cannot get the mutex
+/// in time is shed with [`FdbError::Overloaded`] (the slow path here is
+/// a writer stuck in an fsync, which a longer queue would only worsen).
 #[derive(Clone, Debug)]
 pub struct SharedLoggedDatabase {
     inner: Arc<Mutex<LoggedDatabase>>,
+    policy: OverloadPolicy,
 }
 
 impl SharedLoggedDatabase {
-    /// Wraps a logged database for shared access.
+    /// Wraps a logged database for shared access with the default
+    /// [`OverloadPolicy`].
     pub fn new(ldb: LoggedDatabase) -> Self {
+        SharedLoggedDatabase::with_policy(ldb, OverloadPolicy::default())
+    }
+
+    /// Wraps a logged database for shared access with an explicit
+    /// policy.
+    pub fn with_policy(ldb: LoggedDatabase, policy: OverloadPolicy) -> Self {
         SharedLoggedDatabase {
             inner: Arc::new(Mutex::new(ldb)),
+            policy,
         }
     }
 
+    /// The handle's overload policy.
+    pub fn policy(&self) -> OverloadPolicy {
+        self.policy
+    }
+
     /// Runs a closure with read access to the live database.
-    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(self.inner.lock().database())
+    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> Result<R> {
+        let guard = self.lock_bounded(self.policy.lock_timeout, "logged database read")?;
+        Ok(f(guard.database()))
     }
 
     /// Runs a closure with exclusive access to the logged engine.
-    pub fn with<R>(&self, f: impl FnOnce(&mut LoggedDatabase) -> R) -> R {
-        f(&mut self.inner.lock())
+    pub fn with<R>(&self, f: impl FnOnce(&mut LoggedDatabase) -> R) -> Result<R> {
+        let mut guard = self.lock_bounded(self.policy.lock_timeout, "logged database lock")?;
+        Ok(f(&mut guard))
+    }
+
+    /// [`SharedLoggedDatabase::with`] with the lock wait clamped to
+    /// `governor`'s remaining time, and the governor re-checked while
+    /// holding the lock so the closure (typically an append + fsync)
+    /// never even starts past the deadline.
+    pub fn with_governed<R>(
+        &self,
+        governor: &Governor,
+        f: impl FnOnce(&mut LoggedDatabase) -> R,
+    ) -> Result<R> {
+        governor
+            .check()
+            .map_err(|r| r.into_error("logged database access"))?;
+        let timeout = match governor.remaining_time() {
+            Some(left) => left.min(self.policy.lock_timeout),
+            None => self.policy.lock_timeout,
+        };
+        let mut guard = self.lock_bounded(timeout, "logged database lock")?;
+        governor
+            .check()
+            .map_err(|r| r.into_error("logged database access"))?;
+        Ok(f(&mut guard))
+    }
+
+    fn lock_bounded(
+        &self,
+        timeout: Duration,
+        what: &str,
+    ) -> Result<parking_lot::MutexGuard<'_, LoggedDatabase>> {
+        let t0 = Instant::now();
+        self.inner
+            .try_lock_for(timeout)
+            .ok_or_else(|| overloaded(what, t0.elapsed()))
     }
 
     /// Extracts the engine, if this is the last handle; otherwise
     /// returns the handle back.
     pub fn try_unwrap(self) -> std::result::Result<LoggedDatabase, SharedLoggedDatabase> {
-        Arc::try_unwrap(self.inner)
+        let SharedLoggedDatabase { inner, policy } = self;
+        Arc::try_unwrap(inner)
             .map(Mutex::into_inner)
-            .map_err(|inner| SharedLoggedDatabase { inner })
+            .map_err(|inner| SharedLoggedDatabase { inner, policy })
     }
 
     /// `INS` by function name (logged).
     pub fn insert(&self, function: &str, x: Value, y: Value) -> Result<()> {
-        self.with(|ldb| ldb.insert(function, x, y))
+        self.with(|ldb| ldb.insert(function, x, y))?
     }
 
     /// `DEL` by function name (logged).
     pub fn delete(&self, function: &str, x: Value, y: Value) -> Result<()> {
-        self.with(|ldb| ldb.delete(function, x, y))
+        self.with(|ldb| ldb.delete(function, x, y))?
     }
 
     /// Applies one engine-level update (logged).
     pub fn apply_update(&self, update: &Update) -> Result<()> {
-        self.with(|ldb| ldb.apply_update(update))
+        self.with(|ldb| ldb.apply_update(update))?
     }
 
     /// Durably syncs the log.
     pub fn sync(&self) -> Result<()> {
-        self.with(LoggedDatabase::sync)
+        self.with(LoggedDatabase::sync)?
+    }
+
+    /// Durably syncs the log under a deadline: the lock wait is clamped
+    /// to the governor's remaining time and the fsync is not started if
+    /// the deadline already passed.
+    pub fn sync_governed(&self, governor: &Governor) -> Result<()> {
+        self.with_governed(governor, LoggedDatabase::sync)?
     }
 
     /// Takes a checkpoint now.
     pub fn checkpoint(&self) -> Result<()> {
-        self.with(LoggedDatabase::checkpoint)
+        self.with(LoggedDatabase::checkpoint)?
     }
 
     /// Changes when appends are fsynced.
-    pub fn set_sync_policy(&self, policy: SyncPolicy) {
-        self.with(|ldb| ldb.set_sync_policy(policy));
+    pub fn set_sync_policy(&self, policy: SyncPolicy) -> Result<()> {
+        self.with(|ldb| ldb.set_sync_policy(policy))
     }
 
     /// Truth of a fact.
     pub fn truth(&self, f: FunctionId, x: &Value, y: &Value) -> Result<Truth> {
-        self.read(|db| db.truth(f, x, y))
+        self.read(|db| db.truth(f, x, y))?
     }
 
     /// Instance statistics.
-    pub fn stats(&self) -> DatabaseStats {
+    pub fn stats(&self) -> Result<DatabaseStats> {
         self.read(|db| db.stats())
     }
 
     /// Consistency check.
-    pub fn is_consistent(&self) -> bool {
+    pub fn is_consistent(&self) -> Result<bool> {
         self.read(|db| db.is_consistent())
     }
 }
@@ -295,8 +465,8 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(shared.is_consistent());
-        let live = shared.read(|db| db.to_snapshot().unwrap());
+        assert!(shared.is_consistent().unwrap());
+        let live = shared.read(|db| db.to_snapshot().unwrap()).unwrap();
         let ldb = shared.try_unwrap().expect("last handle");
         drop(ldb);
 
@@ -307,6 +477,139 @@ mod tests {
         )
         .unwrap();
         assert_eq!(recovered.database().to_snapshot().unwrap(), live);
+    }
+
+    #[test]
+    fn write_sheds_instead_of_blocking_forever() {
+        let shared = SharedDatabase::with_policy(
+            university(),
+            OverloadPolicy {
+                lock_timeout: Duration::from_millis(20),
+                max_inflight_writers: 8,
+            },
+        );
+        let holder = shared.clone();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let hold = std::thread::spawn(move || {
+            holder
+                .write(|_db| {
+                    tx.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(200));
+                })
+                .unwrap();
+        });
+        rx.recv().unwrap(); // lock is now held
+        let err = shared.write(|_db| ()).unwrap_err();
+        match err {
+            FdbError::Overloaded { what, .. } => assert_eq!(what, "database write lock"),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        hold.join().unwrap();
+        // Lock released: writes succeed again.
+        shared.write(|_db| ()).unwrap();
+    }
+
+    #[test]
+    fn admission_gate_rejects_excess_writers() {
+        let shared = SharedDatabase::with_policy(
+            university(),
+            OverloadPolicy {
+                lock_timeout: Duration::from_millis(500),
+                max_inflight_writers: 1,
+            },
+        );
+        let holder = shared.clone();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let hold = std::thread::spawn(move || {
+            holder
+                .write(|_db| {
+                    tx.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(150));
+                })
+                .unwrap();
+        });
+        rx.recv().unwrap(); // one writer in flight = at capacity
+        let t0 = Instant::now();
+        let err = shared.write(|_db| ()).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "gate rejection must be immediate, waited {:?}",
+            t0.elapsed()
+        );
+        match err {
+            FdbError::Overloaded { what, waited_ms } => {
+                assert_eq!(what, "write admission gate");
+                assert_eq!(waited_ms, 0);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        hold.join().unwrap();
+        shared.write(|_db| ()).unwrap();
+    }
+
+    #[test]
+    fn governed_write_respects_deadline_and_cancel() {
+        let shared = SharedDatabase::new(university());
+        // Expired deadline: shed before touching the lock.
+        let gov = Governor::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(matches!(
+            shared.write_governed(&gov, |_db| ()),
+            Err(FdbError::DeadlineExceeded(_))
+        ));
+        // Cancelled token: shed as Cancelled.
+        let gov = Governor::unbounded();
+        gov.cancel_token().cancel();
+        assert!(matches!(
+            shared.write_governed(&gov, |_db| ()),
+            Err(FdbError::Cancelled)
+        ));
+        // Healthy governor: goes through.
+        let gov = Governor::with_deadline(Duration::from_secs(10));
+        shared.write_governed(&gov, |_db| ()).unwrap();
+    }
+
+    #[test]
+    fn logged_handle_sheds_when_lock_is_stuck() {
+        use crate::durability::DurabilityConfig;
+        use crate::storage::SimDisk;
+
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk, "/stuck_db", DurabilityConfig::default()).unwrap();
+        ldb.import_schema(&university()).unwrap();
+        let shared = SharedLoggedDatabase::with_policy(
+            ldb,
+            OverloadPolicy {
+                lock_timeout: Duration::from_millis(20),
+                max_inflight_writers: 8,
+            },
+        );
+        let holder = shared.clone();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let hold = std::thread::spawn(move || {
+            holder
+                .with(|_ldb| {
+                    tx.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(150));
+                })
+                .unwrap();
+        });
+        rx.recv().unwrap();
+        assert!(matches!(
+            shared.insert("teach", v("euclid"), v("math")),
+            Err(FdbError::Overloaded { .. })
+        ));
+        // sync under an expired deadline is refused up front.
+        let gov = Governor::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(matches!(
+            shared.sync_governed(&gov),
+            Err(FdbError::DeadlineExceeded(_))
+        ));
+        hold.join().unwrap();
+        shared.insert("teach", v("euclid"), v("math")).unwrap();
+        shared.sync().unwrap();
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// An open, append-only file handle.
 pub trait WalFile: Send + fmt::Debug {
@@ -197,45 +199,45 @@ impl SimDisk {
     /// that would exceed it is torn at the byte boundary and the disk
     /// crashes. `None` removes the limit.
     pub fn set_write_budget(&self, budget: Option<u64>) {
-        self.state.lock().unwrap().write_budget = budget;
+        self.state.lock().write_budget = budget;
     }
 
     /// Total data bytes accepted so far (the torn-write cursor).
     pub fn total_written(&self) -> u64 {
-        self.state.lock().unwrap().total_written
+        self.state.lock().total_written
     }
 
     /// Whether the disk has crashed (budget exhausted).
     pub fn crashed(&self) -> bool {
-        self.state.lock().unwrap().crashed
+        self.state.lock().crashed
     }
 
     /// Clears the crashed flag and the write budget, as if the machine
     /// rebooted with the persisted bytes intact. Recovery then runs
     /// against exactly what survived.
     pub fn revive(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         s.crashed = false;
         s.write_budget = None;
     }
 
     /// Makes the `nth` (1-based, counted from now on) sync call fail.
     pub fn fail_sync(&self, nth: u64) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         let at = s.syncs + nth;
         s.fail_syncs.insert(at);
     }
 
     /// Number of sync calls served so far.
     pub fn syncs(&self) -> u64 {
-        self.state.lock().unwrap().syncs
+        self.state.lock().syncs
     }
 
     /// XORs `mask` into the persisted byte of `path` at `offset`
     /// (bit-flip corruption). Panics if the file or offset is absent —
     /// corrupting nothing is a harness bug.
     pub fn corrupt(&self, path: impl AsRef<Path>, offset: u64, mask: u8) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         let data = s
             .files
             .get_mut(path.as_ref())
@@ -251,7 +253,6 @@ impl SimDisk {
     pub fn set_short_read(&self, path: impl AsRef<Path>, len: u64) {
         self.state
             .lock()
-            .unwrap()
             .short_reads
             .insert(path.as_ref().to_owned(), len);
     }
@@ -260,7 +261,6 @@ impl SimDisk {
     pub fn size_of(&self, path: impl AsRef<Path>) -> Option<u64> {
         self.state
             .lock()
-            .unwrap()
             .files
             .get(path.as_ref())
             .map(|d| d.len() as u64)
@@ -268,7 +268,7 @@ impl SimDisk {
 
     /// All file paths currently on the disk.
     pub fn paths(&self) -> Vec<PathBuf> {
-        self.state.lock().unwrap().files.keys().cloned().collect()
+        self.state.lock().files.keys().cloned().collect()
     }
 }
 
@@ -299,11 +299,11 @@ impl SimState {
 
 impl WalFile for SimFile {
     fn append(&mut self, data: &[u8]) -> io::Result<()> {
-        self.state.lock().unwrap().write_bytes(&self.path, data)
+        self.state.lock().write_bytes(&self.path, data)
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         if s.crashed {
             return Err(crash_err());
         }
@@ -318,7 +318,7 @@ impl WalFile for SimFile {
 
 impl WalStorage for SimDisk {
     fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         if s.crashed {
             return Err(crash_err());
         }
@@ -330,7 +330,7 @@ impl WalStorage for SimDisk {
     }
 
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         if s.crashed {
             return Err(crash_err());
         }
@@ -342,7 +342,7 @@ impl WalStorage for SimDisk {
     }
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         let data = s
             .files
             .get(path)
@@ -356,7 +356,7 @@ impl WalStorage for SimDisk {
     }
 
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         if s.crashed {
             return Err(crash_err());
         }
@@ -369,7 +369,7 @@ impl WalStorage for SimDisk {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         if s.crashed {
             return Err(crash_err());
         }
@@ -382,7 +382,7 @@ impl WalStorage for SimDisk {
     }
 
     fn remove(&self, path: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         if s.crashed {
             return Err(crash_err());
         }
@@ -393,11 +393,11 @@ impl WalStorage for SimDisk {
     }
 
     fn is_file(&self, path: &Path) -> bool {
-        self.state.lock().unwrap().files.contains_key(path)
+        self.state.lock().files.contains_key(path)
     }
 
     fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
-        let s = self.state.lock().unwrap();
+        let s = self.state.lock();
         Ok(s.files
             .keys()
             .filter(|p| p.parent() == Some(dir))
@@ -406,7 +406,7 @@ impl WalStorage for SimDisk {
     }
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         if s.crashed {
             return Err(crash_err());
         }
@@ -415,7 +415,7 @@ impl WalStorage for SimDisk {
     }
 
     fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         if s.crashed {
             return Err(crash_err());
         }

@@ -278,6 +278,17 @@ pub fn scan(bytes: &[u8], first_seq: u64) -> Scan {
     }
 }
 
+/// Little-endian decode of an exactly-4-byte slice (callers have
+/// already length-checked the frame).
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Little-endian decode of an exactly-8-byte slice.
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
 fn scan_v2(bytes: &[u8], first_seq: u64) -> Scan {
     let mut records = Vec::new();
     let mut offset = WAL_MAGIC.len().min(bytes.len());
@@ -291,8 +302,8 @@ fn scan_v2(bytes: &[u8], first_seq: u64) -> Scan {
             });
             break;
         }
-        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        let len = le_u32(&rest[0..4]);
+        let crc = le_u32(&rest[4..8]);
         if len > MAX_PAYLOAD {
             flaw = Some(Corruption::Malformed {
                 offset: offset as u64,
@@ -314,7 +325,7 @@ fn scan_v2(bytes: &[u8], first_seq: u64) -> Scan {
             });
             break;
         }
-        let seq = u64::from_le_bytes(checked[0..8].try_into().unwrap());
+        let seq = le_u64(&checked[0..8]);
         if seq != expected {
             flaw = Some(Corruption::SequenceGap {
                 offset: offset as u64,

@@ -26,11 +26,12 @@
 
 use std::collections::HashSet;
 
+use fdb_governor::{Governance, Governor, Outcome, StopReason, Ungoverned};
 use fdb_types::{Derivation, FunctionId, Schema};
 
 use crate::equiv::{exists_equivalent_walk, path_matches_function};
 use crate::graph::{EdgeId, FunctionGraph};
-use crate::paths::{all_simple_paths, PathLimits};
+use crate::paths::{simple_paths_impl, PathLimits};
 
 /// A derived function together with its derivations in the minimal schema.
 #[derive(Clone, Debug)]
@@ -107,6 +108,32 @@ pub fn minimal_schema_with_order(
     order: &[FunctionId],
     limits: PathLimits,
 ) -> AmsOutcome {
+    ams_impl(schema, order, limits, &Ungoverned).value()
+}
+
+/// Runs Algorithm AMS under a [`Governor`].
+///
+/// If the governor stops the run mid-way the partial outcome is still
+/// *sound*: functions not yet proven derivable stay classified base
+/// (base functions are always safe — they just may not be minimal), and
+/// each derived function carries the derivations enumerated so far.
+pub fn minimal_schema_governed(
+    schema: &Schema,
+    limits: PathLimits,
+    governor: &Governor,
+) -> Outcome<AmsOutcome> {
+    let order: Vec<FunctionId> = schema.functions().iter().map(|d| d.id).collect();
+    ams_impl(schema, &order, limits, governor)
+}
+
+fn ams_impl<G: Governance>(
+    schema: &Schema,
+    order: &[FunctionId],
+    limits: PathLimits,
+    governor: &G,
+) -> Outcome<AmsOutcome> {
+    let mut stop: Option<StopReason> = None;
+
     // Step 1: construct the function graph.
     let graph = FunctionGraph::from_schema(schema);
 
@@ -120,9 +147,17 @@ pub fn minimal_schema_with_order(
     }
 
     // Step 2: greedily mark edges derivable from the not-yet-marked rest.
+    // Each iteration runs a polynomial walk-existence check, so the
+    // coarse `check` granularity (clock + cancellation per edge) fits.
+    // On a stop, the remaining edges stay classified base — conservative
+    // and sound, just possibly non-minimal.
     let mut removed_edges: HashSet<EdgeId> = HashSet::new();
     let mut removed_funs: Vec<FunctionId> = Vec::new();
     for f in iteration {
+        if let Err(r) = governor.check() {
+            stop = stop.or(Some(r));
+            break;
+        }
         let def = schema.function(f);
         let e = graph
             .edge_of(def.id)
@@ -147,21 +182,34 @@ pub fn minimal_schema_with_order(
         .filter(|f| !removed_funs.contains(f))
         .collect();
 
+    // A structural `Cap` is per-enumeration: it truncates one function's
+    // derivation list but must not suppress the others. Only global stops
+    // (deadline, step/memory budget, cancellation) short-circuit.
+    let hard_stop = |s: &Option<StopReason>| matches!(s, Some(r) if *r != StopReason::Cap);
     let derived = removed_funs
         .into_iter()
         .map(|f| {
             let def = schema.function(f);
-            let derivations = all_simple_paths(
-                &minimal_graph,
-                def.domain,
-                def.range,
-                &HashSet::new(),
-                limits,
-            )
-            .into_iter()
-            .filter(|p| path_matches_function(&minimal_graph, p, def))
-            .map(|p| p.to_derivation(&minimal_graph))
-            .collect();
+            let paths = if hard_stop(&stop) {
+                // Already exhausted: don't start further enumerations.
+                Vec::new()
+            } else {
+                let outcome = simple_paths_impl(
+                    &minimal_graph,
+                    def.domain,
+                    def.range,
+                    &HashSet::new(),
+                    limits,
+                    governor,
+                );
+                stop = stop.or(outcome.reason());
+                outcome.value()
+            };
+            let derivations = paths
+                .into_iter()
+                .filter(|p| path_matches_function(&minimal_graph, p, def))
+                .map(|p| p.to_derivation(&minimal_graph))
+                .collect();
             DerivedFunction {
                 function: f,
                 derivations,
@@ -169,7 +217,7 @@ pub fn minimal_schema_with_order(
         })
         .collect();
 
-    AmsOutcome { base, derived }
+    Outcome::new(AmsOutcome { base, derived }, stop)
 }
 
 /// Enumerates **all** minimal schemas of `schema` under the UFA, up to
@@ -186,12 +234,31 @@ pub fn minimal_schema_with_order(
 /// exponential — consider `n` parallel equivalent edges, which have `n`
 /// minimal schemas); use `cap` accordingly.
 pub fn all_minimal_schemas(schema: &Schema, cap: usize) -> Vec<Vec<FunctionId>> {
+    all_minimal_schemas_impl(schema, cap, &Ungoverned).value()
+}
+
+/// [`all_minimal_schemas`] under a [`Governor`]: the lattice search stops
+/// on deadline/budget/cancellation (or on discovering a `(cap + 1)`-th
+/// minimal schema), reporting the minimal schemas found so far.
+pub fn all_minimal_schemas_governed(
+    schema: &Schema,
+    cap: usize,
+    governor: &Governor,
+) -> Outcome<Vec<Vec<FunctionId>>> {
+    all_minimal_schemas_impl(schema, cap, governor)
+}
+
+fn all_minimal_schemas_impl<G: Governance>(
+    schema: &Schema,
+    cap: usize,
+    governor: &G,
+) -> Outcome<Vec<Vec<FunctionId>>> {
     let graph = FunctionGraph::from_schema(schema);
     let mut results: Vec<Vec<FunctionId>> = Vec::new();
     let all: Vec<FunctionId> = schema.functions().iter().map(|d| d.id).collect();
     let mut removed: HashSet<FunctionId> = HashSet::new();
     let mut kept: HashSet<FunctionId> = HashSet::new();
-    search_minimal(
+    let stop = search_minimal(
         schema,
         &graph,
         &all,
@@ -199,10 +266,12 @@ pub fn all_minimal_schemas(schema: &Schema, cap: usize) -> Vec<Vec<FunctionId>> 
         &mut kept,
         &mut results,
         cap,
-    );
+        governor,
+    )
+    .err();
     results.sort();
     results.dedup();
-    results
+    Outcome::new(results, stop)
 }
 
 fn removable(
@@ -223,7 +292,7 @@ fn removable(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn search_minimal(
+fn search_minimal<G: Governance>(
     schema: &Schema,
     graph: &FunctionGraph,
     all: &[FunctionId],
@@ -231,10 +300,11 @@ fn search_minimal(
     kept: &mut HashSet<FunctionId>,
     results: &mut Vec<Vec<FunctionId>>,
     cap: usize,
-) {
-    if results.len() >= cap {
-        return;
-    }
+    governor: &G,
+) -> Result<(), StopReason> {
+    // One search-tree node runs several walk-existence checks; coarse
+    // granularity is the right cost/latency trade.
+    governor.check()?;
     // Find the first edge that is not yet decided and is removable.
     let next = all.iter().copied().find(|&f| {
         !removed.contains(&f) && !kept.contains(&f) && removable(schema, graph, removed, f)
@@ -250,14 +320,23 @@ fn search_minimal(
                 .copied()
                 .filter(|g| !removed.contains(g))
                 .collect();
-            results.push(base);
+            if !results.contains(&base) {
+                if results.len() >= cap {
+                    // Exact cap detection: a (cap + 1)-th distinct
+                    // minimal schema provably exists.
+                    return Err(StopReason::Cap);
+                }
+                governor.charge(1)?;
+                results.push(base);
+            }
         }
-        return;
+        return Ok(());
     };
     // Branch 1: remove f.
     removed.insert(f);
-    search_minimal(schema, graph, all, removed, kept, results, cap);
+    let res = search_minimal(schema, graph, all, removed, kept, results, cap, governor);
     removed.remove(&f);
+    res?;
     // Branch 2: keep f permanently — only sensible if some other edge is
     // still removable afterwards (otherwise this branch duplicates work
     // and can yield non-minimal sets, since f itself stays removable).
@@ -265,10 +344,13 @@ fn search_minimal(
     let any_other_removable = all.iter().copied().any(|g| {
         !removed.contains(&g) && !kept.contains(&g) && removable(schema, graph, removed, g)
     });
-    if any_other_removable {
-        search_minimal(schema, graph, all, removed, kept, results, cap);
-    }
+    let res = if any_other_removable {
+        search_minimal(schema, graph, all, removed, kept, results, cap, governor)
+    } else {
+        Ok(())
+    };
     kept.remove(&f);
+    res
 }
 
 #[cfg(test)]

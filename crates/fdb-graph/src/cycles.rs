@@ -10,13 +10,14 @@
 
 use std::collections::HashSet;
 
+use fdb_governor::{Governance, Governor, Outcome, Ungoverned};
 use fdb_types::{Derivation, FunctionId, Schema};
 
 use crate::graph::{EdgeId, FunctionGraph};
-use crate::paths::{all_simple_paths, Path, PathLimits, PathStep};
+use crate::paths::{simple_paths_impl, Path, PathLimits, PathStep};
 
 /// A cycle created by the addition of `new_edge`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cycle {
     /// The edge whose insertion closed this cycle.
     pub new_edge: EdgeId,
@@ -137,17 +138,43 @@ impl Cycle {
 
 /// Finds all cycles that the (already inserted) edge `new_edge` is part of:
 /// the simple paths between its endpoints that avoid it.
+///
+/// Truncation by `limits` is silent here; use
+/// [`cycles_through_edge_governed`] for the typed outcome.
 pub fn cycles_through_edge(
     graph: &FunctionGraph,
     new_edge: EdgeId,
     limits: PathLimits,
 ) -> Vec<Cycle> {
+    cycles_impl(graph, new_edge, limits, &Ungoverned).value()
+}
+
+/// [`cycles_through_edge`] under a [`Governor`]: stops on deadline,
+/// budget exhaustion, cancellation or a structural cap, reporting the
+/// cycles found so far as a sound prefix.
+pub fn cycles_through_edge_governed(
+    graph: &FunctionGraph,
+    new_edge: EdgeId,
+    limits: PathLimits,
+    governor: &Governor,
+) -> Outcome<Vec<Cycle>> {
+    cycles_impl(graph, new_edge, limits, governor)
+}
+
+pub(crate) fn cycles_impl<G: Governance>(
+    graph: &FunctionGraph,
+    new_edge: EdgeId,
+    limits: PathLimits,
+    governor: &G,
+) -> Outcome<Vec<Cycle>> {
     let e = graph.edge(new_edge);
     let excluded: HashSet<EdgeId> = [new_edge].into();
-    all_simple_paths(graph, e.a, e.b, &excluded, limits)
-        .into_iter()
-        .map(|rest| Cycle { new_edge, rest })
-        .collect()
+    simple_paths_impl(graph, e.a, e.b, &excluded, limits, governor).map(|paths| {
+        paths
+            .into_iter()
+            .map(|rest| Cycle { new_edge, rest })
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -29,12 +29,13 @@ use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
+use fdb_governor::{Governor, Outcome, StopReason, Ungoverned};
 use fdb_types::{Derivation, FdbError, FunctionId, Functionality, Result, Schema};
 
-use crate::cycles::{cycles_through_edge, Cycle};
+use crate::cycles::{cycles_impl, Cycle};
 use crate::equiv::path_matches_function;
 use crate::graph::{EdgeId, FunctionGraph};
-use crate::paths::{all_simple_paths, PathLimits};
+use crate::paths::{simple_paths_impl, PathLimits};
 
 /// What a designer may do with a reported cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -104,13 +105,16 @@ pub enum DesignEvent {
         /// The designer's decision.
         decision: CycleDecision,
     },
-    /// Cycle enumeration hit the configured cap; some cycles may not have
-    /// been reported.
+    /// Cycle enumeration was stopped early — by the configured cap or by
+    /// the session governor's deadline/budget/cancellation — so some
+    /// cycles may not have been reported.
     CyclesTruncated {
         /// The function whose addition triggered enumeration.
         new_function: FunctionId,
-        /// How many cycles were reported before the cap.
+        /// How many cycles were reported before the stop.
         reported: usize,
+        /// Why enumeration stopped.
+        reason: StopReason,
     },
 }
 
@@ -168,6 +172,7 @@ pub struct DesignSession {
     schema: Schema,
     graph: FunctionGraph,
     config: DesignConfig,
+    governor: Option<Governor>,
     log: Vec<DesignEvent>,
 }
 
@@ -182,6 +187,30 @@ impl DesignSession {
         DesignSession {
             config,
             ..Self::default()
+        }
+    }
+
+    /// Attaches a [`Governor`] bounding every enumeration the session
+    /// runs (cycle identification, derivation extraction). When the
+    /// governor stops an enumeration the session proceeds with the sound
+    /// prefix and records a [`DesignEvent::CyclesTruncated`] carrying the
+    /// typed reason. Without a governor the session is bounded only by
+    /// its [`DesignConfig`] limits.
+    pub fn set_governor(&mut self, governor: Governor) -> &mut Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    fn governed_paths(
+        &self,
+        from: fdb_types::TypeId,
+        to: fdb_types::TypeId,
+        limits: PathLimits,
+    ) -> Outcome<Vec<crate::paths::Path>> {
+        let none = HashSet::<EdgeId>::new();
+        match &self.governor {
+            Some(g) => simple_paths_impl(&self.graph, from, to, &none, limits, g),
+            None => simple_paths_impl(&self.graph, from, to, &none, limits, &Ungoverned),
         }
     }
 
@@ -218,11 +247,17 @@ impl DesignSession {
         self.log.push(DesignEvent::Added(f));
 
         // Step 2: identify all cycles formed by this function.
-        let cycles = cycles_through_edge(&self.graph, new_edge, self.config.cycle_limits);
-        if cycles.len() >= self.config.cycle_limits.max_paths {
+        let outcome = match &self.governor {
+            Some(g) => cycles_impl(&self.graph, new_edge, self.config.cycle_limits, g),
+            None => cycles_impl(&self.graph, new_edge, self.config.cycle_limits, &Ungoverned),
+        };
+        let truncated = outcome.reason();
+        let cycles = outcome.value();
+        if let Some(reason) = truncated {
             self.log.push(DesignEvent::CyclesTruncated {
                 new_function: f,
                 reported: cycles.len(),
+                reason,
             });
         }
 
@@ -287,17 +322,12 @@ impl DesignSession {
     /// paths in the current base graph (before designer filtering).
     pub fn potential_derivations(&self, f: FunctionId) -> Vec<Derivation> {
         let def = self.schema.function(f);
-        all_simple_paths(
-            &self.graph,
-            def.domain,
-            def.range,
-            &HashSet::<EdgeId>::new(),
-            self.config.derivation_limits,
-        )
-        .into_iter()
-        .filter(|p| path_matches_function(&self.graph, p, def))
-        .map(|p| p.to_derivation(&self.graph))
-        .collect()
+        self.governed_paths(def.domain, def.range, self.config.derivation_limits)
+            .value()
+            .into_iter()
+            .filter(|p| path_matches_function(&self.graph, p, def))
+            .map(|p| p.to_derivation(&self.graph))
+            .collect()
     }
 
     /// Finishes the session: extracts each derived function's potential

@@ -22,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ams;
 pub mod cycles;
@@ -34,15 +35,20 @@ pub mod paths;
 pub mod report;
 
 pub use ams::{
-    all_minimal_schemas, minimal_schema, minimal_schema_with_limits, minimal_schema_with_order,
-    AmsOutcome, DerivedFunction,
+    all_minimal_schemas, all_minimal_schemas_governed, minimal_schema, minimal_schema_governed,
+    minimal_schema_with_limits, minimal_schema_with_order, AmsOutcome, DerivedFunction,
 };
-pub use cycles::{cycles_through_edge, Cycle};
+pub use cycles::{cycles_through_edge, cycles_through_edge_governed, Cycle};
 pub use design::{
     CycleDecision, CycleReport, DesignConfig, DesignEvent, DesignOutcome, DesignSession, Designer,
 };
 pub use designers::{FirstCandidateDesigner, KeepAllDesigner, OracleDesigner, ScriptedDesigner};
 pub use equiv::{exists_equivalent_walk, path_matches_function};
+// Re-exported so downstream crates can use the governed entry points
+// without naming fdb-governor directly.
+pub use fdb_governor::{
+    Budget, CancelToken, Governance, Governor, Outcome, StopReason, Ungoverned,
+};
 pub use graph::{Dir, Edge, EdgeId, FunctionGraph};
-pub use lint::{diagnose, render_diagnostics, SchemaDiagnostics};
-pub use paths::{all_simple_paths, Path, PathLimits, PathStep};
+pub use lint::{diagnose, diagnose_governed, render_diagnostics, SchemaDiagnostics};
+pub use paths::{all_simple_paths, all_simple_paths_governed, Path, PathLimits, PathStep};

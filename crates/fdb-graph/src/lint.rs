@@ -12,9 +12,10 @@
 
 use std::collections::HashSet;
 
+use fdb_governor::{Governance, Governor, Outcome, StopReason, Ungoverned};
 use fdb_types::{FunctionId, Schema, TypeId};
 
-use crate::cycles::cycles_through_edge;
+use crate::cycles::cycles_impl;
 use crate::equiv::derivable_without_self;
 use crate::graph::FunctionGraph;
 use crate::paths::PathLimits;
@@ -47,11 +48,36 @@ impl SchemaDiagnostics {
 
 /// Runs the diagnostic sweep. Cycle enumeration is capped by `limits`.
 pub fn diagnose(schema: &Schema, limits: PathLimits) -> SchemaDiagnostics {
+    diagnose_impl(schema, limits, &Ungoverned).value()
+}
+
+/// [`diagnose`] under a [`Governor`]: the sweep stops on
+/// deadline/budget/cancellation, reporting whatever diagnostics were
+/// established so far (counts are lower bounds when exhausted).
+pub fn diagnose_governed(
+    schema: &Schema,
+    limits: PathLimits,
+    governor: &Governor,
+) -> Outcome<SchemaDiagnostics> {
+    diagnose_impl(schema, limits, governor)
+}
+
+fn diagnose_impl<G: Governance>(
+    schema: &Schema,
+    limits: PathLimits,
+    governor: &G,
+) -> Outcome<SchemaDiagnostics> {
     let graph = FunctionGraph::from_schema(schema);
     let mut out = SchemaDiagnostics::default();
+    let mut stop: Option<StopReason> = None;
 
-    // Derivable functions.
+    // Derivable functions. Each check is a polynomial walk-existence
+    // query, so coarse granularity per function suffices.
     for def in schema.functions() {
+        if let Err(r) = governor.check() {
+            stop = Some(r);
+            break;
+        }
         if derivable_without_self(&graph, schema, def, &HashSet::new()) {
             out.derivable.push(def.id);
         }
@@ -59,8 +85,15 @@ pub fn diagnose(schema: &Schema, limits: PathLimits) -> SchemaDiagnostics {
 
     // Mutually derivable pairs: each derivable using only the other.
     let all_edges: Vec<_> = graph.edges().map(|e| e.id).collect();
-    for (i, def_a) in schema.functions().iter().enumerate() {
+    'pairs: for (i, def_a) in schema.functions().iter().enumerate() {
+        if stop.is_some() {
+            break;
+        }
         for def_b in schema.functions().iter().skip(i + 1) {
+            if let Err(r) = governor.check() {
+                stop = Some(r);
+                break 'pairs;
+            }
             let only = |keep: FunctionId| -> HashSet<_> {
                 all_edges
                     .iter()
@@ -80,13 +113,24 @@ pub fn diagnose(schema: &Schema, limits: PathLimits) -> SchemaDiagnostics {
         }
     }
 
-    // Cycles (deduplicated by edge set) and candidate-free cycles.
+    // Cycles (deduplicated by edge set) and candidate-free cycles. A
+    // structural cap on one edge's enumeration is a local truncation
+    // (counts were documented as capped); only global stops abort.
     let mut seen: HashSet<Vec<crate::graph::EdgeId>> = HashSet::new();
     for def in schema.functions() {
+        if stop.is_some() {
+            break;
+        }
         let Some(edge) = graph.edge_of(def.id) else {
             continue;
         };
-        for cycle in cycles_through_edge(&graph, edge.id, limits) {
+        let outcome = cycles_impl(&graph, edge.id, limits, governor);
+        if let Some(r) = outcome.reason() {
+            if r != StopReason::Cap {
+                stop = Some(r);
+            }
+        }
+        for cycle in outcome.value() {
             let mut key = cycle.edges();
             key.sort_unstable();
             if !seen.insert(key) {
@@ -99,10 +143,18 @@ pub fn diagnose(schema: &Schema, limits: PathLimits) -> SchemaDiagnostics {
         }
     }
 
-    // Connected components.
+    // Connected components (linear; checked per component).
     let nodes = graph.nodes();
     let mut unvisited: HashSet<TypeId> = nodes.iter().copied().collect();
     while let Some(&start) = unvisited.iter().next() {
+        if stop.is_none() {
+            if let Err(r) = governor.check() {
+                stop = Some(r);
+            }
+        }
+        if stop.is_some() {
+            break;
+        }
         out.components += 1;
         let mut stack = vec![start];
         unvisited.remove(&start);
@@ -114,7 +166,7 @@ pub fn diagnose(schema: &Schema, limits: PathLimits) -> SchemaDiagnostics {
             }
         }
     }
-    out
+    Outcome::new(out, stop)
 }
 
 /// Renders diagnostics for human consumption.

@@ -9,12 +9,17 @@
 //!
 //! Enumeration is exponential in the worst case — the paper itself notes
 //! that "addition of an edge may result in an exponential number of
-//! cycles" — so every entry point takes [`PathLimits`] caps.
+//! cycles" — so every entry point takes [`PathLimits`] caps, and the
+//! governed entry points ([`all_simple_paths_governed`]) additionally
+//! honour a [`Governor`]'s deadline/step/memory budgets and cancellation,
+//! returning a typed [`Outcome`] whose `Exhausted { partial, reason }`
+//! arm carries the sound prefix enumerated before the stop.
 
 use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
+use fdb_governor::{Governance, Governor, Outcome, StopReason, Ungoverned};
 use fdb_types::{Derivation, Functionality, Schema, Step, TypeId};
 
 use crate::graph::{Dir, EdgeId, FunctionGraph};
@@ -129,9 +134,15 @@ impl Default for PathLimits {
 }
 
 impl PathLimits {
-    /// Effectively unlimited enumeration (used by the exponential-growth
-    /// benchmark, E8).
-    pub fn unbounded() -> Self {
+    /// Effectively unlimited enumeration.
+    ///
+    /// **Benchmark/measurement use only**: the name is deliberately
+    /// awkward because with these caps an adversarial schema makes
+    /// enumeration run forever. Production paths use
+    /// [`PathLimits::default`] plus a [`Governor`]; the only legitimate
+    /// callers are the exponential-growth measurements (E8), which need
+    /// the uncapped curve.
+    pub fn unbounded_for_benchmarks() -> Self {
         PathLimits {
             max_len: usize::MAX,
             max_paths: usize::MAX,
@@ -148,6 +159,9 @@ impl PathLimits {
 /// though the DFS discovers it in both rotational directions).
 ///
 /// Paths have at least one edge; the empty path is never returned.
+///
+/// Truncation by `limits` is silent here; use
+/// [`all_simple_paths_governed`] for the typed outcome.
 pub fn all_simple_paths(
     graph: &FunctionGraph,
     from: TypeId,
@@ -155,86 +169,140 @@ pub fn all_simple_paths(
     excluded: &HashSet<EdgeId>,
     limits: PathLimits,
 ) -> Vec<Path> {
-    let mut out = Vec::new();
-    let mut visited: HashSet<TypeId> = HashSet::new();
-    visited.insert(from);
-    let mut steps: Vec<PathStep> = Vec::new();
-    let mut seen_keys: HashSet<Vec<EdgeId>> = HashSet::new();
-    let closed = from == to;
-    dfs(
-        graph,
-        from,
-        to,
-        excluded,
-        limits,
-        &mut visited,
-        &mut steps,
-        &mut out,
-        &mut seen_keys,
-        closed,
-    );
-    out
+    simple_paths_impl(graph, from, to, excluded, limits, &Ungoverned).value()
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dfs(
+/// [`all_simple_paths`] under a [`Governor`]: the enumeration stops as
+/// soon as the governor's deadline, step budget, memory budget or
+/// cancellation token fires — or a structural cap of `limits` bites —
+/// and the stop is reported as a typed [`Outcome::Exhausted`] whose
+/// partial result is the sound prefix enumerated so far (the DFS is
+/// deterministic, so a smaller budget always yields a prefix of a larger
+/// budget's result).
+///
+/// `max_paths` truncation is *exact*: `Exhausted` with
+/// [`StopReason::Cap`] is reported only when a `(max_paths + 1)`-th path
+/// provably exists. `max_len` pruning is conservative: cutting a branch
+/// at the depth cap reports `Exhausted` even if the branch would have
+/// dead-ended.
+pub fn all_simple_paths_governed(
     graph: &FunctionGraph,
-    cur: TypeId,
-    goal: TypeId,
+    from: TypeId,
+    to: TypeId,
     excluded: &HashSet<EdgeId>,
     limits: PathLimits,
-    visited: &mut HashSet<TypeId>,
-    steps: &mut Vec<PathStep>,
-    out: &mut Vec<Path>,
-    seen_keys: &mut HashSet<Vec<EdgeId>>,
-    closed: bool,
-) {
-    if out.len() >= limits.max_paths || steps.len() >= limits.max_len {
-        return;
-    }
-    // Collect incidences first: `neighbors` borrows the graph immutably and
-    // the recursion only needs the tuple data.
-    let incidences: Vec<(EdgeId, Dir, TypeId)> = graph.neighbors(cur).collect();
-    for (edge, dir, next) in incidences {
-        if out.len() >= limits.max_paths {
-            return;
-        }
-        if excluded.contains(&edge) || steps.iter().any(|s| s.edge == edge) {
-            continue;
-        }
-        if next == goal {
-            steps.push(PathStep { edge, dir });
-            let path = Path {
-                start: path_start(goal, steps, graph),
-                steps: steps.clone(),
-            };
-            // Closed walks are discovered in both rotational directions;
-            // deduplicate by edge multiset.
-            if !closed || seen_keys.insert(path.edge_key()) {
-                out.push(path);
-            }
-            steps.pop();
-            // A goal that is not the start may still be passed through? No:
-            // node-simple paths end at the first arrival at the goal.
-            continue;
-        }
-        if visited.contains(&next) {
-            continue;
-        }
-        visited.insert(next);
-        steps.push(PathStep { edge, dir });
-        dfs(
-            graph, next, goal, excluded, limits, visited, steps, out, seen_keys, closed,
-        );
-        steps.pop();
-        visited.remove(&next);
-    }
+    governor: &Governor,
+) -> Outcome<Vec<Path>> {
+    simple_paths_impl(graph, from, to, excluded, limits, governor)
 }
 
-fn path_start(goal: TypeId, steps: &[PathStep], graph: &FunctionGraph) -> TypeId {
-    steps
-        .first()
-        .map_or(goal, |s| graph.edge(s.edge).source(s.dir))
+/// The generic enumeration core: monomorphised with [`Ungoverned`] for
+/// the classic API (zero governance overhead) and with [`Governor`] for
+/// the governed one.
+pub(crate) fn simple_paths_impl<G: Governance>(
+    graph: &FunctionGraph,
+    from: TypeId,
+    to: TypeId,
+    excluded: &HashSet<EdgeId>,
+    limits: PathLimits,
+    governor: &G,
+) -> Outcome<Vec<Path>> {
+    let mut search = PathSearch {
+        graph,
+        goal: to,
+        excluded,
+        limits,
+        governor,
+        visited: HashSet::new(),
+        steps: Vec::new(),
+        out: Vec::new(),
+        seen_keys: HashSet::new(),
+        closed: from == to,
+        len_pruned: false,
+    };
+    search.visited.insert(from);
+    let stop = search.dfs(from).err();
+    // A depth-cap prune means the enumeration is possibly incomplete
+    // even though no hard stop fired.
+    let reason = stop.or(if search.len_pruned {
+        Some(StopReason::Cap)
+    } else {
+        None
+    });
+    Outcome::new(search.out, reason)
+}
+
+/// DFS state for one enumeration; bundling it keeps the recursion free
+/// of a dozen loose parameters.
+struct PathSearch<'a, G: Governance> {
+    graph: &'a FunctionGraph,
+    goal: TypeId,
+    excluded: &'a HashSet<EdgeId>,
+    limits: PathLimits,
+    governor: &'a G,
+    visited: HashSet<TypeId>,
+    steps: Vec<PathStep>,
+    out: Vec<Path>,
+    seen_keys: HashSet<Vec<EdgeId>>,
+    closed: bool,
+    len_pruned: bool,
+}
+
+impl<G: Governance> PathSearch<'_, G> {
+    fn dfs(&mut self, cur: TypeId) -> Result<(), StopReason> {
+        // Collect incidences first: `neighbors` borrows the graph
+        // immutably and the recursion only needs the tuple data.
+        let incidences: Vec<(EdgeId, Dir, TypeId)> = self.graph.neighbors(cur).collect();
+        for (edge, dir, next) in incidences {
+            self.governor.tick()?;
+            if self.excluded.contains(&edge) || self.steps.iter().any(|s| s.edge == edge) {
+                continue;
+            }
+            if next == self.goal {
+                self.steps.push(PathStep { edge, dir });
+                let path = Path {
+                    start: self.path_start(),
+                    steps: self.steps.clone(),
+                };
+                self.steps.pop();
+                // Closed walks are discovered in both rotational
+                // directions; deduplicate by edge multiset.
+                if self.closed && !self.seen_keys.insert(path.edge_key()) {
+                    continue;
+                }
+                if self.out.len() >= self.limits.max_paths {
+                    // Exact cap detection: this path proves more results
+                    // exist beyond max_paths.
+                    return Err(StopReason::Cap);
+                }
+                self.governor.charge(1)?;
+                self.out.push(path);
+                // Node-simple paths end at the first arrival at the goal.
+                continue;
+            }
+            if self.visited.contains(&next) {
+                continue;
+            }
+            if self.steps.len() + 1 >= self.limits.max_len {
+                // Depth cap: skipping this extension may hide paths.
+                self.len_pruned = true;
+                continue;
+            }
+            self.visited.insert(next);
+            self.steps.push(PathStep { edge, dir });
+            let res = self.dfs(next);
+            self.steps.pop();
+            self.visited.remove(&next);
+            res?;
+        }
+        Ok(())
+    }
+
+    fn path_start(&self) -> TypeId {
+        self.steps
+            .first()
+            .map_or(self.goal, |s| self.graph.edge(s.edge).source(s.dir))
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +411,77 @@ mod tests {
         assert_eq!(nodes[0], student);
         assert_eq!(nodes[2], faculty);
         assert_eq!(p.render(&g, &s), "class_list - teach");
+    }
+
+    #[test]
+    fn governed_cap_is_exact() {
+        // faculty→course in S2 has exactly 2 simple paths; cap 2 must be
+        // Complete (no phantom truncation), cap 1 must be Exhausted(Cap).
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let faculty = s.types().lookup("faculty").unwrap();
+        let course = s.types().lookup("course").unwrap();
+        let gov = Governor::unbounded();
+        let limits = PathLimits {
+            max_len: 8,
+            max_paths: 2,
+        };
+        let out = all_simple_paths_governed(&g, faculty, course, &no_excl(), limits, &gov);
+        assert!(out.is_complete());
+        assert_eq!(out.get().len(), 2);
+
+        let limits = PathLimits {
+            max_len: 8,
+            max_paths: 1,
+        };
+        let out = all_simple_paths_governed(&g, faculty, course, &no_excl(), limits, &gov);
+        assert_eq!(out.reason(), Some(StopReason::Cap));
+        assert_eq!(out.get().len(), 1);
+    }
+
+    #[test]
+    fn governed_step_budget_yields_prefix() {
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let faculty = s.types().lookup("faculty").unwrap();
+        let course = s.types().lookup("course").unwrap();
+        let full = all_simple_paths(&g, faculty, course, &no_excl(), PathLimits::default());
+        for budget in 0..20 {
+            let gov = Governor::with_max_steps(budget);
+            let out = all_simple_paths_governed(
+                &g,
+                faculty,
+                course,
+                &no_excl(),
+                PathLimits::default(),
+                &gov,
+            );
+            let partial = out.get();
+            assert!(partial.len() <= full.len());
+            assert_eq!(&full[..partial.len()], partial.as_slice(), "prefix");
+            if out.is_complete() {
+                assert_eq!(partial, &full);
+            }
+        }
+    }
+
+    #[test]
+    fn governed_cancellation_stops_enumeration() {
+        let s = schema_s2();
+        let g = FunctionGraph::from_schema(&s);
+        let faculty = s.types().lookup("faculty").unwrap();
+        let gov = Governor::unbounded();
+        gov.cancel_token().cancel();
+        let out = all_simple_paths_governed(
+            &g,
+            faculty,
+            faculty,
+            &no_excl(),
+            PathLimits::default(),
+            &gov,
+        );
+        assert_eq!(out.reason(), Some(StopReason::Cancelled));
+        assert!(out.get().is_empty());
     }
 
     #[test]

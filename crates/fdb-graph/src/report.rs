@@ -103,13 +103,15 @@ pub fn render_log(session: &DesignSession) -> String {
             DesignEvent::CyclesTruncated {
                 new_function,
                 reported,
+                reason,
             } => {
                 let _ = writeln!(
                     out,
-                    "{:>3}. WARNING: cycle enumeration for {} truncated after {} cycles",
+                    "{:>3}. WARNING: cycle enumeration for {} stopped after {} cycles ({})",
                     i + 1,
                     schema.function(*new_function).name,
-                    reported
+                    reported,
+                    reason
                 );
             }
         }

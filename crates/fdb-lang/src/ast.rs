@@ -142,6 +142,12 @@ pub enum Statement {
         /// Script file path.
         path: String,
     },
+    /// `TIMEOUT <millis>` / `TIMEOUT OFF` — per-statement deadline for
+    /// queries over derived functions.
+    Timeout {
+        /// `Some(ms)` to set, `None` to clear.
+        millis: Option<u64>,
+    },
     /// Blank line / comment-only line.
     Empty,
 }

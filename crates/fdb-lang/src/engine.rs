@@ -1,6 +1,8 @@
 //! Statement evaluator.
 
-use fdb_core::{resolve_ambiguities, Database};
+use std::time::Duration;
+
+use fdb_core::{resolve_ambiguities, Budget, CancelToken, Database, Governor, Outcome};
 use fdb_types::{Derivation, FdbError, Result, Schema, Step, Value};
 
 use crate::ast::{DeriveStep, Statement};
@@ -34,6 +36,11 @@ pub struct Engine {
     savepoint: Option<Database>,
     /// Nesting depth of `SOURCE` execution (guards self-sourcing scripts).
     source_depth: u8,
+    /// Per-statement deadline for derived-function queries
+    /// (`TIMEOUT <ms>` / [`Engine::set_statement_deadline`]).
+    deadline: Option<Duration>,
+    /// Cancellation flag shared with the host (e.g. a Ctrl-C handler).
+    cancel: CancelToken,
 }
 
 const HELP: &str = "\
@@ -53,18 +60,14 @@ statements (one per line; `--` starts a comment):
   BEGIN / COMMIT / ABORT                     savepoint transactions
   SAVE \"file\"    LOAD \"file\"                 snapshot persistence
   DUMP \"file\"                                re-runnable script export
+  TIMEOUT <ms> | OFF                         per-statement query deadline
   SCHEMA  STATS  RESOLVE  CHECK  HELP
 ";
 
 impl Engine {
     /// A fresh engine over an empty schema.
     pub fn new() -> Self {
-        Engine {
-            db: Database::new(Schema::new()),
-            line: 0,
-            savepoint: None,
-            source_depth: 0,
-        }
+        Engine::with_database(Database::new(Schema::new()))
     }
 
     /// An engine over an existing database.
@@ -74,12 +77,59 @@ impl Engine {
             line: 0,
             savepoint: None,
             source_depth: 0,
+            deadline: None,
+            cancel: CancelToken::new(),
         }
     }
 
     /// The underlying database.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// Sets (or clears) the per-statement deadline applied to queries
+    /// over derived functions — the programmatic form of `TIMEOUT`.
+    pub fn set_statement_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// The current per-statement deadline, if any.
+    pub fn statement_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// A handle to the engine's cancellation flag. A host (REPL signal
+    /// handler, supervisor thread) calls `cancel()` on it to stop the
+    /// statement currently executing; the engine rearms the flag at the
+    /// start of the next statement.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// A fresh per-statement governor carrying the configured deadline
+    /// and the shared cancellation flag.
+    fn statement_governor(&self) -> Governor {
+        let mut budget = Budget::unbounded();
+        if let Some(d) = self.deadline {
+            budget = budget.with_deadline(d);
+        }
+        Governor::with_cancel(budget, &self.cancel)
+    }
+
+    /// Renders a governed outcome: complete results pass through, an
+    /// exhausted one keeps its sound partial and is annotated.
+    fn render_outcome<T>(outcome: Outcome<T>, render: impl FnOnce(T) -> String) -> String {
+        match outcome {
+            Outcome::Complete(v) => render(v),
+            Outcome::Exhausted { partial, reason } => {
+                let mut text = render(partial);
+                if text.ends_with('\n') {
+                    text.pop();
+                }
+                text.push_str(&format!("  -- partial: stopped by {reason}\n"));
+                text
+            }
+        }
     }
 
     /// Consumes the engine, returning the database.
@@ -90,6 +140,11 @@ impl Engine {
     /// Parses and executes one line, returning the printable result.
     pub fn execute_line(&mut self, line: &str) -> Result<String> {
         self.line += 1;
+        // Rearm the cancellation flag for each top-level statement (but
+        // not per line of a SOURCEd script — Ctrl-C stops the script).
+        if self.source_depth == 0 {
+            self.cancel.reset();
+        }
         let stmt = parse_statement(line, self.line)?;
         self.execute(stmt)
     }
@@ -140,23 +195,28 @@ impl Engine {
             }
             Statement::Query { function, x } => {
                 let f = self.db.resolve(&function)?;
-                let image = self.db.image(f, &Value::atom(&x))?;
-                if image.is_empty() {
-                    return Ok(format!("{function}({x}) = {{}}\n"));
-                }
-                let items: Vec<String> = image
-                    .into_iter()
-                    .map(|(y, t)| match t {
-                        fdb_storage::Truth::Ambiguous => format!("{y}*"),
-                        _ => y.to_string(),
-                    })
-                    .collect();
-                Ok(format!("{function}({x}) = {{{}}}\n", items.join(", ")))
+                let gov = self.statement_governor();
+                let outcome = self.db.image_governed(f, &Value::atom(&x), &gov)?;
+                Ok(Self::render_outcome(outcome, |image| {
+                    let items: Vec<String> = image
+                        .into_iter()
+                        .map(|(y, t)| match t {
+                            fdb_storage::Truth::Ambiguous => format!("{y}*"),
+                            _ => y.to_string(),
+                        })
+                        .collect();
+                    format!("{function}({x}) = {{{}}}\n", items.join(", "))
+                }))
             }
             Statement::Truth { function, x, y } => {
                 let f = self.db.resolve(&function)?;
-                let t = self.db.truth(f, &Value::atom(&x), &Value::atom(&y))?;
-                Ok(format!("{}\n", t.flag()))
+                let gov = self.statement_governor();
+                let outcome =
+                    self.db
+                        .truth_governed(f, &Value::atom(&x), &Value::atom(&y), &gov)?;
+                // An exhausted truth is a lower bound, not a verdict —
+                // mark it so `F` under a timeout is not read as proof.
+                Ok(Self::render_outcome(outcome, |t| format!("{}\n", t.flag())))
             }
             Statement::Show { function } => {
                 let f = self.db.resolve(&function)?;
@@ -172,6 +232,13 @@ impl Engine {
                     out.push_str(&format!("{function} = {}\n", d.render(self.db.schema())));
                 }
                 Ok(out)
+            }
+            Statement::Timeout { millis } => {
+                self.deadline = millis.map(Duration::from_millis);
+                match millis {
+                    Some(ms) => Ok(format!("statement timeout set to {ms} ms\n")),
+                    None => Ok("statement timeout cleared\n".to_owned()),
+                }
             }
             Statement::Schema => Ok(self.db.schema().to_string()),
             Statement::Stats => {
@@ -211,31 +278,36 @@ impl Engine {
             }
             Statement::Eval { x, steps } => {
                 let derivation = self.build_derivation(&steps)?;
-                let ys = self.db.eval_expression(&derivation, &Value::atom(&x))?;
-                let items: Vec<String> = ys
-                    .into_iter()
-                    .map(|(y, t)| match t {
-                        fdb_storage::Truth::Ambiguous => format!("{y}*"),
-                        _ => y.to_string(),
-                    })
-                    .collect();
-                Ok(format!(
-                    "{x} : {} = {{{}}}\n",
-                    derivation.render(self.db.schema()),
-                    items.join(", ")
-                ))
+                let gov = self.statement_governor();
+                let outcome =
+                    self.db
+                        .eval_expression_governed(&derivation, &Value::atom(&x), &gov)?;
+                let rendered = derivation.render(self.db.schema());
+                Ok(Self::render_outcome(outcome, |ys| {
+                    let items: Vec<String> = ys
+                        .into_iter()
+                        .map(|(y, t)| match t {
+                            fdb_storage::Truth::Ambiguous => format!("{y}*"),
+                            _ => y.to_string(),
+                        })
+                        .collect();
+                    format!("{x} : {rendered} = {{{}}}\n", items.join(", "))
+                }))
             }
             Statement::Inverse { function, y } => {
                 let f = self.db.resolve(&function)?;
-                let xs = self.db.inverse_image(f, &Value::atom(&y))?;
-                let items: Vec<String> = xs
-                    .into_iter()
-                    .map(|(x, t)| match t {
-                        fdb_storage::Truth::Ambiguous => format!("{x}*"),
-                        _ => x.to_string(),
-                    })
-                    .collect();
-                Ok(format!("{function}^-1({y}) = {{{}}}\n", items.join(", ")))
+                let gov = self.statement_governor();
+                let outcome = self.db.inverse_image_governed(f, &Value::atom(&y), &gov)?;
+                Ok(Self::render_outcome(outcome, |xs| {
+                    let items: Vec<String> = xs
+                        .into_iter()
+                        .map(|(x, t)| match t {
+                            fdb_storage::Truth::Ambiguous => format!("{x}*"),
+                            _ => x.to_string(),
+                        })
+                        .collect();
+                    format!("{function}^-1({y}) = {{{}}}\n", items.join(", "))
+                }))
             }
             Statement::Dump { path } => {
                 let script = crate::format::dump_script(&self.db)?;
@@ -613,6 +685,91 @@ mod tests {
         let show = fresh.execute_line("SHOW teach").unwrap();
         assert!(show.contains("euclid  math  A  {g1}"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn timeout_statement_sets_and_clears_deadline() {
+        let mut e = Engine::new();
+        assert_eq!(
+            e.execute_line("TIMEOUT 250").unwrap(),
+            "statement timeout set to 250 ms\n"
+        );
+        assert_eq!(e.statement_deadline(), Some(Duration::from_millis(250)));
+        assert_eq!(
+            e.execute_line("TIMEOUT OFF").unwrap(),
+            "statement timeout cleared\n"
+        );
+        assert_eq!(e.statement_deadline(), None);
+        assert!(e.execute_line("TIMEOUT soon").is_err());
+    }
+
+    #[test]
+    fn cancelled_query_reports_partial() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        // Cancel before executing: the governed query stops immediately
+        // and the answer is annotated as partial. Cancelling goes
+        // through execute() directly because execute_line rearms.
+        e.cancel_token().cancel();
+        let stmt = parse_statement("QUERY pupil(euclid)", 99).unwrap();
+        let out = e.execute(stmt).unwrap();
+        assert!(
+            out.contains("-- partial: stopped by cancelled"),
+            "got: {out}"
+        );
+        // Next statement through execute_line rearms and completes.
+        let out = e.execute_line("QUERY pupil(euclid)").unwrap();
+        assert_eq!(out, "pupil(euclid) = {john}\n");
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_truth() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        // Enough facts that disproving a pupil fact takes more steps
+        // than the governor's clock-check stride.
+        for i in 0..64 {
+            e.execute_line(&format!("INSERT class_list(math, s{i})"))
+                .unwrap();
+        }
+        e.set_statement_deadline(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(5));
+        // A True fact still answers T: one witnessing chain is proof,
+        // and True is the top of the truth lattice.
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
+        // A False fact needs exhaustive search, which the dead deadline
+        // forbids — the lower bound comes back marked partial.
+        let out = e.execute_line("TRUTH pupil(euclid, nobody)").unwrap();
+        assert!(out.contains("-- partial: stopped by"), "got: {out}");
+        e.set_statement_deadline(None);
+        assert_eq!(
+            e.execute_line("TRUTH pupil(euclid, nobody)").unwrap(),
+            "F\n"
+        );
     }
 
     #[test]

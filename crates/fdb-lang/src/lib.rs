@@ -42,3 +42,5 @@ pub use ast::{DeriveStep, Statement};
 pub use engine::Engine;
 pub use parser::parse_statement;
 pub use repl::run_repl;
+
+pub use fdb_core::{CancelToken, Governor, Outcome, StopReason};

@@ -212,6 +212,19 @@ impl Parser {
             "LOAD" => Statement::Load {
                 path: self.ident("file path")?,
             },
+            "TIMEOUT" => {
+                let arg = self.ident("milliseconds or OFF")?;
+                if arg.eq_ignore_ascii_case("OFF") || arg.eq_ignore_ascii_case("NONE") {
+                    Statement::Timeout { millis: None }
+                } else {
+                    let millis = arg.parse::<u64>().map_err(|_| {
+                        self.err(format!("expected milliseconds or OFF, found `{arg}`"))
+                    })?;
+                    Statement::Timeout {
+                        millis: Some(millis),
+                    }
+                }
+            }
             "SCHEMA" => Statement::Schema,
             "STATS" => Statement::Stats,
             "RESOLVE" => Statement::Resolve,

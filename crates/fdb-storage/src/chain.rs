@@ -24,6 +24,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use fdb_governor::{Governance, Governor, Outcome, StopReason, Ungoverned};
 use fdb_types::{Derivation, MatchKind, Op, Step, Value};
 
 use crate::fact::Fact;
@@ -122,10 +123,47 @@ pub fn chains_deriving(
     allow_ambiguous: bool,
     limits: ChainLimits,
 ) -> Vec<Chain> {
+    chains_deriving_impl(
+        store,
+        derivation,
+        x,
+        y,
+        allow_ambiguous,
+        limits,
+        &Ungoverned,
+    )
+    .value()
+}
+
+/// [`chains_deriving`] under a [`Governor`]: enumeration stops on
+/// deadline/step/memory budget, cancellation, or the `max_chains` cap
+/// (the cap is reported only when one more chain provably exists), and
+/// the chains found so far come back as a sound prefix.
+pub fn chains_deriving_governed(
+    store: &Store,
+    derivation: &Derivation,
+    x: &Value,
+    y: &Value,
+    allow_ambiguous: bool,
+    limits: ChainLimits,
+    governor: &Governor,
+) -> Outcome<Vec<Chain>> {
+    chains_deriving_impl(store, derivation, x, y, allow_ambiguous, limits, governor)
+}
+
+fn chains_deriving_impl<G: Governance>(
+    store: &Store,
+    derivation: &Derivation,
+    x: &Value,
+    y: &Value,
+    allow_ambiguous: bool,
+    limits: ChainLimits,
+    governor: &G,
+) -> Outcome<Vec<Chain>> {
     let views: Vec<StepView> = derivation.steps().iter().map(StepView::of).collect();
     let mut out = Vec::new();
     let mut facts = Vec::with_capacity(views.len());
-    search(
+    let stop = search(
         store,
         &views,
         0,
@@ -135,14 +173,16 @@ pub fn chains_deriving(
         Truth::True,
         allow_ambiguous,
         limits,
+        governor,
         &mut facts,
         &mut out,
-    );
-    out
+    )
+    .err();
+    Outcome::new(out, stop)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn search(
+fn search<G: Governance>(
     store: &Store,
     views: &[StepView],
     depth: usize,
@@ -152,12 +192,10 @@ fn search(
     flags: Truth,
     allow_ambiguous: bool,
     limits: ChainLimits,
+    governor: &G,
     facts: &mut Vec<Fact>,
     out: &mut Vec<Chain>,
-) {
-    if out.len() >= limits.max_chains {
-        return;
-    }
+) -> Result<(), StopReason> {
     let view = views[depth];
     let table = store.table(view.function);
     // Candidate rows whose left side matches `incoming`.
@@ -177,9 +215,7 @@ fn search(
         }
     }
     for i in candidates {
-        if out.len() >= limits.max_chains {
-            return;
-        }
+        governor.tick()?;
         let Some(row) = table.row(i) else { continue };
         let left = view.left(row.x, row.y);
         let right = view.right(row.x, row.y).clone();
@@ -197,15 +233,24 @@ fn search(
             x: row.x.clone(),
             y: row.y.clone(),
         });
-        if depth + 1 == views.len() {
+        let res = if depth + 1 == views.len() {
             let endpoint = right.matches(goal_y);
             let m_final = m.and(endpoint);
             if m_final != MatchKind::None && (allow_ambiguous || m_final == MatchKind::Exact) {
-                out.push(Chain {
-                    facts: facts.clone(),
-                    matching: m_final,
-                    flags: fl,
-                });
+                if out.len() >= limits.max_chains {
+                    // Exact cap detection: one more chain provably exists.
+                    Err(StopReason::Cap)
+                } else {
+                    governor.charge(1).map(|()| {
+                        out.push(Chain {
+                            facts: facts.clone(),
+                            matching: m_final,
+                            flags: fl,
+                        });
+                    })
+                }
+            } else {
+                Ok(())
             }
         } else {
             search(
@@ -218,12 +263,15 @@ fn search(
                 fl,
                 allow_ambiguous,
                 limits,
+                governor,
                 facts,
                 out,
-            );
-        }
+            )
+        };
         facts.pop();
+        res?;
     }
+    Ok(())
 }
 
 /// §3.2 truth of the derived fact `(x, y)` under a set of derivations
@@ -236,18 +284,53 @@ pub fn derived_truth(
     y: &Value,
     limits: ChainLimits,
 ) -> Truth {
+    derived_truth_impl(store, derivations, x, y, limits, &Ungoverned).value()
+}
+
+/// [`derived_truth`] under a [`Governor`]. A stopped evaluation reports
+/// the truth established so far, which is a sound *lower bound* in the
+/// `False < Ambiguous < True` order (more chains can only raise it); a
+/// proof of `True` is final, so that answer is always `Complete`.
+pub fn derived_truth_governed(
+    store: &Store,
+    derivations: &[Derivation],
+    x: &Value,
+    y: &Value,
+    limits: ChainLimits,
+    governor: &Governor,
+) -> Outcome<Truth> {
+    derived_truth_impl(store, derivations, x, y, limits, governor)
+}
+
+pub(crate) fn derived_truth_impl<G: Governance>(
+    store: &Store,
+    derivations: &[Derivation],
+    x: &Value,
+    y: &Value,
+    limits: ChainLimits,
+    governor: &G,
+) -> Outcome<Truth> {
     let mut best = Truth::False;
+    let mut stop: Option<StopReason> = None;
     for derivation in derivations {
-        for chain in chains_deriving(store, derivation, x, y, true, limits) {
+        let outcome = chains_deriving_impl(store, derivation, x, y, true, limits, governor);
+        let reason = outcome.reason();
+        for chain in outcome.value() {
             if chain.proves_true() {
-                return Truth::True;
+                // Top of the truth lattice: no further chain can change
+                // the answer, so it is complete even after a stop.
+                return Outcome::Complete(Truth::True);
             }
             if !store.ncs().chain_covers_some_nc(&chain.facts) {
                 best = Truth::Ambiguous;
             }
         }
+        if let Some(r) = reason {
+            stop = Some(r);
+            break;
+        }
     }
-    best
+    Outcome::new(best, stop)
 }
 
 /// Computes the visible extension of a derived function: every pair of
@@ -261,9 +344,34 @@ pub fn derived_extension(
     derivations: &[Derivation],
     limits: ChainLimits,
 ) -> Vec<DerivedPair> {
+    derived_extension_impl(store, derivations, limits, &Ungoverned).value()
+}
+
+/// [`derived_extension`] under a [`Governor`]. A stopped computation
+/// reports the pairs whose membership was established before the stop —
+/// a sound subset of the full extension (every reported pair really is
+/// in it; each reported truth is a lower bound).
+pub fn derived_extension_governed(
+    store: &Store,
+    derivations: &[Derivation],
+    limits: ChainLimits,
+    governor: &Governor,
+) -> Outcome<Vec<DerivedPair>> {
+    derived_extension_impl(store, derivations, limits, governor)
+}
+
+pub(crate) fn derived_extension_impl<G: Governance>(
+    store: &Store,
+    derivations: &[Derivation],
+    limits: ChainLimits,
+    governor: &G,
+) -> Outcome<Vec<DerivedPair>> {
+    let mut stop: Option<StopReason> = None;
     let mut pairs: Vec<(Value, Value)> = Vec::new();
     for derivation in derivations {
-        for chain in all_chains(store, derivation, limits) {
+        let outcome = all_chains(store, derivation, limits, governor);
+        let reason = outcome.reason();
+        for chain in outcome.value() {
             let first = &chain.facts[0];
             let last = &chain.facts[chain.facts.len() - 1];
             let sv_first = StepView::of(&derivation.steps()[0]);
@@ -274,28 +382,47 @@ pub fn derived_extension(
                 pairs.push((x, y));
             }
         }
+        if let Some(r) = reason {
+            stop = Some(r);
+            break;
+        }
     }
     pairs.sort();
     pairs.dedup();
-    pairs
-        .into_iter()
-        .filter_map(|(x, y)| {
-            let truth = derived_truth(store, derivations, &x, &y, limits);
-            (truth != Truth::False).then_some(DerivedPair { x, y, truth })
-        })
-        .collect()
+    let mut out = Vec::new();
+    for (x, y) in pairs {
+        if stop.is_some() && !matches!(stop, Some(StopReason::Cap)) {
+            // Hard stop: don't start further truth evaluations (each one
+            // would just re-trip the same exhausted governor).
+            break;
+        }
+        let truth_outcome = derived_truth_impl(store, derivations, &x, &y, limits, governor);
+        stop = stop.or(truth_outcome.reason());
+        let truth = truth_outcome.value();
+        if truth != Truth::False {
+            out.push(DerivedPair { x, y, truth });
+        }
+    }
+    Outcome::new(out, stop)
 }
 
 /// Enumerates every chain of the derivation regardless of endpoints
 /// (links matching at least ambiguously).
-fn all_chains(store: &Store, derivation: &Derivation, limits: ChainLimits) -> Vec<Chain> {
+fn all_chains<G: Governance>(
+    store: &Store,
+    derivation: &Derivation,
+    limits: ChainLimits,
+    governor: &G,
+) -> Outcome<Vec<Chain>> {
     let views: Vec<StepView> = derivation.steps().iter().map(StepView::of).collect();
     let first = views[0];
     let table = store.table(first.function);
     let mut out = Vec::new();
     let mut facts = Vec::with_capacity(views.len());
+    let mut stop: Option<StopReason> = None;
     for i in table.live_indices().collect::<Vec<_>>() {
-        if out.len() >= limits.max_chains {
+        if let Err(r) = governor.tick() {
+            stop = Some(r);
             break;
         }
         let Some(row) = table.row(i) else { continue };
@@ -305,12 +432,17 @@ fn all_chains(store: &Store, derivation: &Derivation, limits: ChainLimits) -> Ve
             x: row.x.clone(),
             y: row.y.clone(),
         });
-        if views.len() == 1 {
-            out.push(Chain {
-                facts: facts.clone(),
-                matching: MatchKind::Exact,
-                flags: row.truth,
-            });
+        let res = if views.len() == 1 {
+            push_chain(
+                Chain {
+                    facts: facts.clone(),
+                    matching: MatchKind::Exact,
+                    flags: row.truth,
+                },
+                limits,
+                governor,
+                &mut out,
+            )
         } else {
             search_open(
                 store,
@@ -320,19 +452,40 @@ fn all_chains(store: &Store, derivation: &Derivation, limits: ChainLimits) -> Ve
                 MatchKind::Exact,
                 row.truth,
                 limits,
+                governor,
                 &mut facts,
                 &mut out,
-            );
-        }
+            )
+        };
         facts.pop();
+        if let Err(r) = res {
+            stop = Some(r);
+            break;
+        }
     }
-    out
+    Outcome::new(out, stop)
+}
+
+/// Appends a completed chain, enforcing the cap (exact detection) and
+/// the governor's memory budget.
+fn push_chain<G: Governance>(
+    chain: Chain,
+    limits: ChainLimits,
+    governor: &G,
+    out: &mut Vec<Chain>,
+) -> Result<(), StopReason> {
+    if out.len() >= limits.max_chains {
+        return Err(StopReason::Cap);
+    }
+    governor.charge(1)?;
+    out.push(chain);
+    Ok(())
 }
 
 /// Like [`search`], but with no goal endpoint: collects all full-length
 /// chains (used for extension computation).
 #[allow(clippy::too_many_arguments)]
-fn search_open(
+fn search_open<G: Governance>(
     store: &Store,
     views: &[StepView],
     depth: usize,
@@ -340,12 +493,10 @@ fn search_open(
     matching: MatchKind,
     flags: Truth,
     limits: ChainLimits,
+    governor: &G,
     facts: &mut Vec<Fact>,
     out: &mut Vec<Chain>,
-) {
-    if out.len() >= limits.max_chains {
-        return;
-    }
+) -> Result<(), StopReason> {
     let view = views[depth];
     let table = store.table(view.function);
     let mut candidates: Vec<usize> = if view.inverted {
@@ -361,9 +512,7 @@ fn search_open(
         candidates.extend(table.rows_with_null_x());
     }
     for i in candidates {
-        if out.len() >= limits.max_chains {
-            return;
-        }
+        governor.tick()?;
         let Some(row) = table.row(i) else { continue };
         let left = view.left(row.x, row.y);
         let link = incoming.matches(left);
@@ -378,17 +527,35 @@ fn search_open(
             x: row.x.clone(),
             y: row.y.clone(),
         });
-        if depth + 1 == views.len() {
-            out.push(Chain {
-                facts: facts.clone(),
-                matching: m,
-                flags: fl,
-            });
+        let res = if depth + 1 == views.len() {
+            push_chain(
+                Chain {
+                    facts: facts.clone(),
+                    matching: m,
+                    flags: fl,
+                },
+                limits,
+                governor,
+                out,
+            )
         } else {
-            search_open(store, views, depth + 1, &right, m, fl, limits, facts, out);
-        }
+            search_open(
+                store,
+                views,
+                depth + 1,
+                &right,
+                m,
+                fl,
+                limits,
+                governor,
+                facts,
+                out,
+            )
+        };
         facts.pop();
+        res?;
     }
+    Ok(())
 }
 
 /// Which chains a derived delete negates — an ablation knob.
@@ -432,19 +599,62 @@ pub fn derived_delete_with_policy(
     policy: DeletePolicy,
     limits: ChainLimits,
 ) -> Vec<crate::nc::NcId> {
+    // Historic behaviour: a capped enumeration silently negates the
+    // chains found so far (the governed variant is all-or-nothing).
+    let (chains, _) = collect_delete_chains(store, derivations, x, y, policy, limits, &Ungoverned);
+    chains
+        .into_iter()
+        .map(|facts| store.create_nc(facts))
+        .collect()
+}
+
+/// [`derived_delete_with_policy`] under a [`Governor`] —
+/// **all-or-nothing**: a delete that negated only *some* matching chains
+/// would leave the deleted fact still derivable, so if the governor (or
+/// the chain cap) stops enumeration the store is left untouched and the
+/// stop reason is returned.
+pub fn derived_delete_governed(
+    store: &mut Store,
+    derivations: &[Derivation],
+    x: &Value,
+    y: &Value,
+    policy: DeletePolicy,
+    limits: ChainLimits,
+    governor: &Governor,
+) -> Result<Vec<crate::nc::NcId>, StopReason> {
+    let (chains, stop) = collect_delete_chains(store, derivations, x, y, policy, limits, governor);
+    if let Some(r) = stop {
+        return Err(r);
+    }
+    Ok(chains
+        .into_iter()
+        .map(|facts| store.create_nc(facts))
+        .collect())
+}
+
+fn collect_delete_chains<G: Governance>(
+    store: &Store,
+    derivations: &[Derivation],
+    x: &Value,
+    y: &Value,
+    policy: DeletePolicy,
+    limits: ChainLimits,
+    governor: &G,
+) -> (Vec<Vec<Fact>>, Option<StopReason>) {
     let allow_ambiguous = policy == DeletePolicy::Strict;
     let mut chains: Vec<Vec<Fact>> = Vec::new();
+    let mut stop = None;
     for derivation in derivations {
-        for chain in chains_deriving(store, derivation, x, y, allow_ambiguous, limits) {
+        let outcome =
+            chains_deriving_impl(store, derivation, x, y, allow_ambiguous, limits, governor);
+        stop = stop.or(outcome.reason());
+        for chain in outcome.value() {
             if !chains.contains(&chain.facts) {
                 chains.push(chain.facts);
             }
         }
     }
-    chains
-        .into_iter()
-        .map(|facts| store.create_nc(facts))
-        .collect()
+    (chains, stop)
 }
 
 #[cfg(test)]

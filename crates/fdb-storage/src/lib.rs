@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod chain;
 pub mod fact;
@@ -35,6 +36,7 @@ pub mod truth;
 
 pub use chain::{Chain, ChainLimits, DerivedPair};
 pub use fact::Fact;
+pub use fdb_governor::{Governance, Governor, Outcome, StopReason, Ungoverned};
 pub use nc::{NcId, NcStore};
 pub use store::Store;
 pub use table::{RowView, Table};

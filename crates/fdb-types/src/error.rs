@@ -41,6 +41,24 @@ pub enum FdbError {
         /// Explanation of what went wrong.
         message: String,
     },
+    /// A governed operation ran past its wall-clock deadline; the string
+    /// names what was interrupted. Partial work (if any) was discarded —
+    /// retry with a larger deadline or use a partial-result API.
+    DeadlineExceeded(String),
+    /// A governed operation exhausted a step/memory/result budget; the
+    /// string names what was interrupted and which budget ran out.
+    BudgetExhausted(String),
+    /// A cooperative cancellation token was tripped (Ctrl-C, admin stop).
+    Cancelled,
+    /// The system shed this request to protect itself: a bounded lock
+    /// acquisition timed out or the admission gate was full. The request
+    /// was not executed; safe to retry later.
+    Overloaded {
+        /// What could not be acquired (e.g. "database write lock").
+        what: String,
+        /// How long the request waited before being shed, in ms.
+        waited_ms: u64,
+    },
     /// An internal invariant was violated (bug).
     Internal(String),
 }
@@ -80,6 +98,16 @@ impl fmt::Display for FdbError {
             }
             FdbError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            FdbError::DeadlineExceeded(what) => {
+                write!(f, "deadline exceeded: {what}")
+            }
+            FdbError::BudgetExhausted(what) => {
+                write!(f, "budget exhausted: {what}")
+            }
+            FdbError::Cancelled => write!(f, "operation cancelled"),
+            FdbError::Overloaded { what, waited_ms } => {
+                write!(f, "overloaded: {what} unavailable after {waited_ms}ms")
             }
             FdbError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }

@@ -27,6 +27,16 @@ pub enum Topology {
         /// Parallel functions per rung.
         width: usize,
     },
+    /// A [`Topology::Ladder`] closed into a loop by one `back` function
+    /// from the last type to the first: every end-to-end simple path
+    /// becomes a cycle through `back`, so cycle analysis of that edge
+    /// faces `width^rungs` cycles. This is the adversarial input for
+    /// resource-governed graph search — ungoverned enumeration would
+    /// effectively never return.
+    CycleBomb {
+        /// Parallel functions per rung.
+        width: usize,
+    },
 }
 
 impl Topology {
@@ -130,8 +140,47 @@ impl Topology {
                     }
                 }
             }
+            Topology::CycleBomb { width } => {
+                let width = width.max(1);
+                // Reserve one declaration for the closing edge.
+                let ladder = n.saturating_sub(1).max(1);
+                let rungs = ladder.div_ceil(width).max(1);
+                let mut declared = 0;
+                let mut last = 0;
+                'outer: for r in 0..rungs {
+                    for w in 0..width {
+                        schema
+                            .declare(
+                                &format!("f{r}_{w}"),
+                                &format!("t{r}"),
+                                &format!("t{}", r + 1),
+                                mm,
+                            )
+                            .unwrap();
+                        last = r + 1;
+                        declared += 1;
+                        if declared >= ladder {
+                            break 'outer;
+                        }
+                    }
+                }
+                schema
+                    .declare("back", &format!("t{last}"), "t0", mm)
+                    .unwrap();
+            }
         }
         schema
+    }
+
+    /// The number of simple cycles through the `back` edge of a
+    /// [`Topology::CycleBomb`] built with `n` functions — `width^rungs`.
+    /// Useful for sizing budgets in tests: a harness can pick budgets
+    /// well below this count and assert truncation happened.
+    pub fn cycle_bomb_cycle_count(width: usize, n: usize) -> u64 {
+        let width = width.max(1);
+        let ladder = n.saturating_sub(1).max(1);
+        let rungs = ladder.div_ceil(width).max(1) as u32;
+        (width as u64).saturating_pow(rungs)
     }
 }
 
@@ -181,9 +230,28 @@ mod tests {
             t0,
             t4,
             &std::collections::HashSet::new(),
-            PathLimits::unbounded(),
+            PathLimits::unbounded_for_benchmarks(),
         );
         assert_eq!(paths.len(), 16); // 2^4
+    }
+
+    #[test]
+    fn cycle_bomb_explodes_through_back_edge() {
+        use fdb_graph::{cycles_through_edge_governed, Governor};
+
+        // 2 wide, 4 rungs + back edge = 9 functions, 2^4 = 16 cycles.
+        let s = Topology::CycleBomb { width: 2 }.build(9);
+        let g = FunctionGraph::from_schema(&s);
+        let back = s.functions().iter().find(|d| d.name == "back").unwrap();
+        let e = g.edge_of(back.id).unwrap().id;
+        let cycles = cycles_through_edge(&g, e, PathLimits::unbounded_for_benchmarks());
+        assert_eq!(cycles.len() as u64, Topology::cycle_bomb_cycle_count(2, 9));
+        // Under a small step budget the governed search stops early and
+        // reports why instead of silently truncating.
+        let gov = Governor::with_max_steps(10);
+        let outcome =
+            cycles_through_edge_governed(&g, e, PathLimits::unbounded_for_benchmarks(), &gov);
+        assert!(!outcome.is_complete());
     }
 
     #[test]

@@ -25,6 +25,12 @@ use fdb::lang::{run_repl, Engine};
 fn main() {
     println!("fdb interactive shell — HELP for statements, QUIT to exit");
     let engine = Engine::new();
+    // Ctrl-C cancels the statement in flight (the engine rearms the
+    // flag for the next statement) instead of killing the shell.
+    let cancel = engine.cancel_token();
+    if let Err(e) = ctrlc::set_handler(move || cancel.cancel()) {
+        eprintln!("warning: Ctrl-C will abort instead of cancel ({e})");
+    }
     let input = stdin().lock();
     let output = stdout().lock();
     if let Err(e) = run_repl(engine, input, output, true) {

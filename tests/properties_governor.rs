@@ -1,0 +1,163 @@
+//! Governor property tests: budgets must degrade results *monotonically*
+//! and *honestly*.
+//!
+//! * Prefix/monotonicity: enumeration is deterministic, so the paths
+//!   returned under a step budget `B` are a prefix of those returned
+//!   under any `B' ≥ B`, and every partial is a prefix of the full
+//!   (ungoverned) answer — a stopped search never invents results.
+//! * Honesty: with only a result cap in play, the outcome is `Exhausted`
+//!   *iff* results were actually truncated (`full > cap`), never as a
+//!   false alarm on instances that fit.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fdb::governor::{Governor, Outcome, StopReason};
+use fdb::graph::{all_simple_paths, all_simple_paths_governed, FunctionGraph, Path, PathLimits};
+use fdb::workload::topology::Topology;
+
+/// Ladder topologies give a tunable number of end-to-end paths
+/// (`width^rungs`) with deterministic enumeration order.
+fn ladder(width: usize, functions: usize) -> (fdb::types::Schema, FunctionGraph) {
+    let schema = Topology::Ladder { width }.build(functions);
+    let graph = FunctionGraph::from_schema(&schema);
+    (schema, graph)
+}
+
+fn end_to_end(
+    schema: &fdb::types::Schema,
+    graph: &FunctionGraph,
+    limits: PathLimits,
+    governor: &Governor,
+) -> Outcome<Vec<Path>> {
+    let t0 = schema.types().lookup("t0").unwrap();
+    let last = (0..)
+        .take_while(|i| schema.types().lookup(&format!("t{i}")).is_some())
+        .last()
+        .unwrap();
+    let goal = schema.types().lookup(&format!("t{last}")).unwrap();
+    all_simple_paths_governed(graph, t0, goal, &HashSet::new(), limits, governor)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Results under step budget B are a prefix of results under any
+    /// B' >= B, and of the full ungoverned answer.
+    #[test]
+    fn step_budgets_degrade_monotonically(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(1..4usize);
+        let functions = rng.gen_range(2..10usize);
+        let (schema, graph) = ladder(width, functions);
+        let limits = PathLimits::unbounded_for_benchmarks();
+
+        let t0 = schema.types().lookup("t0").unwrap();
+        let full = {
+            let last = (0..)
+                .take_while(|i| schema.types().lookup(&format!("t{i}")).is_some())
+                .last()
+                .unwrap();
+            let goal = schema.types().lookup(&format!("t{last}")).unwrap();
+            all_simple_paths(&graph, t0, goal, &HashSet::new(), limits)
+        };
+
+        let small = rng.gen_range(0..60u64);
+        let big = small + rng.gen_range(0..60u64);
+        let under_small = end_to_end(&schema, &graph, limits, &Governor::with_max_steps(small));
+        let under_big = end_to_end(&schema, &graph, limits, &Governor::with_max_steps(big));
+
+        let small_paths = under_small.value();
+        let big_paths = under_big.value();
+        prop_assert!(small_paths.len() <= big_paths.len());
+        prop_assert_eq!(&big_paths[..small_paths.len()], &small_paths[..]);
+        prop_assert!(big_paths.len() <= full.len());
+        prop_assert_eq!(&full[..big_paths.len()], &big_paths[..]);
+    }
+
+    /// With only a result cap, Exhausted is reported iff truncation
+    /// actually happened, and a truncated answer has exactly `cap`
+    /// results — the first `cap` of the full enumeration.
+    #[test]
+    fn exhausted_iff_truncated_under_result_caps(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(1..4usize);
+        let functions = rng.gen_range(2..10usize);
+        let (schema, graph) = ladder(width, functions);
+
+        let full = end_to_end(
+            &schema,
+            &graph,
+            PathLimits::unbounded_for_benchmarks(),
+            &Governor::unbounded(),
+        )
+        .into_result("paths")
+        .unwrap();
+
+        let cap = rng.gen_range(1..20usize);
+        let capped_limits = PathLimits {
+            max_len: usize::MAX,
+            max_paths: cap,
+        };
+        let outcome = end_to_end(&schema, &graph, capped_limits, &Governor::unbounded());
+        if full.len() > cap {
+            prop_assert_eq!(outcome.reason(), Some(StopReason::Cap));
+            let partial = outcome.value();
+            prop_assert_eq!(partial.len(), cap);
+            prop_assert_eq!(&full[..cap], &partial[..]);
+        } else {
+            prop_assert!(outcome.is_complete(), "false Exhausted on fitting instance");
+            prop_assert_eq!(outcome.value(), full);
+        }
+    }
+
+    /// Derived-function query partials are prefixes too, end to end
+    /// through the database layer.
+    #[test]
+    fn extension_partials_are_prefixes(seed in 0u64..300) {
+        use fdb::core::Database;
+        use fdb::types::{Derivation, Schema, Step, Value};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("class_list", "course", "student", "many-many")
+            .function("pupil", "faculty", "student", "many-many")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let teach = db.resolve("teach").unwrap();
+        let class_list = db.resolve("class_list").unwrap();
+        let pupil = db.resolve("pupil").unwrap();
+        db.register_derived(
+            pupil,
+            vec![Derivation::new(vec![Step::identity(teach), Step::identity(class_list)]).unwrap()],
+        )
+        .unwrap();
+        for _ in 0..rng.gen_range(1..40usize) {
+            let f = rng.gen_range(0..8u32);
+            let c = rng.gen_range(0..5u32);
+            let s = rng.gen_range(0..8u32);
+            db.insert(teach, Value::atom(format!("f{f}")), Value::atom(format!("c{c}")))
+                .ok();
+            db.insert(class_list, Value::atom(format!("c{c}")), Value::atom(format!("s{s}")))
+                .ok();
+        }
+
+        let full = db.extension(pupil).unwrap();
+        let budget = rng.gen_range(0..80u64);
+        let outcome = db
+            .extension_governed(pupil, &Governor::with_max_steps(budget))
+            .unwrap();
+        let complete = outcome.is_complete();
+        let partial = outcome.value();
+        // Sound: nothing fabricated.
+        prop_assert!(partial.iter().all(|p| full.contains(p)));
+        if complete {
+            prop_assert_eq!(partial, full);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for `ctrlc`.
+//!
+//! Registers a process-wide Ctrl-C (SIGINT) handler via the C runtime's
+//! `signal(2)`, which is always available wherever std is. Unlike the
+//! real crate there is no dedicated signal thread, so the callback runs
+//! in signal-handler context: it MUST be async-signal-safe. Setting an
+//! atomic flag (e.g. a cancellation token) is fine; allocating, locking,
+//! or doing I/O is not.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Why a handler could not be installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// `set_handler` was already called once; the C API offers no safe
+    /// way to swap a closure atomically, so one handler per process.
+    MultipleHandlers,
+    /// The OS refused to install the handler.
+    System,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MultipleHandlers => write!(f, "a Ctrl-C handler is already installed"),
+            Error::System => write!(f, "the OS rejected the signal handler"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+static HANDLER: OnceLock<Box<dyn Fn() + Send + Sync>> = OnceLock::new();
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        /// `signal(2)` from the C runtime std already links against.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub const SIGINT: i32 = 2;
+    pub const SIG_ERR: usize = usize::MAX;
+
+    pub extern "C" fn trampoline(_signum: i32) {
+        if let Some(h) = super::HANDLER.get() {
+            h();
+        }
+    }
+
+    pub fn install() -> Result<(), super::Error> {
+        let prev = unsafe { signal(SIGINT, trampoline as extern "C" fn(i32) as usize) };
+        if prev == SIG_ERR {
+            return Err(super::Error::System);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    /// No signal support off unix in this stand-in: registration
+    /// succeeds but the handler never fires.
+    pub fn install() -> Result<(), super::Error> {
+        Ok(())
+    }
+}
+
+/// Installs `handler` to run on Ctrl-C (SIGINT). The handler must be
+/// async-signal-safe — restrict it to atomic operations. Can only be
+/// called once per process.
+pub fn set_handler<F>(handler: F) -> Result<(), Error>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    HANDLER
+        .set(Box::new(handler))
+        .map_err(|_| Error::MultipleHandlers)?;
+    sys::install()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn handler_installs_once_and_fires_on_raise() {
+        let hit = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&hit);
+        set_handler(move || flag.store(true, Ordering::SeqCst)).unwrap();
+        assert_eq!(set_handler(|| {}).unwrap_err(), Error::MultipleHandlers,);
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            unsafe { raise(2) };
+            assert!(hit.load(Ordering::SeqCst));
+        }
+    }
+}

@@ -8,8 +8,22 @@
 use std::fmt;
 use std::sync::{
     Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
-    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard, TryLockError,
 };
+use std::time::{Duration, Instant};
+
+/// Guard types; the std guards already have the right shape, so the
+/// stand-in re-exports them under parking_lot's names.
+pub type RwLockReadGuard<'a, T> = StdReadGuard<'a, T>;
+/// Write-guard alias, see [`RwLockReadGuard`].
+pub type RwLockWriteGuard<'a, T> = StdWriteGuard<'a, T>;
+/// Mutex-guard alias, see [`RwLockReadGuard`].
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+/// Backoff sleep for the timed acquisition loops. std locks have no
+/// native timed wait, so `*_for` methods spin with a short sleep; the
+/// interval bounds how far past the timeout a success can land.
+const TIMED_BACKOFF: Duration = Duration::from_micros(200);
 
 /// A reader-writer lock with parking_lot's panic-tolerant API.
 #[derive(Default)]
@@ -51,12 +65,55 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<StdReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<StdWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts shared read access, giving up after `timeout`.
+    pub fn try_read_for(&self, timeout: Duration) -> Option<StdReadGuard<'_, T>> {
+        timed(timeout, || self.try_read())
+    }
+
+    /// Attempts exclusive write access, giving up after `timeout`.
+    pub fn try_write_for(&self, timeout: Duration) -> Option<StdWriteGuard<'_, T>> {
+        timed(timeout, || self.try_write())
+    }
+
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
+    }
+}
+
+/// Try-acquire loop with sleep backoff; always makes at least one
+/// attempt, so a zero timeout degrades to plain `try_*`.
+fn timed<G>(timeout: Duration, mut attempt: impl FnMut() -> Option<G>) -> Option<G> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(g) = attempt() {
+            return Some(g);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(TIMED_BACKOFF.min(deadline.saturating_duration_since(Instant::now())));
     }
 }
 
@@ -99,6 +156,20 @@ impl<T: ?Sized> Mutex<T> {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<StdMutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire the lock, giving up after `timeout`.
+    pub fn try_lock_for(&self, timeout: Duration) -> Option<StdMutexGuard<'_, T>> {
+        timed(timeout, || self.try_lock())
     }
 }
 
