@@ -1,0 +1,64 @@
+//! Planner vs interpreter on derived evaluation (E12).
+//!
+//! The recorded claim: on the inverse-heavy bound-right-endpoint
+//! workload the cost-based backward plan beats the forward interpreter
+//! by ≥5× median, because the interpreter fans out through every
+//! inverse image of the hub while the plan walks one chain back from
+//! the rare endpoint. `bin/planner_report` regenerates the committed
+//! `BENCH_planner.json` baseline from the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fdb_bench::inverse_heavy_db;
+use fdb_storage::{chain, ChainLimits, Truth};
+use fdb_types::Value;
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_vs_interpreter_truth");
+    group.sample_size(30);
+    for n in [500usize, 2_000] {
+        let db = inverse_heavy_db(n);
+        let top = db.resolve("top").unwrap();
+        let derivations = db.derivations(top).to_vec();
+        let (hub, t0) = (Value::atom("hub"), Value::atom("t0"));
+        let limits = ChainLimits::default();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("interpreter", n), &db, |b, db| {
+            b.iter(|| {
+                assert_eq!(
+                    chain::derived_truth(db.store(), &derivations, &hub, &t0, limits),
+                    Truth::True
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("planner", n), &db, |b, db| {
+            b.iter(|| {
+                assert_eq!(
+                    fdb_exec::derived_truth(db.store(), &derivations, &hub, &t0, limits),
+                    Truth::True
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Extension of the same derived function: both paths enumerate every
+    // chain, so this guards against the executor regressing the
+    // unbound case while winning the bound one.
+    let mut group = c.benchmark_group("planner_vs_interpreter_extension");
+    group.sample_size(20);
+    let db = inverse_heavy_db(500);
+    let top = db.resolve("top").unwrap();
+    let derivations = db.derivations(top).to_vec();
+    let limits = ChainLimits::default();
+    group.bench_function("interpreter", |b| {
+        b.iter(|| chain::derived_extension(db.store(), &derivations, limits))
+    });
+    group.bench_function("planner", |b| {
+        b.iter(|| fdb_exec::derived_extension(db.store(), &derivations, limits))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

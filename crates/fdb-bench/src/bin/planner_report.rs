@@ -1,0 +1,79 @@
+//! E12 report: planner vs interpreter median latency on the
+//! inverse-heavy bound-right-endpoint workload, written to
+//! `BENCH_planner.json` (the committed baseline CI's bench-smoke job
+//! regenerates).
+//!
+//! ```sh
+//! cargo run -p fdb-bench --bin planner_report --release
+//! ```
+//!
+//! Exits non-zero if the planner's median speedup on the largest
+//! workload drops below the recorded 5× floor — the win is algorithmic
+//! (one backward chain vs a full forward fan-out), not constant-factor,
+//! so falling under the floor means the planner picked the wrong
+//! direction.
+
+use std::fmt::Write as _;
+
+use fdb_bench::{inverse_heavy_db, median_secs};
+use fdb_storage::{chain, ChainLimits, Truth};
+use fdb_types::Value;
+
+/// Median speedup floor on the largest workload; mirrors the
+/// acceptance criterion recorded in `BENCH_planner.json`.
+const SPEEDUP_FLOOR: f64 = 5.0;
+
+fn main() {
+    let runs = 25;
+    let limits = ChainLimits::default();
+    let mut rows = Vec::new();
+    for n in [500usize, 2_000] {
+        let db = inverse_heavy_db(n);
+        let top = db.resolve("top").expect("top exists");
+        let derivations = db.derivations(top).to_vec();
+        let (hub, t0) = (Value::atom("hub"), Value::atom("t0"));
+        let interp = median_secs(runs, || {
+            assert_eq!(
+                chain::derived_truth(db.store(), &derivations, &hub, &t0, limits),
+                Truth::True
+            );
+        });
+        let planner = median_secs(runs, || {
+            assert_eq!(
+                fdb_exec::derived_truth(db.store(), &derivations, &hub, &t0, limits),
+                Truth::True
+            );
+        });
+        let speedup = interp / planner.max(1e-12);
+        println!(
+            "n={n:>5}  interpreter {:>10.0} ns  planner {:>10.0} ns  speedup {speedup:>7.1}x",
+            interp * 1e9,
+            planner * 1e9,
+        );
+        rows.push((n, interp, planner, speedup));
+    }
+
+    let mut json = String::from("{\n  \"workload\": \"inverse-heavy bound-right-endpoint truth: top = f0^-1 o f1^-1, truth(hub, t0)\",\n  \"runs\": ");
+    let _ = write!(
+        json,
+        "{runs},\n  \"speedup_floor\": {SPEEDUP_FLOOR},\n  \"results\": [\n"
+    );
+    for (i, (n, interp, planner, speedup)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"facts_per_function\": {n}, \"interpreter_median_ns\": {:.0}, \"planner_median_ns\": {:.0}, \"speedup\": {speedup:.1} }}{}",
+            interp * 1e9,
+            planner * 1e9,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_planner.json", &json).expect("write BENCH_planner.json");
+    println!("wrote BENCH_planner.json");
+
+    let (_, _, _, largest) = rows.last().expect("at least one workload");
+    if *largest < SPEEDUP_FLOOR {
+        eprintln!("FAIL: speedup {largest:.1}x is below the {SPEEDUP_FLOOR}x floor");
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,8 @@
 //! conjunction or null mismatch produced it. The language front end
 //! exposes it as `EXPLAIN f(x, y)`.
 
-use fdb_storage::chain::chains_deriving;
+use fdb_exec::{chains_planned, Direction, QuerySpec};
+use fdb_governor::Ungoverned;
 use fdb_storage::{Fact, Truth};
 use fdb_types::{FunctionId, MatchKind, Result, Value};
 
@@ -67,9 +68,16 @@ impl Database {
             });
         }
         let mut chains = Vec::new();
+        let spec = QuerySpec::truth(x, y, true);
         for (di, derivation) in self.derivations(f).iter().enumerate() {
-            for chain in chains_deriving(self.store(), derivation, x, y, true, self.chain_limits())
-            {
+            let (_, outcome) = chains_planned(
+                self.store(),
+                derivation,
+                &spec,
+                self.chain_limits(),
+                &Ungoverned,
+            );
+            for chain in outcome.value() {
                 let covered = self.store().ncs().chain_covers_some_nc(&chain.facts);
                 chains.push(ChainEvidence {
                     derivation: di,
@@ -86,6 +94,60 @@ impl Database {
             chains,
         })
     }
+
+    /// Compiles — and executes — the [`fdb_exec::ChainPlan`] each
+    /// derivation of `f` would use for the truth query `(x, y)`, reporting
+    /// the chosen direction, the planner's estimates, and the actual chain
+    /// count, so estimate quality is visible next to the choice it drove.
+    /// Base functions take no plan (a single index probe) and report an
+    /// empty list.
+    pub fn explain_plan(&self, f: FunctionId, x: &Value, y: &Value) -> Result<Vec<PlanReport>> {
+        if !self.is_derived(f) {
+            return Ok(Vec::new());
+        }
+        let spec = QuerySpec::truth(x, y, true);
+        let mut reports = Vec::new();
+        for (di, derivation) in self.derivations(f).iter().enumerate() {
+            let (plan, outcome) = chains_planned(
+                self.store(),
+                derivation,
+                &spec,
+                self.chain_limits(),
+                &Ungoverned,
+            );
+            reports.push(PlanReport {
+                derivation: di,
+                rendered: derivation.render(self.schema()),
+                direction: plan.direction,
+                est_seed_rows: plan.est_seed_rows,
+                est_cost: plan.est_cost,
+                est_chains: plan.est_chains,
+                actual_chains: outcome.value().len(),
+            });
+        }
+        Ok(reports)
+    }
+}
+
+/// The compiled plan of one derivation for a concrete truth query, with
+/// the planner's estimates next to the observed chain count.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// Which registered derivation (index into
+    /// [`Database::derivations`]).
+    pub derivation: usize,
+    /// The derivation rendered against the schema.
+    pub rendered: String,
+    /// The direction the cost model chose.
+    pub direction: Direction,
+    /// Estimated rows examined by the seed step.
+    pub est_seed_rows: f64,
+    /// Estimated total rows examined.
+    pub est_cost: f64,
+    /// Estimated chains emitted.
+    pub est_chains: f64,
+    /// Chains the executor actually emitted for this query.
+    pub actual_chains: usize,
 }
 
 /// Renders an explanation for human consumption.
@@ -216,6 +278,24 @@ mod tests {
         assert!(e.chains.iter().any(|c| c.matching == MatchKind::Ambiguous));
         let text = render_explanation(&db, p, &e);
         assert!(text.contains("ambiguous (null mismatch)"));
+    }
+
+    #[test]
+    fn explain_plan_reports_direction_and_estimates() {
+        let db = university();
+        let p = db.resolve("pupil").unwrap();
+        let reports = db.explain_plan(p, &v("euclid"), &v("john")).unwrap();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.actual_chains, 1);
+        assert!(r.est_cost > 0.0);
+        assert!(r.rendered.contains("teach"));
+        // Base functions take no plan.
+        let t = db.resolve("teach").unwrap();
+        assert!(db
+            .explain_plan(t, &v("euclid"), &v("math"))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -2,16 +2,20 @@
 //!
 //! Derived facts are never stored (§3.2), so every read recomputes
 //! chains. For read-heavy workloads a caller can *materialise* a derived
-//! function's extension and refresh it only when the underlying store has
-//! actually changed — staleness is detected through the store's monotone
-//! mutation counter, so a refresh after `k` reads and no writes costs one
-//! integer comparison.
+//! function's extension and refresh it only when the function's **support
+//! set** — the base functions its derivations read, plus the NCs over
+//! them — has actually changed. Staleness is detected through the store's
+//! per-function mutation counters captured in a
+//! [`fdb_exec::SupportSnapshot`], so writes to unrelated functions leave
+//! the cache valid, and a refresh after `k` reads and no relevant writes
+//! costs a handful of integer comparisons.
 //!
 //! Materialisation is a client-side cache, deliberately outside
 //! [`Database`]: the engine's truth semantics stay pull-based and
 //! storage-faithful, and no hidden interior mutability complicates
 //! snapshots or sharing.
 
+use fdb_exec::SupportSnapshot;
 use fdb_storage::{DerivedPair, Truth};
 use fdb_types::{FunctionId, Result, Value};
 
@@ -21,16 +25,17 @@ use crate::database::Database;
 #[derive(Clone, Debug)]
 pub struct MaterializedExtension {
     function: FunctionId,
-    version: u64,
+    snapshot: SupportSnapshot,
     pairs: Vec<DerivedPair>,
 }
 
 impl MaterializedExtension {
-    /// Computes the extension of `f` and records the store version.
+    /// Computes the extension of `f` and snapshots the mutation counters
+    /// of its support set.
     pub fn new(db: &Database, f: FunctionId) -> Result<Self> {
         Ok(MaterializedExtension {
             function: f,
-            version: db.store().version(),
+            snapshot: SupportSnapshot::capture(db.store(), &db.support_functions(f)),
             pairs: db.extension(f)?,
         })
     }
@@ -40,9 +45,11 @@ impl MaterializedExtension {
         self.function
     }
 
-    /// `true` if the store has mutated since this cache was computed.
+    /// `true` if some function in the support set has mutated since this
+    /// cache was computed. Writes outside the support set — which cannot
+    /// change any chain or any NC coverable by one — do not count.
     pub fn is_stale(&self, db: &Database) -> bool {
-        db.store().version() != self.version
+        self.snapshot.is_stale(db.store())
     }
 
     /// Recomputes if stale; returns `true` if a refresh happened.
@@ -50,8 +57,8 @@ impl MaterializedExtension {
         if !self.is_stale(db) {
             return Ok(false);
         }
+        self.snapshot = SupportSnapshot::capture(db.store(), &db.support_functions(self.function));
         self.pairs = db.extension(self.function)?;
-        self.version = db.store().version();
         Ok(true)
     }
 
@@ -85,6 +92,7 @@ mod tests {
             .function("teach", "faculty", "course", "many-many")
             .function("class_list", "course", "student", "many-many")
             .function("pupil", "faculty", "student", "many-many")
+            .function("office", "faculty", "room", "many-one")
             .build()
             .unwrap();
         let mut db = Database::new(schema);
@@ -134,6 +142,29 @@ mod tests {
         cache.refresh(&db).unwrap();
         assert_eq!(cache.truth(&v("euclid"), &v("john")), Truth::False);
         assert_eq!(cache.truth(&v("euclid"), &v("bill")), Truth::Ambiguous);
+    }
+
+    #[test]
+    fn writes_outside_the_support_set_do_not_invalidate() {
+        let mut db = university();
+        let pupil = db.resolve("pupil").unwrap();
+        let office = db.resolve("office").unwrap();
+        let cache = MaterializedExtension::new(&db, pupil).unwrap();
+
+        // `office` is not in pupil's support set {teach, class_list}:
+        // inserting and deleting there leaves the cache valid.
+        db.insert(office, v("euclid"), v("e-101")).unwrap();
+        assert!(!cache.is_stale(&db));
+        db.delete(office, &v("euclid"), &v("e-101")).unwrap();
+        assert!(!cache.is_stale(&db));
+        let mut cache = cache;
+        assert!(!cache.refresh(&db).unwrap());
+        assert_eq!(cache.truth(&v("euclid"), &v("john")), Truth::True);
+
+        // A support-set write still invalidates.
+        let teach = db.resolve("teach").unwrap();
+        db.insert(teach, v("laplace"), v("math")).unwrap();
+        assert!(cache.is_stale(&db));
     }
 
     #[test]

@@ -4,11 +4,18 @@
 //! by their logical state (true or ambiguous). Those not existing in the
 //! database are false. Derived facts do not exist in the database and
 //! their truth value is determined [from chains]" (§3.2).
+//!
+//! All derived evaluation routes through the `fdb-exec` plan/execute
+//! pipeline: each derivation is compiled into a cost-based
+//! [`fdb_exec::ChainPlan`] (forward, backward, or meet-in-the-middle) and
+//! run by the batched executor, which preserves the reference
+//! interpreter's results, governance semantics, and chain caps exactly.
 
-use fdb_governor::{Governor, Outcome};
-use fdb_storage::chain::{
-    derived_extension, derived_extension_governed, derived_truth, derived_truth_governed,
+use fdb_exec::{
+    derived_extension, derived_extension_governed, derived_image, derived_image_governed,
+    derived_inverse_image, derived_inverse_image_governed, derived_truth, derived_truth_governed,
 };
+use fdb_governor::{Governor, Outcome};
 use fdb_storage::{DerivedPair, Fact, Truth};
 use fdb_types::{FunctionId, Result, Value};
 
@@ -121,7 +128,20 @@ impl Database {
 
     /// The image `f(x)`: every `y` with `f(x) = y` non-false, with truth
     /// values. (Functions are relations, so the image is a set.)
+    ///
+    /// For a derived function the planner binds `x` *exactly* at the seed
+    /// step, so only chains actually rooted at `x` are walked — the same
+    /// pairs as filtering [`Database::extension`], at a fraction of the
+    /// work.
     pub fn image(&self, f: FunctionId, x: &Value) -> Result<Vec<(Value, Truth)>> {
+        if self.is_derived(f) {
+            return Ok(
+                derived_image(self.store(), self.derivations(f), x, self.chain_limits())
+                    .into_iter()
+                    .map(|p| (p.y, p.truth))
+                    .collect(),
+            );
+        }
         Ok(self
             .extension(f)?
             .into_iter()
@@ -137,6 +157,16 @@ impl Database {
         x: &Value,
         governor: &Governor,
     ) -> Result<Outcome<Vec<(Value, Truth)>>> {
+        if self.is_derived(f) {
+            let outcome = derived_image_governed(
+                self.store(),
+                self.derivations(f),
+                x,
+                self.chain_limits(),
+                governor,
+            );
+            return Ok(outcome.map(|pairs| pairs.into_iter().map(|p| (p.y, p.truth)).collect()));
+        }
         Ok(self.extension_governed(f, governor)?.map(|pairs| {
             pairs
                 .into_iter()
@@ -146,8 +176,21 @@ impl Database {
         }))
     }
 
-    /// The inverse image `f⁻¹(y)`.
+    /// The inverse image `f⁻¹(y)`: the mirror of [`Database::image`],
+    /// seeded from the bound right endpoint (typically through the `by_y`
+    /// index).
     pub fn inverse_image(&self, f: FunctionId, y: &Value) -> Result<Vec<(Value, Truth)>> {
+        if self.is_derived(f) {
+            return Ok(derived_inverse_image(
+                self.store(),
+                self.derivations(f),
+                y,
+                self.chain_limits(),
+            )
+            .into_iter()
+            .map(|p| (p.x, p.truth))
+            .collect());
+        }
         Ok(self
             .extension(f)?
             .into_iter()
@@ -163,6 +206,16 @@ impl Database {
         y: &Value,
         governor: &Governor,
     ) -> Result<Outcome<Vec<(Value, Truth)>>> {
+        if self.is_derived(f) {
+            let outcome = derived_inverse_image_governed(
+                self.store(),
+                self.derivations(f),
+                y,
+                self.chain_limits(),
+                governor,
+            );
+            return Ok(outcome.map(|pairs| pairs.into_iter().map(|p| (p.x, p.truth)).collect()));
+        }
         Ok(self.extension_governed(f, governor)?.map(|pairs| {
             pairs
                 .into_iter()
@@ -186,9 +239,8 @@ impl Database {
         self.validate_expression(derivation)?;
         let derivations = [derivation.clone()];
         let mut out: Vec<(Value, Truth)> =
-            fdb_storage::chain::derived_extension(self.store(), &derivations, self.chain_limits())
+            derived_image(self.store(), &derivations, x, self.chain_limits())
                 .into_iter()
-                .filter(|p| &p.x == x)
                 .map(|p| (p.y, p.truth))
                 .collect();
         out.sort();
@@ -205,13 +257,9 @@ impl Database {
         self.validate_expression(derivation)?;
         let derivations = [derivation.clone()];
         let outcome =
-            derived_extension_governed(self.store(), &derivations, self.chain_limits(), governor);
+            derived_image_governed(self.store(), &derivations, x, self.chain_limits(), governor);
         Ok(outcome.map(|pairs| {
-            let mut out: Vec<(Value, Truth)> = pairs
-                .into_iter()
-                .filter(|p| &p.x == x)
-                .map(|p| (p.y, p.truth))
-                .collect();
+            let mut out: Vec<(Value, Truth)> = pairs.into_iter().map(|p| (p.y, p.truth)).collect();
             out.sort();
             out
         }))

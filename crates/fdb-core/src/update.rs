@@ -12,7 +12,6 @@
 //! system-introduced witnesses and may not appear in an `INS`/`DEL`/`REP`
 //! request.
 
-use fdb_storage::chain as chain_ops;
 use fdb_storage::nvc as nvc_ops;
 use fdb_types::{FdbError, FunctionId, Result, Value};
 
@@ -100,7 +99,9 @@ impl Database {
             let derivations = self.derivations(f).to_vec();
             let limits = self.chain_limits();
             let policy = self.delete_policy();
-            chain_ops::derived_delete_with_policy(
+            // Routed through the fdb-exec pipeline; chain collection is
+            // pinned forward there so NC numbering stays canonical.
+            fdb_exec::derived_delete_with_policy(
                 self.store_mut(),
                 &derivations,
                 x,

@@ -1,0 +1,248 @@
+//! Dependency-aware result caching.
+//!
+//! A derived function's answers depend only on the base tables named by
+//! its derivations — the *support set* ([`fdb_graph::support_set`]) — and
+//! on the NC store entries over those tables. [`fdb_storage::Store`]
+//! maintains a per-function mutation counter that is bumped by every
+//! base insert/delete of that function and by NC creation/dismantling
+//! touching a conjunct of that function (null substitution bumps every
+//! function, conservatively). A [`SupportSnapshot`] captures those
+//! counters for a support set; the cached result stays valid exactly as
+//! long as no counter moved.
+//!
+//! **Soundness.** A chain for a derivation consists only of facts of the
+//! derivation's step functions, so every input to §3.2 evaluation — the
+//! rows examined and the NCs that can cover a chain (an NC with a
+//! conjunct outside the support set can never be a subset of such a
+//! chain's facts) — lives in tables whose counters are in the snapshot.
+//! Mutations outside the support set therefore cannot change the answer,
+//! and the cache correctly survives them.
+//!
+//! **Identity vs state.** Counters only grow, so within one store
+//! lineage equal counter vectors imply identical table+NC state (a
+//! savepoint rollback that restores state also restores the counters it
+//! serialised). Replacing the store wholesale (e.g. `LOAD`) breaks the
+//! lineage — callers must [`ResultCache::clear`] then.
+
+use std::collections::HashMap;
+
+use fdb_storage::{DerivedPair, Store, Truth};
+use fdb_types::{FunctionId, Value};
+
+/// The per-function mutation counters of a support set, captured at
+/// compute time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupportSnapshot {
+    entries: Vec<(FunctionId, u64)>,
+}
+
+impl SupportSnapshot {
+    /// Captures the current counters of `support` from `store`.
+    pub fn capture<'a, I>(store: &Store, support: I) -> Self
+    where
+        I: IntoIterator<Item = &'a FunctionId>,
+    {
+        SupportSnapshot {
+            entries: support
+                .into_iter()
+                .map(|f| (*f, store.function_version(*f)))
+                .collect(),
+        }
+    }
+
+    /// `true` if any support function has been mutated since capture.
+    pub fn is_stale(&self, store: &Store) -> bool {
+        self.entries
+            .iter()
+            .any(|(f, v)| store.function_version(*f) != *v)
+    }
+
+    /// The functions this snapshot watches.
+    pub fn functions(&self) -> impl Iterator<Item = FunctionId> + '_ {
+        self.entries.iter().map(|(f, _)| *f)
+    }
+}
+
+/// Hit/miss/invalidation counters for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a still-valid entry.
+    pub hits: u64,
+    /// Lookups that had no entry and computed fresh.
+    pub misses: u64,
+    /// Entries evicted because a support function changed.
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    snapshot: SupportSnapshot,
+    value: T,
+}
+
+/// A cache of derived truth and extension results, each entry guarded by
+/// the [`SupportSnapshot`] of its function's support set.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    truths: HashMap<(FunctionId, Value, Value), Entry<Truth>>,
+    extensions: HashMap<FunctionId, Entry<Vec<DerivedPair>>>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (callers must do this when the store is
+    /// replaced wholesale — snapshots are only meaningful within one
+    /// store lineage).
+    pub fn clear(&mut self) {
+        self.truths.clear();
+        self.extensions.clear();
+    }
+
+    /// The truth of `f(x) = y`, from cache when the support set is
+    /// unchanged, else from `compute`.
+    pub fn truth_or_compute<'a, I>(
+        &mut self,
+        store: &Store,
+        f: FunctionId,
+        support: I,
+        x: &Value,
+        y: &Value,
+        compute: impl FnOnce() -> Truth,
+    ) -> Truth
+    where
+        I: IntoIterator<Item = &'a FunctionId>,
+    {
+        let key = (f, x.clone(), y.clone());
+        if let Some(entry) = self.truths.get(&key) {
+            if entry.snapshot.is_stale(store) {
+                self.truths.remove(&key);
+                self.stats.invalidations += 1;
+            } else {
+                self.stats.hits += 1;
+                return entry.value;
+            }
+        }
+        self.stats.misses += 1;
+        let snapshot = SupportSnapshot::capture(store, support);
+        let value = compute();
+        self.truths.insert(key, Entry { snapshot, value });
+        value
+    }
+
+    /// The extension of `f`, from cache when the support set is
+    /// unchanged, else from `compute`.
+    pub fn extension_or_compute<'a, I>(
+        &mut self,
+        store: &Store,
+        f: FunctionId,
+        support: I,
+        compute: impl FnOnce() -> Vec<DerivedPair>,
+    ) -> Vec<DerivedPair>
+    where
+        I: IntoIterator<Item = &'a FunctionId>,
+    {
+        if let Some(entry) = self.extensions.get(&f) {
+            if entry.snapshot.is_stale(store) {
+                self.extensions.remove(&f);
+                self.stats.invalidations += 1;
+            } else {
+                self.stats.hits += 1;
+                return entry.value.clone();
+            }
+        }
+        self.stats.misses += 1;
+        let snapshot = SupportSnapshot::capture(store, support);
+        let value = compute();
+        self.extensions.insert(
+            f,
+            Entry {
+                snapshot,
+                value: value.clone(),
+            },
+        );
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F0: FunctionId = FunctionId(0);
+    const F1: FunctionId = FunctionId(1);
+    const OTHER: FunctionId = FunctionId(2);
+    const PUPIL: FunctionId = FunctionId(3);
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn writes_outside_the_support_set_do_not_invalidate() {
+        let mut s = Store::new(4);
+        s.base_insert(F0, v("a"), v("b"));
+        s.base_insert(F1, v("b"), v("c"));
+        let support = [F0, F1];
+        let mut cache = ResultCache::new();
+        let mut computes = 0;
+        for _ in 0..2 {
+            cache.truth_or_compute(&s, PUPIL, &support, &v("a"), &v("c"), || {
+                computes += 1;
+                Truth::True
+            });
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(cache.stats().hits, 1);
+
+        // A write to an unrelated function keeps the entry valid…
+        s.base_insert(OTHER, v("x"), v("y"));
+        cache.truth_or_compute(&s, PUPIL, &support, &v("a"), &v("c"), || {
+            computes += 1;
+            Truth::True
+        });
+        assert_eq!(computes, 1);
+        assert_eq!(cache.stats().invalidations, 0);
+
+        // …while a write inside the support set invalidates it.
+        s.base_insert(F0, v("a2"), v("b"));
+        cache.truth_or_compute(&s, PUPIL, &support, &v("a"), &v("c"), || {
+            computes += 1;
+            Truth::True
+        });
+        assert_eq!(computes, 2);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn nc_creation_inside_support_invalidates_extension() {
+        let mut s = Store::new(4);
+        s.base_insert(F0, v("a"), v("b"));
+        s.base_insert(F1, v("b"), v("c"));
+        let support = [F0, F1];
+        let mut cache = ResultCache::new();
+        let first = cache.extension_or_compute(&s, PUPIL, &support, Vec::new);
+        assert!(first.is_empty());
+        // create_nc bumps the conjuncts' functions.
+        s.create_nc(vec![fdb_storage::Fact {
+            function: F1,
+            x: v("b"),
+            y: v("c"),
+        }]);
+        let mut recomputed = false;
+        cache.extension_or_compute(&s, PUPIL, &support, || {
+            recomputed = true;
+            Vec::new()
+        });
+        assert!(recomputed);
+    }
+}

@@ -1,0 +1,502 @@
+//! The batched chain executor.
+//!
+//! Replaces the one-row-at-a-time recursion of `fdb_storage::chain` with
+//! frontier execution over *binding sets*: one level of nodes per
+//! derivation step, each node recording the row it consumed, the value it
+//! carries to the next step, and the accumulated match quality and truth
+//! flags. Completed chains are materialised by walking parent pointers,
+//! so a node's prefix is shared by all of its extensions instead of being
+//! re-cloned per branch.
+//!
+//! Semantics are the interpreter's, preserved exactly:
+//!
+//! * every candidate row examined costs one `Governance::tick`, every
+//!   retained chain one `charge(1)`;
+//! * the `ChainLimits` cap is *exact*: `StopReason::Cap` is reported only
+//!   when one more chain provably exists beyond `max_chains`;
+//! * a governed stop returns the chains completed so far — a sound
+//!   prefix, so truth answers derived from them remain lower bounds on
+//!   the `False < Ambiguous < True` lattice;
+//! * in [`Direction::Forward`] chains are emitted in the interpreter's
+//!   lexicographic order, so even *capped* prefixes are identical.
+//!
+//! [`Direction::Backward`] and [`Direction::MeetInMiddle`] emit the same
+//! chain *set* (links are symmetric — [`fdb_types::Value::matches`] is a
+//! symmetric relation and `MatchKind::and` is commutative), in a
+//! different order.
+
+use std::collections::HashMap;
+
+use fdb_governor::{Governance, Outcome, StopReason};
+use fdb_storage::{Chain, ChainLimits, Fact, Store, Table, Truth};
+use fdb_types::{Derivation, MatchKind, Op, Step, Value};
+
+use crate::plan::{Bind, Direction, QuerySpec};
+
+/// How a derivation step reads its table (mirrors the interpreter).
+#[derive(Clone, Copy, Debug)]
+struct View {
+    function: fdb_types::FunctionId,
+    inverted: bool,
+}
+
+impl View {
+    fn of(step: &Step) -> Self {
+        View {
+            function: step.function,
+            inverted: step.op == Op::Inverse,
+        }
+    }
+
+    /// Whether the value matched against the incoming binding is the
+    /// row's `x` (domain) value, given the walk direction.
+    fn match_on_x(&self, backward: bool) -> bool {
+        if backward {
+            self.inverted
+        } else {
+            !self.inverted
+        }
+    }
+}
+
+/// One frontier node: a row consumed at some level plus the accumulated
+/// state of the partial chain ending (forward) or starting (backward)
+/// at it.
+struct Node {
+    /// Index into the previous level (`usize::MAX` for seed nodes).
+    parent: usize,
+    x: Value,
+    y: Value,
+    /// The boundary value carried to the next step: the row's right value
+    /// walking forward, its left value walking backward.
+    carried: Value,
+    matching: MatchKind,
+    flags: Truth,
+}
+
+/// How candidates are selected at one level.
+enum Probe<'a> {
+    All,
+    Exact(&'a Value),
+    Matches(&'a Value),
+}
+
+fn candidate_rows(table: &Table, match_on_x: bool, probe: &Probe<'_>, amb: bool) -> Vec<usize> {
+    match probe {
+        Probe::All => table.live_indices().collect(),
+        Probe::Exact(v) => {
+            if match_on_x {
+                table.rows_with_x(v).collect()
+            } else {
+                table.rows_with_y(v).collect()
+            }
+        }
+        Probe::Matches(v) => {
+            if amb && v.is_null() {
+                // A null matches everything at least ambiguously.
+                return table.live_indices().collect();
+            }
+            let mut c: Vec<usize> = if match_on_x {
+                table.rows_with_x(v).collect()
+            } else {
+                table.rows_with_y(v).collect()
+            };
+            if amb {
+                if match_on_x {
+                    c.extend(table.rows_with_null_x());
+                } else {
+                    c.extend(table.rows_with_null_y());
+                }
+            }
+            c
+        }
+    }
+}
+
+fn seed_probe<'a>(bind: &'a Bind<'a>) -> Probe<'a> {
+    match bind {
+        Bind::Unbound => Probe::All,
+        Bind::Exact(v) => Probe::Exact(v),
+        Bind::Matches(v) => Probe::Matches(v),
+    }
+}
+
+fn link_of(probe: &Probe<'_>, match_value: &Value) -> MatchKind {
+    match probe {
+        // Unbound seeds and exact index probes constrain nothing beyond
+        // row identity, so they contribute an exact "link".
+        Probe::All | Probe::Exact(_) => MatchKind::Exact,
+        Probe::Matches(v) => v.matches(match_value),
+    }
+}
+
+/// Builds every level of `views` (processing order) without emitting:
+/// used for both halves of a meet-in-the-middle run.
+fn build_levels<G: Governance>(
+    store: &Store,
+    views: &[View],
+    seed_bind: &Bind<'_>,
+    amb: bool,
+    governor: &G,
+    backward: bool,
+) -> Result<Vec<Vec<Node>>, StopReason> {
+    let mut levels: Vec<Vec<Node>> = Vec::with_capacity(views.len());
+    for depth in 0..views.len() {
+        let view = views[depth];
+        let table = store.table(view.function);
+        let match_on_x = view.match_on_x(backward);
+        let mut next: Vec<Node> = Vec::new();
+        if depth == 0 {
+            // A single pseudo-parent carrying the seed bind.
+            expand_into(
+                table,
+                match_on_x,
+                amb,
+                governor,
+                usize::MAX,
+                MatchKind::Exact,
+                Truth::True,
+                &seed_probe(seed_bind),
+                &mut next,
+            )?;
+        } else {
+            for (p, node) in levels[depth - 1].iter().enumerate() {
+                expand_into(
+                    table,
+                    match_on_x,
+                    amb,
+                    governor,
+                    p,
+                    node.matching,
+                    node.flags,
+                    &Probe::Matches(&node.carried),
+                    &mut next,
+                )?;
+            }
+        }
+        levels.push(next);
+    }
+    Ok(levels)
+}
+
+/// Appends to `next` every row of `table` the probe links to, as a
+/// child of `parent` with the accumulated match/flag state.
+#[allow(clippy::too_many_arguments)]
+fn expand_into<G: Governance>(
+    table: &Table,
+    match_on_x: bool,
+    amb: bool,
+    governor: &G,
+    parent: usize,
+    pm: MatchKind,
+    pf: Truth,
+    probe: &Probe<'_>,
+    next: &mut Vec<Node>,
+) -> Result<(), StopReason> {
+    for i in candidate_rows(table, match_on_x, probe, amb) {
+        governor.tick()?;
+        let Some(row) = table.row(i) else { continue };
+        let mval = if match_on_x { row.x } else { row.y };
+        let link = link_of(probe, mval);
+        if link == MatchKind::None {
+            continue;
+        }
+        let m = pm.and(link);
+        if !amb && m != MatchKind::Exact {
+            continue;
+        }
+        let cval = if match_on_x { row.y } else { row.x };
+        next.push(Node {
+            parent,
+            x: row.x.clone(),
+            y: row.y.clone(),
+            carried: cval.clone(),
+            matching: m,
+            flags: pf.and(row.truth),
+        });
+    }
+    Ok(())
+}
+
+/// Materialises the facts of the partial chain ending at
+/// `levels.last()[idx]`, in derivation-step order.
+fn collect_facts(levels: &[Vec<Node>], views: &[View], idx: usize, backward: bool) -> Vec<Fact> {
+    let mut facts = Vec::with_capacity(levels.len());
+    let mut p = idx;
+    for (d, level) in levels.iter().enumerate().rev() {
+        let n = &level[p];
+        facts.push(Fact {
+            function: views[d].function,
+            x: n.x.clone(),
+            y: n.y.clone(),
+        });
+        p = n.parent;
+    }
+    if !backward {
+        // Forward processing visits steps first-to-last, so the parent
+        // walk yields them last-to-first; backward processing's walk is
+        // already in step order.
+        facts.reverse();
+    }
+    facts
+}
+
+/// Appends a completed chain, enforcing the exact cap and the governor's
+/// memory budget (mirrors the interpreter's `push_chain`).
+fn emit<G: Governance>(
+    chain: Chain,
+    limits: ChainLimits,
+    governor: &G,
+    out: &mut Vec<Chain>,
+) -> Result<(), StopReason> {
+    if out.len() >= limits.max_chains {
+        return Err(StopReason::Cap);
+    }
+    governor.charge(1)?;
+    out.push(chain);
+    Ok(())
+}
+
+/// Forward or backward linear execution: build all interior levels, then
+/// stream emissions off the final level.
+#[allow(clippy::too_many_arguments)]
+fn run_linear<G: Governance>(
+    store: &Store,
+    views: &[View],
+    seed_bind: &Bind<'_>,
+    final_bind: &Bind<'_>,
+    amb: bool,
+    limits: ChainLimits,
+    governor: &G,
+    backward: bool,
+    out: &mut Vec<Chain>,
+) -> Option<StopReason> {
+    let k = views.len();
+    let levels = if k == 1 {
+        Vec::new()
+    } else {
+        match build_levels(store, &views[..k - 1], seed_bind, amb, governor, backward) {
+            Ok(levels) => levels,
+            Err(r) => return Some(r),
+        }
+    };
+    let view = views[k - 1];
+    let table = store.table(view.function);
+    let match_on_x = view.match_on_x(backward);
+    let n_sources = if k == 1 { 1 } else { levels[k - 2].len() };
+    for p in 0..n_sources {
+        let (pm, pf, probe) = if k == 1 {
+            (MatchKind::Exact, Truth::True, seed_probe(seed_bind))
+        } else {
+            let n = &levels[k - 2][p];
+            (n.matching, n.flags, Probe::Matches(&n.carried))
+        };
+        for i in candidate_rows(table, match_on_x, &probe, amb) {
+            if let Err(r) = governor.tick() {
+                return Some(r);
+            }
+            let Some(row) = table.row(i) else { continue };
+            let mval = if match_on_x { row.x } else { row.y };
+            let link = link_of(&probe, mval);
+            if link == MatchKind::None {
+                continue;
+            }
+            let m = pm.and(link);
+            if !amb && m != MatchKind::Exact {
+                continue;
+            }
+            let cval = if match_on_x { row.y } else { row.x };
+            let (m_final, ok) = match final_bind {
+                Bind::Unbound => (m, true),
+                Bind::Exact(g) => (m, cval == *g),
+                Bind::Matches(g) => {
+                    let mf = m.and(cval.matches(g));
+                    (mf, mf != MatchKind::None && (amb || mf == MatchKind::Exact))
+                }
+            };
+            if !ok {
+                continue;
+            }
+            let mut facts = collect_facts(&levels, views, p, backward);
+            let last_fact = Fact {
+                function: view.function,
+                x: row.x.clone(),
+                y: row.y.clone(),
+            };
+            if backward {
+                facts.insert(0, last_fact);
+            } else {
+                facts.push(last_fact);
+            }
+            if let Err(r) = emit(
+                Chain {
+                    facts,
+                    matching: m_final,
+                    flags: pf.and(row.truth),
+                },
+                limits,
+                governor,
+                out,
+            ) {
+                return Some(r);
+            }
+        }
+    }
+    None
+}
+
+/// Meet-in-the-middle execution for fully bound queries: forward half
+/// over `views[..split]`, backward half over `views[split..]`, hash-join
+/// on the boundary value.
+#[allow(clippy::too_many_arguments)]
+fn run_mitm<G: Governance>(
+    store: &Store,
+    views: &[View],
+    split: usize,
+    spec: &QuerySpec<'_>,
+    limits: ChainLimits,
+    governor: &G,
+    out: &mut Vec<Chain>,
+) -> Option<StopReason> {
+    let amb = spec.allow_ambiguous;
+    let fwd = match build_levels(store, &views[..split], &spec.left, amb, governor, false) {
+        Ok(levels) => levels,
+        Err(r) => return Some(r),
+    };
+    let rev_views: Vec<View> = views[split..].iter().rev().copied().collect();
+    let bwd = match build_levels(store, &rev_views, &spec.right, amb, governor, true) {
+        Ok(levels) => levels,
+        Err(r) => return Some(r),
+    };
+    let fwd_final = fwd.last().map(Vec::as_slice).unwrap_or(&[]);
+    let bwd_final = bwd.last().map(Vec::as_slice).unwrap_or(&[]);
+
+    // Group backward partials by their boundary (left-of-split-step)
+    // value for exact probes; null boundaries match anything ambiguously.
+    let mut by_val: HashMap<&Value, Vec<usize>> = HashMap::new();
+    let mut null_boundary: Vec<usize> = Vec::new();
+    for (i, n) in bwd_final.iter().enumerate() {
+        if n.carried.is_null() {
+            null_boundary.push(i);
+        }
+        by_val.entry(&n.carried).or_default().push(i);
+    }
+
+    let mut scratch: Vec<usize> = Vec::new();
+    for (fi, fp) in fwd_final.iter().enumerate() {
+        let candidates: &[usize] = if amb && fp.carried.is_null() {
+            scratch.clear();
+            scratch.extend(0..bwd_final.len());
+            &scratch
+        } else {
+            scratch.clear();
+            if let Some(bucket) = by_val.get(&fp.carried) {
+                scratch.extend_from_slice(bucket);
+            }
+            if amb && !fp.carried.is_null() {
+                scratch.extend(
+                    null_boundary
+                        .iter()
+                        .copied()
+                        .filter(|i| !bwd_final[*i].carried.eq(&fp.carried)),
+                );
+            }
+            &scratch
+        };
+        for &bi in candidates {
+            if let Err(r) = governor.tick() {
+                return Some(r);
+            }
+            let bp = &bwd_final[bi];
+            let link = fp.carried.matches(&bp.carried);
+            if link == MatchKind::None {
+                continue;
+            }
+            let m = fp.matching.and(link).and(bp.matching);
+            if !amb && m != MatchKind::Exact {
+                continue;
+            }
+            let mut facts = collect_facts(&fwd, &views[..split], fi, false);
+            facts.extend(collect_facts(&bwd, &rev_views, bi, true));
+            if let Err(r) = emit(
+                Chain {
+                    facts,
+                    matching: m,
+                    flags: fp.flags.and(bp.flags),
+                },
+                limits,
+                governor,
+                out,
+            ) {
+                return Some(r);
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates the chains of `derivation` under `spec`, walking in the
+/// given [`Direction`]. A meet-in-the-middle direction with an invalid
+/// split (0, or ≥ the step count) or an unbound endpoint falls back to
+/// forward execution.
+pub fn chains_with_direction<G: Governance>(
+    store: &Store,
+    derivation: &Derivation,
+    spec: &QuerySpec<'_>,
+    limits: ChainLimits,
+    governor: &G,
+    direction: Direction,
+) -> Outcome<Vec<Chain>> {
+    let views: Vec<View> = derivation.steps().iter().map(View::of).collect();
+    let mut out = Vec::new();
+    let stop = match direction {
+        Direction::MeetInMiddle { split }
+            if split >= 1
+                && split < views.len()
+                && spec.left.is_bound()
+                && spec.right.is_bound() =>
+        {
+            run_mitm(store, &views, split, spec, limits, governor, &mut out)
+        }
+        Direction::Backward => {
+            let rev: Vec<View> = views.iter().rev().copied().collect();
+            run_linear(
+                store,
+                &rev,
+                &spec.right,
+                &spec.left,
+                spec.allow_ambiguous,
+                limits,
+                governor,
+                true,
+                &mut out,
+            )
+        }
+        _ => run_linear(
+            store,
+            &views,
+            &spec.left,
+            &spec.right,
+            spec.allow_ambiguous,
+            limits,
+            governor,
+            false,
+            &mut out,
+        ),
+    };
+    Outcome::new(out, stop)
+}
+
+/// Plans and executes: compiles a [`crate::plan::ChainPlan`] for the
+/// query shape and runs the chosen direction.
+pub fn chains_planned<G: Governance>(
+    store: &Store,
+    derivation: &Derivation,
+    spec: &QuerySpec<'_>,
+    limits: ChainLimits,
+    governor: &G,
+) -> (crate::plan::ChainPlan, Outcome<Vec<Chain>>) {
+    let plan = crate::plan::plan(store, derivation, spec);
+    let outcome = chains_with_direction(store, derivation, spec, limits, governor, plan.direction);
+    (plan, outcome)
+}

@@ -1,0 +1,42 @@
+//! Plan/execute pipeline for derived evaluation.
+//!
+//! The recursive interpreter in `fdb_storage::chain` — kept as the
+//! reference implementation — always walks a derivation left-to-right,
+//! one row at a time. This crate layers three stages on top of the same
+//! storage primitives:
+//!
+//! 1. **Plan** ([`plan`]): compile a derivation plus a query shape
+//!    ([`QuerySpec`]) into a [`ChainPlan`] using [`fdb_storage::TableStats`]
+//!    and O(1) index-width probes — choosing forward, backward (through
+//!    the `by_y` index), or meet-in-the-middle execution.
+//! 2. **Execute** ([`exec`]): run the plan with a batched frontier
+//!    executor that shares chain prefixes through parent pointers and
+//!    preserves the interpreter's `Governance` / [`fdb_storage::ChainLimits`]
+//!    semantics exactly (tick per candidate, charge per chain, exact cap
+//!    detection, prefix-sound partials).
+//! 3. **Cache** ([`cache`]): memoise truth/extension answers keyed by a
+//!    [`SupportSnapshot`] of per-function mutation counters, so only
+//!    writes inside a derived function's support set invalidate.
+//!
+//! The high-level entry points in [`eval`] ([`derived_truth`],
+//! [`derived_extension`], [`derived_image`], …) are drop-in replacements
+//! for the interpreter's, and `fdb-core` routes all derived queries and
+//! derived deletes through them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod eval;
+pub mod exec;
+pub mod plan;
+
+pub use cache::{CacheStats, ResultCache, SupportSnapshot};
+pub use eval::{
+    collect_delete_chains, derived_delete_governed, derived_delete_with_policy, derived_extension,
+    derived_extension_governed, derived_image, derived_image_governed, derived_inverse_image,
+    derived_inverse_image_governed, derived_truth, derived_truth_governed,
+};
+pub use exec::{chains_planned, chains_with_direction};
+pub use plan::{plan, Bind, ChainPlan, Direction, QuerySpec};

@@ -1,0 +1,321 @@
+//! The plan IR: query shapes, evaluation directions, and the cost model.
+//!
+//! A chain query constrains the two endpoints of a derivation and walks
+//! the intermediate links. The recursive interpreter in
+//! `fdb_storage::chain` always seeds from the *left* endpoint; the
+//! planner instead compares three physical strategies per derivation and
+//! per query shape:
+//!
+//! * **Forward** — seed from the left endpoint, walk steps left-to-right
+//!   (the interpreter's order; chains are emitted in the same
+//!   lexicographic order, which keeps capped prefixes identical).
+//! * **Backward** — seed from the right endpoint through the `by_y`
+//!   index, walk steps right-to-left. Chains come out as the same *set*.
+//! * **Meet-in-the-middle** — for fully bound truth queries: walk both
+//!   ends toward a split step and hash-join on the boundary value.
+//!
+//! Costs come from [`fdb_storage::TableStats`] (row counts, distinct and
+//! null counts — estimates, see that type's caveats) plus O(1) index
+//! width probes for the concrete bound values, which is what detects the
+//! "hub endpoint queried toward a rare endpoint" skew that degenerates
+//! the interpreter into a near-full scan.
+
+use serde::{Deserialize, Serialize};
+
+use fdb_storage::Store;
+use fdb_types::{Derivation, Op, Value};
+
+/// How the executor walks the derivation's steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Seed from the left endpoint, walk steps first-to-last.
+    Forward,
+    /// Seed from the right endpoint, walk steps last-to-first.
+    Backward,
+    /// Walk both ends toward step `split` (the first step of the
+    /// backward half) and join on the boundary value.
+    MeetInMiddle {
+        /// Number of steps executed by the forward half (`1..len`).
+        split: usize,
+    },
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Forward => write!(f, "forward"),
+            Direction::Backward => write!(f, "backward"),
+            Direction::MeetInMiddle { split } => write!(f, "meet-in-middle@{split}"),
+        }
+    }
+}
+
+/// How one endpoint of the queried pair is constrained.
+#[derive(Clone, Copy, Debug)]
+pub enum Bind<'a> {
+    /// No constraint (extension-style enumeration).
+    Unbound,
+    /// The endpoint row value must equal this value exactly (pair
+    /// collection for image / inverse-image queries).
+    Exact(&'a Value),
+    /// The endpoint must §3.2-match this value (truth queries: nulls
+    /// match ambiguously).
+    Matches(&'a Value),
+}
+
+impl Bind<'_> {
+    /// `true` unless the endpoint is [`Bind::Unbound`].
+    pub fn is_bound(&self) -> bool {
+        !matches!(self, Bind::Unbound)
+    }
+
+    pub(crate) fn value(&self) -> Option<&Value> {
+        match self {
+            Bind::Unbound => None,
+            Bind::Exact(v) | Bind::Matches(v) => Some(v),
+        }
+    }
+}
+
+/// The shape of one chain query over one derivation.
+#[derive(Clone, Copy, Debug)]
+pub struct QuerySpec<'a> {
+    /// Constraint on the left endpoint.
+    pub left: Bind<'a>,
+    /// Constraint on the right endpoint.
+    pub right: Bind<'a>,
+    /// Whether links (and `Matches` endpoints) may match ambiguously
+    /// through nulls. `false` is the exact-only mode `derived-delete`
+    /// uses under the faithful policy.
+    pub allow_ambiguous: bool,
+}
+
+impl<'a> QuerySpec<'a> {
+    /// A fully bound §3.2 truth query.
+    pub fn truth(x: &'a Value, y: &'a Value, allow_ambiguous: bool) -> Self {
+        QuerySpec {
+            left: Bind::Matches(x),
+            right: Bind::Matches(y),
+            allow_ambiguous,
+        }
+    }
+
+    /// An unbound extension enumeration.
+    pub fn extension() -> Self {
+        QuerySpec {
+            left: Bind::Unbound,
+            right: Bind::Unbound,
+            allow_ambiguous: true,
+        }
+    }
+}
+
+/// A compiled plan for enumerating the chains of one derivation.
+#[derive(Clone, Debug)]
+pub struct ChainPlan {
+    /// The chosen walk direction.
+    pub direction: Direction,
+    /// Estimated rows examined by the seed step of the chosen direction.
+    pub est_seed_rows: f64,
+    /// Estimated total rows examined (the cost that was minimised).
+    pub est_cost: f64,
+    /// Estimated chains emitted.
+    pub est_chains: f64,
+}
+
+/// Per-step statistics, oriented by the step's operator.
+struct StepStat {
+    rows: f64,
+    /// Expected candidates per concrete incoming value, entering from the
+    /// left (match side = the step's left value).
+    fan_fwd: f64,
+    /// Same entering from the right.
+    fan_bwd: f64,
+    /// Bucket width of the left-side index for a concrete value `v`, plus
+    /// ambiguous null candidates.
+    seed_left: Option<f64>,
+    /// Same for the right side.
+    seed_right: Option<f64>,
+}
+
+/// Compiles a plan for `derivation` under `spec`.
+pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> ChainPlan {
+    let k = derivation.len();
+    let amb = spec.allow_ambiguous;
+    let stats: Vec<StepStat> = derivation
+        .steps()
+        .iter()
+        .map(|step| {
+            let inverted = step.op == Op::Inverse;
+            let t = store.table(step.function);
+            let s = t.stats();
+            let rows = s.rows as f64;
+            let (dl, dr, nl, nr) = if inverted {
+                (s.distinct_y, s.distinct_x, s.null_y, s.null_x)
+            } else {
+                (s.distinct_x, s.distinct_y, s.null_x, s.null_y)
+            };
+            let fan = |distinct: usize, nulls: usize| {
+                let exact = if distinct == 0 {
+                    0.0
+                } else {
+                    rows / distinct as f64
+                };
+                exact + if amb { nulls as f64 } else { 0.0 }
+            };
+            let seed_width = |bind: &Bind<'_>, left_side: bool| {
+                bind.value().map(|v| {
+                    if amb && v.is_null() {
+                        return rows;
+                    }
+                    let width = match (left_side, inverted) {
+                        (true, false) | (false, true) => t.x_width(v),
+                        (true, true) | (false, false) => t.y_width(v),
+                    } as f64;
+                    width
+                        + if amb {
+                            (if left_side { nl } else { nr }) as f64
+                        } else {
+                            0.0
+                        }
+                })
+            };
+            StepStat {
+                rows,
+                fan_fwd: fan(dl, nl),
+                fan_bwd: fan(dr, nr),
+                seed_left: seed_width(&spec.left, true),
+                seed_right: seed_width(&spec.right, false),
+            }
+        })
+        .collect();
+
+    // Forward: seed at step 0 from the left bind (whole table if
+    // unbound), then multiply interior forward fanouts.
+    let fwd_seed = stats[0].seed_left.unwrap_or(stats[0].rows);
+    let mut width = fwd_seed;
+    let mut fwd_cost = width;
+    for s in &stats[1..] {
+        width *= s.fan_fwd;
+        fwd_cost += width;
+    }
+    let mut fwd_chains = width;
+    if spec.right.is_bound() {
+        let last = &stats[k - 1];
+        fwd_chains = if last.fan_bwd > 0.0 {
+            width * (last.fan_bwd / last.rows.max(1.0)).min(1.0)
+        } else {
+            0.0
+        };
+    }
+
+    // Backward: seed at step k-1 from the right bind.
+    let bwd_seed = stats[k - 1].seed_right.unwrap_or(stats[k - 1].rows);
+    let mut width = bwd_seed;
+    let mut bwd_cost = width;
+    for s in stats[..k - 1].iter().rev() {
+        width *= s.fan_bwd;
+        bwd_cost += width;
+    }
+
+    let mut best = ChainPlan {
+        direction: Direction::Forward,
+        est_seed_rows: fwd_seed,
+        est_cost: fwd_cost,
+        est_chains: fwd_chains,
+    };
+    if bwd_cost < best.est_cost {
+        best = ChainPlan {
+            direction: Direction::Backward,
+            est_seed_rows: bwd_seed,
+            est_cost: bwd_cost,
+            est_chains: fwd_chains.min(width),
+        };
+    }
+
+    // Meet-in-the-middle: only for fully bound queries over ≥ 2 steps.
+    if k >= 2 && spec.left.is_bound() && spec.right.is_bound() {
+        for split in 1..k {
+            let mut wf = fwd_seed;
+            let mut cf = wf;
+            for s in &stats[1..split] {
+                wf *= s.fan_fwd;
+                cf += wf;
+            }
+            let mut wb = bwd_seed;
+            let mut cb = wb;
+            for s in stats[split..k - 1].iter().rev() {
+                wb *= s.fan_bwd;
+                cb += wb;
+            }
+            // Join probes: each forward partial probes the hash of the
+            // backward partials (plus the ambiguous null bucket).
+            let cost = cf + cb + wf + wb;
+            if cost < best.est_cost {
+                best = ChainPlan {
+                    direction: Direction::MeetInMiddle { split },
+                    est_seed_rows: fwd_seed.min(bwd_seed),
+                    est_cost: cost,
+                    est_chains: best.est_chains.min(wf.min(wb)),
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{FunctionId, Step};
+
+    const F0: FunctionId = FunctionId(0);
+    const F1: FunctionId = FunctionId(1);
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    /// Hub-to-rare skew: `hub` fans out to `n` middles in f0's range
+    /// while the queried right endpoint has a single f1 row.
+    fn skewed(n: usize) -> Store {
+        let mut s = Store::new(2);
+        for i in 0..n {
+            s.base_insert(F0, v(&format!("m{i}")), v("hub"));
+            s.base_insert(F1, v(&format!("t{i}")), v(&format!("m{i}")));
+        }
+        s
+    }
+
+    #[test]
+    fn bound_right_endpoint_of_inverse_heavy_derivation_plans_backward() {
+        let s = skewed(100);
+        // top = f0⁻¹ o f1⁻¹ : hub-side → t-side.
+        let d = Derivation::new(vec![Step::inverse(F0), Step::inverse(F1)]).unwrap();
+        let p = plan(&s, &d, &QuerySpec::truth(&v("hub"), &v("t0"), true));
+        assert_eq!(p.direction, Direction::Backward);
+        assert!(p.est_seed_rows <= 1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn selective_left_endpoint_plans_forward() {
+        let mut s = Store::new(2);
+        for i in 0..50 {
+            s.base_insert(F0, v("a"), v(&format!("b{i}")));
+            s.base_insert(F1, v(&format!("b{i}")), v("c"));
+        }
+        s.base_insert(F0, v("solo"), v("b0"));
+        let d = Derivation::new(vec![Step::identity(F0), Step::identity(F1)]).unwrap();
+        // solo → c: the left seed is width 1, the right seed width 50.
+        let p = plan(&s, &d, &QuerySpec::truth(&v("solo"), &v("c"), true));
+        assert_eq!(p.direction, Direction::Forward);
+    }
+
+    #[test]
+    fn extension_of_inverse_step_still_plans() {
+        let s = skewed(10);
+        let d = Derivation::new(vec![Step::inverse(F0), Step::inverse(F1)]).unwrap();
+        let p = plan(&s, &d, &QuerySpec::extension());
+        assert!(p.est_cost > 0.0);
+    }
+}

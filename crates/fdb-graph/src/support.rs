@@ -1,0 +1,42 @@
+//! Support sets of derivations.
+//!
+//! The *support set* of a derived function is the set of base functions
+//! its derivations mention: exactly the functions whose extensions the
+//! §3.2 chain semantics can read when evaluating it. A write to a
+//! function outside the support set can never change a derived result —
+//! not even through an NC, because an NC conjunct names the function of
+//! the row it negates, and a chain only contains rows of support
+//! functions, so a superset check against such an NC always fails. This
+//! makes per-function mutation counters over the support set a sound
+//! invalidation signal for derived-result caches (see `fdb-exec`).
+
+use std::collections::BTreeSet;
+
+use fdb_types::{Derivation, FunctionId};
+
+/// The set of functions mentioned by any step of any of `derivations`.
+pub fn support_set(derivations: &[Derivation]) -> BTreeSet<FunctionId> {
+    let mut set = BTreeSet::new();
+    for derivation in derivations {
+        for step in derivation.steps() {
+            set.insert(step.function);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::Step;
+
+    #[test]
+    fn support_is_the_union_over_derivations() {
+        let f = |i| FunctionId(i);
+        let d1 = Derivation::new(vec![Step::identity(f(0)), Step::inverse(f(1))]).unwrap();
+        let d2 = Derivation::new(vec![Step::identity(f(1)), Step::identity(f(3))]).unwrap();
+        let s = support_set(&[d1, d2]);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![f(0), f(1), f(3)]);
+        assert!(support_set(&[]).is_empty());
+    }
+}

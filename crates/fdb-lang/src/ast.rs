@@ -137,6 +137,16 @@ pub enum Statement {
         /// Range value.
         y: String,
     },
+    /// `EXPLAIN PLAN f(x, y)` — the chain plan each derivation of `f`
+    /// compiles to for this query, with cost estimates vs actuals.
+    ExplainPlan {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: String,
+        /// Range value.
+        y: String,
+    },
     /// `SOURCE "path"` — execute a script file, line by line.
     Source {
         /// Script file path.

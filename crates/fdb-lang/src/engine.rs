@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use fdb_core::{resolve_ambiguities, Budget, CancelToken, Database, Governor, Outcome};
+use fdb_exec::{CacheStats, ResultCache};
 use fdb_types::{Derivation, FdbError, Result, Schema, Step, Value};
 
 use crate::ast::{DeriveStep, Statement};
@@ -41,6 +42,13 @@ pub struct Engine {
     deadline: Option<Duration>,
     /// Cancellation flag shared with the host (e.g. a Ctrl-C handler).
     cancel: CancelToken,
+    /// Dependency-aware cache of derived truth/extension answers, keyed
+    /// by the support set's per-function mutation counters. Entries
+    /// survive writes outside the support set; `LOAD` clears it (a
+    /// loaded store is a different lineage, so counters are not
+    /// comparable), while `ABORT` needs nothing special (the savepoint
+    /// restores the counters together with the state they describe).
+    cache: ResultCache,
 }
 
 const HELP: &str = "\
@@ -55,6 +63,7 @@ statements (one per line; `--` starts a comment):
   DERIVATIONS f                              registered derivations
   EVAL x : f o g^-1 o ...                    ad-hoc path expression
   EXPLAIN f(x, y)                            evidence for a verdict
+  EXPLAIN PLAN f(x, y)                       chain plan + cost estimates
   INVERSE f(y)                               inverse image of y
   SOURCE \"file\"                              run a script file
   BEGIN / COMMIT / ABORT                     savepoint transactions
@@ -79,7 +88,14 @@ impl Engine {
             source_depth: 0,
             deadline: None,
             cancel: CancelToken::new(),
+            cache: ResultCache::new(),
         }
+    }
+
+    /// Hit/miss/invalidation counters of the engine's derived-result
+    /// cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// The underlying database.
@@ -210,16 +226,52 @@ impl Engine {
             }
             Statement::Truth { function, x, y } => {
                 let f = self.db.resolve(&function)?;
+                let (vx, vy) = (Value::atom(&x), Value::atom(&y));
+                // Cacheable only when ungoverned: a deadline (or tripped
+                // cancel flag) must reach the governed path, and partial
+                // answers are never cached.
+                if self.db.is_derived(f) && self.deadline.is_none() && !self.cancel.is_cancelled() {
+                    let support = self.db.support_functions(f);
+                    let db = &self.db;
+                    let mut err = None;
+                    let t = self
+                        .cache
+                        .truth_or_compute(db.store(), f, &support, &vx, &vy, || {
+                            db.truth(f, &vx, &vy).unwrap_or_else(|e| {
+                                err = Some(e);
+                                fdb_storage::Truth::False
+                            })
+                        });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    return Ok(format!("{}\n", t.flag()));
+                }
                 let gov = self.statement_governor();
-                let outcome =
-                    self.db
-                        .truth_governed(f, &Value::atom(&x), &Value::atom(&y), &gov)?;
+                let outcome = self.db.truth_governed(f, &vx, &vy, &gov)?;
                 // An exhausted truth is a lower bound, not a verdict —
                 // mark it so `F` under a timeout is not read as proof.
                 Ok(Self::render_outcome(outcome, |t| format!("{}\n", t.flag())))
             }
             Statement::Show { function } => {
                 let f = self.db.resolve(&function)?;
+                if self.db.is_derived(f) {
+                    let support = self.db.support_functions(f);
+                    let db = &self.db;
+                    let mut err = None;
+                    let pairs = self
+                        .cache
+                        .extension_or_compute(db.store(), f, &support, || {
+                            db.extension(f).unwrap_or_else(|e| {
+                                err = Some(e);
+                                Vec::new()
+                            })
+                        });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    return Ok(crate::format::render_derived_pairs(&pairs));
+                }
                 render_function(&self.db, f)
             }
             Statement::Derivations { function } => {
@@ -322,6 +374,15 @@ impl Engine {
                 let e = self.db.explain(f, &Value::atom(&x), &Value::atom(&y))?;
                 Ok(fdb_core::render_explanation(&self.db, f, &e))
             }
+            Statement::ExplainPlan { function, x, y } => {
+                let f = self.db.resolve(&function)?;
+                let reports = self
+                    .db
+                    .explain_plan(f, &Value::atom(&x), &Value::atom(&y))?;
+                Ok(crate::format::render_plan_reports(
+                    &self.db, f, &x, &y, &reports,
+                ))
+            }
             Statement::Source { path } => {
                 const MAX_SOURCE_DEPTH: u8 = 16;
                 if self.source_depth >= MAX_SOURCE_DEPTH {
@@ -398,6 +459,9 @@ impl Engine {
                     message: format!("cannot read {path}: {e}"),
                 })?;
                 self.db = Database::from_snapshot(&text)?;
+                // A loaded store is a different lineage: its mutation
+                // counters are not comparable with cached snapshots.
+                self.cache.clear();
                 Ok(format!("loaded snapshot from {path}\n"))
             }
         }
@@ -456,6 +520,45 @@ mod tests {
             r.as_ref().unwrap();
         }
         assert_eq!(results[8].as_ref().unwrap(), "T\n");
+    }
+
+    #[test]
+    fn explain_plan_statement_and_result_cache() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DECLARE office: faculty -> room (many-one)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        let out = e.execute_line("EXPLAIN PLAN pupil(euclid, john)").unwrap();
+        assert!(out.contains("direction:"), "got: {out}");
+        assert!(out.contains("actual chains: 1"), "got: {out}");
+        let out = e.execute_line("EXPLAIN PLAN teach(euclid, math)").unwrap();
+        assert!(out.contains("base function"), "got: {out}");
+
+        // Repeated TRUTH over an unchanged support set hits the cache;
+        // a write outside the support set keeps it warm.
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
+        assert_eq!(e.cache_stats().hits, 1);
+        e.execute_line("INSERT office(euclid, e-101)").unwrap();
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
+        assert_eq!(e.cache_stats().hits, 2);
+        assert_eq!(e.cache_stats().invalidations, 0);
+
+        // A support-set write invalidates and the answer tracks it.
+        e.execute_line("DELETE class_list(math, john)").unwrap();
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "F\n");
+        assert_eq!(e.cache_stats().invalidations, 1);
     }
 
     #[test]
@@ -751,9 +854,13 @@ mod tests {
             r.unwrap();
         });
         // Enough facts that disproving a pupil fact takes more steps
-        // than the governor's clock-check stride.
+        // than the governor's clock-check stride *in either walk
+        // direction* — a hub on each endpoint, with no link between
+        // them, so neither forward nor backward seeding is cheap.
         for i in 0..64 {
-            e.execute_line(&format!("INSERT class_list(math, s{i})"))
+            e.execute_line(&format!("INSERT teach(euclid, m{i})"))
+                .unwrap();
+            e.execute_line(&format!("INSERT class_list(w{i}, bob)"))
                 .unwrap();
         }
         e.set_statement_deadline(Some(Duration::from_millis(0)));
@@ -763,13 +870,10 @@ mod tests {
         assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
         // A False fact needs exhaustive search, which the dead deadline
         // forbids — the lower bound comes back marked partial.
-        let out = e.execute_line("TRUTH pupil(euclid, nobody)").unwrap();
+        let out = e.execute_line("TRUTH pupil(euclid, bob)").unwrap();
         assert!(out.contains("-- partial: stopped by"), "got: {out}");
         e.set_statement_deadline(None);
-        assert_eq!(
-            e.execute_line("TRUTH pupil(euclid, nobody)").unwrap(),
-            "F\n"
-        );
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, bob)").unwrap(), "F\n");
     }
 
     #[test]

@@ -32,15 +32,21 @@ pub fn render_base_table(db: &Database, f: FunctionId) -> String {
 /// Renders the computed extension of a derived function: `x y` per line,
 /// ambiguous facts marked with a trailing `*` as in the paper's tables.
 pub fn render_derived_extension(db: &Database, f: FunctionId) -> Result<String> {
+    Ok(render_derived_pairs(&db.extension(f)?))
+}
+
+/// Renders already-computed extension pairs (e.g. from a cache) the same
+/// way as [`render_derived_extension`].
+pub fn render_derived_pairs(pairs: &[fdb_storage::DerivedPair]) -> String {
     let mut out = String::new();
-    for p in db.extension(f)? {
+    for p in pairs {
         match p.truth {
             Truth::True => out.push_str(&format!("{}  {}\n", p.x, p.y)),
             Truth::Ambiguous => out.push_str(&format!("{}  {}  *\n", p.x, p.y)),
             Truth::False => {}
         }
     }
-    Ok(out)
+    out
 }
 
 /// Renders either kind of function appropriately.
@@ -50,6 +56,36 @@ pub fn render_function(db: &Database, f: FunctionId) -> Result<String> {
     } else {
         Ok(render_base_table(db, f))
     }
+}
+
+/// Renders the output of `EXPLAIN PLAN f(x, y)`: one line per derivation
+/// with the chosen direction and the planner's estimates next to the
+/// observed chain count.
+pub fn render_plan_reports(
+    db: &Database,
+    f: FunctionId,
+    x: &str,
+    y: &str,
+    reports: &[fdb_core::PlanReport],
+) -> String {
+    let name = &db.schema().function(f).name;
+    if reports.is_empty() {
+        return format!("{name} is a base function: single index probe, no plan\n");
+    }
+    let mut out = format!("plan for {name}({x}, {y}):\n");
+    for r in reports {
+        out.push_str(&format!(
+            "  derivation {}: {} — direction: {}, est seed rows: {:.1}, est cost: {:.1}, est chains: {:.1}, actual chains: {}\n",
+            r.derivation + 1,
+            r.rendered,
+            r.direction,
+            r.est_seed_rows,
+            r.est_cost,
+            r.est_chains,
+            r.actual_chains,
+        ));
+    }
+    out
 }
 
 /// Quotes a value for script output when it is not a bare identifier.

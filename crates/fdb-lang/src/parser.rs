@@ -196,9 +196,24 @@ impl Parser {
                 path: self.ident("file path")?,
             },
             "EXPLAIN" => {
-                let function = self.ident("function name")?;
-                let (x, y) = self.pair()?;
-                Statement::Explain { function, x, y }
+                // `EXPLAIN PLAN f(x, y)` vs `EXPLAIN f(x, y)`: PLAN is
+                // only a keyword when a function name follows it, so a
+                // function actually called "plan" still works.
+                let is_plan = matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("plan"))
+                    && matches!(
+                        self.tokens.get(self.pos + 1),
+                        Some(Token::Ident(_)) | Some(Token::Str(_))
+                    );
+                if is_plan {
+                    self.next();
+                    let function = self.ident("function name")?;
+                    let (x, y) = self.pair()?;
+                    Statement::ExplainPlan { function, x, y }
+                } else {
+                    let function = self.ident("function name")?;
+                    let (x, y) = self.pair()?;
+                    Statement::Explain { function, x, y }
+                }
             }
             "SOURCE" => Statement::Source {
                 path: self.ident("file path")?,

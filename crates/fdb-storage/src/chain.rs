@@ -218,7 +218,7 @@ fn search<G: Governance>(
         governor.tick()?;
         let Some(row) = table.row(i) else { continue };
         let left = view.left(row.x, row.y);
-        let right = view.right(row.x, row.y).clone();
+        let right = view.right(row.x, row.y);
         let link = incoming.matches(left);
         if link == MatchKind::None {
             continue;
@@ -257,7 +257,7 @@ fn search<G: Governance>(
                 store,
                 views,
                 depth + 1,
-                &right,
+                right,
                 goal_y,
                 m,
                 fl,
@@ -420,13 +420,15 @@ fn all_chains<G: Governance>(
     let mut out = Vec::new();
     let mut facts = Vec::with_capacity(views.len());
     let mut stop: Option<StopReason> = None;
-    for i in table.live_indices().collect::<Vec<_>>() {
+    // live_indices() borrows the table only immutably, so iterate it
+    // directly instead of collecting it into a fresh Vec per call.
+    for i in table.live_indices() {
         if let Err(r) = governor.tick() {
             stop = Some(r);
             break;
         }
         let Some(row) = table.row(i) else { continue };
-        let right = first.right(row.x, row.y).clone();
+        let right = first.right(row.x, row.y);
         facts.push(Fact {
             function: first.function,
             x: row.x.clone(),
@@ -448,7 +450,7 @@ fn all_chains<G: Governance>(
                 store,
                 &views,
                 1,
-                &right,
+                right,
                 MatchKind::Exact,
                 row.truth,
                 limits,
@@ -521,7 +523,7 @@ fn search_open<G: Governance>(
         }
         let m = matching.and(link);
         let fl = flags.and(row.truth);
-        let right = view.right(row.x, row.y).clone();
+        let right = view.right(row.x, row.y);
         facts.push(Fact {
             function: view.function,
             x: row.x.clone(),
@@ -543,7 +545,7 @@ fn search_open<G: Governance>(
                 store,
                 views,
                 depth + 1,
-                &right,
+                right,
                 m,
                 fl,
                 limits,

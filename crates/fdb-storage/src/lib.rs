@@ -38,6 +38,6 @@ pub use chain::{Chain, ChainLimits, DerivedPair};
 pub use fact::Fact;
 pub use fdb_governor::{Governance, Governor, Outcome, StopReason, Ungoverned};
 pub use nc::{NcId, NcStore};
-pub use store::Store;
-pub use table::{RowView, Table};
+pub use store::{CompactionPolicy, Store};
+pub use table::{RowView, Table, TableStats};
 pub use truth::Truth;

@@ -15,6 +15,41 @@ use crate::nc::{NcId, NcStore};
 use crate::table::Table;
 use crate::truth::Truth;
 
+/// When a table's tombstones are compacted away automatically.
+///
+/// [`Store::base_delete`] checks the policy after tombstoning a row and
+/// calls [`Table::compact`] once the dead-row count exceeds both the
+/// absolute floor and the configured fraction of the live rows. Compaction
+/// is a logical no-op (value-keyed NC conjuncts are unaffected; row
+/// indices are internal handles), so it does not bump any version counter.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CompactionPolicy {
+    /// Compact when `tombstones > tombstone_fraction * live_rows`.
+    pub tombstone_fraction: f64,
+    /// …and at least this many tombstones have accumulated (keeps tiny
+    /// paper-trace tables byte-stable).
+    pub min_tombstones: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            tombstone_fraction: 0.5,
+            min_tombstones: 64,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never triggers automatic compaction.
+    pub fn disabled() -> Self {
+        CompactionPolicy {
+            tombstone_fraction: f64::INFINITY,
+            min_tombstones: usize::MAX,
+        }
+    }
+}
+
 /// The extensional state of a functional database instance.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Store {
@@ -26,6 +61,16 @@ pub struct Store {
     /// detect staleness cheaply.
     #[serde(default)]
     version: u64,
+    /// Per-function mutation counters: `fn_versions[f]` is bumped whenever
+    /// the *observable extension* of `f` may have changed — a row
+    /// inserted, deleted or rewritten, or an NC over one of `f`'s rows
+    /// created or dismantled. Derived-result caches compare only the
+    /// counters of a derivation's support set, so writes to unrelated
+    /// functions do not invalidate them.
+    #[serde(default)]
+    fn_versions: Vec<u64>,
+    #[serde(default)]
+    compaction: CompactionPolicy,
 }
 
 impl Store {
@@ -36,6 +81,8 @@ impl Store {
             ncs: NcStore::new(),
             nulls: NullGen::new(),
             version: 0,
+            fn_versions: Vec::new(),
+            compaction: CompactionPolicy::default(),
         }
     }
 
@@ -89,6 +136,40 @@ impl Store {
         self.version
     }
 
+    /// Per-function mutation counter of `f` (0 if `f` was never touched).
+    pub fn function_version(&self, f: FunctionId) -> u64 {
+        self.fn_versions.get(f.index()).copied().unwrap_or(0)
+    }
+
+    fn bump_fn(&mut self, f: FunctionId) {
+        if self.fn_versions.len() <= f.index() {
+            self.fn_versions.resize(f.index() + 1, 0);
+        }
+        self.fn_versions[f.index()] += 1;
+    }
+
+    /// The automatic compaction policy.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.compaction
+    }
+
+    /// Replaces the automatic compaction policy.
+    pub fn set_compaction_policy(&mut self, policy: CompactionPolicy) {
+        self.compaction = policy;
+    }
+
+    fn maybe_compact(&mut self, f: FunctionId) {
+        let Some(table) = self.tables.get(f.index()) else {
+            return;
+        };
+        let dead = table.tombstones();
+        if dead >= self.compaction.min_tombstones
+            && dead as f64 > self.compaction.tombstone_fraction * table.len() as f64
+        {
+            self.tables[f.index()].compact();
+        }
+    }
+
     /// Truth flag of a base fact: the row's flag if stored, otherwise
     /// [`Truth::False`] ("those not existing in the database are false").
     pub fn base_truth(&self, fact: &Fact) -> Truth {
@@ -108,6 +189,7 @@ impl Store {
         self.version += 1;
         let id = self.ncs.create(conjuncts.clone());
         for fact in &conjuncts {
+            self.bump_fn(fact.function);
             self.ensure_table(fact.function);
             let table = &mut self.tables[fact.function.index()];
             match table.position(&fact.x, &fact.y) {
@@ -125,6 +207,7 @@ impl Store {
     pub fn dismantle_nc(&mut self, id: NcId) {
         self.version += 1;
         for fact in self.ncs.dismantle(id) {
+            self.bump_fn(fact.function);
             if let Some(t) = self.tables.get_mut(fact.function.index()) {
                 if let Some(i) = t.position(&fact.x, &fact.y) {
                     t.detach_nc(i, id);
@@ -142,6 +225,7 @@ impl Store {
     /// ```
     pub fn base_insert(&mut self, f: FunctionId, x: Value, y: Value) {
         self.version += 1;
+        self.bump_fn(f);
         self.ensure_table(f);
         let table = &mut self.tables[f.index()];
         match table.position(&x, &y) {
@@ -172,6 +256,7 @@ impl Store {
     /// Returns `true` if the pair was present.
     pub fn base_delete(&mut self, f: FunctionId, x: &Value, y: &Value) -> bool {
         self.version += 1;
+        self.bump_fn(f);
         self.ensure_table(f);
         let Some(i) = self.tables[f.index()].position(x, y) else {
             return false;
@@ -184,6 +269,7 @@ impl Store {
             self.dismantle_nc(d);
         }
         self.tables[f.index()].remove(x, y);
+        self.maybe_compact(f);
         true
     }
 
@@ -207,6 +293,11 @@ impl Store {
         debug_assert!(from.is_null(), "substitute_null must be given a null");
         if from == to {
             return;
+        }
+        // Null substitution can rewrite rows and NC conjuncts anywhere;
+        // it is rare, so be conservative and bump every function.
+        for fi in 0..self.tables.len() {
+            self.bump_fn(FunctionId(fi as u32));
         }
         // 1. Rewrite NC conjunct keys first so later dismantles see the
         //    post-substitution facts.
@@ -495,6 +586,71 @@ mod tests {
             Truth::Ambiguous
         );
         assert!(s.check_duality().is_none());
+    }
+
+    #[test]
+    fn per_function_versions_track_only_touched_functions() {
+        let mut s = Store::new(3);
+        assert_eq!(s.function_version(f(0)), 0);
+        s.base_insert(f(0), v("a"), v("b"));
+        assert_eq!(s.function_version(f(0)), 1);
+        assert_eq!(s.function_version(f(1)), 0);
+        assert_eq!(s.function_version(f(2)), 0);
+        // NC creation bumps exactly the conjunct functions.
+        s.base_insert(f(1), v("b"), v("c"));
+        let v0 = s.function_version(f(0));
+        let v2 = s.function_version(f(2));
+        s.create_nc(vec![Fact::new(f(0), "a", "b"), Fact::new(f(1), "b", "c")]);
+        assert!(s.function_version(f(0)) > v0);
+        assert_eq!(s.function_version(f(2)), v2);
+        // Deleting a conjunct bumps both f (directly) and the NC's other
+        // conjunct functions (via dismantle).
+        let v1 = s.function_version(f(1));
+        s.base_delete(f(0), &v("a"), &v("b"));
+        assert!(s.function_version(f(1)) > v1);
+        assert_eq!(s.function_version(f(2)), v2);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_and_preserves_nc_duality() {
+        let mut s = Store::new(2);
+        s.set_compaction_policy(CompactionPolicy {
+            tombstone_fraction: 0.5,
+            min_tombstones: 4,
+        });
+        // Rows that stay live, drawn into an NC (so NCLs must survive).
+        s.base_insert(f(0), v("keep_a"), v("keep_b"));
+        s.base_insert(f(1), v("keep_b"), v("keep_c"));
+        let nc = s.create_nc(vec![
+            Fact::new(f(0), "keep_a", "keep_b"),
+            Fact::new(f(1), "keep_b", "keep_c"),
+        ]);
+        // Churn enough rows that tombstones exceed the policy.
+        for i in 0..8 {
+            s.base_insert(f(0), v(&format!("x{i}")), v(&format!("y{i}")));
+        }
+        for i in 0..8 {
+            s.base_delete(f(0), &v(&format!("x{i}")), &v(&format!("y{i}")));
+        }
+        assert_eq!(s.table(f(0)).tombstones(), 0, "compaction should have run");
+        assert_eq!(s.table(f(0)).len(), 1);
+        // The NC's conjuncts key by value pair, so the dual structure
+        // survives the row-index reshuffle.
+        assert!(s.check_duality().is_none());
+        assert!(s.ncs().contains(nc));
+        assert_eq!(
+            s.base_truth(&Fact::new(f(0), "keep_a", "keep_b")),
+            Truth::Ambiguous
+        );
+        // A disabled policy accumulates tombstones again.
+        s.set_compaction_policy(CompactionPolicy::disabled());
+        for i in 0..8 {
+            s.base_insert(f(0), v(&format!("z{i}")), v(&format!("w{i}")));
+        }
+        for i in 0..8 {
+            s.base_delete(f(0), &v(&format!("z{i}")), &v(&format!("w{i}")));
+        }
+        assert_eq!(s.table(f(0)).tombstones(), 8);
     }
 
     #[test]

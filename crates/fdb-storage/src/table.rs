@@ -51,6 +51,30 @@ pub struct Table {
     null_x: Vec<usize>,
     #[serde(skip)]
     null_y: Vec<usize>,
+    #[serde(skip)]
+    live: usize,
+    #[serde(skip)]
+    dead: usize,
+}
+
+/// Cheap per-table statistics for the chain planner (`fdb-exec`).
+///
+/// `rows` is exact; the distinct and null counts are *estimates*: they
+/// count index entries, which may include keys whose rows are all
+/// tombstoned. Auto-compaction (see [`crate::store::CompactionPolicy`])
+/// bounds the tombstone fraction, and with it the estimation error.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Number of live rows (exact).
+    pub rows: usize,
+    /// Distinct domain values (index-entry estimate).
+    pub distinct_x: usize,
+    /// Distinct range values (index-entry estimate).
+    pub distinct_y: usize,
+    /// Rows with a null domain value (index-entry estimate).
+    pub null_x: usize,
+    /// Rows with a null range value (index-entry estimate).
+    pub null_y: usize,
 }
 
 impl Table {
@@ -66,9 +90,14 @@ impl Table {
         self.by_y.clear();
         self.null_x.clear();
         self.null_y.clear();
+        self.live = 0;
+        self.dead = 0;
         for i in 0..self.rows.len() {
             if self.rows[i].alive {
+                self.live += 1;
                 self.index_row(i);
+            } else {
+                self.dead += 1;
             }
         }
     }
@@ -101,6 +130,7 @@ impl Table {
             ncl: BTreeSet::new(),
             alive: true,
         });
+        self.live += 1;
         self.index_row(i);
         (i, true)
     }
@@ -109,6 +139,8 @@ impl Table {
     pub fn remove(&mut self, x: &Value, y: &Value) -> Option<BTreeSet<NcId>> {
         let i = self.index.remove(&(x.clone(), y.clone()))?;
         self.rows[i].alive = false;
+        self.live -= 1;
+        self.dead += 1;
         Some(std::mem::take(&mut self.rows[i].ncl))
     }
 
@@ -202,9 +234,32 @@ impl Table {
         })
     }
 
-    /// Number of live rows.
+    /// Number of live rows (O(1): maintained incrementally).
     pub fn len(&self) -> usize {
-        self.rows.iter().filter(|r| r.alive).count()
+        self.live
+    }
+
+    /// Planner statistics (see [`TableStats`] for exactness caveats).
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            rows: self.live,
+            distinct_x: self.by_x.len(),
+            distinct_y: self.by_y.len(),
+            null_x: self.null_x.len(),
+            null_y: self.null_y.len(),
+        }
+    }
+
+    /// Width of the `by_x` index bucket for `v` — an O(1) upper bound on
+    /// `rows_with_x(v).count()` (tombstoned entries are not subtracted).
+    pub fn x_width(&self, v: &Value) -> usize {
+        self.by_x.get(v).map_or(0, Vec::len)
+    }
+
+    /// Width of the `by_y` index bucket for `v` — an O(1) upper bound on
+    /// `rows_with_y(v).count()`.
+    pub fn y_width(&self, v: &Value) -> usize {
+        self.by_y.get(v).map_or(0, Vec::len)
     }
 
     /// `true` if the table has no live rows.
@@ -253,9 +308,9 @@ impl Table {
         (0..self.rows.len()).filter(move |&i| self.rows[i].alive)
     }
 
-    /// Number of tombstoned rows awaiting compaction.
+    /// Number of tombstoned rows awaiting compaction (O(1)).
     pub fn tombstones(&self) -> usize {
-        self.rows.iter().filter(|r| !r.alive).count()
+        self.dead
     }
 
     /// Drops tombstoned rows and rebuilds the indexes. Row indices are
@@ -263,7 +318,7 @@ impl Table {
     /// an index — conjuncts key by value pair, which compaction
     /// preserves). Insertion order of live rows is kept.
     pub fn compact(&mut self) {
-        if self.tombstones() == 0 {
+        if self.dead == 0 {
             return;
         }
         self.rows.retain(|r| r.alive);
@@ -391,6 +446,32 @@ mod tests {
         // Compacting an already-compact table is a no-op.
         t.compact();
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn stats_and_widths_reflect_live_rows_after_compaction() {
+        let mut t = Table::new();
+        let n1 = Value::Null(NullId(1));
+        t.insert(v("math"), v("john"));
+        t.insert(v("math"), v("bill"));
+        t.insert(v("physics"), v("bill"));
+        t.insert(n1.clone(), v("kim"));
+        let s = t.stats();
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.distinct_x, 3);
+        assert_eq!(s.distinct_y, 3);
+        assert_eq!(s.null_x, 1);
+        assert_eq!(s.null_y, 0);
+        assert_eq!(t.x_width(&v("math")), 2);
+        assert_eq!(t.y_width(&v("bill")), 2);
+        assert_eq!(t.x_width(&v("absent")), 0);
+        // Widths are estimates until compaction removes dead entries.
+        t.remove(&v("math"), &v("bill"));
+        assert_eq!(t.x_width(&v("math")), 2);
+        t.compact();
+        assert_eq!(t.x_width(&v("math")), 1);
+        assert_eq!(t.stats().rows, 3);
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

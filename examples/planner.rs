@@ -1,0 +1,96 @@
+//! Plan/execute pipeline tour: what `EXPLAIN PLAN` shows for forward,
+//! inverse-heavy and multi-derivation queries, and how the
+//! dependency-aware result cache behaves around them.
+//!
+//! ```sh
+//! cargo run --example planner
+//! ```
+//!
+//! Every derived evaluation now compiles each derivation into a
+//! [`fdb::exec::ChainPlan`] first: per-table statistics pick the cheap
+//! end to start from (forward, backward through the `by_y` index, or
+//! meet-in-the-middle for fully-bound truth queries). `EXPLAIN PLAN`
+//! prints the chosen direction with the planner's estimates next to the
+//! observed chain count.
+
+use fdb::lang::Engine;
+use fdb::types::FdbError;
+
+fn run(engine: &mut Engine, line: &str) -> Result<(), FdbError> {
+    let out = engine.execute_line(line)?;
+    print!("fdb> {line}\n{out}");
+    Ok(())
+}
+
+fn main() -> Result<(), FdbError> {
+    let mut engine = Engine::new();
+
+    // The paper's university schema plus an inverse-heavy derived
+    // function: lecturer_of = class_list^-1 o teach^-1.
+    for line in [
+        "DECLARE teach: faculty -> course (many-many)",
+        "DECLARE class_list: course -> student (many-many)",
+        "DECLARE pupil: faculty -> student (many-many)",
+        "DECLARE lecturer_of: student -> faculty (many-many)",
+        "DERIVE pupil = teach o class_list",
+        "DERIVE lecturer_of = class_list^-1 o teach^-1",
+    ] {
+        engine.execute_line(line)?;
+    }
+    // A hub professor with many courses, each with many students, and
+    // one rare course taught by one rare professor.
+    for i in 0..40 {
+        engine.execute_line(&format!("INSERT teach(euclid, m{i})"))?;
+        engine.execute_line(&format!("INSERT class_list(m{i}, s{i})"))?;
+    }
+    engine.execute_line("INSERT teach(laplace, probability)")?;
+    engine.execute_line("INSERT class_list(probability, john)")?;
+
+    println!("-- 1. Forward: the left endpoint is rare, so the planner");
+    println!("--    seeds from x and walks the composition left-to-right.");
+    run(&mut engine, "EXPLAIN PLAN pupil(laplace, john)")?;
+
+    println!();
+    println!("-- 2. Backward: euclid is a hub (40 courses), s5 is rare.");
+    println!("--    Seeding forward from euclid would fan out through every");
+    println!("--    course; the cost model seeds from s5 through the `by_y`");
+    println!("--    index and walks the composition right-to-left instead.");
+    run(&mut engine, "EXPLAIN PLAN pupil(euclid, s5)")?;
+
+    println!();
+    println!("-- 2b. Direction is about data skew, not inverse steps: the");
+    println!("--     all-inverse lecturer_of already has the rare student on");
+    println!("--     its left, so forward (via the inverse indexes) stays cheap.");
+    run(&mut engine, "EXPLAIN PLAN lecturer_of(s5, euclid)")?;
+
+    println!();
+    println!("-- 3. Multi-derivation: a second DERIVE gives pupil two");
+    println!("--    derivations; each is planned independently, so their");
+    println!("--    directions can differ.");
+    engine.execute_line("DECLARE advises: faculty -> student (many-many)")?;
+    engine.execute_line("DERIVE pupil = advises")?;
+    engine.execute_line("INSERT advises(laplace, john)")?;
+    run(&mut engine, "EXPLAIN PLAN pupil(laplace, john)")?;
+
+    println!();
+    println!("-- 4. Base functions need no plan.");
+    run(&mut engine, "EXPLAIN PLAN teach(laplace, probability)")?;
+
+    println!();
+    println!("-- 5. The result cache keys on the support set: re-asking a");
+    println!("--    TRUTH is a hit, and writes to unrelated functions do");
+    println!("--    not invalidate it.");
+    run(&mut engine, "TRUTH pupil(laplace, john)")?;
+    run(&mut engine, "TRUTH pupil(laplace, john)")?;
+    engine.execute_line("DECLARE office: faculty -> room (many-one)")?;
+    engine.execute_line("INSERT office(laplace, o-101)")?;
+    run(&mut engine, "TRUTH pupil(laplace, john)")?;
+    let stats = engine.cache_stats();
+    println!(
+        "cache: {} hits, {} misses, {} invalidations",
+        stats.hits, stats.misses, stats.invalidations
+    );
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.invalidations, 0);
+    Ok(())
+}

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 
 pub use fdb_core as core;
+pub use fdb_exec as exec;
 pub use fdb_governor as governor;
 pub use fdb_graph as graph;
 pub use fdb_lang as lang;
