@@ -1,0 +1,176 @@
+//! Obs-overhead smoke: the metrics registry's cost on the governed
+//! derived-truth workload, measured paired (enabled vs disabled), written
+//! to `BENCH_obs.json` (the committed baseline CI's obs-overhead job
+//! regenerates).
+//!
+//! ```sh
+//! cargo run -p fdb-bench --bin obs_overhead --release
+//! ```
+//!
+//! Exits non-zero if the paired overhead exceeds the 3% ceiling the
+//! observability layer contracts to (`fdb-obs` crate docs): hot loops
+//! batch their counts precisely so that leaving metrics on in production
+//! is free for all practical purposes.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fdb_core::Database;
+use fdb_governor::Governor;
+use fdb_storage::{ChainLimits, Truth};
+use fdb_types::{Derivation, Schema, Step, Value};
+
+/// Paired overhead ceiling, as a fraction; mirrors the acceptance
+/// criterion recorded in `BENCH_obs.json` and enforced by CI.
+const OVERHEAD_CEILING: f64 = 0.03;
+
+/// Fan-out width: chains the governed truth query must walk.
+const N: usize = 1_000;
+
+/// Governed truth queries per timed sample. Large enough that one sample
+/// amortises timer resolution and scheduler jitter — the 3% gate needs
+/// quiet samples, not many noisy ones.
+const QUERIES_PER_SAMPLE: usize = 50;
+
+/// Paired samples (each one enabled run + one disabled run, interleaved
+/// so drift hits both arms equally).
+const SAMPLES: usize = 21;
+
+/// The hub fan-out workload: `f0(m_i, hub)` for every `i`, `f1(t0, m_i)`
+/// for every `i`, `top = f0⁻¹ o f1⁻¹`. The truth query `top(hub, t0)` has
+/// `N` witnessing chains whichever direction the planner picks, so every
+/// query walks a real frontier — this is the regime the overhead contract
+/// is about: per-row costs must be batched locally and flushed once, or
+/// they multiply by the fan-out.
+fn hub_fanout_db(n: usize) -> Database {
+    let schema = Schema::builder()
+        .function("f0", "mid", "hubt", "many-one")
+        .function("f1", "tail", "mid", "many-many")
+        .function("top", "hubt", "tail", "many-many")
+        .build()
+        .expect("static schema is valid");
+    let mut db = Database::new(schema);
+    let f0 = db.resolve("f0").expect("f0 declared");
+    let f1 = db.resolve("f1").expect("f1 declared");
+    let top = db.resolve("top").expect("top declared");
+    db.register_derived(
+        top,
+        vec![Derivation::new(vec![Step::inverse(f0), Step::inverse(f1)])
+            .expect("two-step derivation is valid")],
+    )
+    .expect("top is derivable");
+    for i in 0..n {
+        db.insert(f0, Value::atom(format!("m{i}")), Value::atom("hub"))
+            .expect("atom insert cannot fail");
+        db.insert(f1, Value::atom("t0"), Value::atom(format!("m{i}")))
+            .expect("atom insert cannot fail");
+    }
+    db
+}
+
+/// One timed sample: `QUERIES_PER_SAMPLE` governed fan-out truth queries.
+fn sample(db: &Database) -> f64 {
+    let top = db.resolve("top").expect("top exists");
+    let derivations = db.derivations(top).to_vec();
+    let (hub, t0v) = (Value::atom("hub"), Value::atom("t0"));
+    let limits = ChainLimits::default();
+    let t0 = Instant::now();
+    for _ in 0..QUERIES_PER_SAMPLE {
+        let gov = Governor::unbounded();
+        let out =
+            fdb_exec::derived_truth_governed(db.store(), &derivations, &hub, &t0v, limits, &gov);
+        assert_eq!(out.value(), Truth::True);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let db = hub_fanout_db(N);
+
+    // Warm up both arms, then sanity-check the gate actually gates:
+    // enabled runs must move the registry, disabled runs must not.
+    fdb_obs::set_enabled(true);
+    sample(&db);
+    let before = fdb_obs::registry().plan_compiled.get();
+    sample(&db);
+    assert!(
+        fdb_obs::registry().plan_compiled.get() > before,
+        "enabled run compiled no plans — workload is not instrumented"
+    );
+    fdb_obs::set_enabled(false);
+    let frozen = fdb_obs::registry().snapshot();
+    sample(&db);
+    assert_eq!(
+        fdb_obs::registry().snapshot(),
+        frozen,
+        "disabled run still recorded metrics"
+    );
+
+    let mut enabled = Vec::with_capacity(SAMPLES);
+    let mut disabled = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        // Alternate which arm goes first so slow drift cancels.
+        if i % 2 == 0 {
+            fdb_obs::set_enabled(true);
+            enabled.push(sample(&db));
+            fdb_obs::set_enabled(false);
+            disabled.push(sample(&db));
+        } else {
+            fdb_obs::set_enabled(false);
+            disabled.push(sample(&db));
+            fdb_obs::set_enabled(true);
+            enabled.push(sample(&db));
+        }
+    }
+    fdb_obs::set_enabled(true);
+
+    let on = median(enabled);
+    let off = median(disabled);
+    let overhead = on / off.max(1e-12) - 1.0;
+    println!(
+        "governed truth x{QUERIES_PER_SAMPLE}: metrics on {:>9.0} ns/query, off {:>9.0} ns/query, overhead {:+.2}%",
+        on * 1e9 / QUERIES_PER_SAMPLE as f64,
+        off * 1e9 / QUERIES_PER_SAMPLE as f64,
+        overhead * 100.0,
+    );
+
+    let mut json = String::from(
+        "{\n  \"workload\": \"governed derived truth, hub fan-out: top = f0^-1 o f1^-1, truth(hub, t0) with N witnessing chains\",\n",
+    );
+    let _ = writeln!(json, "  \"fan_out_chains\": {N},");
+    let _ = writeln!(json, "  \"queries_per_sample\": {QUERIES_PER_SAMPLE},");
+    let _ = writeln!(json, "  \"paired_samples\": {SAMPLES},");
+    let _ = writeln!(
+        json,
+        "  \"enabled_median_ns_per_query\": {:.0},",
+        on * 1e9 / QUERIES_PER_SAMPLE as f64
+    );
+    let _ = writeln!(
+        json,
+        "  \"disabled_median_ns_per_query\": {:.0},",
+        off * 1e9 / QUERIES_PER_SAMPLE as f64
+    );
+    let _ = writeln!(json, "  \"overhead_pct\": {:.2},", overhead * 100.0);
+    let _ = writeln!(
+        json,
+        "  \"overhead_ceiling_pct\": {:.1}",
+        OVERHEAD_CEILING * 100.0
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+
+    if overhead > OVERHEAD_CEILING {
+        eprintln!(
+            "FAIL: metrics-enabled overhead {:.2}% exceeds the {:.1}% ceiling",
+            overhead * 100.0,
+            OVERHEAD_CEILING * 100.0
+        );
+        std::process::exit(1);
+    }
+}

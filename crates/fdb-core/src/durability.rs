@@ -35,7 +35,8 @@ use crate::database::Database;
 use crate::storage::{FileStorage, WalStorage};
 use crate::update::Update;
 use crate::wal::{
-    apply_record, io_err, parent_dir, scan, CorruptionEvent, LogRecord, RecoveryReport, Scan, Wal,
+    apply_record, io_err, observe_recovery, parent_dir, scan, CorruptionEvent, LogRecord,
+    RecoveryReport, Scan, Wal,
 };
 
 /// When appended records are fsynced.
@@ -312,6 +313,7 @@ impl LoggedDatabase {
             )?,
         };
 
+        observe_recovery(&report);
         Ok((
             LoggedDatabase {
                 db,
@@ -358,6 +360,7 @@ impl LoggedDatabase {
             .map(Path::to_owned)
             .unwrap_or_else(|| PathBuf::from("."));
         let wal = Wal::open_append_on(Arc::clone(&storage), &path, 1)?;
+        observe_recovery(&report);
         Ok((
             LoggedDatabase {
                 db,
@@ -442,6 +445,7 @@ impl LoggedDatabase {
             self.dir.join(segment_name(next)),
             next,
         )?;
+        fdb_obs::registry().wal_rotations.inc();
         Ok(())
     }
 
@@ -501,6 +505,7 @@ impl LoggedDatabase {
             .map_err(|e| io_err("sync dir", e))?;
         self.checkpoint_seq = seq;
         self.since_checkpoint = 0;
+        fdb_obs::registry().wal_checkpoints.inc();
         Ok(())
     }
 

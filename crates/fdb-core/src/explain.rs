@@ -7,8 +7,10 @@
 //! conjunction or null mismatch produced it. The language front end
 //! exposes it as `EXPLAIN f(x, y)`.
 
+use std::time::Instant;
+
 use fdb_exec::{chains_planned, Direction, QuerySpec};
-use fdb_governor::Ungoverned;
+use fdb_governor::{Governor, Ungoverned};
 use fdb_storage::{Fact, Truth};
 use fdb_types::{FunctionId, MatchKind, Result, Value};
 
@@ -127,6 +129,65 @@ impl Database {
         }
         Ok(reports)
     }
+
+    /// `EXPLAIN ANALYZE`: evaluates the truth query `f(x) = y` for real
+    /// and reports, per derivation, the plan the cost model chose, the
+    /// planner's estimates against the chains actually visited, how
+    /// those chains contributed under §3.2 (exact-true vs NC-demoted),
+    /// the governor steps the enumeration charged, and wall time.
+    pub fn explain_analyze(&self, f: FunctionId, x: &Value, y: &Value) -> Result<AnalyzeReport> {
+        let t0 = Instant::now();
+        let verdict = self.truth(f, x, y)?;
+        if !self.is_derived(f) {
+            return Ok(AnalyzeReport {
+                verdict,
+                is_derived: false,
+                derivations: Vec::new(),
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        let spec = QuerySpec::truth(x, y, true);
+        let mut derivations = Vec::new();
+        for (di, derivation) in self.derivations(f).iter().enumerate() {
+            // A fresh unbounded governor per derivation: its step counter
+            // is the charge this enumeration would bill a budgeted run.
+            let gov = Governor::unbounded();
+            let d0 = Instant::now();
+            let (plan, outcome) =
+                chains_planned(self.store(), derivation, &spec, self.chain_limits(), &gov);
+            let elapsed_ns = d0.elapsed().as_nanos() as u64;
+            let stop = outcome.reason().map(|r| r.to_string());
+            let chains = outcome.value();
+            let mut exact_true_chains = 0;
+            let mut nc_demoted_chains = 0;
+            for c in &chains {
+                if c.matching == MatchKind::Exact && c.flags == Truth::True {
+                    exact_true_chains += 1;
+                } else if self.store().ncs().chain_covers_some_nc(&c.facts) {
+                    nc_demoted_chains += 1;
+                }
+            }
+            derivations.push(DerivationAnalysis {
+                derivation: di,
+                rendered: derivation.render(self.schema()),
+                direction: plan.direction,
+                est_cost: plan.est_cost,
+                est_chains: plan.est_chains,
+                actual_chains: chains.len(),
+                exact_true_chains,
+                nc_demoted_chains,
+                governor_steps: gov.steps(),
+                stop,
+                elapsed_ns,
+            });
+        }
+        Ok(AnalyzeReport {
+            verdict,
+            is_derived: true,
+            derivations,
+            elapsed_ns: t0.elapsed().as_nanos() as u64,
+        })
+    }
 }
 
 /// The compiled plan of one derivation for a concrete truth query, with
@@ -148,6 +209,52 @@ pub struct PlanReport {
     pub est_chains: f64,
     /// Chains the executor actually emitted for this query.
     pub actual_chains: usize,
+}
+
+/// One derivation's share of an [`AnalyzeReport`]: the executed plan
+/// with estimates, actuals, §3.2 chain contributions, governor charge
+/// and timing.
+#[derive(Clone, Debug)]
+pub struct DerivationAnalysis {
+    /// Which registered derivation (index into
+    /// [`Database::derivations`]).
+    pub derivation: usize,
+    /// The derivation rendered against the schema.
+    pub rendered: String,
+    /// The direction the cost model chose.
+    pub direction: Direction,
+    /// Estimated total rows examined.
+    pub est_cost: f64,
+    /// Estimated chains emitted.
+    pub est_chains: f64,
+    /// Chains the executor actually emitted.
+    pub actual_chains: usize,
+    /// Chains that were exact matches of true facts (each proves the
+    /// pair under §3.2).
+    pub exact_true_chains: usize,
+    /// Chains covered by a live NC (negated evidence).
+    pub nc_demoted_chains: usize,
+    /// Governor steps the enumeration charged — what a budgeted run of
+    /// this query would be billed.
+    pub governor_steps: u64,
+    /// Stop reason if the enumeration was truncated (structural caps).
+    pub stop: Option<String>,
+    /// Wall time of this derivation's plan + execution, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// The result of [`Database::explain_analyze`]: a truth query executed
+/// for real, with per-derivation plan/actual evidence.
+#[derive(Clone, Debug)]
+pub struct AnalyzeReport {
+    /// The verdict (identical to [`Database::truth`]).
+    pub verdict: Truth,
+    /// `true` if the function is derived (base facts take no plan).
+    pub is_derived: bool,
+    /// Per-derivation analyses (empty for base functions).
+    pub derivations: Vec<DerivationAnalysis>,
+    /// Total wall time including the verdict evaluation, in nanoseconds.
+    pub elapsed_ns: u64,
 }
 
 /// Renders an explanation for human consumption.

@@ -37,7 +37,9 @@ pub mod wal;
 
 pub use database::{Database, InsertPolicy};
 pub use durability::{DurabilityConfig, LoggedDatabase, SyncPolicy};
-pub use explain::{render_explanation, ChainEvidence, Explanation, PlanReport};
+pub use explain::{
+    render_explanation, AnalyzeReport, ChainEvidence, DerivationAnalysis, Explanation, PlanReport,
+};
 pub use materialize::MaterializedExtension;
 pub use resolve::{resolve_ambiguities, ResolutionOutcome};
 pub use session::{design_database, design_logged_database};

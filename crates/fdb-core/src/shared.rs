@@ -62,6 +62,7 @@ impl Drop for GatePass<'_> {
 }
 
 fn overloaded(what: &str, waited: Duration) -> FdbError {
+    fdb_obs::registry().governor_overload_sheds.inc();
     FdbError::Overloaded {
         what: what.to_owned(),
         waited_ms: waited.as_millis() as u64,

@@ -553,18 +553,37 @@ impl Wal {
         self.file.append(&frame).map_err(|e| io_err("append", e))?;
         self.next_seq = seq + 1;
         self.len += frame.len() as u64;
+        let reg = fdb_obs::registry();
+        reg.wal_appends.inc();
+        reg.wal_append_bytes.add(frame.len() as u64);
+        reg.wal_append_size_bytes.record(frame.len() as u64);
         Ok(seq)
     }
 
     /// Durably syncs the file to disk.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync().map_err(|e| io_err("sync", e))
+        self.file.sync().map_err(|e| io_err("sync", e))?;
+        fdb_obs::registry().wal_fsyncs.inc();
+        Ok(())
     }
 }
 
 /// A path's parent, ignoring the empty parent of bare relative names.
 pub(crate) fn parent_dir(path: &Path) -> Option<&Path> {
     path.parent().filter(|p| !p.as_os_str().is_empty())
+}
+
+/// Publishes a finalised [`RecoveryReport`] to the metrics registry.
+/// Called exactly once per recovery, at the point where the report is
+/// complete (never inside the per-segment loop, which would double
+/// count).
+pub(crate) fn observe_recovery(report: &RecoveryReport) {
+    let reg = fdb_obs::registry();
+    reg.recovery_runs.inc();
+    reg.recovery_records_salvaged.add(report.applied as u64);
+    reg.recovery_corruption_events
+        .add(report.corruption.len() as u64);
+    reg.recovery_quarantined_bytes.add(report.quarantined_bytes);
 }
 
 // --------------------------------------------------------------- replay
@@ -647,6 +666,7 @@ pub fn replay_on(storage: &dyn WalStorage, path: &Path) -> Result<(Database, Rec
             flaw,
         });
     }
+    observe_recovery(&report);
     Ok((db, report))
 }
 

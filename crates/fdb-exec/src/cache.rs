@@ -74,6 +74,46 @@ pub struct CacheStats {
     pub invalidations: u64,
 }
 
+/// Both layers of cache statistics in one report: this cache's local
+/// counters and entry counts, plus the process-wide registry counters
+/// (`fdb.cache.*`, aggregated over every [`ResultCache`] in the
+/// process). [`ResultCache::report`] builds one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// This cache's own hit/miss/invalidation counters.
+    pub local: CacheStats,
+    /// Truth entries currently held (valid or stale).
+    pub truth_entries: usize,
+    /// Extension entries currently held (valid or stale).
+    pub extension_entries: usize,
+    /// The process-wide `fdb.cache.*` registry counters.
+    pub global: CacheStats,
+}
+
+/// The outcome of a non-mutating cache probe ([`ResultCache::probe_truth`]),
+/// used by `EXPLAIN ANALYZE` to report what a real execution would find
+/// without disturbing the counters it is reporting on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheProbe {
+    /// A valid entry exists; execution would hit.
+    Hit,
+    /// An entry exists but its support set has been mutated; execution
+    /// would invalidate it and recompute.
+    Stale,
+    /// No entry; execution would compute fresh.
+    Miss,
+}
+
+impl std::fmt::Display for CacheProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheProbe::Hit => write!(f, "hit"),
+            CacheProbe::Stale => write!(f, "stale"),
+            CacheProbe::Miss => write!(f, "miss"),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Entry<T> {
     snapshot: SupportSnapshot,
@@ -98,6 +138,42 @@ impl ResultCache {
     /// Current hit/miss/invalidation counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Unified two-layer statistics: this cache's counters and entry
+    /// counts next to the process-wide `fdb.cache.*` registry counters.
+    pub fn report(&self) -> CacheReport {
+        let reg = fdb_obs::registry();
+        CacheReport {
+            local: self.stats,
+            truth_entries: self.truths.len(),
+            extension_entries: self.extensions.len(),
+            global: CacheStats {
+                hits: reg.cache_hits.get(),
+                misses: reg.cache_misses.get(),
+                invalidations: reg.cache_invalidations.get(),
+            },
+        }
+    }
+
+    /// Number of cached truth entries (valid or stale).
+    pub fn truth_entries(&self) -> usize {
+        self.truths.len()
+    }
+
+    /// Number of cached extension entries (valid or stale).
+    pub fn extension_entries(&self) -> usize {
+        self.extensions.len()
+    }
+
+    /// What a truth lookup of `f(x) = y` would find right now, without
+    /// touching the entry or the counters.
+    pub fn probe_truth(&self, store: &Store, f: FunctionId, x: &Value, y: &Value) -> CacheProbe {
+        match self.truths.get(&(f, x.clone(), y.clone())) {
+            None => CacheProbe::Miss,
+            Some(entry) if entry.snapshot.is_stale(store) => CacheProbe::Stale,
+            Some(_) => CacheProbe::Hit,
+        }
     }
 
     /// Drops every entry (callers must do this when the store is
@@ -127,12 +203,15 @@ impl ResultCache {
             if entry.snapshot.is_stale(store) {
                 self.truths.remove(&key);
                 self.stats.invalidations += 1;
+                fdb_obs::registry().cache_invalidations.inc();
             } else {
                 self.stats.hits += 1;
+                fdb_obs::registry().cache_hits.inc();
                 return entry.value;
             }
         }
         self.stats.misses += 1;
+        fdb_obs::registry().cache_misses.inc();
         let snapshot = SupportSnapshot::capture(store, support);
         let value = compute();
         self.truths.insert(key, Entry { snapshot, value });
@@ -155,12 +234,15 @@ impl ResultCache {
             if entry.snapshot.is_stale(store) {
                 self.extensions.remove(&f);
                 self.stats.invalidations += 1;
+                fdb_obs::registry().cache_invalidations.inc();
             } else {
                 self.stats.hits += 1;
+                fdb_obs::registry().cache_hits.inc();
                 return entry.value.clone();
             }
         }
         self.stats.misses += 1;
+        fdb_obs::registry().cache_misses.inc();
         let snapshot = SupportSnapshot::capture(store, support);
         let value = compute();
         self.extensions.insert(

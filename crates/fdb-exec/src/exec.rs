@@ -132,6 +132,7 @@ fn link_of(probe: &Probe<'_>, match_value: &Value) -> MatchKind {
 
 /// Builds every level of `views` (processing order) without emitting:
 /// used for both halves of a meet-in-the-middle run.
+#[allow(clippy::too_many_arguments)]
 fn build_levels<G: Governance>(
     store: &Store,
     views: &[View],
@@ -139,6 +140,7 @@ fn build_levels<G: Governance>(
     amb: bool,
     governor: &G,
     backward: bool,
+    rows: &mut u64,
 ) -> Result<Vec<Vec<Node>>, StopReason> {
     let mut levels: Vec<Vec<Node>> = Vec::with_capacity(views.len());
     for depth in 0..views.len() {
@@ -158,6 +160,7 @@ fn build_levels<G: Governance>(
                 Truth::True,
                 &seed_probe(seed_bind),
                 &mut next,
+                rows,
             )?;
         } else {
             for (p, node) in levels[depth - 1].iter().enumerate() {
@@ -171,6 +174,7 @@ fn build_levels<G: Governance>(
                     node.flags,
                     &Probe::Matches(&node.carried),
                     &mut next,
+                    rows,
                 )?;
             }
         }
@@ -192,8 +196,10 @@ fn expand_into<G: Governance>(
     pf: Truth,
     probe: &Probe<'_>,
     next: &mut Vec<Node>,
+    rows: &mut u64,
 ) -> Result<(), StopReason> {
     for i in candidate_rows(table, match_on_x, probe, amb) {
+        *rows += 1;
         governor.tick()?;
         let Some(row) = table.row(i) else { continue };
         let mval = if match_on_x { row.x } else { row.y };
@@ -270,16 +276,28 @@ fn run_linear<G: Governance>(
     governor: &G,
     backward: bool,
     out: &mut Vec<Chain>,
+    rows: &mut u64,
 ) -> Option<StopReason> {
     let k = views.len();
     let levels = if k == 1 {
         Vec::new()
     } else {
-        match build_levels(store, &views[..k - 1], seed_bind, amb, governor, backward) {
+        match build_levels(
+            store,
+            &views[..k - 1],
+            seed_bind,
+            amb,
+            governor,
+            backward,
+            rows,
+        ) {
             Ok(levels) => levels,
             Err(r) => return Some(r),
         }
     };
+    fdb_obs::registry()
+        .exec_frontier_nodes
+        .record(levels.iter().map(|l| l.len() as u64).sum());
     let view = views[k - 1];
     let table = store.table(view.function);
     let match_on_x = view.match_on_x(backward);
@@ -292,6 +310,7 @@ fn run_linear<G: Governance>(
             (n.matching, n.flags, Probe::Matches(&n.carried))
         };
         for i in candidate_rows(table, match_on_x, &probe, amb) {
+            *rows += 1;
             if let Err(r) = governor.tick() {
                 return Some(r);
             }
@@ -357,17 +376,30 @@ fn run_mitm<G: Governance>(
     limits: ChainLimits,
     governor: &G,
     out: &mut Vec<Chain>,
+    rows: &mut u64,
 ) -> Option<StopReason> {
     let amb = spec.allow_ambiguous;
-    let fwd = match build_levels(store, &views[..split], &spec.left, amb, governor, false) {
+    let fwd = match build_levels(
+        store,
+        &views[..split],
+        &spec.left,
+        amb,
+        governor,
+        false,
+        rows,
+    ) {
         Ok(levels) => levels,
         Err(r) => return Some(r),
     };
     let rev_views: Vec<View> = views[split..].iter().rev().copied().collect();
-    let bwd = match build_levels(store, &rev_views, &spec.right, amb, governor, true) {
+    let bwd = match build_levels(store, &rev_views, &spec.right, amb, governor, true, rows) {
         Ok(levels) => levels,
         Err(r) => return Some(r),
     };
+    fdb_obs::registry().exec_frontier_nodes.record(
+        fwd.iter().map(|l| l.len() as u64).sum::<u64>()
+            + bwd.iter().map(|l| l.len() as u64).sum::<u64>(),
+    );
     let fwd_final = fwd.last().map(Vec::as_slice).unwrap_or(&[]);
     let bwd_final = bwd.last().map(Vec::as_slice).unwrap_or(&[]);
 
@@ -404,6 +436,7 @@ fn run_mitm<G: Governance>(
             &scratch
         };
         for &bi in candidates {
+            *rows += 1;
             if let Err(r) = governor.tick() {
                 return Some(r);
             }
@@ -449,6 +482,11 @@ pub fn chains_with_direction<G: Governance>(
 ) -> Outcome<Vec<Chain>> {
     let views: Vec<View> = derivation.steps().iter().map(View::of).collect();
     let mut out = Vec::new();
+    // Candidate rows are counted in a query-local accumulator and
+    // flushed to the registry once per query: one shared atomic add per
+    // statement instead of one per row keeps the executor's inner loop
+    // within the observability overhead contract.
+    let mut rows = 0u64;
     let stop = match direction {
         Direction::MeetInMiddle { split }
             if split >= 1
@@ -456,7 +494,9 @@ pub fn chains_with_direction<G: Governance>(
                 && spec.left.is_bound()
                 && spec.right.is_bound() =>
         {
-            run_mitm(store, &views, split, spec, limits, governor, &mut out)
+            run_mitm(
+                store, &views, split, spec, limits, governor, &mut out, &mut rows,
+            )
         }
         Direction::Backward => {
             let rev: Vec<View> = views.iter().rev().copied().collect();
@@ -470,6 +510,7 @@ pub fn chains_with_direction<G: Governance>(
                 governor,
                 true,
                 &mut out,
+                &mut rows,
             )
         }
         _ => run_linear(
@@ -482,8 +523,13 @@ pub fn chains_with_direction<G: Governance>(
             governor,
             false,
             &mut out,
+            &mut rows,
         ),
     };
+    let reg = fdb_obs::registry();
+    reg.exec_rows_examined.add(rows);
+    reg.exec_chains_emitted.add(out.len() as u64);
+    reg.exec_chains_per_query.record(out.len() as u64);
     Outcome::new(out, stop)
 }
 

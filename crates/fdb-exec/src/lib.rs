@@ -32,7 +32,7 @@ pub mod eval;
 pub mod exec;
 pub mod plan;
 
-pub use cache::{CacheStats, ResultCache, SupportSnapshot};
+pub use cache::{CacheProbe, CacheReport, CacheStats, ResultCache, SupportSnapshot};
 pub use eval::{
     collect_delete_chains, derived_delete_governed, derived_delete_with_policy, derived_extension,
     derived_extension_governed, derived_image, derived_image_governed, derived_inverse_image,

@@ -261,6 +261,13 @@ pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> Cha
             }
         }
     }
+    let reg = fdb_obs::registry();
+    reg.plan_compiled.inc();
+    match best.direction {
+        Direction::Forward => reg.plan_forward.inc(),
+        Direction::Backward => reg.plan_backward.inc(),
+        Direction::MeetInMiddle { .. } => reg.plan_meet_in_middle.inc(),
+    }
     best
 }
 

@@ -38,6 +38,23 @@ use std::time::{Duration, Instant};
 
 use fdb_types::FdbError;
 
+/// Records a stop in the process-wide metrics registry and passes the
+/// reason through. Called on the cold `Err` paths only, so a governed
+/// run that completes pays nothing here. A run that keeps polling after
+/// its first stop signal (rare — loops break on the first `Err`) counts
+/// each delivery, so read these as "stop signals delivered".
+fn observe_stop(reason: StopReason) -> StopReason {
+    let reg = fdb_obs::registry();
+    match reason {
+        StopReason::Deadline => reg.governor_stop_deadline.inc(),
+        StopReason::Steps => reg.governor_stop_steps.inc(),
+        StopReason::Memory => reg.governor_stop_memory.inc(),
+        StopReason::Cancelled => reg.governor_stop_cancelled.inc(),
+        StopReason::Cap => reg.governor_stop_cap.inc(),
+    }
+    reason
+}
+
 /// Why a governed computation stopped before completing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StopReason {
@@ -322,21 +339,31 @@ impl Governance for Governor {
         let steps = self.inner.steps.load(Ordering::Relaxed) + 1;
         self.inner.steps.store(steps, Ordering::Relaxed);
         if steps > self.inner.max_steps {
-            return Err(StopReason::Steps);
+            return Err(observe_stop(StopReason::Steps));
         }
-        self.stop_if_cancelled_or_late(steps.is_multiple_of(TIME_CHECK_STRIDE))
+        let at_stride = steps.is_multiple_of(TIME_CHECK_STRIDE);
+        if at_stride {
+            // Flush ticks to the global registry only at the clock-check
+            // stride: one shared atomic add per 16 ticks keeps the hot
+            // path within the observability overhead contract. Trailing
+            // sub-stride ticks of a run go unflushed — the counter is an
+            // operational gauge of work volume, not an exact step count.
+            fdb_obs::registry().governor_ticks.add(TIME_CHECK_STRIDE);
+        }
+        self.stop_if_cancelled_or_late(at_stride)
+            .map_err(observe_stop)
     }
 
     #[inline]
     fn check(&self) -> Result<(), StopReason> {
-        self.stop_if_cancelled_or_late(true)
+        self.stop_if_cancelled_or_late(true).map_err(observe_stop)
     }
 
     #[inline]
     fn charge(&self, units: u64) -> Result<(), StopReason> {
         let used = self.inner.memory.fetch_add(units, Ordering::Relaxed) + units;
         if used > self.inner.max_memory {
-            return Err(StopReason::Memory);
+            return Err(observe_stop(StopReason::Memory));
         }
         Ok(())
     }
@@ -402,6 +429,12 @@ pub enum Outcome<T> {
 impl<T> Outcome<T> {
     /// Wraps `value`, exhausted iff `reason` is `Some`.
     pub fn new(value: T, reason: Option<StopReason>) -> Self {
+        // Structural caps are raised by enumeration callers, never by
+        // tick/check/charge, so this is the one place they get counted
+        // (other reasons were already observed at their stop site).
+        if reason == Some(StopReason::Cap) {
+            observe_stop(StopReason::Cap);
+        }
         match reason {
             None => Outcome::Complete(value),
             Some(reason) => Outcome::Exhausted {

@@ -133,6 +133,7 @@ fn ams_impl<G: Governance>(
     governor: &G,
 ) -> Outcome<AmsOutcome> {
     let mut stop: Option<StopReason> = None;
+    fdb_obs::registry().graph_ams_runs.inc();
 
     // Step 1: construct the function graph.
     let graph = FunctionGraph::from_schema(schema);
@@ -153,11 +154,13 @@ fn ams_impl<G: Governance>(
     // and sound, just possibly non-minimal.
     let mut removed_edges: HashSet<EdgeId> = HashSet::new();
     let mut removed_funs: Vec<FunctionId> = Vec::new();
+    let mut edges_examined = 0u64;
     for f in iteration {
         if let Err(r) = governor.check() {
             stop = stop.or(Some(r));
             break;
         }
+        edges_examined += 1;
         let def = schema.function(f);
         let e = graph
             .edge_of(def.id)
@@ -169,6 +172,9 @@ fn ams_impl<G: Governance>(
             removed_funs.push(def.id);
         }
     }
+    fdb_obs::registry()
+        .graph_ams_edges_examined
+        .add(edges_examined);
 
     // Step 3: M = S − M̄, plus derivation extraction in G_M.
     let mut minimal_graph = FunctionGraph::from_schema(schema);

@@ -170,10 +170,14 @@ pub(crate) fn cycles_impl<G: Governance>(
     let e = graph.edge(new_edge);
     let excluded: HashSet<EdgeId> = [new_edge].into();
     simple_paths_impl(graph, e.a, e.b, &excluded, limits, governor).map(|paths| {
-        paths
+        let cycles: Vec<Cycle> = paths
             .into_iter()
             .map(|rest| Cycle { new_edge, rest })
-            .collect()
+            .collect();
+        fdb_obs::registry()
+            .graph_cycles_enumerated
+            .add(cycles.len() as u64);
+        cycles
     })
 }
 

@@ -290,10 +290,14 @@ impl DesignSession {
     }
 
     fn build_report(&self, new_function: FunctionId, cycle: &Cycle) -> CycleReport {
+        let candidates = cycle.candidates(&self.graph);
+        fdb_obs::registry()
+            .graph_design_candidates
+            .add(candidates.len() as u64);
         CycleReport {
             new_function,
             cycle: cycle.functions(&self.graph),
-            candidates: cycle.candidates(&self.graph),
+            candidates,
             rendered: cycle.render(&self.graph, &self.schema),
         }
     }

@@ -147,6 +147,21 @@ pub enum Statement {
         /// Range value.
         y: String,
     },
+    /// `EXPLAIN ANALYZE f(x, y)` — execute the truth query and report
+    /// per-derivation plans, estimate-vs-actual chain counts, cache
+    /// outcome, governor charge and timing.
+    ExplainAnalyze {
+        /// Function name.
+        function: String,
+        /// Domain value.
+        x: String,
+        /// Range value.
+        y: String,
+    },
+    /// `STATS RESET` — zero the process-wide metrics registry.
+    StatsReset,
+    /// `STATS JSON` — dump the metrics registry as JSON.
+    StatsJson,
     /// `SOURCE "path"` — execute a script file, line by line.
     Source {
         /// Script file path.

@@ -1,9 +1,9 @@
 //! Statement evaluator.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fdb_core::{resolve_ambiguities, Budget, CancelToken, Database, Governor, Outcome};
-use fdb_exec::{CacheStats, ResultCache};
+use fdb_exec::{CacheProbe, CacheReport, ResultCache};
 use fdb_types::{Derivation, FdbError, Result, Schema, Step, Value};
 
 use crate::ast::{DeriveStep, Statement};
@@ -64,13 +64,15 @@ statements (one per line; `--` starts a comment):
   EVAL x : f o g^-1 o ...                    ad-hoc path expression
   EXPLAIN f(x, y)                            evidence for a verdict
   EXPLAIN PLAN f(x, y)                       chain plan + cost estimates
+  EXPLAIN ANALYZE f(x, y)                    execute + plan/actual report
   INVERSE f(y)                               inverse image of y
   SOURCE \"file\"                              run a script file
   BEGIN / COMMIT / ABORT                     savepoint transactions
   SAVE \"file\"    LOAD \"file\"                 snapshot persistence
   DUMP \"file\"                                re-runnable script export
   TIMEOUT <ms> | OFF                         per-statement query deadline
-  SCHEMA  STATS  RESOLVE  CHECK  HELP
+  STATS [RESET | JSON]                       metrics (text, zero, JSON)
+  SCHEMA  RESOLVE  CHECK  HELP
 ";
 
 impl Engine {
@@ -92,10 +94,11 @@ impl Engine {
         }
     }
 
-    /// Hit/miss/invalidation counters of the engine's derived-result
-    /// cache.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+    /// Unified cache statistics: the engine's own derived-result cache
+    /// (counters + entry counts) next to the process-wide `fdb.cache.*`
+    /// registry counters, so one call reports both layers.
+    pub fn cache_stats(&self) -> CacheReport {
+        self.cache.report()
     }
 
     /// The underlying database.
@@ -161,8 +164,23 @@ impl Engine {
         if self.source_depth == 0 {
             self.cancel.reset();
         }
-        let stmt = parse_statement(line, self.line)?;
-        self.execute(stmt)
+        let t0 = Instant::now();
+        let _span = fdb_obs::tracer().span("fdb.lang.statement", || {
+            line.split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_ascii_uppercase()
+        });
+        let result = parse_statement(line, self.line).and_then(|stmt| self.execute(stmt));
+        let reg = fdb_obs::registry();
+        reg.lang_statements.inc();
+        reg.statement_latency_ns
+            .record(t0.elapsed().as_nanos() as u64);
+        match &result {
+            Ok(out) => reg.lang_rows_produced.add(out.lines().count() as u64),
+            Err(_) => reg.lang_statement_errors.inc(),
+        }
+        result
     }
 
     /// Executes a parsed statement.
@@ -245,13 +263,21 @@ impl Engine {
                     if let Some(e) = err {
                         return Err(e);
                     }
+                    if t == fdb_storage::Truth::Ambiguous {
+                        fdb_obs::registry().query_ambiguous_verdicts.inc();
+                    }
                     return Ok(format!("{}\n", t.flag()));
                 }
                 let gov = self.statement_governor();
                 let outcome = self.db.truth_governed(f, &vx, &vy, &gov)?;
                 // An exhausted truth is a lower bound, not a verdict —
                 // mark it so `F` under a timeout is not read as proof.
-                Ok(Self::render_outcome(outcome, |t| format!("{}\n", t.flag())))
+                Ok(Self::render_outcome(outcome, |t| {
+                    if t == fdb_storage::Truth::Ambiguous {
+                        fdb_obs::registry().query_ambiguous_verdicts.inc();
+                    }
+                    format!("{}\n", t.flag())
+                }))
             }
             Statement::Show { function } => {
                 let f = self.db.resolve(&function)?;
@@ -295,7 +321,7 @@ impl Engine {
             Statement::Schema => Ok(self.db.schema().to_string()),
             Statement::Stats => {
                 let s = self.db.stats();
-                Ok(format!(
+                let mut out = format!(
                     "base facts: {} | ambiguous: {} | NCs: {} | nulls: {} | functions: {} base + {} derived\n",
                     s.base_facts,
                     s.ambiguous_facts,
@@ -303,7 +329,19 @@ impl Engine {
                     s.nulls_generated,
                     s.base_functions,
                     s.derived_functions
-                ))
+                );
+                out.push_str(&fdb_obs::render_text(fdb_obs::registry()));
+                Ok(out)
+            }
+            Statement::StatsReset => {
+                fdb_obs::registry().reset();
+                fdb_obs::tracer().clear();
+                Ok("metrics reset\n".to_owned())
+            }
+            Statement::StatsJson => {
+                let mut out = fdb_obs::render_json(fdb_obs::registry());
+                out.push('\n');
+                Ok(out)
             }
             Statement::Resolve => {
                 let out = resolve_ambiguities(&mut self.db);
@@ -381,6 +419,22 @@ impl Engine {
                     .explain_plan(f, &Value::atom(&x), &Value::atom(&y))?;
                 Ok(crate::format::render_plan_reports(
                     &self.db, f, &x, &y, &reports,
+                ))
+            }
+            Statement::ExplainAnalyze { function, x, y } => {
+                let f = self.db.resolve(&function)?;
+                let (vx, vy) = (Value::atom(&x), Value::atom(&y));
+                // Probe (not touch) the cache first, so the report says
+                // what a real TRUTH would find without disturbing the
+                // counters it is reporting on.
+                let probe = if self.db.is_derived(f) {
+                    self.cache.probe_truth(self.db.store(), f, &vx, &vy)
+                } else {
+                    CacheProbe::Miss
+                };
+                let report = self.db.explain_analyze(f, &vx, &vy)?;
+                Ok(crate::format::render_analyze_report(
+                    &self.db, f, &x, &y, probe, &report,
                 ))
             }
             Statement::Source { path } => {
@@ -549,16 +603,85 @@ mod tests {
         // a write outside the support set keeps it warm.
         assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
         assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
-        assert_eq!(e.cache_stats().hits, 1);
+        assert_eq!(e.cache_stats().local.hits, 1);
         e.execute_line("INSERT office(euclid, e-101)").unwrap();
         assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
-        assert_eq!(e.cache_stats().hits, 2);
-        assert_eq!(e.cache_stats().invalidations, 0);
+        assert_eq!(e.cache_stats().local.hits, 2);
+        assert_eq!(e.cache_stats().local.invalidations, 0);
+        assert_eq!(e.cache_stats().truth_entries, 1);
+        // The global layer has seen at least this engine's traffic.
+        assert!(e.cache_stats().global.hits >= e.cache_stats().local.hits);
 
         // A support-set write invalidates and the answer tracks it.
         e.execute_line("DELETE class_list(math, john)").unwrap();
         assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "F\n");
-        assert_eq!(e.cache_stats().invalidations, 1);
+        assert_eq!(e.cache_stats().local.invalidations, 1);
+    }
+
+    #[test]
+    fn explain_analyze_statement_reports_execution() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        let out = e
+            .execute_line("EXPLAIN ANALYZE pupil(euclid, john)")
+            .unwrap();
+        assert!(out.contains("verdict T"), "got: {out}");
+        assert!(out.contains("cache miss"), "got: {out}");
+        assert!(out.contains("direction:"), "got: {out}");
+        assert!(out.contains("actual chains: 1"), "got: {out}");
+        assert!(out.contains("exact true: 1"), "got: {out}");
+        assert!(out.contains("governor steps:"), "got: {out}");
+        assert!(out.contains("total time:"), "got: {out}");
+
+        // Warm the cache, then EXPLAIN ANALYZE reports a hit without
+        // disturbing the cached answer.
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
+        let out = e
+            .execute_line("EXPLAIN ANALYZE pupil(euclid, john)")
+            .unwrap();
+        assert!(out.contains("cache hit"), "got: {out}");
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
+        assert_eq!(e.cache_stats().local.hits, 1);
+
+        // Base functions report the probe shape, not a plan.
+        let out = e
+            .execute_line("EXPLAIN ANALYZE teach(euclid, math)")
+            .unwrap();
+        assert!(out.contains("base function"), "got: {out}");
+        assert!(out.contains("verdict T"), "got: {out}");
+    }
+
+    #[test]
+    fn stats_variants_reset_and_json() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             INSERT teach(euclid, math)\n\
+             TRUTH teach(euclid, math)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        let stats = e.execute_line("STATS").unwrap();
+        assert!(stats.contains("fdb.lang.statements"), "got: {stats}");
+        let json = e.execute_line("STATS JSON").unwrap();
+        assert!(json.trim_start().starts_with('{'), "got: {json}");
+        assert!(json.contains("\"fdb.lang.statements\""), "got: {json}");
+        assert_eq!(e.execute_line("STATS RESET").unwrap(), "metrics reset\n");
     }
 
     #[test]

@@ -88,6 +88,51 @@ pub fn render_plan_reports(
     out
 }
 
+/// Renders the output of `EXPLAIN ANALYZE f(x, y)`. Every timing field
+/// is isolated on lines containing the word "time" so tests (and users
+/// diffing output) can filter the unstable parts and compare the rest
+/// verbatim.
+pub fn render_analyze_report(
+    db: &Database,
+    f: FunctionId,
+    x: &str,
+    y: &str,
+    cache: fdb_exec::CacheProbe,
+    report: &fdb_core::AnalyzeReport,
+) -> String {
+    let name = &db.schema().function(f).name;
+    let mut out = format!(
+        "analyze {name}({x}, {y}): verdict {}, cache {cache}\n",
+        report.verdict.flag()
+    );
+    if !report.is_derived {
+        out.push_str(&format!(
+            "  {name} is a base function: single index probe, no plan\n"
+        ));
+    }
+    for r in &report.derivations {
+        let stop = match &r.stop {
+            Some(reason) => format!(", truncated by {reason}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  derivation {}: {} — direction: {}, est cost: {:.1}, est chains: {:.1}, actual chains: {}, exact true: {}, nc-demoted: {}, governor steps: {}{stop}\n",
+            r.derivation + 1,
+            r.rendered,
+            r.direction,
+            r.est_cost,
+            r.est_chains,
+            r.actual_chains,
+            r.exact_true_chains,
+            r.nc_demoted_chains,
+            r.governor_steps,
+        ));
+        out.push_str(&format!("    time: {} ns\n", r.elapsed_ns));
+    }
+    out.push_str(&format!("  total time: {} ns\n", report.elapsed_ns));
+    out
+}
+
 /// Quotes a value for script output when it is not a bare identifier.
 fn script_value(v: &fdb_types::Value) -> String {
     let s = v.to_string();

@@ -196,19 +196,26 @@ impl Parser {
                 path: self.ident("file path")?,
             },
             "EXPLAIN" => {
-                // `EXPLAIN PLAN f(x, y)` vs `EXPLAIN f(x, y)`: PLAN is
-                // only a keyword when a function name follows it, so a
-                // function actually called "plan" still works.
-                let is_plan = matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("plan"))
+                // `EXPLAIN PLAN f(x, y)` / `EXPLAIN ANALYZE f(x, y)` vs
+                // plain `EXPLAIN f(x, y)`: PLAN/ANALYZE is only a keyword
+                // when a function name follows it, so a function actually
+                // called "plan" or "analyze" still works.
+                let modifier =
+                    |s: &str| s.eq_ignore_ascii_case("plan") || s.eq_ignore_ascii_case("analyze");
+                let is_modified = matches!(self.peek(), Some(Token::Ident(s)) if modifier(s))
                     && matches!(
                         self.tokens.get(self.pos + 1),
                         Some(Token::Ident(_)) | Some(Token::Str(_))
                     );
-                if is_plan {
-                    self.next();
+                if is_modified {
+                    let word = self.ident("PLAN or ANALYZE")?;
                     let function = self.ident("function name")?;
                     let (x, y) = self.pair()?;
-                    Statement::ExplainPlan { function, x, y }
+                    if word.eq_ignore_ascii_case("plan") {
+                        Statement::ExplainPlan { function, x, y }
+                    } else {
+                        Statement::ExplainAnalyze { function, x, y }
+                    }
                 } else {
                     let function = self.ident("function name")?;
                     let (x, y) = self.pair()?;
@@ -241,7 +248,17 @@ impl Parser {
                 }
             }
             "SCHEMA" => Statement::Schema,
-            "STATS" => Statement::Stats,
+            "STATS" => match self.peek() {
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("reset") => {
+                    self.next();
+                    Statement::StatsReset
+                }
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("json") => {
+                    self.next();
+                    Statement::StatsJson
+                }
+                _ => Statement::Stats,
+            },
             "RESOLVE" => Statement::Resolve,
             "CHECK" => Statement::Check,
             "HELP" => Statement::Help,
@@ -351,6 +368,36 @@ mod tests {
         assert_eq!(
             parse_statement("  -- nothing", 1).unwrap(),
             Statement::Empty
+        );
+    }
+
+    #[test]
+    fn parses_explain_analyze_and_stats_variants() {
+        assert_eq!(
+            parse_statement("EXPLAIN ANALYZE pupil(euclid, john)", 1).unwrap(),
+            Statement::ExplainAnalyze {
+                function: "pupil".into(),
+                x: "euclid".into(),
+                y: "john".into(),
+            }
+        );
+        assert_eq!(
+            parse_statement("STATS RESET", 1).unwrap(),
+            Statement::StatsReset
+        );
+        assert_eq!(
+            parse_statement("stats json", 1).unwrap(),
+            Statement::StatsJson
+        );
+        // A function literally named "analyze" still explains plainly:
+        // ANALYZE is only a modifier when a function name follows it.
+        assert_eq!(
+            parse_statement("EXPLAIN analyze(a, b)", 1).unwrap(),
+            Statement::Explain {
+                function: "analyze".into(),
+                x: "a".into(),
+                y: "b".into(),
+            }
         );
     }
 

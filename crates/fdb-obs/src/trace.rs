@@ -1,0 +1,247 @@
+//! Structured span/event tracer with bounded ring-buffer retention.
+//!
+//! The tracer keeps the last N interesting moments — statement
+//! executions, recovery passes, checkpoints, overload sheds — as
+//! structured [`TraceEvent`]s. Retention is a fixed-capacity ring:
+//! recording never allocates beyond the buffer, never blocks readers
+//! for long (one short mutex hold), and old events are overwritten,
+//! never accumulated. A monotone sequence number plus a dropped-count
+//! make overwriting visible to consumers.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default ring capacity (events retained).
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// One recorded moment: an instantaneous event (`dur_ns == None`) or a
+/// completed span (`dur_ns == Some(elapsed)`).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Monotone sequence number, 0-based from tracer creation. Gaps
+    /// never occur; the ring dropping old events shows up as `recent()`
+    /// starting above the last-seen seq.
+    pub seq: u64,
+    /// Nanoseconds since the tracer's epoch (first use).
+    pub at_ns: u64,
+    /// Span duration in nanoseconds; `None` for point events.
+    pub dur_ns: Option<u64>,
+    /// Static name, dotted like metric keys (`fdb.lang.statement`).
+    pub name: &'static str,
+    /// Free-form detail (statement text, file path, reason).
+    pub detail: String,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded event recorder. Reach the process-wide instance through
+/// [`crate::tracer`].
+pub struct Tracer {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Tracer {
+    /// A tracer with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A tracer retaining at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            epoch: Instant::now(),
+            capacity,
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn push(&self, name: &'static str, detail: String, dur_ns: Option<u64>) {
+        let at_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut ring = match self.ring.lock() {
+            Ok(g) => g,
+            // A panicking recorder can't corrupt a VecDeque of plain
+            // data; keep tracing through poison.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.events.push_back(TraceEvent {
+            seq,
+            at_ns,
+            dur_ns,
+            name,
+            detail,
+        });
+    }
+
+    /// Records a point event, if recording is enabled. `detail` is
+    /// built lazily so disabled tracing does not pay for formatting.
+    pub fn event(&self, name: &'static str, detail: impl FnOnce() -> String) {
+        if crate::enabled() {
+            self.push(name, detail(), None);
+        }
+    }
+
+    /// Opens a span; its duration is recorded when the returned guard
+    /// drops. When recording is disabled the guard is inert.
+    pub fn span(&self, name: &'static str, detail: impl FnOnce() -> String) -> Span<'_> {
+        if crate::enabled() {
+            Span {
+                tracer: Some(self),
+                name,
+                detail: detail(),
+                started: Instant::now(),
+            }
+        } else {
+            Span {
+                tracer: None,
+                name,
+                detail: String::new(),
+                started: Instant::now(),
+            }
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        let ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.events.iter().cloned().collect()
+    }
+
+    /// Events overwritten by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        let ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.dropped
+    }
+
+    /// Discards all retained events (sequence numbers keep counting).
+    pub fn clear(&self) {
+        let mut ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.events.clear();
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Tracer::span`]; records the span's duration on
+/// drop. Inert when tracing was disabled at open time.
+#[must_use = "a span records its duration when dropped"]
+pub struct Span<'a> {
+    tracer: Option<&'a Tracer>,
+    name: &'static str,
+    detail: String,
+    started: Instant,
+}
+
+impl Span<'_> {
+    /// Replaces the span's detail text (e.g. to append an outcome).
+    pub fn set_detail(&mut self, detail: String) {
+        if self.tracer.is_some() {
+            self.detail = detail;
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(tracer) = self.tracer {
+            let dur = self.started.elapsed().as_nanos() as u64;
+            tracer.push(self.name, std::mem::take(&mut self.detail), Some(dur));
+        }
+    }
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_and_spans_are_recorded_in_order() {
+        crate::set_enabled(true);
+        let t = Tracer::with_capacity(8);
+        t.event("fdb.test.point", || "first".to_string());
+        {
+            let _span = t.span("fdb.test.span", || "second".to_string());
+        }
+        let events = t.recent();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "fdb.test.point");
+        assert_eq!(events[0].dur_ns, None);
+        assert_eq!(events[1].name, "fdb.test.span");
+        assert!(events[1].dur_ns.is_some());
+        assert_eq!(events[0].seq + 1, events[1].seq);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_drops() {
+        crate::set_enabled(true);
+        let t = Tracer::with_capacity(3);
+        for i in 0..5u32 {
+            t.event("fdb.test.fill", move || i.to_string());
+        }
+        let events = t.recent();
+        assert_eq!(events.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(events[0].detail, "2");
+        assert_eq!(events[0].seq, 2);
+        t.clear();
+        assert!(t.recent().is_empty());
+        t.event("fdb.test.after", String::new);
+        assert_eq!(t.recent()[0].seq, 5, "seq keeps counting across clear");
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_skips_formatting() {
+        let t = Tracer::with_capacity(4);
+        crate::set_enabled(false);
+        t.event("fdb.test.off", || unreachable!("detail must stay lazy"));
+        {
+            let _span = t.span("fdb.test.off", || unreachable!("detail must stay lazy"));
+        }
+        crate::set_enabled(true);
+        assert!(t.recent().is_empty());
+    }
+}

@@ -186,6 +186,7 @@ impl Store {
     /// rows); unknown conjuncts are ignored defensively after a debug
     /// assertion.
     pub fn create_nc(&mut self, conjuncts: Vec<Fact>) -> NcId {
+        fdb_obs::registry().storage_ncs_created.inc();
         self.version += 1;
         let id = self.ncs.create(conjuncts.clone());
         for fact in &conjuncts {
@@ -205,6 +206,7 @@ impl Store {
     /// ambiguous ("each element of NC(d) is ambiguous, while their
     /// conjunction is not false").
     pub fn dismantle_nc(&mut self, id: NcId) {
+        fdb_obs::registry().storage_ncs_dismantled.inc();
         self.version += 1;
         for fact in self.ncs.dismantle(id) {
             self.bump_fn(fact.function);
@@ -224,6 +226,7 @@ impl Store {
     ///        set the truth-flag of <x,y> to T }
     /// ```
     pub fn base_insert(&mut self, f: FunctionId, x: Value, y: Value) {
+        fdb_obs::registry().storage_base_inserts.inc();
         self.version += 1;
         self.bump_fn(f);
         self.ensure_table(f);
@@ -269,6 +272,7 @@ impl Store {
             self.dismantle_nc(d);
         }
         self.tables[f.index()].remove(x, y);
+        fdb_obs::registry().storage_base_deletes.inc();
         self.maybe_compact(f);
         true
     }
@@ -294,6 +298,7 @@ impl Store {
         if from == to {
             return;
         }
+        fdb_obs::registry().storage_null_substitutions.inc();
         // Null substitution can rewrite rows and NC conjuncts anywhere;
         // it is rare, so be conservative and bump every function.
         for fi in 0..self.tables.len() {

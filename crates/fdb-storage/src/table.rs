@@ -269,6 +269,7 @@ impl Table {
 
     /// Indices of live rows whose domain value equals `v` exactly.
     pub fn rows_with_x(&self, v: &Value) -> impl Iterator<Item = usize> + '_ {
+        fdb_obs::registry().storage_index_probes.inc();
         self.by_x
             .get(v)
             .into_iter()
@@ -279,6 +280,7 @@ impl Table {
 
     /// Indices of live rows whose range value equals `v` exactly.
     pub fn rows_with_y(&self, v: &Value) -> impl Iterator<Item = usize> + '_ {
+        fdb_obs::registry().storage_index_probes.inc();
         self.by_y
             .get(v)
             .into_iter()
@@ -305,6 +307,7 @@ impl Table {
 
     /// Indices of all live rows.
     pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        fdb_obs::registry().storage_table_scans.inc();
         (0..self.rows.len()).filter(move |&i| self.rows[i].alive)
     }
 
@@ -321,6 +324,7 @@ impl Table {
         if self.dead == 0 {
             return;
         }
+        fdb_obs::registry().storage_compactions.inc();
         self.rows.retain(|r| r.alive);
         self.rebuild_index();
     }

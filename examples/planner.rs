@@ -87,10 +87,10 @@ fn main() -> Result<(), FdbError> {
     run(&mut engine, "TRUTH pupil(laplace, john)")?;
     let stats = engine.cache_stats();
     println!(
-        "cache: {} hits, {} misses, {} invalidations",
-        stats.hits, stats.misses, stats.invalidations
+        "cache: {} hits, {} misses, {} invalidations ({} truth entries)",
+        stats.local.hits, stats.local.misses, stats.local.invalidations, stats.truth_entries
     );
-    assert_eq!(stats.hits, 2);
-    assert_eq!(stats.invalidations, 0);
+    assert_eq!(stats.local.hits, 2);
+    assert_eq!(stats.local.invalidations, 0);
     Ok(())
 }

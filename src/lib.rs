@@ -15,6 +15,8 @@
 //! * [`core`] — the database engine: updates, queries, consistency,
 //!   FD-based ambiguity resolution, snapshots;
 //! * [`lang`] — a DAPLEX-flavoured textual front end and REPL;
+//! * [`obs`] — the process-wide metrics registry, structured tracer and
+//!   exporters behind `STATS` and `EXPLAIN ANALYZE`;
 //! * [`relational`] — the Dayal–Bernstein / Fagin–Ullman–Vardi view-update
 //!   baselines the paper compares against;
 //! * [`workload`] — seeded generators and the paper's university example.
@@ -63,6 +65,7 @@ pub use fdb_exec as exec;
 pub use fdb_governor as governor;
 pub use fdb_graph as graph;
 pub use fdb_lang as lang;
+pub use fdb_obs as obs;
 pub use fdb_relational as relational;
 pub use fdb_storage as storage;
 pub use fdb_types as types;

@@ -1,0 +1,177 @@
+//! Observability surface: golden `EXPLAIN ANALYZE` output on the paper's
+//! Example 1 derivation, and registry invariants (monotone counters,
+//! `STATS RESET` zeroing) under random statement sequences.
+//!
+//! The metrics registry is process-global, so the tests in this file
+//! serialize on a lock: monotonicity would survive interleaving (other
+//! threads only increment), but the reset-zeroes assertion would not.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use fdb::lang::Engine;
+use fdb::obs;
+
+/// Serializes the tests in this binary around the global registry.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    REGISTRY_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The paper's Example 1: `pupil = teach o class_list` with euclid and
+/// laplace both teaching math to john and bill.
+fn university() -> Engine {
+    let mut e = Engine::new();
+    for line in [
+        "DECLARE teach: faculty -> course (many-many)",
+        "DECLARE class_list: course -> student (many-many)",
+        "DECLARE pupil: faculty -> student (many-many)",
+        "DERIVE pupil = teach o class_list",
+        "INSERT teach(euclid, math)",
+        "INSERT teach(laplace, math)",
+        "INSERT class_list(math, john)",
+        "INSERT class_list(math, bill)",
+    ] {
+        e.execute_line(line).unwrap();
+    }
+    e
+}
+
+/// Drops every line containing the word "time" — the renderer isolates
+/// all timing on such lines precisely so this filter leaves a stable,
+/// byte-comparable report.
+fn stable_lines(report: &str) -> String {
+    report
+        .lines()
+        .filter(|l| !l.contains("time"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+#[test]
+fn explain_analyze_golden_output_on_example_1() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let mut e = university();
+
+    let out = e
+        .execute_line("EXPLAIN ANALYZE pupil(euclid, john)")
+        .unwrap();
+    assert_eq!(
+        stable_lines(&out),
+        "analyze pupil(euclid, john): verdict T, cache miss\n\
+         \x20 derivation 1: teach o class_list — direction: forward, \
+         est cost: 3.0, est chains: 1.0, actual chains: 1, exact true: 1, \
+         nc-demoted: 0, governor steps: 3\n"
+    );
+
+    // Deleting the derived fact leaves partial information behind: the
+    // chain still matches but is demoted by the recorded NC, and the
+    // verdict flips to F. The report shows exactly that.
+    e.execute_line("DELETE pupil(euclid, john)").unwrap();
+    let out = e
+        .execute_line("EXPLAIN ANALYZE pupil(euclid, john)")
+        .unwrap();
+    assert_eq!(
+        stable_lines(&out),
+        "analyze pupil(euclid, john): verdict F, cache miss\n\
+         \x20 derivation 1: teach o class_list — direction: forward, \
+         est cost: 3.0, est chains: 1.0, actual chains: 1, exact true: 0, \
+         nc-demoted: 1, governor steps: 3\n"
+    );
+
+    // Base functions report the probe shape instead of a plan.
+    let out = e
+        .execute_line("EXPLAIN ANALYZE teach(euclid, math)")
+        .unwrap();
+    assert_eq!(
+        stable_lines(&out),
+        "analyze teach(euclid, math): verdict A, cache miss\n\
+         \x20 teach is a base function: single index probe, no plan\n"
+    );
+}
+
+/// Statement vocabulary for the random sequences: a mix of reads, writes,
+/// introspection and one guaranteed parse error.
+const VOCAB: &[&str] = &[
+    "INSERT teach(euclid, math)",
+    "INSERT class_list(math, john)",
+    "INSERT class_list(physics, ada)",
+    "DELETE pupil(euclid, john)",
+    "DELETE class_list(math, john)",
+    "TRUTH pupil(euclid, john)",
+    "TRUTH pupil(laplace, bill)",
+    "QUERY pupil(euclid)",
+    "INVERSE pupil(john)",
+    "SHOW teach",
+    "EXPLAIN pupil(euclid, john)",
+    "EXPLAIN PLAN pupil(euclid, john)",
+    "EXPLAIN ANALYZE pupil(laplace, john)",
+    "CHECK",
+    "STATS",
+    "THIS IS NOT A STATEMENT (",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counters are monotonically non-decreasing across any statement
+    /// sequence, and `STATS RESET` zeroes every one of them.
+    #[test]
+    fn counters_are_monotone_and_reset_zeroes(
+        picks in prop::collection::vec(0usize..VOCAB.len(), 1..40),
+    ) {
+        let _guard = lock();
+        obs::set_enabled(true);
+        let mut e = university();
+        let mut prev = obs::registry().snapshot();
+        for &i in &picks {
+            // Semantic and parse errors are fine — they are themselves
+            // counted statements.
+            let _ = e.execute_line(VOCAB[i]);
+            let next = obs::registry().snapshot();
+            for (p, n) in prev.counters.iter().zip(next.counters.iter()) {
+                prop_assert_eq!(p.key, n.key);
+                prop_assert!(
+                    n.value >= p.value,
+                    "counter {} went backwards: {} -> {}", n.key, p.value, n.value
+                );
+            }
+            for (p, n) in prev.histograms.iter().zip(next.histograms.iter()) {
+                prop_assert_eq!(p.key, n.key);
+                prop_assert!(
+                    n.state.count >= p.state.count,
+                    "histogram {} count went backwards", n.key
+                );
+            }
+            prev = next;
+        }
+
+        // `STATS RESET` zeroes the registry; the reset statement itself is
+        // then the first statement of the fresh epoch, so the language
+        // front end's own accounting may show exactly that one statement.
+        e.execute_line("STATS RESET").unwrap();
+        let zeroed = obs::registry().snapshot();
+        for c in &zeroed.counters {
+            let allowed = match c.key {
+                "fdb.lang.statements" | "fdb.lang.rows_produced" => 1,
+                _ => 0,
+            };
+            prop_assert!(
+                c.value <= allowed,
+                "counter {} survived STATS RESET at {}", c.key, c.value
+            );
+        }
+        for h in &zeroed.histograms {
+            let allowed = if h.key == "fdb.lang.statement_latency_ns" { 1 } else { 0 };
+            prop_assert!(
+                h.state.count <= allowed,
+                "histogram {} survived STATS RESET", h.key
+            );
+        }
+    }
+}
