@@ -1,0 +1,1112 @@
+//! The analysis passes.
+//!
+//! [`analyze_script`] walks a [`CheckStmt`] list once, front to back,
+//! interleaving four kinds of checks:
+//!
+//! 1. **Resolution / well-formedness** — undefined or duplicate names,
+//!    derivations that do not chain, wrong endpoints or functionality,
+//!    self-reference, steps through derived functions, shadowed base
+//!    facts (`FDB001`–`FDB008`). These mirror exactly what the engine
+//!    rejects at runtime, so they are all errors.
+//! 2. **Three-valued abstract interpretation** — the analyzer maintains
+//!    an abstract table per base function holding the script's literal
+//!    pairs tagged `True` or `Ambiguous`, replays derived inserts (null
+//!    taint) and derived deletes (chain demotion, exactly the paper's
+//!    "every member of a negated conjunction becomes ambiguous"), and
+//!    flags reads guaranteed to return `ambiguous` (`FDB020`), derived
+//!    inserts that must raise a functionality conflict (`FDB021`),
+//!    derived deletes with no chain to negate (`FDB022`) and dead writes
+//!    (`FDB023`). Anything that opens the world (`LOAD`, `SOURCE`,
+//!    `ABORT`) mutes these lints — "guaranteed" claims need a closed
+//!    world.
+//! 3. **Cost / feasibility** — the final abstract table sizes feed
+//!    [`fdb_exec::estimate`] per registered derivation; an unbound
+//!    enumeration whose estimated chain count exceeds the configured
+//!    budget raises `FDB030`.
+//! 4. **Schema design** — a final sweep reuses `fdb-graph`'s lint
+//!    (`FDB009` alias pairs, `FDB010` derivable-from-rest) plus an
+//!    incremental union-find that flags every `DECLARE` closing a cycle
+//!    in the function graph (`FDB031`, the paper's warning that design
+//!    analysis without the UFA can be exponential).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::str::FromStr;
+
+use fdb_exec::StepProfile;
+use fdb_graph::{lint, PathLimits};
+use fdb_types::{Functionality, Schema, Span};
+
+use crate::diag::{sort_diagnostics, tally, Code, Diagnostic};
+use crate::script::{CheckStmt, Name, StepRef};
+
+/// Tunables for the analyzer.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// `FDB030` fires when a derivation's estimated unbound chain count
+    /// exceeds this.
+    pub chain_budget: f64,
+    /// Abstract chain evaluation gives up (returning "unknown", which
+    /// mutes the three-valued lints) after this many frontier expansions.
+    pub max_abstract_expansions: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            chain_budget: 10_000.0,
+            max_abstract_expansions: 4096,
+        }
+    }
+}
+
+/// Analyzes a whole script. Pure with respect to any database: the only
+/// observable side effect is bumping the `fdb.check.*` metrics counters.
+pub fn analyze_script(stmts: &[CheckStmt], config: &CheckConfig) -> Vec<Diagnostic> {
+    let mut a = Analyzer::new(config);
+    for s in stmts {
+        a.visit(s);
+    }
+    let mut diags = a.finish();
+    sort_diagnostics(&mut diags);
+    bump_counters(&diags);
+    diags
+}
+
+/// Analyzes a bare schema (no script): only the design pass runs, with
+/// diagnostics anchored to no source location (`line == 0`).
+pub fn analyze_schema(schema: &Schema, config: &CheckConfig) -> Vec<Diagnostic> {
+    let _ = config;
+    let mut diags = Vec::new();
+    schema_pass(schema, &HashMap::new(), &HashSet::new(), &mut diags);
+    sort_diagnostics(&mut diags);
+    bump_counters(&diags);
+    diags
+}
+
+fn bump_counters(diags: &[Diagnostic]) {
+    let reg = fdb_obs::registry();
+    reg.check_runs.inc();
+    let (e, w, i) = tally(diags);
+    reg.check_diags_error.add(e as u64);
+    reg.check_diags_warn.add(w as u64);
+    reg.check_diags_info.add(i as u64);
+}
+
+/// Abstract truth of one stored pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Abs {
+    /// Literally inserted and not disturbed since.
+    True,
+    /// Inside some negated conjunction (demoted by a derived delete).
+    Amb,
+}
+
+/// Result of abstractly evaluating a fact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AbsTruth {
+    True,
+    Amb,
+    False,
+    /// The analyzer cannot tell (nulls, RESOLVE, caps, open world).
+    Unknown,
+}
+
+/// Abstract state of one base function's table.
+#[derive(Clone, Debug, Default)]
+struct Table {
+    /// Script-literal pairs and their abstract truth.
+    pairs: BTreeMap<(String, String), Abs>,
+    /// Number of null-valued chain links parked here by derived inserts.
+    nulls: usize,
+    /// `true` once the table may hold pairs the analyzer cannot
+    /// enumerate (after `RESOLVE` rewrote nulls, for example).
+    fuzzy: bool,
+}
+
+impl Table {
+    fn is_sharp(&self) -> bool {
+        self.nulls == 0 && !self.fuzzy
+    }
+}
+
+/// A resolved derivation step over the shadow schema (base names only).
+#[derive(Clone, Debug)]
+struct RStep {
+    function: String,
+    inverse: bool,
+}
+
+/// One enumerated abstract chain: the value it ends on, whether every
+/// link is exact, and the base-table links it traverses.
+struct Chain {
+    end: String,
+    exact: bool,
+    links: Vec<(String, (String, String))>,
+}
+
+struct Analyzer<'a> {
+    cfg: &'a CheckConfig,
+    diags: Vec<Diagnostic>,
+    schema: Schema,
+    declare_spans: HashMap<String, Span>,
+    /// In-script derivations per derived function name.
+    derived: HashMap<String, Vec<Vec<RStep>>>,
+    /// Every successfully registered `DERIVE` site, for the cost pass.
+    derive_sites: Vec<(String, Vec<RStep>, Span)>,
+    tables: HashMap<String, Table>,
+    /// Facts asserted directly on derived functions (via NVC inserts).
+    derived_facts: HashMap<String, BTreeMap<(String, String), Abs>>,
+    /// Derived facts explicitly deleted (definitely false until the next
+    /// write).
+    derived_deleted: HashMap<String, HashSet<(String, String)>>,
+    /// Union-find over type names, for FDB031.
+    dsu: HashMap<String, String>,
+    /// Once true, the database may hold state the script does not spell
+    /// out; all "guaranteed" lints are muted from here on.
+    open_world: bool,
+    /// Monotone statement counter for read/write ordering.
+    seq: usize,
+    /// Base inserts not yet read or deleted: `(f, x, y) → (span, seq)`.
+    pending_inserts: HashMap<(String, String, String), (Span, usize)>,
+    /// Last read touching each function (directly or via a derivation).
+    reads_seen: HashMap<String, usize>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(cfg: &'a CheckConfig) -> Self {
+        Analyzer {
+            cfg,
+            diags: Vec::new(),
+            schema: Schema::new(),
+            declare_spans: HashMap::new(),
+            derived: HashMap::new(),
+            derive_sites: Vec::new(),
+            tables: HashMap::new(),
+            derived_facts: HashMap::new(),
+            derived_deleted: HashMap::new(),
+            dsu: HashMap::new(),
+            open_world: false,
+            seq: 0,
+            pending_inserts: HashMap::new(),
+            reads_seen: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    // ---- union-find over type names (FDB031) ----
+
+    fn dsu_root(&mut self, t: &str) -> String {
+        let mut cur = t.to_owned();
+        loop {
+            match self.dsu.get(&cur) {
+                Some(p) if *p != cur => cur = p.clone(),
+                _ => break,
+            }
+        }
+        // Path compression.
+        let root = cur.clone();
+        let mut walk = t.to_owned();
+        while let Some(p) = self.dsu.get(&walk).cloned() {
+            if p == walk {
+                break;
+            }
+            self.dsu.insert(walk.clone(), root.clone());
+            walk = p;
+        }
+        root
+    }
+
+    /// Returns `true` if `a` and `b` were already connected.
+    fn dsu_union(&mut self, a: &str, b: &str) -> bool {
+        self.dsu.entry(a.to_owned()).or_insert_with(|| a.to_owned());
+        self.dsu.entry(b.to_owned()).or_insert_with(|| b.to_owned());
+        let ra = self.dsu_root(a);
+        let rb = self.dsu_root(b);
+        if ra == rb {
+            return true;
+        }
+        self.dsu.insert(ra, rb);
+        false
+    }
+
+    // ---- the visitor ----
+
+    fn visit(&mut self, stmt: &CheckStmt) {
+        if self.open_world {
+            return;
+        }
+        self.seq += 1;
+        match stmt {
+            CheckStmt::Declare {
+                name,
+                domain,
+                range,
+                functionality,
+                ..
+            } => self.visit_declare(name, domain, range, functionality),
+            CheckStmt::Derive { name, steps, .. } => self.visit_derive(name, steps),
+            CheckStmt::Insert { function, x, y, .. } => self.visit_insert(function, x, y, true),
+            CheckStmt::Delete { function, x, y, .. } => self.visit_delete(function, x, y, true),
+            CheckStmt::Replace {
+                function, old, new, ..
+            } => {
+                // A replace is delete-old + insert-new with the intent
+                // spelled out, so the dead-write and no-chain lints stay
+                // quiet; the conflict lint still applies to the insert.
+                self.visit_delete(function, &old.0, &old.1, false);
+                self.visit_insert(function, &new.0, &new.1, false);
+            }
+            CheckStmt::Query { function, x, .. } => self.visit_query(function, x),
+            CheckStmt::Truth { function, x, y, .. } => self.visit_truth(function, x, y),
+            CheckStmt::Inverse { function, y, .. } => self.visit_inverse(function, y),
+            CheckStmt::Read { function, .. } => {
+                if self.resolve(function).is_some() {
+                    self.mark_read(&function.text);
+                }
+            }
+            CheckStmt::Eval { steps, .. } => {
+                for s in steps {
+                    if self.resolve(&s.name).is_some() {
+                        self.mark_read(&s.name.text);
+                    }
+                }
+            }
+            CheckStmt::Resolve { .. } => {
+                // RESOLVE may discharge negated conjunctions and
+                // substitute nulls via functional dependencies; the
+                // analyzer cannot predict which, so everything ambiguous
+                // becomes unknown.
+                for t in self.tables.values_mut() {
+                    if t.nulls > 0 || t.pairs.values().any(|a| *a == Abs::Amb) {
+                        t.fuzzy = true;
+                        t.nulls = 0;
+                    }
+                    for v in t.pairs.values_mut() {
+                        if *v == Abs::Amb {
+                            *v = Abs::True; // optimistic: resolved either way
+                        }
+                    }
+                    if t.fuzzy {
+                        t.pairs.retain(|_, a| *a == Abs::True);
+                    }
+                }
+                self.derived_deleted.clear();
+            }
+            CheckStmt::Other { opens_world, .. } => {
+                if *opens_world {
+                    self.open_world = true;
+                }
+            }
+        }
+    }
+
+    /// Resolves a referenced function name, raising FDB001 when unknown.
+    fn resolve(&mut self, name: &Name) -> Option<()> {
+        if self.schema.function_by_name(&name.text).is_some() {
+            return Some(());
+        }
+        self.push(
+            Diagnostic::new(
+                Code::UndefinedFunction,
+                name.span,
+                format!("unknown function `{}`", name.text),
+            )
+            .with_hint(format!("DECLARE {}: … before using it", name.text)),
+        );
+        None
+    }
+
+    fn visit_declare(&mut self, name: &Name, domain: &str, range: &str, functionality: &Name) {
+        if self.schema.function_by_name(&name.text).is_some() {
+            let first = self.declare_spans.get(&name.text).copied();
+            let mut d = Diagnostic::new(
+                Code::DuplicateDeclare,
+                name.span,
+                format!("function `{}` is already declared", name.text),
+            );
+            if let Some(span) = first {
+                d = d.with_hint(format!("first declared at line {}", span.line));
+            }
+            self.push(d);
+            return;
+        }
+        let Ok(f) = Functionality::from_str(&functionality.text) else {
+            self.push(
+                Diagnostic::new(
+                    Code::Syntax,
+                    functionality.span,
+                    format!("unknown functionality `{}`", functionality.text),
+                )
+                .with_hint("use one-one, one-many, many-one or many-many"),
+            );
+            return;
+        };
+        if self.dsu_union(domain, range) {
+            self.push(
+                Diagnostic::new(
+                    Code::CycleWithoutUfa,
+                    name.span,
+                    format!(
+                        "`{}` closes a cycle in the function graph ({} and {} were already connected)",
+                        name.text, domain, range
+                    ),
+                )
+                .with_hint(
+                    "without the Unique Form Assumption, cycle analysis can be exponential; \
+                     run the design aid to decide which edge is derived",
+                ),
+            );
+        }
+        if self.schema.declare(&name.text, domain, range, f).is_ok() {
+            self.declare_spans.insert(name.text.clone(), name.span);
+            self.tables.insert(name.text.clone(), Table::default());
+        }
+    }
+
+    fn visit_derive(&mut self, name: &Name, steps: &[StepRef]) {
+        let Some(target) = self.schema.function_by_name(&name.text).cloned() else {
+            self.push(
+                Diagnostic::new(
+                    Code::UndefinedFunction,
+                    name.span,
+                    format!("cannot derive undeclared function `{}`", name.text),
+                )
+                .with_hint(format!("DECLARE {}: … before the DERIVE", name.text)),
+            );
+            return;
+        };
+        // Self-reference and steps through derived functions.
+        for s in steps {
+            if s.name.text == name.text {
+                self.push(
+                    Diagnostic::new(
+                        Code::SelfReferential,
+                        s.name.span,
+                        format!("derivation of `{}` mentions itself", name.text),
+                    )
+                    .with_hint("a derivation must be built from other functions"),
+                );
+                return;
+            }
+            if self.derived.contains_key(&s.name.text) {
+                self.push(
+                    Diagnostic::new(
+                        Code::StepThroughDerived,
+                        s.name.span,
+                        format!(
+                            "derivation step `{}` is itself a derived function",
+                            s.name.text
+                        ),
+                    )
+                    .with_hint(format!(
+                        "inline the derivation of `{}` into this one",
+                        s.name.text
+                    )),
+                );
+                return;
+            }
+        }
+        // Resolve every step.
+        let mut rsteps = Vec::with_capacity(steps.len());
+        for s in steps {
+            if self.schema.function_by_name(&s.name.text).is_none() {
+                self.push(
+                    Diagnostic::new(
+                        Code::UndefinedFunction,
+                        s.name.span,
+                        format!("unknown function `{}` in derivation", s.name.text),
+                    )
+                    .with_hint(format!("DECLARE {}: … before the DERIVE", s.name.text)),
+                );
+                return;
+            }
+            rsteps.push(RStep {
+                function: s.name.text.clone(),
+                inverse: s.inverse,
+            });
+        }
+        // Chaining: effective range of each step must equal the effective
+        // domain of the next.
+        let ends = |r: &RStep| {
+            let def = self.schema.function_by_name(&r.function).expect("resolved");
+            if r.inverse {
+                (def.range, def.domain)
+            } else {
+                (def.domain, def.range)
+            }
+        };
+        let (start, mut cur) = ends(&rsteps[0]);
+        for (i, r) in rsteps.iter().enumerate().skip(1) {
+            let (d, rng) = ends(r);
+            if d != cur {
+                let msg = format!(
+                    "step `{}` expects domain {} but the previous step ends at {}",
+                    steps[i].name.text,
+                    self.schema.type_name(d),
+                    self.schema.type_name(cur)
+                );
+                self.push(
+                    Diagnostic::new(Code::BrokenChain, steps[i].name.span, msg)
+                        .with_hint("insert an inverse (^-1) or an intermediate function"),
+                );
+                return;
+            }
+            cur = rng;
+        }
+        if (start, cur) != (target.domain, target.range) {
+            self.push(
+                Diagnostic::new(
+                    Code::EndpointMismatch,
+                    name.span,
+                    format!(
+                        "derivation maps {} -> {} but `{}` is declared {} -> {}",
+                        self.schema.type_name(start),
+                        self.schema.type_name(cur),
+                        name.text,
+                        self.schema.type_name(target.domain),
+                        self.schema.type_name(target.range)
+                    ),
+                )
+                .with_hint("adjust the steps or the declaration so the endpoints agree"),
+            );
+            return;
+        }
+        // Composed functionality must equal the declared one.
+        let composed = rsteps
+            .iter()
+            .map(|r| {
+                let f = self
+                    .schema
+                    .function_by_name(&r.function)
+                    .expect("resolved")
+                    .functionality;
+                if r.inverse {
+                    f.inverse()
+                } else {
+                    f
+                }
+            })
+            .reduce(Functionality::compose)
+            .expect("derivations are non-empty");
+        if composed != target.functionality {
+            self.push(
+                Diagnostic::new(
+                    Code::FunctionalityMismatch,
+                    name.span,
+                    format!(
+                        "derivation composes to {} but `{}` is declared {}",
+                        composed, name.text, target.functionality
+                    ),
+                )
+                .with_hint(format!("declare `{}` as ({})", name.text, composed)),
+            );
+            return;
+        }
+        // A derivation may not shadow facts already stored on the target.
+        let has_facts = self
+            .tables
+            .get(&name.text)
+            .is_some_and(|t| !t.pairs.is_empty() || t.nulls > 0 || t.fuzzy);
+        if has_facts {
+            self.push(
+                Diagnostic::new(
+                    Code::ShadowsFacts,
+                    name.span,
+                    format!(
+                        "`{}` already holds stored facts; deriving it would shadow them",
+                        name.text
+                    ),
+                )
+                .with_hint("move the DERIVE before the INSERTs, or DELETE the facts first"),
+            );
+            return;
+        }
+        self.derived
+            .entry(name.text.clone())
+            .or_default()
+            .push(rsteps.clone());
+        self.derive_sites
+            .push((name.text.clone(), rsteps, name.span));
+    }
+
+    fn visit_insert(&mut self, function: &Name, x: &str, y: &str, lint: bool) {
+        if self.resolve(function).is_none() {
+            return;
+        }
+        let fname = &function.text;
+        // Any write can rebuild chains, so previously deleted derived
+        // facts are no longer definitely false.
+        self.derived_deleted.clear();
+        if let Some(derivs) = self.derived.get(fname).cloned() {
+            // Derived insert. A guaranteed functionality conflict?
+            let def = self.schema.function_by_name(fname).expect("resolved");
+            if lint && def.functionality.is_functional() {
+                if let Some((exact, _)) = self.eval_image(fname, x) {
+                    if let Some(prev) = exact.iter().find(|v| v.as_str() != y) {
+                        self.push(
+                            Diagnostic::new(
+                                Code::GuaranteedConflict,
+                                function.span,
+                                format!(
+                                    "insert of `{fname}({x}, {y})` must conflict: \
+                                     `{fname}({x}) = {prev}` already holds and `{fname}` is {}",
+                                    def.functionality
+                                ),
+                            )
+                            .with_hint(format!(
+                                "REPLACE {fname}({x}, {prev}) WITH ({x}, {y}) instead"
+                            )),
+                        );
+                    }
+                }
+            }
+            // Replay the engine's choice: the shortest (first-registered)
+            // derivation carries the new fact.
+            let d = derivs
+                .iter()
+                .min_by_key(|d| d.len())
+                .expect("derived functions have at least one derivation");
+            if d.len() == 1 {
+                // Single-step derived inserts write a concrete base pair.
+                let step = &d[0];
+                let pair = if step.inverse {
+                    (y.to_owned(), x.to_owned())
+                } else {
+                    (x.to_owned(), y.to_owned())
+                };
+                if let Some(t) = self.tables.get_mut(&step.function) {
+                    t.pairs.insert(pair, Abs::True);
+                }
+            } else {
+                // Longer chains introduce nulls in every touched table.
+                for step in d {
+                    if let Some(t) = self.tables.get_mut(&step.function) {
+                        t.nulls += 1;
+                    }
+                }
+                self.derived_facts
+                    .entry(fname.clone())
+                    .or_default()
+                    .insert((x.to_owned(), y.to_owned()), Abs::True);
+            }
+        } else {
+            if let Some(t) = self.tables.get_mut(fname) {
+                t.pairs.insert((x.to_owned(), y.to_owned()), Abs::True);
+            }
+            if lint {
+                self.pending_inserts.insert(
+                    (fname.clone(), x.to_owned(), y.to_owned()),
+                    (function.span, self.seq),
+                );
+            }
+        }
+    }
+
+    fn visit_delete(&mut self, function: &Name, x: &str, y: &str, lint: bool) {
+        if self.resolve(function).is_none() {
+            return;
+        }
+        let fname = function.text.clone();
+        if let Some(derivs) = self.derived.get(&fname).cloned() {
+            // An NVC-inserted fact deletes directly.
+            if let Some(facts) = self.derived_facts.get_mut(&fname) {
+                if facts.remove(&(x.to_owned(), y.to_owned())).is_some() {
+                    self.derived_deleted
+                        .entry(fname)
+                        .or_default()
+                        .insert((x.to_owned(), y.to_owned()));
+                    return;
+                }
+            }
+            // Otherwise enumerate supporting chains and demote them.
+            let mut all_links: Vec<(String, (String, String))> = Vec::new();
+            let mut any_chain = false;
+            let mut unknown = false;
+            for d in &derivs {
+                match self.chase(d, x) {
+                    None => unknown = true,
+                    Some(chains) => {
+                        for c in chains.iter().filter(|c| c.end == y) {
+                            any_chain = true;
+                            all_links.extend(c.links.iter().cloned());
+                        }
+                    }
+                }
+            }
+            if any_chain {
+                // Every chain must be broken: each gets a negated
+                // conjunction, and every member of one is ambiguous.
+                for (f, pair) in all_links {
+                    if let Some(t) = self.tables.get_mut(&f) {
+                        if let Some(a) = t.pairs.get_mut(&pair) {
+                            *a = Abs::Amb;
+                        }
+                    }
+                }
+                self.derived_deleted
+                    .entry(fname)
+                    .or_default()
+                    .insert((x.to_owned(), y.to_owned()));
+            } else if !unknown && lint {
+                self.push(
+                    Diagnostic::new(
+                        Code::UndischargeableDelete,
+                        function.span,
+                        format!(
+                            "derived delete of `{fname}({x}, {y})` has no supporting chain: \
+                             the fact is already false and there is no negated conjunction \
+                             to discharge"
+                        ),
+                    )
+                    .with_hint("drop the DELETE, or insert the supporting facts first"),
+                );
+            }
+        } else {
+            // Base delete.
+            if let Some(t) = self.tables.get_mut(&fname) {
+                t.pairs.remove(&(x.to_owned(), y.to_owned()));
+            }
+            let key = (fname.clone(), x.to_owned(), y.to_owned());
+            if let Some((ispan, iseq)) = self.pending_inserts.remove(&key) {
+                let read_since = self.reads_seen.get(&fname).is_some_and(|&r| r > iseq);
+                if lint && !read_since {
+                    self.push(
+                        Diagnostic::new(
+                            Code::DeadWrite,
+                            function.span,
+                            format!(
+                                "`{fname}({x}, {y})` was inserted at line {} and is deleted \
+                                 here without ever being read",
+                                ispan.line
+                            ),
+                        )
+                        .with_hint("drop both statements, or query the fact in between"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn visit_query(&mut self, function: &Name, x: &str) {
+        if self.resolve(function).is_none() {
+            return;
+        }
+        self.mark_read(&function.text);
+        if let Some((exact, amb)) = self.eval_image(&function.text, x) {
+            if exact.is_empty() && !amb.is_empty() {
+                let fname = &function.text;
+                self.push(
+                    Diagnostic::new(
+                        Code::GuaranteedAmbiguous,
+                        function.span,
+                        format!(
+                            "query `{fname}({x})` is guaranteed to return only ambiguous \
+                             results"
+                        ),
+                    )
+                    .with_hint(
+                        "a derived DELETE left every candidate inside a negated conjunction",
+                    ),
+                );
+            }
+        }
+    }
+
+    fn visit_truth(&mut self, function: &Name, x: &str, y: &str) {
+        if self.resolve(function).is_none() {
+            return;
+        }
+        self.mark_read(&function.text);
+        if self.eval_truth(&function.text, x, y) == AbsTruth::Amb {
+            let fname = &function.text;
+            self.push(
+                Diagnostic::new(
+                    Code::GuaranteedAmbiguous,
+                    function.span,
+                    format!("truth of `{fname}({x}, {y})` is guaranteed ambiguous"),
+                )
+                .with_hint(
+                    "a derived DELETE placed this fact in a negated conjunction; \
+                     RESOLVE or re-INSERT to disambiguate",
+                ),
+            );
+        }
+    }
+
+    fn visit_inverse(&mut self, function: &Name, y: &str) {
+        if self.resolve(function).is_none() {
+            return;
+        }
+        self.mark_read(&function.text);
+        if let Some((exact, amb)) = self.eval_inverse_image(&function.text, y) {
+            if exact.is_empty() && !amb.is_empty() {
+                let fname = &function.text;
+                self.push(
+                    Diagnostic::new(
+                        Code::GuaranteedAmbiguous,
+                        function.span,
+                        format!(
+                            "inverse query `{fname}^-1({y})` is guaranteed to return only \
+                             ambiguous results"
+                        ),
+                    )
+                    .with_hint(
+                        "a derived DELETE left every candidate inside a negated conjunction",
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Marks a read of `f` (and, when derived, its support functions).
+    fn mark_read(&mut self, f: &str) {
+        self.reads_seen.insert(f.to_owned(), self.seq);
+        if let Some(derivs) = self.derived.get(f) {
+            let support: Vec<String> = derivs
+                .iter()
+                .flatten()
+                .map(|r| r.function.clone())
+                .collect();
+            for s in support {
+                self.reads_seen.insert(s, self.seq);
+            }
+        }
+    }
+
+    // ---- abstract evaluation ----
+
+    /// Enumerates abstract chains from `x` through `steps`. `None` means
+    /// the result cannot be trusted (nulls, fuzziness, caps).
+    fn chase(&self, steps: &[RStep], x: &str) -> Option<Vec<Chain>> {
+        for r in steps {
+            if !self.tables.get(&r.function)?.is_sharp() {
+                return None;
+            }
+        }
+        let mut frontier = vec![Chain {
+            end: x.to_owned(),
+            exact: true,
+            links: Vec::new(),
+        }];
+        let mut budget = self.cfg.max_abstract_expansions;
+        for r in steps {
+            let table = self.tables.get(&r.function)?;
+            let mut next = Vec::new();
+            for c in &frontier {
+                for ((a, b), abs) in &table.pairs {
+                    let (from, to) = if r.inverse { (b, a) } else { (a, b) };
+                    if from != &c.end {
+                        continue;
+                    }
+                    if budget == 0 {
+                        return None;
+                    }
+                    budget -= 1;
+                    let mut links = c.links.clone();
+                    links.push((r.function.clone(), (a.clone(), b.clone())));
+                    next.push(Chain {
+                        end: to.clone(),
+                        exact: c.exact && *abs == Abs::True,
+                        links,
+                    });
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Some(frontier)
+    }
+
+    /// Abstract truth of `f(x, y)`.
+    fn eval_truth(&self, f: &str, x: &str, y: &str) -> AbsTruth {
+        let key = (x.to_owned(), y.to_owned());
+        if let Some(derivs) = self.derived.get(f) {
+            if self
+                .derived_deleted
+                .get(f)
+                .is_some_and(|s| s.contains(&key))
+            {
+                return AbsTruth::False;
+            }
+            if let Some(facts) = self.derived_facts.get(f) {
+                match facts.get(&key) {
+                    Some(Abs::True) => return AbsTruth::True,
+                    Some(Abs::Amb) => return AbsTruth::Amb,
+                    None => {}
+                }
+            }
+            let mut best = AbsTruth::False;
+            for d in derivs {
+                match self.chase(d, x) {
+                    None => {
+                        if best != AbsTruth::True {
+                            best = AbsTruth::Unknown;
+                        }
+                    }
+                    Some(chains) => {
+                        for c in chains.iter().filter(|c| c.end == y) {
+                            if c.exact {
+                                return AbsTruth::True;
+                            }
+                            if best == AbsTruth::False {
+                                best = AbsTruth::Amb;
+                            }
+                        }
+                    }
+                }
+            }
+            best
+        } else {
+            match self.tables.get(f) {
+                None => AbsTruth::Unknown,
+                Some(t) => match t.pairs.get(&key) {
+                    Some(Abs::True) => AbsTruth::True,
+                    Some(Abs::Amb) => AbsTruth::Amb,
+                    None if t.is_sharp() => AbsTruth::False,
+                    None => AbsTruth::Unknown,
+                },
+            }
+        }
+    }
+
+    /// Abstract image of `x` under `f`: `(exact values, ambiguous-only
+    /// values)`, or `None` when unknowable.
+    fn eval_image(&self, f: &str, x: &str) -> Option<(Vec<String>, Vec<String>)> {
+        let mut exact = HashSet::new();
+        let mut amb = HashSet::new();
+        if let Some(derivs) = self.derived.get(f) {
+            for d in derivs {
+                for c in self.chase(d, x)? {
+                    if c.exact {
+                        exact.insert(c.end);
+                    } else {
+                        amb.insert(c.end);
+                    }
+                }
+            }
+            if let Some(facts) = self.derived_facts.get(f) {
+                for ((a, b), abs) in facts {
+                    if a == x {
+                        match abs {
+                            Abs::True => exact.insert(b.clone()),
+                            Abs::Amb => amb.insert(b.clone()),
+                        };
+                    }
+                }
+            }
+            if let Some(deleted) = self.derived_deleted.get(f) {
+                for (a, b) in deleted {
+                    if a == x {
+                        exact.remove(b);
+                        amb.remove(b);
+                    }
+                }
+            }
+        } else {
+            let t = self.tables.get(f)?;
+            if !t.is_sharp() {
+                return None;
+            }
+            for ((a, b), abs) in &t.pairs {
+                if a == x {
+                    match abs {
+                        Abs::True => exact.insert(b.clone()),
+                        Abs::Amb => amb.insert(b.clone()),
+                    };
+                }
+            }
+        }
+        let amb_only: Vec<String> = amb.difference(&exact).cloned().collect();
+        Some((exact.into_iter().collect(), amb_only))
+    }
+
+    /// Abstract inverse image of `y` under `f` (same contract as
+    /// [`Self::eval_image`]).
+    fn eval_inverse_image(&self, f: &str, y: &str) -> Option<(Vec<String>, Vec<String>)> {
+        let mut exact = HashSet::new();
+        let mut amb = HashSet::new();
+        if let Some(derivs) = self.derived.get(f) {
+            for d in derivs {
+                let inverted: Vec<RStep> = d
+                    .iter()
+                    .rev()
+                    .map(|r| RStep {
+                        function: r.function.clone(),
+                        inverse: !r.inverse,
+                    })
+                    .collect();
+                for c in self.chase(&inverted, y)? {
+                    if c.exact {
+                        exact.insert(c.end);
+                    } else {
+                        amb.insert(c.end);
+                    }
+                }
+            }
+            if let Some(facts) = self.derived_facts.get(f) {
+                for ((a, b), abs) in facts {
+                    if b == y {
+                        match abs {
+                            Abs::True => exact.insert(a.clone()),
+                            Abs::Amb => amb.insert(a.clone()),
+                        };
+                    }
+                }
+            }
+            if let Some(deleted) = self.derived_deleted.get(f) {
+                for (a, b) in deleted {
+                    if b == y {
+                        exact.remove(a);
+                        amb.remove(a);
+                    }
+                }
+            }
+        } else {
+            let t = self.tables.get(f)?;
+            if !t.is_sharp() {
+                return None;
+            }
+            for ((a, b), abs) in &t.pairs {
+                if b == y {
+                    match abs {
+                        Abs::True => exact.insert(a.clone()),
+                        Abs::Amb => amb.insert(a.clone()),
+                    };
+                }
+            }
+        }
+        let amb_only: Vec<String> = amb.difference(&exact).cloned().collect();
+        Some((exact.into_iter().collect(), amb_only))
+    }
+
+    // ---- final passes ----
+
+    fn finish(mut self) -> Vec<Diagnostic> {
+        if !self.open_world {
+            self.cost_pass();
+            let derived_names: HashSet<String> = self.derived.keys().cloned().collect();
+            schema_pass(
+                &self.schema,
+                &self.declare_spans,
+                &derived_names,
+                &mut self.diags,
+            );
+        }
+        self.diags
+    }
+
+    /// FDB030: estimated unbound chain count per registered derivation.
+    fn cost_pass(&mut self) {
+        let mut findings = Vec::new();
+        for (name, rsteps, span) in &self.derive_sites {
+            let stats: Vec<StepProfile> = rsteps
+                .iter()
+                .map(|r| {
+                    let t = self.tables.get(&r.function);
+                    let (pairs, nulls): (Vec<_>, usize) = match t {
+                        Some(t) => (t.pairs.keys().cloned().collect(), t.nulls),
+                        None => (Vec::new(), 0),
+                    };
+                    let rows = (pairs.len() + nulls) as f64;
+                    let dx = pairs.iter().map(|(a, _)| a).collect::<HashSet<_>>().len();
+                    let dy = pairs.iter().map(|(_, b)| b).collect::<HashSet<_>>().len();
+                    let fan = |distinct: usize| {
+                        if distinct == 0 {
+                            0.0
+                        } else {
+                            rows / distinct as f64
+                        }
+                    };
+                    let (fan_fwd, fan_bwd) = if r.inverse {
+                        (fan(dy), fan(dx))
+                    } else {
+                        (fan(dx), fan(dy))
+                    };
+                    StepProfile {
+                        rows,
+                        fan_fwd,
+                        fan_bwd,
+                        seed_left: None,
+                        seed_right: None,
+                    }
+                })
+                .collect();
+            let plan = fdb_exec::estimate(&stats);
+            if plan.est_chains > self.cfg.chain_budget {
+                findings.push(
+                    Diagnostic::new(
+                        Code::ChainBudget,
+                        *span,
+                        format!(
+                            "enumerating `{name}` is estimated at {:.0} chains, over the \
+                             budget of {:.0}",
+                            plan.est_chains, self.cfg.chain_budget
+                        ),
+                    )
+                    .with_hint(
+                        "query with a bound endpoint, set a TIMEOUT, or raise --chain-budget",
+                    ),
+                );
+            }
+        }
+        self.diags.extend(findings);
+    }
+}
+
+/// FDB009/FDB010 over a finished schema, reusing `fdb-graph`'s lint.
+fn schema_pass(
+    schema: &Schema,
+    declare_spans: &HashMap<String, Span>,
+    derived_names: &HashSet<String>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if schema.is_empty() {
+        return;
+    }
+    let report = lint::diagnose(schema, PathLimits::default());
+    let span_of = |name: &str| declare_spans.get(name).copied().unwrap_or_default();
+    for (a, b) in &report.mutually_derivable_pairs {
+        let (na, nb) = (&schema.function(*a).name, &schema.function(*b).name);
+        if derived_names.contains(na) || derived_names.contains(nb) {
+            continue;
+        }
+        // Anchor at whichever of the pair was declared later.
+        let (anchor, other) = if span_of(na) >= span_of(nb) {
+            (na, nb)
+        } else {
+            (nb, na)
+        };
+        diags.push(
+            Diagnostic::new(
+                Code::AliasPair,
+                span_of(anchor),
+                format!("functions `{anchor}` and `{other}` are mutually derivable aliases"),
+            )
+            .with_hint(format!(
+                "keep one as a base function and DERIVE the other (e.g. DERIVE {anchor} = {other}^-1)"
+            )),
+        );
+    }
+    for f in &report.derivable {
+        let name = &schema.function(*f).name;
+        if derived_names.contains(name) {
+            continue;
+        }
+        diags.push(
+            Diagnostic::new(
+                Code::Derivable,
+                span_of(name),
+                format!("function `{name}` is syntactically derivable from the rest of the schema"),
+            )
+            .with_hint(
+                "under the Unique Form Assumption this function is derived; \
+                 DERIVE it or drop it from the conceptual schema",
+            ),
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Baseline files: suppressing known findings in CI.
+//!
+//! A baseline is a plain text file with one key per line, in the form
+//! `CODE file:line` (e.g. `FDB010 scripts/university.fdb:3`). `fdb-lint
+//! --baseline FILE` drops findings whose key appears in the file, so a CI
+//! gate can be turned on for a repository with pre-existing findings and
+//! still fail on new ones. `--write-baseline` regenerates the file from
+//! the current findings. Blank lines and `#` comments are ignored.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+
+/// A set of suppressed finding keys.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+/// The baseline key for a finding in a given file.
+pub fn baseline_key(file: &str, d: &Diagnostic) -> String {
+    format!("{} {}:{}", d.code, file, d.span.line)
+}
+
+impl Baseline {
+    /// Parses baseline text. Never fails: junk lines are kept verbatim as
+    /// keys (they simply match nothing).
+    pub fn parse(text: &str) -> Self {
+        let keys = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_owned)
+            .collect();
+        Baseline { keys }
+    }
+
+    /// Builds a baseline covering `diags` as found in `file`.
+    pub fn from_diagnostics(file: &str, diags: &[Diagnostic]) -> Self {
+        let keys = diags.iter().map(|d| baseline_key(file, d)).collect();
+        Baseline { keys }
+    }
+
+    /// Merges another baseline into this one (multi-file runs).
+    pub fn merge(&mut self, other: Baseline) {
+        self.keys.extend(other.keys);
+    }
+
+    /// Whether the finding is suppressed.
+    pub fn contains(&self, file: &str, d: &Diagnostic) -> bool {
+        self.keys.contains(&baseline_key(file, d))
+    }
+
+    /// Drops suppressed findings, returning the survivors.
+    pub fn filter(&self, file: &str, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| !self.contains(file, d))
+            .collect()
+    }
+
+    /// Renders the baseline file (sorted, newline-terminated, with a
+    /// header comment).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# fdb-lint baseline: one `CODE file:line` key per line\n");
+        for k in &self.keys {
+            out.push_str(k);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of suppressed keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+    use fdb_types::Span;
+
+    fn d(code: Code, line: u32) -> Diagnostic {
+        Diagnostic::new(code, Span::new(line, 0, 4), "m")
+    }
+
+    #[test]
+    fn roundtrips_through_render_and_parse() {
+        let diags = vec![d(Code::Derivable, 3), d(Code::DeadWrite, 9)];
+        let b = Baseline::from_diagnostics("a.fdb", &diags);
+        let again = Baseline::parse(&b.render());
+        assert_eq!(b, again);
+        assert_eq!(again.len(), 2);
+    }
+
+    #[test]
+    fn filter_drops_only_matching_file_and_line() {
+        let b = Baseline::parse("FDB010 a.fdb:3\n");
+        let keep = b.filter("a.fdb", vec![d(Code::Derivable, 3), d(Code::Derivable, 4)]);
+        assert_eq!(keep.len(), 1);
+        assert_eq!(keep[0].span.line, 4);
+        // Same finding in another file is not suppressed.
+        let keep = b.filter("b.fdb", vec![d(Code::Derivable, 3)]);
+        assert_eq!(keep.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let b = Baseline::parse("# header\n\n  FDB023 x.fdb:1  \n");
+        assert_eq!(b.len(), 1);
+        assert!(b.contains("x.fdb", &d(Code::DeadWrite, 1)));
+    }
+}

@@ -1,0 +1,43 @@
+//! `fdb-check` — whole-program static analysis for functional-database
+//! schemas and FDBL scripts.
+//!
+//! The paper's machinery (derivation identification, generalized-
+//! dependency conflicts, three-valued truth under negated conjunctions)
+//! is exact enough that many runtime failures are *decidable from the
+//! script text alone*. This crate analyzes a script without executing
+//! anything and reports typed diagnostics:
+//!
+//! | range    | pass                                  | severity |
+//! |----------|---------------------------------------|----------|
+//! | `FDB00x` | name/type/derivation well-formedness  | error    |
+//! | `FDB009`/`FDB010` | schema design (via `fdb-graph`) | info   |
+//! | `FDB02x` | three-valued abstract interpretation  | warn     |
+//! | `FDB030` | cost/feasibility (via `fdb-exec`)     | warn     |
+//! | `FDB031` | cycle closed without the UFA          | info     |
+//!
+//! Entry points: [`analyze_script`] over a [`CheckStmt`] list (the
+//! spanned IR that `fdb-lang` lowers its AST into) and [`analyze_schema`]
+//! over a bare [`fdb_types::Schema`]. Output renders as plain text
+//! ([`render_text`]), a JSON array ([`render_json`]) or a SARIF 2.1.0
+//! log ([`render_sarif`]); CI noise is managed with [`Baseline`] files.
+//!
+//! The analyzer is pure: it never touches a store, never mutates the
+//! schema it is given, and its only observable side effect is bumping
+//! the `fdb.check.*` observability counters.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod analyzer;
+pub mod baseline;
+pub mod diag;
+pub mod sarif;
+pub mod script;
+
+pub use analyzer::{analyze_schema, analyze_script, CheckConfig};
+pub use baseline::{baseline_key, Baseline};
+pub use diag::{
+    render_content, render_json, render_text, sort_diagnostics, summary_line, tally, Code,
+    Diagnostic, Severity,
+};
+pub use sarif::{render_sarif, render_sarif_all};
+pub use script::{CheckStmt, Name, StepRef};

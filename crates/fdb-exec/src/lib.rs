@@ -39,4 +39,4 @@ pub use eval::{
     derived_inverse_image_governed, derived_truth, derived_truth_governed,
 };
 pub use exec::{chains_planned, chains_with_direction};
-pub use plan::{plan, Bind, ChainPlan, Direction, QuerySpec};
+pub use plan::{estimate, plan, Bind, ChainPlan, Direction, QuerySpec, StepProfile};

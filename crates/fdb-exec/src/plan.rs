@@ -123,26 +123,33 @@ pub struct ChainPlan {
     pub est_chains: f64,
 }
 
-/// Per-step statistics, oriented by the step's operator.
-struct StepStat {
-    rows: f64,
+/// Per-step statistics, oriented by the step's operator — the abstract
+/// input of the cost model.
+///
+/// [`plan`] derives these from a live [`Store`]; static analyzers (the
+/// `fdb-check` cost pass) build them from script-derived estimates and
+/// feed them to [`estimate`], sharing the exact same chooser without ever
+/// touching a store.
+#[derive(Clone, Copy, Debug)]
+pub struct StepProfile {
+    /// Estimated live rows of the step's table.
+    pub rows: f64,
     /// Expected candidates per concrete incoming value, entering from the
     /// left (match side = the step's left value).
-    fan_fwd: f64,
+    pub fan_fwd: f64,
     /// Same entering from the right.
-    fan_bwd: f64,
-    /// Bucket width of the left-side index for a concrete value `v`, plus
-    /// ambiguous null candidates.
-    seed_left: Option<f64>,
-    /// Same for the right side.
-    seed_right: Option<f64>,
+    pub fan_bwd: f64,
+    /// Estimated rows matching the query's bound left endpoint, plus
+    /// ambiguous null candidates (`None` when the endpoint is unbound).
+    pub seed_left: Option<f64>,
+    /// Same for the bound right endpoint.
+    pub seed_right: Option<f64>,
 }
 
 /// Compiles a plan for `derivation` under `spec`.
 pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> ChainPlan {
-    let k = derivation.len();
     let amb = spec.allow_ambiguous;
-    let stats: Vec<StepStat> = derivation
+    let stats: Vec<StepProfile> = derivation
         .steps()
         .iter()
         .map(|step| {
@@ -180,7 +187,7 @@ pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> Cha
                         }
                 })
             };
-            StepStat {
+            StepProfile {
                 rows,
                 fan_fwd: fan(dl, nl),
                 fan_bwd: fan(dr, nr),
@@ -189,6 +196,34 @@ pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> Cha
             }
         })
         .collect();
+
+    let best = estimate(&stats);
+    let reg = fdb_obs::registry();
+    reg.plan_compiled.inc();
+    match best.direction {
+        Direction::Forward => reg.plan_forward.inc(),
+        Direction::Backward => reg.plan_backward.inc(),
+        Direction::MeetInMiddle { .. } => reg.plan_meet_in_middle.inc(),
+    }
+    best
+}
+
+/// Chooses the cheapest direction for a chain described only by abstract
+/// per-step statistics — the pure cost model behind [`plan`], usable
+/// without a [`Store`] (and without bumping the planner counters: nothing
+/// is compiled for execution here).
+///
+/// Endpoint bound-ness is implied by the seeds: a step-0 `seed_left`
+/// means the left endpoint is bound, a step-`k-1` `seed_right` means the
+/// right endpoint is bound.
+///
+/// # Panics
+/// Panics on an empty profile slice (derivations are non-empty).
+pub fn estimate(stats: &[StepProfile]) -> ChainPlan {
+    let k = stats.len();
+    assert!(k > 0, "a chain has at least one step");
+    let left_bound = stats[0].seed_left.is_some();
+    let right_bound = stats[k - 1].seed_right.is_some();
 
     // Forward: seed at step 0 from the left bind (whole table if
     // unbound), then multiply interior forward fanouts.
@@ -200,7 +235,7 @@ pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> Cha
         fwd_cost += width;
     }
     let mut fwd_chains = width;
-    if spec.right.is_bound() {
+    if right_bound {
         let last = &stats[k - 1];
         fwd_chains = if last.fan_bwd > 0.0 {
             width * (last.fan_bwd / last.rows.max(1.0)).min(1.0)
@@ -234,7 +269,7 @@ pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> Cha
     }
 
     // Meet-in-the-middle: only for fully bound queries over ≥ 2 steps.
-    if k >= 2 && spec.left.is_bound() && spec.right.is_bound() {
+    if k >= 2 && left_bound && right_bound {
         for split in 1..k {
             let mut wf = fwd_seed;
             let mut cf = wf;
@@ -260,13 +295,6 @@ pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> Cha
                 };
             }
         }
-    }
-    let reg = fdb_obs::registry();
-    reg.plan_compiled.inc();
-    match best.direction {
-        Direction::Forward => reg.plan_forward.inc(),
-        Direction::Backward => reg.plan_backward.inc(),
-        Direction::MeetInMiddle { .. } => reg.plan_meet_in_middle.inc(),
     }
     best
 }
@@ -324,5 +352,50 @@ mod tests {
         let d = Derivation::new(vec![Step::inverse(F0), Step::inverse(F1)]).unwrap();
         let p = plan(&s, &d, &QuerySpec::extension());
         assert!(p.est_cost > 0.0);
+    }
+
+    #[test]
+    fn estimate_works_without_a_store() {
+        // A narrow left seed against a hub-wide right seed: the shared
+        // chooser must pick forward, exactly as `plan` would.
+        let profiles = vec![
+            StepProfile {
+                rows: 100.0,
+                fan_fwd: 1.0,
+                fan_bwd: 50.0,
+                seed_left: Some(1.0),
+                seed_right: None,
+            },
+            StepProfile {
+                rows: 100.0,
+                fan_fwd: 1.0,
+                fan_bwd: 50.0,
+                seed_left: None,
+                seed_right: Some(50.0),
+            },
+        ];
+        let p = estimate(&profiles);
+        assert_eq!(p.direction, Direction::Forward);
+        assert!(p.est_cost <= 2.0 + f64::EPSILON);
+
+        // Unbound endpoints estimate a full enumeration.
+        let unbound = vec![
+            StepProfile {
+                rows: 10.0,
+                fan_fwd: 10.0,
+                fan_bwd: 10.0,
+                seed_left: None,
+                seed_right: None,
+            },
+            StepProfile {
+                rows: 10.0,
+                fan_fwd: 10.0,
+                fan_bwd: 10.0,
+                seed_left: None,
+                seed_right: None,
+            },
+        ];
+        let p = estimate(&unbound);
+        assert!(p.est_chains >= 100.0 - f64::EPSILON, "got {}", p.est_chains);
     }
 }

@@ -264,3 +264,53 @@ proptest! {
         prop_assert!(all.contains(&ams));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A governed diagnostic sweep that stops early must report a sound
+    /// partial: every finding in the Exhausted result also appears in the
+    /// ungoverned sweep, and the capped counts never overshoot it.
+    #[test]
+    fn governed_diagnose_partial_is_subset_of_full(
+        schema in arb_schema(5, 8),
+        max_steps in 0u64..200,
+    ) {
+        use fdb_graph::{diagnose, diagnose_governed, Budget, Governor, Outcome};
+
+        let limits = PathLimits::default();
+        let full = diagnose(&schema, limits);
+        let gov = Governor::new(Budget::unbounded().with_max_steps(max_steps));
+        let partial = match diagnose_governed(&schema, limits, &gov) {
+            Outcome::Complete(d) => {
+                // With enough budget the governed sweep is the full one.
+                prop_assert_eq!(d.derivable.len(), full.derivable.len());
+                return Ok(());
+            }
+            Outcome::Exhausted { partial, .. } => partial,
+        };
+        let full_derivable: HashSet<_> = full.derivable.iter().copied().collect();
+        for f in &partial.derivable {
+            prop_assert!(
+                full_derivable.contains(f),
+                "governed sweep invented derivable function {f:?}"
+            );
+        }
+        let norm = |a: fdb_types::FunctionId, b: fdb_types::FunctionId| {
+            if a.0 <= b.0 { (a, b) } else { (b, a) }
+        };
+        let full_pairs: HashSet<_> = full
+            .mutually_derivable_pairs
+            .iter()
+            .map(|&(a, b)| norm(a, b))
+            .collect();
+        for &(a, b) in &partial.mutually_derivable_pairs {
+            prop_assert!(
+                full_pairs.contains(&norm(a, b)),
+                "governed sweep invented alias pair {a:?}/{b:?}"
+            );
+        }
+        prop_assert!(partial.cycles <= full.cycles);
+        prop_assert!(partial.candidate_free_cycles <= full.candidate_free_cycles);
+    }
+}

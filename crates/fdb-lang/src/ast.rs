@@ -89,8 +89,18 @@ pub enum Statement {
     Stats,
     /// `RESOLVE` — run the FD-based ambiguity-resolution pass.
     Resolve,
-    /// `CHECK` — run the consistency checker.
-    Check,
+    /// `CHECK` / `CHECK JSON` — run the consistency checker plus the
+    /// `fdb-check` static analyzer over the statements executed so far.
+    Check {
+        /// `true` for `CHECK JSON`: emit diagnostics as a JSON array.
+        json: bool,
+    },
+    /// `STRICT ON` / `STRICT OFF` — toggle pre-flight static analysis of
+    /// `SOURCE`d scripts (error-severity findings refuse execution).
+    Strict {
+        /// Desired strict-mode state.
+        on: bool,
+    },
     /// `HELP`.
     Help,
     /// `BEGIN` — open a transaction (savepoint).

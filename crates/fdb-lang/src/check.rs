@@ -1,0 +1,238 @@
+//! Lowering parsed statements into the `fdb-check` analysis IR.
+//!
+//! The analyzer does not know this crate's AST; [`lower`] converts a
+//! [`SpannedStatement`] into the spanned [`CheckStmt`] form the analyzer
+//! consumes. Statements the analysis does not model become
+//! [`CheckStmt::Other`]; the ones that can pull facts from outside the
+//! script (`SOURCE`, `LOAD`, `ABORT`) are marked as opening the world,
+//! which mutes the analyzer's closed-world guarantees from that point on.
+
+use fdb_check::{CheckStmt, Name, StepRef};
+use fdb_types::Span;
+
+use crate::ast::{DeriveStep, Statement};
+use crate::parser::{SpannedStatement, StmtSpans};
+
+fn name(spans: &StmtSpans, text: &str) -> Name {
+    Name::new(text, spans.name.unwrap_or(spans.keyword))
+}
+
+fn arg_span(spans: &StmtSpans, i: usize) -> Span {
+    spans.args.get(i).copied().unwrap_or(spans.keyword)
+}
+
+fn steps(spans: &StmtSpans, steps: &[DeriveStep]) -> Vec<StepRef> {
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| StepRef {
+            name: Name::new(
+                &s.name,
+                spans.steps.get(i).copied().unwrap_or(spans.keyword),
+            ),
+            inverse: s.inverse,
+        })
+        .collect()
+}
+
+/// Lowers one parsed statement to the analysis IR. `None` for blank lines.
+pub fn lower(s: &SpannedStatement) -> Option<CheckStmt> {
+    let sp = &s.spans;
+    let keyword = sp.keyword;
+    Some(match &s.stmt {
+        Statement::Empty => return None,
+        Statement::Declare {
+            name: n,
+            domain,
+            range,
+            functionality,
+        } => CheckStmt::Declare {
+            keyword,
+            name: name(sp, n),
+            domain: domain.clone(),
+            range: range.clone(),
+            functionality: Name::new(functionality, arg_span(sp, 2)),
+        },
+        Statement::Derive { name: n, steps: ss } => CheckStmt::Derive {
+            keyword,
+            name: name(sp, n),
+            steps: steps(sp, ss),
+        },
+        Statement::Insert { function, x, y } => CheckStmt::Insert {
+            keyword,
+            function: name(sp, function),
+            x: x.clone(),
+            y: y.clone(),
+        },
+        Statement::Delete { function, x, y } => CheckStmt::Delete {
+            keyword,
+            function: name(sp, function),
+            x: x.clone(),
+            y: y.clone(),
+        },
+        Statement::Replace { function, old, new } => CheckStmt::Replace {
+            keyword,
+            function: name(sp, function),
+            old: old.clone(),
+            new: new.clone(),
+        },
+        Statement::Query { function, x } => CheckStmt::Query {
+            keyword,
+            function: name(sp, function),
+            x: x.clone(),
+        },
+        Statement::Truth { function, x, y } => CheckStmt::Truth {
+            keyword,
+            function: name(sp, function),
+            x: x.clone(),
+            y: y.clone(),
+        },
+        Statement::Inverse { function, y } => CheckStmt::Inverse {
+            keyword,
+            function: name(sp, function),
+            y: y.clone(),
+        },
+        Statement::Show { function }
+        | Statement::Derivations { function }
+        | Statement::Explain { function, .. }
+        | Statement::ExplainPlan { function, .. }
+        | Statement::ExplainAnalyze { function, .. } => CheckStmt::Read {
+            keyword,
+            function: name(sp, function),
+        },
+        Statement::Eval { steps: ss, .. } => CheckStmt::Eval {
+            keyword,
+            steps: steps(sp, ss),
+        },
+        Statement::Resolve => CheckStmt::Resolve { keyword },
+        // These replace or roll back database state the statement list
+        // does not spell out.
+        Statement::Source { .. } | Statement::Load { .. } | Statement::Abort => CheckStmt::Other {
+            keyword,
+            opens_world: true,
+        },
+        Statement::Schema
+        | Statement::Stats
+        | Statement::StatsReset
+        | Statement::StatsJson
+        | Statement::Timeout { .. }
+        | Statement::Begin
+        | Statement::Commit
+        | Statement::Save { .. }
+        | Statement::Dump { .. }
+        | Statement::Check { .. }
+        | Statement::Strict { .. }
+        | Statement::Help => CheckStmt::Other {
+            keyword,
+            opens_world: false,
+        },
+    })
+}
+
+/// Parses and lowers a whole script (for pre-flight and the lint CLI).
+/// Parse failures surface as `(line_no, error)` so callers can turn them
+/// into `FDB000` diagnostics without losing position.
+pub fn lower_script(text: &str) -> (Vec<CheckStmt>, Vec<(u32, fdb_types::FdbError)>) {
+    let mut stmts = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        match crate::parser::parse_statement_spanned(line, line_no) {
+            Ok(sp) => {
+                if let Some(cs) = lower(&sp) {
+                    stmts.push(cs);
+                }
+            }
+            Err(e) => errors.push((line_no, e)),
+        }
+    }
+    (stmts, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement_spanned;
+
+    fn lower_line(line: &str) -> CheckStmt {
+        lower(&parse_statement_spanned(line, 1).expect("parses")).expect("not empty")
+    }
+
+    #[test]
+    fn declare_carries_name_and_functionality_spans() {
+        let s = lower_line("DECLARE teach: faculty -> course (many-many)");
+        match s {
+            CheckStmt::Declare {
+                name,
+                domain,
+                range,
+                functionality,
+                ..
+            } => {
+                assert_eq!(name.text, "teach");
+                assert_eq!(name.span.col(), 9);
+                assert_eq!(domain, "faculty");
+                assert_eq!(range, "course");
+                assert_eq!(functionality.text, "many-many");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_steps_keep_inverse_flags_and_spans() {
+        let s = lower_line("DERIVE lecturer_of = class_list^-1 o teach^-1");
+        match s {
+            CheckStmt::Derive { steps, .. } => {
+                assert_eq!(steps.len(), 2);
+                assert!(steps.iter().all(|s| s.inverse));
+                assert_eq!(steps[0].name.text, "class_list");
+                assert!(steps[0].name.span.start < steps[1].name.span.start);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn world_opening_statements_are_marked() {
+        for line in ["SOURCE \"x.fdb\"", "LOAD \"db.json\"", "ABORT"] {
+            match lower_line(line) {
+                CheckStmt::Other { opens_world, .. } => assert!(opens_world, "{line}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match lower_line("SCHEMA") {
+            CheckStmt::Other { opens_world, .. } => assert!(!opens_world),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reads_cover_show_and_explain_variants() {
+        for line in [
+            "SHOW teach",
+            "DERIVATIONS teach",
+            "EXPLAIN teach(a, b)",
+            "EXPLAIN PLAN teach(a, b)",
+            "EXPLAIN ANALYZE teach(a, b)",
+        ] {
+            match lower_line(line) {
+                CheckStmt::Read { function, .. } => assert_eq!(function.text, "teach", "{line}"),
+                other => panic!("unexpected {other:?} for {line}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lower_script_collects_statements_and_errors() {
+        let (stmts, errors) = lower_script(
+            "DECLARE teach: faculty -> course (many-many)\n\
+             -- comment only\n\
+             NOT A STATEMENT\n\
+             INSERT teach(euclid, math)\n",
+        );
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 3);
+    }
+}

@@ -2,13 +2,14 @@
 
 use std::time::{Duration, Instant};
 
+use fdb_check::{analyze_script, CheckConfig, CheckStmt, Severity};
 use fdb_core::{resolve_ambiguities, Budget, CancelToken, Database, Governor, Outcome};
 use fdb_exec::{CacheProbe, CacheReport, ResultCache};
 use fdb_types::{Derivation, FdbError, Result, Schema, Step, Value};
 
 use crate::ast::{DeriveStep, Statement};
 use crate::format::render_function;
-use crate::parser::parse_statement;
+use crate::parser::parse_statement_spanned;
 
 /// The language engine: a [`Database`] plus statement evaluation.
 ///
@@ -49,6 +50,15 @@ pub struct Engine {
     /// comparable), while `ABORT` needs nothing special (the savepoint
     /// restores the counters together with the state they describe).
     cache: ResultCache,
+    /// The session's statement history in the `fdb-check` IR, replayed by
+    /// `CHECK` for static diagnostics. `LOAD` clears it; `ABORT`
+    /// truncates it back to the `BEGIN` mark, mirroring the database.
+    check_log: Vec<CheckStmt>,
+    /// `check_log` length at the open `BEGIN`, for `ABORT` truncation.
+    check_log_mark: usize,
+    /// `STRICT ON`: pre-flight `SOURCE`d scripts through the analyzer
+    /// and refuse to run them when error-severity findings show up.
+    strict: bool,
 }
 
 const HELP: &str = "\
@@ -72,7 +82,9 @@ statements (one per line; `--` starts a comment):
   DUMP \"file\"                                re-runnable script export
   TIMEOUT <ms> | OFF                         per-statement query deadline
   STATS [RESET | JSON]                       metrics (text, zero, JSON)
-  SCHEMA  RESOLVE  CHECK  HELP
+  CHECK [JSON]                               consistency + static analysis
+  STRICT ON | OFF                            pre-flight SOURCEd scripts
+  SCHEMA  RESOLVE  HELP
 ";
 
 impl Engine {
@@ -91,6 +103,9 @@ impl Engine {
             deadline: None,
             cancel: CancelToken::new(),
             cache: ResultCache::new(),
+            check_log: Vec::new(),
+            check_log_mark: 0,
+            strict: false,
         }
     }
 
@@ -171,7 +186,19 @@ impl Engine {
                 .unwrap_or("")
                 .to_ascii_uppercase()
         });
-        let result = parse_statement(line, self.line).and_then(|stmt| self.execute(stmt));
+        let result = parse_statement_spanned(line, self.line).and_then(|spanned| {
+            let lowered = crate::check::lower(&spanned);
+            let out = self.execute(spanned.stmt)?;
+            // Successful statements land in the check log (the engine
+            // models LOAD/ABORT/SOURCE itself, so `Other` entries are
+            // dropped rather than muting the analyzer's closed world).
+            if let Some(stmt) = lowered {
+                if !matches!(stmt, CheckStmt::Other { .. }) {
+                    self.check_log.push(stmt);
+                }
+            }
+            Ok(out)
+        });
         let reg = fdb_obs::registry();
         reg.lang_statements.inc();
         reg.statement_latency_ns
@@ -354,17 +381,31 @@ impl Engine {
                 }
                 Ok(text)
             }
-            Statement::Check => {
+            Statement::Check { json } => {
+                let diags = analyze_script(&self.check_log, &CheckConfig::default());
+                if json {
+                    let mut out = fdb_check::render_json(&diags);
+                    out.push('\n');
+                    return Ok(out);
+                }
                 let violations = self.db.check_consistency();
+                let mut text = String::new();
                 if violations.is_empty() {
-                    Ok("consistent\n".to_owned())
+                    text.push_str("consistent\n");
                 } else {
-                    let mut text = String::new();
                     for vl in violations {
                         text.push_str(&format!("VIOLATION: {vl}\n"));
                     }
-                    Ok(text)
                 }
+                // A clean session stays exactly `consistent\n`.
+                if !diags.is_empty() {
+                    text.push_str(&fdb_check::render_text(&diags));
+                }
+                Ok(text)
+            }
+            Statement::Strict { on } => {
+                self.strict = on;
+                Ok(format!("strict mode {}\n", if on { "on" } else { "off" }))
             }
             Statement::Eval { x, steps } => {
                 let derivation = self.build_derivation(&steps)?;
@@ -451,6 +492,9 @@ impl Engine {
                     line: self.line,
                     message: format!("cannot read {path}: {e}"),
                 })?;
+                if self.strict {
+                    self.preflight(&path, &text)?;
+                }
                 self.source_depth += 1;
                 let mut out = String::new();
                 let mut result = Ok(());
@@ -474,6 +518,7 @@ impl Engine {
                     });
                 }
                 self.savepoint = Some(self.db.clone());
+                self.check_log_mark = self.check_log.len();
                 Ok("transaction started\n".to_owned())
             }
             Statement::Commit => match self.savepoint.take() {
@@ -486,6 +531,9 @@ impl Engine {
             Statement::Abort => match self.savepoint.take() {
                 Some(saved) => {
                     self.db = saved;
+                    // The check log rolls back with the database it
+                    // describes.
+                    self.check_log.truncate(self.check_log_mark);
                     Ok("rolled back\n".to_owned())
                 }
                 None => Err(FdbError::Parse {
@@ -514,11 +562,60 @@ impl Engine {
                 })?;
                 self.db = Database::from_snapshot(&text)?;
                 // A loaded store is a different lineage: its mutation
-                // counters are not comparable with cached snapshots.
+                // counters are not comparable with cached snapshots, and
+                // the check log no longer describes the state.
                 self.cache.clear();
+                self.check_log.clear();
                 Ok(format!("loaded snapshot from {path}\n"))
             }
         }
+    }
+
+    /// Toggles strict mode programmatically (the `STRICT ON|OFF` form).
+    pub fn set_strict(&mut self, on: bool) {
+        self.strict = on;
+    }
+
+    /// Whether strict mode is on.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Runs the static analyzer over the session's statement history —
+    /// what `CHECK` prints, as structured diagnostics.
+    pub fn analyze(&self) -> Vec<fdb_check::Diagnostic> {
+        analyze_script(&self.check_log, &CheckConfig::default())
+    }
+
+    /// Strict-mode pre-flight: analyzes the session history plus the
+    /// script about to be `SOURCE`d and refuses on any error-severity
+    /// finding (or any line that does not parse).
+    fn preflight(&self, path: &str, text: &str) -> Result<()> {
+        let (script, parse_errors) = crate::check::lower_script(text);
+        if let Some((line, e)) = parse_errors.into_iter().next() {
+            return Err(FdbError::Parse {
+                line: self.line,
+                message: format!("strict: {path}:{line} does not parse: {e}"),
+            });
+        }
+        let mut stmts = self.check_log.clone();
+        stmts.extend(script);
+        let diags = analyze_script(&stmts, &CheckConfig::default());
+        let errors: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .map(|d| d.render().replace('\n', "\n  "))
+            .collect();
+        if errors.is_empty() {
+            return Ok(());
+        }
+        Err(FdbError::Parse {
+            line: self.line,
+            message: format!(
+                "strict: {path} rejected by pre-flight analysis:\n  {}",
+                errors.join("\n  ")
+            ),
+        })
     }
 
     fn build_derivation(&self, steps: &[DeriveStep]) -> Result<Derivation> {
@@ -708,7 +805,18 @@ mod tests {
         assert_eq!(q, "pupil(euclid) = {bill*}\n");
         let show = e.execute_line("SHOW teach").unwrap();
         assert!(show.contains("euclid  math  A  {g1}"));
-        assert_eq!(e.execute_line("CHECK").unwrap(), "consistent\n");
+        // CHECK: consistent store, but the analyzer flags the read that
+        // came back all-ambiguous (and schema-design infos).
+        let check = e.execute_line("CHECK").unwrap();
+        assert!(check.starts_with("consistent\n"), "got: {check}");
+        assert!(
+            check.contains("FDB020 warn 10:7: query `pupil(euclid)`"),
+            "got: {check}"
+        );
+        assert!(
+            check.contains("check: 0 errors, 1 warnings, 3 infos\n"),
+            "got: {check}"
+        );
     }
 
     #[test]
@@ -949,7 +1057,7 @@ mod tests {
         // and the answer is annotated as partial. Cancelling goes
         // through execute() directly because execute_line rearms.
         e.cancel_token().cancel();
-        let stmt = parse_statement("QUERY pupil(euclid)", 99).unwrap();
+        let stmt = crate::parse_statement("QUERY pupil(euclid)", 99).unwrap();
         let out = e.execute(stmt).unwrap();
         assert!(
             out.contains("-- partial: stopped by cancelled"),

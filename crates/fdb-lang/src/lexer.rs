@@ -1,6 +1,10 @@
 //! Line lexer for the fdb language.
+//!
+//! Every token carries its byte-offset [`Span`] within the line, so
+//! parse errors and `fdb-check` diagnostics can point at `line:col`
+//! instead of just naming the line.
 
-use fdb_types::{FdbError, Result};
+use fdb_types::{FdbError, Result, Span};
 
 /// One lexical token.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,10 +35,25 @@ pub enum Token {
     Inverse,
 }
 
+/// A token plus the byte range it occupies in the source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// The token.
+    pub token: Token,
+    /// Its byte span within the lexed line.
+    pub span: Span,
+}
+
 /// Lexes one statement line. Comments (`--` to end of line) are dropped.
-pub fn lex(line: &str, line_no: u32) -> Result<Vec<Token>> {
+pub fn lex(line: &str, line_no: u32) -> Result<Vec<Tok>> {
     let mut out = Vec::new();
     let mut chars = line.char_indices().peekable();
+    let mut push = |token: Token, start: usize, end: usize| {
+        out.push(Tok {
+            token,
+            span: Span::new(line_no, start as u32, end as u32),
+        });
+    };
     while let Some(&(i, c)) = chars.peek() {
         match c {
             '-' if line[i..].starts_with("--") => break, // comment
@@ -43,66 +62,69 @@ pub fn lex(line: &str, line_no: u32) -> Result<Vec<Token>> {
             }
             '(' => {
                 chars.next();
-                out.push(Token::LParen);
+                push(Token::LParen, i, i + 1);
             }
             ')' => {
                 chars.next();
-                out.push(Token::RParen);
+                push(Token::RParen, i, i + 1);
             }
             '[' => {
                 chars.next();
-                out.push(Token::LBracket);
+                push(Token::LBracket, i, i + 1);
             }
             ']' => {
                 chars.next();
-                out.push(Token::RBracket);
+                push(Token::RBracket, i, i + 1);
             }
             ',' => {
                 chars.next();
-                out.push(Token::Comma);
+                push(Token::Comma, i, i + 1);
             }
             ';' => {
                 chars.next();
-                out.push(Token::Semi);
+                push(Token::Semi, i, i + 1);
             }
             ':' => {
                 chars.next();
-                out.push(Token::Colon);
+                push(Token::Colon, i, i + 1);
             }
             '=' => {
                 chars.next();
-                out.push(Token::Equals);
+                push(Token::Equals, i, i + 1);
             }
             '^' => {
                 if line[i..].starts_with("^-1") {
                     chars.next();
                     chars.next();
                     chars.next();
-                    out.push(Token::Inverse);
+                    push(Token::Inverse, i, i + 3);
                 } else {
                     return Err(FdbError::Parse {
                         line: line_no,
-                        message: "expected `^-1`".into(),
+                        message: format!("col {}: expected `^-1`", i + 1),
                     });
                 }
             }
             '-' if line[i..].starts_with("->") => {
                 chars.next();
                 chars.next();
-                out.push(Token::Arrow);
+                push(Token::Arrow, i, i + 2);
             }
             '"' => {
                 chars.next();
                 let mut s = String::new();
                 let mut closed = false;
-                while let Some((_, c)) = chars.next() {
+                let mut end = i + 1;
+                while let Some((j, c)) = chars.next() {
+                    end = j + c.len_utf8();
                     match c {
                         '"' => {
                             closed = true;
                             break;
                         }
                         '\\' => {
-                            if let Some((_, e)) = chars.next() {
+                            if let Some((k, e)) = chars.next() {
+                                end = k + e.len_utf8();
                                 s.push(e);
                             }
                         }
@@ -112,10 +134,10 @@ pub fn lex(line: &str, line_no: u32) -> Result<Vec<Token>> {
                 if !closed {
                     return Err(FdbError::Parse {
                         line: line_no,
-                        message: "unterminated string literal".into(),
+                        message: format!("col {}: unterminated string literal", i + 1),
                     });
                 }
-                out.push(Token::Str(s));
+                push(Token::Str(s), i, end);
             }
             c if c.is_alphanumeric() || c == '_' || c == '#' || c == '.' || c == '-' => {
                 // Identifiers may contain `-` (functionality names like
@@ -139,12 +161,12 @@ pub fn lex(line: &str, line_no: u32) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                out.push(Token::Ident(line[start..end].to_owned()));
+                push(Token::Ident(line[start..end].to_owned()), start, end);
             }
             other => {
                 return Err(FdbError::Parse {
                     line: line_no,
-                    message: format!("unexpected character {other:?}"),
+                    message: format!("col {}: unexpected character {other:?}", i + 1),
                 });
             }
         }
@@ -157,13 +179,13 @@ mod tests {
     use super::Token::*;
     use super::*;
 
+    fn tokens(line: &str) -> Vec<Token> {
+        lex(line, 1).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
     #[test]
     fn lexes_declare_statement() {
-        let toks = lex(
-            "DECLARE grade: [student; course] -> letter_grade (many-one)",
-            1,
-        )
-        .unwrap();
+        let toks = tokens("DECLARE grade: [student; course] -> letter_grade (many-one)");
         assert_eq!(
             toks,
             vec![
@@ -186,7 +208,7 @@ mod tests {
 
     #[test]
     fn lexes_inverse_and_composition() {
-        let toks = lex("DERIVE lecturer_of = class_list^-1 o teach^-1", 1).unwrap();
+        let toks = tokens("DERIVE lecturer_of = class_list^-1 o teach^-1");
         assert_eq!(
             toks,
             vec![
@@ -204,14 +226,16 @@ mod tests {
 
     #[test]
     fn comments_are_dropped() {
-        let toks = lex("STATS -- how bad is it?", 1).unwrap();
-        assert_eq!(toks, vec![Ident("STATS".into())]);
+        assert_eq!(
+            tokens("STATS -- how bad is it?"),
+            vec![Ident("STATS".into())]
+        );
         assert!(lex("-- whole line comment", 1).unwrap().is_empty());
     }
 
     #[test]
     fn string_literals() {
-        let toks = lex(r#"INSERT teach("Dr. Euclid", math)"#, 1).unwrap();
+        let toks = tokens(r#"INSERT teach("Dr. Euclid", math)"#);
         assert_eq!(toks[2], LParen);
         assert_eq!(toks[3], Str("Dr. Euclid".into()));
         assert!(matches!(
@@ -222,12 +246,37 @@ mod tests {
 
     #[test]
     fn numeric_atoms_lex_as_idents() {
-        let toks = lex("INSERT cutoff(85, A)", 1).unwrap();
+        let toks = tokens("INSERT cutoff(85, A)");
         assert_eq!(toks[3], Ident("85".into()));
     }
 
     #[test]
     fn unexpected_character_errors() {
-        assert!(lex("QUERY f(x) @", 2).is_err());
+        let err = lex("QUERY f(x) @", 2).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 2"), "got: {text}");
+        assert!(text.contains("col 12"), "got: {text}");
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let toks = lex("INSERT teach(euclid, math)", 4).unwrap();
+        // INSERT occupies [0, 6), teach [7, 12), euclid [13, 19).
+        assert_eq!(toks[0].span, Span::new(4, 0, 6));
+        assert_eq!(toks[1].span, Span::new(4, 7, 12));
+        assert_eq!(toks[3].span, Span::new(4, 13, 19));
+        // Columns are 1-based.
+        assert_eq!(toks[1].span.col(), 8);
+        // A string literal's span covers the quotes.
+        let toks = lex(r#"SAVE "a b.json""#, 1).unwrap();
+        assert_eq!(toks[1].span, Span::new(1, 5, 15));
+    }
+
+    #[test]
+    fn multibyte_identifiers_span_correctly() {
+        let toks = lex("QUERY später(x)", 1).unwrap();
+        assert_eq!(toks[1].token, Ident("später".into()));
+        // "später" is 7 bytes (ä is 2), starting at byte 6.
+        assert_eq!(toks[1].span, Span::new(1, 6, 13));
     }
 }

@@ -30,8 +30,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ast;
+pub mod check;
 pub mod engine;
 pub mod format;
 pub mod lexer;
@@ -39,8 +41,9 @@ pub mod parser;
 pub mod repl;
 
 pub use ast::{DeriveStep, Statement};
+pub use check::{lower, lower_script};
 pub use engine::Engine;
-pub use parser::parse_statement;
+pub use parser::{parse_statement, parse_statement_spanned, SpannedStatement, StmtSpans};
 pub use repl::run_repl;
 
 pub use fdb_core::{CancelToken, Governor, Outcome, StopReason};

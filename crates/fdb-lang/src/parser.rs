@@ -1,40 +1,87 @@
 //! Recursive-descent parser: one statement per line.
+//!
+//! [`parse_statement_spanned`] additionally reports where the interesting
+//! pieces of each statement sit in the line ([`StmtSpans`]), which is what
+//! `fdb-check` diagnostics anchor to. Parse errors carry a `col N:` prefix
+//! pointing at the offending token.
 
-use fdb_types::{FdbError, Result};
+use fdb_types::{FdbError, Result, Span};
 
 use crate::ast::{DeriveStep, Statement};
-use crate::lexer::{lex, Token};
+use crate::lexer::{lex, Tok, Token};
 
-/// Parses one line into a [`Statement`].
+/// Byte spans for the salient parts of a parsed statement.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StmtSpans {
+    /// The leading keyword (`DECLARE`, `INSERT`, …). Zero-width at column 1
+    /// for [`Statement::Empty`].
+    pub keyword: Span,
+    /// The primary function name, when the statement has one.
+    pub name: Option<Span>,
+    /// Value / type arguments in source order (`x`, `y`, domain, range, …).
+    pub args: Vec<Span>,
+    /// One span per derivation step (`f`, `g^-1`) for `DERIVE` / `EVAL`.
+    pub steps: Vec<Span>,
+}
+
+/// A parsed statement together with its source spans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedStatement {
+    /// The statement.
+    pub stmt: Statement,
+    /// Where its parts sit in the source line.
+    pub spans: StmtSpans,
+}
+
+/// Parses one line into a [`Statement`], discarding span information.
 pub fn parse_statement(line: &str, line_no: u32) -> Result<Statement> {
+    parse_statement_spanned(line, line_no).map(|s| s.stmt)
+}
+
+/// Parses one line into a [`SpannedStatement`].
+pub fn parse_statement_spanned(line: &str, line_no: u32) -> Result<SpannedStatement> {
     let tokens = lex(line, line_no)?;
     Parser {
         tokens,
         pos: 0,
         line: line_no,
+        spans: StmtSpans {
+            keyword: Span::line_start(line_no),
+            ..StmtSpans::default()
+        },
     }
     .statement()
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<Tok>,
     pos: usize,
     line: u32,
+    spans: StmtSpans,
 }
 
 impl Parser {
+    /// Column of the token at the cursor (or just past the last token when
+    /// the line ended early), for error messages.
+    fn col_here(&self) -> u32 {
+        match self.tokens.get(self.pos) {
+            Some(t) => t.span.col(),
+            None => self.tokens.last().map_or(1, |t| t.span.end_col()),
+        }
+    }
+
     fn err(&self, message: impl Into<String>) -> FdbError {
         FdbError::Parse {
             line: self.line,
-            message: message.into(),
+            message: format!("col {}: {}", self.col_here(), message.into()),
         }
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|t| &t.token)
     }
 
-    fn next(&mut self) -> Option<Token> {
+    fn next(&mut self) -> Option<Tok> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -42,41 +89,52 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, t: &Token, what: &str) -> Result<()> {
-        match self.next() {
-            Some(ref got) if got == t => Ok(()),
-            Some(got) => Err(self.err(format!("expected {what}, found {got:?}"))),
+    fn expect(&mut self, t: &Token, what: &str) -> Result<Span> {
+        match self.tokens.get(self.pos) {
+            Some(got) if &got.token == t => {
+                let span = got.span;
+                self.pos += 1;
+                Ok(span)
+            }
+            Some(got) => Err(self.err(format!("expected {what}, found {:?}", got.token))),
             None => Err(self.err(format!("expected {what}, found end of line"))),
         }
     }
 
     /// An identifier or string literal used as a value or name.
-    fn ident(&mut self, what: &str) -> Result<String> {
-        match self.next() {
-            Some(Token::Ident(s)) | Some(Token::Str(s)) => Ok(s),
-            Some(got) => Err(self.err(format!("expected {what}, found {got:?}"))),
+    fn ident(&mut self, what: &str) -> Result<(String, Span)> {
+        match self.tokens.get(self.pos) {
+            Some(Tok {
+                token: Token::Ident(s) | Token::Str(s),
+                span,
+            }) => {
+                let out = (s.clone(), *span);
+                self.pos += 1;
+                Ok(out)
+            }
+            Some(got) => Err(self.err(format!("expected {what}, found {:?}", got.token))),
             None => Err(self.err(format!("expected {what}, found end of line"))),
         }
     }
 
     /// A type name: an identifier or a bracketed compound `[a; b]`.
-    fn type_name(&mut self) -> Result<String> {
+    fn type_name(&mut self) -> Result<(String, Span)> {
         match self.peek() {
             Some(Token::LBracket) => {
-                self.next();
-                let mut parts = vec![self.type_name()?];
+                let open = self.expect(&Token::LBracket, "`[`")?;
+                let mut parts = vec![self.type_name()?.0];
                 while self.peek() == Some(&Token::Semi) {
                     self.next();
-                    parts.push(self.type_name()?);
+                    parts.push(self.type_name()?.0);
                 }
-                self.expect(&Token::RBracket, "`]`")?;
-                Ok(format!("[{}]", parts.join("; ")))
+                let close = self.expect(&Token::RBracket, "`]`")?;
+                Ok((format!("[{}]", parts.join("; ")), open.merge(close)))
             }
             _ => self.ident("type name"),
         }
     }
 
-    fn pair(&mut self) -> Result<(String, String)> {
+    fn pair(&mut self) -> Result<((String, Span), (String, Span))> {
         self.expect(&Token::LParen, "`(`")?;
         let x = self.ident("value")?;
         self.expect(&Token::Comma, "`,`")?;
@@ -92,23 +150,48 @@ impl Parser {
         Ok(())
     }
 
-    fn statement(&mut self) -> Result<Statement> {
+    fn name(&mut self, what: &str) -> Result<String> {
+        let (s, span) = self.ident(what)?;
+        self.spans.name = Some(span);
+        Ok(s)
+    }
+
+    fn arg(&mut self, what: &str) -> Result<String> {
+        let (s, span) = self.ident(what)?;
+        self.spans.args.push(span);
+        Ok(s)
+    }
+
+    fn arg_pair(&mut self) -> Result<(String, String)> {
+        let ((x, xs), (y, ys)) = self.pair()?;
+        self.spans.args.push(xs);
+        self.spans.args.push(ys);
+        Ok((x, y))
+    }
+
+    fn statement(mut self) -> Result<SpannedStatement> {
         let Some(first) = self.next() else {
-            return Ok(Statement::Empty);
+            return Ok(SpannedStatement {
+                stmt: Statement::Empty,
+                spans: self.spans,
+            });
         };
-        let keyword = match first {
+        self.spans.keyword = first.span;
+        let keyword = match first.token {
             Token::Ident(s) => s.to_ascii_uppercase(),
             other => return Err(self.err(format!("expected a keyword, found {other:?}"))),
         };
         let stmt = match keyword.as_str() {
             "DECLARE" => {
-                let name = self.ident("function name")?;
+                let name = self.name("function name")?;
                 self.expect(&Token::Colon, "`:`")?;
-                let domain = self.type_name()?;
+                let (domain, dspan) = self.type_name()?;
+                self.spans.args.push(dspan);
                 self.expect(&Token::Arrow, "`->`")?;
-                let range = self.type_name()?;
+                let (range, rspan) = self.type_name()?;
+                self.spans.args.push(rspan);
                 self.expect(&Token::LParen, "`(`")?;
-                let functionality = self.ident("functionality")?;
+                let functionality = self.arg("functionality")?;
                 self.expect(&Token::RParen, "`)`")?;
                 Statement::Declare {
                     name,
@@ -118,82 +201,64 @@ impl Parser {
                 }
             }
             "DERIVE" => {
-                let name = self.ident("function name")?;
+                let name = self.name("function name")?;
                 self.expect(&Token::Equals, "`=`")?;
-                let mut steps = vec![self.derive_step()?];
-                loop {
-                    match self.peek() {
-                        Some(Token::Ident(o)) if o.eq_ignore_ascii_case("o") => {
-                            self.next();
-                            steps.push(self.derive_step()?);
-                        }
-                        _ => break,
-                    }
-                }
+                let steps = self.derive_steps()?;
                 Statement::Derive { name, steps }
             }
             "INSERT" | "INS" => {
-                let function = self.ident("function name")?;
-                let (x, y) = self.pair()?;
+                let function = self.name("function name")?;
+                let (x, y) = self.arg_pair()?;
                 Statement::Insert { function, x, y }
             }
             "DELETE" | "DEL" => {
-                let function = self.ident("function name")?;
-                let (x, y) = self.pair()?;
+                let function = self.name("function name")?;
+                let (x, y) = self.arg_pair()?;
                 Statement::Delete { function, x, y }
             }
             "REPLACE" | "REP" => {
-                let function = self.ident("function name")?;
-                let old = self.pair()?;
-                let with = self.ident("`WITH`")?;
+                let function = self.name("function name")?;
+                let old = self.arg_pair()?;
+                let (with, _) = self.ident("`WITH`")?;
                 if !with.eq_ignore_ascii_case("WITH") {
                     return Err(self.err("expected `WITH`"));
                 }
-                let new = self.pair()?;
+                let new = self.arg_pair()?;
                 Statement::Replace { function, old, new }
             }
             "QUERY" => {
-                let function = self.ident("function name")?;
+                let function = self.name("function name")?;
                 self.expect(&Token::LParen, "`(`")?;
-                let x = self.ident("value")?;
+                let x = self.arg("value")?;
                 self.expect(&Token::RParen, "`)`")?;
                 Statement::Query { function, x }
             }
             "TRUTH" => {
-                let function = self.ident("function name")?;
-                let (x, y) = self.pair()?;
+                let function = self.name("function name")?;
+                let (x, y) = self.arg_pair()?;
                 Statement::Truth { function, x, y }
             }
             "SHOW" => Statement::Show {
-                function: self.ident("function name")?,
+                function: self.name("function name")?,
             },
             "DERIVATIONS" => Statement::Derivations {
-                function: self.ident("function name")?,
+                function: self.name("function name")?,
             },
             "EVAL" => {
-                let x = self.ident("value")?;
+                let x = self.arg("value")?;
                 self.expect(&Token::Colon, "`:`")?;
-                let mut steps = vec![self.derive_step()?];
-                loop {
-                    match self.peek() {
-                        Some(Token::Ident(o)) if o.eq_ignore_ascii_case("o") => {
-                            self.next();
-                            steps.push(self.derive_step()?);
-                        }
-                        _ => break,
-                    }
-                }
+                let steps = self.derive_steps()?;
                 Statement::Eval { x, steps }
             }
             "INVERSE" => {
-                let function = self.ident("function name")?;
+                let function = self.name("function name")?;
                 self.expect(&Token::LParen, "`(`")?;
-                let y = self.ident("value")?;
+                let y = self.arg("value")?;
                 self.expect(&Token::RParen, "`)`")?;
                 Statement::Inverse { function, y }
             }
             "DUMP" => Statement::Dump {
-                path: self.ident("file path")?,
+                path: self.arg("file path")?,
             },
             "EXPLAIN" => {
                 // `EXPLAIN PLAN f(x, y)` / `EXPLAIN ANALYZE f(x, y)` vs
@@ -204,38 +269,38 @@ impl Parser {
                     |s: &str| s.eq_ignore_ascii_case("plan") || s.eq_ignore_ascii_case("analyze");
                 let is_modified = matches!(self.peek(), Some(Token::Ident(s)) if modifier(s))
                     && matches!(
-                        self.tokens.get(self.pos + 1),
+                        self.tokens.get(self.pos + 1).map(|t| &t.token),
                         Some(Token::Ident(_)) | Some(Token::Str(_))
                     );
                 if is_modified {
-                    let word = self.ident("PLAN or ANALYZE")?;
-                    let function = self.ident("function name")?;
-                    let (x, y) = self.pair()?;
+                    let (word, _) = self.ident("PLAN or ANALYZE")?;
+                    let function = self.name("function name")?;
+                    let (x, y) = self.arg_pair()?;
                     if word.eq_ignore_ascii_case("plan") {
                         Statement::ExplainPlan { function, x, y }
                     } else {
                         Statement::ExplainAnalyze { function, x, y }
                     }
                 } else {
-                    let function = self.ident("function name")?;
-                    let (x, y) = self.pair()?;
+                    let function = self.name("function name")?;
+                    let (x, y) = self.arg_pair()?;
                     Statement::Explain { function, x, y }
                 }
             }
             "SOURCE" => Statement::Source {
-                path: self.ident("file path")?,
+                path: self.arg("file path")?,
             },
             "BEGIN" => Statement::Begin,
             "COMMIT" => Statement::Commit,
             "ABORT" | "ROLLBACK" => Statement::Abort,
             "SAVE" => Statement::Save {
-                path: self.ident("file path")?,
+                path: self.arg("file path")?,
             },
             "LOAD" => Statement::Load {
-                path: self.ident("file path")?,
+                path: self.arg("file path")?,
             },
             "TIMEOUT" => {
-                let arg = self.ident("milliseconds or OFF")?;
+                let (arg, _) = self.ident("milliseconds or OFF")?;
                 if arg.eq_ignore_ascii_case("OFF") || arg.eq_ignore_ascii_case("NONE") {
                     Statement::Timeout { millis: None }
                 } else {
@@ -260,22 +325,58 @@ impl Parser {
                 _ => Statement::Stats,
             },
             "RESOLVE" => Statement::Resolve,
-            "CHECK" => Statement::Check,
+            "CHECK" => match self.peek() {
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("json") => {
+                    self.next();
+                    Statement::Check { json: true }
+                }
+                _ => Statement::Check { json: false },
+            },
+            "STRICT" => {
+                let (arg, _) = self.ident("ON or OFF")?;
+                if arg.eq_ignore_ascii_case("ON") {
+                    Statement::Strict { on: true }
+                } else if arg.eq_ignore_ascii_case("OFF") {
+                    Statement::Strict { on: false }
+                } else {
+                    return Err(self.err(format!("expected ON or OFF, found `{arg}`")));
+                }
+            }
             "HELP" => Statement::Help,
             other => return Err(self.err(format!("unknown statement `{other}`"))),
         };
         self.end()?;
-        Ok(stmt)
+        Ok(SpannedStatement {
+            stmt,
+            spans: self.spans,
+        })
+    }
+
+    fn derive_steps(&mut self) -> Result<Vec<DeriveStep>> {
+        let mut steps = vec![self.derive_step()?];
+        loop {
+            match self.peek() {
+                Some(Token::Ident(o)) if o.eq_ignore_ascii_case("o") => {
+                    self.next();
+                    steps.push(self.derive_step()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(steps)
     }
 
     fn derive_step(&mut self) -> Result<DeriveStep> {
-        let name = self.ident("function name")?;
+        let (name, mut span) = self.ident("function name")?;
         let inverse = if self.peek() == Some(&Token::Inverse) {
-            self.next();
+            if let Some(t) = self.next() {
+                span = span.merge(t.span);
+            }
             true
         } else {
             false
         };
+        self.spans.steps.push(span);
         Ok(DeriveStep { name, inverse })
     }
 }
@@ -363,12 +464,33 @@ mod tests {
         assert_eq!(parse_statement("SCHEMA", 1).unwrap(), Statement::Schema);
         assert_eq!(parse_statement("stats", 1).unwrap(), Statement::Stats);
         assert_eq!(parse_statement("Resolve", 1).unwrap(), Statement::Resolve);
-        assert_eq!(parse_statement("CHECK", 1).unwrap(), Statement::Check);
+        assert_eq!(
+            parse_statement("CHECK", 1).unwrap(),
+            Statement::Check { json: false }
+        );
+        assert_eq!(
+            parse_statement("CHECK JSON", 1).unwrap(),
+            Statement::Check { json: true }
+        );
         assert_eq!(parse_statement("", 1).unwrap(), Statement::Empty);
         assert_eq!(
             parse_statement("  -- nothing", 1).unwrap(),
             Statement::Empty
         );
+    }
+
+    #[test]
+    fn parses_strict_toggle() {
+        assert_eq!(
+            parse_statement("STRICT ON", 1).unwrap(),
+            Statement::Strict { on: true }
+        );
+        assert_eq!(
+            parse_statement("strict off", 1).unwrap(),
+            Statement::Strict { on: false }
+        );
+        assert!(parse_statement("STRICT maybe", 1).is_err());
+        assert!(parse_statement("STRICT", 1).is_err());
     }
 
     #[test]
@@ -416,6 +538,41 @@ mod tests {
     fn unknown_keyword_is_an_error() {
         let err = parse_statement("FROBNICATE x", 7).unwrap_err();
         assert!(matches!(err, FdbError::Parse { line: 7, .. }));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // `(` expected at the comma's position (col 16).
+        let err = parse_statement("REPLACE f(a, b) WITH", 1).unwrap_err();
+        assert!(err.to_string().contains("col"), "got: {err}");
+        // End-of-line errors point one past the last token.
+        let err = parse_statement("INSERT teach", 1).unwrap_err();
+        assert!(err.to_string().contains("col 13"), "got: {err}");
+    }
+
+    #[test]
+    fn spanned_statement_reports_name_and_args() {
+        let s = parse_statement_spanned("INSERT teach(euclid, math)", 3).unwrap();
+        assert_eq!(s.spans.keyword, Span::new(3, 0, 6));
+        assert_eq!(s.spans.name, Some(Span::new(3, 7, 12)));
+        assert_eq!(
+            s.spans.args,
+            vec![Span::new(3, 13, 19), Span::new(3, 21, 25)]
+        );
+        assert!(s.spans.steps.is_empty());
+    }
+
+    #[test]
+    fn spanned_derive_reports_step_spans() {
+        let s = parse_statement_spanned("DERIVE p = teach o class_list", 2).unwrap();
+        assert_eq!(s.spans.name, Some(Span::new(2, 7, 8)));
+        assert_eq!(
+            s.spans.steps,
+            vec![Span::new(2, 11, 16), Span::new(2, 19, 29)]
+        );
+        // An inverse marker extends the step span.
+        let s = parse_statement_spanned("DERIVE q = teach^-1", 2).unwrap();
+        assert_eq!(s.spans.steps, vec![Span::new(2, 11, 19)]);
     }
 
     #[test]

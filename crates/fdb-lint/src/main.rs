@@ -1,0 +1,223 @@
+//! `fdb-lint` — lint FDBL scripts from the command line.
+//!
+//! ```text
+//! fdb-lint [OPTIONS] FILE...
+//!
+//!   --format text|json|sarif   output format (default text)
+//!   --deny warn                exit 2 (not 1) when warnings remain
+//!   --baseline FILE            suppress findings listed in FILE
+//!   --write-baseline           regenerate the baseline file and exit
+//!   --chain-budget N           FDB030 threshold (default 10000)
+//!
+//! exit status: 0 clean, 1 warnings, 2 errors (or warnings under
+//! `--deny warn`), 3 usage/IO failure.
+//! ```
+//!
+//! Lines that do not parse become `FDB000` findings rather than aborting
+//! the run, so one bad line does not hide the rest of the report.
+
+use std::process::ExitCode;
+
+use fdb_check::{
+    analyze_script, render_content, render_sarif_all, sort_diagnostics, summary_line, Baseline,
+    CheckConfig, Code, Diagnostic, Severity,
+};
+use serde::Content;
+
+struct Options {
+    format: Format,
+    deny_warn: bool,
+    baseline_path: Option<String>,
+    write_baseline: bool,
+    chain_budget: f64,
+    files: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+const USAGE: &str = "usage: fdb-lint [--format text|json|sarif] [--deny warn] \
+                     [--baseline FILE [--write-baseline]] [--chain-budget N] FILE...";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Text,
+        deny_warn: false,
+        baseline_path: None,
+        write_baseline: false,
+        chain_budget: CheckConfig::default().chain_budget,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!("--format expects text|json|sarif, got {other:?}"))
+                    }
+                }
+            }
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warn") => opts.deny_warn = true,
+                other => return Err(format!("--deny expects `warn`, got {other:?}")),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => opts.baseline_path = Some(p.clone()),
+                None => return Err("--baseline expects a file path".into()),
+            },
+            "--write-baseline" => opts.write_baseline = true,
+            "--chain-budget" => {
+                opts.chain_budget = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|b| b.is_finite() && *b > 0.0)
+                    .ok_or("--chain-budget expects a positive number")?;
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            f if !f.starts_with('-') => opts.files.push(f.to_owned()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(USAGE.into());
+    }
+    if opts.write_baseline && opts.baseline_path.is_none() {
+        return Err("--write-baseline requires --baseline FILE".into());
+    }
+    Ok(opts)
+}
+
+/// Extracts the `col N:` prefix the parser puts on its messages, so
+/// syntax findings point at the offending column.
+fn parse_error_span(line_no: u32, message: &str) -> fdb_types::Span {
+    let col = message
+        .strip_prefix("col ")
+        .and_then(|rest| rest.split(':').next())
+        .and_then(|n| n.parse::<u32>().ok())
+        .unwrap_or(1);
+    fdb_types::Span::new(line_no, col.saturating_sub(1), col)
+}
+
+fn lint_file(path: &str, config: &CheckConfig) -> Result<Vec<Diagnostic>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (stmts, parse_errors) = fdb_lang::lower_script(&text);
+    let mut diags = analyze_script(&stmts, config);
+    for (line_no, err) in parse_errors {
+        let message = match &err {
+            fdb_types::FdbError::Parse { message, .. } => message.clone(),
+            other => other.to_string(),
+        };
+        diags.push(Diagnostic::new(
+            Code::Syntax,
+            parse_error_span(line_no, &message),
+            message,
+        ));
+    }
+    sort_diagnostics(&mut diags);
+    Ok(diags)
+}
+
+fn run(args: &[String]) -> Result<u8, String> {
+    let opts = parse_args(args)?;
+    let config = CheckConfig {
+        chain_budget: opts.chain_budget,
+        ..CheckConfig::default()
+    };
+
+    let mut entries: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    for file in &opts.files {
+        entries.push((file.clone(), lint_file(file, &config)?));
+    }
+
+    if opts.write_baseline {
+        let path = opts.baseline_path.as_deref().unwrap_or_default();
+        let mut baseline = Baseline::default();
+        for (file, diags) in &entries {
+            baseline.merge(Baseline::from_diagnostics(file, diags));
+        }
+        std::fs::write(path, baseline.render()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {} baseline entries to {path}", baseline.len());
+        return Ok(0);
+    }
+
+    if let Some(path) = &opts.baseline_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let baseline = Baseline::parse(&text);
+        for (file, diags) in &mut entries {
+            *diags = baseline.filter(file, std::mem::take(diags));
+        }
+    }
+
+    match opts.format {
+        Format::Text => {
+            let mut all = Vec::new();
+            for (file, diags) in &entries {
+                for d in diags {
+                    // `render` is multi-line when hints are present:
+                    // prefix only the first line with the file.
+                    let rendered = d.render();
+                    let mut lines = rendered.lines();
+                    if let Some(first) = lines.next() {
+                        println!("{file}:{first}");
+                    }
+                    for rest in lines {
+                        println!("{rest}");
+                    }
+                    all.push(d.clone());
+                }
+            }
+            println!("{}", summary_line(&all));
+        }
+        Format::Json => {
+            let tree = Content::Map(
+                entries
+                    .iter()
+                    .map(|(file, diags)| {
+                        (
+                            Content::Str(file.clone()),
+                            Content::Seq(diags.iter().map(Diagnostic::to_content).collect()),
+                        )
+                    })
+                    .collect(),
+            );
+            println!("{}", render_content(&tree));
+        }
+        Format::Sarif => println!("{}", render_sarif_all(&entries)),
+    }
+
+    let worst = entries
+        .iter()
+        .flat_map(|(_, diags)| diags.iter())
+        .map(Diagnostic::severity)
+        .max();
+    Ok(match worst {
+        Some(Severity::Error) => 2,
+        Some(Severity::Warn) => {
+            if opts.deny_warn {
+                2
+            } else {
+                1
+            }
+        }
+        _ => 0,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("fdb-lint: {msg}");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests of the `fdb-lint` binary: exit codes, formats,
+//! baselines and FDB000 syntax recovery.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fdb_lint_{}_{name}", std::process::id()))
+}
+
+fn write_script(name: &str, text: &str) -> PathBuf {
+    let path = tmp(name);
+    std::fs::write(&path, text).expect("write temp script");
+    path
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fdb-lint"))
+        .args(args)
+        .output()
+        .expect("run fdb-lint")
+}
+
+const CLEAN: &str = "DECLARE teach: faculty -> course (many-many)\n\
+                     INSERT teach(euclid, math)\n\
+                     QUERY teach(euclid)\n";
+
+const WARNY: &str = "DECLARE teach: faculty -> course (many-many)\n\
+                     INSERT teach(euclid, math)\n\
+                     DELETE teach(euclid, math)\n";
+
+const ERRORY: &str = "INSERT ghost(a, b)\n";
+
+#[test]
+fn exit_codes_track_worst_severity() {
+    let clean = write_script("clean.fdb", CLEAN);
+    let warny = write_script("warny.fdb", WARNY);
+    let errory = write_script("errory.fdb", ERRORY);
+
+    let out = lint(&[clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("check: 0 errors, 0 warnings, 0 infos"),
+        "{text}"
+    );
+
+    let out = lint(&[warny.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FDB023 warn 3:8:"), "{text}");
+
+    // --deny warn upgrades warnings to a failing exit.
+    let out = lint(&["--deny", "warn", warny.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let out = lint(&[errory.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    for p in [clean, warny, errory] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn unparseable_lines_become_fdb000_not_a_crash() {
+    let bad = write_script(
+        "bad.fdb",
+        "THIS IS NOT FDBL\nDECLARE teach: faculty -> course (many-many)\n",
+    );
+    let out = lint(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FDB000 error 1:"), "{text}");
+    std::fs::remove_file(bad).ok();
+}
+
+#[test]
+fn json_format_maps_files_to_findings() {
+    let warny = write_script("json.fdb", WARNY);
+    let out = lint(&["--format", "json", warny.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.contains("\"FDB023\""), "{text}");
+    assert!(text.contains("\"severity\":\"warn\""), "{text}");
+    std::fs::remove_file(warny).ok();
+}
+
+#[test]
+fn sarif_format_is_valid_and_points_at_the_file() {
+    let warny = write_script("sarif.fdb", WARNY);
+    let out = lint(&["--format", "sarif", warny.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"version\":\"2.1.0\""), "{text}");
+    assert!(text.contains("\"ruleId\":\"FDB023\""), "{text}");
+    assert!(text.contains("sarif.fdb"), "{text}");
+    std::fs::remove_file(warny).ok();
+}
+
+#[test]
+fn baseline_suppresses_known_findings() {
+    let warny = write_script("base.fdb", WARNY);
+    let baseline = tmp("baseline.txt");
+    let wpath = warny.to_str().unwrap();
+    let bpath = baseline.to_str().unwrap();
+
+    // Writing the baseline records the current findings and exits 0.
+    let out = lint(&["--baseline", bpath, "--write-baseline", wpath]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let recorded = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(
+        recorded.contains(&format!("FDB023 {wpath}:3")),
+        "{recorded}"
+    );
+
+    // With the baseline applied the same script is clean…
+    let out = lint(&["--baseline", bpath, wpath]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // …but a new finding on another line still fails.
+    let grown = format!("{WARNY}INSERT teach(gauss, algebra)\nDELETE teach(gauss, algebra)\n");
+    std::fs::write(&warny, grown).expect("grow script");
+    let out = lint(&["--baseline", bpath, wpath]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FDB023 warn 5:8:"), "{text}");
+
+    std::fs::remove_file(warny).ok();
+    std::fs::remove_file(baseline).ok();
+}
+
+#[test]
+fn usage_errors_exit_three() {
+    let out = lint(&[]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let out = lint(&["--format", "yaml", "x.fdb"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let out = lint(&["/nonexistent/definitely_missing.fdb"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}

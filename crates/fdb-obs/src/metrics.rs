@@ -356,6 +356,16 @@ registry! {
         /// Candidate derivation sets offered by the design aid.
         graph_design_candidates => "fdb.graph.design_candidates",
 
+        // ---- fdb-check: static analyzer ----
+        /// Static-analysis runs (`CHECK`, `fdb-lint`, strict pre-flights).
+        check_runs => "fdb.check.runs",
+        /// Error-severity diagnostics emitted by the analyzer.
+        check_diags_error => "fdb.check.diags.error",
+        /// Warn-severity diagnostics emitted by the analyzer.
+        check_diags_warn => "fdb.check.diags.warn",
+        /// Info-severity diagnostics emitted by the analyzer.
+        check_diags_info => "fdb.check.diags.info",
+
         // ---- fdb-lang / fdb-core: statement surface ----
         /// Statements executed (successfully or not).
         lang_statements => "fdb.lang.statements",

@@ -30,6 +30,7 @@ mod error;
 mod function;
 mod functionality;
 mod schema;
+mod span;
 mod types;
 mod value;
 
@@ -38,5 +39,6 @@ pub use error::{FdbError, Result};
 pub use function::{FunctionDef, FunctionId};
 pub use functionality::Functionality;
 pub use schema::{schema_s1, schema_s2, Schema, SchemaBuilder};
+pub use span::Span;
 pub use types::{TypeId, TypeRegistry};
 pub use value::{Atom, MatchKind, NullGen, NullId, Value};

@@ -14,6 +14,8 @@
 //!   conjunctions (NC) and null-valued chains (NVC);
 //! * [`core`] — the database engine: updates, queries, consistency,
 //!   FD-based ambiguity resolution, snapshots;
+//! * [`check`] — the whole-program static analyzer behind `CHECK`,
+//!   `STRICT` and the `fdb-lint` CLI (typed `FDB0xx` diagnostics);
 //! * [`lang`] — a DAPLEX-flavoured textual front end and REPL;
 //! * [`obs`] — the process-wide metrics registry, structured tracer and
 //!   exporters behind `STATS` and `EXPLAIN ANALYZE`;
@@ -60,6 +62,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use fdb_check as check;
 pub use fdb_core as core;
 pub use fdb_exec as exec;
 pub use fdb_governor as governor;

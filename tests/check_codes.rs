@@ -1,0 +1,371 @@
+//! Per-code firing and non-firing tests for the `fdb-check` analyzer.
+//!
+//! Every diagnostic code gets (at least) one script that must produce it
+//! and one near-identical script that must not — the non-firing twin is
+//! what keeps the analyzer honest about false positives.
+
+use fdb::check::{analyze_script, CheckConfig, Code, Diagnostic};
+use fdb::lang::lower_script;
+
+fn diags_with(script: &str, config: &CheckConfig) -> Vec<Diagnostic> {
+    let (stmts, errors) = lower_script(script);
+    assert!(errors.is_empty(), "unexpected parse errors: {errors:?}");
+    analyze_script(&stmts, config)
+}
+
+fn diags(script: &str) -> Vec<Diagnostic> {
+    diags_with(script, &CheckConfig::default())
+}
+
+fn codes(script: &str) -> Vec<Code> {
+    diags(script).iter().map(|d| d.code).collect()
+}
+
+const UNI: &str = "DECLARE teach: faculty -> course (many-many)\n\
+                   DECLARE class_list: course -> student (many-many)\n\
+                   DECLARE pupil: faculty -> student (many-many)\n";
+
+#[test]
+fn fdb001_undefined_function() {
+    let cs = codes("INSERT ghost(a, b)");
+    assert_eq!(cs, vec![Code::UndefinedFunction]);
+    // Declared: silent.
+    let cs = codes("DECLARE ghost: a -> b (many-many)\nINSERT ghost(a, b)");
+    assert!(!cs.contains(&Code::UndefinedFunction), "{cs:?}");
+}
+
+#[test]
+fn fdb002_duplicate_declare() {
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  DECLARE teach: faculty -> course (many-many)";
+    let ds = diags(script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::DuplicateDeclare)
+        .expect("FDB002 fires");
+    assert_eq!(d.span.line, 2);
+    assert!(d.hint.as_deref().unwrap_or("").contains("line 1"));
+    // Distinct names: silent.
+    assert!(!codes(UNI).contains(&Code::DuplicateDeclare));
+}
+
+#[test]
+fn fdb003_broken_chain() {
+    let script = format!("{UNI}DERIVE pupil = teach o teach");
+    let ds = diags(&script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::BrokenChain)
+        .expect("FDB003 fires");
+    // Anchored at the second (breaking) step.
+    assert_eq!(d.span.line, 4);
+    assert!(
+        d.message.contains("expects domain faculty"),
+        "{}",
+        d.message
+    );
+    // A chaining derivation: silent.
+    let cs = codes(&format!("{UNI}DERIVE pupil = teach o class_list"));
+    assert!(!cs.contains(&Code::BrokenChain), "{cs:?}");
+}
+
+#[test]
+fn fdb004_endpoint_mismatch() {
+    let cs = codes(&format!("{UNI}DERIVE pupil = teach"));
+    assert!(cs.contains(&Code::EndpointMismatch), "{cs:?}");
+    let cs = codes(&format!("{UNI}DERIVE pupil = teach o class_list"));
+    assert!(!cs.contains(&Code::EndpointMismatch), "{cs:?}");
+}
+
+#[test]
+fn fdb005_functionality_mismatch() {
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  DECLARE class_list: course -> student (many-many)\n\
+                  DECLARE pupil: faculty -> student (one-one)\n\
+                  DERIVE pupil = teach o class_list";
+    let ds = diags(script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::FunctionalityMismatch)
+        .expect("FDB005 fires");
+    assert!(d.message.contains("many-many"), "{}", d.message);
+    let cs = codes(&format!("{UNI}DERIVE pupil = teach o class_list"));
+    assert!(!cs.contains(&Code::FunctionalityMismatch), "{cs:?}");
+}
+
+#[test]
+fn fdb006_self_referential() {
+    let cs = codes(&format!("{UNI}DERIVE pupil = pupil"));
+    assert!(cs.contains(&Code::SelfReferential), "{cs:?}");
+    let cs = codes(&format!("{UNI}DERIVE pupil = teach o class_list"));
+    assert!(!cs.contains(&Code::SelfReferential), "{cs:?}");
+}
+
+#[test]
+fn fdb007_step_through_derived() {
+    let script = format!(
+        "{UNI}DECLARE taught_by: course -> faculty (many-many)\n\
+         DERIVE taught_by = teach^-1\n\
+         DERIVE pupil = taught_by^-1 o class_list"
+    );
+    let ds = diags(&script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::StepThroughDerived)
+        .expect("FDB007 fires");
+    assert_eq!(d.span.line, 6);
+    // Stepping through base functions only: silent.
+    let cs = codes(&format!("{UNI}DERIVE pupil = teach o class_list"));
+    assert!(!cs.contains(&Code::StepThroughDerived), "{cs:?}");
+}
+
+#[test]
+fn fdb008_shadows_facts() {
+    let script = format!("{UNI}INSERT pupil(a, b)\nDERIVE pupil = teach o class_list");
+    let ds = diags(&script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::ShadowsFacts)
+        .expect("FDB008 fires");
+    assert_eq!(d.span.line, 5);
+    // DERIVE before the INSERT: silent (the insert becomes a derived
+    // insert instead).
+    let cs = codes(&format!(
+        "{UNI}DERIVE pupil = teach o class_list\nINSERT teach(a, c)"
+    ));
+    assert!(!cs.contains(&Code::ShadowsFacts), "{cs:?}");
+}
+
+#[test]
+fn fdb009_alias_pair() {
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  DECLARE taught_by: course -> faculty (many-many)";
+    let ds = diags(script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::AliasPair)
+        .expect("FDB009 fires");
+    // Anchored at the later declaration of the pair.
+    assert_eq!(d.span.line, 2);
+    // When one of the pair is derived in-script, the alias is the point:
+    // silent.
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  DECLARE taught_by: course -> faculty (many-many)\n\
+                  DERIVE taught_by = teach^-1";
+    assert!(!codes(script).contains(&Code::AliasPair));
+}
+
+#[test]
+fn fdb010_derivable() {
+    // The university triangle with no DERIVE: every edge is derivable
+    // from the other two.
+    let ds = diags(UNI);
+    assert!(ds.iter().any(|d| d.code == Code::Derivable), "{ds:?}");
+    // Deriving pupil in-script silences its own finding.
+    let ds = diags(&format!("{UNI}DERIVE pupil = teach o class_list"));
+    assert!(
+        !ds.iter()
+            .any(|d| d.code == Code::Derivable && d.message.contains("`pupil`")),
+        "{ds:?}"
+    );
+    // Two unrelated functions: nothing derivable.
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  DECLARE office: faculty -> room (many-one)";
+    assert!(!codes(script).contains(&Code::Derivable));
+}
+
+#[test]
+fn fdb020_guaranteed_ambiguous() {
+    let base = format!(
+        "{UNI}DERIVE pupil = teach o class_list\n\
+         INSERT teach(euclid, math)\n\
+         INSERT class_list(math, john)\n\
+         INSERT class_list(math, bill)\n\
+         DELETE pupil(euclid, john)\n"
+    );
+    // After the derived delete, every remaining candidate sits inside a
+    // negated conjunction.
+    let ds = diags(&format!("{base}QUERY pupil(euclid)"));
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::GuaranteedAmbiguous)
+        .expect("FDB020 fires on QUERY");
+    assert_eq!(d.span.line, 9);
+    // TRUTH of the demoted sibling is guaranteed ambiguous too.
+    let ds = diags(&format!("{base}TRUTH pupil(euclid, bill)"));
+    assert!(
+        ds.iter().any(|d| d.code == Code::GuaranteedAmbiguous),
+        "{ds:?}"
+    );
+    // INVERSE through the demoted chain as well.
+    let ds = diags(&format!("{base}INVERSE pupil(bill)"));
+    assert!(
+        ds.iter().any(|d| d.code == Code::GuaranteedAmbiguous),
+        "{ds:?}"
+    );
+    // Before any derived delete the same reads are exact: silent.
+    let clean = format!(
+        "{UNI}DERIVE pupil = teach o class_list\n\
+         INSERT teach(euclid, math)\n\
+         INSERT class_list(math, bill)\n\
+         QUERY pupil(euclid)\nTRUTH pupil(euclid, bill)"
+    );
+    assert!(!codes(&clean).contains(&Code::GuaranteedAmbiguous));
+}
+
+#[test]
+fn fdb021_guaranteed_conflict() {
+    let base = "DECLARE score: [student; course] -> marks (many-one)\n\
+                DECLARE cutoff: marks -> letter_grade (many-one)\n\
+                DECLARE grade: [student; course] -> letter_grade (many-one)\n\
+                DERIVE grade = score o cutoff\n\
+                INSERT score(s1, 85)\n\
+                INSERT cutoff(85, B)\n";
+    // grade(s1) = B already holds exactly; inserting grade(s1, A) must
+    // raise a generalized-dependency conflict.
+    let ds = diags(&format!("{base}INSERT grade(s1, A)"));
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::GuaranteedConflict)
+        .expect("FDB021 fires");
+    assert_eq!(d.span.line, 7);
+    assert!(d.message.contains("grade(s1) = B"), "{}", d.message);
+    // Inserting the value that already holds: silent.
+    let ds = diags(&format!("{base}INSERT grade(s1, B)"));
+    assert!(
+        !ds.iter().any(|d| d.code == Code::GuaranteedConflict),
+        "{ds:?}"
+    );
+}
+
+#[test]
+fn fdb022_undischargeable_delete() {
+    let script = format!(
+        "{UNI}DERIVE pupil = teach o class_list\n\
+         DELETE pupil(euclid, john)"
+    );
+    let ds = diags(&script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::UndischargeableDelete)
+        .expect("FDB022 fires");
+    assert_eq!(d.span.line, 5);
+    // With a supporting chain the delete discharges it: silent.
+    let script = format!(
+        "{UNI}DERIVE pupil = teach o class_list\n\
+         INSERT teach(euclid, math)\n\
+         INSERT class_list(math, john)\n\
+         DELETE pupil(euclid, john)"
+    );
+    assert!(!codes(&script).contains(&Code::UndischargeableDelete));
+}
+
+#[test]
+fn fdb023_dead_write() {
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  INSERT teach(euclid, math)\n\
+                  DELETE teach(euclid, math)";
+    let ds = diags(script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::DeadWrite)
+        .expect("FDB023 fires");
+    assert_eq!(d.span.line, 3);
+    assert!(d.message.contains("line 2"), "{}", d.message);
+    // A read in between: silent.
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  INSERT teach(euclid, math)\n\
+                  QUERY teach(euclid)\n\
+                  DELETE teach(euclid, math)";
+    assert!(!codes(script).contains(&Code::DeadWrite));
+    // A read through a derivation over the function also counts.
+    let script = format!(
+        "{UNI}DERIVE pupil = teach o class_list\n\
+         INSERT teach(euclid, math)\n\
+         QUERY pupil(euclid)\n\
+         DELETE teach(euclid, math)"
+    );
+    assert!(!codes(&script).contains(&Code::DeadWrite));
+}
+
+#[test]
+fn fdb030_chain_budget() {
+    let mut script = format!("{UNI}DERIVE pupil = teach o class_list\n");
+    for i in 0..4 {
+        script.push_str(&format!("INSERT teach(f, c{i})\n"));
+        script.push_str(&format!("INSERT class_list(c{i}, s{i})\n"));
+    }
+    // 4 chains estimated; a budget of 3 is exceeded …
+    let tight = CheckConfig {
+        chain_budget: 3.0,
+        ..CheckConfig::default()
+    };
+    let ds = diags_with(&script, &tight);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::ChainBudget)
+        .expect("FDB030 fires");
+    assert_eq!(d.span.line, 4, "anchored at the DERIVE");
+    // … while the default budget is not.
+    assert!(!codes(&script).contains(&Code::ChainBudget));
+}
+
+#[test]
+fn fdb031_cycle_without_ufa() {
+    let ds = diags(UNI);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::CycleWithoutUfa)
+        .expect("FDB031 fires");
+    // The third edge closes the faculty/course/student triangle.
+    assert_eq!(d.span.line, 3);
+    // An acyclic schema: silent.
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  DECLARE class_list: course -> student (many-many)";
+    assert!(!codes(script).contains(&Code::CycleWithoutUfa));
+}
+
+#[test]
+fn open_world_statements_mute_guarantees() {
+    // The same dead-write pattern, but a SOURCE in between could have
+    // read (or rewritten) anything: all guarantees are off.
+    let script = "DECLARE teach: faculty -> course (many-many)\n\
+                  INSERT teach(euclid, math)\n\
+                  SOURCE \"other.fdb\"\n\
+                  DELETE teach(euclid, math)\n\
+                  DELETE ghost(a, b)";
+    let ds = diags(script);
+    assert!(ds.is_empty(), "open world mutes everything: {ds:?}");
+}
+
+#[test]
+fn resolve_mutes_ambiguity_guarantees() {
+    let script = format!(
+        "{UNI}DERIVE pupil = teach o class_list\n\
+         INSERT teach(euclid, math)\n\
+         INSERT class_list(math, john)\n\
+         INSERT class_list(math, bill)\n\
+         DELETE pupil(euclid, john)\n\
+         RESOLVE\n\
+         QUERY pupil(euclid)"
+    );
+    let ds = diags(&script);
+    assert!(
+        !ds.iter().any(|d| d.code == Code::GuaranteedAmbiguous),
+        "RESOLVE may have disambiguated: {ds:?}"
+    );
+}
+
+#[test]
+fn error_recovery_keeps_analyzing() {
+    // A bad DERIVE is reported but not registered, so later statements
+    // resolve against the declared (base) function.
+    let script = format!(
+        "{UNI}DERIVE pupil = teach\n\
+         INSERT pupil(a, b)\n\
+         INSERT ghost(a, b)"
+    );
+    let cs = codes(&script);
+    assert!(cs.contains(&Code::EndpointMismatch), "{cs:?}");
+    assert!(cs.contains(&Code::UndefinedFunction), "{cs:?}");
+}
