@@ -16,9 +16,13 @@
 //!    flags reads guaranteed to return `ambiguous` (`FDB020`), derived
 //!    inserts that must raise a functionality conflict (`FDB021`),
 //!    derived deletes with no chain to negate (`FDB022`) and dead writes
-//!    (`FDB023`). Anything that opens the world (`LOAD`, `SOURCE`,
-//!    `ABORT`) mutes these lints — "guaranteed" claims need a closed
-//!    world.
+//!    (`FDB023`). Anything that opens the world (`LOAD`, `SOURCE`)
+//!    mutes these lints — "guaranteed" claims need a closed world.
+//!    Transaction control is modeled precisely: `BEGIN`/`SAVEPOINT`
+//!    snapshot the abstract state and `ROLLBACK`/`ROLLBACK TO` restore
+//!    it, exactly the way the engine restores the database, while
+//!    unbalanced statements (`FDB018`) and scripts that end with an open
+//!    transaction (`FDB019`) are flagged.
 //! 3. **Cost / feasibility** — the final abstract table sizes feed
 //!    [`fdb_exec::estimate`] per registered derivation; an unbound
 //!    enumeration whose estimated chain count exceeds the configured
@@ -37,7 +41,7 @@ use fdb_graph::{lint, PathLimits};
 use fdb_types::{Functionality, Schema, Span};
 
 use crate::diag::{sort_diagnostics, tally, Code, Diagnostic};
-use crate::script::{CheckStmt, Name, StepRef};
+use crate::script::{CheckStmt, Name, StepRef, TxnOp};
 
 /// Tunables for the analyzer.
 #[derive(Clone, Debug)]
@@ -144,6 +148,34 @@ struct Chain {
     links: Vec<(String, (String, String))>,
 }
 
+/// A snapshot of the analyzer's mutable abstract state, taken at `BEGIN`
+/// and at every `SAVEPOINT` and restored on rollback — the analyzer-side
+/// mirror of the engine's undo journal. Read/write ordering state
+/// (`seq`, `reads_seen`) deliberately stays live across rollbacks: a
+/// read that happened inside a rolled-back transaction still happened.
+#[derive(Clone)]
+struct AbsState {
+    schema: Schema,
+    declare_spans: HashMap<String, Span>,
+    derived: HashMap<String, Vec<Vec<RStep>>>,
+    derive_sites: Vec<(String, Vec<RStep>, Span)>,
+    tables: HashMap<String, Table>,
+    derived_facts: HashMap<String, BTreeMap<(String, String), Abs>>,
+    derived_deleted: HashMap<String, HashSet<(String, String)>>,
+    dsu: HashMap<String, String>,
+    pending_inserts: HashMap<(String, String, String), (Span, usize)>,
+}
+
+/// The abstract shadow of an open transaction.
+struct TxnShadow {
+    /// Where the `BEGIN` sits (the `FDB019` anchor).
+    begin: Span,
+    /// State at `BEGIN`, restored by a whole-transaction rollback.
+    base: AbsState,
+    /// Named savepoints in creation order (same-named replaces).
+    savepoints: Vec<(String, AbsState)>,
+}
+
 struct Analyzer<'a> {
     cfg: &'a CheckConfig,
     diags: Vec<Diagnostic>,
@@ -170,6 +202,8 @@ struct Analyzer<'a> {
     pending_inserts: HashMap<(String, String, String), (Span, usize)>,
     /// Last read touching each function (directly or via a derivation).
     reads_seen: HashMap<String, usize>,
+    /// The open transaction's abstract shadow, if any.
+    txn: Option<TxnShadow>,
 }
 
 impl<'a> Analyzer<'a> {
@@ -189,7 +223,36 @@ impl<'a> Analyzer<'a> {
             seq: 0,
             pending_inserts: HashMap::new(),
             reads_seen: HashMap::new(),
+            txn: None,
         }
+    }
+
+    /// Captures the mutable abstract state (for `BEGIN` / `SAVEPOINT`).
+    fn capture(&self) -> AbsState {
+        AbsState {
+            schema: self.schema.clone(),
+            declare_spans: self.declare_spans.clone(),
+            derived: self.derived.clone(),
+            derive_sites: self.derive_sites.clone(),
+            tables: self.tables.clone(),
+            derived_facts: self.derived_facts.clone(),
+            derived_deleted: self.derived_deleted.clone(),
+            dsu: self.dsu.clone(),
+            pending_inserts: self.pending_inserts.clone(),
+        }
+    }
+
+    /// Restores a captured state (for `ROLLBACK` / `ROLLBACK TO`).
+    fn restore(&mut self, s: AbsState) {
+        self.schema = s.schema;
+        self.declare_spans = s.declare_spans;
+        self.derived = s.derived;
+        self.derive_sites = s.derive_sites;
+        self.tables = s.tables;
+        self.derived_facts = s.derived_facts;
+        self.derived_deleted = s.derived_deleted;
+        self.dsu = s.dsu;
+        self.pending_inserts = s.pending_inserts;
     }
 
     fn push(&mut self, d: Diagnostic) {
@@ -295,9 +358,108 @@ impl<'a> Analyzer<'a> {
                 }
                 self.derived_deleted.clear();
             }
+            CheckStmt::Txn { keyword, op, name } => self.visit_txn(*keyword, *op, name.as_ref()),
             CheckStmt::Other { opens_world, .. } => {
                 if *opens_world {
                     self.open_world = true;
+                }
+            }
+        }
+    }
+
+    /// Transaction control: balance checking (`FDB018`) plus exact
+    /// snapshot/restore of the abstract state, mirroring the engine.
+    fn visit_txn(&mut self, keyword: Span, op: TxnOp, name: Option<&Name>) {
+        match op {
+            TxnOp::Begin => {
+                if self.txn.is_some() {
+                    self.push(
+                        Diagnostic::new(
+                            Code::UnbalancedTxn,
+                            keyword,
+                            "BEGIN inside an open transaction",
+                        )
+                        .with_hint("transactions do not nest; use SAVEPOINT for nested scopes"),
+                    );
+                    return;
+                }
+                self.txn = Some(TxnShadow {
+                    begin: keyword,
+                    base: self.capture(),
+                    savepoints: Vec::new(),
+                });
+            }
+            TxnOp::Commit => {
+                if self.txn.take().is_none() {
+                    self.push(
+                        Diagnostic::new(
+                            Code::UnbalancedTxn,
+                            keyword,
+                            "COMMIT without an open BEGIN",
+                        )
+                        .with_hint("open a transaction with BEGIN first"),
+                    );
+                }
+            }
+            TxnOp::Rollback => match self.txn.take() {
+                Some(shadow) => self.restore(shadow.base),
+                None => self.push(
+                    Diagnostic::new(
+                        Code::UnbalancedTxn,
+                        keyword,
+                        "ROLLBACK without an open BEGIN",
+                    )
+                    .with_hint("open a transaction with BEGIN first"),
+                ),
+            },
+            TxnOp::Savepoint => {
+                let state = self.capture();
+                let n = name.map(|n| n.text.clone()).unwrap_or_default();
+                let Some(t) = self.txn.as_mut() else {
+                    self.push(
+                        Diagnostic::new(
+                            Code::UnbalancedTxn,
+                            keyword,
+                            "SAVEPOINT without an open BEGIN",
+                        )
+                        .with_hint("open a transaction with BEGIN first"),
+                    );
+                    return;
+                };
+                t.savepoints.retain(|(s, _)| *s != n);
+                t.savepoints.push((n, state));
+            }
+            TxnOp::RollbackTo => {
+                let target = name.map(|n| n.text.clone()).unwrap_or_default();
+                let anchor = name.map_or(keyword, |n| n.span);
+                let Some(t) = self.txn.as_mut() else {
+                    self.push(
+                        Diagnostic::new(
+                            Code::UnbalancedTxn,
+                            keyword,
+                            "ROLLBACK TO without an open BEGIN",
+                        )
+                        .with_hint("open a transaction with BEGIN first"),
+                    );
+                    return;
+                };
+                let state = match t.savepoints.iter().rposition(|(s, _)| *s == target) {
+                    Some(pos) => {
+                        t.savepoints.truncate(pos + 1);
+                        Some(t.savepoints[pos].1.clone())
+                    }
+                    None => None,
+                };
+                match state {
+                    Some(s) => self.restore(s),
+                    None => self.push(
+                        Diagnostic::new(
+                            Code::UnbalancedTxn,
+                            anchor,
+                            format!("ROLLBACK TO unknown savepoint `{target}`"),
+                        )
+                        .with_hint("set it with SAVEPOINT <name> inside the transaction first"),
+                    ),
                 }
             }
         }
@@ -988,6 +1150,19 @@ impl<'a> Analyzer<'a> {
 
     fn finish(mut self) -> Vec<Diagnostic> {
         if !self.open_world {
+            if let Some(t) = &self.txn {
+                self.diags.push(
+                    Diagnostic::new(
+                        Code::UnclosedTxn,
+                        t.begin,
+                        "the transaction opened here is never committed or rolled back",
+                    )
+                    .with_hint(
+                        "end the script with COMMIT (or ROLLBACK); \
+                         a durable store discards uncommitted updates at recovery",
+                    ),
+                );
+            }
             self.cost_pass();
             let derived_names: HashSet<String> = self.derived.keys().cloned().collect();
             schema_pass(

@@ -48,7 +48,8 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `FDB00x` = resolution/well-formedness errors,
-/// `FDB02x` = three-valued-logic lints, `FDB03x` = cost/feasibility lints.
+/// `FDB01x` = transaction-structure lints, `FDB02x` = three-valued-logic
+/// lints, `FDB03x` = cost/feasibility lints.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// FDB000 — the line does not parse at all (CLI front end only).
@@ -76,6 +77,13 @@ pub enum Code {
     AliasPair,
     /// FDB010 — a base function is derivable from the rest of the schema.
     Derivable,
+    /// FDB018 — an unbalanced transaction statement: `COMMIT`, `ROLLBACK`
+    /// or `SAVEPOINT` without an open `BEGIN`, `BEGIN` inside an open
+    /// transaction, or `ROLLBACK TO` an unknown savepoint.
+    UnbalancedTxn,
+    /// FDB019 — the script ends with a transaction still open: its
+    /// updates never commit (a durable store discards them at recovery).
+    UnclosedTxn,
     /// FDB020 — a read is guaranteed to yield only `ambiguous` results.
     GuaranteedAmbiguous,
     /// FDB021 — a derived insert must raise a functionality (GD) conflict.
@@ -96,7 +104,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 19] = [
         Code::Syntax,
         Code::UndefinedFunction,
         Code::DuplicateDeclare,
@@ -108,6 +116,8 @@ impl Code {
         Code::ShadowsFacts,
         Code::AliasPair,
         Code::Derivable,
+        Code::UnbalancedTxn,
+        Code::UnclosedTxn,
         Code::GuaranteedAmbiguous,
         Code::GuaranteedConflict,
         Code::UndischargeableDelete,
@@ -130,6 +140,8 @@ impl Code {
             Code::ShadowsFacts => "FDB008",
             Code::AliasPair => "FDB009",
             Code::Derivable => "FDB010",
+            Code::UnbalancedTxn => "FDB018",
+            Code::UnclosedTxn => "FDB019",
             Code::GuaranteedAmbiguous => "FDB020",
             Code::GuaranteedConflict => "FDB021",
             Code::UndischargeableDelete => "FDB022",
@@ -150,8 +162,10 @@ impl Code {
             | Code::FunctionalityMismatch
             | Code::SelfReferential
             | Code::StepThroughDerived
-            | Code::ShadowsFacts => Severity::Error,
-            Code::GuaranteedAmbiguous
+            | Code::ShadowsFacts
+            | Code::UnbalancedTxn => Severity::Error,
+            Code::UnclosedTxn
+            | Code::GuaranteedAmbiguous
             | Code::GuaranteedConflict
             | Code::UndischargeableDelete
             | Code::DeadWrite
@@ -174,6 +188,8 @@ impl Code {
             Code::ShadowsFacts => "derivation shadows stored facts",
             Code::AliasPair => "mutually derivable alias pair",
             Code::Derivable => "function derivable from rest of schema",
+            Code::UnbalancedTxn => "unbalanced transaction statement",
+            Code::UnclosedTxn => "script ends with unclosed transaction",
             Code::GuaranteedAmbiguous => "read guaranteed ambiguous",
             Code::GuaranteedConflict => "derived insert guaranteed to conflict",
             Code::UndischargeableDelete => "derived delete with no supporting chain",
@@ -367,7 +383,7 @@ mod tests {
             assert!(c.as_str().starts_with("FDB"));
             assert_eq!(c.as_str().len(), 6);
         }
-        assert_eq!(Code::ALL.len(), 17);
+        assert_eq!(Code::ALL.len(), 19);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! |----------|---------------------------------------|----------|
 //! | `FDB00x` | name/type/derivation well-formedness  | error    |
 //! | `FDB009`/`FDB010` | schema design (via `fdb-graph`) | info   |
+//! | `FDB018`/`FDB019` | transaction structure          | error/warn |
 //! | `FDB02x` | three-valued abstract interpretation  | warn     |
 //! | `FDB030` | cost/feasibility (via `fdb-exec`)     | warn     |
 //! | `FDB031` | cycle closed without the UFA          | info     |
@@ -40,4 +41,4 @@ pub use diag::{
     Diagnostic, Severity,
 };
 pub use sarif::{render_sarif, render_sarif_all};
-pub use script::{CheckStmt, Name, StepRef};
+pub use script::{CheckStmt, Name, StepRef, TxnOp};

@@ -133,6 +133,8 @@ mod tests {
             .map(|r| get(r, "id").as_str().expect("rule id"))
             .collect();
         assert!(ids.contains(&"FDB001"));
+        assert!(ids.contains(&"FDB018"));
+        assert!(ids.contains(&"FDB019"));
         assert!(ids.contains(&"FDB031"));
 
         let results = get(&runs[0], "results").as_seq().expect("results array");

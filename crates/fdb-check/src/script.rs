@@ -36,6 +36,21 @@ pub struct StepRef {
     pub inverse: bool,
 }
 
+/// Which transaction-control statement a [`CheckStmt::Txn`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnOp {
+    /// `BEGIN`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ABORT` / bare `ROLLBACK` — whole-transaction rollback.
+    Rollback,
+    /// `SAVEPOINT <name>`.
+    Savepoint,
+    /// `ROLLBACK TO <name>`.
+    RollbackTo,
+}
+
 /// One analyzed statement. Statements the analysis does not model map to
 /// [`CheckStmt::Other`]; statements that replace the database wholesale
 /// (`LOAD`, `SOURCE`) map to `Other` with `opens_world` set, which tells
@@ -147,6 +162,18 @@ pub enum CheckStmt {
         /// Statement keyword span.
         keyword: Span,
     },
+    /// `BEGIN` / `COMMIT` / `ABORT` / `SAVEPOINT n` / `ROLLBACK [TO n]` —
+    /// transaction control. The analyzer checks balance (`FDB018`,
+    /// `FDB019`) and rolls its abstract state back exactly the way the
+    /// engine does.
+    Txn {
+        /// Statement keyword span.
+        keyword: Span,
+        /// Which transaction-control statement this is.
+        op: TxnOp,
+        /// The savepoint name (`Savepoint` / `RollbackTo` only).
+        name: Option<Name>,
+    },
     /// Any other statement.
     Other {
         /// Statement keyword span.
@@ -172,6 +199,7 @@ impl CheckStmt {
             | CheckStmt::Read { keyword, .. }
             | CheckStmt::Eval { keyword, .. }
             | CheckStmt::Resolve { keyword }
+            | CheckStmt::Txn { keyword, .. }
             | CheckStmt::Other { keyword, .. } => *keyword,
         }
     }

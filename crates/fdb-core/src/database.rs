@@ -65,6 +65,31 @@ pub struct Database {
     /// Derivation choice for derived inserts.
     #[serde(default)]
     insert_policy: InsertPolicy,
+    /// Open-transaction bookkeeping: schema/derivation snapshots per
+    /// savepoint (the store's row data is covered by its undo journal, so
+    /// only this cheap metadata is cloned). Never serialized — open
+    /// transactions do not survive snapshots.
+    #[serde(skip)]
+    txn: Option<TxnState>,
+}
+
+/// Cheap metadata snapshot taken at `BEGIN` and at every savepoint: the
+/// store itself is not cloned (its undo journal covers row data), only
+/// the schema and derivation registry plus the journal mark to roll the
+/// store back to.
+#[derive(Clone, Debug)]
+struct TxnMeta {
+    schema: Schema,
+    derived: BTreeMap<FunctionId, Vec<Derivation>>,
+    mark: usize,
+}
+
+/// The open transaction: the `BEGIN` snapshot plus named savepoints in
+/// creation order.
+#[derive(Clone, Debug)]
+struct TxnState {
+    base: TxnMeta,
+    savepoints: Vec<(String, TxnMeta)>,
 }
 
 impl Database {
@@ -78,6 +103,7 @@ impl Database {
             chain_limits: ChainLimits::default(),
             delete_policy: DeletePolicy::default(),
             insert_policy: InsertPolicy::default(),
+            txn: None,
         }
     }
 
@@ -271,6 +297,137 @@ impl Database {
         self.insert_policy = policy;
     }
 
+    // ----- transactions ------------------------------------------------
+
+    fn txn_meta(&self) -> TxnMeta {
+        TxnMeta {
+            schema: self.schema.clone(),
+            derived: self.derived.clone(),
+            mark: self.store.undo_mark(),
+        }
+    }
+
+    /// Restores the metadata of `meta` and rolls the store's undo journal
+    /// back to its mark. Tables created by `DECLARE`s inside the rolled-
+    /// back scope are dropped (the journal already emptied them).
+    fn txn_restore(&mut self, meta: TxnMeta) {
+        self.schema = meta.schema;
+        self.derived = meta.derived;
+        self.store.undo_rollback_to(meta.mark);
+        self.store.truncate_tables(self.schema.len());
+        self.schema.rebuild_index();
+    }
+
+    /// Opens a transaction: subsequent updates are journaled and can be
+    /// rolled back atomically by [`Database::txn_rollback`]. Errors if a
+    /// transaction is already open (transactions do not nest; use
+    /// [`Database::txn_savepoint`] for partial rollback scopes).
+    pub fn txn_begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(FdbError::TxnControl(
+                "BEGIN inside an open transaction (use SAVEPOINT for nested scopes)".into(),
+            ));
+        }
+        self.store.undo_begin();
+        self.txn = Some(TxnState {
+            base: self.txn_meta(),
+            savepoints: Vec::new(),
+        });
+        fdb_obs::registry().txn_begins.inc();
+        Ok(())
+    }
+
+    /// `true` while a transaction is open.
+    pub fn txn_active(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Name of the most recently set savepoint, if any.
+    pub fn txn_last_savepoint(&self) -> Option<&str> {
+        self.txn
+            .as_ref()
+            .and_then(|t| t.savepoints.last())
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Approximate in-memory size of the open transaction's undo journal
+    /// (0 outside transactions).
+    pub fn txn_undo_bytes(&self) -> usize {
+        self.store.undo_bytes()
+    }
+
+    /// Sets (or replaces) the named savepoint at the current transaction
+    /// position.
+    pub fn txn_savepoint(&mut self, name: &str) -> Result<()> {
+        let meta = self.txn_meta();
+        let Some(t) = self.txn.as_mut() else {
+            return Err(FdbError::TxnControl(
+                "SAVEPOINT without an open BEGIN".into(),
+            ));
+        };
+        t.savepoints.retain(|(n, _)| n != name);
+        t.savepoints.push((name.to_string(), meta));
+        Ok(())
+    }
+
+    /// Rolls back to the named savepoint, keeping the transaction (and the
+    /// savepoint itself, for repeated rollbacks) open. Savepoints set
+    /// after the named one are discarded.
+    pub fn txn_rollback_to(&mut self, name: &str) -> Result<()> {
+        let meta = {
+            let Some(t) = self.txn.as_mut() else {
+                return Err(FdbError::TxnControl(
+                    "ROLLBACK TO without an open BEGIN".into(),
+                ));
+            };
+            let Some(pos) = t.savepoints.iter().rposition(|(n, _)| n == name) else {
+                return Err(FdbError::TxnControl(format!("unknown savepoint {name:?}")));
+            };
+            t.savepoints.truncate(pos + 1);
+            t.savepoints[pos].1.clone()
+        };
+        self.txn_restore(meta);
+        fdb_obs::registry().txn_savepoint_rollbacks.inc();
+        Ok(())
+    }
+
+    /// Rolls the whole transaction back and closes it: the database is
+    /// left byte-identical (snapshot-wise) to its state before `BEGIN`,
+    /// while the store's version counters advance so every derived cache
+    /// observes the rollback as a fresh version event.
+    pub fn txn_rollback(&mut self) -> Result<()> {
+        let Some(t) = self.txn.take() else {
+            return Err(FdbError::TxnControl(
+                "ROLLBACK without an open BEGIN".into(),
+            ));
+        };
+        fdb_obs::registry()
+            .txn_undo_log_bytes
+            .add(self.store.undo_bytes() as u64);
+        self.schema = t.base.schema;
+        self.derived = t.base.derived;
+        self.store.undo_abort();
+        self.store.truncate_tables(self.schema.len());
+        self.schema.rebuild_index();
+        fdb_obs::registry().txn_rollbacks.inc();
+        Ok(())
+    }
+
+    /// Commits the open transaction: drops the undo journal and makes the
+    /// transaction's effects permanent (in-memory; durability is layered
+    /// on top by `LoggedDatabase`).
+    pub fn txn_commit(&mut self) -> Result<()> {
+        if self.txn.take().is_none() {
+            return Err(FdbError::TxnControl("COMMIT without an open BEGIN".into()));
+        }
+        fdb_obs::registry()
+            .txn_undo_log_bytes
+            .add(self.store.undo_bytes() as u64);
+        self.store.undo_commit();
+        fdb_obs::registry().txn_commits.inc();
+        Ok(())
+    }
+
     /// Resolves a function by name.
     pub fn resolve(&self, name: &str) -> Result<FunctionId> {
         self.schema.resolve(name)
@@ -284,8 +441,14 @@ impl Database {
 
     /// Compacts every base table, dropping delete tombstones and
     /// rebuilding indexes. Logical state is unchanged; long-running
-    /// instances with churn call this periodically.
+    /// instances with churn call this periodically. A no-op while a
+    /// transaction is open: compaction would invalidate the row indices
+    /// the undo journal records (the store re-checks its automatic
+    /// compaction policy at commit).
     pub fn compact(&mut self) -> usize {
+        if self.txn_active() {
+            return 0;
+        }
         let mut dropped = 0;
         for f in self.base_functions() {
             let table = self.store.table_mut(f);

@@ -36,7 +36,7 @@ use crate::storage::{FileStorage, WalStorage};
 use crate::update::Update;
 use crate::wal::{
     apply_record, io_err, observe_recovery, parent_dir, scan, CorruptionEvent, LogRecord,
-    RecoveryReport, Scan, Wal,
+    RecoveryReport, Scan, TxnReplayer, Wal,
 };
 
 /// When appended records are fsynced.
@@ -150,6 +150,12 @@ pub struct LoggedDatabase {
     /// `true` when operating on a legacy single-file log (no rotation,
     /// no checkpoints).
     legacy: bool,
+    /// Id of the open logged transaction frame, if any. While set,
+    /// rotation and checkpoints are deferred so a frame never straddles
+    /// a checkpoint boundary.
+    open_txn: Option<u64>,
+    /// Monotonic id source for transaction frames.
+    next_txn_id: u64,
 }
 
 impl LoggedDatabase {
@@ -194,6 +200,8 @@ impl LoggedDatabase {
             unsynced: 0,
             since_checkpoint: 0,
             legacy: false,
+            open_txn: None,
+            next_txn_id: 1,
         })
     }
 
@@ -262,6 +270,9 @@ impl LoggedDatabase {
         let mut expected = base_seq + 1;
         let mut halted = false;
         let mut append_target: Option<PathBuf> = None;
+        // One replayer across all segments: an open transaction frame
+        // (deferred rotation notwithstanding) may span a boundary.
+        let mut replayer = TxnReplayer::new();
         for (first_seq, seg_path) in segments {
             if halted || first_seq > expected {
                 // Unreachable after a flaw (or a missing segment): move
@@ -279,12 +290,12 @@ impl LoggedDatabase {
             let (scanned, quarantined) = salvage_file(storage.as_ref(), &seg_path, first_seq)?;
             report.segments_scanned += 1;
             report.quarantined_bytes += quarantined;
+            report.skipped_records += scanned.skipped;
             for (seq, record) in &scanned.records {
                 if *seq <= base_seq {
                     continue; // already covered by the checkpoint
                 }
-                apply_record(&mut db, record)?;
-                report.applied += 1;
+                report.applied += replayer.feed(&mut db, record)?;
                 report.last_seq = Some(*seq);
                 expected = seq + 1;
             }
@@ -298,10 +309,17 @@ impl LoggedDatabase {
             }
             append_target = Some(seg_path);
         }
+        // A frame still open at the end of the scan lost its commit to
+        // the crash: its records are discarded, landing the recovered
+        // state exactly on the last pre-`BEGIN` / post-`COMMIT` point.
+        let dangling = replayer.open_txn_id();
+        let (applied, discarded) = replayer.finish(&mut db)?;
+        report.applied += applied;
+        report.uncommitted_discarded = discarded;
 
         storage.sync_dir(&dir).map_err(|e| io_err("sync dir", e))?;
 
-        let wal = match append_target {
+        let mut wal = match append_target {
             Some(seg_path) => {
                 let first = segment_first_seq(&seg_path).unwrap_or(expected);
                 Wal::open_append_on(Arc::clone(&storage), seg_path, first)?
@@ -312,6 +330,13 @@ impl LoggedDatabase {
                 expected,
             )?,
         };
+        // Close a dangling frame on disk so post-recovery appends are not
+        // swallowed into the dead transaction by the *next* recovery.
+        if let Some(id) = dangling {
+            wal.append(&LogRecord::TxnAbort { id })?;
+            wal.sync()?;
+        }
+        let next_txn_id = wal.next_seq();
 
         observe_recovery(&report);
         Ok((
@@ -325,6 +350,8 @@ impl LoggedDatabase {
                 unsynced: 0,
                 since_checkpoint: 0,
                 legacy: false,
+                open_txn: None,
+                next_txn_id,
             },
             report,
         ))
@@ -342,13 +369,18 @@ impl LoggedDatabase {
         let mut report = RecoveryReport {
             segments_scanned: 1,
             quarantined_bytes: quarantined,
+            skipped_records: scanned.skipped,
             ..RecoveryReport::default()
         };
+        let mut replayer = TxnReplayer::new();
         for (seq, record) in &scanned.records {
-            apply_record(&mut db, record)?;
-            report.applied += 1;
+            report.applied += replayer.feed(&mut db, record)?;
             report.last_seq = Some(*seq);
         }
+        let dangling = replayer.open_txn_id();
+        let (applied, discarded) = replayer.finish(&mut db)?;
+        report.applied += applied;
+        report.uncommitted_discarded = discarded;
         if let Some(flaw) = scanned.flaw {
             report.torn_tail = flaw.is_torn_tail();
             report.corruption.push(CorruptionEvent {
@@ -359,7 +391,12 @@ impl LoggedDatabase {
         let dir = parent_dir(&path)
             .map(Path::to_owned)
             .unwrap_or_else(|| PathBuf::from("."));
-        let wal = Wal::open_append_on(Arc::clone(&storage), &path, 1)?;
+        let mut wal = Wal::open_append_on(Arc::clone(&storage), &path, 1)?;
+        if let Some(id) = dangling {
+            wal.append(&LogRecord::TxnAbort { id })?;
+            wal.sync()?;
+        }
+        let next_txn_id = wal.next_seq();
         observe_recovery(&report);
         Ok((
             LoggedDatabase {
@@ -372,6 +409,8 @@ impl LoggedDatabase {
                 unsynced: 0,
                 since_checkpoint: 0,
                 legacy: true,
+                open_txn: None,
+                next_txn_id,
             },
             report,
         ))
@@ -410,7 +449,16 @@ impl LoggedDatabase {
 
     fn logged(&mut self, record: LogRecord) -> Result<()> {
         apply_record(&mut self.db, &record)?;
-        self.wal.append(&record)?;
+        if let Err(e) = self.wal.append(&record) {
+            // The mutation applied but cannot be made durable. Inside a
+            // transaction the contract is all-or-nothing, so the open
+            // frame is rolled back entirely (on disk it stays unclosed
+            // and recovery discards it).
+            if self.open_txn.is_some() {
+                return Err(self.abort_after_failure(e));
+            }
+            return Err(e);
+        }
         self.unsynced += 1;
         self.since_checkpoint += 1;
         match self.config.sync_policy {
@@ -422,17 +470,47 @@ impl LoggedDatabase {
             }
             SyncPolicy::OnCheckpoint => {}
         }
-        if !self.legacy {
-            if self.wal.len() >= self.config.segment_max_bytes {
-                self.rotate()?;
-            }
-            if let Some(every) = self.config.checkpoint_every {
-                if self.since_checkpoint >= every {
-                    self.checkpoint()?;
-                }
+        self.maintain()
+    }
+
+    /// Rotation / checkpoint housekeeping, deferred while a transaction
+    /// frame is open so a frame never straddles a checkpoint.
+    fn maintain(&mut self) -> Result<()> {
+        if self.legacy || self.open_txn.is_some() {
+            return Ok(());
+        }
+        if self.wal.len() >= self.config.segment_max_bytes {
+            self.rotate()?;
+        }
+        if let Some(every) = self.config.checkpoint_every {
+            if self.since_checkpoint >= every {
+                self.checkpoint()?;
             }
         }
         Ok(())
+    }
+
+    /// Rolls the open transaction back after an append or commit-fsync
+    /// failure and wraps the failure as [`FdbError::TxnAborted`]. A
+    /// revoking [`LogRecord::TxnAbort`] is appended best-effort: if the
+    /// failed write left a `TxnCommit` marker of unknown durability on
+    /// disk, the abort supersedes it (the replayer holds a commit back
+    /// one record for exactly this), keeping recovery in agreement with
+    /// the rolled-back live state. If even the abort cannot be written,
+    /// the frame stays unclosed and recovery discards it.
+    fn abort_after_failure(&mut self, cause: FdbError) -> FdbError {
+        if let Some(id) = self.open_txn.take() {
+            if self.wal.append(&LogRecord::TxnAbort { id }).is_ok() {
+                let _ = self.sync();
+            }
+        }
+        match self.db.txn_rollback() {
+            Ok(()) => FdbError::TxnAborted {
+                savepoint: None,
+                cause: Box::new(cause),
+            },
+            Err(e) => e,
+        }
     }
 
     /// Closes the current segment and starts a fresh one.
@@ -459,6 +537,11 @@ impl LoggedDatabase {
             return Err(FdbError::Internal(
                 "wal: legacy single-file log cannot checkpoint; migrate to a log directory"
                     .to_owned(),
+            ));
+        }
+        if self.open_txn.is_some() {
+            return Err(FdbError::TxnControl(
+                "cannot checkpoint inside an open transaction".to_owned(),
             ));
         }
         self.sync()?;
@@ -507,6 +590,104 @@ impl LoggedDatabase {
         self.since_checkpoint = 0;
         fdb_obs::registry().wal_checkpoints.inc();
         Ok(())
+    }
+
+    // ------------------------------------------------------ transactions
+
+    /// Whether a logged transaction frame is open.
+    pub fn txn_active(&self) -> bool {
+        self.open_txn.is_some()
+    }
+
+    /// Opens a transaction frame: a `TxnBegin` marker is logged and the
+    /// live database starts journaling for rollback. Until
+    /// [`LoggedDatabase::commit`], recovery treats every logged record as
+    /// tentative — a crash lands back on the pre-`BEGIN` state.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.open_txn.is_some() {
+            return Err(FdbError::TxnControl(
+                "BEGIN inside an open transaction".to_owned(),
+            ));
+        }
+        self.db.txn_begin()?;
+        let id = self.next_txn_id;
+        self.next_txn_id += 1;
+        if let Err(e) = self.wal.append(&LogRecord::TxnBegin { id }) {
+            let _ = self.db.txn_rollback();
+            return Err(e);
+        }
+        self.open_txn = Some(id);
+        Ok(())
+    }
+
+    /// Sets (or replaces) a named savepoint inside the open transaction.
+    pub fn savepoint(&mut self, name: &str) -> Result<()> {
+        if self.open_txn.is_none() {
+            return Err(FdbError::TxnControl(
+                "SAVEPOINT without an open transaction".to_owned(),
+            ));
+        }
+        self.db.txn_savepoint(name)?;
+        if let Err(e) = self.wal.append(&LogRecord::TxnSavepoint {
+            name: name.to_owned(),
+        }) {
+            return Err(self.abort_after_failure(e));
+        }
+        Ok(())
+    }
+
+    /// Rolls the open transaction back to a named savepoint, which stays
+    /// set. The partial rollback is logged so recovery of a later commit
+    /// replays exactly the surviving records.
+    pub fn rollback_to(&mut self, name: &str) -> Result<()> {
+        if self.open_txn.is_none() {
+            return Err(FdbError::TxnControl(
+                "ROLLBACK TO without an open transaction".to_owned(),
+            ));
+        }
+        self.db.txn_rollback_to(name)?;
+        if let Err(e) = self.wal.append(&LogRecord::TxnRollbackTo {
+            name: name.to_owned(),
+        }) {
+            return Err(self.abort_after_failure(e));
+        }
+        Ok(())
+    }
+
+    /// Rolls the whole open transaction back: the live database returns
+    /// to its pre-`BEGIN` state and a `TxnAbort` marker closes the frame
+    /// on disk.
+    pub fn rollback(&mut self) -> Result<()> {
+        let id = self.open_txn.take().ok_or_else(|| {
+            FdbError::TxnControl("ROLLBACK without an open transaction".to_owned())
+        })?;
+        self.db.txn_rollback()?;
+        // Even if the marker fails to append, the frame stays unclosed on
+        // disk and recovery discards it — consistent either way.
+        self.wal.append(&LogRecord::TxnAbort { id })?;
+        self.maintain()
+    }
+
+    /// Commits the open transaction: a `TxnCommit` marker is logged and
+    /// **force-fsynced regardless of the sync policy** — the commit is
+    /// the durability point — then the live journal is discarded and any
+    /// deferred rotation / checkpoint housekeeping runs.
+    pub fn commit(&mut self) -> Result<()> {
+        let id = self
+            .open_txn
+            .ok_or_else(|| FdbError::TxnControl("COMMIT without an open transaction".to_owned()))?;
+        if let Err(e) = self.wal.append(&LogRecord::TxnCommit { id }) {
+            return Err(self.abort_after_failure(e));
+        }
+        if let Err(e) = self.sync() {
+            // Without a durable commit marker the frame may not survive;
+            // honouring the all-or-nothing contract means rolling the
+            // live state back too.
+            return Err(self.abort_after_failure(e));
+        }
+        self.open_txn = None;
+        self.db.txn_commit()?;
+        self.maintain()
     }
 
     /// Declares a function (logged).
@@ -895,6 +1076,185 @@ mod tests {
         let (_, report) =
             LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
         assert_eq!(report.applied, 1);
+    }
+
+    #[test]
+    fn committed_txn_survives_recovery_uncommitted_does_not() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), disk_dir(), no_auto_checkpoint()).unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        ldb.begin().unwrap();
+        ldb.insert("f", v("x1"), v("y1")).unwrap();
+        ldb.insert("f", v("x2"), v("y2")).unwrap();
+        ldb.commit().unwrap();
+        let committed = ldb.database().to_snapshot().unwrap();
+        // Second transaction never commits; the "crash" is the drop.
+        ldb.begin().unwrap();
+        ldb.insert("f", v("x3"), v("y3")).unwrap();
+        drop(ldb);
+
+        let (recovered, report) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        assert_eq!(report.uncommitted_discarded, 1);
+        assert_eq!(recovered.database().to_snapshot().unwrap(), committed);
+    }
+
+    #[test]
+    fn savepoint_rollback_is_replayed_correctly() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), disk_dir(), no_auto_checkpoint()).unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        ldb.begin().unwrap();
+        ldb.insert("f", v("keep"), v("y")).unwrap();
+        ldb.savepoint("sp").unwrap();
+        ldb.insert("f", v("drop1"), v("y")).unwrap();
+        ldb.insert("f", v("drop2"), v("y")).unwrap();
+        ldb.rollback_to("sp").unwrap();
+        ldb.insert("f", v("keep2"), v("y")).unwrap();
+        ldb.commit().unwrap();
+        let live = ldb.database().to_snapshot().unwrap();
+        drop(ldb);
+
+        let (recovered, report) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        assert_eq!(recovered.database().to_snapshot().unwrap(), live);
+        assert_eq!(report.uncommitted_discarded, 2, "the rolled-back pair");
+        let f = recovered.database().resolve("f").unwrap();
+        let table = recovered.database().store().table(f);
+        assert!(table.contains(&v("keep"), &v("y")));
+        assert!(table.contains(&v("keep2"), &v("y")));
+        assert!(!table.contains(&v("drop1"), &v("y")));
+        assert!(!table.contains(&v("drop2"), &v("y")));
+    }
+
+    #[test]
+    fn rollback_restores_live_state_and_closes_frame() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), disk_dir(), no_auto_checkpoint()).unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        let before = ldb.database().to_snapshot().unwrap();
+        ldb.begin().unwrap();
+        ldb.insert("f", v("x"), v("y")).unwrap();
+        ldb.rollback().unwrap();
+        assert_eq!(ldb.database().to_snapshot().unwrap(), before);
+        // Post-rollback appends must survive recovery (the frame on disk
+        // is closed, not dangling).
+        ldb.insert("f", v("x2"), v("y2")).unwrap();
+        drop(ldb);
+        let (recovered, report) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        assert_eq!(report.uncommitted_discarded, 1);
+        let f = recovered.database().resolve("f").unwrap();
+        assert!(recovered
+            .database()
+            .store()
+            .table(f)
+            .contains(&v("x2"), &v("y2")));
+    }
+
+    #[test]
+    fn post_crash_appends_are_not_swallowed_by_dangling_frame() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), disk_dir(), no_auto_checkpoint()).unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        ldb.begin().unwrap();
+        ldb.insert("f", v("lost"), v("y")).unwrap();
+        drop(ldb); // crash mid-transaction
+
+        // First recovery closes the dangling frame…
+        let (mut ldb, _) =
+            LoggedDatabase::open_with(disk.clone() as _, disk_dir(), no_auto_checkpoint()).unwrap();
+        ldb.insert("f", v("after"), v("y")).unwrap();
+        drop(ldb);
+        // …so a second recovery still sees the post-crash insert.
+        let (recovered, _) =
+            LoggedDatabase::open_with(disk, disk_dir(), no_auto_checkpoint()).unwrap();
+        let f = recovered.database().resolve("f").unwrap();
+        assert!(recovered
+            .database()
+            .store()
+            .table(f)
+            .contains(&v("after"), &v("y")));
+        assert!(!recovered
+            .database()
+            .store()
+            .table(f)
+            .contains(&v("lost"), &v("y")));
+    }
+
+    #[test]
+    fn txn_control_misuse_is_typed() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), disk_dir(), no_auto_checkpoint()).unwrap();
+        assert!(matches!(ldb.commit(), Err(FdbError::TxnControl(_))));
+        assert!(matches!(ldb.rollback(), Err(FdbError::TxnControl(_))));
+        assert!(matches!(ldb.savepoint("s"), Err(FdbError::TxnControl(_))));
+        ldb.begin().unwrap();
+        assert!(matches!(ldb.begin(), Err(FdbError::TxnControl(_))));
+        assert!(matches!(ldb.checkpoint(), Err(FdbError::TxnControl(_))));
+        assert!(matches!(
+            ldb.rollback_to("missing"),
+            Err(FdbError::TxnControl(_))
+        ));
+        ldb.commit().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_and_rotation_defer_until_commit() {
+        let disk = Arc::new(SimDisk::new());
+        let config = DurabilityConfig {
+            sync_policy: SyncPolicy::Always,
+            checkpoint_every: Some(4),
+            segment_max_bytes: 256,
+        };
+        let mut ldb = LoggedDatabase::create_with(disk.clone(), disk_dir(), config).unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        ldb.begin().unwrap();
+        for i in 0..20 {
+            ldb.insert("f", v(&format!("x{i}")), v(&format!("y{i}")))
+                .unwrap();
+        }
+        // Despite blowing past both thresholds, nothing rotated or
+        // checkpointed inside the frame.
+        assert_eq!(ldb.checkpoint_seq(), 0);
+        let segs = disk
+            .paths()
+            .into_iter()
+            .filter(|p| segment_first_seq(p).is_some())
+            .count();
+        assert_eq!(segs, 1);
+        ldb.commit().unwrap();
+        assert!(ldb.checkpoint_seq() > 0, "deferred checkpoint fired");
+        let live = ldb.database().to_snapshot().unwrap();
+        drop(ldb);
+        let (recovered, _) = LoggedDatabase::open_with(disk, disk_dir(), config).unwrap();
+        assert_eq!(recovered.database().to_snapshot().unwrap(), live);
+    }
+
+    #[test]
+    fn commit_forces_fsync_under_lazy_policy() {
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb = LoggedDatabase::create_with(
+            disk.clone(),
+            disk_dir(),
+            DurabilityConfig {
+                sync_policy: SyncPolicy::OnCheckpoint,
+                ..no_auto_checkpoint()
+            },
+        )
+        .unwrap();
+        ldb.declare("f", "a", "b", Functionality::ManyMany).unwrap();
+        let baseline = disk.syncs();
+        ldb.begin().unwrap();
+        ldb.insert("f", v("x"), v("y")).unwrap();
+        assert_eq!(disk.syncs(), baseline, "lazy policy defers syncs");
+        ldb.commit().unwrap();
+        assert!(disk.syncs() > baseline, "commit is the durability point");
     }
 
     #[test]

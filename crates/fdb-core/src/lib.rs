@@ -48,7 +48,7 @@ pub use stats::DatabaseStats;
 pub use storage::{FileStorage, SimDisk, WalFile, WalStorage};
 pub use txn::Transaction;
 pub use update::Update;
-pub use wal::{replay, Corruption, CorruptionEvent, LogRecord, RecoveryReport, Wal};
+pub use wal::{replay, Corruption, CorruptionEvent, LogRecord, RecoveryReport, TxnReplayer, Wal};
 
 pub use fdb_governor::{
     Budget, CancelToken, Governance, Governor, Outcome, StopReason, Ungoverned,

@@ -326,6 +326,85 @@ impl SharedLoggedDatabase {
         self.with(LoggedDatabase::checkpoint)?
     }
 
+    /// Opens a logged transaction frame ([`LoggedDatabase::begin`]).
+    pub fn begin(&self) -> Result<()> {
+        self.with(LoggedDatabase::begin)?
+    }
+
+    /// Commits the open transaction ([`LoggedDatabase::commit`]).
+    pub fn commit(&self) -> Result<()> {
+        self.with(LoggedDatabase::commit)?
+    }
+
+    /// Rolls the open transaction back ([`LoggedDatabase::rollback`]).
+    pub fn rollback(&self) -> Result<()> {
+        self.with(LoggedDatabase::rollback)?
+    }
+
+    /// Sets a named savepoint ([`LoggedDatabase::savepoint`]).
+    pub fn savepoint(&self, name: &str) -> Result<()> {
+        self.with(|ldb| ldb.savepoint(name))?
+    }
+
+    /// Rolls back to a named savepoint
+    /// ([`LoggedDatabase::rollback_to`]).
+    pub fn rollback_to(&self, name: &str) -> Result<()> {
+        self.with(|ldb| ldb.rollback_to(name))?
+    }
+
+    /// Runs `f` under the lock, retrying with jittered exponential
+    /// backoff whenever the attempt is shed with
+    /// [`FdbError::Overloaded`] — the one error that guarantees nothing
+    /// was executed, so a retry is always safe. Any other outcome
+    /// (success or a different error) is returned as-is.
+    ///
+    /// The backoff is deterministic (a seeded LCG supplies the jitter, so
+    /// chaos runs replay bit-identically) and bounded twice over: by
+    /// `max_retries`, and by `governor`'s remaining deadline — a sleep
+    /// that would outlive the deadline is not taken, the last `Overloaded`
+    /// is returned instead.
+    pub fn retry_on_overload<R>(
+        &self,
+        governor: &Governor,
+        max_retries: u32,
+        mut f: impl FnMut(&mut LoggedDatabase) -> Result<R>,
+    ) -> Result<R> {
+        const BASE_DELAY: Duration = Duration::from_millis(2);
+        const MAX_DELAY: Duration = Duration::from_millis(100);
+        // Deterministic jitter: Knuth's MMIX LCG over the attempt index.
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut attempt = 0u32;
+        loop {
+            // Flatten the two layers: a shed lock (outer) and an
+            // `Overloaded` surfaced by the closure (inner) are retried
+            // the same way.
+            let outcome = self.with_governed(governor, &mut f).and_then(|r| r);
+            match outcome {
+                Ok(r) => return Ok(r),
+                Err(e) if matches!(e, FdbError::Overloaded { .. }) && attempt < max_retries => {
+                    attempt += 1;
+                    rng = rng
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    let exp = BASE_DELAY.saturating_mul(1u32 << attempt.min(6));
+                    let capped = exp.min(MAX_DELAY);
+                    // Jitter in [capped/2, capped): desynchronises
+                    // colliding retriers without ever zeroing the wait.
+                    let half = capped / 2;
+                    let jitter_ns = (rng >> 33) % half.as_nanos().max(1) as u64;
+                    let delay = half + Duration::from_nanos(jitter_ns);
+                    match governor.remaining_time() {
+                        Some(left) if left <= delay => return Err(e),
+                        _ => {}
+                    }
+                    fdb_obs::registry().txn_overload_retries.inc();
+                    std::thread::sleep(delay);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Changes when appends are fsynced.
     pub fn set_sync_policy(&self, policy: SyncPolicy) -> Result<()> {
         self.with(|ldb| ldb.set_sync_policy(policy))
@@ -611,6 +690,61 @@ mod tests {
         hold.join().unwrap();
         shared.insert("teach", v("euclid"), v("math")).unwrap();
         shared.sync().unwrap();
+    }
+
+    #[test]
+    fn retry_on_overload_waits_out_a_stuck_lock() {
+        use crate::durability::DurabilityConfig;
+        use crate::storage::SimDisk;
+
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk, "/retry_db", DurabilityConfig::default()).unwrap();
+        ldb.import_schema(&university()).unwrap();
+        let shared = SharedLoggedDatabase::with_policy(
+            ldb,
+            OverloadPolicy {
+                lock_timeout: Duration::from_millis(10),
+                max_inflight_writers: 8,
+            },
+        );
+        let holder = shared.clone();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let hold = std::thread::spawn(move || {
+            holder
+                .with(|_ldb| {
+                    tx.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(80));
+                })
+                .unwrap();
+        });
+        rx.recv().unwrap(); // lock held: first attempts will be shed
+        let gov = Governor::with_deadline(Duration::from_secs(5));
+        shared
+            .retry_on_overload(&gov, 16, |ldb| ldb.insert("teach", v("euclid"), v("math")))
+            .unwrap();
+        hold.join().unwrap();
+        assert_eq!(shared.stats().unwrap().base_facts, 1);
+
+        // Zero remaining deadline: the retry loop refuses to sleep and
+        // surfaces the overload instead.
+        let holder = shared.clone();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let hold = std::thread::spawn(move || {
+            holder
+                .with(|_ldb| {
+                    tx.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(80));
+                })
+                .unwrap();
+        });
+        rx.recv().unwrap();
+        let gov = Governor::with_deadline(Duration::from_millis(15));
+        let err = shared
+            .retry_on_overload(&gov, 16, |ldb| ldb.insert("teach", v("gauss"), v("math")))
+            .unwrap_err();
+        assert!(err.is_governed_stop(), "got {err:?}");
+        hold.join().unwrap();
     }
 
     #[test]

@@ -12,13 +12,20 @@ use fdb_types::Result;
 use crate::database::Database;
 use crate::update::Update;
 
-/// An open transaction: a savepoint plus the live database.
+/// An open transaction scope backed by the store's undo journal.
 ///
 /// Dropping the transaction without [`Transaction::commit`] rolls back.
+/// When opened while a language-level transaction (`BEGIN`) is already
+/// active, the scope nests: it marks the journal position and rolls back
+/// only its own updates, leaving the outer transaction open.
 #[derive(Debug)]
 pub struct Transaction<'db> {
     db: &'db mut Database,
-    savepoint: Option<Database>,
+    /// Journal position at open — the rollback target for a nested scope.
+    mark: usize,
+    /// `true` if this scope opened the transaction (and thus closes it).
+    outer: bool,
+    committed: bool,
 }
 
 impl<'db> Transaction<'db> {
@@ -32,9 +39,15 @@ impl<'db> Transaction<'db> {
         self.db
     }
 
-    /// Makes the transaction's effects permanent.
+    /// Makes the transaction's effects permanent (a nested scope leaves
+    /// the decision to the enclosing transaction).
     pub fn commit(mut self) {
-        self.savepoint = None;
+        self.committed = true;
+        if self.outer {
+            // The scope opened the transaction itself, so this cannot
+            // observe "commit without begin".
+            let _ = self.db.txn_commit();
+        }
     }
 
     /// Explicitly rolls back (equivalent to dropping).
@@ -43,21 +56,37 @@ impl<'db> Transaction<'db> {
 
 impl Drop for Transaction<'_> {
     fn drop(&mut self) {
-        if let Some(saved) = self.savepoint.take() {
-            *self.db = saved;
+        if self.committed {
+            return;
+        }
+        if self.outer {
+            let _ = self.db.txn_rollback();
+        } else {
+            // Nested scope: undo only this scope's updates; the enclosing
+            // transaction stays open.
+            self.db.store_mut().undo_rollback_to(self.mark);
         }
     }
 }
 
 impl Database {
-    /// Opens a transaction. The savepoint is a full logical copy; batches
-    /// are expected to be much smaller than instances, so the copy is
-    /// taken once per batch rather than per update.
+    /// Opens a transaction scope. Updates are recorded in the store's
+    /// undo journal (no copy of the instance is taken); dropping the
+    /// scope without committing applies the journal's inverses, restoring
+    /// the pre-transaction state byte-identically — including NC / NVC
+    /// bookkeeping and the null-generator watermark.
     pub fn begin(&mut self) -> Transaction<'_> {
-        let savepoint = Some(self.clone());
+        let outer = !self.txn_active();
+        if outer {
+            // Cannot fail: no transaction is active.
+            let _ = self.txn_begin();
+        }
+        let mark = self.store().undo_mark();
         Transaction {
             db: self,
-            savepoint,
+            mark,
+            outer,
+            committed: false,
         }
     }
 

@@ -90,6 +90,58 @@ pub enum LogRecord {
         /// Pair to add.
         new: (Value, Value),
     },
+    /// Opens an atomic transaction frame: recovery buffers every record
+    /// after this marker and applies them only when the matching
+    /// [`LogRecord::TxnCommit`] is reached. A crash (or an explicit
+    /// [`LogRecord::TxnAbort`]) before the commit marker discards the
+    /// buffered records, so recovery lands on the pre-`BEGIN` state.
+    TxnBegin {
+        /// Transaction id, unique within the log's lifetime.
+        id: u64,
+    },
+    /// Closes the transaction frame opened by the matching
+    /// [`LogRecord::TxnBegin`], making its records visible to recovery.
+    TxnCommit {
+        /// Id of the transaction being committed.
+        id: u64,
+    },
+    /// Discards the transaction frame opened by the matching
+    /// [`LogRecord::TxnBegin`] (an explicit `ROLLBACK`). Logged so the
+    /// sequence stays contiguous and the abort is auditable.
+    TxnAbort {
+        /// Id of the transaction being rolled back.
+        id: u64,
+    },
+    /// Named savepoint inside an open transaction frame. Recovery marks
+    /// the buffer position so a later [`LogRecord::TxnRollbackTo`] can
+    /// discard exactly the records the live system undid.
+    TxnSavepoint {
+        /// The savepoint's name (a later savepoint with the same name
+        /// replaces it, mirroring the live semantics).
+        name: String,
+    },
+    /// Partial rollback: the frame's records since the named savepoint
+    /// were undone by the live system and must not be replayed even if
+    /// the transaction later commits.
+    TxnRollbackTo {
+        /// The savepoint rolled back to (which stays set).
+        name: String,
+    },
+}
+
+impl LogRecord {
+    /// Whether this is a transaction framing marker rather than a data
+    /// record.
+    pub fn is_txn_marker(&self) -> bool {
+        matches!(
+            self,
+            LogRecord::TxnBegin { .. }
+                | LogRecord::TxnCommit { .. }
+                | LogRecord::TxnAbort { .. }
+                | LogRecord::TxnSavepoint { .. }
+                | LogRecord::TxnRollbackTo { .. }
+        )
+    }
 }
 
 pub(crate) fn io_err(what: &str, e: std::io::Error) -> FdbError {
@@ -232,6 +284,14 @@ pub struct RecoveryReport {
     pub corruption: Vec<CorruptionEvent>,
     /// Bytes moved aside into quarantine files (0 for read-only replay).
     pub quarantined_bytes: u64,
+    /// Records inside transactions that never reached their commit marker
+    /// (crash mid-transaction, or an explicit abort) and were therefore
+    /// discarded rather than applied. The crash-atomicity guarantee:
+    /// recovery lands on the pre-`BEGIN` state, never between.
+    pub uncommitted_discarded: usize,
+    /// Well-formed records with unknown payloads skipped during the scan
+    /// (see [`Scan::skipped`]).
+    pub skipped_records: usize,
 }
 
 impl RecoveryReport {
@@ -263,6 +323,12 @@ pub struct Scan {
     pub valid_len: u64,
     /// What stopped the scan, if anything.
     pub flaw: Option<Corruption>,
+    /// Well-formed records whose payload was valid JSON but not a known
+    /// [`LogRecord`] — written by a newer version, skipped with a warning
+    /// rather than treated as corruption. Bit rot still halts the scan:
+    /// a v2 frame must pass its CRC, and a v1 line must be valid JSON,
+    /// before it can be "unknown".
+    pub skipped: usize,
 }
 
 /// Scans log bytes (either format), salvaging the longest valid prefix.
@@ -294,6 +360,7 @@ fn scan_v2(bytes: &[u8], first_seq: u64) -> Scan {
     let mut offset = WAL_MAGIC.len().min(bytes.len());
     let mut expected = first_seq;
     let mut flaw = None;
+    let mut skipped = 0usize;
     while flaw.is_none() && offset < bytes.len() {
         let rest = &bytes[offset..];
         if rest.len() < FRAME_HEADER {
@@ -351,6 +418,14 @@ fn scan_v2(bytes: &[u8], first_seq: u64) -> Scan {
                 expected += 1;
                 offset += total;
             }
+            // The frame passed its CRC, so these bytes are exactly what
+            // was written — a record type this version does not know, not
+            // damage. Skip it (forward compatibility) instead of halting.
+            Err(_) if serde_json::parse(text).is_ok() => {
+                skipped += 1;
+                expected += 1;
+                offset += total;
+            }
             Err(e) => {
                 flaw = Some(Corruption::Malformed {
                     offset: offset as u64,
@@ -366,6 +441,7 @@ fn scan_v2(bytes: &[u8], first_seq: u64) -> Scan {
         records,
         valid_len,
         flaw,
+        skipped,
     }
 }
 
@@ -374,6 +450,7 @@ fn scan_v1(bytes: &[u8], first_seq: u64) -> Scan {
     let mut offset = 0usize;
     let mut seq = first_seq;
     let mut flaw = None;
+    let mut skipped = 0usize;
     while offset < bytes.len() {
         let rest = &bytes[offset..];
         let (line, advance, complete) = match rest.iter().position(|&b| b == b'\n') {
@@ -384,9 +461,8 @@ fn scan_v1(bytes: &[u8], first_seq: u64) -> Scan {
             offset += advance;
             continue;
         }
-        let parsed = std::str::from_utf8(line)
-            .ok()
-            .and_then(|t| serde_json::from_str::<LogRecord>(t).ok());
+        let text = std::str::from_utf8(line).ok();
+        let parsed = text.and_then(|t| serde_json::from_str::<LogRecord>(t).ok());
         match parsed {
             Some(record) => {
                 records.push((seq, record));
@@ -399,6 +475,13 @@ fn scan_v1(bytes: &[u8], first_seq: u64) -> Scan {
                     offset: offset as u64,
                 });
                 break;
+            }
+            // A complete line of valid JSON that is not a known record
+            // was written deliberately (by a newer version); skip it.
+            // Anything that fails even generic JSON parsing is damage.
+            None if text.is_some_and(|t| serde_json::parse(t).is_ok()) => {
+                skipped += 1;
+                offset += advance;
             }
             None => {
                 flaw = Some(Corruption::Malformed {
@@ -415,6 +498,7 @@ fn scan_v1(bytes: &[u8], first_seq: u64) -> Scan {
         records,
         valid_len,
         flaw,
+        skipped,
     }
 }
 
@@ -584,6 +668,9 @@ pub(crate) fn observe_recovery(report: &RecoveryReport) {
     reg.recovery_corruption_events
         .add(report.corruption.len() as u64);
     reg.recovery_quarantined_bytes.add(report.quarantined_bytes);
+    reg.txn_recovery_discarded
+        .add(report.uncommitted_discarded as u64);
+    reg.wal_skipped_records.add(report.skipped_records as u64);
 }
 
 // --------------------------------------------------------------- replay
@@ -628,6 +715,184 @@ pub fn apply_record(db: &mut Database, record: &LogRecord) -> Result<()> {
             let f = db.resolve(function)?;
             db.replace(f, old.clone(), new.clone())
         }
+        // Framing markers carry no state of their own; their semantics
+        // (commit-only visibility) live in [`TxnReplayer`], which callers
+        // recovering a log must route records through.
+        LogRecord::TxnBegin { .. }
+        | LogRecord::TxnCommit { .. }
+        | LogRecord::TxnAbort { .. }
+        | LogRecord::TxnSavepoint { .. }
+        | LogRecord::TxnRollbackTo { .. } => Ok(()),
+    }
+}
+
+/// Replays records with transactional visibility: records between a
+/// [`LogRecord::TxnBegin`] and its [`LogRecord::TxnCommit`] are buffered
+/// and applied only when the commit marker arrives; a [`LogRecord::TxnAbort`]
+/// or the end of the log (crash) discards the buffer. Feed every scanned
+/// record through one replayer — its state spans segment boundaries — and
+/// call [`TxnReplayer::finish`] when the scan ends.
+#[derive(Debug, Default)]
+pub struct TxnReplayer {
+    /// Open transaction frame, if one is being buffered.
+    open: Option<OpenTxn>,
+    /// A committed frame held back for one record: a writer whose commit
+    /// fsync failed appends a revoking [`LogRecord::TxnAbort`] right
+    /// after the marker (the marker's durability was unknown, so the
+    /// writer rolled its live state back). The frame is applied when any
+    /// other record — or the end of the scan — confirms the commit stood.
+    pending: Option<PendingCommit>,
+    /// Records discarded because their transaction never committed (or
+    /// was partially rolled back before committing).
+    discarded: usize,
+}
+
+/// An open transaction frame being buffered during replay.
+#[derive(Debug)]
+struct OpenTxn {
+    id: u64,
+    buffered: Vec<LogRecord>,
+    /// Savepoint name → buffer position at the time it was set.
+    savepoints: Vec<(String, usize)>,
+}
+
+/// A committed frame not yet applied (awaiting one record of lookahead
+/// for a possible revoking abort).
+#[derive(Debug)]
+struct PendingCommit {
+    id: u64,
+    buffered: Vec<LogRecord>,
+}
+
+impl TxnReplayer {
+    /// A replayer with no open transaction.
+    pub fn new() -> Self {
+        TxnReplayer::default()
+    }
+
+    fn discard_open(&mut self) {
+        if let Some(open) = self.open.take() {
+            self.discarded += open.buffered.len();
+        }
+    }
+
+    /// Processes one record, applying it (or the transaction it closes)
+    /// to `db`. Returns the number of data records applied by this call:
+    /// 1 for a plain record outside a transaction, 0 for a buffered or
+    /// framing record, the buffer's length for a commit marker.
+    pub fn feed(&mut self, db: &mut Database, record: &LogRecord) -> Result<usize> {
+        let mut applied = 0;
+        if let Some(pending) = self.pending.take() {
+            if matches!(record, LogRecord::TxnAbort { id } if *id == pending.id) {
+                // The abort revokes the unsynced commit marker.
+                self.discarded += pending.buffered.len();
+                return Ok(0);
+            }
+            // Any other record confirms the commit: apply the held frame
+            // before processing it.
+            applied += pending.buffered.len();
+            for r in &pending.buffered {
+                apply_record(db, r)?;
+            }
+        }
+        Ok(applied + self.feed_inner(db, record)?)
+    }
+
+    fn feed_inner(&mut self, db: &mut Database, record: &LogRecord) -> Result<usize> {
+        match record {
+            LogRecord::TxnBegin { id } => {
+                // A begin inside an open frame can only come from a writer
+                // that crashed without closing it; the older buffer can
+                // never reach its commit marker, so drop it.
+                self.discard_open();
+                self.open = Some(OpenTxn {
+                    id: *id,
+                    buffered: Vec::new(),
+                    savepoints: Vec::new(),
+                });
+                Ok(0)
+            }
+            LogRecord::TxnCommit { id } => match self.open.take() {
+                Some(open) if open.id == *id => {
+                    // Held back one record for a possible revoking abort;
+                    // applied by the next feed or by `finish`.
+                    self.pending = Some(PendingCommit {
+                        id: *id,
+                        buffered: open.buffered,
+                    });
+                    Ok(0)
+                }
+                // A commit that does not match the open frame commits
+                // nothing; the unmatched buffer is unreachable by its own
+                // commit, so drop it.
+                Some(open) => {
+                    self.discarded += open.buffered.len();
+                    Ok(0)
+                }
+                None => Ok(0),
+            },
+            LogRecord::TxnAbort { .. } => {
+                self.discard_open();
+                Ok(0)
+            }
+            LogRecord::TxnSavepoint { name } => {
+                if let Some(open) = &mut self.open {
+                    // A same-named savepoint replaces the earlier one,
+                    // mirroring the live semantics.
+                    open.savepoints.retain(|(n, _)| n != name);
+                    open.savepoints.push((name.clone(), open.buffered.len()));
+                }
+                Ok(0)
+            }
+            LogRecord::TxnRollbackTo { name } => {
+                if let Some(open) = &mut self.open {
+                    if let Some(pos) = open.savepoints.iter().rposition(|(n, _)| n == name) {
+                        let mark = open.savepoints[pos].1;
+                        self.discarded += open.buffered.len().saturating_sub(mark);
+                        open.buffered.truncate(mark);
+                        // The named savepoint survives; later ones do not.
+                        open.savepoints.truncate(pos + 1);
+                    }
+                }
+                Ok(0)
+            }
+            _ => match &mut self.open {
+                Some(open) => {
+                    open.buffered.push(record.clone());
+                    Ok(0)
+                }
+                None => {
+                    apply_record(db, record)?;
+                    Ok(1)
+                }
+            },
+        }
+    }
+
+    /// Id of the transaction frame currently open (buffering), if any.
+    /// After a scan ends, a `Some` here means the log's tail is a
+    /// dangling frame: an appender must close it with a
+    /// [`LogRecord::TxnAbort`] before writing new records, or they would
+    /// be swallowed into the dead frame by the next recovery.
+    pub fn open_txn_id(&self) -> Option<u64> {
+        self.open.as_ref().map(|o| o.id)
+    }
+
+    /// Ends the scan: a commit still held back is applied (the marker is
+    /// durable — it survived to the end of the log un-revoked), and a
+    /// still-open transaction lost its commit marker to the crash, so its
+    /// buffer is discarded. Returns `(records applied here, total records
+    /// discarded over the replayer's lifetime)`.
+    pub fn finish(mut self, db: &mut Database) -> Result<(usize, usize)> {
+        let mut applied = 0;
+        if let Some(pending) = self.pending.take() {
+            applied = pending.buffered.len();
+            for r in &pending.buffered {
+                apply_record(db, r)?;
+            }
+        }
+        self.discard_open();
+        Ok((applied, self.discarded))
     }
 }
 
@@ -652,13 +917,17 @@ pub fn replay_on(storage: &dyn WalStorage, path: &Path) -> Result<(Database, Rec
     let mut db = Database::new(fdb_types::Schema::new());
     let mut report = RecoveryReport {
         segments_scanned: 1,
+        skipped_records: scanned.skipped,
         ..RecoveryReport::default()
     };
+    let mut replayer = TxnReplayer::new();
     for (seq, record) in &scanned.records {
-        apply_record(&mut db, record)?;
-        report.applied += 1;
+        report.applied += replayer.feed(&mut db, record)?;
         report.last_seq = Some(*seq);
     }
+    let (applied, discarded) = replayer.finish(&mut db)?;
+    report.applied += applied;
+    report.uncommitted_discarded = discarded;
     if let Some(flaw) = scanned.flaw {
         report.torn_tail = flaw.is_torn_tail();
         report.corruption.push(CorruptionEvent {
@@ -951,6 +1220,129 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn committed_transaction_replays_and_uncommitted_is_discarded() {
+        let disk = SimDisk::new();
+        let path = disk_path();
+        let mut wal = Wal::create_on(Arc::new(disk.clone()), &path, 1).unwrap();
+        wal.append(&sample_records()[0]).unwrap(); // DECLARE teach
+                                                   // Committed transaction: visible after recovery.
+        wal.append(&LogRecord::TxnBegin { id: 1 }).unwrap();
+        wal.append(&LogRecord::Insert {
+            function: "teach".into(),
+            x: v("euclid"),
+            y: v("math"),
+        })
+        .unwrap();
+        wal.append(&LogRecord::TxnCommit { id: 1 }).unwrap();
+        // Uncommitted transaction: torn off by the "crash".
+        wal.append(&LogRecord::TxnBegin { id: 2 }).unwrap();
+        wal.append(&LogRecord::Insert {
+            function: "teach".into(),
+            x: v("gauss"),
+            y: v("algebra"),
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (recovered, report) = replay_on(&disk, &path).unwrap();
+        assert_eq!(report.applied, 2, "declare + the committed insert");
+        assert_eq!(report.uncommitted_discarded, 1);
+        assert!(!report.damaged());
+        let t = recovered.resolve("teach").unwrap();
+        assert_eq!(
+            recovered.truth(t, &v("euclid"), &v("math")).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            recovered.truth(t, &v("gauss"), &v("algebra")).unwrap(),
+            Truth::False, // absent base facts are false (§3.2)
+        );
+    }
+
+    #[test]
+    fn aborted_transaction_is_discarded() {
+        let disk = SimDisk::new();
+        let path = disk_path();
+        let mut wal = Wal::create_on(Arc::new(disk.clone()), &path, 1).unwrap();
+        wal.append(&sample_records()[0]).unwrap();
+        wal.append(&LogRecord::TxnBegin { id: 7 }).unwrap();
+        wal.append(&LogRecord::Insert {
+            function: "teach".into(),
+            x: v("euclid"),
+            y: v("math"),
+        })
+        .unwrap();
+        wal.append(&LogRecord::TxnAbort { id: 7 }).unwrap();
+        drop(wal);
+        let (recovered, report) = replay_on(&disk, &path).unwrap();
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.uncommitted_discarded, 1);
+        let t = recovered.resolve("teach").unwrap();
+        assert_eq!(
+            recovered.truth(t, &v("euclid"), &v("math")).unwrap(),
+            Truth::False
+        );
+    }
+
+    #[test]
+    fn unknown_v2_record_is_skipped_not_fatal() {
+        let disk = SimDisk::new();
+        let path = disk_path();
+        let mut wal = Wal::create_on(Arc::new(disk.clone()), &path, 1).unwrap();
+        wal.append(&sample_records()[0]).unwrap();
+        drop(wal);
+        // Hand-craft a CRC-valid frame whose payload is valid JSON but not
+        // a LogRecord this version knows — a future record type.
+        let payload = br#"{"Vacuum":{"aggressive":true}}"#;
+        let mut checked = Vec::new();
+        checked.extend_from_slice(&2u64.to_le_bytes());
+        checked.extend_from_slice(payload);
+        let crc = crc32(&checked);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&checked);
+        let mut f = disk.open_append(&path).unwrap();
+        f.append(&frame).unwrap();
+        // A known record after the unknown one must still replay.
+        f.append(&encode_frame(3, &sample_records()[1]).unwrap())
+            .unwrap();
+        drop(f);
+
+        let (recovered, report) = replay_on(&disk, &path).unwrap();
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.skipped_records, 1);
+        assert!(!report.damaged());
+        assert!(recovered.resolve("class_list").is_ok());
+    }
+
+    #[test]
+    fn unknown_v1_record_is_skipped_not_fatal() {
+        let disk = SimDisk::new();
+        let path = disk_path();
+        let mut f = disk.create(&path).unwrap();
+        for r in sample_records().into_iter().take(2) {
+            let mut line = serde_json::to_string(&r).unwrap().into_bytes();
+            line.push(b'\n');
+            f.append(&line).unwrap();
+        }
+        f.append(b"{\"Vacuum\":{\"aggressive\":true}}\n").unwrap();
+        let mut line = serde_json::to_string(&sample_records()[2])
+            .unwrap()
+            .into_bytes();
+        line.push(b'\n');
+        f.append(&line).unwrap();
+        drop(f);
+
+        let (recovered, report) = replay_on(&disk, &path).unwrap();
+        assert_eq!(report.applied, 3, "records around the unknown line");
+        assert_eq!(report.skipped_records, 1);
+        assert!(!report.damaged());
+        assert!(recovered.resolve("pupil").is_ok());
     }
 
     #[test]

@@ -19,10 +19,15 @@
 //! and the cache correctly survives them.
 //!
 //! **Identity vs state.** Counters only grow, so within one store
-//! lineage equal counter vectors imply identical table+NC state (a
-//! savepoint rollback that restores state also restores the counters it
-//! serialised). Replacing the store wholesale (e.g. `LOAD`) breaks the
-//! lineage — callers must [`ResultCache::clear`] then.
+//! lineage equal counter vectors imply identical table+NC state. The
+//! undo journal preserves this: a transaction rollback *replays inverse
+//! operations*, each of which bumps the counters of the functions it
+//! touches, rather than restoring the counters to their pre-transaction
+//! values — so a rollback is observed as a fresh version event and
+//! entries cached before or inside the rolled-back transaction can never
+//! satisfy a post-rollback lookup. Replacing the store wholesale (e.g.
+//! `LOAD`) breaks the lineage — counters reset with the snapshot and are
+//! no longer comparable — so callers must [`ResultCache::clear`] then.
 
 use std::collections::HashMap;
 

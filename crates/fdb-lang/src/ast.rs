@@ -103,12 +103,24 @@ pub enum Statement {
     },
     /// `HELP`.
     Help,
-    /// `BEGIN` — open a transaction (savepoint).
+    /// `BEGIN` — open a transaction.
     Begin,
     /// `COMMIT` — make the open transaction permanent.
     Commit,
-    /// `ABORT` — roll back to the savepoint.
+    /// `ABORT` / `ROLLBACK` — roll the whole open transaction back.
     Abort,
+    /// `SAVEPOINT name` — set (or replace) a named savepoint inside the
+    /// open transaction.
+    Savepoint {
+        /// The savepoint's name.
+        name: String,
+    },
+    /// `ROLLBACK TO name` — roll back to a named savepoint, which stays
+    /// set.
+    RollbackTo {
+        /// The savepoint to roll back to.
+        name: String,
+    },
     /// `SAVE "path"` — write a snapshot of the database.
     Save {
         /// Destination file path.

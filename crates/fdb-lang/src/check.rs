@@ -4,10 +4,13 @@
 //! [`SpannedStatement`] into the spanned [`CheckStmt`] form the analyzer
 //! consumes. Statements the analysis does not model become
 //! [`CheckStmt::Other`]; the ones that can pull facts from outside the
-//! script (`SOURCE`, `LOAD`, `ABORT`) are marked as opening the world,
-//! which mutes the analyzer's closed-world guarantees from that point on.
+//! script (`SOURCE`, `LOAD`) are marked as opening the world, which
+//! mutes the analyzer's closed-world guarantees from that point on.
+//! Transaction control (`BEGIN`/`COMMIT`/`ABORT`/`SAVEPOINT`/`ROLLBACK
+//! TO`) lowers to typed [`CheckStmt::Txn`] statements the analyzer
+//! models exactly.
 
-use fdb_check::{CheckStmt, Name, StepRef};
+use fdb_check::{CheckStmt, Name, StepRef, TxnOp};
 use fdb_types::Span;
 
 use crate::ast::{DeriveStep, Statement};
@@ -105,19 +108,45 @@ pub fn lower(s: &SpannedStatement) -> Option<CheckStmt> {
             steps: steps(sp, ss),
         },
         Statement::Resolve => CheckStmt::Resolve { keyword },
-        // These replace or roll back database state the statement list
-        // does not spell out.
-        Statement::Source { .. } | Statement::Load { .. } | Statement::Abort => CheckStmt::Other {
+        // These replace database state with facts the statement list does
+        // not spell out.
+        Statement::Source { .. } | Statement::Load { .. } => CheckStmt::Other {
             keyword,
             opens_world: true,
+        },
+        // Transaction control lowers to a typed statement: the analyzer
+        // models rollback exactly (snapshot/restore), so `ABORT` no
+        // longer needs to open the world.
+        Statement::Begin => CheckStmt::Txn {
+            keyword,
+            op: TxnOp::Begin,
+            name: None,
+        },
+        Statement::Commit => CheckStmt::Txn {
+            keyword,
+            op: TxnOp::Commit,
+            name: None,
+        },
+        Statement::Abort => CheckStmt::Txn {
+            keyword,
+            op: TxnOp::Rollback,
+            name: None,
+        },
+        Statement::Savepoint { name: n } => CheckStmt::Txn {
+            keyword,
+            op: TxnOp::Savepoint,
+            name: Some(name(sp, n)),
+        },
+        Statement::RollbackTo { name: n } => CheckStmt::Txn {
+            keyword,
+            op: TxnOp::RollbackTo,
+            name: Some(name(sp, n)),
         },
         Statement::Schema
         | Statement::Stats
         | Statement::StatsReset
         | Statement::StatsJson
         | Statement::Timeout { .. }
-        | Statement::Begin
-        | Statement::Commit
         | Statement::Save { .. }
         | Statement::Dump { .. }
         | Statement::Check { .. }
@@ -195,7 +224,7 @@ mod tests {
 
     #[test]
     fn world_opening_statements_are_marked() {
-        for line in ["SOURCE \"x.fdb\"", "LOAD \"db.json\"", "ABORT"] {
+        for line in ["SOURCE \"x.fdb\"", "LOAD \"db.json\""] {
             match lower_line(line) {
                 CheckStmt::Other { opens_world, .. } => assert!(opens_world, "{line}"),
                 other => panic!("unexpected {other:?}"),
@@ -203,6 +232,38 @@ mod tests {
         }
         match lower_line("SCHEMA") {
             CheckStmt::Other { opens_world, .. } => assert!(!opens_world),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transaction_control_lowers_to_typed_statements() {
+        for (line, want) in [
+            ("BEGIN", TxnOp::Begin),
+            ("COMMIT", TxnOp::Commit),
+            ("ABORT", TxnOp::Rollback),
+            ("ROLLBACK", TxnOp::Rollback),
+        ] {
+            match lower_line(line) {
+                CheckStmt::Txn { op, name, .. } => {
+                    assert_eq!(op, want, "{line}");
+                    assert!(name.is_none(), "{line}");
+                }
+                other => panic!("unexpected {other:?} for {line}"),
+            }
+        }
+        match lower_line("SAVEPOINT before_loads") {
+            CheckStmt::Txn { op, name, .. } => {
+                assert_eq!(op, TxnOp::Savepoint);
+                assert_eq!(name.expect("named").text, "before_loads");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match lower_line("ROLLBACK TO before_loads") {
+            CheckStmt::Txn { op, name, .. } => {
+                assert_eq!(op, TxnOp::RollbackTo);
+                assert_eq!(name.expect("named").text, "before_loads");
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

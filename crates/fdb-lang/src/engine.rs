@@ -2,8 +2,8 @@
 
 use std::time::{Duration, Instant};
 
-use fdb_check::{analyze_script, CheckConfig, CheckStmt, Severity};
-use fdb_core::{resolve_ambiguities, Budget, CancelToken, Database, Governor, Outcome};
+use fdb_check::{analyze_script, CheckConfig, CheckStmt, Severity, TxnOp};
+use fdb_core::{resolve_ambiguities, Budget, CancelToken, Database, Governance, Governor, Outcome};
 use fdb_exec::{CacheProbe, CacheReport, ResultCache};
 use fdb_types::{Derivation, FdbError, Result, Schema, Step, Value};
 
@@ -34,8 +34,6 @@ use crate::parser::parse_statement_spanned;
 pub struct Engine {
     db: Database,
     line: u32,
-    /// Savepoint of an open `BEGIN` transaction.
-    savepoint: Option<Database>,
     /// Nesting depth of `SOURCE` execution (guards self-sourcing scripts).
     source_depth: u8,
     /// Per-statement deadline for derived-function queries
@@ -47,15 +45,22 @@ pub struct Engine {
     /// by the support set's per-function mutation counters. Entries
     /// survive writes outside the support set; `LOAD` clears it (a
     /// loaded store is a different lineage, so counters are not
-    /// comparable), while `ABORT` needs nothing special (the savepoint
-    /// restores the counters together with the state they describe).
+    /// comparable). Rollback (`ABORT` / `ROLLBACK TO`) needs no clearing
+    /// either, for the opposite reason: undoing *advances* the store's
+    /// version counters — a rollback is a fresh version event — so every
+    /// pre-rollback entry misses naturally and a post-rollback read can
+    /// never be served from a stale snapshot.
     cache: ResultCache,
     /// The session's statement history in the `fdb-check` IR, replayed by
     /// `CHECK` for static diagnostics. `LOAD` clears it; `ABORT`
-    /// truncates it back to the `BEGIN` mark, mirroring the database.
+    /// truncates it back to the `BEGIN` mark and `ROLLBACK TO` back to
+    /// the savepoint's mark, mirroring the database.
     check_log: Vec<CheckStmt>,
     /// `check_log` length at the open `BEGIN`, for `ABORT` truncation.
     check_log_mark: usize,
+    /// `(name, check_log length)` per live savepoint, in creation order —
+    /// the check-log mirror of the database's savepoint stack.
+    savepoint_marks: Vec<(String, usize)>,
     /// `STRICT ON`: pre-flight `SOURCE`d scripts through the analyzer
     /// and refuse to run them when error-severity findings show up.
     strict: bool,
@@ -77,7 +82,8 @@ statements (one per line; `--` starts a comment):
   EXPLAIN ANALYZE f(x, y)                    execute + plan/actual report
   INVERSE f(y)                               inverse image of y
   SOURCE \"file\"                              run a script file
-  BEGIN / COMMIT / ABORT                     savepoint transactions
+  BEGIN / COMMIT / ABORT (or ROLLBACK)       atomic transactions
+  SAVEPOINT name / ROLLBACK TO name          partial rollback points
   SAVE \"file\"    LOAD \"file\"                 snapshot persistence
   DUMP \"file\"                                re-runnable script export
   TIMEOUT <ms> | OFF                         per-statement query deadline
@@ -98,13 +104,13 @@ impl Engine {
         Engine {
             db,
             line: 0,
-            savepoint: None,
             source_depth: 0,
             deadline: None,
             cancel: CancelToken::new(),
             cache: ResultCache::new(),
             check_log: Vec::new(),
             check_log_mark: 0,
+            savepoint_marks: Vec::new(),
             strict: false,
         }
     }
@@ -188,12 +194,29 @@ impl Engine {
         });
         let result = parse_statement_spanned(line, self.line).and_then(|spanned| {
             let lowered = crate::check::lower(&spanned);
-            let out = self.execute(spanned.stmt)?;
-            // Successful statements land in the check log (the engine
-            // models LOAD/ABORT/SOURCE itself, so `Other` entries are
-            // dropped rather than muting the analyzer's closed world).
+            let out = match self.execute(spanned.stmt) {
+                // A governed stop (deadline, budget, cancellation,
+                // overload) inside an open transaction may have applied a
+                // prefix of the statement's work; roll back to the last
+                // savepoint (or the whole transaction) and surface a
+                // typed abort instead of a silent partial state.
+                Err(e) if e.is_governed_stop() && self.db.txn_active() => {
+                    return Err(self.governed_abort(e));
+                }
+                other => other?,
+            };
+            // Successful statements land in the check log. The engine
+            // models LOAD/SOURCE itself, so `Other` entries are dropped
+            // rather than muting the analyzer's closed world; rollbacks
+            // and savepoints are modeled by truncating the log, so of the
+            // transaction ops only BEGIN/COMMIT are recorded.
             if let Some(stmt) = lowered {
-                if !matches!(stmt, CheckStmt::Other { .. }) {
+                let keep = match &stmt {
+                    CheckStmt::Other { .. } => false,
+                    CheckStmt::Txn { op, .. } => matches!(op, TxnOp::Begin | TxnOp::Commit),
+                    _ => true,
+                };
+                if keep {
                     self.check_log.push(stmt);
                 }
             }
@@ -233,16 +256,19 @@ impl Engine {
                 Ok(format!("derived {name} = {rendered}\n"))
             }
             Statement::Insert { function, x, y } => {
+                self.txn_write_gate()?;
                 let f = self.db.resolve(&function)?;
                 self.db.insert(f, Value::atom(&x), Value::atom(&y))?;
                 Ok(format!("inserted {function}({x}, {y})\n"))
             }
             Statement::Delete { function, x, y } => {
+                self.txn_write_gate()?;
                 let f = self.db.resolve(&function)?;
                 self.db.delete(f, &Value::atom(&x), &Value::atom(&y))?;
                 Ok(format!("deleted {function}({x}, {y})\n"))
             }
             Statement::Replace { function, old, new } => {
+                self.txn_write_gate()?;
                 let f = self.db.resolve(&function)?;
                 self.db.replace(
                     f,
@@ -511,36 +537,43 @@ impl Engine {
                 result.map(|()| out)
             }
             Statement::Begin => {
-                if self.savepoint.is_some() {
-                    return Err(FdbError::Parse {
-                        line: self.line,
-                        message: "a transaction is already open".into(),
-                    });
-                }
-                self.savepoint = Some(self.db.clone());
+                self.db.txn_begin()?;
                 self.check_log_mark = self.check_log.len();
+                self.savepoint_marks.clear();
                 Ok("transaction started\n".to_owned())
             }
-            Statement::Commit => match self.savepoint.take() {
-                Some(_) => Ok("committed\n".to_owned()),
-                None => Err(FdbError::Parse {
-                    line: self.line,
-                    message: "no open transaction".into(),
-                }),
-            },
-            Statement::Abort => match self.savepoint.take() {
-                Some(saved) => {
-                    self.db = saved;
-                    // The check log rolls back with the database it
-                    // describes.
-                    self.check_log.truncate(self.check_log_mark);
-                    Ok("rolled back\n".to_owned())
+            Statement::Commit => {
+                self.db.txn_commit()?;
+                self.savepoint_marks.clear();
+                Ok("committed\n".to_owned())
+            }
+            Statement::Abort => {
+                self.db.txn_rollback()?;
+                // The check log rolls back with the database it
+                // describes.
+                self.check_log.truncate(self.check_log_mark);
+                self.savepoint_marks.clear();
+                Ok("rolled back\n".to_owned())
+            }
+            Statement::Savepoint { name } => {
+                self.db.txn_savepoint(&name)?;
+                self.savepoint_marks.retain(|(n, _)| n != &name);
+                self.savepoint_marks
+                    .push((name.clone(), self.check_log.len()));
+                Ok(format!("savepoint {name} set\n"))
+            }
+            Statement::RollbackTo { name } => {
+                self.db.txn_rollback_to(&name)?;
+                // The database accepted the name, so the mirror stack
+                // holds it; truncate the check log to the savepoint and
+                // drop the savepoints set after it (keeping the target,
+                // which stays live for repeated rollbacks).
+                if let Some(pos) = self.savepoint_marks.iter().rposition(|(n, _)| n == &name) {
+                    self.check_log.truncate(self.savepoint_marks[pos].1);
+                    self.savepoint_marks.truncate(pos + 1);
                 }
-                None => Err(FdbError::Parse {
-                    line: self.line,
-                    message: "no open transaction".into(),
-                }),
-            },
+                Ok(format!("rolled back to {name}\n"))
+            }
             Statement::Save { path } => {
                 let snapshot = self.db.to_snapshot()?;
                 std::fs::write(&path, snapshot).map_err(|e| FdbError::Parse {
@@ -550,11 +583,10 @@ impl Engine {
                 Ok(format!("saved snapshot to {path}\n"))
             }
             Statement::Load { path } => {
-                if self.savepoint.is_some() {
-                    return Err(FdbError::Parse {
-                        line: self.line,
-                        message: "cannot LOAD inside an open transaction".into(),
-                    });
+                if self.db.txn_active() {
+                    return Err(FdbError::TxnControl(
+                        "cannot LOAD inside an open transaction".into(),
+                    ));
                 }
                 let text = std::fs::read_to_string(&path).map_err(|e| FdbError::Parse {
                     line: self.line,
@@ -568,6 +600,46 @@ impl Engine {
                 self.check_log.clear();
                 Ok(format!("loaded snapshot from {path}\n"))
             }
+        }
+    }
+
+    /// Inside an open transaction, a write consults the statement
+    /// governor before executing: a tripped cancel flag or an expired
+    /// deadline must not apply further updates — the resulting governed
+    /// stop triggers the automatic rollback to the last savepoint.
+    fn txn_write_gate(&self) -> Result<()> {
+        if self.db.txn_active() {
+            self.statement_governor()
+                .check()
+                .map_err(|r| r.into_error("transactional write"))?;
+        }
+        Ok(())
+    }
+
+    /// Rolls the open transaction back to its last savepoint — or aborts
+    /// it entirely when none is set — after a governed stop, returning
+    /// the typed [`FdbError::TxnAborted`] the statement surfaces.
+    fn governed_abort(&mut self, cause: FdbError) -> FdbError {
+        let savepoint = match self.savepoint_marks.last().cloned() {
+            Some((name, mark)) => match self.db.txn_rollback_to(&name) {
+                Ok(()) => {
+                    self.check_log.truncate(mark);
+                    Some(name)
+                }
+                Err(e) => return e,
+            },
+            None => match self.db.txn_rollback() {
+                Ok(()) => {
+                    self.check_log.truncate(self.check_log_mark);
+                    None
+                }
+                Err(e) => return e,
+            },
+        };
+        fdb_obs::registry().txn_governed_aborts.inc();
+        FdbError::TxnAborted {
+            savepoint,
+            cause: Box::new(cause),
         }
     }
 
@@ -986,6 +1058,134 @@ mod tests {
         assert!(e.execute_line("ABORT").is_err());
         e.execute_line("BEGIN").unwrap();
         assert!(e.execute_line("BEGIN").is_err());
+    }
+
+    #[test]
+    fn savepoints_through_language() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             BEGIN\n\
+             INSERT teach(euclid, math)\n\
+             SAVEPOINT one\n\
+             INSERT teach(gauss, algebra)\n\
+             ROLLBACK TO one",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        assert_eq!(e.execute_line("TRUTH teach(euclid, math)").unwrap(), "T\n");
+        assert_eq!(
+            e.execute_line("TRUTH teach(gauss, algebra)").unwrap(),
+            "F\n"
+        );
+        // The savepoint stays set: roll back to it again after more work.
+        e.execute_line("INSERT teach(noether, rings)").unwrap();
+        e.execute_line("ROLLBACK TO one").unwrap();
+        assert_eq!(
+            e.execute_line("TRUTH teach(noether, rings)").unwrap(),
+            "F\n"
+        );
+        e.execute_line("COMMIT").unwrap();
+        assert_eq!(e.execute_line("TRUTH teach(euclid, math)").unwrap(), "T\n");
+        // Transaction-control misuse is a typed error.
+        assert!(e.execute_line("ROLLBACK TO one").is_err());
+        assert!(e.execute_line("SAVEPOINT s").is_err());
+        e.execute_line("BEGIN").unwrap();
+        assert!(e.execute_line("ROLLBACK TO ghost").is_err());
+        assert_eq!(e.execute_line("ABORT").unwrap(), "rolled back\n");
+    }
+
+    #[test]
+    fn governed_stop_inside_txn_rolls_back_to_savepoint() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             BEGIN\n\
+             INSERT teach(euclid, math)\n\
+             SAVEPOINT keep\n\
+             INSERT teach(gauss, algebra)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        // An expired deadline trips the write gate; the engine rolls back
+        // to the savepoint and surfaces the typed abort.
+        e.set_statement_deadline(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(5));
+        let err = e.execute_line("INSERT teach(noether, rings)").unwrap_err();
+        match &err {
+            FdbError::TxnAborted { savepoint, cause } => {
+                assert_eq!(savepoint.as_deref(), Some("keep"));
+                assert!(cause.is_governed_stop(), "cause: {cause}");
+            }
+            other => panic!("expected TxnAborted, got {other}"),
+        }
+        e.set_statement_deadline(None);
+        // Work after the savepoint is gone; the transaction stays open
+        // and commits the pre-savepoint state.
+        assert_eq!(
+            e.execute_line("TRUTH teach(gauss, algebra)").unwrap(),
+            "F\n"
+        );
+        e.execute_line("COMMIT").unwrap();
+        assert_eq!(e.execute_line("TRUTH teach(euclid, math)").unwrap(), "T\n");
+
+        // Without a savepoint the whole transaction aborts and closes.
+        e.execute_line("BEGIN").unwrap();
+        e.execute_line("INSERT teach(leibniz, calculus)").unwrap();
+        e.set_statement_deadline(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(5));
+        let err = e.execute_line("DELETE teach(euclid, math)").unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                FdbError::TxnAborted {
+                    savepoint: None,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        e.set_statement_deadline(None);
+        assert!(!e.database().txn_active());
+        assert_eq!(
+            e.execute_line("TRUTH teach(leibniz, calculus)").unwrap(),
+            "F\n"
+        );
+        assert_eq!(e.execute_line("TRUTH teach(euclid, math)").unwrap(), "T\n");
+    }
+
+    #[test]
+    fn rollback_invalidates_derived_cache() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        // Warm the derived cache, mutate inside a transaction, roll back.
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
+        e.execute_line("BEGIN").unwrap();
+        e.execute_line("DELETE class_list(math, john)").unwrap();
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "F\n");
+        e.execute_line("ABORT").unwrap();
+        // Rolling back advanced the version counters, so neither the
+        // pre-BEGIN `T` entry nor the in-transaction `F` entry may be
+        // served; the answer is recomputed against the restored state.
+        assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "T\n");
     }
 
     #[test]

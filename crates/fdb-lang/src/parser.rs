@@ -292,7 +292,20 @@ impl Parser {
             },
             "BEGIN" => Statement::Begin,
             "COMMIT" => Statement::Commit,
-            "ABORT" | "ROLLBACK" => Statement::Abort,
+            "ABORT" => Statement::Abort,
+            "ROLLBACK" => match self.peek() {
+                // `ROLLBACK TO name` — partial rollback to a savepoint.
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("to") => {
+                    self.next();
+                    Statement::RollbackTo {
+                        name: self.name("savepoint name")?,
+                    }
+                }
+                _ => Statement::Abort,
+            },
+            "SAVEPOINT" => Statement::Savepoint {
+                name: self.name("savepoint name")?,
+            },
             "SAVE" => Statement::Save {
                 path: self.arg("file path")?,
             },
@@ -521,6 +534,29 @@ mod tests {
                 y: "b".into(),
             }
         );
+    }
+
+    #[test]
+    fn parses_transaction_control() {
+        assert_eq!(parse_statement("BEGIN", 1).unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("COMMIT", 1).unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ABORT", 1).unwrap(), Statement::Abort);
+        assert_eq!(parse_statement("rollback", 1).unwrap(), Statement::Abort);
+        assert_eq!(
+            parse_statement("SAVEPOINT before_grades", 1).unwrap(),
+            Statement::Savepoint {
+                name: "before_grades".into()
+            }
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK TO before_grades", 1).unwrap(),
+            Statement::RollbackTo {
+                name: "before_grades".into()
+            }
+        );
+        assert!(parse_statement("SAVEPOINT", 1).is_err());
+        assert!(parse_statement("ROLLBACK TO", 1).is_err());
+        assert!(parse_statement("ROLLBACK TO a b", 1).is_err());
     }
 
     #[test]

@@ -295,6 +295,9 @@ registry! {
         wal_fsyncs => "fdb.wal.fsyncs",
         /// Segment rotations.
         wal_rotations => "fdb.wal.rotations",
+        /// Well-framed records whose payload was not understood and was
+        /// skipped during a scan (forward-compatibility warning).
+        wal_skipped_records => "fdb.wal.skipped_records",
         /// Checkpoints installed.
         wal_checkpoints => "fdb.wal.checkpoints",
         /// Recovery passes run (open or replay).
@@ -305,6 +308,29 @@ registry! {
         recovery_corruption_events => "fdb.recovery.corruption_events",
         /// Bytes moved aside into quarantine files during recovery.
         recovery_quarantined_bytes => "fdb.recovery.quarantined_bytes",
+
+        // ---- transactions (fdb-core / fdb-storage undo journal) ----
+        /// Transactions opened (`BEGIN`).
+        txn_begins => "fdb.txn.begins",
+        /// Transactions committed (`COMMIT`).
+        txn_commits => "fdb.txn.commits",
+        /// Transactions rolled back entirely (`ROLLBACK` / `ABORT`,
+        /// including automatic rollback after a governed stop).
+        txn_rollbacks => "fdb.txn.rollbacks",
+        /// Partial rollbacks to a named savepoint (`ROLLBACK TO`).
+        txn_savepoint_rollbacks => "fdb.txn.savepoint_rollbacks",
+        /// Undo-journal bytes accumulated by transactions at close
+        /// (commit or rollback) — a cost measure of transactional churn.
+        txn_undo_log_bytes => "fdb.txn.undo_log_bytes",
+        /// Statement retries performed by the overload backoff policy
+        /// (`SharedLoggedDatabase::retry_on_overload`).
+        txn_overload_retries => "fdb.txn.overload_retries",
+        /// Log records inside uncommitted transactions discarded by
+        /// recovery (the crash-atomicity guarantee at work).
+        txn_recovery_discarded => "fdb.txn.recovery_discarded",
+        /// Automatic rollbacks triggered by a governed stop (deadline,
+        /// budget, cancellation, overload) inside an open transaction.
+        txn_governed_aborts => "fdb.txn.governed_aborts",
 
         // ---- fdb-exec: planner, executor, result cache ----
         /// Chain plans compiled.

@@ -33,6 +33,7 @@ pub mod nvc;
 pub mod store;
 pub mod table;
 pub mod truth;
+pub mod undo;
 
 pub use chain::{Chain, ChainLimits, DerivedPair};
 pub use fact::Fact;
@@ -41,3 +42,4 @@ pub use nc::{NcId, NcStore};
 pub use store::{CompactionPolicy, Store};
 pub use table::{RowView, Table, TableStats};
 pub use truth::Truth;
+pub use undo::{UndoJournal, UndoOp};

@@ -61,6 +61,34 @@ impl NcStore {
         self.ncs.remove(&id).unwrap_or_default()
     }
 
+    /// Undoes a create (transaction rollback): removes `id` and rewinds
+    /// the index counter so the store's next NC reuses it. Sound only in
+    /// reverse creation order — the most recently created NC always holds
+    /// the highest index — which the undo journal guarantees.
+    pub(crate) fn undo_create(&mut self, id: NcId) {
+        debug_assert_eq!(id.0 + 1, self.next, "undo_create out of order");
+        self.ncs.remove(&id);
+        self.next = id.0;
+    }
+
+    /// Undoes a dismantle (transaction rollback): re-registers `id` with
+    /// the conjuncts it held. The index counter is untouched — dismantle
+    /// never advanced it.
+    pub(crate) fn restore(&mut self, id: NcId, conjuncts: Vec<Fact>) {
+        debug_assert!(!self.ncs.contains_key(&id), "restore of a live NC");
+        self.ncs.insert(id, conjuncts);
+    }
+
+    /// Replaces the conjuncts of a live NC verbatim (undo of
+    /// [`NcStore::substitute_value`] for one NC during rollback).
+    pub(crate) fn rewrite(&mut self, id: NcId, conjuncts: Vec<Fact>) {
+        if let Some(facts) = self.ncs.get_mut(&id) {
+            *facts = conjuncts;
+        } else {
+            debug_assert!(false, "rewrite of unknown NC {id}");
+        }
+    }
+
     /// The conjuncts of `id`, if it exists.
     pub fn get(&self, id: NcId) -> Option<&[Fact]> {
         self.ncs.get(&id).map(Vec::as_slice)

@@ -14,6 +14,7 @@ use crate::fact::Fact;
 use crate::nc::{NcId, NcStore};
 use crate::table::Table;
 use crate::truth::Truth;
+use crate::undo::{UndoJournal, UndoOp};
 
 /// When a table's tombstones are compacted away automatically.
 ///
@@ -57,20 +58,33 @@ pub struct Store {
     ncs: NcStore,
     nulls: NullGen,
     /// Monotone mutation counter: bumped by every state-changing
-    /// operation, so caches (materialised extensions, see `fdb-core`) can
-    /// detect staleness cheaply.
-    #[serde(default)]
+    /// operation — including a transaction rollback, which restores the
+    /// logical state but is itself a mutation event — so caches
+    /// (materialised extensions, see `fdb-core`) can detect staleness
+    /// cheaply. Deliberately *not* serialized: snapshots compare logical
+    /// state, and counters must stay monotone across a rollback that
+    /// makes the logical state byte-identical to an earlier one (a
+    /// restored counter could alias a future counter value and let a
+    /// cache serve uncommitted data).
+    #[serde(skip)]
     version: u64,
     /// Per-function mutation counters: `fn_versions[f]` is bumped whenever
     /// the *observable extension* of `f` may have changed — a row
     /// inserted, deleted or rewritten, or an NC over one of `f`'s rows
-    /// created or dismantled. Derived-result caches compare only the
-    /// counters of a derivation's support set, so writes to unrelated
-    /// functions do not invalidate them.
-    #[serde(default)]
+    /// created or dismantled, or a rollback undoing any of those. Derived-
+    /// result caches compare only the counters of a derivation's support
+    /// set, so writes to unrelated functions do not invalidate them.
+    /// Skipped by serde for the same monotonicity reason as `version`.
+    #[serde(skip)]
     fn_versions: Vec<u64>,
     #[serde(default)]
     compaction: CompactionPolicy,
+    /// Undo journal of the open transaction, if one is active. Never
+    /// serialized: open transactions do not survive snapshots (the
+    /// durability layer defers checkpoints while one is open) — crash
+    /// atomicity comes from the WAL's transaction frames instead.
+    #[serde(skip)]
+    journal: Option<UndoJournal>,
 }
 
 impl Store {
@@ -83,6 +97,7 @@ impl Store {
             version: 0,
             fn_versions: Vec::new(),
             compaction: CompactionPolicy::default(),
+            journal: None,
         }
     }
 
@@ -98,6 +113,29 @@ impl Store {
     pub fn ensure_table(&mut self, f: FunctionId) {
         while self.tables.len() <= f.index() {
             self.tables.push(Table::new());
+        }
+    }
+
+    /// Number of allocated tables (declared functions may trail behind
+    /// [`Store::ensure_table`] growth).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Drops trailing *empty* tables beyond `n`. Transaction rollback uses
+    /// this to undo the table growth of `DECLARE`s made inside the rolled-
+    /// back scope: the undo journal has already emptied such tables, so
+    /// popping them restores the exact pre-transaction serialized layout.
+    /// A trailing table still holding rows (live or tombstoned) stops the
+    /// truncation — it predates the transaction.
+    pub fn truncate_tables(&mut self, n: usize) {
+        while self.tables.len() > n
+            && self
+                .tables
+                .last()
+                .is_some_and(|t| t.is_empty() && t.tombstones() == 0)
+        {
+            self.tables.pop();
         }
     }
 
@@ -128,6 +166,11 @@ impl Store {
     /// Draws a fresh null value.
     pub fn fresh_null(&mut self) -> Value {
         self.version += 1;
+        if let Some(j) = self.journal.as_mut() {
+            j.push(UndoOp::NullDrawn {
+                watermark: self.nulls.watermark(),
+            });
+        }
         self.nulls.fresh()
     }
 
@@ -159,6 +202,14 @@ impl Store {
     }
 
     fn maybe_compact(&mut self, f: FunctionId) {
+        // Compaction invalidates the row indices the undo journal records,
+        // so it is suspended while a transaction is open and re-checked at
+        // commit (a rollback restores the pre-transaction tombstone layout
+        // exactly, so nothing is re-checked on abort).
+        if let Some(j) = self.journal.as_mut() {
+            j.deferred_compaction.insert(f.index() as u32);
+            return;
+        }
         let Some(table) = self.tables.get(f.index()) else {
             return;
         };
@@ -189,12 +240,27 @@ impl Store {
         fdb_obs::registry().storage_ncs_created.inc();
         self.version += 1;
         let id = self.ncs.create(conjuncts.clone());
+        if let Some(j) = self.journal.as_mut() {
+            j.push(UndoOp::NcCreated { id });
+        }
         for fact in &conjuncts {
             self.bump_fn(fact.function);
             self.ensure_table(fact.function);
-            let table = &mut self.tables[fact.function.index()];
+            let table = &self.tables[fact.function.index()];
             match table.position(&fact.x, &fact.y) {
-                Some(i) => table.attach_nc(i, id),
+                Some(i) => {
+                    let undo = table.row(i).map(|r| (r.truth, !r.ncl.contains(&id)));
+                    if let (Some(j), Some((prior, newly))) = (self.journal.as_mut(), undo) {
+                        j.push(UndoOp::NcAttached {
+                            f: fact.function,
+                            index: i,
+                            id,
+                            prior,
+                            newly,
+                        });
+                    }
+                    self.tables[fact.function.index()].attach_nc(i, id);
+                }
                 None => debug_assert!(false, "create-NC on unstored fact {fact}"),
             }
         }
@@ -208,11 +274,29 @@ impl Store {
     pub fn dismantle_nc(&mut self, id: NcId) {
         fdb_obs::registry().storage_ncs_dismantled.inc();
         self.version += 1;
-        for fact in self.ncs.dismantle(id) {
+        let conjuncts = self.ncs.dismantle(id);
+        if let Some(j) = self.journal.as_mut() {
+            j.push(UndoOp::NcDismantled {
+                id,
+                conjuncts: conjuncts.clone(),
+            });
+        }
+        for fact in conjuncts {
             self.bump_fn(fact.function);
+            let journaling = self.journal.is_some();
             if let Some(t) = self.tables.get_mut(fact.function.index()) {
                 if let Some(i) = t.position(&fact.x, &fact.y) {
+                    let detached = t.row(i).is_some_and(|r| r.ncl.contains(&id));
                     t.detach_nc(i, id);
+                    if journaling && detached {
+                        if let Some(j) = self.journal.as_mut() {
+                            j.push(UndoOp::NcDetached {
+                                f: fact.function,
+                                index: i,
+                                id,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -230,18 +314,24 @@ impl Store {
         self.version += 1;
         self.bump_fn(f);
         self.ensure_table(f);
-        let table = &mut self.tables[f.index()];
+        let table = &self.tables[f.index()];
         match table.position(&x, &y) {
             None => {
-                table.insert(x, y);
+                if let Some(j) = self.journal.as_mut() {
+                    j.push(UndoOp::RowAppended { f });
+                }
+                self.tables[f.index()].insert(x, y);
             }
             Some(i) => {
-                let ncl: Vec<NcId> = table
+                let (prior, ncl): (Truth, Vec<NcId>) = table
                     .row(i)
-                    .map(|r| r.ncl.iter().copied().collect())
-                    .unwrap_or_default();
+                    .map(|r| (r.truth, r.ncl.iter().copied().collect()))
+                    .unwrap_or((Truth::True, Vec::new()));
                 for d in ncl {
                     self.dismantle_nc(d);
+                }
+                if let Some(j) = self.journal.as_mut() {
+                    j.push(UndoOp::TruthSet { f, index: i, prior });
                 }
                 self.tables[f.index()].set_truth(i, Truth::True);
             }
@@ -271,7 +361,17 @@ impl Store {
         for d in ncl {
             self.dismantle_nc(d);
         }
-        self.tables[f.index()].remove(x, y);
+        let removed = self.tables[f.index()].remove(x, y).unwrap_or_default();
+        if let Some(j) = self.journal.as_mut() {
+            // The dismantles above emptied the NCL, so `removed` is
+            // normally empty; journal what `remove` actually took so the
+            // resurrection is exact either way.
+            j.push(UndoOp::RowRemoved {
+                f,
+                index: i,
+                ncl: removed,
+            });
+        }
         fdb_obs::registry().storage_base_deletes.inc();
         self.maybe_compact(f);
         true
@@ -305,7 +405,21 @@ impl Store {
             self.bump_fn(FunctionId(fi as u32));
         }
         // 1. Rewrite NC conjunct keys first so later dismantles see the
-        //    post-substitution facts.
+        //    post-substitution facts. Journal each affected NC's prior
+        //    conjunct list so rollback can restore it verbatim.
+        if self.journal.is_some() {
+            let priors: Vec<(NcId, Vec<Fact>)> = self
+                .ncs
+                .iter()
+                .filter(|(_, facts)| facts.iter().any(|f| &f.x == from || &f.y == from))
+                .map(|(id, facts)| (id, facts.to_vec()))
+                .collect();
+            if let Some(j) = self.journal.as_mut() {
+                for (id, prior) in priors {
+                    j.push(UndoOp::NcRewritten { id, prior });
+                }
+            }
+        }
         self.ncs.substitute_value(from, to);
 
         // 2. Rewrite table rows.
@@ -317,29 +431,54 @@ impl Store {
                 .map(|r| (r.x.clone(), r.y.clone()))
                 .collect();
             for (x, y) in affected {
-                let table = &mut self.tables[fi];
+                let function = FunctionId(fi as u32);
+                let table = &self.tables[fi];
                 let i = table.position(&x, &y).expect("row was just listed");
                 let (truth, ncl) = {
                     let r = table.row(i).expect("row alive");
                     (r.truth, r.ncl.clone())
                 };
-                table.remove(&x, &y);
+                let removed = self.tables[fi].remove(&x, &y).unwrap_or_default();
+                if let Some(j) = self.journal.as_mut() {
+                    j.push(UndoOp::RowRemoved {
+                        f: function,
+                        index: i,
+                        ncl: removed,
+                    });
+                }
                 let nx = if x == *from { to.clone() } else { x };
                 let ny = if y == *from { to.clone() } else { y };
-                match table.position(&nx, &ny) {
+                match self.tables[fi].position(&nx, &ny) {
                     None => {
-                        table.restore_row(nx, ny, truth, ncl);
+                        if let Some(j) = self.journal.as_mut() {
+                            j.push(UndoOp::RowAppended { f: function });
+                        }
+                        self.tables[fi].restore_row(nx, ny, truth, ncl);
                     }
-                    Some(j) => {
+                    Some(pos) => {
                         // Merge with the existing row.
-                        let existing = table.row(j).expect("row alive");
-                        let either_true = existing.truth == Truth::True || truth == Truth::True;
+                        let either_true = self.tables[fi]
+                            .row(pos)
+                            .map(|r| r.truth == Truth::True || truth == Truth::True)
+                            .unwrap_or(false);
                         for &d in &ncl {
-                            table.attach_nc(j, d);
+                            let undo = self.tables[fi]
+                                .row(pos)
+                                .map(|r| (r.truth, !r.ncl.contains(&d)));
+                            if let (Some(j), Some((prior, newly))) = (self.journal.as_mut(), undo) {
+                                j.push(UndoOp::NcAttached {
+                                    f: function,
+                                    index: pos,
+                                    id: d,
+                                    prior,
+                                    newly,
+                                });
+                            }
+                            self.tables[fi].attach_nc(pos, d);
                         }
                         if either_true {
                             reassert.push(Fact {
-                                function: FunctionId(fi as u32),
+                                function,
                                 x: nx,
                                 y: ny,
                             });
@@ -355,6 +494,129 @@ impl Store {
         // 4. Drop NCs that became degenerate: a conjunct key may now be
         //    missing if its row merged away — the dual check keeps them
         //    aligned because merging preserved keys; nothing to do.
+    }
+
+    // ----- transactions (undo journal) ---------------------------------
+
+    /// `true` while an undo journal is recording (a transaction is open).
+    pub fn undo_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Opens the undo journal: every subsequent primitive mutation is
+    /// recorded until [`Store::undo_commit`] or [`Store::undo_abort`].
+    /// Journaling is off (zero overhead) outside transactions. Opening a
+    /// journal while one is active is a caller bug; the existing journal
+    /// is kept (nested scopes use [`Store::undo_mark`] instead).
+    pub fn undo_begin(&mut self) {
+        debug_assert!(self.journal.is_none(), "undo journal already open");
+        if self.journal.is_none() {
+            self.journal = Some(UndoJournal::default());
+        }
+    }
+
+    /// Current journal position — capture as a savepoint mark and pass to
+    /// [`Store::undo_rollback_to`] to roll back a suffix of the
+    /// transaction. Returns 0 when no journal is open.
+    pub fn undo_mark(&self) -> usize {
+        self.journal.as_ref().map_or(0, UndoJournal::mark)
+    }
+
+    /// Approximate in-memory size of the open journal in bytes (0 when no
+    /// transaction is open). Reported through `fdb.txn.undo_log_bytes`.
+    pub fn undo_bytes(&self) -> usize {
+        self.journal.as_ref().map_or(0, UndoJournal::approx_bytes)
+    }
+
+    /// Rolls the store back to a previously captured [`Store::undo_mark`],
+    /// keeping the journal open (savepoint rollback). The logical state
+    /// becomes byte-identical to the state at the mark, while `version` /
+    /// `fn_versions` advance — rollback is a mutation event, so no cache
+    /// keyed on the counters can serve the rolled-back (uncommitted) data.
+    pub fn undo_rollback_to(&mut self, mark: usize) {
+        let ops = match self.journal.as_mut() {
+            Some(j) => j.drain_to(mark),
+            None => {
+                debug_assert!(false, "rollback without an open undo journal");
+                return;
+            }
+        };
+        self.apply_undo(ops);
+    }
+
+    /// Commits the open transaction: drops the journal and re-checks the
+    /// compaction policy of every table whose automatic compaction was
+    /// deferred while the journal was open.
+    pub fn undo_commit(&mut self) {
+        let Some(j) = self.journal.take() else {
+            debug_assert!(false, "commit without an open undo journal");
+            return;
+        };
+        for fi in j.deferred_compaction {
+            self.maybe_compact(FunctionId(fi));
+        }
+    }
+
+    /// Aborts the open transaction: rolls everything back and drops the
+    /// journal. Deferred compaction checks are discarded — the rollback
+    /// restored the exact pre-transaction tombstone layout, which by
+    /// construction had not yet crossed the compaction threshold.
+    pub fn undo_abort(&mut self) {
+        if self.journal.is_none() {
+            debug_assert!(false, "abort without an open undo journal");
+            return;
+        }
+        self.undo_rollback_to(0);
+        self.journal = None;
+    }
+
+    /// Applies inverse ops (already in reverse execution order), then
+    /// bumps the version counters of every touched function exactly once.
+    fn apply_undo(&mut self, ops: Vec<UndoOp>) {
+        use std::collections::BTreeSet;
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
+        for op in ops {
+            if let Some(f) = op.touched_function() {
+                touched.insert(f.index() as u32);
+            }
+            match op {
+                UndoOp::RowAppended { f } => self.tables[f.index()].undo_append(),
+                UndoOp::RowRemoved { f, index, ncl } => {
+                    self.tables[f.index()].resurrect(index, ncl);
+                }
+                UndoOp::TruthSet { f, index, prior } => {
+                    self.tables[f.index()].set_truth(index, prior);
+                }
+                UndoOp::NcAttached {
+                    f,
+                    index,
+                    id,
+                    prior,
+                    newly,
+                } => {
+                    let t = &mut self.tables[f.index()];
+                    if newly {
+                        t.detach_nc(index, id);
+                    }
+                    t.set_truth(index, prior);
+                }
+                UndoOp::NcDetached { f, index, id } => {
+                    // The row was necessarily ambiguous at detach time, so
+                    // attach_nc restores both the NCL entry and the flag.
+                    self.tables[f.index()].attach_nc(index, id);
+                }
+                UndoOp::NcCreated { id } => self.ncs.undo_create(id),
+                UndoOp::NcDismantled { id, conjuncts } => self.ncs.restore(id, conjuncts),
+                UndoOp::NcRewritten { id, prior } => self.ncs.rewrite(id, prior),
+                UndoOp::NullDrawn { watermark } => self.nulls.rewind(watermark),
+            }
+        }
+        // Rollback is itself a version event: every derived cache keyed on
+        // these counters must miss after it.
+        self.version += 1;
+        for fi in touched {
+            self.bump_fn(FunctionId(fi));
+        }
     }
 
     /// Total number of live base facts across all tables.
@@ -664,5 +926,134 @@ mod tests {
         assert_eq!(s.fresh_null().to_string(), "n1");
         assert_eq!(s.fresh_null().to_string(), "n2");
         assert_eq!(s.nulls().generated(), 2);
+    }
+
+    fn snap(s: &Store) -> String {
+        serde_json::to_string(s).expect("store serializes")
+    }
+
+    #[test]
+    fn undo_rollback_restores_byte_identical_state() {
+        let mut s = Store::new(2);
+        s.base_insert(f(0), v("euclid"), v("math"));
+        s.base_insert(f(1), v("math"), v("john"));
+        let nc = s.create_nc(vec![
+            Fact::new(f(0), "euclid", "math"),
+            Fact::new(f(1), "math", "john"),
+        ]);
+        assert!(s.ncs().contains(nc));
+        let before = snap(&s);
+        let v_before = s.version();
+
+        s.undo_begin();
+        // A representative mix: inserts, re-assertion over an NC, a fresh
+        // null, NC creation + dismantling, deletion, null substitution.
+        let n = s.fresh_null();
+        s.base_insert(f(0), v("gauss"), n.clone());
+        s.base_insert(f(0), v("gauss"), v("algebra"));
+        let nc2 = s.create_nc(vec![Fact::new(f(0), v("gauss"), n.clone())]);
+        s.substitute_null(&n, &v("algebra"));
+        assert!(!s.ncs().contains(nc2), "merge re-asserted the true row");
+        s.base_insert(f(0), v("euclid"), v("math"));
+        s.base_delete(f(0), &v("euclid"), &v("math"));
+        assert_ne!(snap(&s), before);
+
+        s.undo_abort();
+        assert_eq!(snap(&s), before, "rollback must be byte-identical");
+        assert!(!s.undo_active());
+        assert!(s.ncs().contains(nc));
+        assert!(
+            s.version() > v_before,
+            "rollback is a version event, not a counter restore"
+        );
+        assert!(s.check_duality().is_none());
+    }
+
+    #[test]
+    fn undo_savepoint_rollback_keeps_transaction_open() {
+        let mut s = Store::new(1);
+        s.base_insert(f(0), v("a"), v("b"));
+        s.undo_begin();
+        s.base_insert(f(0), v("c"), v("d"));
+        let mark = s.undo_mark();
+        let mid = snap(&s);
+        s.base_insert(f(0), v("e"), v("f"));
+        s.base_delete(f(0), &v("a"), &v("b"));
+        s.undo_rollback_to(mark);
+        assert_eq!(snap(&s), mid);
+        assert!(s.undo_active());
+        // Work after a savepoint rollback is still undone by a full abort.
+        s.base_insert(f(0), v("g"), v("h"));
+        s.undo_abort();
+        assert_eq!(s.table(f(0)).len(), 1);
+        assert!(s.table(f(0)).contains(&v("a"), &v("b")));
+    }
+
+    #[test]
+    fn undo_commit_keeps_changes_and_runs_deferred_compaction() {
+        let mut s = Store::new(1);
+        s.set_compaction_policy(CompactionPolicy {
+            tombstone_fraction: 0.5,
+            min_tombstones: 4,
+        });
+        s.undo_begin();
+        for i in 0..8 {
+            s.base_insert(f(0), v(&format!("x{i}")), v(&format!("y{i}")));
+        }
+        for i in 0..8 {
+            s.base_delete(f(0), &v(&format!("x{i}")), &v(&format!("y{i}")));
+        }
+        // Compaction is suspended while the journal is open (row indices
+        // recorded in it must stay valid)…
+        assert_eq!(s.table(f(0)).tombstones(), 8);
+        s.undo_commit();
+        // …and re-checked at commit.
+        assert_eq!(s.table(f(0)).tombstones(), 0);
+        assert!(!s.undo_active());
+    }
+
+    #[test]
+    fn undo_restores_nc_ids_and_null_watermark() {
+        let mut s = Store::new(2);
+        s.base_insert(f(0), v("a"), v("b"));
+        s.undo_begin();
+        let n = s.fresh_null();
+        s.base_insert(f(1), n.clone(), v("c"));
+        let nc = s.create_nc(vec![Fact::new(f(1), n.clone(), v("c"))]);
+        assert_eq!(nc, NcId(1));
+        s.undo_abort();
+        assert_eq!(s.nulls().generated(), 0, "null watermark rewound");
+        // Fresh ids after the rollback are the same ones the transaction
+        // would have used — no gap leaks the aborted work.
+        assert_eq!(s.fresh_null(), Value::Null(fdb_types::NullId(1)));
+        s.base_insert(f(0), v("p"), v("q"));
+        let nc2 = s.create_nc(vec![Fact::new(f(0), "p", "q")]);
+        assert_eq!(nc2, NcId(1));
+    }
+
+    #[test]
+    fn undo_bytes_grow_and_reset() {
+        let mut s = Store::new(1);
+        assert_eq!(s.undo_bytes(), 0);
+        s.undo_begin();
+        s.base_insert(f(0), v("a"), v("b"));
+        assert!(s.undo_bytes() > 0);
+        s.undo_abort();
+        assert_eq!(s.undo_bytes(), 0);
+    }
+
+    #[test]
+    fn version_counters_are_not_serialized() {
+        let mut s = Store::new(1);
+        s.base_insert(f(0), v("a"), v("b"));
+        let json = snap(&s);
+        assert!(
+            !json.contains("fn_versions"),
+            "counters must not leak into snapshots"
+        );
+        let mut back: Store = serde_json::from_str(&json).expect("round trip");
+        back.rebuild_index();
+        assert_eq!(back.version(), 0);
+        assert!(back.table(f(0)).contains(&v("a"), &v("b")));
     }
 }

@@ -224,6 +224,66 @@ impl Table {
         Some(i)
     }
 
+    /// Undoes the most recent append (transaction rollback): pops the last
+    /// row and scrubs its index entries. The caller (the store's undo
+    /// journal) applies inverses in reverse order with compaction
+    /// suspended, so the row to un-append is always the physically last
+    /// one and is always alive.
+    pub(crate) fn undo_append(&mut self) {
+        let Some(r) = self.rows.pop() else {
+            debug_assert!(false, "undo_append on an empty table");
+            return;
+        };
+        debug_assert!(r.alive, "undo_append must target a live row");
+        let i = self.rows.len();
+        self.index.remove(&(r.x.clone(), r.y.clone()));
+        // Bucket vectors hold ascending row indices, so the popped row's
+        // entry — if present — is the bucket's last element.
+        if let Some(b) = self.by_x.get_mut(&r.x) {
+            if b.last() == Some(&i) {
+                b.pop();
+            }
+            if b.is_empty() {
+                self.by_x.remove(&r.x);
+            }
+        }
+        if let Some(b) = self.by_y.get_mut(&r.y) {
+            if b.last() == Some(&i) {
+                b.pop();
+            }
+            if b.is_empty() {
+                self.by_y.remove(&r.y);
+            }
+        }
+        if self.null_x.last() == Some(&i) {
+            self.null_x.pop();
+        }
+        if self.null_y.last() == Some(&i) {
+            self.null_y.pop();
+        }
+        self.live -= 1;
+    }
+
+    /// Undoes a tombstoning (transaction rollback): revives the row at `i`
+    /// in place, restoring the NCL it carried. Key, flag and physical
+    /// position were preserved by [`Table::remove`], so this reproduces
+    /// the exact pre-removal serialized layout; the value-bucket indexes
+    /// still reference `i` (removal never scrubbed them) and become
+    /// valid again the moment `alive` flips back.
+    pub(crate) fn resurrect(&mut self, i: usize, ncl: BTreeSet<NcId>) {
+        let Some(r) = self.rows.get_mut(i) else {
+            debug_assert!(false, "resurrect of unknown row {i}");
+            return;
+        };
+        debug_assert!(!r.alive, "resurrect must target a tombstoned row");
+        r.alive = true;
+        r.ncl = ncl;
+        let key = (r.x.clone(), r.y.clone());
+        self.index.insert(key, i);
+        self.live += 1;
+        self.dead -= 1;
+    }
+
     /// Live rows in insertion order.
     pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> {
         self.rows.iter().filter(|r| r.alive).map(|r| RowView {

@@ -1,0 +1,186 @@
+//! In-memory undo journal backing atomic multi-statement transactions.
+//!
+//! §3 views "a general update request … as a sequence of simple updates";
+//! making that sequence atomic means every primitive mutation of the store
+//! must be individually reversible. While a transaction is open the
+//! [`crate::Store`] appends one [`UndoOp`] per primitive side effect
+//! (row appended, row tombstoned, truth flag set, NC created/dismantled,
+//! NCL entry attached/detached, null drawn, NC conjunct rewritten);
+//! rollback applies the inverses in reverse order, which restores the
+//! serialized representation of the store *byte-identically* — including
+//! tombstone layout, NC indices and the null-generator watermark — so a
+//! rolled-back transaction is indistinguishable from one that never ran.
+//!
+//! The journal is deliberately not serialized: an open transaction never
+//! survives a snapshot (checkpoints are deferred while one is open, see
+//! `fdb-core`'s durability layer), and crash recovery re-derives
+//! atomicity from the WAL's `TxnBegin`/`TxnCommit`/`TxnAbort` frames.
+
+use std::collections::BTreeSet;
+
+use fdb_types::FunctionId;
+
+use crate::fact::Fact;
+use crate::nc::NcId;
+use crate::truth::Truth;
+
+/// One reversible primitive mutation, recorded in execution order.
+#[derive(Clone, Debug)]
+pub enum UndoOp {
+    /// A fresh row was appended to the table of `f` (by `base-insert` or a
+    /// null-substitution rebuild). Undo: pop the table's last row — in
+    /// reverse undo order the appended row is always last, because rows
+    /// are append-only and compaction is suspended while a transaction is
+    /// open.
+    RowAppended {
+        /// Function whose table grew.
+        f: FunctionId,
+    },
+    /// The live row at `index` was tombstoned. Undo: resurrect it in
+    /// place, restoring the NCL it carried (tombstoning preserves the
+    /// row's key and flag, so in-place resurrection reproduces the exact
+    /// serialized layout).
+    RowRemoved {
+        /// Function whose table lost the row.
+        f: FunctionId,
+        /// Row index at removal time (stable: compaction is suspended).
+        index: usize,
+        /// The NCL the row carried when removed.
+        ncl: BTreeSet<NcId>,
+    },
+    /// The truth flag of the row at `index` was overwritten. Undo: restore
+    /// `prior`.
+    TruthSet {
+        /// Function owning the row.
+        f: FunctionId,
+        /// Row index.
+        index: usize,
+        /// Flag before the write (`T` or `A`; live rows are never `F`).
+        prior: Truth,
+    },
+    /// `id` was attached to the NCL of the row at `index` (flagging it
+    /// ambiguous). Undo: detach if the entry was newly inserted, then
+    /// restore the prior flag.
+    NcAttached {
+        /// Function owning the row.
+        f: FunctionId,
+        /// Row index.
+        index: usize,
+        /// The NC attached.
+        id: NcId,
+        /// Flag before the attach.
+        prior: Truth,
+        /// `false` if the NCL already contained `id` (BTreeSet dedup).
+        newly: bool,
+    },
+    /// `id` was detached from the NCL of the row at `index` (dismantle
+    /// leaves the flag ambiguous). Undo: re-attach — the row was
+    /// necessarily ambiguous at detach time, so `attach_nc` restores both
+    /// the entry and the flag.
+    NcDetached {
+        /// Function owning the row.
+        f: FunctionId,
+        /// Row index.
+        index: usize,
+        /// The NC detached.
+        id: NcId,
+    },
+    /// A fresh NC was registered. Undo: remove it and rewind the NC-id
+    /// counter (safe in reverse order: the most recently created NC always
+    /// holds the highest index).
+    NcCreated {
+        /// The NC created.
+        id: NcId,
+    },
+    /// An NC was dismantled. Undo: re-register it under the same index
+    /// with the conjuncts it held (the id counter was not advanced by the
+    /// dismantle).
+    NcDismantled {
+        /// The NC dismantled.
+        id: NcId,
+        /// Its conjuncts at dismantle time.
+        conjuncts: Vec<Fact>,
+    },
+    /// Null substitution rewrote the conjuncts of an NC. Undo: restore the
+    /// prior conjunct list verbatim.
+    NcRewritten {
+        /// The NC rewritten.
+        id: NcId,
+        /// Its conjuncts before the substitution.
+        prior: Vec<Fact>,
+    },
+    /// A fresh null was drawn. Undo: rewind the generator to the
+    /// watermark captured immediately before the draw.
+    NullDrawn {
+        /// `NullGen::watermark()` before the draw.
+        watermark: u64,
+    },
+}
+
+impl UndoOp {
+    /// Rough in-memory footprint, reported through `fdb.txn.undo_log_bytes`.
+    pub fn approx_bytes(&self) -> usize {
+        let base = std::mem::size_of::<UndoOp>();
+        match self {
+            UndoOp::RowRemoved { ncl, .. } => base + ncl.len() * std::mem::size_of::<NcId>(),
+            UndoOp::NcDismantled { conjuncts, .. }
+            | UndoOp::NcRewritten {
+                prior: conjuncts, ..
+            } => base + conjuncts.len() * std::mem::size_of::<Fact>(),
+            _ => base,
+        }
+    }
+
+    /// The function whose observable extension this op touched, if any —
+    /// rollback bumps exactly these per-function version counters so every
+    /// derived cache observes the rollback as a fresh version event.
+    pub fn touched_function(&self) -> Option<FunctionId> {
+        match self {
+            UndoOp::RowAppended { f }
+            | UndoOp::RowRemoved { f, .. }
+            | UndoOp::TruthSet { f, .. }
+            | UndoOp::NcAttached { f, .. }
+            | UndoOp::NcDetached { f, .. } => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// The journal of an open transaction: ops in execution order plus the
+/// bookkeeping needed to defer compaction until commit.
+#[derive(Clone, Debug, Default)]
+pub struct UndoJournal {
+    ops: Vec<UndoOp>,
+    /// Approximate bytes across all recorded ops (kept incrementally so
+    /// the metric gauge is O(1)).
+    bytes: usize,
+    /// Functions whose automatic compaction was suppressed while the
+    /// transaction was open; commit re-checks their policies.
+    pub(crate) deferred_compaction: BTreeSet<u32>,
+}
+
+impl UndoJournal {
+    /// Records one op.
+    pub fn push(&mut self, op: UndoOp) {
+        self.bytes += op.approx_bytes();
+        self.ops.push(op);
+    }
+
+    /// Number of recorded ops — used as a savepoint mark.
+    pub fn mark(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Approximate journal size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drains the ops after `mark`, newest first (the order rollback must
+    /// apply the inverses in).
+    pub(crate) fn drain_to(&mut self, mark: usize) -> Vec<UndoOp> {
+        let tail: Vec<UndoOp> = self.ops.drain(mark..).rev().collect();
+        self.bytes = self.ops.iter().map(UndoOp::approx_bytes).sum();
+        tail
+    }
+}

@@ -59,8 +59,42 @@ pub enum FdbError {
         /// How long the request waited before being shed, in ms.
         waited_ms: u64,
     },
+    /// A transaction-control operation was used out of order: `COMMIT` /
+    /// `ROLLBACK` / `SAVEPOINT` without an open `BEGIN`, `BEGIN` inside an
+    /// open transaction, `ROLLBACK TO` an unknown savepoint, or an
+    /// operation that cannot run inside a transaction (e.g. a checkpoint).
+    TxnControl(String),
+    /// A governed statement inside an open transaction stopped early
+    /// (deadline, budget, cancellation or overload); the transaction was
+    /// automatically rolled back to `savepoint` — or aborted entirely when
+    /// `savepoint` is `None` — and `cause` is the stop that triggered it.
+    /// The partial work of the statement is gone; committed-so-far state
+    /// up to the savepoint is still live inside the open transaction.
+    TxnAborted {
+        /// The savepoint rolled back to, if one was set.
+        savepoint: Option<String>,
+        /// The governed stop that triggered the rollback.
+        cause: Box<FdbError>,
+    },
     /// An internal invariant was violated (bug).
     Internal(String),
+}
+
+impl FdbError {
+    /// `true` for the graceful-degradation stops (deadline, budget,
+    /// cancellation, overload shedding) that a transaction reacts to by
+    /// rolling back to its last savepoint. Other errors (parse errors,
+    /// unknown functions, …) leave the transaction as-is: they made no
+    /// partial mutation to undo.
+    pub fn is_governed_stop(&self) -> bool {
+        matches!(
+            self,
+            FdbError::DeadlineExceeded(_)
+                | FdbError::BudgetExhausted(_)
+                | FdbError::Cancelled
+                | FdbError::Overloaded { .. }
+        )
+    }
 }
 
 impl fmt::Display for FdbError {
@@ -109,6 +143,14 @@ impl fmt::Display for FdbError {
             FdbError::Overloaded { what, waited_ms } => {
                 write!(f, "overloaded: {what} unavailable after {waited_ms}ms")
             }
+            FdbError::TxnControl(msg) => write!(f, "transaction control error: {msg}"),
+            FdbError::TxnAborted { savepoint, cause } => match savepoint {
+                Some(name) => write!(
+                    f,
+                    "statement stopped ({cause}); transaction rolled back to savepoint {name:?}"
+                ),
+                None => write!(f, "statement stopped ({cause}); transaction rolled back"),
+            },
             FdbError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }

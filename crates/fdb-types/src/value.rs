@@ -104,6 +104,31 @@ impl NullGen {
     pub fn generated(&self) -> u64 {
         self.next.saturating_sub(1)
     }
+
+    /// Internal watermark: the index the next fresh null will take.
+    ///
+    /// Capture this before a speculative operation and pass it back to
+    /// [`NullGen::rewind`] to un-draw the nulls generated since — the
+    /// storage-layer undo journal uses this so a rolled-back transaction
+    /// leaves the generator byte-identical to its pre-transaction state.
+    pub fn watermark(&self) -> u64 {
+        self.next
+    }
+
+    /// Rewinds the generator to a previously captured [`NullGen::watermark`].
+    ///
+    /// Only ever rewind to a watermark taken from this generator: the
+    /// indices drawn since the watermark must no longer be referenced
+    /// anywhere (the undo journal guarantees this by removing the rows
+    /// that used them first).
+    pub fn rewind(&mut self, watermark: u64) {
+        debug_assert!(
+            watermark <= self.next,
+            "rewind target {watermark} is ahead of the generator ({})",
+            self.next
+        );
+        self.next = watermark;
+    }
 }
 
 /// A data value: either a concrete [`Atom`] or a [`NullId`]-indexed null.

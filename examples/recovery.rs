@@ -10,7 +10,12 @@
 //!    suffix, and says so in the [`RecoveryReport`];
 //! 3. **crash during checkpoint install** — the snapshot temp file is cut
 //!    short; recovery discards it and replays the segments as if the
-//!    checkpoint had never been attempted.
+//!    checkpoint had never been attempted;
+//! 4. **crash inside an open transaction** — power is lost after `BEGIN`
+//!    and several updates (one savepoint round trip included) but before
+//!    `COMMIT`; recovery discards the whole frame and lands exactly on
+//!    the pre-`BEGIN` state, while an earlier committed transaction
+//!    survives in full.
 //!
 //! ```sh
 //! cargo run --example recovery
@@ -134,6 +139,43 @@ fn main() -> Result<(), FdbError> {
     assert_eq!(report.applied, 20);
     assert!(recovered.database().is_consistent());
 
-    println!("\nall three failure modes recovered cleanly");
+    // ---- 4. crash inside an open transaction ----
+    let disk = Arc::new(SimDisk::new());
+    let committed = {
+        let mut ldb = setup(&disk, "/txn")?;
+        // A committed transaction with a savepoint round trip: only the
+        // enrolment before the savepoint survives the partial rollback.
+        ldb.begin()?;
+        ldb.insert("teach", v("hypatia"), v("astronomy"))?;
+        ldb.savepoint("enrolment")?;
+        ldb.insert("class_list", v("astronomy"), v("synesius"))?;
+        ldb.rollback_to("enrolment")?;
+        ldb.commit()?;
+        let committed = ldb.database().to_snapshot()?;
+
+        // A second transaction is cut down mid-frame: updates are on
+        // disk, but no commit marker ever lands.
+        ldb.begin()?;
+        ldb.insert("teach", v("zeno"), v("paradoxes"))?;
+        ldb.insert("class_list", v("paradoxes"), v("achilles"))?;
+        disk.set_write_budget(Some(disk.total_written() + 20));
+        let err = ldb.insert("teach", v("heraclitus"), v("flux")).unwrap_err();
+        println!("\nopen transaction: crashed with: {err}");
+        committed
+    };
+    disk.revive();
+    let (recovered, report) =
+        LoggedDatabase::open_with(disk.clone() as Arc<dyn WalStorage>, "/txn", config())?;
+    println!(
+        "  uncommitted frame discarded ({} records); recovered state equals the \
+         last committed transaction: {}",
+        report.uncommitted_discarded,
+        recovered.database().to_snapshot()? == committed
+    );
+    assert!(report.uncommitted_discarded > 0);
+    assert_eq!(recovered.database().to_snapshot()?, committed);
+    assert!(recovered.database().is_consistent());
+
+    println!("\nall four failure modes recovered cleanly");
     Ok(())
 }

@@ -17,6 +17,19 @@
 //! fdb> SHOW teach
 //! fdb> QUIT
 //! ```
+//!
+//! Multi-statement transactions group updates atomically — `ABORT` (or
+//! `ROLLBACK`) undoes everything since `BEGIN`, and savepoints give
+//! partial rollback points inside the frame:
+//!
+//! ```text
+//! fdb> BEGIN
+//! fdb> INSERT teach(laplace, math)
+//! fdb> SAVEPOINT before_enrolment
+//! fdb> INSERT class_list(math, bill)
+//! fdb> ROLLBACK TO before_enrolment
+//! fdb> COMMIT
+//! ```
 
 use std::io::{stdin, stdout};
 

@@ -284,6 +284,114 @@ fn chaos_shared_database_overload() {
     assert!(ok.load(Ordering::Relaxed) > 0, "every write was shed");
 }
 
+/// One whole transaction under a single lock hold: begin, a few writes,
+/// then commit or (every fourth round) rollback. On any mid-frame error
+/// the frame is rolled back best-effort so the handle is never left
+/// poisoned for the next holder.
+fn txn_round(ldb: &mut LoggedDatabase, t: usize, i: usize, commit: bool) -> Result<(), FdbError> {
+    ldb.begin()?;
+    let r = (|| {
+        for j in 0..3 {
+            ldb.insert(
+                "teach",
+                v(format!("txn{t}_{i}_{j}")),
+                v(format!("c{}", (i + j) % 4)),
+            )?;
+        }
+        if commit {
+            ldb.commit()
+        } else {
+            ldb.rollback()
+        }
+    })();
+    if r.is_err() && ldb.txn_active() {
+        let _ = ldb.rollback();
+    }
+    r
+}
+
+/// Transactional chaos through `retry_on_overload`: concurrent workers
+/// each run whole BEGIN..COMMIT/ROLLBACK frames under a tight lock
+/// timeout and injected fsync faults, retrying shed attempts with
+/// jittered backoff bounded by the governor's remaining deadline. Every
+/// failure must be typed, committed work must survive replay, and
+/// rolled-back work must leave no trace.
+#[test]
+fn chaos_transactions_with_overload_retry() {
+    let disk = Arc::new(SimDisk::new());
+    let mut ldb = LoggedDatabase::create_with(
+        disk.clone(),
+        "/chaos_txn_db",
+        DurabilityConfig {
+            sync_policy: SyncPolicy::EveryN(4),
+            checkpoint_every: Some(32),
+            segment_max_bytes: 4096,
+        },
+    )
+    .unwrap();
+    ldb.import_schema(&university()).unwrap();
+    let shared = SharedLoggedDatabase::with_policy(
+        ldb,
+        OverloadPolicy {
+            lock_timeout: Duration::from_millis(5),
+            max_inflight_writers: 2,
+        },
+    );
+    for k in 1..8u64 {
+        disk.fail_sync(k * 11);
+    }
+
+    let committed = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let h = shared.clone();
+        let committed = Arc::clone(&committed);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(SEED ^ (0x300 + t as u64));
+            for i in 0..rounds() {
+                let gov = Governor::with_deadline(Duration::from_millis(rng.gen_range(20..120u64)));
+                let commit = i % 4 != 3;
+                match h.retry_on_overload(&gov, 5, |ldb| txn_round(ldb, t, i, commit)) {
+                    Ok(()) => {
+                        if commit {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Exhausted retries, a shed past the deadline, an
+                    // injected fsync fault mid-frame (aborting the
+                    // transaction), or a raw mapped I/O error — all typed.
+                    Err(
+                        FdbError::Overloaded { .. }
+                        | FdbError::DeadlineExceeded(_)
+                        | FdbError::TxnAborted { .. }
+                        | FdbError::Internal(_),
+                    ) => {}
+                    Err(other) => panic!("untyped failure: {other:?}"),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    assert!(shared.is_consistent().unwrap());
+    assert!(
+        committed.load(Ordering::Relaxed) > 0,
+        "every transaction was shed or aborted"
+    );
+    let live = shared.read(|db| db.to_snapshot().unwrap()).unwrap();
+    drop(shared.try_unwrap().expect("last handle"));
+    let (recovered, report) =
+        LoggedDatabase::open_with(disk, "/chaos_txn_db", DurabilityConfig::default()).unwrap();
+    assert!(!recovered.txn_active(), "recovery left a frame open");
+    assert_eq!(
+        recovered.database().to_snapshot().unwrap(),
+        live,
+        "recovered state disagrees with live state ({report:?})"
+    );
+}
+
 /// Disk-fault chaos on the logged shared handle: injected sync failures
 /// and governed syncs racing concurrent writers. Failures must be typed;
 /// whatever survives must replay to the live state.

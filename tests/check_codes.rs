@@ -175,6 +175,101 @@ fn fdb010_derivable() {
 }
 
 #[test]
+fn fdb018_unbalanced_txn() {
+    // COMMIT, ROLLBACK, SAVEPOINT and ROLLBACK TO all need an open BEGIN.
+    for stray in [
+        "COMMIT",
+        "ROLLBACK",
+        "ABORT",
+        "SAVEPOINT s",
+        "ROLLBACK TO s",
+    ] {
+        let ds = diags(&format!("{UNI}{stray}"));
+        let d = ds
+            .iter()
+            .find(|d| d.code == Code::UnbalancedTxn)
+            .unwrap_or_else(|| panic!("FDB018 fires for `{stray}`: {ds:?}"));
+        assert_eq!(d.span.line, 4, "{stray}");
+    }
+    // BEGIN does not nest.
+    let ds = diags(&format!("{UNI}BEGIN\nBEGIN\nCOMMIT"));
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::UnbalancedTxn)
+        .expect("FDB018 fires for nested BEGIN");
+    assert_eq!(d.span.line, 5);
+    // ROLLBACK TO a savepoint that was never set (or was discarded by an
+    // earlier rollback past it).
+    let script =
+        format!("{UNI}BEGIN\nSAVEPOINT a\nSAVEPOINT b\nROLLBACK TO a\nROLLBACK TO b\nCOMMIT");
+    let ds = diags(&script);
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::UnbalancedTxn)
+        .expect("FDB018 fires for discarded savepoint");
+    assert_eq!(d.span.line, 8);
+    assert!(d.message.contains('b'), "{}", d.message);
+    // A balanced transaction with savepoints: silent.
+    let script = format!(
+        "{UNI}BEGIN\nINSERT teach(a, b)\nSAVEPOINT s\nINSERT teach(c, d)\n\
+         ROLLBACK TO s\nROLLBACK TO s\nCOMMIT"
+    );
+    assert!(!codes(&script).contains(&Code::UnbalancedTxn));
+}
+
+#[test]
+fn fdb019_unclosed_txn() {
+    let ds = diags(&format!("{UNI}BEGIN\nINSERT teach(a, b)"));
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::UnclosedTxn)
+        .expect("FDB019 fires");
+    // Anchored at the BEGIN that never closes.
+    assert_eq!(d.span.line, 4);
+    // Committed and rolled-back transactions: silent.
+    for closer in ["COMMIT", "ROLLBACK"] {
+        let script = format!("{UNI}BEGIN\nINSERT teach(a, b)\n{closer}");
+        assert!(!codes(&script).contains(&Code::UnclosedTxn), "{closer}");
+    }
+}
+
+#[test]
+fn rollback_restores_abstract_state() {
+    // The insert inside the rolled-back transaction is gone, so the
+    // later TRUTH is known-false — but over a *sharp* table the analyzer
+    // stays silent (False is not Ambiguous), while the committed twin
+    // keeps the fact.
+    let rolled = format!(
+        "{UNI}DERIVE pupil = teach o class_list\n\
+         INSERT teach(euclid, math)\n\
+         INSERT class_list(math, john)\n\
+         INSERT class_list(math, bill)\n\
+         BEGIN\n\
+         DELETE pupil(euclid, john)\n\
+         ROLLBACK\n\
+         QUERY pupil(euclid)"
+    );
+    // The derived delete demoted chains *inside* the transaction only;
+    // after ROLLBACK the query is exact again — no FDB020.
+    assert!(
+        !codes(&rolled).contains(&Code::GuaranteedAmbiguous),
+        "rollback must restore the abstract tables"
+    );
+    // Without the rollback the same query is guaranteed ambiguous.
+    let committed = format!(
+        "{UNI}DERIVE pupil = teach o class_list\n\
+         INSERT teach(euclid, math)\n\
+         INSERT class_list(math, john)\n\
+         INSERT class_list(math, bill)\n\
+         BEGIN\n\
+         DELETE pupil(euclid, john)\n\
+         COMMIT\n\
+         QUERY pupil(euclid)"
+    );
+    assert!(codes(&committed).contains(&Code::GuaranteedAmbiguous));
+}
+
+#[test]
 fn fdb020_guaranteed_ambiguous() {
     let base = format!(
         "{UNI}DERIVE pupil = teach o class_list\n\

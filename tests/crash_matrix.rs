@@ -20,7 +20,7 @@ use std::sync::Arc;
 use fdb_core::{
     Database, DurabilityConfig, LoggedDatabase, SimDisk, SyncPolicy, Update, WalStorage,
 };
-use fdb_types::{Derivation, Functionality, Schema, Step};
+use fdb_types::{Derivation, Functionality, Schema, Step, Value};
 use fdb_workload::{update_stream, UpdateStreamConfig};
 
 const DIR: &str = "/crash_db";
@@ -224,4 +224,335 @@ fn crash_matrix_every_record_boundary_and_one_record_bytewise() {
     let (seq, snapshot) = crash_and_recover(&stream, 0);
     assert_eq!(seq, 0);
     assert_eq!(snapshot, snapshots[0]);
+}
+
+// ---------------------------------------------------------------------
+// Transactional crash matrix: the same torn-write exhaustion, but with
+// the workload wrapped in BEGIN/SAVEPOINT/ROLLBACK/COMMIT frames. The
+// invariant sharpens from "some prefix state" to *atomicity*: recovery
+// must land on the pre-BEGIN or post-COMMIT state of some transaction,
+// never between.
+
+/// One step of the transactional workload script.
+enum TxnStep<'a> {
+    Begin,
+    Commit,
+    Rollback,
+    Savepoint(&'a str),
+    RollbackTo(&'a str),
+    Update(&'a Update),
+}
+
+/// Wraps the update stream into transactions of six updates each. Every
+/// fifth chunk sets a mid-chunk savepoint and partially rolls back before
+/// committing (so recovery must replay a committed partial rollback), and
+/// every fourth is rolled back wholesale (so its records must never
+/// surface).
+fn txn_script(stream: &[Update]) -> Vec<TxnStep<'_>> {
+    let mut steps = Vec::new();
+    for (i, chunk) in stream.chunks(6).enumerate() {
+        steps.push(TxnStep::Begin);
+        match i % 5 {
+            3 => {
+                let mid = chunk.len() / 2;
+                for u in &chunk[..mid] {
+                    steps.push(TxnStep::Update(u));
+                }
+                steps.push(TxnStep::Savepoint("s"));
+                for u in &chunk[mid..] {
+                    steps.push(TxnStep::Update(u));
+                }
+                steps.push(TxnStep::RollbackTo("s"));
+                steps.push(TxnStep::Commit);
+            }
+            4 => {
+                for u in chunk {
+                    steps.push(TxnStep::Update(u));
+                }
+                steps.push(TxnStep::Rollback);
+            }
+            _ => {
+                for u in chunk {
+                    steps.push(TxnStep::Update(u));
+                }
+                steps.push(TxnStep::Commit);
+            }
+        }
+    }
+    steps
+}
+
+/// Drives the schema setup plus the transactional script, invoking
+/// `after(seq, &ldb)` once per logged record (every step logs exactly
+/// one). Returns once the disk crashes; skips semantic update failures.
+fn drive_txn(
+    disk: &Arc<SimDisk>,
+    steps: &[TxnStep<'_>],
+    mut after: impl FnMut(u64, &LoggedDatabase),
+) {
+    let storage: Arc<dyn WalStorage> = disk.clone();
+    let mut ldb = match LoggedDatabase::create_with(storage, dir(), config()) {
+        Ok(ldb) => ldb,
+        Err(_) => {
+            assert!(disk.crashed(), "create failed without a crash");
+            return;
+        }
+    };
+    let mut seq = 0u64;
+    for (name, dom, rng) in [
+        ("teach", "faculty", "course"),
+        ("class_list", "course", "student"),
+        ("pupil", "faculty", "student"),
+    ] {
+        if ldb
+            .declare(name, dom, rng, Functionality::ManyMany)
+            .is_err()
+        {
+            assert!(disk.crashed(), "declare failed without a crash");
+            return;
+        }
+        seq += 1;
+        after(seq, &ldb);
+    }
+    if ldb
+        .derive("pupil", &[("teach", false), ("class_list", false)])
+        .is_err()
+    {
+        assert!(disk.crashed(), "derive failed without a crash");
+        return;
+    }
+    seq += 1;
+    after(seq, &ldb);
+    for step in steps {
+        let result = match step {
+            TxnStep::Begin => ldb.begin(),
+            TxnStep::Commit => ldb.commit(),
+            TxnStep::Rollback => ldb.rollback(),
+            TxnStep::Savepoint(name) => ldb.savepoint(name),
+            TxnStep::RollbackTo(name) => ldb.rollback_to(name),
+            TxnStep::Update(update) => ldb.apply_update(update),
+        };
+        match result {
+            Ok(()) => {
+                seq += 1;
+                after(seq, &ldb);
+            }
+            Err(_) if disk.crashed() => return,
+            Err(_) => {
+                // Semantic update failure: unlogged, state unchanged.
+                assert!(
+                    matches!(step, TxnStep::Update(_)),
+                    "transaction control failed on a healthy disk"
+                );
+            }
+        }
+    }
+}
+
+/// Runs the transactional script against a budget-limited disk, recovers
+/// from the truncated image, and returns the recovered snapshot.
+fn txn_crash_and_recover(steps: &[TxnStep<'_>], budget: u64) -> String {
+    let disk = Arc::new(SimDisk::new());
+    disk.set_write_budget(Some(budget));
+    drive_txn(&disk, steps, |_, _| {});
+    disk.revive();
+    let (recovered, report) =
+        LoggedDatabase::open_with(disk.clone() as Arc<dyn WalStorage>, dir(), config())
+            .unwrap_or_else(|e| panic!("txn recovery failed at budget {budget}: {e}"));
+    assert!(
+        !report.damaged(),
+        "torn transactional write reported as interior damage at budget {budget}: {report:?}"
+    );
+    assert!(
+        !recovered.txn_active(),
+        "recovery left a transaction frame open at budget {budget}"
+    );
+    assert!(
+        recovered.database().is_consistent(),
+        "inconsistent recovered state at budget {budget}"
+    );
+    recovered.database().to_snapshot().unwrap()
+}
+
+#[test]
+fn txn_crash_matrix_every_record_boundary() {
+    let stream = workload();
+    let steps = txn_script(&stream);
+    let updates = steps
+        .iter()
+        .filter(|s| matches!(s, TxnStep::Update(_)))
+        .count();
+    assert!(
+        updates >= 200,
+        "transactional workload must cover >=200 updates"
+    );
+
+    // Pass 1: uncut run. After every logged record, note the disk
+    // high-water mark and the state recovery *must* reproduce there: the
+    // live state when no frame is open, else the pre-BEGIN state (an
+    // uncommitted frame is discarded at recovery).
+    let disk = Arc::new(SimDisk::new());
+    let mut bounds: Vec<u64> = Vec::new(); // bounds[k-1] = bytes after record k
+    let mut expected: Vec<String> = Vec::new(); // expected[k-1] = recovery target after record k
+    let mut committed = Database::new(Schema::new()).to_snapshot().unwrap();
+    drive_txn(&disk, &steps, |seq, ldb| {
+        assert_eq!(seq as usize, bounds.len() + 1);
+        bounds.push(disk.total_written());
+        if !ldb.txn_active() {
+            committed = ldb.database().to_snapshot().unwrap();
+        }
+        expected.push(committed.clone());
+    });
+    let records = bounds.len() as u64;
+    assert!(records > updates as u64, "control records missing");
+
+    // The workload must still exercise NCs and nulls after the rolled-back
+    // chunks are discarded.
+    let (recovered, _) =
+        LoggedDatabase::open_with(disk.clone() as Arc<dyn WalStorage>, dir(), config()).unwrap();
+    let final_stats = recovered.database().stats();
+    assert!(
+        final_stats.ncs > 0,
+        "transactional workload produced no NCs"
+    );
+    assert!(
+        final_stats.null_facts > 0,
+        "transactional workload produced no nulls"
+    );
+    assert_eq!(
+        recovered.database().to_snapshot().unwrap(),
+        expected[(records - 1) as usize],
+        "uncut transactional recovery mismatch"
+    );
+    drop(recovered);
+
+    // Pass 2: cut at every record boundary. Atomicity: the recovered
+    // state is exactly the last committed state at that boundary — the
+    // pre-BEGIN state while a frame was open, the post-COMMIT state
+    // otherwise — never anything in between.
+    for k in 1..=records {
+        let snapshot = txn_crash_and_recover(&steps, bounds[(k - 1) as usize]);
+        assert_eq!(
+            snapshot,
+            expected[(k - 1) as usize],
+            "boundary cut after record {k}: recovered state is neither pre-BEGIN nor post-COMMIT"
+        );
+    }
+
+    // Pass 3: cut at every byte offset inside one sampled COMMIT record.
+    // Tearing the commit marker discards the whole frame (pre-BEGIN);
+    // surviving it (admin bytes after the frame) lands post-COMMIT.
+    let k = {
+        // Record index of a mid-stream COMMIT: setup contributes 4
+        // records, then one per step.
+        let mut commits: Vec<u64> = steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, TxnStep::Commit))
+            .map(|(i, _)| 4 + i as u64 + 1)
+            .collect();
+        commits.truncate(commits.len() / 2);
+        *commits.last().expect("script has commits")
+    };
+    let (lo, hi) = (bounds[(k - 2) as usize], bounds[(k - 1) as usize]);
+    assert!(hi > lo, "sampled commit wrote no bytes");
+    for budget in lo + 1..hi {
+        let snapshot = txn_crash_and_recover(&steps, budget);
+        assert!(
+            snapshot == expected[(k - 2) as usize] || snapshot == expected[(k - 1) as usize],
+            "byte cut at {budget} inside commit record {k}: \
+             recovered state is neither pre-BEGIN nor post-COMMIT"
+        );
+    }
+}
+
+#[test]
+fn txn_commit_fsync_fault_aborts_and_recovery_agrees() {
+    let disk = Arc::new(SimDisk::new());
+    let storage: Arc<dyn WalStorage> = disk.clone();
+    let mut ldb = LoggedDatabase::create_with(storage, dir(), config()).unwrap();
+    ldb.declare("teach", "faculty", "course", Functionality::ManyMany)
+        .unwrap();
+    ldb.insert("teach", Value::atom("euclid"), Value::atom("math"))
+        .unwrap();
+    let pre = ldb.database().to_snapshot().unwrap();
+
+    // The commit's force-fsync fails: the all-or-nothing contract demands
+    // the live state roll back too, with a typed error and no panic.
+    ldb.begin().unwrap();
+    ldb.insert("teach", Value::atom("turing"), Value::atom("cs"))
+        .unwrap();
+    disk.fail_sync(1);
+    assert!(ldb.commit().is_err(), "commit must surface the sync fault");
+    assert!(!ldb.txn_active(), "failed commit must close the frame");
+    assert_eq!(ldb.database().to_snapshot().unwrap(), pre);
+
+    // The database stays usable: a fresh transaction commits fine.
+    ldb.begin().unwrap();
+    ldb.insert("teach", Value::atom("noether"), Value::atom("algebra"))
+        .unwrap();
+    ldb.commit().unwrap();
+    let live = ldb.database().to_snapshot().unwrap();
+    drop(ldb);
+
+    let (recovered, report) =
+        LoggedDatabase::open_with(disk as Arc<dyn WalStorage>, dir(), config()).unwrap();
+    assert!(!report.damaged(), "{report:?}");
+    assert_eq!(recovered.database().to_snapshot().unwrap(), live);
+}
+
+#[test]
+fn txn_soak_with_fsync_faults() {
+    // The transactional script under sporadic injected fsync failures: a
+    // fault inside a frame aborts that transaction (typed, no panic); the
+    // driver keeps going; recovery of the intact image must agree with
+    // the live survivor state exactly.
+    let stream = workload();
+    let steps = txn_script(&stream);
+    for fault_round in 0u64..5 {
+        let disk = Arc::new(SimDisk::new());
+        for j in 0..8u64 {
+            disk.fail_sync(11 + fault_round * 7 + j * 53);
+        }
+        let storage: Arc<dyn WalStorage> = disk.clone();
+        let mut ldb = LoggedDatabase::create_with(storage, dir(), config()).unwrap();
+        for (name, dom, rng) in [
+            ("teach", "faculty", "course"),
+            ("class_list", "course", "student"),
+            ("pupil", "faculty", "student"),
+        ] {
+            let _ = ldb.declare(name, dom, rng, Functionality::ManyMany);
+        }
+        let _ = ldb.derive("pupil", &[("teach", false), ("class_list", false)]);
+        for step in &steps {
+            // Every failure must be typed; a fault mid-frame aborts the
+            // transaction, so later steps of that chunk may legitimately
+            // report "without an open transaction" — also typed.
+            let _ = match step {
+                TxnStep::Begin => ldb.begin(),
+                TxnStep::Commit => ldb.commit(),
+                TxnStep::Rollback => ldb.rollback(),
+                TxnStep::Savepoint(name) => ldb.savepoint(name),
+                TxnStep::RollbackTo(name) => ldb.rollback_to(name),
+                TxnStep::Update(update) => ldb.apply_update(update),
+            };
+        }
+        if ldb.txn_active() {
+            let _ = ldb.rollback();
+        }
+        assert!(ldb.database().is_consistent());
+        let live = ldb.database().to_snapshot().unwrap();
+        drop(ldb);
+        let (recovered, report) =
+            LoggedDatabase::open_with(disk as Arc<dyn WalStorage>, dir(), config())
+                .unwrap_or_else(|e| panic!("soak round {fault_round}: recovery failed: {e}"));
+        assert!(!report.damaged(), "soak round {fault_round}: {report:?}");
+        assert!(!recovered.txn_active());
+        assert!(recovered.database().is_consistent());
+        assert_eq!(
+            recovered.database().to_snapshot().unwrap(),
+            live,
+            "soak round {fault_round}: recovery disagrees with survivor state"
+        );
+    }
 }

@@ -95,6 +95,41 @@ fn explain_analyze_golden_output_on_example_1() {
     );
 }
 
+#[test]
+fn txn_counters_track_transaction_lifecycle() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let mut e = university();
+    let get = |key: &str| {
+        obs::registry()
+            .snapshot()
+            .counters
+            .iter()
+            .find(|c| c.key == key)
+            .map(|c| c.value)
+            .unwrap_or_else(|| panic!("registry has no counter {key}"))
+    };
+    let (b0, c0, r0, s0) = (
+        get("fdb.txn.begins"),
+        get("fdb.txn.commits"),
+        get("fdb.txn.rollbacks"),
+        get("fdb.txn.savepoint_rollbacks"),
+    );
+    e.execute_line("BEGIN").unwrap();
+    e.execute_line("INSERT teach(noether, algebra)").unwrap();
+    e.execute_line("SAVEPOINT s").unwrap();
+    e.execute_line("INSERT teach(noether, logic)").unwrap();
+    e.execute_line("ROLLBACK TO s").unwrap();
+    e.execute_line("COMMIT").unwrap();
+    e.execute_line("BEGIN").unwrap();
+    e.execute_line("INSERT teach(galois, groups)").unwrap();
+    e.execute_line("ROLLBACK").unwrap();
+    assert_eq!(get("fdb.txn.begins"), b0 + 2);
+    assert_eq!(get("fdb.txn.commits"), c0 + 1);
+    assert_eq!(get("fdb.txn.rollbacks"), r0 + 1);
+    assert_eq!(get("fdb.txn.savepoint_rollbacks"), s0 + 1);
+}
+
 /// Statement vocabulary for the random sequences: a mix of reads, writes,
 /// introspection and one guaranteed parse error.
 const VOCAB: &[&str] = &[
@@ -114,6 +149,14 @@ const VOCAB: &[&str] = &[
     "CHECK",
     "STATS",
     "THIS IS NOT A STATEMENT (",
+    // Transaction control — sequences are rarely balanced, so these also
+    // exercise the typed unbalanced-transaction errors (counted, like any
+    // other semantic failure).
+    "BEGIN",
+    "SAVEPOINT s",
+    "ROLLBACK TO s",
+    "ROLLBACK",
+    "COMMIT",
 ];
 
 proptest! {

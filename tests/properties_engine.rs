@@ -2,9 +2,11 @@
 //! through the full stack must preserve consistency, snapshot round-trip
 //! fidelity, WAL-replay equivalence and transaction atomicity.
 
+use std::time::Duration;
+
 use proptest::prelude::*;
 
-use fdb::core::{replay, Database, LogRecord, Update, Wal};
+use fdb::core::{replay, Budget, Database, Governor, LogRecord, Update, Wal};
 use fdb::storage::Truth;
 use fdb::types::{Derivation, Schema, Step, Value};
 use fdb::workload::{update_stream, UpdateStreamConfig};
@@ -163,6 +165,61 @@ proptest! {
         });
         prop_assert!(db.apply_all(batch).is_err());
         prop_assert_eq!(db.to_snapshot().unwrap(), before);
+    }
+
+    /// A rolled-back transaction is a transaction that never happened:
+    /// after `BEGIN; ops; ROLLBACK` the store serializes byte-identically
+    /// to the control that never ran the ops — same truth tables, same NC
+    /// ids, same null-generator watermark — with a mid-flight savepoint
+    /// round trip and governed derived reads under a random (possibly
+    /// already-expired) deadline thrown in for interference.
+    #[test]
+    fn rollback_is_byte_identical_to_never_running(
+        seed in 0u64..10_000,
+        prefix in 0usize..25,
+        len in 2usize..40,
+        budget_ms in 0u64..3,
+    ) {
+        let mut db = university();
+        // A committed prefix first, so the rollback has to preserve a
+        // non-trivial baseline (existing NCs, nulls, tombstones).
+        for u in stream_for(&db, seed ^ 0x5EED, prefix) {
+            db.apply(u).unwrap();
+        }
+        let control = db.to_snapshot().unwrap();
+        let pupil = db.resolve("pupil").unwrap();
+
+        db.txn_begin().unwrap();
+        for (i, u) in stream_for(&db, seed, len).into_iter().enumerate() {
+            if i == len / 2 {
+                db.txn_savepoint("s").unwrap();
+            }
+            if i == len / 2 + len / 4 && i > len / 2 {
+                db.txn_rollback_to("s").unwrap();
+            }
+            // Governed reads inside the transaction: whether they finish
+            // or stop exhausted, they must not perturb the store.
+            if i % 5 == 0 {
+                let gov = Governor::new(
+                    Budget::unbounded().with_deadline(Duration::from_millis(budget_ms)),
+                );
+                let _ = db.truth_governed(
+                    pupil,
+                    &Value::atom("faculty#0"),
+                    &Value::atom("student#0"),
+                    &gov,
+                );
+                let _ = db.extension_governed(pupil, &gov);
+            }
+            // Semantic failures are fine — they leave no trace either.
+            let _ = db.apply(u);
+            prop_assert!(db.is_consistent());
+        }
+        prop_assert!(db.txn_active());
+        db.txn_rollback().unwrap();
+        prop_assert!(!db.txn_active());
+        prop_assert_eq!(db.to_snapshot().unwrap(), control);
+        prop_assert!(db.is_consistent());
     }
 
     /// Derived truth is monotone under base inserts of chain links: adding

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use fdb::core::wal::{scan, LogRecord};
+use fdb::core::wal::{crc32, encode_frame, scan, LogRecord};
 use fdb::core::{
     DurabilityConfig, LoggedDatabase, SharedLoggedDatabase, SimDisk, SyncPolicy, Wal, WalStorage,
 };
@@ -129,6 +129,69 @@ proptest! {
         for (i, (seq, got)) in scanned.records.iter().enumerate() {
             prop_assert_eq!(*seq, i as u64 + 1);
             prop_assert_eq!(got, &records[i]);
+        }
+    }
+
+    /// A record written by a newer version — valid JSON, unknown type —
+    /// is skipped with a warning, never an error, in both log formats
+    /// and wherever it lands among known records.
+    #[test]
+    fn unknown_record_types_are_skipped_in_both_formats(seed in 0u64..10_000, len in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<LogRecord> = (0..len).map(|_| arb_record(&mut rng)).collect();
+        let at = rng.gen_range(0..=records.len());
+        let future = br#"{"Vacuum":{"aggressive":true}}"#;
+
+        // v2: splice in a CRC-valid frame carrying the future payload.
+        let disk = Arc::new(SimDisk::new());
+        let path = std::path::Path::new("/unknown_v2.wal");
+        {
+            let mut wal = Wal::create_on(disk.clone() as Arc<dyn WalStorage>, path, 1).unwrap();
+            for r in &records[..at] {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        {
+            let mut checked = Vec::new();
+            checked.extend_from_slice(&(at as u64 + 1).to_le_bytes());
+            checked.extend_from_slice(future);
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(future.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(&checked).to_le_bytes());
+            frame.extend_from_slice(&checked);
+            let mut f = disk.open_append(path).unwrap();
+            f.append(&frame).unwrap();
+            for (i, r) in records[at..].iter().enumerate() {
+                f.append(&encode_frame(at as u64 + 2 + i as u64, r).unwrap()).unwrap();
+            }
+        }
+        let scanned = scan(&disk.read(path).unwrap(), 1);
+        prop_assert!(scanned.flaw.is_none(), "v2 skip became a flaw: {:?}", scanned.flaw);
+        prop_assert_eq!(scanned.skipped, 1);
+        prop_assert_eq!(scanned.records.len(), records.len());
+        for ((_, got), want) in scanned.records.iter().zip(&records) {
+            prop_assert_eq!(got, want);
+        }
+
+        // v1 legacy: the same future payload as a plain JSON line.
+        let mut bytes = Vec::new();
+        for r in &records[..at] {
+            bytes.extend_from_slice(serde_json::to_string(r).unwrap().as_bytes());
+            bytes.push(b'\n');
+        }
+        bytes.extend_from_slice(future);
+        bytes.push(b'\n');
+        for r in &records[at..] {
+            bytes.extend_from_slice(serde_json::to_string(r).unwrap().as_bytes());
+            bytes.push(b'\n');
+        }
+        let scanned = scan(&bytes, 1);
+        prop_assert!(scanned.flaw.is_none(), "v1 skip became a flaw: {:?}", scanned.flaw);
+        prop_assert_eq!(scanned.skipped, 1);
+        prop_assert_eq!(scanned.records.len(), records.len());
+        for ((_, got), want) in scanned.records.iter().zip(&records) {
+            prop_assert_eq!(got, want);
         }
     }
 
