@@ -52,6 +52,9 @@ pub struct CheckConfig {
     /// Abstract chain evaluation gives up (returning "unknown", which
     /// mutes the three-valued lints) after this many frontier expansions.
     pub max_abstract_expansions: usize,
+    /// `true` when the script is declared `-- mode: replica`: every
+    /// statement a read-only replica engine refuses raises `FDB040`.
+    pub replica_mode: bool,
 }
 
 impl Default for CheckConfig {
@@ -59,8 +62,34 @@ impl Default for CheckConfig {
         CheckConfig {
             chain_budget: 10_000.0,
             max_abstract_expansions: 4096,
+            replica_mode: false,
         }
     }
+}
+
+/// Detects the `-- mode: replica` marker in a script's leading comment
+/// block. Blank lines are allowed before and between comments; the first
+/// real statement ends the search, so the marker cannot be buried
+/// mid-script where a reader would miss it.
+pub fn detect_replica_mode(text: &str) -> bool {
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let Some(rest) = t.strip_prefix("--") else {
+            return false;
+        };
+        let body = rest
+            .to_ascii_lowercase()
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ");
+        if body == "mode: replica" || body == "mode:replica" {
+            return true;
+        }
+    }
+    false
 }
 
 /// Analyzes a whole script. Pure with respect to any database: the only
@@ -298,6 +327,32 @@ impl<'a> Analyzer<'a> {
     // ---- the visitor ----
 
     fn visit(&mut self, stmt: &CheckStmt) {
+        // FDB040 fires independently of the abstract interpretation — a
+        // replica engine refuses a write no matter what came before it,
+        // so an open world does not mute this lint.
+        if self.cfg.replica_mode {
+            if let CheckStmt::Declare { keyword, .. }
+            | CheckStmt::Derive { keyword, .. }
+            | CheckStmt::Insert { keyword, .. }
+            | CheckStmt::Delete { keyword, .. }
+            | CheckStmt::Replace { keyword, .. }
+            | CheckStmt::Resolve { keyword }
+            | CheckStmt::Txn { keyword, .. } = stmt
+            {
+                self.diags.push(
+                    Diagnostic::new(
+                        Code::ReplicaWrite,
+                        *keyword,
+                        "write statement in a replica-mode script: a read-only \
+                         replica engine refuses this at runtime",
+                    )
+                    .with_hint(
+                        "run this script on the primary, or PROMOTE the replica \
+                         before writing",
+                    ),
+                );
+            }
+        }
         if self.open_world {
             return;
         }

@@ -49,7 +49,8 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. `FDB00x` = resolution/well-formedness errors,
 /// `FDB01x` = transaction-structure lints, `FDB02x` = three-valued-logic
-/// lints, `FDB03x` = cost/feasibility lints.
+/// lints, `FDB03x` = cost/feasibility lints, `FDB04x` = deployment-mode
+/// lints (replica scripts).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// FDB000 — the line does not parse at all (CLI front end only).
@@ -100,11 +101,14 @@ pub enum Code {
     /// the Unique Form Assumption, design analysis over cycles can be
     /// exponential.
     CycleWithoutUfa,
+    /// FDB040 — a write statement in a script declared `-- mode: replica`:
+    /// a read-only replica engine refuses it at runtime.
+    ReplicaWrite,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 19] = [
+    pub const ALL: [Code; 20] = [
         Code::Syntax,
         Code::UndefinedFunction,
         Code::DuplicateDeclare,
@@ -124,6 +128,7 @@ impl Code {
         Code::DeadWrite,
         Code::ChainBudget,
         Code::CycleWithoutUfa,
+        Code::ReplicaWrite,
     ];
 
     /// The stable code string, e.g. `FDB001`.
@@ -148,6 +153,7 @@ impl Code {
             Code::DeadWrite => "FDB023",
             Code::ChainBudget => "FDB030",
             Code::CycleWithoutUfa => "FDB031",
+            Code::ReplicaWrite => "FDB040",
         }
     }
 
@@ -163,7 +169,8 @@ impl Code {
             | Code::SelfReferential
             | Code::StepThroughDerived
             | Code::ShadowsFacts
-            | Code::UnbalancedTxn => Severity::Error,
+            | Code::UnbalancedTxn
+            | Code::ReplicaWrite => Severity::Error,
             Code::UnclosedTxn
             | Code::GuaranteedAmbiguous
             | Code::GuaranteedConflict
@@ -196,6 +203,7 @@ impl Code {
             Code::DeadWrite => "fact inserted and deleted without a read",
             Code::ChainBudget => "estimated chain count exceeds budget",
             Code::CycleWithoutUfa => "declaration closes a function-graph cycle",
+            Code::ReplicaWrite => "write statement in replica-mode script",
         }
     }
 }
@@ -383,7 +391,7 @@ mod tests {
             assert!(c.as_str().starts_with("FDB"));
             assert_eq!(c.as_str().len(), 6);
         }
-        assert_eq!(Code::ALL.len(), 19);
+        assert_eq!(Code::ALL.len(), 20);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `FDB02x` | three-valued abstract interpretation  | warn     |
 //! | `FDB030` | cost/feasibility (via `fdb-exec`)     | warn     |
 //! | `FDB031` | cycle closed without the UFA          | info     |
+//! | `FDB040` | write in a `-- mode: replica` script  | error    |
 //!
 //! Entry points: [`analyze_script`] over a [`CheckStmt`] list (the
 //! spanned IR that `fdb-lang` lowers its AST into) and [`analyze_schema`]
@@ -34,7 +35,7 @@ pub mod diag;
 pub mod sarif;
 pub mod script;
 
-pub use analyzer::{analyze_schema, analyze_script, CheckConfig};
+pub use analyzer::{analyze_schema, analyze_script, detect_replica_mode, CheckConfig};
 pub use baseline::{baseline_key, Baseline};
 pub use diag::{
     render_content, render_json, render_text, sort_diagnostics, summary_line, tally, Code,

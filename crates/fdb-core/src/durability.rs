@@ -86,19 +86,94 @@ struct CheckpointDoc {
     seq: u64,
     /// [`Database::to_snapshot`] output.
     snapshot: String,
+    /// Replication term in force when the checkpoint was taken. Absent
+    /// in pre-replication checkpoints (defaults to the initial term 1).
+    #[serde(default = "initial_term")]
+    term: u64,
 }
 
-fn segment_name(first_seq: u64) -> String {
+/// The term a log starts life under (before any failover promotion).
+fn initial_term() -> u64 {
+    1
+}
+
+/// The WAL segment file name for a segment whose first record is
+/// `first_seq` (the layout contract replication mirrors on replicas).
+pub fn segment_name(first_seq: u64) -> String {
     format!("wal-{first_seq:010}.seg")
 }
 
-fn segment_first_seq(path: &Path) -> Option<u64> {
+/// Parses a segment file's first sequence number from its name; `None`
+/// for paths that are not WAL segments.
+pub fn segment_first_seq(path: &Path) -> Option<u64> {
     path.file_name()?
         .to_str()?
         .strip_prefix("wal-")?
         .strip_suffix(".seg")?
         .parse()
         .ok()
+}
+
+/// An installed checkpoint's contents, exposed so a replication source
+/// can seed a replica that is behind the earliest retained segment.
+#[derive(Clone, Debug)]
+pub struct CheckpointInfo {
+    /// Highest sequence number the snapshot covers.
+    pub seq: u64,
+    /// Replication term in force when the checkpoint was taken.
+    pub term: u64,
+    /// [`Database::to_snapshot`] output.
+    pub snapshot: String,
+}
+
+/// Reads the installed checkpoint in `dir`, if any.
+pub fn read_checkpoint(storage: &dyn WalStorage, dir: &Path) -> Result<Option<CheckpointInfo>> {
+    let ckpt = dir.join(CHECKPOINT);
+    if !storage.is_file(&ckpt) {
+        return Ok(None);
+    }
+    let bytes = storage
+        .read(&ckpt)
+        .map_err(|e| io_err("read checkpoint", e))?;
+    let text = std::str::from_utf8(&bytes)
+        .map_err(|e| FdbError::Internal(format!("wal: checkpoint not UTF-8: {e}")))?;
+    let doc: CheckpointDoc = serde_json::from_str(text)
+        .map_err(|e| FdbError::Internal(format!("wal: checkpoint corrupt: {e}")))?;
+    Ok(Some(CheckpointInfo {
+        seq: doc.seq,
+        term: doc.term,
+        snapshot: doc.snapshot,
+    }))
+}
+
+/// Atomically installs a checkpoint document in `dir` (write to a temp
+/// file, fsync, rename into place, fsync the directory) — the same
+/// protocol [`LoggedDatabase::checkpoint`] uses, exposed so a replica can
+/// install a seed snapshot in its local copy of the log.
+pub fn install_checkpoint(
+    storage: &dyn WalStorage,
+    dir: &Path,
+    info: &CheckpointInfo,
+) -> Result<()> {
+    let doc = CheckpointDoc {
+        seq: info.seq,
+        snapshot: info.snapshot.clone(),
+        term: info.term,
+    };
+    let json = serde_json::to_string(&doc)
+        .map_err(|e| FdbError::Internal(format!("wal: serialise checkpoint: {e}")))?;
+    let tmp = dir.join(CHECKPOINT_TMP);
+    let mut f = storage
+        .create(&tmp)
+        .map_err(|e| io_err("create checkpoint.tmp", e))?;
+    f.append(json.as_bytes())
+        .map_err(|e| io_err("write checkpoint", e))?;
+    f.sync().map_err(|e| io_err("sync checkpoint", e))?;
+    drop(f);
+    storage
+        .rename(&tmp, &dir.join(CHECKPOINT))
+        .map_err(|e| io_err("install checkpoint", e))?;
+    storage.sync_dir(dir).map_err(|e| io_err("sync dir", e))
 }
 
 /// Scans `path`, and if a flaw is found moves the damaged suffix into
@@ -156,6 +231,11 @@ pub struct LoggedDatabase {
     open_txn: Option<u64>,
     /// Monotonic id source for transaction frames.
     next_txn_id: u64,
+    /// Current replication term (epoch). Starts at 1; failover promotion
+    /// bumps it via [`LoggedDatabase::start_term`], stamping a
+    /// [`LogRecord::NewTerm`] into the log so shipped batches carry the
+    /// new term and a resurrected old primary's frames are rejected.
+    term: u64,
 }
 
 impl LoggedDatabase {
@@ -202,6 +282,7 @@ impl LoggedDatabase {
             legacy: false,
             open_txn: None,
             next_txn_id: 1,
+            term: initial_term(),
         })
     }
 
@@ -234,6 +315,7 @@ impl LoggedDatabase {
         let mut report = RecoveryReport::default();
         let mut db = Database::new(fdb_types::Schema::new());
         let mut base_seq = 0u64;
+        let mut term = initial_term();
 
         // A leftover temp file is an interrupted (never installed)
         // checkpoint; discard it.
@@ -244,19 +326,12 @@ impl LoggedDatabase {
                 .map_err(|e| io_err("remove stale checkpoint.tmp", e))?;
         }
 
-        let ckpt = dir.join(CHECKPOINT);
-        if storage.is_file(&ckpt) {
-            let bytes = storage
-                .read(&ckpt)
-                .map_err(|e| io_err("read checkpoint", e))?;
-            let text = std::str::from_utf8(&bytes)
-                .map_err(|e| FdbError::Internal(format!("wal: checkpoint not UTF-8: {e}")))?;
-            let doc: CheckpointDoc = serde_json::from_str(text)
-                .map_err(|e| FdbError::Internal(format!("wal: checkpoint corrupt: {e}")))?;
-            db = Database::from_snapshot(&doc.snapshot)?;
-            base_seq = doc.seq;
-            report.checkpoint_seq = Some(doc.seq);
-            report.last_seq = Some(doc.seq);
+        if let Some(info) = read_checkpoint(storage.as_ref(), &dir)? {
+            db = Database::from_snapshot(&info.snapshot)?;
+            base_seq = info.seq;
+            term = info.term;
+            report.checkpoint_seq = Some(info.seq);
+            report.last_seq = Some(info.seq);
         }
 
         let mut segments: Vec<(u64, PathBuf)> = storage
@@ -294,6 +369,9 @@ impl LoggedDatabase {
             for (seq, record) in &scanned.records {
                 if *seq <= base_seq {
                     continue; // already covered by the checkpoint
+                }
+                if let LogRecord::NewTerm { term: t } = record {
+                    term = term.max(*t);
                 }
                 report.applied += replayer.feed(&mut db, record)?;
                 report.last_seq = Some(*seq);
@@ -352,6 +430,7 @@ impl LoggedDatabase {
                 legacy: false,
                 open_txn: None,
                 next_txn_id,
+                term,
             },
             report,
         ))
@@ -373,7 +452,11 @@ impl LoggedDatabase {
             ..RecoveryReport::default()
         };
         let mut replayer = TxnReplayer::new();
+        let mut term = initial_term();
         for (seq, record) in &scanned.records {
+            if let LogRecord::NewTerm { term: t } = record {
+                term = term.max(*t);
+            }
             report.applied += replayer.feed(&mut db, record)?;
             report.last_seq = Some(*seq);
         }
@@ -411,6 +494,7 @@ impl LoggedDatabase {
                 legacy: true,
                 open_txn: None,
                 next_txn_id,
+                term,
             },
             report,
         ))
@@ -421,9 +505,21 @@ impl LoggedDatabase {
         &self.db
     }
 
+    /// Consumes the logged database, returning the in-memory database
+    /// (the log directory is left intact on disk).
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
     /// The log directory (or the legacy file's parent).
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The storage layer this log writes through (a replication source
+    /// over the same directory must read through the same storage).
+    pub fn storage(&self) -> Arc<dyn WalStorage> {
+        Arc::clone(&self.storage)
     }
 
     /// Current durability configuration.
@@ -445,6 +541,36 @@ impl LoggedDatabase {
     /// none).
     pub fn checkpoint_seq(&self) -> u64 {
         self.checkpoint_seq
+    }
+
+    /// The replication term (epoch) this log is writing under. 1 until a
+    /// failover promotion bumps it.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Starts a new replication term: appends a durable
+    /// [`LogRecord::NewTerm`] and adopts `term` for all subsequent
+    /// records. Refused unless `term` is strictly greater than the
+    /// current one (terms are a fence, not a clock to rewind) or while a
+    /// transaction frame is open.
+    pub fn start_term(&mut self, term: u64) -> Result<()> {
+        if term <= self.term {
+            return Err(FdbError::Internal(format!(
+                "wal: cannot start term {term}: current term is {}",
+                self.term
+            )));
+        }
+        if self.open_txn.is_some() {
+            return Err(FdbError::TxnControl(
+                "cannot start a term inside an open transaction".to_owned(),
+            ));
+        }
+        self.wal.append(&LogRecord::NewTerm { term })?;
+        self.wal.sync()?;
+        self.unsynced = 0;
+        self.term = term;
+        Ok(())
     }
 
     fn logged(&mut self, record: LogRecord) -> Result<()> {
@@ -546,27 +672,12 @@ impl LoggedDatabase {
         }
         self.sync()?;
         let seq = self.last_seq();
-        let doc = CheckpointDoc {
+        let info = CheckpointInfo {
             seq,
+            term: self.term,
             snapshot: self.db.to_snapshot()?,
         };
-        let json = serde_json::to_string(&doc)
-            .map_err(|e| FdbError::Internal(format!("wal: serialise checkpoint: {e}")))?;
-        let tmp = self.dir.join(CHECKPOINT_TMP);
-        let mut f = self
-            .storage
-            .create(&tmp)
-            .map_err(|e| io_err("create checkpoint.tmp", e))?;
-        f.append(json.as_bytes())
-            .map_err(|e| io_err("write checkpoint", e))?;
-        f.sync().map_err(|e| io_err("sync checkpoint", e))?;
-        drop(f);
-        self.storage
-            .rename(&tmp, &self.dir.join(CHECKPOINT))
-            .map_err(|e| io_err("install checkpoint", e))?;
-        self.storage
-            .sync_dir(&self.dir)
-            .map_err(|e| io_err("sync dir", e))?;
+        install_checkpoint(self.storage.as_ref(), &self.dir, &info)?;
 
         // Everything up to `seq` is now covered: rotate to a fresh
         // segment and drop the replayed ones.

@@ -36,7 +36,10 @@ pub mod update;
 pub mod wal;
 
 pub use database::{Database, InsertPolicy};
-pub use durability::{DurabilityConfig, LoggedDatabase, SyncPolicy};
+pub use durability::{
+    install_checkpoint, read_checkpoint, segment_first_seq, segment_name, CheckpointInfo,
+    DurabilityConfig, LoggedDatabase, SyncPolicy,
+};
 pub use explain::{
     render_explanation, AnalyzeReport, ChainEvidence, DerivationAnalysis, Explanation, PlanReport,
 };

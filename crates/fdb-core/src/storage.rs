@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read as _, Write as _};
+use std::io::{self, Read as _, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -43,6 +43,16 @@ pub trait WalStorage: Send + Sync + fmt::Debug {
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
     /// Reads a whole file.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Reads a file from `offset` to the end — `None` when `offset` lies
+    /// beyond the end of the file (it was truncated since the caller
+    /// learned the offset). Equivalent to slicing
+    /// [`read`](WalStorage::read); implementations override it to avoid
+    /// materialising the skipped prefix when a caller tails a growing
+    /// file.
+    fn read_from(&self, path: &Path, offset: u64) -> io::Result<Option<Vec<u8>>> {
+        let bytes = self.read(path)?;
+        Ok(bytes.get(offset as usize..).map(<[u8]>::to_vec))
+    }
     /// Truncates a file to `len` bytes.
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
     /// Atomically renames a file.
@@ -97,6 +107,17 @@ impl WalStorage for FileStorage {
         let mut buf = Vec::new();
         File::open(path)?.read_to_end(&mut buf)?;
         Ok(buf)
+    }
+
+    fn read_from(&self, path: &Path, offset: u64) -> io::Result<Option<Vec<u8>>> {
+        let mut file = File::open(path)?;
+        if file.metadata()?.len() < offset {
+            return Ok(None);
+        }
+        file.seek(io::SeekFrom::Start(offset))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        Ok(Some(buf))
     }
 
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
@@ -355,6 +376,20 @@ impl WalStorage for SimDisk {
         Ok(data)
     }
 
+    fn read_from(&self, path: &Path, offset: u64) -> io::Result<Option<Vec<u8>>> {
+        let mut s = self.state.lock();
+        let limit = s.short_reads.remove(path);
+        let data = s
+            .files
+            .get(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "sim disk: no such file"))?;
+        let visible = match limit {
+            Some(l) => &data[..(l as usize).min(data.len())],
+            None => &data[..],
+        };
+        Ok(visible.get(offset as usize..).map(<[u8]>::to_vec))
+    }
+
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
         let mut s = self.state.lock();
         if s.crashed {
@@ -498,6 +533,38 @@ mod tests {
         disk.remove(&p("/w/b")).unwrap();
         assert!(!disk.is_file(&p("/w/b")));
         assert!(disk.is_file(&p("/w/c")));
+    }
+
+    #[test]
+    fn read_from_tails_and_detects_truncation() {
+        let disk = SimDisk::new();
+        let mut f = disk.create(&p("/w/a.log")).unwrap();
+        f.append(b"abcdef").unwrap();
+        assert_eq!(
+            disk.read_from(&p("/w/a.log"), 0).unwrap().unwrap(),
+            b"abcdef"
+        );
+        assert_eq!(disk.read_from(&p("/w/a.log"), 4).unwrap().unwrap(), b"ef");
+        // Offset exactly at EOF: an empty tail, not a truncation signal.
+        assert_eq!(disk.read_from(&p("/w/a.log"), 6).unwrap().unwrap(), b"");
+        assert_eq!(disk.read_from(&p("/w/a.log"), 7).unwrap(), None);
+        disk.truncate(&p("/w/a.log"), 3).unwrap();
+        assert_eq!(disk.read_from(&p("/w/a.log"), 4).unwrap(), None);
+        // A pending short read bounds the visible bytes first.
+        disk.set_short_read("/w/a.log", 2);
+        assert_eq!(disk.read_from(&p("/w/a.log"), 1).unwrap().unwrap(), b"b");
+
+        let dir = std::env::temp_dir().join(format!("fdb_read_from_test_{}", std::process::id()));
+        let storage = FileStorage;
+        storage.create_dir_all(&dir).unwrap();
+        let path = dir.join("t.log");
+        let mut f = storage.create(&path).unwrap();
+        f.append(b"abcdef").unwrap();
+        drop(f);
+        assert_eq!(storage.read_from(&path, 4).unwrap().unwrap(), b"ef");
+        assert_eq!(storage.read_from(&path, 6).unwrap().unwrap(), b"");
+        assert_eq!(storage.read_from(&path, 7).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -127,6 +127,15 @@ pub enum LogRecord {
         /// The savepoint rolled back to (which stays set).
         name: String,
     },
+    /// A new replication term (epoch) starts at this point in the log.
+    /// Written by failover promotion; a replica rejects batches stamped
+    /// with a term lower than the highest it has applied, fencing off a
+    /// resurrected old primary. Carries no data — older readers skip it
+    /// via the unknown-record path.
+    NewTerm {
+        /// The monotonically increasing term number.
+        term: u64,
+    },
 }
 
 impl LogRecord {
@@ -644,9 +653,15 @@ impl Wal {
         Ok(seq)
     }
 
-    /// Durably syncs the file to disk.
+    /// Durably syncs the file to disk. A failure is counted in
+    /// `fdb.wal.fsync_failures` before surfacing — `STATS` shows it even
+    /// when the caller (e.g. a commit-marker force-fsync) turns the error
+    /// into a rollback.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync().map_err(|e| io_err("sync", e))?;
+        self.file.sync().map_err(|e| {
+            fdb_obs::registry().wal_fsync_failures.inc();
+            io_err("sync", e)
+        })?;
         fdb_obs::registry().wal_fsyncs.inc();
         Ok(())
     }
@@ -669,6 +684,8 @@ pub(crate) fn observe_recovery(report: &RecoveryReport) {
         .add(report.corruption.len() as u64);
     reg.recovery_quarantined_bytes.add(report.quarantined_bytes);
     reg.txn_recovery_discarded
+        .add(report.uncommitted_discarded as u64);
+    reg.recovery_uncommitted_discarded
         .add(report.uncommitted_discarded as u64);
     reg.wal_skipped_records.add(report.skipped_records as u64);
 }
@@ -717,12 +734,15 @@ pub fn apply_record(db: &mut Database, record: &LogRecord) -> Result<()> {
         }
         // Framing markers carry no state of their own; their semantics
         // (commit-only visibility) live in [`TxnReplayer`], which callers
-        // recovering a log must route records through.
+        // recovering a log must route records through. `NewTerm` is a
+        // replication fencing marker: it changes who may write the log,
+        // not what the log says.
         LogRecord::TxnBegin { .. }
         | LogRecord::TxnCommit { .. }
         | LogRecord::TxnAbort { .. }
         | LogRecord::TxnSavepoint { .. }
-        | LogRecord::TxnRollbackTo { .. } => Ok(()),
+        | LogRecord::TxnRollbackTo { .. }
+        | LogRecord::NewTerm { .. } => Ok(()),
     }
 }
 
@@ -732,7 +752,7 @@ pub fn apply_record(db: &mut Database, record: &LogRecord) -> Result<()> {
 /// or the end of the log (crash) discards the buffer. Feed every scanned
 /// record through one replayer — its state spans segment boundaries — and
 /// call [`TxnReplayer::finish`] when the scan ends.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TxnReplayer {
     /// Open transaction frame, if one is being buffered.
     open: Option<OpenTxn>,
@@ -748,7 +768,7 @@ pub struct TxnReplayer {
 }
 
 /// An open transaction frame being buffered during replay.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct OpenTxn {
     id: u64,
     buffered: Vec<LogRecord>,
@@ -758,7 +778,7 @@ struct OpenTxn {
 
 /// A committed frame not yet applied (awaiting one record of lookahead
 /// for a possible revoking abort).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct PendingCommit {
     id: u64,
     buffered: Vec<LogRecord>,
@@ -856,6 +876,10 @@ impl TxnReplayer {
                 }
                 Ok(0)
             }
+            // A term marker is never transaction data: promotion closes
+            // dangling frames before stamping it, and even a malformed log
+            // must not swallow it into a buffer.
+            LogRecord::NewTerm { .. } => Ok(0),
             _ => match &mut self.open {
                 Some(open) => {
                     open.buffered.push(record.clone());

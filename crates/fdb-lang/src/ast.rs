@@ -195,6 +195,12 @@ pub enum Statement {
         /// `Some(ms)` to set, `None` to clear.
         millis: Option<u64>,
     },
+    /// `REPLICA STATUS` — replication position, lag and health of an
+    /// engine serving reads from an attached replica.
+    ReplicaStatus,
+    /// `PROMOTE` — fail over: promote the attached replica to a writable
+    /// primary on a new, higher term.
+    Promote,
     /// Blank line / comment-only line.
     Empty,
 }

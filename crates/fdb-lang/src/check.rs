@@ -110,10 +110,14 @@ pub fn lower(s: &SpannedStatement) -> Option<CheckStmt> {
         Statement::Resolve => CheckStmt::Resolve { keyword },
         // These replace database state with facts the statement list does
         // not spell out.
-        Statement::Source { .. } | Statement::Load { .. } => CheckStmt::Other {
-            keyword,
-            opens_world: true,
-        },
+        // `PROMOTE` swaps in the replica's state, which the statement
+        // list does not spell out — world-opening like LOAD.
+        Statement::Source { .. } | Statement::Load { .. } | Statement::Promote => {
+            CheckStmt::Other {
+                keyword,
+                opens_world: true,
+            }
+        }
         // Transaction control lowers to a typed statement: the analyzer
         // models rollback exactly (snapshot/restore), so `ABORT` no
         // longer needs to open the world.
@@ -151,6 +155,7 @@ pub fn lower(s: &SpannedStatement) -> Option<CheckStmt> {
         | Statement::Dump { .. }
         | Statement::Check { .. }
         | Statement::Strict { .. }
+        | Statement::ReplicaStatus
         | Statement::Help => CheckStmt::Other {
             keyword,
             opens_world: false,

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use fdb_check::{analyze_script, CheckConfig, CheckStmt, Severity, TxnOp};
 use fdb_core::{resolve_ambiguities, Budget, CancelToken, Database, Governance, Governor, Outcome};
 use fdb_exec::{CacheProbe, CacheReport, ResultCache};
+use fdb_repl::{Promotion, Replica};
 use fdb_types::{Derivation, FdbError, Result, Schema, Step, Value};
 
 use crate::ast::{DeriveStep, Statement};
@@ -64,6 +65,11 @@ pub struct Engine {
     /// `STRICT ON`: pre-flight `SOURCE`d scripts through the analyzer
     /// and refuse to run them when error-severity findings show up.
     strict: bool,
+    /// An attached hot-standby replica. When present the engine is
+    /// read-only: queries are answered from the replica's transaction-
+    /// consistent database, write statements are refused, and `PROMOTE`
+    /// fails over to a writable primary on a new term.
+    replica: Option<Replica>,
 }
 
 const HELP: &str = "\
@@ -90,6 +96,8 @@ statements (one per line; `--` starts a comment):
   STATS [RESET | JSON]                       metrics (text, zero, JSON)
   CHECK [JSON]                               consistency + static analysis
   STRICT ON | OFF                            pre-flight SOURCEd scripts
+  REPLICA STATUS                             replication position and lag
+  PROMOTE                                    fail over: replica -> primary
   SCHEMA  RESOLVE  HELP
 ";
 
@@ -112,7 +120,60 @@ impl Engine {
             check_log_mark: 0,
             savepoint_marks: Vec::new(),
             strict: false,
+            replica: None,
         }
+    }
+
+    /// An engine serving read-only queries from a hot-standby replica.
+    /// The host keeps feeding batches through
+    /// [`Engine::replica_mut`] → [`Replica::apply_batch`]; statements see
+    /// the replica's current transaction-consistent state.
+    pub fn with_replica(replica: Replica) -> Self {
+        let mut e = Engine::new();
+        e.replica = Some(replica);
+        e
+    }
+
+    /// Attaches a replica, flipping the engine read-only (see
+    /// [`Engine::with_replica`]).
+    pub fn attach_replica(&mut self, replica: Replica) {
+        self.replica = Some(replica);
+    }
+
+    /// Detaches and returns the replica, restoring the engine's own
+    /// database as the serving surface.
+    pub fn detach_replica(&mut self) -> Option<Replica> {
+        self.replica.take()
+    }
+
+    /// The attached replica, if any.
+    pub fn replica(&self) -> Option<&Replica> {
+        self.replica.as_ref()
+    }
+
+    /// Mutable access to the attached replica — the host's handle for
+    /// applying shipped batches.
+    pub fn replica_mut(&mut self) -> Option<&mut Replica> {
+        self.replica.as_mut()
+    }
+
+    /// The database statements read from: the replica's when one is
+    /// attached, the engine's own otherwise.
+    fn read_db(&self) -> &Database {
+        match &self.replica {
+            Some(r) => r.database(),
+            None => &self.db,
+        }
+    }
+
+    /// Refuses write statements while a replica is attached.
+    fn replica_write_gate(&self, what: &str) -> Result<()> {
+        if self.replica.is_some() {
+            return Err(FdbError::TxnControl(format!(
+                "read-only replica: {what} refused (PROMOTE to accept writes)"
+            )));
+        }
+        Ok(())
     }
 
     /// Unified cache statistics: the engine's own derived-result cache
@@ -244,11 +305,13 @@ impl Engine {
                 range,
                 functionality,
             } => {
+                self.replica_write_gate("DECLARE")?;
                 let f = functionality.parse()?;
                 self.db.declare_function(&name, &domain, &range, f)?;
                 Ok(format!("declared {name}: {domain} -> {range} ({f})\n"))
             }
             Statement::Derive { name, steps } => {
+                self.replica_write_gate("DERIVE")?;
                 let f = self.db.resolve(&name)?;
                 let derivation = self.build_derivation(&steps)?;
                 let rendered = derivation.render(self.db.schema());
@@ -256,18 +319,21 @@ impl Engine {
                 Ok(format!("derived {name} = {rendered}\n"))
             }
             Statement::Insert { function, x, y } => {
+                self.replica_write_gate("INSERT")?;
                 self.txn_write_gate()?;
                 let f = self.db.resolve(&function)?;
                 self.db.insert(f, Value::atom(&x), Value::atom(&y))?;
                 Ok(format!("inserted {function}({x}, {y})\n"))
             }
             Statement::Delete { function, x, y } => {
+                self.replica_write_gate("DELETE")?;
                 self.txn_write_gate()?;
                 let f = self.db.resolve(&function)?;
                 self.db.delete(f, &Value::atom(&x), &Value::atom(&y))?;
                 Ok(format!("deleted {function}({x}, {y})\n"))
             }
             Statement::Replace { function, old, new } => {
+                self.replica_write_gate("REPLACE")?;
                 self.txn_write_gate()?;
                 let f = self.db.resolve(&function)?;
                 self.db.replace(
@@ -281,9 +347,10 @@ impl Engine {
                 ))
             }
             Statement::Query { function, x } => {
-                let f = self.db.resolve(&function)?;
+                let db = self.read_db();
+                let f = db.resolve(&function)?;
                 let gov = self.statement_governor();
-                let outcome = self.db.image_governed(f, &Value::atom(&x), &gov)?;
+                let outcome = db.image_governed(f, &Value::atom(&x), &gov)?;
                 Ok(Self::render_outcome(outcome, |image| {
                     let items: Vec<String> = image
                         .into_iter()
@@ -296,14 +363,20 @@ impl Engine {
                 }))
             }
             Statement::Truth { function, x, y } => {
-                let f = self.db.resolve(&function)?;
+                // Field-split borrow: the replica (or own) database is
+                // read while the cache is written.
+                let read = match &self.replica {
+                    Some(r) => r.database(),
+                    None => &self.db,
+                };
+                let f = read.resolve(&function)?;
                 let (vx, vy) = (Value::atom(&x), Value::atom(&y));
                 // Cacheable only when ungoverned: a deadline (or tripped
                 // cancel flag) must reach the governed path, and partial
                 // answers are never cached.
-                if self.db.is_derived(f) && self.deadline.is_none() && !self.cancel.is_cancelled() {
-                    let support = self.db.support_functions(f);
-                    let db = &self.db;
+                if read.is_derived(f) && self.deadline.is_none() && !self.cancel.is_cancelled() {
+                    let support = read.support_functions(f);
+                    let db = read;
                     let mut err = None;
                     let t = self
                         .cache
@@ -322,7 +395,7 @@ impl Engine {
                     return Ok(format!("{}\n", t.flag()));
                 }
                 let gov = self.statement_governor();
-                let outcome = self.db.truth_governed(f, &vx, &vy, &gov)?;
+                let outcome = read.truth_governed(f, &vx, &vy, &gov)?;
                 // An exhausted truth is a lower bound, not a verdict —
                 // mark it so `F` under a timeout is not read as proof.
                 Ok(Self::render_outcome(outcome, |t| {
@@ -333,10 +406,14 @@ impl Engine {
                 }))
             }
             Statement::Show { function } => {
-                let f = self.db.resolve(&function)?;
-                if self.db.is_derived(f) {
-                    let support = self.db.support_functions(f);
-                    let db = &self.db;
+                let read = match &self.replica {
+                    Some(r) => r.database(),
+                    None => &self.db,
+                };
+                let f = read.resolve(&function)?;
+                if read.is_derived(f) {
+                    let support = read.support_functions(f);
+                    let db = read;
                     let mut err = None;
                     let pairs = self
                         .cache
@@ -351,16 +428,17 @@ impl Engine {
                     }
                     return Ok(crate::format::render_derived_pairs(&pairs));
                 }
-                render_function(&self.db, f)
+                render_function(read, f)
             }
             Statement::Derivations { function } => {
-                let f = self.db.resolve(&function)?;
-                if !self.db.is_derived(f) {
+                let db = self.read_db();
+                let f = db.resolve(&function)?;
+                if !db.is_derived(f) {
                     return Ok(format!("{function} is a base function\n"));
                 }
                 let mut out = String::new();
-                for d in self.db.derivations(f) {
-                    out.push_str(&format!("{function} = {}\n", d.render(self.db.schema())));
+                for d in db.derivations(f) {
+                    out.push_str(&format!("{function} = {}\n", d.render(db.schema())));
                 }
                 Ok(out)
             }
@@ -371,9 +449,9 @@ impl Engine {
                     None => Ok("statement timeout cleared\n".to_owned()),
                 }
             }
-            Statement::Schema => Ok(self.db.schema().to_string()),
+            Statement::Schema => Ok(self.read_db().schema().to_string()),
             Statement::Stats => {
-                let s = self.db.stats();
+                let s = self.read_db().stats();
                 let mut out = format!(
                     "base facts: {} | ambiguous: {} | NCs: {} | nulls: {} | functions: {} base + {} derived\n",
                     s.base_facts,
@@ -397,6 +475,7 @@ impl Engine {
                 Ok(out)
             }
             Statement::Resolve => {
+                self.replica_write_gate("RESOLVE")?;
                 let out = resolve_ambiguities(&mut self.db);
                 let mut text = format!(
                     "resolved: {} nulls unified, {} facts falsified\n",
@@ -414,7 +493,7 @@ impl Engine {
                     out.push('\n');
                     return Ok(out);
                 }
-                let violations = self.db.check_consistency();
+                let violations = self.read_db().check_consistency();
                 let mut text = String::new();
                 if violations.is_empty() {
                     text.push_str("consistent\n");
@@ -452,9 +531,10 @@ impl Engine {
                 }))
             }
             Statement::Inverse { function, y } => {
-                let f = self.db.resolve(&function)?;
+                let db = self.read_db();
+                let f = db.resolve(&function)?;
                 let gov = self.statement_governor();
-                let outcome = self.db.inverse_image_governed(f, &Value::atom(&y), &gov)?;
+                let outcome = db.inverse_image_governed(f, &Value::atom(&y), &gov)?;
                 Ok(Self::render_outcome(outcome, |xs| {
                     let items: Vec<String> = xs
                         .into_iter()
@@ -467,7 +547,7 @@ impl Engine {
                 }))
             }
             Statement::Dump { path } => {
-                let script = crate::format::dump_script(&self.db)?;
+                let script = crate::format::dump_script(self.read_db())?;
                 std::fs::write(&path, script).map_err(|e| FdbError::Parse {
                     line: self.line,
                     message: format!("cannot write {path}: {e}"),
@@ -475,33 +555,35 @@ impl Engine {
                 Ok(format!("dumped script to {path}\n"))
             }
             Statement::Explain { function, x, y } => {
-                let f = self.db.resolve(&function)?;
-                let e = self.db.explain(f, &Value::atom(&x), &Value::atom(&y))?;
-                Ok(fdb_core::render_explanation(&self.db, f, &e))
+                let db = self.read_db();
+                let f = db.resolve(&function)?;
+                let e = db.explain(f, &Value::atom(&x), &Value::atom(&y))?;
+                Ok(fdb_core::render_explanation(db, f, &e))
             }
             Statement::ExplainPlan { function, x, y } => {
-                let f = self.db.resolve(&function)?;
-                let reports = self
-                    .db
-                    .explain_plan(f, &Value::atom(&x), &Value::atom(&y))?;
-                Ok(crate::format::render_plan_reports(
-                    &self.db, f, &x, &y, &reports,
-                ))
+                let db = self.read_db();
+                let f = db.resolve(&function)?;
+                let reports = db.explain_plan(f, &Value::atom(&x), &Value::atom(&y))?;
+                Ok(crate::format::render_plan_reports(db, f, &x, &y, &reports))
             }
             Statement::ExplainAnalyze { function, x, y } => {
-                let f = self.db.resolve(&function)?;
+                let read = match &self.replica {
+                    Some(r) => r.database(),
+                    None => &self.db,
+                };
+                let f = read.resolve(&function)?;
                 let (vx, vy) = (Value::atom(&x), Value::atom(&y));
                 // Probe (not touch) the cache first, so the report says
                 // what a real TRUTH would find without disturbing the
                 // counters it is reporting on.
-                let probe = if self.db.is_derived(f) {
-                    self.cache.probe_truth(self.db.store(), f, &vx, &vy)
+                let probe = if read.is_derived(f) {
+                    self.cache.probe_truth(read.store(), f, &vx, &vy)
                 } else {
                     CacheProbe::Miss
                 };
-                let report = self.db.explain_analyze(f, &vx, &vy)?;
+                let report = read.explain_analyze(f, &vx, &vy)?;
                 Ok(crate::format::render_analyze_report(
-                    &self.db, f, &x, &y, probe, &report,
+                    read, f, &x, &y, probe, &report,
                 ))
             }
             Statement::Source { path } => {
@@ -537,17 +619,20 @@ impl Engine {
                 result.map(|()| out)
             }
             Statement::Begin => {
+                self.replica_write_gate("BEGIN")?;
                 self.db.txn_begin()?;
                 self.check_log_mark = self.check_log.len();
                 self.savepoint_marks.clear();
                 Ok("transaction started\n".to_owned())
             }
             Statement::Commit => {
+                self.replica_write_gate("COMMIT")?;
                 self.db.txn_commit()?;
                 self.savepoint_marks.clear();
                 Ok("committed\n".to_owned())
             }
             Statement::Abort => {
+                self.replica_write_gate("ABORT")?;
                 self.db.txn_rollback()?;
                 // The check log rolls back with the database it
                 // describes.
@@ -556,6 +641,7 @@ impl Engine {
                 Ok("rolled back\n".to_owned())
             }
             Statement::Savepoint { name } => {
+                self.replica_write_gate("SAVEPOINT")?;
                 self.db.txn_savepoint(&name)?;
                 self.savepoint_marks.retain(|(n, _)| n != &name);
                 self.savepoint_marks
@@ -563,6 +649,7 @@ impl Engine {
                 Ok(format!("savepoint {name} set\n"))
             }
             Statement::RollbackTo { name } => {
+                self.replica_write_gate("ROLLBACK TO")?;
                 self.db.txn_rollback_to(&name)?;
                 // The database accepted the name, so the mirror stack
                 // holds it; truncate the check log to the savepoint and
@@ -575,7 +662,7 @@ impl Engine {
                 Ok(format!("rolled back to {name}\n"))
             }
             Statement::Save { path } => {
-                let snapshot = self.db.to_snapshot()?;
+                let snapshot = self.read_db().to_snapshot()?;
                 std::fs::write(&path, snapshot).map_err(|e| FdbError::Parse {
                     line: self.line,
                     message: format!("cannot write {path}: {e}"),
@@ -583,6 +670,7 @@ impl Engine {
                 Ok(format!("saved snapshot to {path}\n"))
             }
             Statement::Load { path } => {
+                self.replica_write_gate("LOAD")?;
                 if self.db.txn_active() {
                     return Err(FdbError::TxnControl(
                         "cannot LOAD inside an open transaction".into(),
@@ -599,6 +687,47 @@ impl Engine {
                 self.cache.clear();
                 self.check_log.clear();
                 Ok(format!("loaded snapshot from {path}\n"))
+            }
+            Statement::ReplicaStatus => match &self.replica {
+                Some(r) => {
+                    let mut out = r.status().render();
+                    out.push('\n');
+                    if let Some(d) = r.divergence() {
+                        out.push_str(&d.render());
+                        out.push('\n');
+                    }
+                    Ok(out)
+                }
+                None => Ok("not a replica (no replication attached)\n".to_owned()),
+            },
+            Statement::Promote => {
+                // Refuse without consuming the replica when promotion is
+                // known to be impossible (divergence).
+                if let Some(d) = self.replica.as_ref().and_then(Replica::divergence) {
+                    return Err(FdbError::TxnControl(format!(
+                        "PROMOTE refused: {}",
+                        d.render()
+                    )));
+                }
+                let replica = self.replica.take().ok_or_else(|| {
+                    FdbError::TxnControl("PROMOTE: this session is not a replica".to_owned())
+                })?;
+                let Promotion { logged, report } = replica.promote()?;
+                let term = logged.term();
+                // The engine becomes the writable serving surface over
+                // the promoted state; the durable log handle is returned
+                // to the host's domain by the library API
+                // (`Replica::promote`) when process-level durability is
+                // wanted beyond this session.
+                self.db = logged.into_database();
+                // A different lineage takes over: cached snapshots and
+                // the check log no longer describe the state.
+                self.cache.clear();
+                self.check_log.clear();
+                Ok(format!(
+                    "promoted to primary on term {term} ({} uncommitted records discarded)\n",
+                    report.uncommitted_discarded
+                ))
             }
         }
     }
@@ -1323,5 +1452,66 @@ mod tests {
         assert!(e.execute_line("SCHEMA").unwrap().contains("1. f: a -> b"));
         assert!(e.execute_line("STATS").unwrap().contains("base facts: 0"));
         assert!(e.execute_line("HELP").unwrap().contains("DECLARE"));
+    }
+
+    #[test]
+    fn replica_engine_serves_reads_refuses_writes_and_promotes() {
+        use fdb_core::{LoggedDatabase, SimDisk, WalStorage};
+        use fdb_repl::{Replica, ReplicationSource};
+        use std::sync::Arc;
+
+        let disk = Arc::new(SimDisk::new());
+        let storage: Arc<dyn WalStorage> = Arc::clone(&disk) as _;
+        let (mut p, _) =
+            LoggedDatabase::open_with(Arc::clone(&storage), "/p", Default::default()).unwrap();
+        p.declare("teach", "faculty", "course", "many-many".parse().unwrap())
+            .unwrap();
+        p.insert("teach", Value::atom("euclid"), Value::atom("math"))
+            .unwrap();
+
+        let mut replica = Replica::open(Arc::clone(&storage), "/r").unwrap();
+        let mut src = ReplicationSource::for_primary(&p);
+        let batch = src.poll(replica.next_seq(), 10_000).unwrap();
+        replica.apply_batch(&batch).unwrap();
+
+        let mut e = Engine::with_replica(replica);
+        // Reads come from the replica's state.
+        assert_eq!(e.execute_line("TRUTH teach(euclid, math)").unwrap(), "T\n");
+        assert!(e
+            .execute_line("QUERY teach(euclid)")
+            .unwrap()
+            .contains("math"));
+        // Writes are refused while the replica is attached.
+        let err = e.execute_line("INSERT teach(a, b)").unwrap_err();
+        assert!(matches!(err, FdbError::TxnControl(_)), "got {err:?}");
+        let err = e.execute_line("BEGIN").unwrap_err();
+        assert!(matches!(err, FdbError::TxnControl(_)));
+        // Status renders position and health.
+        let status = e.execute_line("REPLICA STATUS").unwrap();
+        assert!(status.contains("applied_seq="), "got: {status}");
+        assert!(status.contains("diverged=false"), "got: {status}");
+
+        // Fail over: the engine becomes writable on a new term.
+        let out = e.execute_line("PROMOTE").unwrap();
+        assert!(out.contains("term 2"), "got: {out}");
+        assert!(e.replica().is_none());
+        e.execute_line("INSERT teach(hilbert, logic)").unwrap();
+        assert_eq!(
+            e.execute_line("TRUTH teach(hilbert, logic)").unwrap(),
+            "T\n"
+        );
+        // A second PROMOTE has nothing to promote.
+        assert!(e.execute_line("PROMOTE").is_err());
+    }
+
+    #[test]
+    fn replica_status_without_replica_and_parse() {
+        let mut e = Engine::new();
+        assert_eq!(
+            e.execute_line("REPLICA STATUS").unwrap(),
+            "not a replica (no replication attached)\n"
+        );
+        assert!(e.execute_line("REPLICA").is_err());
+        assert!(e.execute_line("REPLICA BOGUS").is_err());
     }
 }

@@ -356,6 +356,14 @@ impl Parser {
                 }
             }
             "HELP" => Statement::Help,
+            "REPLICA" => {
+                let (word, _) = self.ident("STATUS")?;
+                if !word.eq_ignore_ascii_case("STATUS") {
+                    return Err(self.err(format!("expected STATUS, found `{word}`")));
+                }
+                Statement::ReplicaStatus
+            }
+            "PROMOTE" => Statement::Promote,
             other => return Err(self.err(format!("unknown statement `{other}`"))),
         };
         self.end()?;

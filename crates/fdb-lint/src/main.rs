@@ -19,8 +19,8 @@
 use std::process::ExitCode;
 
 use fdb_check::{
-    analyze_script, render_content, render_sarif_all, sort_diagnostics, summary_line, Baseline,
-    CheckConfig, Code, Diagnostic, Severity,
+    analyze_script, detect_replica_mode, render_content, render_sarif_all, sort_diagnostics,
+    summary_line, Baseline, CheckConfig, Code, Diagnostic, Severity,
 };
 use serde::Content;
 
@@ -109,7 +109,13 @@ fn parse_error_span(line_no: u32, message: &str) -> fdb_types::Span {
 fn lint_file(path: &str, config: &CheckConfig) -> Result<Vec<Diagnostic>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let (stmts, parse_errors) = fdb_lang::lower_script(&text);
-    let mut diags = analyze_script(&stmts, config);
+    // A leading `-- mode: replica` comment turns on the FDB040 lint for
+    // this file only: writes here would be refused by a replica engine.
+    let config = CheckConfig {
+        replica_mode: detect_replica_mode(&text),
+        ..config.clone()
+    };
+    let mut diags = analyze_script(&stmts, &config);
     for (line_no, err) in parse_errors {
         let message = match &err {
             fdb_types::FdbError::Parse { message, .. } => message.clone(),

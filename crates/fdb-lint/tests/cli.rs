@@ -132,6 +132,29 @@ fn baseline_suppresses_known_findings() {
 }
 
 #[test]
+fn replica_mode_marker_turns_on_fdb040_per_file() {
+    // Same statements, with and without the marker: the lint is scoped
+    // to the file that declares itself a replica script.
+    let body = "DECLARE teach: faculty -> course (many-many)\n\
+                INSERT teach(euclid, math)\n\
+                QUERY teach(euclid)\n";
+    let replica = write_script("replica.fdb", &format!("-- mode: replica\n{body}"));
+    let primary = write_script("primary.fdb", body);
+
+    let out = lint(&[replica.to_str().unwrap(), primary.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FDB040 error 2:1:"), "{text}");
+    assert!(text.contains("FDB040 error 3:1:"), "{text}");
+    let fdb040s = text.matches("FDB040").count();
+    assert_eq!(fdb040s, 2, "primary file must stay quiet: {text}");
+
+    for p in [replica, primary] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn usage_errors_exit_three() {
     let out = lint(&[]);
     assert_eq!(out.status.code(), Some(3), "{out:?}");

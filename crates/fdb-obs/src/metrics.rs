@@ -293,6 +293,9 @@ registry! {
         wal_append_bytes => "fdb.wal.append_bytes",
         /// Durable syncs issued to the storage layer.
         wal_fsyncs => "fdb.wal.fsyncs",
+        /// Durable syncs that failed (the error also surfaces to the
+        /// caller; a failed commit-marker fsync lands here too).
+        wal_fsync_failures => "fdb.wal.fsync_failures",
         /// Segment rotations.
         wal_rotations => "fdb.wal.rotations",
         /// Well-framed records whose payload was not understood and was
@@ -308,6 +311,10 @@ registry! {
         recovery_corruption_events => "fdb.recovery.corruption_events",
         /// Bytes moved aside into quarantine files during recovery.
         recovery_quarantined_bytes => "fdb.recovery.quarantined_bytes",
+        /// Records discarded by recovery because their transaction never
+        /// committed (`RecoveryReport.uncommitted_discarded`, e.g. a
+        /// replica's catch-up after a primary crash).
+        recovery_uncommitted_discarded => "fdb.recovery.uncommitted_discarded",
 
         // ---- transactions (fdb-core / fdb-storage undo journal) ----
         /// Transactions opened (`BEGIN`).
@@ -402,6 +409,24 @@ registry! {
         /// Ambiguous (`A`) truth verdicts returned to queries — the
         /// three-valued logic surfacing partial information.
         query_ambiguous_verdicts => "fdb.query.ambiguous_verdicts",
+
+        // ---- fdb-repl: WAL-shipping replication ----
+        /// WAL records shipped from a primary to replicas.
+        repl_records_shipped => "fdb.repl.records_shipped",
+        /// Bytes of WAL frames shipped from a primary to replicas.
+        repl_bytes_shipped => "fdb.repl.bytes_shipped",
+        /// Shipped records applied on a replica (transaction-consistent).
+        repl_records_applied => "fdb.repl.records_applied",
+        /// Replica catch-up scans completed (restart recovery).
+        repl_catchups => "fdb.repl.catchups",
+        /// Replicas promoted to primaries (failover).
+        repl_promotions => "fdb.repl.promotions",
+        /// Divergences detected between shipped and locally stored frames
+        /// (seq/CRC mismatch → quarantine, never silent overwrite).
+        repl_divergences => "fdb.repl.divergences",
+        /// Batches rejected because they carried a stale term (a fenced
+        /// old primary trying to keep writing after failover).
+        repl_fenced_rejects => "fdb.repl.fenced_rejects",
     }
     histograms {
         /// Per-statement wall time, nanoseconds.
@@ -413,6 +438,10 @@ registry! {
         /// Frontier nodes materialised per executed chain query (arena
         /// footprint of the batched executor).
         exec_frontier_nodes => "fdb.exec.frontier_nodes",
+        /// Replica lag in records behind the primary, sampled per poll.
+        repl_lag_records => "fdb.repl.lag_records",
+        /// Replica lag in bytes behind the primary, sampled per poll.
+        repl_lag_bytes => "fdb.repl.lag_bytes",
     }
 }
 

@@ -1,0 +1,56 @@
+//! WAL-shipping replication for the fdb engine.
+//!
+//! A primary [`LoggedDatabase`](fdb_core::LoggedDatabase) already writes a
+//! CRC32-framed, sequence-numbered v2 WAL; replication ships those frames
+//! *verbatim* to hot-standby replicas:
+//!
+//! * [`ReplicationSource`] — the primary side. Reads segments through the
+//!   same [`WalStorage`](fdb_core::WalStorage) abstraction the primary
+//!   writes through (so `SimDisk` fault injection applies to the shipping
+//!   path too) and answers [`poll`](ReplicationSource::poll) requests with
+//!   a [`Batch`] of raw frames, the source's current replication *term*,
+//!   and — when the requested position predates the retained segments — a
+//!   checkpoint [`Seed`].
+//! * [`Replica`] — the standby side. Stores each shipped frame byte-for-
+//!   byte in its own local segment files (mirroring the primary's layout
+//!   contract), feeds the decoded records through a live
+//!   [`TxnReplayer`](fdb_core::TxnReplayer) so its in-memory database only
+//!   ever reflects transaction-consistent state, and serves read-only
+//!   queries from it.
+//!
+//! Three failure-handling pillars sit on top of the happy path:
+//!
+//! * **Catch-up** — [`Replica::open`] scans the replica's local copy of
+//!   the log exactly like primary recovery does and resumes shipping from
+//!   `next_seq`; re-shipped frames whose CRC matches the locally stored
+//!   copy are skipped idempotently.
+//! * **Divergence detection** — a shipped frame that disagrees with the
+//!   locally stored frame at the same sequence number (or fails its own
+//!   CRC) is *never* silently overwritten: the offending frame is written
+//!   to a `diverged-<seq>.frame` quarantine file, a typed
+//!   [`DivergenceReport`] is returned, and the replica refuses further
+//!   applies until rebuilt.
+//! * **Failover promotion** — [`Replica::promote`] reuses ordinary
+//!   recovery to close any dangling transaction frame, flips the replica
+//!   writable, and fences the old primary by starting a higher *term*: a
+//!   monotonically increasing epoch stamped into the new timeline via a
+//!   [`LogRecord::NewTerm`](fdb_core::LogRecord) record. Batches from a
+//!   resurrected old primary carry a lower term and are rejected with
+//!   [`ApplyOutcome::Fenced`].
+//!
+//! Shipping progress and failure counters are published under the
+//! `fdb.repl.*` metric family in [`fdb_obs`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+mod frame;
+mod replica;
+mod source;
+
+pub use frame::ShippedFrame;
+pub use replica::{
+    ApplyOutcome, DivergenceKind, DivergenceReport, Promotion, Replica, ReplicaStatus,
+};
+pub use source::{Batch, ReplicationSource, Seed};

@@ -70,6 +70,7 @@ pub use fdb_graph as graph;
 pub use fdb_lang as lang;
 pub use fdb_obs as obs;
 pub use fdb_relational as relational;
+pub use fdb_repl as repl;
 pub use fdb_storage as storage;
 pub use fdb_types as types;
 pub use fdb_workload as workload;

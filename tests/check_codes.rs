@@ -421,6 +421,68 @@ fn fdb031_cycle_without_ufa() {
 }
 
 #[test]
+fn fdb040_replica_write() {
+    let replica = CheckConfig {
+        replica_mode: true,
+        ..CheckConfig::default()
+    };
+    // Reads are fine on a replica …
+    let reads = "QUERY teach(euclid)\n\
+                 TRUTH teach(euclid, math)\n\
+                 SHOW teach\n\
+                 SCHEMA";
+    let ds = diags_with(reads, &replica);
+    assert!(
+        !ds.iter().any(|d| d.code == Code::ReplicaWrite),
+        "reads must not fire FDB040: {ds:?}"
+    );
+    // … while every statement the replica engine refuses fires, one
+    // diagnostic each, anchored at its own line.
+    let writes = "DECLARE teach: faculty -> course (many-many)\n\
+                  INSERT teach(euclid, math)\n\
+                  BEGIN\n\
+                  DELETE teach(euclid, math)\n\
+                  COMMIT";
+    let ds = diags_with(writes, &replica);
+    let lines: Vec<u32> = ds
+        .iter()
+        .filter(|d| d.code == Code::ReplicaWrite)
+        .map(|d| d.span.line)
+        .collect();
+    assert_eq!(lines, vec![1, 2, 3, 4, 5], "{ds:?}");
+    assert!(ds
+        .iter()
+        .find(|d| d.code == Code::ReplicaWrite)
+        .and_then(|d| d.hint.as_deref())
+        .is_some_and(|h| h.contains("PROMOTE")));
+    // The default config never fires it, even for writes.
+    assert!(!codes(writes).contains(&Code::ReplicaWrite));
+    // An open world does not mute it: the runtime refusal is
+    // unconditional.
+    let after_load = "LOAD \"db.json\"\nINSERT teach(euclid, math)";
+    let ds = diags_with(after_load, &replica);
+    assert!(
+        ds.iter()
+            .any(|d| d.code == Code::ReplicaWrite && d.span.line == 2),
+        "{ds:?}"
+    );
+}
+
+#[test]
+fn replica_mode_marker_detection() {
+    use fdb::check::detect_replica_mode;
+    assert!(detect_replica_mode("-- mode: replica\nQUERY teach(euclid)"));
+    assert!(detect_replica_mode("\n--  MODE:  Replica\nSCHEMA"));
+    assert!(detect_replica_mode(
+        "-- report script\n-- mode:replica\nSCHEMA"
+    ));
+    // Not in the leading comment block: ignored.
+    assert!(!detect_replica_mode("SCHEMA\n-- mode: replica"));
+    assert!(!detect_replica_mode("-- mode: primary\nSCHEMA"));
+    assert!(!detect_replica_mode(""));
+}
+
+#[test]
 fn open_world_statements_mute_guarantees() {
     // The same dead-write pattern, but a SOURCE in between could have
     // read (or rewritten) anything: all guarantees are off.
