@@ -236,6 +236,13 @@ pub struct LoggedDatabase {
     /// [`LogRecord::NewTerm`] into the log so shipped batches carry the
     /// new term and a resurrected old primary's frames are rejected.
     term: u64,
+    /// When set, autocommit appends under [`SyncPolicy::Always`] skip the
+    /// per-record inline fsync: the caller (the group-commit coordinator
+    /// in the shared handle) takes over responsibility for making the
+    /// record durable before acknowledging the write. Transactional
+    /// commit markers are unaffected — [`LoggedDatabase::commit`] always
+    /// force-fsyncs, because the commit *is* the durability point.
+    defer_sync: bool,
 }
 
 impl LoggedDatabase {
@@ -283,6 +290,7 @@ impl LoggedDatabase {
             open_txn: None,
             next_txn_id: 1,
             term: initial_term(),
+            defer_sync: false,
         })
     }
 
@@ -431,6 +439,7 @@ impl LoggedDatabase {
                 open_txn: None,
                 next_txn_id,
                 term,
+                defer_sync: false,
             },
             report,
         ))
@@ -495,6 +504,7 @@ impl LoggedDatabase {
                 open_txn: None,
                 next_txn_id,
                 term,
+                defer_sync: false,
             },
             report,
         ))
@@ -588,7 +598,11 @@ impl LoggedDatabase {
         self.unsynced += 1;
         self.since_checkpoint += 1;
         match self.config.sync_policy {
-            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::Always => {
+                if !self.defer_sync {
+                    self.sync()?;
+                }
+            }
             SyncPolicy::EveryN(n) => {
                 if self.unsynced >= n {
                     self.sync()?;
@@ -924,6 +938,157 @@ impl LoggedDatabase {
         self.wal.sync()?;
         self.unsynced = 0;
         Ok(())
+    }
+
+    /// Turns deferred-sync mode on or off (see the `defer_sync` field).
+    /// Only the group-commit path in `SharedLoggedDatabase` should set
+    /// this: whoever defers a sync owns making the record durable before
+    /// acknowledging the write.
+    pub fn set_defer_sync(&mut self, defer: bool) {
+        self.defer_sync = defer;
+    }
+
+    /// Whether deferred-sync mode is on.
+    pub fn defer_sync(&self) -> bool {
+        self.defer_sync
+    }
+}
+
+/// The group-commit coordinator: batches the WAL fsyncs of concurrent
+/// autocommit writers into one physical `fsync`.
+///
+/// Protocol: each writer appends its record under the engine lock (with
+/// the inline fsync deferred), notes the record's WAL sequence number,
+/// releases the lock, and calls [`GroupCommit::sync_to`]. The first
+/// writer to arrive becomes the **leader**: it re-acquires the engine
+/// lock, reads the highest appended sequence, and performs one `fsync`
+/// covering every record appended so far — its own and those of all
+/// writers that piled up behind it. Followers wait on a condvar; when
+/// the leader publishes the new durable watermark they return without
+/// ever touching the disk. The WAL bytes are identical to the
+/// sequential path (grouping changes *when* `fsync` runs, never what is
+/// appended), so replication and recovery see the same frames.
+///
+/// Failure contract: if the leader's fsync fails, every writer whose
+/// sequence was covered by the failed attempt gets an error — the
+/// record is applied and appended but its durability is unknown, the
+/// same contract as a failed inline sync on the sequential path.
+/// Transactional `COMMIT` never routes through here: the commit marker
+/// is force-fsynced synchronously (and revoked on failure), preserving
+/// the invariant that recovery lands at pre-`BEGIN` or post-`COMMIT`.
+#[derive(Debug, Default)]
+pub struct GroupCommit {
+    // std primitives (the vendored parking_lot shim has no Condvar);
+    // poisoning is swallowed — a panicking leader must not wedge the
+    // other committers, matching the shim's panic-tolerant contract.
+    state: std::sync::Mutex<GroupState>,
+    cv: std::sync::Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Highest WAL sequence known durable.
+    synced: u64,
+    /// A leader is currently running an fsync.
+    leader_running: bool,
+    /// Highest sequence covered by a failed fsync attempt (durability
+    /// unknown). Only grows; a later successful sync supersedes it.
+    failed_at: u64,
+    /// Description of the most recent failed attempt.
+    last_error: Option<String>,
+}
+
+impl GroupCommit {
+    /// A fresh coordinator: nothing durable yet, no leader.
+    pub fn new() -> Self {
+        GroupCommit::default()
+    }
+
+    /// Blocks until WAL sequence `seq` is durable, leading a batched
+    /// fsync if no one else is. `do_sync` is only invoked by the leader;
+    /// it must perform the fsync and report the highest sequence it
+    /// covered (`0` with an error if it could not run at all, e.g. a
+    /// shed engine lock). Returns `Ok(true)` if this call led the fsync,
+    /// `Ok(false)` if it piggybacked on another writer's.
+    ///
+    /// The wait is bounded by `timeout`; timing out sheds the request
+    /// with [`FdbError::Overloaded`] (the record's durability is then
+    /// unknown, exactly as if the caller had crashed before its fsync).
+    pub fn sync_to(
+        &self,
+        seq: u64,
+        timeout: std::time::Duration,
+        do_sync: impl FnOnce() -> (u64, Result<()>),
+    ) -> Result<bool> {
+        let t0 = std::time::Instant::now();
+        let mut do_sync = Some(do_sync);
+        let mut st = self.lock_state();
+        loop {
+            if st.synced >= seq {
+                fdb_obs::registry().commit_group_fsyncs_saved.inc();
+                return Ok(false);
+            }
+            if st.failed_at >= seq {
+                let msg = st.last_error.clone().unwrap_or_default();
+                return Err(FdbError::Internal(format!(
+                    "wal: group fsync covering seq {seq} failed: {msg}"
+                )));
+            }
+            if !st.leader_running {
+                st.leader_running = true;
+                drop(st);
+                let (covered, res) = (do_sync.take().expect("leader elected once"))();
+                st = self.lock_state();
+                st.leader_running = false;
+                self.cv.notify_all();
+                match res {
+                    Ok(()) => {
+                        let group = covered.saturating_sub(st.synced);
+                        st.synced = st.synced.max(covered);
+                        fdb_obs::registry().commit_group_fsyncs.inc();
+                        fdb_obs::registry().commit_group_size.record(group);
+                        if st.synced >= seq {
+                            return Ok(true);
+                        }
+                        // Defensive: a leader always covers its own seq,
+                        // so this is unreachable; fall through to wait.
+                        debug_assert!(false, "group leader did not cover its own record");
+                        return Err(FdbError::Internal(
+                            "wal: group fsync did not cover the caller's record".to_owned(),
+                        ));
+                    }
+                    Err(e) => {
+                        st.failed_at = st.failed_at.max(covered);
+                        st.last_error = Some(e.to_string());
+                        fdb_obs::registry().commit_group_failures.inc();
+                        return Err(e);
+                    }
+                }
+            }
+            // Follower: wait for the leader's watermark to move.
+            let waited = t0.elapsed();
+            let Some(remaining) = timeout.checked_sub(waited) else {
+                fdb_obs::registry().governor_overload_sheds.inc();
+                return Err(FdbError::Overloaded {
+                    what: "group commit fsync wait".to_owned(),
+                    waited_ms: waited.as_millis() as u64,
+                });
+            };
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+    }
+
+    /// The highest WAL sequence known durable through this coordinator.
+    pub fn synced_seq(&self) -> u64 {
+        self.lock_state().synced
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, GroupState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 

@@ -38,7 +38,7 @@ pub mod wal;
 pub use database::{Database, InsertPolicy};
 pub use durability::{
     install_checkpoint, read_checkpoint, segment_first_seq, segment_name, CheckpointInfo,
-    DurabilityConfig, LoggedDatabase, SyncPolicy,
+    DurabilityConfig, GroupCommit, LoggedDatabase, SyncPolicy,
 };
 pub use explain::{
     render_explanation, AnalyzeReport, ChainEvidence, DerivationAnalysis, Explanation, PlanReport,
@@ -46,7 +46,7 @@ pub use explain::{
 pub use materialize::MaterializedExtension;
 pub use resolve::{resolve_ambiguities, ResolutionOutcome};
 pub use session::{design_database, design_logged_database};
-pub use shared::{OverloadPolicy, SharedDatabase, SharedLoggedDatabase};
+pub use shared::{OverloadPolicy, PinnedSnapshot, SharedDatabase, SharedLoggedDatabase};
 pub use stats::DatabaseStats;
 pub use storage::{FileStorage, SimDisk, WalFile, WalStorage};
 pub use txn::Transaction;

@@ -1,20 +1,42 @@
-//! Shared, thread-safe access to a database — with overload shedding.
+//! Shared, thread-safe access to a database — MVCC snapshot reads,
+//! bounded writes, group-committed durability.
 //!
 //! The paper's design aid is single-user, but a database library needs a
-//! concurrency story. [`SharedDatabase`] is a cheaply cloneable handle
-//! over `Arc<RwLock<Database>>` (parking_lot): many concurrent readers,
-//! exclusive writers, and closure-scoped access so guards can never leak
-//! across await points or outlive the handle. Update-level atomicity is
-//! inherited from the engine (each `INS`/`DEL`/`REP` leaves the store
-//! consistent); multi-update atomicity uses [`SharedDatabase::write`]
-//! plus [`crate::Database::apply_all`].
+//! concurrency story. Since PR 8 the shared handles are **readers never
+//! wait**: every read entry point (`truth`/`extension`/`image`/eval/
+//! EXPLAIN/STATS closures) runs against a *pinned snapshot* — an
+//! immutable [`Database`] published by the last commit — acquired with a
+//! single `Arc` clone and **zero write-lock acquisition**. A writer
+//! stalling in an fsync, holding the write path, or queueing behind the
+//! admission gate cannot delay a reader by more than the nanoseconds it
+//! takes to swap a pointer.
 //!
-//! Writes never block forever: acquisition is bounded by an
-//! [`OverloadPolicy`] — a lock timeout plus an admission gate capping
-//! in-flight writers — and a shed request comes back as the typed
-//! [`FdbError::Overloaded`], *before* any mutation happened, so it is
-//! always safe to retry.
+//! **Snapshot lifecycle.** The store is copy-on-write at per-function
+//! granularity (`fdb-storage`), so cloning a [`Database`] is
+//! O(#functions) `Arc` bumps. Each handle keeps a published-snapshot
+//! slot; writers republish after every mutation that moved the store's
+//! monotone version counter, *except* while a transaction is open —
+//! uncommitted state is never published, so a reader can never observe a
+//! torn or rolled-back transaction. The open transaction itself still
+//! reads its own uncommitted journal through the write path (its live
+//! `&mut` database), overlaid on the state it pinned at `BEGIN`.
+//! Publication is ordered by the version stamp: a publish only installs
+//! a strictly newer snapshot, so racing publishers cannot regress the
+//! slot.
+//!
+//! **Write side.** Writes are unchanged in spirit: exclusive, bounded by
+//! an [`OverloadPolicy`] (lock timeout + admission gate capping in-flight
+//! writers), shed with the typed [`FdbError::Overloaded`] *before* any
+//! mutation, so retries are always safe. [`SharedLoggedDatabase`]
+//! additionally batches concurrent autocommit fsyncs through the
+//! [`GroupCommit`] coordinator: each writer appends its WAL record under
+//! the engine lock with the inline fsync deferred, releases the lock,
+//! and one leader fsyncs the whole group — identical WAL bytes, one disk
+//! flush for N writers. Transactional `COMMIT` keeps its synchronous
+//! force-fsync (and failure revocation) path: the PR 6 invariant that
+//! recovery lands at pre-`BEGIN` or post-`COMMIT` is untouched.
 
+use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -26,15 +48,16 @@ use fdb_storage::Truth;
 use fdb_types::{FdbError, FunctionId, Result, Value};
 
 use crate::database::Database;
-use crate::durability::{LoggedDatabase, SyncPolicy};
+use crate::durability::{GroupCommit, LoggedDatabase, SyncPolicy};
 use crate::stats::DatabaseStats;
 use crate::update::Update;
 
 /// Bounds on lock acquisition for the shared handles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OverloadPolicy {
-    /// How long a writer may wait for the lock before the request is
-    /// shed with [`FdbError::Overloaded`].
+    /// How long a writer may wait for the lock (or a group-commit
+    /// follower for its leader's fsync) before the request is shed with
+    /// [`FdbError::Overloaded`].
     pub lock_timeout: Duration,
     /// Maximum writers simultaneously holding-or-awaiting the lock;
     /// one more is rejected immediately (admission control) instead of
@@ -69,10 +92,89 @@ fn overloaded(what: &str, waited: Duration) -> FdbError {
     }
 }
 
+/// A pinned MVCC snapshot: an immutable [`Database`] frozen at one
+/// commit boundary. Cheap to clone (one `Arc` bump) and valid forever —
+/// it answers every query exactly as the database did at its version
+/// stamp, no matter what writers do afterwards.
+#[derive(Clone, Debug)]
+pub struct PinnedSnapshot(Arc<Database>);
+
+impl PinnedSnapshot {
+    /// The store's monotone version stamp at publication. Equal stamps
+    /// imply identical state; the stamp never rewinds (even across
+    /// transaction rollbacks), so it is a complete cache key.
+    pub fn version(&self) -> u64 {
+        self.0.store().version()
+    }
+}
+
+impl Deref for PinnedSnapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.0
+    }
+}
+
+/// The published-snapshot slot shared by all clones of a handle.
+///
+/// `pin` is a read-lock + `Arc` clone (never contended by the database
+/// write path — writers only touch this slot for the instants of a
+/// pointer swap). `publish` installs strictly newer snapshots only, so
+/// out-of-order publishers (group-commit writers racing after their
+/// fsync) cannot regress the visible state.
+#[derive(Debug)]
+struct SnapshotCell {
+    slot: RwLock<Arc<Database>>,
+}
+
+impl SnapshotCell {
+    fn new(db: &Database) -> Self {
+        SnapshotCell {
+            slot: RwLock::new(Arc::new(db.clone())),
+        }
+    }
+
+    fn pin(&self) -> PinnedSnapshot {
+        fdb_obs::registry().mvcc_snapshot_pins.inc();
+        PinnedSnapshot(self.slot.read().clone())
+    }
+
+    /// Publishes `snap` if it is strictly newer than the slot.
+    fn publish(&self, snap: Arc<Database>) {
+        let version = snap.store().version();
+        {
+            let current = self.slot.read();
+            if version <= current.store().version() {
+                return;
+            }
+        }
+        let mut w = self.slot.write();
+        if version > w.store().version() {
+            *w = snap;
+            fdb_obs::registry().mvcc_snapshots_published.inc();
+        }
+    }
+
+    /// Clones `db` and publishes it, unless a transaction is open
+    /// (uncommitted state is never published) or nothing changed since
+    /// the last publication.
+    fn publish_from(&self, db: &Database) {
+        if db.txn_active() {
+            return;
+        }
+        if db.store().version() == self.slot.read().store().version() {
+            return;
+        }
+        self.publish(Arc::new(db.clone()));
+    }
+}
+
 /// A cloneable, thread-safe handle to a [`Database`].
 #[derive(Clone, Debug)]
 pub struct SharedDatabase {
     inner: Arc<RwLock<Database>>,
+    cell: Arc<SnapshotCell>,
     gate: Arc<AtomicUsize>,
     policy: OverloadPolicy,
 }
@@ -86,8 +188,10 @@ impl SharedDatabase {
 
     /// Wraps a database for shared access with an explicit policy.
     pub fn with_policy(db: Database, policy: OverloadPolicy) -> Self {
+        let cell = Arc::new(SnapshotCell::new(&db));
         SharedDatabase {
             inner: Arc::new(RwLock::new(db)),
+            cell,
             gate: Arc::new(AtomicUsize::new(0)),
             policy,
         }
@@ -98,10 +202,38 @@ impl SharedDatabase {
         self.policy
     }
 
-    /// Runs a closure with shared read access. Readers share the lock
-    /// and writers are bounded by the policy, so reads stay blocking.
+    /// Pins the current published snapshot: a zero-lock, immutable view
+    /// of the database as of the last completed write. Hold it as long
+    /// as you like — it never blocks a writer and never changes.
+    pub fn pin(&self) -> PinnedSnapshot {
+        if self.gate.load(Ordering::Acquire) > 0 {
+            fdb_obs::registry().mvcc_stale_snapshot_reads.inc();
+        }
+        self.cell.pin()
+    }
+
+    /// Runs a closure against a pinned snapshot. Lock-free: a writer
+    /// holding the write path cannot delay this (the closure sees the
+    /// state as of the last completed write).
     pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.pin())
+    }
+
+    /// [`SharedDatabase::read`] with the governor consulted up front:
+    /// an expired deadline or tripped cancellation token sheds the read
+    /// with the corresponding typed error before the snapshot is pinned.
+    /// (Snapshot pins cannot block, so unlike writes there is no lock
+    /// wait to clamp — pass the governor on to `*_governed` query
+    /// methods inside the closure to bound the query itself.)
+    pub fn read_governed<R>(
+        &self,
+        governor: &Governor,
+        f: impl FnOnce(&Database) -> R,
+    ) -> Result<R> {
+        governor
+            .check()
+            .map_err(|r| r.into_error("database read"))?;
+        Ok(self.read(f))
     }
 
     /// Runs a closure with exclusive write access.
@@ -110,7 +242,8 @@ impl SharedDatabase {
     /// immediately; if the lock cannot be acquired within the policy's
     /// timeout the request is shed. Either way the error is
     /// [`FdbError::Overloaded`], nothing was executed, and a retry is
-    /// safe.
+    /// safe. On success the new state is published for readers before
+    /// this returns (read-your-write through any handle clone).
     pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> Result<R> {
         self.write_bounded(self.policy.lock_timeout, f)
     }
@@ -141,7 +274,13 @@ impl SharedDatabase {
         }
         let t0 = Instant::now();
         match self.inner.try_write_for(timeout) {
-            Some(mut guard) => Ok(f(&mut guard)),
+            Some(mut guard) => {
+                let r = f(&mut guard);
+                // Publish while still holding the write lock: the slot
+                // always advances in commit order.
+                self.cell.publish_from(&guard);
+                Ok(r)
+            }
             None => Err(overloaded("database write lock", t0.elapsed())),
         }
     }
@@ -151,6 +290,7 @@ impl SharedDatabase {
     pub fn try_unwrap(self) -> std::result::Result<Database, SharedDatabase> {
         let SharedDatabase {
             inner,
+            cell,
             gate,
             policy,
         } = self;
@@ -158,6 +298,7 @@ impl SharedDatabase {
             .map(RwLock::into_inner)
             .map_err(|inner| SharedDatabase {
                 inner,
+                cell,
                 gate,
                 policy,
             })
@@ -206,15 +347,21 @@ impl SharedDatabase {
 ///
 /// Writers serialise on one mutex so the log order *is* the apply order
 /// — replaying the log always reproduces the live state, no matter how
-/// many threads were appending. The [`SyncPolicy`] travels with the
-/// underlying engine; [`SharedLoggedDatabase::set_sync_policy`] adjusts
-/// it at runtime. All access is bounded by the handle's
-/// [`OverloadPolicy`] lock timeout: a request that cannot get the mutex
-/// in time is shed with [`FdbError::Overloaded`] (the slow path here is
-/// a writer stuck in an fsync, which a longer queue would only worsen).
+/// many threads were appending. Reads never touch that mutex: they pin
+/// the snapshot published at the last commit boundary, so a writer stuck
+/// in an fsync cannot stall them. Under [`SyncPolicy::Always`] the
+/// autocommit write path group-commits: concurrent writers' WAL records
+/// are made durable by one batched fsync (see [`GroupCommit`]), and a
+/// write is acknowledged — and its state published to readers — only
+/// after the fsync covering it succeeded. Write-side access is bounded
+/// by the handle's [`OverloadPolicy`] lock timeout: a request that
+/// cannot get the mutex (or, for a group-commit follower, its leader's
+/// fsync) in time is shed with [`FdbError::Overloaded`].
 #[derive(Clone, Debug)]
 pub struct SharedLoggedDatabase {
     inner: Arc<Mutex<LoggedDatabase>>,
+    cell: Arc<SnapshotCell>,
+    group: Arc<GroupCommit>,
     policy: OverloadPolicy,
 }
 
@@ -228,8 +375,11 @@ impl SharedLoggedDatabase {
     /// Wraps a logged database for shared access with an explicit
     /// policy.
     pub fn with_policy(ldb: LoggedDatabase, policy: OverloadPolicy) -> Self {
+        let cell = Arc::new(SnapshotCell::new(ldb.database()));
         SharedLoggedDatabase {
             inner: Arc::new(Mutex::new(ldb)),
+            cell,
+            group: Arc::new(GroupCommit::new()),
             policy,
         }
     }
@@ -239,16 +389,44 @@ impl SharedLoggedDatabase {
         self.policy
     }
 
-    /// Runs a closure with read access to the live database.
-    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> Result<R> {
-        let guard = self.lock_bounded(self.policy.lock_timeout, "logged database read")?;
-        Ok(f(guard.database()))
+    /// Pins the current published snapshot (see
+    /// [`SharedDatabase::pin`]): zero-lock, immutable, never stalled by
+    /// a writer holding the engine mutex or an fsync.
+    pub fn pin(&self) -> PinnedSnapshot {
+        if self.inner.is_locked() {
+            fdb_obs::registry().mvcc_stale_snapshot_reads.inc();
+        }
+        self.cell.pin()
     }
 
-    /// Runs a closure with exclusive access to the logged engine.
+    /// Runs a closure against a pinned snapshot of the live database.
+    /// Lock-free and infallible; the `Result` is kept for signature
+    /// compatibility with the bounded-lock era.
+    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> Result<R> {
+        Ok(f(&self.pin()))
+    }
+
+    /// [`SharedLoggedDatabase::read`] with the governor consulted up
+    /// front (see [`SharedDatabase::read_governed`]).
+    pub fn read_governed<R>(
+        &self,
+        governor: &Governor,
+        f: impl FnOnce(&Database) -> R,
+    ) -> Result<R> {
+        governor
+            .check()
+            .map_err(|r| r.into_error("logged database read"))?;
+        self.read(f)
+    }
+
+    /// Runs a closure with exclusive access to the logged engine. On
+    /// return, if no transaction is open and the state changed, the new
+    /// state is published for readers.
     pub fn with<R>(&self, f: impl FnOnce(&mut LoggedDatabase) -> R) -> Result<R> {
         let mut guard = self.lock_bounded(self.policy.lock_timeout, "logged database lock")?;
-        Ok(f(&mut guard))
+        let r = f(&mut guard);
+        self.cell.publish_from(guard.database());
+        Ok(r)
     }
 
     /// [`SharedLoggedDatabase::with`] with the lock wait clamped to
@@ -271,7 +449,46 @@ impl SharedLoggedDatabase {
         governor
             .check()
             .map_err(|r| r.into_error("logged database access"))?;
-        Ok(f(&mut guard))
+        let r = f(&mut guard);
+        self.cell.publish_from(guard.database());
+        Ok(r)
+    }
+
+    /// The autocommit group-commit write path. Under
+    /// [`SyncPolicy::Always`] with no open transaction: apply + append
+    /// under the engine lock with the inline fsync deferred, release the
+    /// lock, then make the record durable through the [`GroupCommit`]
+    /// coordinator (one batched fsync per group of concurrent writers).
+    /// The new state is published to readers only after the fsync
+    /// covering it succeeded — a reader can never observe a state that
+    /// an immediate crash would lose under `Always`.
+    ///
+    /// Any other configuration (lazy sync policies, open transaction)
+    /// falls back to the plain [`SharedLoggedDatabase::with`] semantics.
+    fn write_grouped(&self, f: impl FnOnce(&mut LoggedDatabase) -> Result<()>) -> Result<()> {
+        let mut guard = self.lock_bounded(self.policy.lock_timeout, "logged database lock")?;
+        let grouped = guard.config().sync_policy == SyncPolicy::Always && !guard.txn_active();
+        if !grouped {
+            let r = f(&mut guard);
+            self.cell.publish_from(guard.database());
+            return r;
+        }
+        guard.set_defer_sync(true);
+        let r = f(&mut guard);
+        guard.set_defer_sync(false);
+        r?;
+        let seq = guard.last_seq();
+        let snap = Arc::new(guard.database().clone());
+        drop(guard);
+
+        self.group.sync_to(seq, self.policy.lock_timeout, || {
+            match self.lock_bounded(self.policy.lock_timeout, "group fsync lock") {
+                Ok(mut g) => (g.last_seq(), g.sync()),
+                Err(e) => (0, Err(e)),
+            }
+        })?;
+        self.cell.publish(snap);
+        Ok(())
     }
 
     fn lock_bounded(
@@ -288,25 +505,35 @@ impl SharedLoggedDatabase {
     /// Extracts the engine, if this is the last handle; otherwise
     /// returns the handle back.
     pub fn try_unwrap(self) -> std::result::Result<LoggedDatabase, SharedLoggedDatabase> {
-        let SharedLoggedDatabase { inner, policy } = self;
+        let SharedLoggedDatabase {
+            inner,
+            cell,
+            group,
+            policy,
+        } = self;
         Arc::try_unwrap(inner)
             .map(Mutex::into_inner)
-            .map_err(|inner| SharedLoggedDatabase { inner, policy })
+            .map_err(|inner| SharedLoggedDatabase {
+                inner,
+                cell,
+                group,
+                policy,
+            })
     }
 
-    /// `INS` by function name (logged).
+    /// `INS` by function name (logged, group-committed).
     pub fn insert(&self, function: &str, x: Value, y: Value) -> Result<()> {
-        self.with(|ldb| ldb.insert(function, x, y))?
+        self.write_grouped(|ldb| ldb.insert(function, x, y))
     }
 
-    /// `DEL` by function name (logged).
+    /// `DEL` by function name (logged, group-committed).
     pub fn delete(&self, function: &str, x: Value, y: Value) -> Result<()> {
-        self.with(|ldb| ldb.delete(function, x, y))?
+        self.write_grouped(|ldb| ldb.delete(function, x, y))
     }
 
-    /// Applies one engine-level update (logged).
+    /// Applies one engine-level update (logged, group-committed).
     pub fn apply_update(&self, update: &Update) -> Result<()> {
-        self.with(|ldb| ldb.apply_update(update))?
+        self.write_grouped(|ldb| ldb.apply_update(update))
     }
 
     /// Durably syncs the log.
@@ -327,11 +554,15 @@ impl SharedLoggedDatabase {
     }
 
     /// Opens a logged transaction frame ([`LoggedDatabase::begin`]).
+    /// While the transaction is open, readers keep pinning the
+    /// pre-`BEGIN` snapshot — uncommitted state is never published.
     pub fn begin(&self) -> Result<()> {
         self.with(LoggedDatabase::begin)?
     }
 
-    /// Commits the open transaction ([`LoggedDatabase::commit`]).
+    /// Commits the open transaction ([`LoggedDatabase::commit`]): the
+    /// commit marker is force-fsynced synchronously, then the committed
+    /// state becomes visible to readers atomically.
     pub fn commit(&self) -> Result<()> {
         self.with(LoggedDatabase::commit)?
     }
@@ -501,6 +732,83 @@ mod tests {
     }
 
     #[test]
+    fn reads_never_wait_for_a_writer_holding_the_lock() {
+        let shared = SharedDatabase::new(university());
+        let teach = shared.resolve("teach").unwrap();
+        shared.insert(teach, v("euclid"), v("math")).unwrap();
+
+        let holder = shared.clone();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let hold = std::thread::spawn(move || {
+            holder
+                .write(|db| {
+                    db.insert(teach, v("gauss"), v("algebra")).unwrap();
+                    tx.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(200));
+                })
+                .unwrap();
+        });
+        rx.recv().unwrap(); // writer is inside the write lock
+        let t0 = Instant::now();
+        // The read completes immediately against the last *published*
+        // state: euclid is visible, the in-flight gauss is not.
+        assert_eq!(
+            shared.truth(teach, &v("euclid"), &v("math")).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            shared.truth(teach, &v("gauss"), &v("algebra")).unwrap(),
+            Truth::False
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "snapshot read stalled behind a writer: {:?}",
+            t0.elapsed()
+        );
+        hold.join().unwrap();
+        // After the write completed, its state is published.
+        assert_eq!(
+            shared.truth(teach, &v("gauss"), &v("algebra")).unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn pinned_snapshot_is_frozen() {
+        let shared = SharedDatabase::new(university());
+        let teach = shared.resolve("teach").unwrap();
+        shared.insert(teach, v("euclid"), v("math")).unwrap();
+        let pin = shared.pin();
+        let stamp = pin.version();
+        shared.insert(teach, v("gauss"), v("algebra")).unwrap();
+        assert_eq!(
+            pin.truth(teach, &v("gauss"), &v("algebra")).unwrap(),
+            Truth::False
+        );
+        assert_eq!(pin.version(), stamp);
+        assert!(shared.pin().version() > stamp);
+    }
+
+    #[test]
+    fn read_governed_sheds_on_expired_deadline() {
+        let shared = SharedDatabase::new(university());
+        let gov = Governor::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(matches!(
+            shared.read_governed(&gov, |db| db.stats()),
+            Err(FdbError::DeadlineExceeded(_))
+        ));
+        let gov = Governor::unbounded();
+        gov.cancel_token().cancel();
+        assert!(matches!(
+            shared.read_governed(&gov, |db| db.stats()),
+            Err(FdbError::Cancelled)
+        ));
+        let gov = Governor::with_deadline(Duration::from_secs(10));
+        assert!(shared.read_governed(&gov, |db| db.stats()).is_ok());
+    }
+
+    #[test]
     fn try_unwrap_returns_database_when_unique() {
         let shared = SharedDatabase::new(university());
         let clone = shared.clone();
@@ -557,6 +865,128 @@ mod tests {
         )
         .unwrap();
         assert_eq!(recovered.database().to_snapshot().unwrap(), live);
+    }
+
+    #[test]
+    fn grouped_writes_are_durable_when_acknowledged() {
+        use crate::durability::DurabilityConfig;
+        use crate::storage::SimDisk;
+
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb = LoggedDatabase::create_with(
+            disk.clone(),
+            "/group_db",
+            DurabilityConfig::default(), // SyncPolicy::Always → grouped
+        )
+        .unwrap();
+        ldb.import_schema(&university()).unwrap();
+        let shared = SharedLoggedDatabase::new(ldb);
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    h.insert("teach", v(&format!("p{w}_{i}")), v(&format!("c{i}")))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let live = shared.read(|db| db.to_snapshot().unwrap()).unwrap();
+        // No explicit sync, no graceful close: drop the engine cold. Every
+        // acknowledged write must already be durable.
+        drop(shared.try_unwrap().expect("last handle"));
+        let (recovered, _) = LoggedDatabase::open_with(
+            disk,
+            "/group_db",
+            crate::durability::DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.database().to_snapshot().unwrap(), live);
+        assert_eq!(recovered.database().stats().base_facts, 40);
+    }
+
+    #[test]
+    fn group_fsync_failure_surfaces_to_the_writer() {
+        use crate::durability::DurabilityConfig;
+        use crate::storage::SimDisk;
+
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk.clone(), "/gfail_db", DurabilityConfig::default())
+                .unwrap();
+        ldb.import_schema(&university()).unwrap();
+        let shared = SharedLoggedDatabase::new(ldb);
+        disk.fail_sync(1);
+        assert!(shared.insert("teach", v("euclid"), v("math")).is_err());
+        // The disk healed: later writes succeed and are durable.
+        shared.insert("teach", v("gauss"), v("algebra")).unwrap();
+        assert_eq!(
+            shared
+                .truth(
+                    shared.read(|db| db.resolve("teach")).unwrap().unwrap(),
+                    &v("gauss"),
+                    &v("algebra")
+                )
+                .unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn uncommitted_transaction_is_invisible_to_readers() {
+        use crate::durability::DurabilityConfig;
+        use crate::storage::SimDisk;
+
+        let disk = Arc::new(SimDisk::new());
+        let mut ldb =
+            LoggedDatabase::create_with(disk, "/txnvis_db", DurabilityConfig::default()).unwrap();
+        ldb.import_schema(&university()).unwrap();
+        let shared = SharedLoggedDatabase::new(ldb);
+        let teach = shared.read(|db| db.resolve("teach")).unwrap().unwrap();
+
+        shared.begin().unwrap();
+        shared
+            .with(|ldb| ldb.insert("teach", v("euclid"), v("math")))
+            .unwrap()
+            .unwrap();
+        // The write path sees its own uncommitted journal…
+        assert_eq!(
+            shared
+                .with(|ldb| ldb.database().truth(teach, &v("euclid"), &v("math")))
+                .unwrap()
+                .unwrap(),
+            Truth::True
+        );
+        // …while snapshot readers still see the pre-BEGIN state.
+        assert_eq!(
+            shared.truth(teach, &v("euclid"), &v("math")).unwrap(),
+            Truth::False
+        );
+        shared.commit().unwrap();
+        // Commit publishes atomically.
+        assert_eq!(
+            shared.truth(teach, &v("euclid"), &v("math")).unwrap(),
+            Truth::True
+        );
+
+        // A rolled-back transaction never becomes visible.
+        shared.begin().unwrap();
+        shared
+            .with(|ldb| ldb.insert("teach", v("noether"), v("rings")))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            shared.truth(teach, &v("noether"), &v("rings")).unwrap(),
+            Truth::False
+        );
+        shared.rollback().unwrap();
+        assert_eq!(
+            shared.truth(teach, &v("noether"), &v("rings")).unwrap(),
+            Truth::False
+        );
     }
 
     #[test]
@@ -680,6 +1110,14 @@ mod tests {
             shared.insert("teach", v("euclid"), v("math")),
             Err(FdbError::Overloaded { .. })
         ));
+        // Reads, by contrast, proceed against the snapshot while the
+        // engine mutex is stuck.
+        let t0 = Instant::now();
+        assert!(shared.stats().is_ok());
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "snapshot read stalled behind the engine mutex"
+        );
         // sync under an expired deadline is refused up front.
         let gov = Governor::with_deadline(Duration::from_millis(0));
         std::thread::sleep(Duration::from_millis(5));
@@ -765,5 +1203,20 @@ mod tests {
         ]);
         assert!(err.is_err());
         assert_eq!(shared.stats().base_facts, 0);
+    }
+
+    #[test]
+    fn retry_on_overload_note_reads_inside_with_see_live_state() {
+        // `with` closures read the live database (their own uncommitted
+        // journal included); `read` closures see the published snapshot.
+        // After any completed non-transactional `with`, the two agree.
+        let shared = SharedDatabase::new(university());
+        let teach = shared.resolve("teach").unwrap();
+        shared.insert(teach, v("a"), v("b")).unwrap();
+        let via_write = shared
+            .write(|db| db.truth(teach, &v("a"), &v("b")).unwrap())
+            .unwrap();
+        let via_read = shared.truth(teach, &v("a"), &v("b")).unwrap();
+        assert_eq!(via_write, via_read);
     }
 }

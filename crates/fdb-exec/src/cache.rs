@@ -35,9 +35,16 @@ use fdb_storage::{DerivedPair, Store, Truth};
 use fdb_types::{FunctionId, Value};
 
 /// The per-function mutation counters of a support set, captured at
-/// compute time.
+/// compute time, plus the store's global version stamp for an O(1)
+/// freshness fast path.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SupportSnapshot {
+    /// The store's global monotone version at capture. If the store
+    /// still reports this stamp, *nothing* has changed and the entry is
+    /// fresh without examining any per-function counter — the common
+    /// case under MVCC, where a statement evaluates against one pinned
+    /// [`fdb_storage::Snapshot`] whose stamp never moves.
+    store_version: u64,
     entries: Vec<(FunctionId, u64)>,
 }
 
@@ -48,6 +55,7 @@ impl SupportSnapshot {
         I: IntoIterator<Item = &'a FunctionId>,
     {
         SupportSnapshot {
+            store_version: store.version(),
             entries: support
                 .into_iter()
                 .map(|f| (*f, store.function_version(*f)))
@@ -56,7 +64,15 @@ impl SupportSnapshot {
     }
 
     /// `true` if any support function has been mutated since capture.
+    ///
+    /// O(1) when the store's global stamp is unchanged (equal stamps
+    /// imply identical state); falls back to the per-function counters
+    /// otherwise, so writes outside the support set still preserve the
+    /// entry.
     pub fn is_stale(&self, store: &Store) -> bool {
+        if store.version() == self.store_version {
+            return false;
+        }
         self.entries
             .iter()
             .any(|(f, v)| store.function_version(*f) != *v)
@@ -308,6 +324,37 @@ mod tests {
         });
         assert_eq!(computes, 2);
         assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn pinned_snapshot_keeps_hitting_while_live_store_mutates() {
+        let mut s = Store::new(4);
+        s.base_insert(F0, v("a"), v("b"));
+        s.base_insert(F1, v("b"), v("c"));
+        let snap = s.snapshot();
+        let support = [F0, F1];
+        let mut cache = ResultCache::new();
+        let mut computes = 0;
+        // Writes to the live store — even inside the support set — are
+        // invisible through the snapshot: its stamp is frozen, so every
+        // lookup takes the O(1) fast path and hits.
+        for _ in 0..3 {
+            cache.truth_or_compute(snap.store(), PUPIL, &support, &v("a"), &v("c"), || {
+                computes += 1;
+                Truth::True
+            });
+            s.base_insert(F0, v("mut"), v("mut"));
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().invalidations, 0);
+        // The same cache consulted against the moved-on live store sees
+        // the support-set change and recomputes.
+        cache.truth_or_compute(&s, PUPIL, &support, &v("a"), &v("c"), || {
+            computes += 1;
+            Truth::True
+        });
+        assert_eq!(computes, 2);
     }
 
     #[test]

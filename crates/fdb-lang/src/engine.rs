@@ -188,6 +188,23 @@ impl Engine {
         &self.db
     }
 
+    /// A frozen copy of the database exactly as statements see it right
+    /// now — the engine-level face of the MVCC snapshots in
+    /// `fdb-storage`.
+    ///
+    /// Cheap: the store is copy-on-write at per-function granularity, so
+    /// the clone is O(#functions) `Arc` bumps; later writes through the
+    /// engine detach only the tables they touch. Each statement the
+    /// engine executes is pinned to one such state for its whole
+    /// evaluation (the engine is `&mut self` per statement, so no write
+    /// can interleave), and an open transaction's statements see their
+    /// own uncommitted journal overlaid — which is also what this
+    /// snapshot captures if one is open. Hand the clone to other threads
+    /// to answer queries while the engine keeps writing.
+    pub fn snapshot(&self) -> Database {
+        self.db.clone()
+    }
+
     /// Sets (or clears) the per-statement deadline applied to queries
     /// over derived functions — the programmatic form of `TIMEOUT`.
     pub fn set_statement_deadline(&mut self, deadline: Option<Duration>) {
@@ -980,6 +997,30 @@ mod tests {
         assert!(json.trim_start().starts_with('{'), "got: {json}");
         assert!(json.contains("\"fdb.lang.statements\""), "got: {json}");
         assert_eq!(e.execute_line("STATS RESET").unwrap(), "metrics reset\n");
+    }
+
+    #[test]
+    fn stats_surface_mvcc_and_group_commit_metrics() {
+        let mut e = Engine::new();
+        // The registry is closed: every key is present in both renderings
+        // whether or not this process exercised the MVCC/group paths.
+        let stats = e.execute_line("STATS").unwrap();
+        let json = e.execute_line("STATS JSON").unwrap();
+        for key in [
+            "fdb.mvcc.snapshots_published",
+            "fdb.mvcc.snapshot_pins",
+            "fdb.mvcc.stale_snapshot_reads",
+            "fdb.commit.group_fsyncs",
+            "fdb.commit.group_fsyncs_saved",
+            "fdb.commit.group_failures",
+            "fdb.commit.group_size_records",
+        ] {
+            assert!(stats.contains(key), "STATS lacks {key}: {stats}");
+            assert!(
+                json.contains(&format!("\"{key}")),
+                "STATS JSON lacks {key}: {json}"
+            );
+        }
     }
 
     #[test]

@@ -410,6 +410,27 @@ registry! {
         /// three-valued logic surfacing partial information.
         query_ambiguous_verdicts => "fdb.query.ambiguous_verdicts",
 
+        // ---- fdb-core: MVCC snapshot reads ----
+        /// Snapshots published by the shared handles (one per observable
+        /// commit boundary; version-unchanged writes publish nothing).
+        mvcc_snapshots_published => "fdb.mvcc.snapshots_published",
+        /// Snapshot pins taken by lock-free readers.
+        mvcc_snapshot_pins => "fdb.mvcc.snapshot_pins",
+        /// Pins taken while a writer held or awaited the write path —
+        /// reads that the old exclusive-lock design would have stalled,
+        /// served instead from the (necessarily slightly stale) snapshot.
+        mvcc_stale_snapshot_reads => "fdb.mvcc.stale_snapshot_reads",
+
+        // ---- fdb-core: group commit ----
+        /// Batched group fsyncs led on behalf of one or more writers.
+        commit_group_fsyncs => "fdb.commit.group_fsyncs",
+        /// Writers whose records were made durable by another writer's
+        /// group fsync — each one is a physical fsync saved.
+        commit_group_fsyncs_saved => "fdb.commit.group_fsyncs_saved",
+        /// Group fsync attempts that failed (durability of the covered
+        /// records unknown until a later sync succeeds).
+        commit_group_failures => "fdb.commit.group_failures",
+
         // ---- fdb-repl: WAL-shipping replication ----
         /// WAL records shipped from a primary to replicas.
         repl_records_shipped => "fdb.repl.records_shipped",
@@ -438,6 +459,9 @@ registry! {
         /// Frontier nodes materialised per executed chain query (arena
         /// footprint of the batched executor).
         exec_frontier_nodes => "fdb.exec.frontier_nodes",
+        /// WAL records covered per group fsync (group size: 1 = no
+        /// batching win, N = N−1 fsyncs saved).
+        commit_group_size => "fdb.commit.group_size_records",
         /// Replica lag in records behind the primary, sampled per poll.
         repl_lag_records => "fdb.repl.lag_records",
         /// Replica lag in bytes behind the primary, sampled per poll.

@@ -30,6 +30,7 @@ pub mod chain;
 pub mod fact;
 pub mod nc;
 pub mod nvc;
+pub mod snapshot;
 pub mod store;
 pub mod table;
 pub mod truth;
@@ -39,6 +40,7 @@ pub use chain::{Chain, ChainLimits, DerivedPair};
 pub use fact::Fact;
 pub use fdb_governor::{Governance, Governor, Outcome, StopReason, Ungoverned};
 pub use nc::{NcId, NcStore};
+pub use snapshot::Snapshot;
 pub use store::{CompactionPolicy, Store};
 pub use table::{RowView, Table, TableStats};
 pub use truth::Truth;

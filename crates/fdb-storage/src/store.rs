@@ -6,6 +6,8 @@
 //! live in [`crate::nvc`] and [`crate::chain`] because they need a
 //! derivation; the full update dispatch is assembled in `fdb-core`.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use fdb_types::{FunctionId, NullGen, Value};
@@ -52,10 +54,18 @@ impl CompactionPolicy {
 }
 
 /// The extensional state of a functional database instance.
+///
+/// Tables and the NC store sit behind [`Arc`]s so cloning a store is
+/// O(#functions) pointer bumps, not O(#facts) — the basis of the MVCC
+/// snapshot read path (see [`crate::snapshot::Snapshot`]). Mutators go
+/// through [`Arc::make_mut`], which copies a table only on the *first*
+/// write after a snapshot was taken (copy-on-write at per-function
+/// granularity). The `Arc`s serialize transparently as their contents,
+/// so the JSON snapshot format is unchanged.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Store {
-    tables: Vec<Table>,
-    ncs: NcStore,
+    tables: Vec<Arc<Table>>,
+    ncs: Arc<NcStore>,
     nulls: NullGen,
     /// Monotone mutation counter: bumped by every state-changing
     /// operation — including a transaction rollback, which restores the
@@ -91,8 +101,8 @@ impl Store {
     /// Creates an empty store with `n_functions` (initially empty) tables.
     pub fn new(n_functions: usize) -> Self {
         Store {
-            tables: (0..n_functions).map(|_| Table::new()).collect(),
-            ncs: NcStore::new(),
+            tables: (0..n_functions).map(|_| Arc::new(Table::new())).collect(),
+            ncs: Arc::new(NcStore::new()),
             nulls: NullGen::new(),
             version: 0,
             fn_versions: Vec::new(),
@@ -104,7 +114,7 @@ impl Store {
     /// Rebuilds all table indexes (after deserialisation).
     pub fn rebuild_index(&mut self) {
         for t in &mut self.tables {
-            t.rebuild_index();
+            Arc::make_mut(t).rebuild_index();
         }
     }
 
@@ -112,8 +122,19 @@ impl Store {
     /// declared after the store was created).
     pub fn ensure_table(&mut self, f: FunctionId) {
         while self.tables.len() <= f.index() {
-            self.tables.push(Table::new());
+            self.tables.push(Arc::new(Table::new()));
         }
+    }
+
+    /// Copy-on-write access to the table at raw index `i`: clones the
+    /// table iff a snapshot still shares it.
+    fn tab(&mut self, i: usize) -> &mut Table {
+        Arc::make_mut(&mut self.tables[i])
+    }
+
+    /// Copy-on-write access to the NC store.
+    fn ncs_cow(&mut self) -> &mut NcStore {
+        Arc::make_mut(&mut self.ncs)
     }
 
     /// Number of allocated tables (declared functions may trail behind
@@ -147,10 +168,11 @@ impl Store {
         &self.tables[f.index()]
     }
 
-    /// Mutable access to the table of `f`.
+    /// Mutable access to the table of `f` (copy-on-write: detaches the
+    /// table from any live snapshot before handing out the reference).
     pub fn table_mut(&mut self, f: FunctionId) -> &mut Table {
         self.ensure_table(f);
-        &mut self.tables[f.index()]
+        Arc::make_mut(&mut self.tables[f.index()])
     }
 
     /// The NC store.
@@ -217,7 +239,7 @@ impl Store {
         if dead >= self.compaction.min_tombstones
             && dead as f64 > self.compaction.tombstone_fraction * table.len() as f64
         {
-            self.tables[f.index()].compact();
+            self.tab(f.index()).compact();
         }
     }
 
@@ -239,7 +261,7 @@ impl Store {
     pub fn create_nc(&mut self, conjuncts: Vec<Fact>) -> NcId {
         fdb_obs::registry().storage_ncs_created.inc();
         self.version += 1;
-        let id = self.ncs.create(conjuncts.clone());
+        let id = self.ncs_cow().create(conjuncts.clone());
         if let Some(j) = self.journal.as_mut() {
             j.push(UndoOp::NcCreated { id });
         }
@@ -259,7 +281,7 @@ impl Store {
                             newly,
                         });
                     }
-                    self.tables[fact.function.index()].attach_nc(i, id);
+                    self.tab(fact.function.index()).attach_nc(i, id);
                 }
                 None => debug_assert!(false, "create-NC on unstored fact {fact}"),
             }
@@ -274,7 +296,7 @@ impl Store {
     pub fn dismantle_nc(&mut self, id: NcId) {
         fdb_obs::registry().storage_ncs_dismantled.inc();
         self.version += 1;
-        let conjuncts = self.ncs.dismantle(id);
+        let conjuncts = self.ncs_cow().dismantle(id);
         if let Some(j) = self.journal.as_mut() {
             j.push(UndoOp::NcDismantled {
                 id,
@@ -284,7 +306,11 @@ impl Store {
         for fact in conjuncts {
             self.bump_fn(fact.function);
             let journaling = self.journal.is_some();
-            if let Some(t) = self.tables.get_mut(fact.function.index()) {
+            if let Some(t) = self
+                .tables
+                .get_mut(fact.function.index())
+                .map(Arc::make_mut)
+            {
                 if let Some(i) = t.position(&fact.x, &fact.y) {
                     let detached = t.row(i).is_some_and(|r| r.ncl.contains(&id));
                     t.detach_nc(i, id);
@@ -320,7 +346,7 @@ impl Store {
                 if let Some(j) = self.journal.as_mut() {
                     j.push(UndoOp::RowAppended { f });
                 }
-                self.tables[f.index()].insert(x, y);
+                self.tab(f.index()).insert(x, y);
             }
             Some(i) => {
                 let (prior, ncl): (Truth, Vec<NcId>) = table
@@ -333,7 +359,7 @@ impl Store {
                 if let Some(j) = self.journal.as_mut() {
                     j.push(UndoOp::TruthSet { f, index: i, prior });
                 }
-                self.tables[f.index()].set_truth(i, Truth::True);
+                self.tab(f.index()).set_truth(i, Truth::True);
             }
         }
     }
@@ -361,7 +387,7 @@ impl Store {
         for d in ncl {
             self.dismantle_nc(d);
         }
-        let removed = self.tables[f.index()].remove(x, y).unwrap_or_default();
+        let removed = self.tab(f.index()).remove(x, y).unwrap_or_default();
         if let Some(j) = self.journal.as_mut() {
             // The dismantles above emptied the NCL, so `removed` is
             // normally empty; journal what `remove` actually took so the
@@ -420,7 +446,7 @@ impl Store {
                 }
             }
         }
-        self.ncs.substitute_value(from, to);
+        self.ncs_cow().substitute_value(from, to);
 
         // 2. Rewrite table rows.
         let mut reassert: Vec<Fact> = Vec::new();
@@ -438,7 +464,7 @@ impl Store {
                     let r = table.row(i).expect("row alive");
                     (r.truth, r.ncl.clone())
                 };
-                let removed = self.tables[fi].remove(&x, &y).unwrap_or_default();
+                let removed = self.tab(fi).remove(&x, &y).unwrap_or_default();
                 if let Some(j) = self.journal.as_mut() {
                     j.push(UndoOp::RowRemoved {
                         f: function,
@@ -453,7 +479,7 @@ impl Store {
                         if let Some(j) = self.journal.as_mut() {
                             j.push(UndoOp::RowAppended { f: function });
                         }
-                        self.tables[fi].restore_row(nx, ny, truth, ncl);
+                        self.tab(fi).restore_row(nx, ny, truth, ncl);
                     }
                     Some(pos) => {
                         // Merge with the existing row.
@@ -474,7 +500,7 @@ impl Store {
                                     newly,
                                 });
                             }
-                            self.tables[fi].attach_nc(pos, d);
+                            self.tab(fi).attach_nc(pos, d);
                         }
                         if either_true {
                             reassert.push(Fact {
@@ -580,12 +606,12 @@ impl Store {
                 touched.insert(f.index() as u32);
             }
             match op {
-                UndoOp::RowAppended { f } => self.tables[f.index()].undo_append(),
+                UndoOp::RowAppended { f } => self.tab(f.index()).undo_append(),
                 UndoOp::RowRemoved { f, index, ncl } => {
-                    self.tables[f.index()].resurrect(index, ncl);
+                    self.tab(f.index()).resurrect(index, ncl);
                 }
                 UndoOp::TruthSet { f, index, prior } => {
-                    self.tables[f.index()].set_truth(index, prior);
+                    self.tab(f.index()).set_truth(index, prior);
                 }
                 UndoOp::NcAttached {
                     f,
@@ -594,7 +620,7 @@ impl Store {
                     prior,
                     newly,
                 } => {
-                    let t = &mut self.tables[f.index()];
+                    let t = self.tab(f.index());
                     if newly {
                         t.detach_nc(index, id);
                     }
@@ -603,11 +629,11 @@ impl Store {
                 UndoOp::NcDetached { f, index, id } => {
                     // The row was necessarily ambiguous at detach time, so
                     // attach_nc restores both the NCL entry and the flag.
-                    self.tables[f.index()].attach_nc(index, id);
+                    self.tab(f.index()).attach_nc(index, id);
                 }
-                UndoOp::NcCreated { id } => self.ncs.undo_create(id),
-                UndoOp::NcDismantled { id, conjuncts } => self.ncs.restore(id, conjuncts),
-                UndoOp::NcRewritten { id, prior } => self.ncs.rewrite(id, prior),
+                UndoOp::NcCreated { id } => self.ncs_cow().undo_create(id),
+                UndoOp::NcDismantled { id, conjuncts } => self.ncs_cow().restore(id, conjuncts),
+                UndoOp::NcRewritten { id, prior } => self.ncs_cow().rewrite(id, prior),
                 UndoOp::NullDrawn { watermark } => self.nulls.rewind(watermark),
             }
         }
@@ -621,7 +647,34 @@ impl Store {
 
     /// Total number of live base facts across all tables.
     pub fn fact_count(&self) -> usize {
-        self.tables.iter().map(Table::len).sum()
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Captures a cheap, immutable, version-stamped view of the store —
+    /// see [`crate::snapshot::Snapshot`]. O(#functions), not O(#facts).
+    ///
+    /// # Panics
+    /// Debug-asserts that no undo journal is open: a snapshot is a view of
+    /// *committed* state, and callers (the shared handles in `fdb-core`)
+    /// only publish at commit boundaries.
+    pub fn snapshot(&self) -> crate::snapshot::Snapshot {
+        debug_assert!(
+            self.journal.is_none(),
+            "snapshot of a store with an open undo journal"
+        );
+        let mut store = self.clone();
+        store.journal = None;
+        crate::snapshot::Snapshot::new(store)
+    }
+
+    /// `true` if the table of `f` is physically shared with `other`
+    /// (same `Arc`) — used by tests and benches to prove snapshot
+    /// publication is copy-on-write, not a deep copy.
+    pub fn shares_table_with(&self, other: &Store, f: FunctionId) -> bool {
+        match (self.tables.get(f.index()), other.tables.get(f.index())) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Number of live base facts currently flagged ambiguous.

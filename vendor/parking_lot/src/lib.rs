@@ -171,6 +171,12 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock_for(&self, timeout: Duration) -> Option<StdMutexGuard<'_, T>> {
         timed(timeout, || self.try_lock())
     }
+
+    /// Whether the mutex is currently held (a point-in-time probe, as in
+    /// parking_lot; the answer may be stale by the time it is used).
+    pub fn is_locked(&self) -> bool {
+        self.try_lock().is_none()
+    }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {

@@ -263,6 +263,11 @@ impl Deserialize for Arc<str> {
         String::from_content(c).map(Arc::from)
     }
 }
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Arc::new)
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for Rc<T> {
     fn to_content(&self) -> Content {
