@@ -1,15 +1,20 @@
-//! Obs-overhead smoke: the metrics registry's cost on the governed
-//! derived-truth workload, measured paired (enabled vs disabled), written
-//! to `BENCH_obs.json` (the committed baseline CI's obs-overhead job
+//! Obs-overhead smoke: the observability layer's cost on the governed
+//! derived-truth workload, measured in three interleaved arms — metrics
+//! disabled, metrics enabled, and metrics + causal tracing at the
+//! shipped default sampling (1 in [`fdb_obs::causal::DEFAULT_SAMPLE_RATE`])
+//! with every query wrapped in a statement span. Results are written to
+//! `BENCH_obs.json` (the committed baseline CI's obs-overhead job
 //! regenerates).
 //!
 //! ```sh
 //! cargo run -p fdb-bench --bin obs_overhead --release
 //! ```
 //!
-//! Exits non-zero if the paired overhead exceeds the 3% ceiling the
-//! observability layer contracts to (`fdb-obs` crate docs): hot loops
-//! batch their counts precisely so that leaving metrics on in production
+//! Exits non-zero if either paired overhead (metrics-only, or
+//! metrics+tracing) exceeds the 3% ceiling the observability layer
+//! contracts to (`fdb-obs` crate docs): hot loops batch their counts
+//! precisely, and unsampled statements hold an inert span guard that
+//! allocates nothing, so that leaving the whole layer on in production
 //! is free for all practical purposes.
 
 use std::fmt::Write as _;
@@ -69,17 +74,24 @@ fn hub_fanout_db(n: usize) -> Database {
 }
 
 /// One timed sample: `QUERIES_PER_SAMPLE` governed fan-out truth queries.
-fn sample(db: &Database) -> f64 {
+/// With `traced`, each query runs under a statement span exactly the way
+/// the language front end wraps statements, at whatever sampling rate is
+/// currently configured.
+fn sample(db: &Database, traced: bool) -> f64 {
     let top = db.resolve("top").expect("top exists");
     let derivations = db.derivations(top).to_vec();
     let (hub, t0v) = (Value::atom("hub"), Value::atom("t0"));
     let limits = ChainLimits::default();
     let t0 = Instant::now();
     for _ in 0..QUERIES_PER_SAMPLE {
+        let span = traced.then(|| {
+            fdb_obs::causal::statement_span("fdb.bench.query", || "governed truth".to_string())
+        });
         let gov = Governor::unbounded();
         let out =
             fdb_exec::derived_truth_governed(db.store(), &derivations, &hub, &t0v, limits, &gov);
         assert_eq!(out.value(), Truth::True);
+        drop(span);
     }
     t0.elapsed().as_secs_f64()
 }
@@ -89,54 +101,80 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// Configures one measurement arm: metrics gate plus tracing gate.
+fn arm(metrics: bool, tracing: bool) {
+    fdb_obs::set_enabled(metrics);
+    fdb_obs::causal::set_tracing(tracing);
+}
+
 fn main() {
     let db = hub_fanout_db(N);
+    fdb_obs::causal::set_sample_rate(fdb_obs::causal::DEFAULT_SAMPLE_RATE);
 
-    // Warm up both arms, then sanity-check the gate actually gates:
-    // enabled runs must move the registry, disabled runs must not.
-    fdb_obs::set_enabled(true);
-    sample(&db);
+    // Warm up the arms, then sanity-check the gates actually gate:
+    // enabled runs must move the registry, disabled runs must not, and
+    // the traced arm must put sampled statement spans into the ring.
+    arm(true, false);
+    sample(&db, false);
     let before = fdb_obs::registry().plan_compiled.get();
-    sample(&db);
+    sample(&db, false);
     assert!(
         fdb_obs::registry().plan_compiled.get() > before,
         "enabled run compiled no plans — workload is not instrumented"
     );
-    fdb_obs::set_enabled(false);
+    arm(false, false);
     let frozen = fdb_obs::registry().snapshot();
-    sample(&db);
+    sample(&db, false);
     assert_eq!(
         fdb_obs::registry().snapshot(),
         frozen,
         "disabled run still recorded metrics"
     );
+    arm(true, true);
+    fdb_obs::causal::recorder().clear();
+    sample(&db, true);
 
     let mut enabled = Vec::with_capacity(SAMPLES);
     let mut disabled = Vec::with_capacity(SAMPLES);
+    let mut traced = Vec::with_capacity(SAMPLES);
     for i in 0..SAMPLES {
-        // Alternate which arm goes first so slow drift cancels.
-        if i % 2 == 0 {
-            fdb_obs::set_enabled(true);
-            enabled.push(sample(&db));
-            fdb_obs::set_enabled(false);
-            disabled.push(sample(&db));
-        } else {
-            fdb_obs::set_enabled(false);
-            disabled.push(sample(&db));
-            fdb_obs::set_enabled(true);
-            enabled.push(sample(&db));
+        // Rotate which arm goes first so slow drift cancels across arms.
+        for k in 0..3 {
+            match (i + k) % 3 {
+                0 => {
+                    arm(false, false);
+                    disabled.push(sample(&db, false));
+                }
+                1 => {
+                    arm(true, false);
+                    enabled.push(sample(&db, false));
+                }
+                _ => {
+                    arm(true, true);
+                    traced.push(sample(&db, true));
+                }
+            }
         }
     }
-    fdb_obs::set_enabled(true);
+    arm(true, true);
+    assert!(
+        !fdb_obs::causal::recorder().recent().is_empty(),
+        "traced arm recorded no spans at default sampling — tracing is not wired"
+    );
+    fdb_obs::causal::recorder().clear();
 
     let on = median(enabled);
     let off = median(disabled);
+    let traced_on = median(traced);
     let overhead = on / off.max(1e-12) - 1.0;
+    let tracing_overhead = traced_on / off.max(1e-12) - 1.0;
     println!(
-        "governed truth x{QUERIES_PER_SAMPLE}: metrics on {:>9.0} ns/query, off {:>9.0} ns/query, overhead {:+.2}%",
+        "governed truth x{QUERIES_PER_SAMPLE}: metrics on {:>9.0} ns/query, off {:>9.0} ns/query, traced {:>9.0} ns/query, overhead {:+.2}% / traced {:+.2}%",
         on * 1e9 / QUERIES_PER_SAMPLE as f64,
         off * 1e9 / QUERIES_PER_SAMPLE as f64,
+        traced_on * 1e9 / QUERIES_PER_SAMPLE as f64,
         overhead * 100.0,
+        tracing_overhead * 100.0,
     );
 
     let mut json = String::from(
@@ -155,7 +193,22 @@ fn main() {
         "  \"disabled_median_ns_per_query\": {:.0},",
         off * 1e9 / QUERIES_PER_SAMPLE as f64
     );
+    let _ = writeln!(
+        json,
+        "  \"traced_median_ns_per_query\": {:.0},",
+        traced_on * 1e9 / QUERIES_PER_SAMPLE as f64
+    );
+    let _ = writeln!(
+        json,
+        "  \"tracing_sample_rate\": {},",
+        fdb_obs::causal::DEFAULT_SAMPLE_RATE
+    );
     let _ = writeln!(json, "  \"overhead_pct\": {:.2},", overhead * 100.0);
+    let _ = writeln!(
+        json,
+        "  \"tracing_overhead_pct\": {:.2},",
+        tracing_overhead * 100.0
+    );
     let _ = writeln!(
         json,
         "  \"overhead_ceiling_pct\": {:.1}",
@@ -169,6 +222,14 @@ fn main() {
         eprintln!(
             "FAIL: metrics-enabled overhead {:.2}% exceeds the {:.1}% ceiling",
             overhead * 100.0,
+            OVERHEAD_CEILING * 100.0
+        );
+        std::process::exit(1);
+    }
+    if tracing_overhead > OVERHEAD_CEILING {
+        eprintln!(
+            "FAIL: tracing-at-default-sampling overhead {:.2}% exceeds the {:.1}% ceiling",
+            tracing_overhead * 100.0,
             OVERHEAD_CEILING * 100.0
         );
         std::process::exit(1);

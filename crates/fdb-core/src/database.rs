@@ -334,6 +334,7 @@ impl Database {
             savepoints: Vec::new(),
         });
         fdb_obs::registry().txn_begins.inc();
+        fdb_obs::causal::point("fdb.txn.begin", String::new);
         Ok(())
     }
 
@@ -388,6 +389,7 @@ impl Database {
         };
         self.txn_restore(meta);
         fdb_obs::registry().txn_savepoint_rollbacks.inc();
+        fdb_obs::causal::point("fdb.txn.rollback_to", || name.to_string());
         Ok(())
     }
 
@@ -410,6 +412,7 @@ impl Database {
         self.store.truncate_tables(self.schema.len());
         self.schema.rebuild_index();
         fdb_obs::registry().txn_rollbacks.inc();
+        fdb_obs::causal::point("fdb.txn.rollback", String::new);
         Ok(())
     }
 
@@ -425,6 +428,7 @@ impl Database {
             .add(self.store.undo_bytes() as u64);
         self.store.undo_commit();
         fdb_obs::registry().txn_commits.inc();
+        fdb_obs::causal::point("fdb.txn.commit", String::new);
         Ok(())
     }
 

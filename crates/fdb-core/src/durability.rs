@@ -315,6 +315,8 @@ impl LoggedDatabase {
         if storage.is_file(&path) {
             return LoggedDatabase::open_legacy(storage, path, config);
         }
+        let recovery_span =
+            fdb_obs::causal::root_span("fdb.recovery.run", || format!("dir={}", path.display()));
         storage
             .create_dir_all(&path)
             .map_err(|e| io_err("create dir", e))?;
@@ -425,6 +427,10 @@ impl LoggedDatabase {
         let next_txn_id = wal.next_seq();
 
         observe_recovery(&report);
+        recovery_span.annotate("applied", report.applied);
+        recovery_span.annotate("discarded", report.uncommitted_discarded);
+        recovery_span.annotate("corruption", report.corruption.len());
+        drop(recovery_span);
         Ok((
             LoggedDatabase {
                 db,
@@ -996,6 +1002,10 @@ struct GroupState {
     failed_at: u64,
     /// Description of the most recent failed attempt.
     last_error: Option<String>,
+    /// Causal span id of the leader fsync that last advanced `synced`
+    /// (0 when that leader's statement was unsampled). Followers link
+    /// their spans to it, so a trace shows *which* fsync covered them.
+    synced_span: u64,
 }
 
 impl GroupCommit {
@@ -1021,15 +1031,25 @@ impl GroupCommit {
         do_sync: impl FnOnce() -> (u64, Result<()>),
     ) -> Result<bool> {
         let t0 = std::time::Instant::now();
+        // One span per writer passing through the convoy; followers
+        // record their convoy wait and link to the leader fsync span
+        // that covered them. Inert (and allocation-free) when the
+        // writer's statement is unsampled.
+        let mut span =
+            fdb_obs::causal::child_span("fdb.commit.group_sync", || format!("seq={seq}"));
         let mut do_sync = Some(do_sync);
         let mut st = self.lock_state();
         loop {
             if st.synced >= seq {
                 fdb_obs::registry().commit_group_fsyncs_saved.inc();
+                span.annotate("role", "follower");
+                span.annotate("wait_ns", t0.elapsed().as_nanos());
+                span.link_to(st.synced_span);
                 return Ok(false);
             }
             if st.failed_at >= seq {
                 let msg = st.last_error.clone().unwrap_or_default();
+                span.set_error();
                 return Err(FdbError::Internal(format!(
                     "wal: group fsync covering seq {seq} failed: {msg}"
                 )));
@@ -1037,6 +1057,11 @@ impl GroupCommit {
             if !st.leader_running {
                 st.leader_running = true;
                 drop(st);
+                let mut lead_span =
+                    fdb_obs::causal::child_span("fdb.commit.group_fsync_lead", || {
+                        format!("seq={seq}")
+                    });
+                let lead_id = lead_span.id();
                 let (covered, res) = (do_sync.take().expect("leader elected once"))();
                 st = self.lock_state();
                 st.leader_running = false;
@@ -1045,8 +1070,12 @@ impl GroupCommit {
                     Ok(()) => {
                         let group = covered.saturating_sub(st.synced);
                         st.synced = st.synced.max(covered);
+                        st.synced_span = lead_id;
                         fdb_obs::registry().commit_group_fsyncs.inc();
                         fdb_obs::registry().commit_group_size.record(group);
+                        lead_span.annotate("covered", covered);
+                        lead_span.annotate("group", group);
+                        span.annotate("role", "leader");
                         if st.synced >= seq {
                             return Ok(true);
                         }
@@ -1061,6 +1090,9 @@ impl GroupCommit {
                         st.failed_at = st.failed_at.max(covered);
                         st.last_error = Some(e.to_string());
                         fdb_obs::registry().commit_group_failures.inc();
+                        lead_span.set_error();
+                        drop(lead_span);
+                        span.set_error();
                         return Err(e);
                     }
                 }
@@ -1069,6 +1101,7 @@ impl GroupCommit {
             let waited = t0.elapsed();
             let Some(remaining) = timeout.checked_sub(waited) else {
                 fdb_obs::registry().governor_overload_sheds.inc();
+                span.set_error();
                 return Err(FdbError::Overloaded {
                     what: "group commit fsync wait".to_owned(),
                     waited_ms: waited.as_millis() as u64,

@@ -137,7 +137,11 @@ impl SnapshotCell {
 
     fn pin(&self) -> PinnedSnapshot {
         fdb_obs::registry().mvcc_snapshot_pins.inc();
-        PinnedSnapshot(self.slot.read().clone())
+        let pinned = PinnedSnapshot(self.slot.read().clone());
+        fdb_obs::causal::point("fdb.mvcc.pin", || {
+            format!("version={}", pinned.0.store().version())
+        });
+        pinned
     }
 
     /// Publishes `snap` if it is strictly newer than the slot.
@@ -153,6 +157,7 @@ impl SnapshotCell {
         if version > w.store().version() {
             *w = snap;
             fdb_obs::registry().mvcc_snapshots_published.inc();
+            fdb_obs::causal::point("fdb.mvcc.publish", || format!("version={version}"));
         }
     }
 

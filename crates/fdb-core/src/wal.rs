@@ -650,6 +650,9 @@ impl Wal {
         reg.wal_appends.inc();
         reg.wal_append_bytes.add(frame.len() as u64);
         reg.wal_append_size_bytes.record(frame.len() as u64);
+        fdb_obs::causal::point("fdb.wal.append", || {
+            format!("seq={seq} bytes={}", frame.len())
+        });
         Ok(seq)
     }
 
@@ -658,8 +661,15 @@ impl Wal {
     /// when the caller (e.g. a commit-marker force-fsync) turns the error
     /// into a rollback.
     pub fn sync(&mut self) -> Result<()> {
+        let mut span = fdb_obs::causal::child_span("fdb.wal.fsync", String::new);
         self.file.sync().map_err(|e| {
             fdb_obs::registry().wal_fsync_failures.inc();
+            span.set_error();
+            // A failed fsync is a flight-dump trigger: the causal spans
+            // leading up to it (statement, txn, group convoy) are
+            // exactly what the operator needs, captured before the
+            // error unwinds into rollback handling.
+            fdb_obs::flight::dump_on_fault(&format!("fsync_failure: {e}"));
             io_err("sync", e)
         })?;
         fdb_obs::registry().wal_fsyncs.inc();

@@ -228,11 +228,13 @@ impl ResultCache {
             } else {
                 self.stats.hits += 1;
                 fdb_obs::registry().cache_hits.inc();
+                fdb_obs::causal::point("fdb.cache.hit", || format!("truth f={}", f.0));
                 return entry.value;
             }
         }
         self.stats.misses += 1;
         fdb_obs::registry().cache_misses.inc();
+        fdb_obs::causal::point("fdb.cache.miss", || format!("truth f={}", f.0));
         let snapshot = SupportSnapshot::capture(store, support);
         let value = compute();
         self.truths.insert(key, Entry { snapshot, value });
@@ -259,11 +261,13 @@ impl ResultCache {
             } else {
                 self.stats.hits += 1;
                 fdb_obs::registry().cache_hits.inc();
+                fdb_obs::causal::point("fdb.cache.hit", || format!("extension f={}", f.0));
                 return entry.value.clone();
             }
         }
         self.stats.misses += 1;
         fdb_obs::registry().cache_misses.inc();
+        fdb_obs::causal::point("fdb.cache.miss", || format!("extension f={}", f.0));
         let snapshot = SupportSnapshot::capture(store, support);
         let value = compute();
         self.extensions.insert(

@@ -542,7 +542,25 @@ pub fn chains_planned<G: Governance>(
     limits: ChainLimits,
     governor: &G,
 ) -> (crate::plan::ChainPlan, Outcome<Vec<Chain>>) {
-    let plan = crate::plan::plan(store, derivation, spec);
+    let plan = {
+        let plan_span = fdb_obs::causal::child_span("fdb.exec.plan", String::new);
+        let plan = crate::plan::plan(store, derivation, spec);
+        if plan_span.is_recording() {
+            plan_span.annotate("dir", format_args!("{:?}", plan.direction));
+            plan_span.annotate("est_cost", format_args!("{:.0}", plan.est_cost));
+            plan_span.annotate("est_chains", format_args!("{:.1}", plan.est_chains));
+        }
+        plan
+    };
+    let mut exec_span = fdb_obs::causal::child_span("fdb.exec.execute", String::new);
     let outcome = chains_with_direction(store, derivation, spec, limits, governor, plan.direction);
+    if exec_span.is_recording() {
+        exec_span.annotate("est_chains", format_args!("{:.1}", plan.est_chains));
+        exec_span.annotate("actual_chains", outcome.get().len());
+        if let Some(stop) = outcome.reason() {
+            exec_span.annotate("stop", format_args!("{stop:?}"));
+            exec_span.set_error();
+        }
+    }
     (plan, outcome)
 }

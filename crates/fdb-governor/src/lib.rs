@@ -52,6 +52,9 @@ fn observe_stop(reason: StopReason) -> StopReason {
         StopReason::Cancelled => reg.governor_stop_cancelled.inc(),
         StopReason::Cap => reg.governor_stop_cap.inc(),
     }
+    // Attribute the stop to the statement span that owns this governed
+    // run, so SHOW TRACE answers "which query did the budget kill".
+    fdb_obs::causal::point("fdb.governor.stop", || format!("reason={reason:?}"));
     reason
 }
 

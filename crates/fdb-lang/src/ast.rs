@@ -195,6 +195,30 @@ pub enum Statement {
         /// `Some(ms)` to set, `None` to clear.
         millis: Option<u64>,
     },
+    /// `TRACE ON [SAMPLE <n>]` / `TRACE OFF` — causal statement tracing;
+    /// `ON` without `SAMPLE` traces every statement.
+    Trace {
+        /// Desired tracing state.
+        on: bool,
+        /// 1-in-n statement sampling rate (`Some` only with `ON`).
+        sample: Option<u64>,
+    },
+    /// `TRACE SLOW <millis>` / `TRACE SLOW OFF` — slow-query log
+    /// threshold.
+    TraceSlow {
+        /// `Some(ms)` to set, `None` to disable the slow log.
+        millis: Option<u64>,
+    },
+    /// `SHOW TRACE` / `SHOW TRACE JSON` — the causal span ring, as text
+    /// or Chrome trace-event JSON.
+    ShowTrace {
+        /// `true` for the Chrome trace-event JSON export.
+        json: bool,
+    },
+    /// `SHOW SLOW` — the slow-query log.
+    ShowSlow,
+    /// `DUMP TRACE` — write a flight-recorder dump (`flight-<seq>.json`).
+    DumpTrace,
     /// `REPLICA STATUS` — replication position, lag and health of an
     /// engine serving reads from an attached replica.
     ReplicaStatus,

@@ -155,6 +155,11 @@ pub fn lower(s: &SpannedStatement) -> Option<CheckStmt> {
         | Statement::Dump { .. }
         | Statement::Check { .. }
         | Statement::Strict { .. }
+        | Statement::Trace { .. }
+        | Statement::TraceSlow { .. }
+        | Statement::ShowTrace { .. }
+        | Statement::ShowSlow
+        | Statement::DumpTrace
         | Statement::ReplicaStatus
         | Statement::Help => CheckStmt::Other {
             keyword,

@@ -94,6 +94,11 @@ statements (one per line; `--` starts a comment):
   DUMP \"file\"                                re-runnable script export
   TIMEOUT <ms> | OFF                         per-statement query deadline
   STATS [RESET | JSON]                       metrics (text, zero, JSON)
+  TRACE ON [SAMPLE <n>] | OFF                causal statement tracing
+  TRACE SLOW <ms> | OFF                      slow-query log threshold
+  SHOW TRACE [JSON]                          span ring (text / Chrome JSON)
+  SHOW SLOW                                  slow-query log
+  DUMP TRACE                                 write flight-<seq>.json
   CHECK [JSON]                               consistency + static analysis
   STRICT ON | OFF                            pre-flight SOURCEd scripts
   REPLICA STATUS                             replication position and lag
@@ -270,6 +275,11 @@ impl Engine {
                 .unwrap_or("")
                 .to_ascii_uppercase()
         });
+        // Mint the causal trace for this statement: root of a fresh
+        // trace when the sampling draw wins, child span inside a
+        // SOURCEd script's trace, inert otherwise (zero allocation).
+        let mut cspan =
+            fdb_obs::causal::statement_span("fdb.lang.statement", || line.trim().to_string());
         let result = parse_statement_spanned(line, self.line).and_then(|spanned| {
             let lowered = crate::check::lower(&spanned);
             let out = match self.execute(spanned.stmt) {
@@ -300,13 +310,36 @@ impl Engine {
             }
             Ok(out)
         });
+        let latency_ns = t0.elapsed().as_nanos() as u64;
         let reg = fdb_obs::registry();
         reg.lang_statements.inc();
-        reg.statement_latency_ns
-            .record(t0.elapsed().as_nanos() as u64);
+        reg.statement_latency_ns.record(latency_ns);
         match &result {
             Ok(out) => reg.lang_rows_produced.add(out.lines().count() as u64),
-            Err(_) => reg.lang_statement_errors.inc(),
+            Err(_) => {
+                reg.lang_statement_errors.inc();
+                cspan.set_error();
+            }
+        }
+        let rec = fdb_obs::causal::recorder();
+        if rec.slow_threshold_ns().is_some_and(|t| latency_ns >= t) {
+            let trace_id = cspan.ctx().map_or(0, |c| c.trace_id);
+            let attribution = if trace_id == 0 {
+                "unsampled -- TRACE ON to capture plan attribution".to_owned()
+            } else {
+                // The statement's own span is still open; its children
+                // (plan/execute/commit spans) have completed and carry
+                // the attribution.
+                let mut a = String::new();
+                for s in rec.trace(trace_id) {
+                    a.push_str(&format!("{} {}ns {}\n", s.name, s.dur_ns, s.detail));
+                }
+                if a.is_empty() {
+                    a.push_str("no child spans recorded\n");
+                }
+                a
+            };
+            rec.record_slow(line.trim().to_owned(), latency_ns, trace_id, attribution);
         }
         result
     }
@@ -484,7 +517,58 @@ impl Engine {
             Statement::StatsReset => {
                 fdb_obs::registry().reset();
                 fdb_obs::tracer().clear();
+                // The causal ring, open-span table, and slow-query log
+                // reset with the metrics: `SHOW TRACE` reads empty
+                // until new statements record (this statement's own
+                // span is discarded mid-flight too).
+                fdb_obs::causal::recorder().clear();
                 Ok("metrics reset\n".to_owned())
+            }
+            Statement::Trace { on, sample } => {
+                fdb_obs::causal::set_tracing(on);
+                if on {
+                    fdb_obs::causal::set_sample_rate(sample.unwrap_or(1));
+                    let rate = fdb_obs::causal::sample_rate();
+                    if rate == 1 {
+                        Ok("tracing on (every statement)\n".to_owned())
+                    } else {
+                        Ok(format!("tracing on (sampling 1 in {rate})\n"))
+                    }
+                } else {
+                    Ok("tracing off\n".to_owned())
+                }
+            }
+            Statement::TraceSlow { millis } => match millis {
+                Some(ms) => {
+                    fdb_obs::causal::recorder()
+                        .set_slow_threshold_ns(Some(ms.saturating_mul(1_000_000)));
+                    Ok(format!("slow-query threshold set to {ms} ms\n"))
+                }
+                None => {
+                    fdb_obs::causal::recorder().set_slow_threshold_ns(None);
+                    Ok("slow-query log disabled\n".to_owned())
+                }
+            },
+            Statement::ShowTrace { json } => {
+                let spans = fdb_obs::causal::recorder().recent();
+                if json {
+                    Ok(fdb_obs::causal::chrome_trace(&spans, false))
+                } else {
+                    Ok(fdb_obs::causal::render_spans_text(&spans))
+                }
+            }
+            Statement::ShowSlow => Ok(fdb_obs::causal::render_slow_text(
+                &fdb_obs::causal::recorder().slow_entries(),
+            )),
+            Statement::DumpTrace => {
+                let dir =
+                    fdb_obs::flight::dump_dir().unwrap_or_else(|| std::path::PathBuf::from("."));
+                let path =
+                    fdb_obs::flight::dump_to(&dir, "manual").map_err(|e| FdbError::Parse {
+                        line: self.line,
+                        message: format!("cannot write flight dump: {e}"),
+                    })?;
+                Ok(format!("flight dump written to {}\n", path.display()))
             }
             Statement::StatsJson => {
                 let mut out = fdb_obs::render_json(fdb_obs::registry());

@@ -238,9 +238,33 @@ impl Parser {
                 let (x, y) = self.arg_pair()?;
                 Statement::Truth { function, x, y }
             }
-            "SHOW" => Statement::Show {
-                function: self.name("function name")?,
-            },
+            "SHOW" => {
+                // `SHOW TRACE [JSON]` / `SHOW SLOW` vs `SHOW <fn>`:
+                // like EXPLAIN's PLAN/ANALYZE, TRACE and SLOW are only
+                // keywords in exactly those shapes (and `SHOW TRACE`
+                // wins over a function literally named `trace`).
+                let modifier = |s: &str, m: &str| s.eq_ignore_ascii_case(m);
+                match self.peek() {
+                    Some(Token::Ident(s)) if modifier(s, "trace") => {
+                        self.next();
+                        let json = matches!(
+                            self.peek(),
+                            Some(Token::Ident(s)) if modifier(s, "json")
+                        );
+                        if json {
+                            self.next();
+                        }
+                        Statement::ShowTrace { json }
+                    }
+                    Some(Token::Ident(s)) if modifier(s, "slow") => {
+                        self.next();
+                        Statement::ShowSlow
+                    }
+                    _ => Statement::Show {
+                        function: self.name("function name")?,
+                    },
+                }
+            }
             "DERIVATIONS" => Statement::Derivations {
                 function: self.name("function name")?,
             },
@@ -257,8 +281,20 @@ impl Parser {
                 self.expect(&Token::RParen, "`)`")?;
                 Statement::Inverse { function, y }
             }
-            "DUMP" => Statement::Dump {
-                path: self.arg("file path")?,
+            "DUMP" => match self.peek() {
+                // `DUMP TRACE` — flight-recorder dump. Only the bare
+                // ident counts; `DUMP "trace"` still writes a script to
+                // the file named trace.
+                Some(Token::Ident(s))
+                    if s.eq_ignore_ascii_case("trace")
+                        && self.tokens.get(self.pos + 1).is_none() =>
+                {
+                    self.next();
+                    Statement::DumpTrace
+                }
+                _ => Statement::Dump {
+                    path: self.arg("file path")?,
+                },
             },
             "EXPLAIN" => {
                 // `EXPLAIN PLAN f(x, y)` / `EXPLAIN ANALYZE f(x, y)` vs
@@ -337,6 +373,45 @@ impl Parser {
                 }
                 _ => Statement::Stats,
             },
+            "TRACE" => {
+                let (arg, _) = self.ident("ON, OFF, or SLOW")?;
+                if arg.eq_ignore_ascii_case("ON") {
+                    let sample = match self.peek() {
+                        Some(Token::Ident(s)) if s.eq_ignore_ascii_case("sample") => {
+                            self.next();
+                            let (n, _) = self.ident("sample rate")?;
+                            let n = n.parse::<u64>().map_err(|_| {
+                                self.err(format!("expected a sample rate, found `{n}`"))
+                            })?;
+                            if n == 0 {
+                                return Err(self.err("sample rate must be at least 1"));
+                            }
+                            Some(n)
+                        }
+                        _ => None,
+                    };
+                    Statement::Trace { on: true, sample }
+                } else if arg.eq_ignore_ascii_case("OFF") {
+                    Statement::Trace {
+                        on: false,
+                        sample: None,
+                    }
+                } else if arg.eq_ignore_ascii_case("SLOW") {
+                    let (t, _) = self.ident("milliseconds or OFF")?;
+                    if t.eq_ignore_ascii_case("OFF") || t.eq_ignore_ascii_case("NONE") {
+                        Statement::TraceSlow { millis: None }
+                    } else {
+                        let millis = t.parse::<u64>().map_err(|_| {
+                            self.err(format!("expected milliseconds or OFF, found `{t}`"))
+                        })?;
+                        Statement::TraceSlow {
+                            millis: Some(millis),
+                        }
+                    }
+                } else {
+                    return Err(self.err(format!("expected ON, OFF, or SLOW, found `{arg}`")));
+                }
+            }
             "RESOLVE" => Statement::Resolve,
             "CHECK" => match self.peek() {
                 Some(Token::Ident(s)) if s.eq_ignore_ascii_case("json") => {
@@ -617,6 +692,62 @@ mod tests {
         // An inverse marker extends the step span.
         let s = parse_statement_spanned("DERIVE q = teach^-1", 2).unwrap();
         assert_eq!(s.spans.steps, vec![Span::new(2, 11, 19)]);
+    }
+
+    #[test]
+    fn parses_trace_statements() {
+        assert_eq!(
+            parse_statement("TRACE ON", 1).unwrap(),
+            Statement::Trace {
+                on: true,
+                sample: None
+            }
+        );
+        assert_eq!(
+            parse_statement("trace on sample 32", 1).unwrap(),
+            Statement::Trace {
+                on: true,
+                sample: Some(32)
+            }
+        );
+        assert_eq!(
+            parse_statement("TRACE OFF", 1).unwrap(),
+            Statement::Trace {
+                on: false,
+                sample: None
+            }
+        );
+        assert!(parse_statement("TRACE ON SAMPLE 0", 1).is_err());
+        assert_eq!(
+            parse_statement("TRACE SLOW 250", 1).unwrap(),
+            Statement::TraceSlow { millis: Some(250) }
+        );
+        assert_eq!(
+            parse_statement("TRACE SLOW OFF", 1).unwrap(),
+            Statement::TraceSlow { millis: None }
+        );
+        assert_eq!(
+            parse_statement("SHOW TRACE", 1).unwrap(),
+            Statement::ShowTrace { json: false }
+        );
+        assert_eq!(
+            parse_statement("SHOW TRACE JSON", 1).unwrap(),
+            Statement::ShowTrace { json: true }
+        );
+        assert_eq!(
+            parse_statement("SHOW SLOW", 1).unwrap(),
+            Statement::ShowSlow
+        );
+        assert_eq!(
+            parse_statement("DUMP TRACE", 1).unwrap(),
+            Statement::DumpTrace
+        );
+        // `SHOW trace` names the keyword, not a function called trace —
+        // but a quoted name still reaches the file-dump statement.
+        assert!(matches!(
+            parse_statement("DUMP \"trace\"", 1).unwrap(),
+            Statement::Dump { .. }
+        ));
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!   front end's `STATS` statement, a JSON dump ([`render_json`]) for
 //!   machines, and a Prometheus text-format exporter
 //!   ([`prometheus_text`]) for operators scraping a live process.
+//! * a **causal span layer** ([`causal`]): per-statement traces with
+//!   context propagation (thread-local stack), sampling, a slow-query
+//!   log, and a Chrome trace-event exporter — every expensive moment is
+//!   attributable to the statement that paid for it.
+//! * a **flight recorder** ([`flight`]): the causal ring doubles as a
+//!   crash recorder, dumped to `flight-<seq>.json` on panic, fsync
+//!   failure, replica divergence, or `DUMP TRACE`; open spans appear as
+//!   `interrupted` so a fault cut is visible, never silently completed.
 //!
 //! # Conventions
 //!
@@ -47,7 +55,9 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod causal;
 mod export;
+pub mod flight;
 mod metrics;
 mod trace;
 

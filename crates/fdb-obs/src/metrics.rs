@@ -205,16 +205,16 @@ pub struct Snapshot {
 
 macro_rules! registry {
     (
-        counters { $( $(#[$cm:meta])* $cfield:ident => $ckey:literal, )* }
-        histograms { $( $(#[$hm:meta])* $hfield:ident => $hkey:literal, )* }
+        counters { $( $(#[doc = $cdoc:literal])* $cfield:ident => $ckey:literal, )* }
+        histograms { $( $(#[doc = $hdoc:literal])* $hfield:ident => $hkey:literal, )* }
     ) => {
         /// The closed set of workspace metrics. Reach the process-wide
         /// instance through [`crate::registry`]; construct a private one
         /// only in tests.
         #[derive(Debug, Default)]
         pub struct Registry {
-            $( $(#[$cm])* pub $cfield: Counter, )*
-            $( $(#[$hm])* pub $hfield: Histogram, )*
+            $( $(#[doc = $cdoc])* pub $cfield: Counter, )*
+            $( $(#[doc = $hdoc])* pub $hfield: Histogram, )*
         }
 
         impl Registry {
@@ -235,6 +235,17 @@ macro_rules! registry {
             /// order.
             pub fn histograms(&self) -> Vec<(&'static str, &Histogram)> {
                 vec![ $( ($hkey, &self.$hfield), )* ]
+            }
+
+            /// Every metric's help text — its doc comment, flattened to
+            /// one line — as `(key, help)`. Feeds the Prometheus
+            /// exporter's `# HELP` lines, so the docs an engineer reads
+            /// in this file are the docs an operator sees on a scrape.
+            pub fn help() -> Vec<(&'static str, &'static str)> {
+                vec![
+                    $( ($ckey, concat!($($cdoc),*).trim()), )*
+                    $( ($hkey, concat!($($hdoc),*).trim()), )*
+                ]
             }
 
             /// Zeroes every counter and histogram (the `STATS RESET`

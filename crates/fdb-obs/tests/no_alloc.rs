@@ -1,0 +1,77 @@
+//! Proof of the unsampled hot-path contract: minting a statement span
+//! that loses the sampling draw — and opening child spans under it —
+//! performs **zero heap allocations**. Measured with a counting global
+//! allocator; this file holds exactly one test so no concurrent test
+//! thread can pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+// SAFETY: delegates every operation to `System`; the wrapper only
+// counts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::SeqCst) {
+            ALLOCS.fetch_add(1, Ordering::SeqCst);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::SeqCst) {
+            ALLOCS.fetch_add(1, Ordering::SeqCst);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn unsampled_span_path_does_not_allocate() {
+    fdb_obs::set_enabled(true);
+    fdb_obs::causal::set_tracing(true);
+    fdb_obs::causal::set_sample_rate(1024);
+    // Warm up: the sampling counter starts at 0, so one early draw
+    // wins; burn it (and any lazy TLS/recorder initialisation) before
+    // arming the allocator.
+    for _ in 0..4 {
+        let span = fdb_obs::causal::statement_span("fdb.test.warmup", || "warm".to_string());
+        drop(span);
+    }
+
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..100 {
+        let stmt = fdb_obs::causal::statement_span("fdb.test.stmt", || {
+            unreachable!("unsampled detail must stay lazy")
+        });
+        assert!(!stmt.is_recording(), "draw must lose at rate 1024");
+        let child = fdb_obs::causal::child_span("fdb.test.child", || {
+            unreachable!("unsampled detail must stay lazy")
+        });
+        assert!(!child.is_recording());
+        fdb_obs::causal::point("fdb.test.point", || {
+            unreachable!("unsampled detail must stay lazy")
+        });
+        drop(child);
+        drop(stmt);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        0,
+        "unsampled span path must not allocate"
+    );
+    fdb_obs::causal::set_sample_rate(fdb_obs::causal::DEFAULT_SAMPLE_RATE);
+}

@@ -166,6 +166,12 @@ pub struct Replica {
     lag_records: u64,
     lag_bytes: u64,
     divergence: Option<DivergenceReport>,
+    /// The `(batch_term, replica_term)` pair last counted in
+    /// `fdb.repl.fenced_rejects` — a resurrected primary retrying the
+    /// same stale batch in a loop is one fencing episode, not one count
+    /// per retry. Cleared when a batch is accepted, so a genuinely new
+    /// episode counts again.
+    last_fenced: Option<(u64, u64)>,
 }
 
 impl Replica {
@@ -294,6 +300,7 @@ impl Replica {
             lag_records: 0,
             lag_bytes: 0,
             divergence: None,
+            last_fenced: None,
         })
     }
 
@@ -358,16 +365,29 @@ impl Replica {
     /// term is rejected with [`ApplyOutcome::Fenced`]; a sequence gap is
     /// an error (poll again from [`Replica::next_seq`]).
     pub fn apply_batch(&mut self, batch: &Batch) -> Result<ApplyOutcome> {
+        // Joins the primary-side trace that produced the batch (the
+        // trace id rides beside the frames, never inside them).
+        let mut span = fdb_obs::causal::adopted_span(batch.trace_id, "fdb.repl.apply", || {
+            format!("from_seq={} frames={}", self.next_seq, batch.frames.len())
+        });
         if let Some(report) = &self.divergence {
+            span.set_error();
             return Ok(ApplyOutcome::Diverged(report.clone()));
         }
         if batch.term < self.term {
-            fdb_obs::registry().repl_fenced_rejects.inc();
+            let fence = (batch.term, self.term);
+            if self.last_fenced != Some(fence) {
+                self.last_fenced = Some(fence);
+                fdb_obs::registry().repl_fenced_rejects.inc();
+            }
+            span.annotate("fenced", format_args!("{}<{}", batch.term, self.term));
+            span.set_error();
             return Ok(ApplyOutcome::Fenced {
                 batch_term: batch.term,
                 replica_term: self.term,
             });
         }
+        self.last_fenced = None;
         self.term = self.term.max(batch.term);
 
         if let Some(seed) = &batch.seed {
@@ -381,6 +401,7 @@ impl Replica {
         for f in &batch.frames {
             if !f.crc_valid() {
                 let report = self.quarantine(f, DivergenceKind::CorruptFrame)?;
+                span.set_error();
                 return Ok(ApplyOutcome::Diverged(report));
             }
             if f.seq < self.next_seq {
@@ -388,6 +409,7 @@ impl Replica {
                     Some(&local) if local == f.crc => continue, // idempotent re-send
                     Some(_) => {
                         let report = self.quarantine(f, DivergenceKind::PayloadMismatch)?;
+                        span.set_error();
                         return Ok(ApplyOutcome::Diverged(report));
                     }
                     // Below our seed horizon: nothing to compare against.
@@ -427,6 +449,8 @@ impl Replica {
         reg.repl_lag_records.record(self.lag_records);
         reg.repl_lag_bytes.record(self.lag_bytes);
 
+        span.annotate("stored", stored);
+        span.annotate("applied", applied);
         Ok(ApplyOutcome::Applied {
             frames: stored,
             records: applied,
@@ -462,9 +486,16 @@ impl Replica {
         let Replica {
             storage, dir, term, ..
         } = self;
+        // Promotion is rare and load-bearing: always traced, sampler or
+        // not, so a failover is reconstructable from the flight recorder.
+        let span = fdb_obs::causal::root_span("fdb.repl.promote", || {
+            format!("dir={} new_term={}", dir.display(), term + 1)
+        });
         let (mut logged, report) = LoggedDatabase::open_with(Arc::clone(&storage), &dir, config)?;
         logged.start_term(term + 1)?;
         fdb_obs::registry().repl_promotions.inc();
+        span.annotate("applied", report.applied);
+        drop(span);
         Ok(Promotion { logged, report })
     }
 
@@ -569,6 +600,12 @@ impl Replica {
         };
         fdb_obs::registry().repl_divergences.inc();
         self.divergence = Some(report.clone());
+        // A frozen replica is exactly the moment the flight recorder
+        // exists for: capture the causal context before anyone polls.
+        fdb_obs::flight::dump_on_fault(&format!(
+            "replica_divergence: seq={} kind={:?}",
+            report.seq, report.kind
+        ));
         Ok(report)
     }
 }
@@ -720,6 +757,7 @@ mod tests {
             source_last_seq: seq,
             remaining_records: 0,
             remaining_bytes: 0,
+            trace_id: 0,
         };
         let before = r.database().to_snapshot().unwrap();
         match r.apply_batch(&batch).unwrap() {
@@ -741,6 +779,7 @@ mod tests {
                 source_last_seq: seq,
                 remaining_records: 0,
                 remaining_bytes: 0,
+                trace_id: 0,
             })
             .unwrap(),
             ApplyOutcome::Diverged(_)

@@ -42,6 +42,11 @@ pub struct Batch {
     pub remaining_records: u64,
     /// On-disk bytes of those remaining records.
     pub remaining_bytes: u64,
+    /// Trace id of the primary-side statement that produced this poll
+    /// (0 when the poll ran untraced). Rides beside the frame bytes —
+    /// never inside them, so frame CRCs and byte identity are untouched
+    /// — and lets the replica's apply span join the primary's trace.
+    pub trace_id: u64,
 }
 
 impl Batch {
@@ -177,6 +182,7 @@ impl ReplicationSource {
                         source_last_seq: from_seq.saturating_sub(1),
                         remaining_records: 0,
                         remaining_bytes: 0,
+                        trace_id: fdb_obs::causal::current_trace_id(),
                     });
                 }
                 None => {
@@ -232,6 +238,12 @@ impl ReplicationSource {
         reg.repl_records_shipped.add(frames.len() as u64);
         reg.repl_bytes_shipped
             .add(frames.iter().map(ShippedFrame::encoded_len).sum());
+        fdb_obs::causal::point("fdb.repl.ship", || {
+            format!(
+                "from_seq={from_seq} frames={} remaining={remaining_records}",
+                frames.len()
+            )
+        });
 
         Ok(Batch {
             term: self.term,
@@ -240,6 +252,7 @@ impl ReplicationSource {
             source_last_seq,
             remaining_records,
             remaining_bytes,
+            trace_id: fdb_obs::causal::current_trace_id(),
         })
     }
 

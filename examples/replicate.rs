@@ -160,6 +160,7 @@ fn main() {
         remaining_records: 0,
         remaining_bytes: 0,
         frames: vec![forged],
+        trace_id: 0,
     };
     match follower.apply_batch(&forged_batch).expect("apply forged") {
         ApplyOutcome::Diverged(report) => {

@@ -297,6 +297,7 @@ fn run_round(seed: u64) {
         source_last_seq: evil_seq,
         remaining_records: 0,
         remaining_bytes: 0,
+        trace_id: 0,
     };
     match r2.apply_batch(&forged).expect("divergence check") {
         ApplyOutcome::Diverged(report) => {
@@ -375,4 +376,77 @@ fn promotion_discards_dangling_txn_and_reports_it() {
         out.contains("fdb.recovery.uncommitted_discarded"),
         "STATS JSON lacks the discard counter: {out}"
     );
+}
+
+/// A replica that freezes on a forged frame must leave a flight dump
+/// behind — written by the quarantine path itself — naming the
+/// divergence and carrying the causal `fdb.repl.apply` span that was
+/// mid-flight when the histories disagreed.
+#[test]
+fn divergence_writes_flight_dump_with_causal_spans() {
+    fdb::obs::set_enabled(true);
+    fdb::obs::causal::set_tracing(true);
+    fdb::obs::causal::set_sample_rate(1);
+
+    let dump_dir = std::env::temp_dir().join(format!("fdb-flight-repl-{}", std::process::id()));
+    std::fs::create_dir_all(&dump_dir).unwrap();
+    fdb::obs::flight::set_dump_dir(Some(dump_dir.clone()));
+
+    let disk = Arc::new(SimDisk::new());
+    let mut p = LoggedDatabase::create_with(
+        disk.clone() as Arc<dyn WalStorage>,
+        "/p_flight",
+        DurabilityConfig::default(),
+    )
+    .expect("create primary");
+    p.declare("teach", "faculty", "course", Functionality::ManyMany)
+        .expect("declare");
+    p.insert("teach", v("euclid"), v("math")).expect("insert");
+
+    let rdisk = Arc::new(SimDisk::new());
+    let mut r =
+        Replica::open(rdisk.clone() as Arc<dyn WalStorage>, "/r_flight").expect("open replica");
+    let mut src = ReplicationSource::for_primary(&p);
+    let batch = src.poll(1, 100).expect("poll");
+    r.apply_batch(&batch).expect("apply");
+
+    let evil_seq = r.next_seq() - 1;
+    let evil = ShippedFrame::for_record(
+        evil_seq,
+        &LogRecord::Insert {
+            function: "teach".to_owned(),
+            x: v("evil"),
+            y: v("rewrite"),
+        },
+    )
+    .expect("forge frame");
+    let forged = Batch {
+        term: r.term(),
+        seed: None,
+        frames: vec![evil],
+        source_last_seq: evil_seq,
+        remaining_records: 0,
+        remaining_bytes: 0,
+        trace_id: 0,
+    };
+    assert!(matches!(
+        r.apply_batch(&forged).expect("divergence check"),
+        ApplyOutcome::Diverged(_)
+    ));
+
+    let mut found = false;
+    for entry in std::fs::read_dir(&dump_dir).expect("read dump dir") {
+        let body = std::fs::read_to_string(entry.expect("entry").path()).unwrap_or_default();
+        if body.contains("replica_divergence") && body.contains("fdb.repl.apply") {
+            found = true;
+        }
+    }
+    assert!(
+        found,
+        "no flight dump captured the divergence with its apply span"
+    );
+
+    fdb::obs::flight::set_dump_dir(None);
+    fdb::obs::causal::set_sample_rate(fdb::obs::causal::DEFAULT_SAMPLE_RATE);
+    std::fs::remove_dir_all(&dump_dir).ok();
 }

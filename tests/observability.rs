@@ -130,6 +130,38 @@ fn txn_counters_track_transaction_lifecycle() {
     assert_eq!(get("fdb.txn.savepoint_rollbacks"), s0 + 1);
 }
 
+/// `STATS RESET` starts a fresh observability epoch for spans too: the
+/// trace ring, the open-span table and the slow-query log all clear, so
+/// `SHOW TRACE` right after a reset reports nothing — including the
+/// reset statement's own span, which was mid-flight when the ring
+/// cleared and must not resurface when it closes.
+#[test]
+fn stats_reset_clears_trace_and_slow_log() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    let mut e = university();
+    e.execute_line("TRACE ON").unwrap();
+    e.execute_line("TRUTH pupil(euclid, john)").unwrap();
+    let out = e.execute_line("SHOW TRACE").unwrap();
+    assert!(
+        out.contains("fdb.lang.statement"),
+        "expected spans before reset, got: {out}"
+    );
+
+    e.execute_line("STATS RESET").unwrap();
+    let out = e.execute_line("SHOW TRACE").unwrap();
+    assert_eq!(out, "no spans recorded\n");
+    let out = e.execute_line("SHOW SLOW").unwrap();
+    assert_eq!(out, "no slow statements recorded\n");
+
+    // Restore the always-on default sampling for the rest of the binary.
+    e.execute_line(&format!(
+        "TRACE ON SAMPLE {}",
+        obs::causal::DEFAULT_SAMPLE_RATE
+    ))
+    .unwrap();
+}
+
 /// Statement vocabulary for the random sequences: a mix of reads, writes,
 /// introspection and one guaranteed parse error.
 const VOCAB: &[&str] = &[

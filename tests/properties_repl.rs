@@ -234,3 +234,106 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 }
+
+/// `fdb.repl.fenced_rejects` and `fdb.repl.divergences` follow a
+/// publish-once-per-report discipline: a fenced primary retrying the
+/// same stale batch in a loop, or polls against an already-frozen
+/// replica, are ONE incident each — dashboards alert on new incidents,
+/// not on retry frequency. A genuinely new fencing episode (different
+/// term pair, or after an accepted batch) counts again.
+#[test]
+fn fence_and_divergence_counters_publish_once_per_report() {
+    use fdb::core::LogRecord;
+    use fdb::repl::Batch;
+
+    let counter = |key: &str| {
+        fdb::obs::registry()
+            .snapshot()
+            .counters
+            .iter()
+            .find(|c| c.key == key)
+            .map(|c| c.value)
+            .unwrap_or_else(|| panic!("registry has no counter {key}"))
+    };
+    let empty_batch = |term: u64| Batch {
+        term,
+        seed: None,
+        frames: vec![],
+        source_last_seq: 0,
+        remaining_records: 0,
+        remaining_bytes: 0,
+        trace_id: 0,
+    };
+
+    let disk = Arc::new(SimDisk::new());
+    let primary = build_primary(disk.clone(), 7, 10);
+    let mut source = ReplicationSource::for_primary(&primary);
+    let replica_disk = Arc::new(SimDisk::new());
+    let mut replica =
+        Replica::open(replica_disk.clone() as Arc<dyn WalStorage>, "/r").expect("open replica");
+    let batch = source.poll(1, 10_000).expect("poll");
+    replica.apply_batch(&batch).expect("apply");
+
+    // Raise the replica's term so older batches are fenced.
+    replica.apply_batch(&empty_batch(5)).expect("term bump");
+
+    let f0 = counter("fdb.repl.fenced_rejects");
+    for _ in 0..3 {
+        assert!(matches!(
+            replica.apply_batch(&empty_batch(1)).expect("fenced"),
+            ApplyOutcome::Fenced { .. }
+        ));
+    }
+    assert_eq!(
+        counter("fdb.repl.fenced_rejects"),
+        f0 + 1,
+        "retries of one fencing episode must count once"
+    );
+
+    // A different stale term is a new episode.
+    replica.apply_batch(&empty_batch(2)).expect("fenced");
+    assert_eq!(counter("fdb.repl.fenced_rejects"), f0 + 2);
+
+    // An accepted batch closes the episode; the next fence counts anew.
+    replica.apply_batch(&empty_batch(5)).expect("accepted");
+    replica.apply_batch(&empty_batch(1)).expect("fenced");
+    assert_eq!(counter("fdb.repl.fenced_rejects"), f0 + 3);
+
+    // Divergence: the freeze publishes once; every later poll against
+    // the frozen replica reports the same incident without counting.
+    let evil_seq = replica.next_seq() - 1;
+    let evil = ShippedFrame::for_record(
+        evil_seq,
+        &LogRecord::Insert {
+            function: "teach".to_owned(),
+            x: v("evil"),
+            y: v("rewrite"),
+        },
+    )
+    .expect("forge frame");
+    let forged = Batch {
+        term: replica.term(),
+        seed: None,
+        frames: vec![evil],
+        source_last_seq: evil_seq,
+        remaining_records: 0,
+        remaining_bytes: 0,
+        trace_id: 0,
+    };
+    let d0 = counter("fdb.repl.divergences");
+    assert!(matches!(
+        replica.apply_batch(&forged).expect("diverge"),
+        ApplyOutcome::Diverged(_)
+    ));
+    for _ in 0..3 {
+        assert!(matches!(
+            replica.apply_batch(&forged).expect("still frozen"),
+            ApplyOutcome::Diverged(_)
+        ));
+    }
+    assert_eq!(
+        counter("fdb.repl.divergences"),
+        d0 + 1,
+        "a frozen replica reports one divergence incident"
+    );
+}

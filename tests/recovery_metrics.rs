@@ -156,3 +156,56 @@ fn recovery_metrics_match_the_recovery_report() {
     assert!(reg.wal_append_bytes.get() > 0);
     assert!(fsyncs_before > 0);
 }
+
+/// A statement span still open when the disk faults must appear in the
+/// flight dump as `interrupted`, and the dump must come from the real
+/// fault path: the failed WAL fsync itself triggers it, with no explicit
+/// `DUMP TRACE` anywhere.
+#[test]
+fn open_span_at_fault_is_interrupted_in_flight_dump() {
+    obs::set_enabled(true);
+    obs::causal::set_tracing(true);
+
+    let dump_dir = std::env::temp_dir().join(format!("fdb-flight-rm-{}", std::process::id()));
+    std::fs::create_dir_all(&dump_dir).unwrap();
+    obs::flight::set_dump_dir(Some(dump_dir.clone()));
+
+    let disk = Arc::new(SimDisk::new());
+    let mut ldb = LoggedDatabase::create_with(
+        disk.clone() as Arc<dyn WalStorage>,
+        "/flight_fault_db",
+        config(),
+    )
+    .unwrap();
+    ldb.declare("teach", "faculty", "course", Functionality::ManyMany)
+        .unwrap();
+
+    // The cut: the statement's span is open when the next fsync fails.
+    let span = obs::causal::root_span("fdb.test.crash_statement", || "cut mid-flight".to_string());
+    disk.fail_sync(1);
+    let err = ldb.insert(
+        "teach",
+        fdb::types::Value::atom("euclid"),
+        fdb::types::Value::atom("math"),
+    );
+    assert!(err.is_err(), "fsync fault must surface to the writer");
+    drop(span);
+
+    let mut found = false;
+    for entry in std::fs::read_dir(&dump_dir).unwrap() {
+        let body = std::fs::read_to_string(entry.unwrap().path()).unwrap_or_default();
+        if body.contains("fsync_failure")
+            && body.contains("fdb.test.crash_statement")
+            && body.contains("\"status\":\"interrupted\"")
+        {
+            found = true;
+        }
+    }
+    assert!(
+        found,
+        "no flight dump shows the open span as interrupted at the fsync fault"
+    );
+
+    obs::flight::set_dump_dir(None);
+    std::fs::remove_dir_all(&dump_dir).ok();
+}
