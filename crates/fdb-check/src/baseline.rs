@@ -70,6 +70,37 @@ impl Baseline {
         out
     }
 
+    /// The suppressed keys, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.keys.iter().map(String::as_str)
+    }
+
+    /// Keys that matched none of the given per-file findings — stale
+    /// entries left behind after the underlying finding was fixed.
+    /// `findings` pairs each linted file with its *pre-filter*
+    /// diagnostics.
+    pub fn stale_keys(&self, findings: &[(String, Vec<Diagnostic>)]) -> Vec<String> {
+        let live: BTreeSet<String> = findings
+            .iter()
+            .flat_map(|(file, diags)| diags.iter().map(|d| baseline_key(file, d)))
+            .collect();
+        self.keys
+            .iter()
+            .filter(|k| !live.contains(*k))
+            .cloned()
+            .collect()
+    }
+
+    /// Drops the given keys (baseline pruning). Returns how many were
+    /// actually removed.
+    pub fn remove_keys(&mut self, keys: &[String]) -> usize {
+        let before = self.keys.len();
+        for k in keys {
+            self.keys.remove(k);
+        }
+        before - self.keys.len()
+    }
+
     /// Number of suppressed keys.
     pub fn len(&self) -> usize {
         self.keys.len()
@@ -116,5 +147,19 @@ mod tests {
         let b = Baseline::parse("# header\n\n  FDB023 x.fdb:1  \n");
         assert_eq!(b.len(), 1);
         assert!(b.contains("x.fdb", &d(Code::DeadWrite, 1)));
+    }
+
+    #[test]
+    fn stale_keys_and_pruning() {
+        let mut b = Baseline::parse("FDB010 a.fdb:3\nFDB023 gone.fdb:7\n");
+        let findings = vec![("a.fdb".to_owned(), vec![d(Code::Derivable, 3)])];
+        let stale = b.stale_keys(&findings);
+        assert_eq!(stale, vec!["FDB023 gone.fdb:7".to_owned()]);
+        assert_eq!(b.remove_keys(&stale), 1);
+        assert_eq!(b.len(), 1);
+        assert!(b.stale_keys(&findings).is_empty());
+        // Keys iterate in sorted order (render is deduplicated by the
+        // BTreeSet itself).
+        assert_eq!(b.keys().collect::<Vec<_>>(), vec!["FDB010 a.fdb:3"]);
     }
 }

@@ -50,7 +50,8 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes. `FDB00x` = resolution/well-formedness errors,
 /// `FDB01x` = transaction-structure lints, `FDB02x` = three-valued-logic
 /// lints, `FDB03x` = cost/feasibility lints, `FDB04x` = deployment-mode
-/// lints (replica scripts).
+/// lints (replica scripts), `FDB05x` = data-aware discovery findings
+/// (non-genuine: they describe the *current extension*, not the schema).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// FDB000 — the line does not parse at all (CLI front end only).
@@ -104,11 +105,26 @@ pub enum Code {
     /// FDB040 — a write statement in a script declared `-- mode: replica`:
     /// a read-only replica engine refuses it at runtime.
     ReplicaWrite,
+    /// FDB050 — a stored function's extension is single-valued in a
+    /// direction its declaration does not guarantee (incidental,
+    /// non-genuine functionality).
+    IncidentalFunctionality,
+    /// FDB051 — a stored function's extension violates its *declared*
+    /// functionality; the message carries a minimal cardinality repair
+    /// (the smallest fact set whose deletion restores the constraint).
+    FunctionalityViolated,
+    /// FDB052 — a stored function's extension is reproduced by a
+    /// derivation over other base functions (candidate derived function,
+    /// Method 2.1 designer proposal).
+    CandidateDerivation,
+    /// FDB053 — a non-genuine assumption the planner was using was
+    /// invalidated by a base write.
+    NonGenuineInvalidated,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 24] = [
         Code::Syntax,
         Code::UndefinedFunction,
         Code::DuplicateDeclare,
@@ -129,6 +145,10 @@ impl Code {
         Code::ChainBudget,
         Code::CycleWithoutUfa,
         Code::ReplicaWrite,
+        Code::IncidentalFunctionality,
+        Code::FunctionalityViolated,
+        Code::CandidateDerivation,
+        Code::NonGenuineInvalidated,
     ];
 
     /// The stable code string, e.g. `FDB001`.
@@ -154,6 +174,10 @@ impl Code {
             Code::ChainBudget => "FDB030",
             Code::CycleWithoutUfa => "FDB031",
             Code::ReplicaWrite => "FDB040",
+            Code::IncidentalFunctionality => "FDB050",
+            Code::FunctionalityViolated => "FDB051",
+            Code::CandidateDerivation => "FDB052",
+            Code::NonGenuineInvalidated => "FDB053",
         }
     }
 
@@ -176,8 +200,14 @@ impl Code {
             | Code::GuaranteedConflict
             | Code::UndischargeableDelete
             | Code::DeadWrite
-            | Code::ChainBudget => Severity::Warn,
-            Code::AliasPair | Code::Derivable | Code::CycleWithoutUfa => Severity::Info,
+            | Code::ChainBudget
+            | Code::FunctionalityViolated => Severity::Warn,
+            Code::AliasPair
+            | Code::Derivable
+            | Code::CycleWithoutUfa
+            | Code::IncidentalFunctionality
+            | Code::CandidateDerivation
+            | Code::NonGenuineInvalidated => Severity::Info,
         }
     }
 
@@ -204,6 +234,10 @@ impl Code {
             Code::ChainBudget => "estimated chain count exceeds budget",
             Code::CycleWithoutUfa => "declaration closes a function-graph cycle",
             Code::ReplicaWrite => "write statement in replica-mode script",
+            Code::IncidentalFunctionality => "incidental functionality not declared",
+            Code::FunctionalityViolated => "declared functionality violated by stored facts",
+            Code::CandidateDerivation => "stored extension matches a candidate derivation",
+            Code::NonGenuineInvalidated => "non-genuine assumption invalidated by a write",
         }
     }
 }
@@ -391,7 +425,67 @@ mod tests {
             assert!(c.as_str().starts_with("FDB"));
             assert_eq!(c.as_str().len(), 6);
         }
-        assert_eq!(Code::ALL.len(), 20);
+        assert_eq!(Code::ALL.len(), 24);
+    }
+
+    #[test]
+    fn code_registry_is_ordered_and_contiguous_where_claimed() {
+        // `Code::ALL` must list codes in strictly ascending numeric order,
+        // so a new family can't silently collide with or shadow an
+        // existing code.
+        let nums: Vec<u32> = Code::ALL
+            .iter()
+            .map(|c| c.as_str()[3..].parse().expect("numeric suffix"))
+            .collect();
+        for w in nums.windows(2) {
+            assert!(w[0] < w[1], "Code::ALL not ascending at FDB{:03}", w[1]);
+        }
+
+        // Each family block documented as contiguous must be exactly that:
+        // no gaps inside the claimed range, nothing outside it.
+        let family = |lo: u32, hi: u32| -> Vec<u32> {
+            nums.iter()
+                .copied()
+                .filter(|&n| n >= lo && n <= hi)
+                .collect()
+        };
+        assert_eq!(family(0, 10), (0..=10).collect::<Vec<_>>(), "FDB00x block");
+        assert_eq!(
+            family(18, 23),
+            (18..=23).collect::<Vec<_>>(),
+            "txn/3VL block"
+        );
+        assert_eq!(family(30, 31), vec![30, 31], "cost block");
+        assert_eq!(family(40, 40), vec![40], "deployment block");
+        assert_eq!(
+            family(50, 53),
+            (50..=53).collect::<Vec<_>>(),
+            "FDB05x block"
+        );
+        assert_eq!(
+            nums.len(),
+            family(0, 10).len()
+                + family(18, 23).len()
+                + family(30, 31).len()
+                + family(40, 40).len()
+                + family(50, 53).len(),
+            "a code lies outside every documented family block"
+        );
+
+        // Severity and title are total over the registry and stable: a
+        // newly added code must pick a severity and a non-empty title.
+        let mut titles = std::collections::HashSet::new();
+        for c in Code::ALL {
+            let _ = c.severity();
+            assert!(!c.title().is_empty(), "{c} has an empty title");
+            assert!(titles.insert(c.title()), "{c} reuses another code's title");
+        }
+        // Spot-check the FDB05x severities the docs promise: only the
+        // declared-constraint violation warns, discovery facts are info.
+        assert_eq!(Code::IncidentalFunctionality.severity(), Severity::Info);
+        assert_eq!(Code::FunctionalityViolated.severity(), Severity::Warn);
+        assert_eq!(Code::CandidateDerivation.severity(), Severity::Info);
+        assert_eq!(Code::NonGenuineInvalidated.severity(), Severity::Info);
     }
 
     #[test]

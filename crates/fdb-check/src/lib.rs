@@ -16,6 +16,7 @@
 //! | `FDB030` | cost/feasibility (via `fdb-exec`)     | warn     |
 //! | `FDB031` | cycle closed without the UFA          | info     |
 //! | `FDB040` | write in a `-- mode: replica` script  | error    |
+//! | `FDB05x` | data-aware discovery (via [`discover`]) | info/warn |
 //!
 //! Entry points: [`analyze_script`] over a [`CheckStmt`] list (the
 //! spanned IR that `fdb-lang` lowers its AST into) and [`analyze_schema`]
@@ -25,13 +26,16 @@
 //!
 //! The analyzer is pure: it never touches a store, never mutates the
 //! schema it is given, and its only observable side effect is bumping
-//! the `fdb.check.*` observability counters.
+//! the `fdb.check.*` observability counters. The [`discover`] module
+//! extends the same guarantee to the *data-aware* pass: it reads a store
+//! but never writes one.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod analyzer;
 pub mod baseline;
 pub mod diag;
+pub mod discover;
 pub mod sarif;
 pub mod script;
 
@@ -40,6 +44,11 @@ pub use baseline::{baseline_key, Baseline};
 pub use diag::{
     render_content, render_json, render_text, sort_diagnostics, summary_line, tally, Code,
     Diagnostic, Severity,
+};
+pub use discover::{
+    discover, discover_governed, discovery_diagnostics, discovery_to_content,
+    invalidation_diagnostic, minimal_repair, render_discovery_text, CandidateDerivation,
+    DiscoverConfig, DiscoveredFd, DiscoveryReport, Violation,
 };
 pub use sarif::{render_sarif, render_sarif_all};
 pub use script::{CheckStmt, Name, StepRef, TxnOp};

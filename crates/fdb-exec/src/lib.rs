@@ -30,6 +30,7 @@
 pub mod cache;
 pub mod eval;
 pub mod exec;
+pub mod nongenuine;
 pub mod plan;
 
 pub use cache::{CacheProbe, CacheReport, CacheStats, ResultCache, SupportSnapshot};
@@ -39,4 +40,5 @@ pub use eval::{
     derived_inverse_image_governed, derived_truth, derived_truth_governed,
 };
 pub use exec::{chains_planned, chains_with_direction};
-pub use plan::{estimate, plan, Bind, ChainPlan, Direction, QuerySpec, StepProfile};
+pub use nongenuine::{Assumption, AssumptionSet, FdKind};
+pub use plan::{estimate, plan, profiles, Bind, ChainPlan, Direction, QuerySpec, StepProfile};

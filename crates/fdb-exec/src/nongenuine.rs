@@ -1,0 +1,293 @@
+//! Non-genuine functionality assumptions for the planner.
+//!
+//! A *genuine* functional dependency is guaranteed by the schema: the
+//! update machinery refuses writes that would violate it. A *non-genuine*
+//! FD is one the data-aware discovery pass observed to hold in the current
+//! extension — e.g. a `many-many` function whose stored table happens to
+//! be single-valued today. The planner may exploit such an assumption
+//! (fanout through the function is ≤ 1, not `rows / distinct`), but only
+//! under a strict invalidation protocol:
+//!
+//! * every assumption is recorded with the per-function mutation counter
+//!   ([`fdb_storage::Store::function_version`]) at which it was observed;
+//! * after any base write, [`AssumptionSet::revalidate`] re-checks the
+//!   touched functions' tables (an exact live-row scan, not an estimate);
+//! * the moment a write violates an assumption it is dropped, the
+//!   `fdb.check.nongenuine_invalidations` counter is bumped, and the
+//!   caller must invalidate every plan or cached result that was compiled
+//!   against it.
+//!
+//! Assumptions that survive a write are refreshed to the new version, so
+//! revalidation stays O(touched functions), not O(assumptions).
+
+use std::collections::BTreeMap;
+
+use fdb_storage::Store;
+use fdb_types::{Derivation, FunctionId, Op};
+
+use crate::plan::{estimate, profiles, ChainPlan, QuerySpec};
+
+/// Which half of the functionality lattice an assumption tightens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FdKind {
+    /// The extension is single-valued left-to-right (each `x` has one `y`).
+    Functional,
+    /// The extension is single-valued right-to-left (each `y` has one `x`).
+    Injective,
+}
+
+impl FdKind {
+    /// Short lowercase label used in reports and EXPLAIN annotations.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FdKind::Functional => "functional",
+            FdKind::Injective => "injective",
+        }
+    }
+}
+
+/// One non-genuine FD: `function` was observed to satisfy `kind` when its
+/// per-function mutation counter was `observed_version`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assumption {
+    /// The function the FD was observed on.
+    pub function: FunctionId,
+    /// The observed single-valuedness direction.
+    pub kind: FdKind,
+    /// `Store::function_version(function)` at observation (or the last
+    /// revalidation that confirmed the FD still holds).
+    pub observed_version: u64,
+}
+
+/// The set of non-genuine assumptions a session is currently planning
+/// against, plus the assumptions dropped by the latest revalidation.
+#[derive(Clone, Debug, Default)]
+pub struct AssumptionSet {
+    /// Active assumptions: `(function, kind) → observed version`.
+    active: BTreeMap<(FunctionId, FdKind), u64>,
+    /// Assumptions dropped by the most recent [`AssumptionSet::revalidate`]
+    /// (cleared at the start of each revalidation).
+    invalidated: Vec<Assumption>,
+}
+
+impl AssumptionSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or refreshes) an assumption observed at `version`.
+    pub fn install(&mut self, function: FunctionId, kind: FdKind, version: u64) {
+        self.active.insert((function, kind), version);
+    }
+
+    /// `true` if no assumption is active.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Number of active assumptions.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// `true` if `kind` is currently assumed for `function`.
+    pub fn assumes(&self, function: FunctionId, kind: FdKind) -> bool {
+        self.active.contains_key(&(function, kind))
+    }
+
+    /// Active assumptions in deterministic `(function, kind)` order.
+    pub fn active(&self) -> impl Iterator<Item = Assumption> + '_ {
+        self.active
+            .iter()
+            .map(|(&(function, kind), &v)| Assumption {
+                function,
+                kind,
+                observed_version: v,
+            })
+    }
+
+    /// Assumptions dropped by the most recent revalidation.
+    pub fn invalidated(&self) -> &[Assumption] {
+        &self.invalidated
+    }
+
+    /// Forgets all assumptions (and the invalidation log).
+    pub fn clear(&mut self) {
+        self.active.clear();
+        self.invalidated.clear();
+    }
+
+    /// Re-checks every active assumption against the store's current
+    /// state, dropping those the data no longer supports.
+    ///
+    /// Functions whose per-function mutation counter is unchanged since
+    /// observation are skipped — their tables cannot have changed. Touched
+    /// functions get an exact [`fdb_storage::Table::single_valuedness`]
+    /// scan: if the assumed direction still holds the assumption is
+    /// refreshed to the current version, otherwise it is dropped, recorded
+    /// in [`AssumptionSet::invalidated`], and counted in
+    /// `fdb.check.nongenuine_invalidations`. Returns the dropped
+    /// assumptions; a non-empty return obliges the caller to invalidate
+    /// plans and cached results compiled against this set.
+    pub fn revalidate(&mut self, store: &Store) -> Vec<Assumption> {
+        self.invalidated.clear();
+        let mut dropped: Vec<Assumption> = Vec::new();
+        // Exact scans are memoised per function: one table may carry both
+        // a Functional and an Injective assumption.
+        let mut checked: BTreeMap<FunctionId, (bool, bool)> = BTreeMap::new();
+        for (&(function, kind), version) in self.active.iter_mut() {
+            let current = if function.index() < store.table_count() {
+                store.function_version(function)
+            } else {
+                0
+            };
+            if current == *version {
+                continue;
+            }
+            let (functional, injective) = *checked.entry(function).or_insert_with(|| {
+                if function.index() < store.table_count() {
+                    store.table(function).single_valuedness()
+                } else {
+                    (true, true)
+                }
+            });
+            let holds = match kind {
+                FdKind::Functional => functional,
+                FdKind::Injective => injective,
+            };
+            if holds {
+                *version = current;
+            } else {
+                dropped.push(Assumption {
+                    function,
+                    kind,
+                    observed_version: *version,
+                });
+            }
+        }
+        for a in &dropped {
+            self.active.remove(&(a.function, a.kind));
+            fdb_obs::registry().check_nongenuine_invalidations.inc();
+        }
+        self.invalidated = dropped.clone();
+        dropped
+    }
+
+    /// Compiles a plan for `derivation` under `spec` with this set's
+    /// assumptions folded into the cost model: a step through a function
+    /// assumed `Functional` has its forward fanout clamped to ≤ 1, one
+    /// through a function assumed `Injective` its backward fanout (and
+    /// swapped for `Op::Inverse` steps). Planner compile counters are not
+    /// bumped — this is a what-if estimate layered on [`profiles`] +
+    /// [`estimate`], not a second compilation.
+    pub fn plan_assuming(
+        &self,
+        store: &Store,
+        derivation: &Derivation,
+        spec: &QuerySpec<'_>,
+    ) -> ChainPlan {
+        let mut stats = profiles(store, derivation, spec);
+        for (profile, step) in stats.iter_mut().zip(derivation.steps()) {
+            let inverted = step.op == Op::Inverse;
+            let (fwd_kind, bwd_kind) = if inverted {
+                (FdKind::Injective, FdKind::Functional)
+            } else {
+                (FdKind::Functional, FdKind::Injective)
+            };
+            if self.assumes(step.function, fwd_kind) {
+                profile.fan_fwd = profile.fan_fwd.min(1.0);
+            }
+            if self.assumes(step.function, bwd_kind) {
+                profile.fan_bwd = profile.fan_bwd.min(1.0);
+            }
+        }
+        estimate(&stats)
+    }
+
+    /// `true` if some step of `derivation` walks a function with an
+    /// active assumption (i.e. [`AssumptionSet::plan_assuming`] could
+    /// differ from the plain plan).
+    pub fn touches(&self, derivation: &Derivation) -> bool {
+        derivation.steps().iter().any(|s| {
+            self.assumes(s.function, FdKind::Functional)
+                || self.assumes(s.function, FdKind::Injective)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_types::{Step, Value};
+
+    const F0: FunctionId = FunctionId(0);
+    const F1: FunctionId = FunctionId(1);
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn revalidate_drops_violated_assumptions_only() {
+        let mut store = Store::new(2);
+        store.base_insert(F0, v("a"), v("1"));
+        store.base_insert(F0, v("b"), v("2"));
+        let mut set = AssumptionSet::new();
+        set.install(F0, FdKind::Functional, store.function_version(F0));
+        set.install(F0, FdKind::Injective, store.function_version(F0));
+
+        // An untouched store revalidates to no drops.
+        assert!(set.revalidate(&store).is_empty());
+        assert_eq!(set.len(), 2);
+
+        // a→1, a→3 breaks functionality but not injectivity.
+        store.base_insert(F0, v("a"), v("3"));
+        let dropped = set.revalidate(&store);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].kind, FdKind::Functional);
+        assert!(set.assumes(F0, FdKind::Injective));
+        assert!(!set.assumes(F0, FdKind::Functional));
+        assert_eq!(set.invalidated(), dropped.as_slice());
+
+        // The surviving assumption was refreshed: another revalidation
+        // against the same store is a no-op.
+        assert!(set.revalidate(&store).is_empty());
+    }
+
+    #[test]
+    fn unrelated_write_refreshes_without_dropping() {
+        let mut store = Store::new(2);
+        store.base_insert(F0, v("a"), v("1"));
+        let mut set = AssumptionSet::new();
+        set.install(F0, FdKind::Functional, store.function_version(F0));
+        store.base_insert(F1, v("x"), v("y"));
+        assert!(set.revalidate(&store).is_empty());
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn plan_assuming_clamps_fanout() {
+        // F1 fans a hub out to 10 values (estimated fanout 10); assuming
+        // it functional clamps that to 1 and must lower the estimate.
+        let mut store = Store::new(2);
+        for i in 0..10 {
+            store.base_insert(F0, v(&format!("x{i}")), v("hub"));
+            store.base_insert(F1, v("hub"), v(&format!("z{i}")));
+        }
+        let d = Derivation::new(vec![Step::identity(F0), Step::identity(F1)]).unwrap();
+        let spec = QuerySpec::extension();
+        let plain = crate::plan::estimate(&profiles(&store, &d, &spec));
+
+        let mut set = AssumptionSet::new();
+        set.install(F1, FdKind::Functional, store.function_version(F1));
+        let assumed = set.plan_assuming(&store, &d, &spec);
+        assert!(
+            assumed.est_cost < plain.est_cost,
+            "assumed {} !< plain {}",
+            assumed.est_cost,
+            plain.est_cost
+        );
+        assert!(set.touches(&d));
+    }
+}

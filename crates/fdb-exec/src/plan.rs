@@ -148,8 +148,26 @@ pub struct StepProfile {
 
 /// Compiles a plan for `derivation` under `spec`.
 pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> ChainPlan {
+    let stats = profiles(store, derivation, spec);
+    let best = estimate(&stats);
+    let reg = fdb_obs::registry();
+    reg.plan_compiled.inc();
+    match best.direction {
+        Direction::Forward => reg.plan_forward.inc(),
+        Direction::Backward => reg.plan_backward.inc(),
+        Direction::MeetInMiddle { .. } => reg.plan_meet_in_middle.inc(),
+    }
+    best
+}
+
+/// Derives the per-step [`StepProfile`]s [`plan`] feeds to [`estimate`],
+/// without choosing a direction (and without bumping any planner
+/// counters). Callers that want to adjust the profiles — e.g. clamping
+/// fanouts under a non-genuine functionality assumption — run this, edit
+/// the result, and pass it to [`estimate`] themselves.
+pub fn profiles(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> Vec<StepProfile> {
     let amb = spec.allow_ambiguous;
-    let stats: Vec<StepProfile> = derivation
+    derivation
         .steps()
         .iter()
         .map(|step| {
@@ -195,17 +213,7 @@ pub fn plan(store: &Store, derivation: &Derivation, spec: &QuerySpec<'_>) -> Cha
                 seed_right: seed_width(&spec.right, false),
             }
         })
-        .collect();
-
-    let best = estimate(&stats);
-    let reg = fdb_obs::registry();
-    reg.plan_compiled.inc();
-    match best.direction {
-        Direction::Forward => reg.plan_forward.inc(),
-        Direction::Backward => reg.plan_backward.inc(),
-        Direction::MeetInMiddle { .. } => reg.plan_meet_in_middle.inc(),
-    }
-    best
+        .collect()
 }
 
 /// Chooses the cheapest direction for a chain described only by abstract

@@ -24,12 +24,12 @@
 //! type-functionally equivalent to it — under the UFA every such path is a
 //! genuine derivation (§2.1).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use fdb_governor::{Governance, Governor, Outcome, StopReason, Ungoverned};
-use fdb_types::{Derivation, FunctionId, Schema};
+use fdb_types::{Derivation, FunctionId, Functionality, Schema};
 
-use crate::equiv::{exists_equivalent_walk, path_matches_function};
+use crate::equiv::{exists_equivalent_walk, path_matches};
 use crate::graph::{EdgeId, FunctionGraph};
 use crate::paths::{simple_paths_impl, PathLimits};
 
@@ -108,7 +108,28 @@ pub fn minimal_schema_with_order(
     order: &[FunctionId],
     limits: PathLimits,
 ) -> AmsOutcome {
-    ams_impl(schema, order, limits, &Ungoverned).value()
+    ams_impl(schema, order, limits, &Ungoverned, &[]).value()
+}
+
+/// Runs Algorithm AMS over a graph whose edges are *advisorily tightened*
+/// by data-discovered (non-genuine) functional dependencies.
+///
+/// Each `(function, functionality)` pair tightens that function's edge via
+/// [`FunctionGraph::tighten_advisory`] — the declared schema is never
+/// touched, and a pair that would *loosen* a declaration is ignored. A
+/// function's classification target is its **effective** functionality, so
+/// a `many-many` function observed single-valued can be matched by (and
+/// can participate in) `many-one` walks that the declared schema alone
+/// would reject. Conclusions drawn from this variant are only as durable
+/// as the data: callers must present them as advisory, not as schema
+/// facts.
+pub fn minimal_schema_with_advisory(
+    schema: &Schema,
+    advisory: &[(FunctionId, Functionality)],
+    limits: PathLimits,
+) -> AmsOutcome {
+    let order: Vec<FunctionId> = schema.functions().iter().map(|d| d.id).collect();
+    ams_impl(schema, &order, limits, &Ungoverned, advisory).value()
 }
 
 /// Runs Algorithm AMS under a [`Governor`].
@@ -123,7 +144,7 @@ pub fn minimal_schema_governed(
     governor: &Governor,
 ) -> Outcome<AmsOutcome> {
     let order: Vec<FunctionId> = schema.functions().iter().map(|d| d.id).collect();
-    ams_impl(schema, &order, limits, governor)
+    ams_impl(schema, &order, limits, governor, &[])
 }
 
 fn ams_impl<G: Governance>(
@@ -131,12 +152,23 @@ fn ams_impl<G: Governance>(
     order: &[FunctionId],
     limits: PathLimits,
     governor: &G,
+    advisory: &[(FunctionId, Functionality)],
 ) -> Outcome<AmsOutcome> {
     let mut stop: Option<StopReason> = None;
     fdb_obs::registry().graph_ams_runs.inc();
 
-    // Step 1: construct the function graph.
-    let graph = FunctionGraph::from_schema(schema);
+    // Step 1: construct the function graph, tightened by any advisory FDs.
+    let mut graph = FunctionGraph::from_schema(schema);
+    for &(f, fun) in advisory {
+        graph.tighten_advisory(f, fun);
+    }
+    // Effective (possibly tightened) functionality per function — the
+    // classification target below, and the derivation-match target after
+    // the split. Identical to the declarations when `advisory` is empty.
+    let effective: HashMap<FunctionId, Functionality> = graph
+        .edges()
+        .map(|e| (e.function, e.functionality))
+        .collect();
 
     // Normalise the iteration order to a permutation of all functions.
     let mut seen: HashSet<FunctionId> = HashSet::new();
@@ -167,7 +199,7 @@ fn ams_impl<G: Governance>(
             .expect("every function has an edge in its own graph");
         let mut excluded = removed_edges.clone();
         excluded.insert(e.id);
-        if exists_equivalent_walk(&graph, def.domain, def.range, def.functionality, &excluded) {
+        if exists_equivalent_walk(&graph, def.domain, def.range, effective[&f], &excluded) {
             removed_edges.insert(e.id);
             removed_funs.push(def.id);
         }
@@ -178,6 +210,9 @@ fn ams_impl<G: Governance>(
 
     // Step 3: M = S − M̄, plus derivation extraction in G_M.
     let mut minimal_graph = FunctionGraph::from_schema(schema);
+    for &(f, fun) in advisory {
+        minimal_graph.tighten_advisory(f, fun);
+    }
     for &f in &removed_funs {
         minimal_graph.remove_function(f);
     }
@@ -213,7 +248,7 @@ fn ams_impl<G: Governance>(
             };
             let derivations = paths
                 .into_iter()
-                .filter(|p| path_matches_function(&minimal_graph, p, def))
+                .filter(|p| path_matches(&minimal_graph, p, def.domain, def.range, effective[&f]))
                 .map(|p| p.to_derivation(&minimal_graph))
                 .collect();
             DerivedFunction {
@@ -547,6 +582,47 @@ mod tests {
         );
         // grade is still derived either way.
         assert!(!out.is_base(s.resolve("grade").unwrap()));
+    }
+
+    #[test]
+    fn advisory_tightening_enables_extra_derivation() {
+        // g: a→b many-one is not derivable from the declared schema —
+        // every walk through f: a→b many-many composes to many-many. With
+        // the advisory FD "f is observed many-one", the single-edge walk
+        // through f matches g exactly.
+        let s = Schema::builder()
+            .function("g", "a", "b", "many-one")
+            .function("f", "a", "b", "many-many")
+            .build()
+            .unwrap();
+        let g = s.resolve("g").unwrap();
+        let f = s.resolve("f").unwrap();
+
+        let plain = minimal_schema(&s);
+        assert!(plain.is_base(g));
+
+        let advisory = vec![(f, fdb_types::Functionality::ManyOne)];
+        let out = super::minimal_schema_with_advisory(&s, &advisory, PathLimits::default());
+        assert!(!out.is_base(g), "advisory FD should make g derivable");
+        assert!(out.is_base(f));
+        assert_eq!(out.derivations_of(g).unwrap()[0].render(&s), "f");
+    }
+
+    #[test]
+    fn advisory_that_would_loosen_is_ignored() {
+        // "grade is observed many-many" would loosen its many-one
+        // declaration; the advisory is dropped and the outcome matches the
+        // plain run exactly.
+        let s = schema_s1();
+        let grade = s.resolve("grade").unwrap();
+        let advisory = vec![(grade, fdb_types::Functionality::ManyMany)];
+        let plain = minimal_schema(&s);
+        let out = super::minimal_schema_with_advisory(&s, &advisory, PathLimits::default());
+        assert_eq!(plain.base, out.base);
+        assert_eq!(
+            plain.derived.iter().map(|d| d.function).collect::<Vec<_>>(),
+            out.derived.iter().map(|d| d.function).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -70,10 +70,23 @@ pub fn exists_equivalent_walk(
 /// equivalent to the function `def` — i.e. it is a *candidate derivation*
 /// of `def`.
 pub fn path_matches_function(graph: &FunctionGraph, path: &Path, def: &FunctionDef) -> bool {
+    path_matches(graph, path, def.domain, def.range, def.functionality)
+}
+
+/// Like [`path_matches_function`] but against an explicit target
+/// functionality — used when advisory tightening makes a function's
+/// effective functionality differ from its declaration.
+pub fn path_matches(
+    graph: &FunctionGraph,
+    path: &Path,
+    domain: TypeId,
+    range: TypeId,
+    target: Functionality,
+) -> bool {
     !path.is_empty()
-        && path.start == def.domain
-        && path.end(graph) == def.range
-        && path.functionality(graph) == Some(def.functionality)
+        && path.start == domain
+        && path.end(graph) == range
+        && path.functionality(graph) == Some(target)
 }
 
 /// Returns `true` if the two functions are syntactically equivalent (same

@@ -56,6 +56,23 @@ impl Dir {
     }
 }
 
+/// Provenance of an edge's functionality: declared by the schema, or
+/// tightened by a data-discovered (non-genuine) functional dependency.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub enum EdgeKind {
+    /// The functionality is the schema's declaration — guaranteed by the
+    /// engine's update machinery (genuine).
+    #[default]
+    Declared,
+    /// The functionality was tightened from an FD observed to hold in the
+    /// current extension (non-genuine): true today, invalidated by the
+    /// next violating write. Design passes must never report advisory
+    /// conclusions as schema facts.
+    Advisory,
+}
+
 /// One edge of the function graph.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Edge {
@@ -67,8 +84,12 @@ pub struct Edge {
     pub a: TypeId,
     /// Declared range type (the `b` endpoint).
     pub b: TypeId,
-    /// Declared functionality, oriented `a → b`.
+    /// Effective functionality, oriented `a → b`. Equal to the schema's
+    /// declaration unless `kind` is [`EdgeKind::Advisory`].
     pub functionality: Functionality,
+    /// Where the functionality came from (declared vs advisory).
+    #[serde(default)]
+    pub kind: EdgeKind,
 }
 
 impl Edge {
@@ -150,6 +171,7 @@ impl FunctionGraph {
             a: def.domain,
             b: def.range,
             functionality: def.functionality,
+            kind: EdgeKind::Declared,
         };
         self.adj.entry(edge.a).or_default().push(id);
         if edge.a != edge.b {
@@ -158,6 +180,28 @@ impl FunctionGraph {
         self.slots.push(EdgeSlot { edge, alive: true });
         self.by_function.insert(function, id);
         id
+    }
+
+    /// Tightens the edge of `function` to a data-discovered functionality,
+    /// marking it [`EdgeKind::Advisory`]. The schema itself is untouched —
+    /// only this graph view is tightened, and only if `functionality` is
+    /// at least as strict as the declaration on both coordinates (an
+    /// advisory edge may add guarantees, never remove declared ones).
+    /// Returns `true` if the edge was tightened.
+    pub fn tighten_advisory(&mut self, function: FunctionId, functionality: Functionality) -> bool {
+        let Some(&id) = self.by_function.get(&function) else {
+            return false;
+        };
+        let slot = &mut self.slots[id.index()];
+        let declared = slot.edge.functionality;
+        let strict_enough = (!declared.is_functional() || functionality.is_functional())
+            && (!declared.is_injective() || functionality.is_injective());
+        if !slot.alive || !strict_enough || functionality == declared {
+            return false;
+        }
+        slot.edge.functionality = functionality;
+        slot.edge.kind = EdgeKind::Advisory;
+        true
     }
 
     /// Tombstones the edge of `function`; returns `true` if it was alive.
@@ -324,6 +368,27 @@ mod tests {
             teach.functionality_along(Dir::Backward),
             teach.functionality.inverse()
         );
+    }
+
+    #[test]
+    fn tighten_advisory_only_tightens() {
+        let (s, mut g) = s1_graph();
+        let teach = s.resolve("teach").unwrap();
+        let grade = s.resolve("grade").unwrap();
+        assert_eq!(g.edge_of(teach).unwrap().kind, EdgeKind::Declared);
+        // ManyMany → ManyOne is a genuine tightening.
+        assert!(g.tighten_advisory(teach, Functionality::ManyOne));
+        let e = g.edge_of(teach).unwrap();
+        assert_eq!(e.kind, EdgeKind::Advisory);
+        assert_eq!(e.functionality, Functionality::ManyOne);
+        // Loosening a declared many-one to many-many is refused, as is a
+        // no-op "tightening" to the declaration itself.
+        assert!(!g.tighten_advisory(grade, Functionality::ManyMany));
+        assert!(!g.tighten_advisory(grade, Functionality::ManyOne));
+        assert_eq!(g.edge_of(grade).unwrap().kind, EdgeKind::Declared);
+        // Dead edges are not tightened.
+        g.remove_function(teach);
+        assert!(!g.tighten_advisory(teach, Functionality::OneOne));
     }
 
     #[test]

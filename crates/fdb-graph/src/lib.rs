@@ -37,20 +37,21 @@ pub mod support;
 
 pub use ams::{
     all_minimal_schemas, all_minimal_schemas_governed, minimal_schema, minimal_schema_governed,
-    minimal_schema_with_limits, minimal_schema_with_order, AmsOutcome, DerivedFunction,
+    minimal_schema_with_advisory, minimal_schema_with_limits, minimal_schema_with_order,
+    AmsOutcome, DerivedFunction,
 };
 pub use cycles::{cycles_through_edge, cycles_through_edge_governed, Cycle};
 pub use design::{
     CycleDecision, CycleReport, DesignConfig, DesignEvent, DesignOutcome, DesignSession, Designer,
 };
 pub use designers::{FirstCandidateDesigner, KeepAllDesigner, OracleDesigner, ScriptedDesigner};
-pub use equiv::{exists_equivalent_walk, path_matches_function};
+pub use equiv::{exists_equivalent_walk, path_matches, path_matches_function};
 // Re-exported so downstream crates can use the governed entry points
 // without naming fdb-governor directly.
 pub use fdb_governor::{
     Budget, CancelToken, Governance, Governor, Outcome, StopReason, Ungoverned,
 };
-pub use graph::{Dir, Edge, EdgeId, FunctionGraph};
+pub use graph::{Dir, Edge, EdgeId, EdgeKind, FunctionGraph};
 pub use lint::{diagnose, diagnose_governed, render_diagnostics, SchemaDiagnostics};
 pub use paths::{all_simple_paths, all_simple_paths_governed, Path, PathLimits, PathStep};
 pub use support::support_set;

@@ -95,6 +95,18 @@ pub enum Statement {
         /// `true` for `CHECK JSON`: emit diagnostics as a JSON array.
         json: bool,
     },
+    /// `CHECK DATA` — run the data-aware discovery pass and render its
+    /// findings (plus any invalidated non-genuine assumptions) as
+    /// `FDB05x` diagnostics.
+    CheckData,
+    /// `DISCOVER` / `DISCOVER JSON` — mine the stored extensions for
+    /// incidental FDs, declared-functionality violations (with minimal
+    /// repairs) and candidate derivations; install the discovered FDs as
+    /// non-genuine planner assumptions.
+    Discover {
+        /// `true` for `DISCOVER JSON`: emit the report as JSON.
+        json: bool,
+    },
     /// `STRICT ON` / `STRICT OFF` — toggle pre-flight static analysis of
     /// `SOURCE`d scripts (error-severity findings refuse execution).
     Strict {

@@ -154,6 +154,8 @@ pub fn lower(s: &SpannedStatement) -> Option<CheckStmt> {
         | Statement::Save { .. }
         | Statement::Dump { .. }
         | Statement::Check { .. }
+        | Statement::CheckData
+        | Statement::Discover { .. }
         | Statement::Strict { .. }
         | Statement::Trace { .. }
         | Statement::TraceSlow { .. }

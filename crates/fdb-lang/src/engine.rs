@@ -1,10 +1,13 @@
 //! Statement evaluator.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use fdb_check::{analyze_script, CheckConfig, CheckStmt, Severity, TxnOp};
+use fdb_check::{analyze_script, CheckConfig, CheckStmt, DiscoverConfig, Severity, TxnOp};
 use fdb_core::{resolve_ambiguities, Budget, CancelToken, Database, Governance, Governor, Outcome};
-use fdb_exec::{CacheProbe, CacheReport, ResultCache};
+use fdb_exec::{
+    Assumption, AssumptionSet, CacheProbe, CacheReport, FdKind, QuerySpec, ResultCache,
+};
 use fdb_repl::{Promotion, Replica};
 use fdb_types::{Derivation, FdbError, Result, Schema, Step, Value};
 
@@ -70,6 +73,15 @@ pub struct Engine {
     /// consistent database, write statements are refused, and `PROMOTE`
     /// fails over to a writable primary on a new term.
     replica: Option<Replica>,
+    /// Non-genuine FDs `DISCOVER` observed in the stored data, keyed by
+    /// the per-function mutation counter at observation. Revalidated
+    /// after every successful statement; a write that breaks an assumed
+    /// FD drops the assumption and clears the result cache (plans and
+    /// answers compiled under the assumption are no longer trustworthy).
+    nongenuine: AssumptionSet,
+    /// Assumptions dropped by revalidation over the whole session, in
+    /// drop order — the evidence `CHECK DATA` reports as `FDB053`.
+    invalidated_log: Vec<Assumption>,
 }
 
 const HELP: &str = "\
@@ -100,6 +112,8 @@ statements (one per line; `--` starts a comment):
   SHOW SLOW                                  slow-query log
   DUMP TRACE                                 write flight-<seq>.json
   CHECK [JSON]                               consistency + static analysis
+  CHECK DATA                                 data-aware FDB05x diagnostics
+  DISCOVER [JSON]                            mine stored FDs + derivations
   STRICT ON | OFF                            pre-flight SOURCEd scripts
   REPLICA STATUS                             replication position and lag
   PROMOTE                                    fail over: replica -> primary
@@ -126,6 +140,8 @@ impl Engine {
             savepoint_marks: Vec::new(),
             strict: false,
             replica: None,
+            nongenuine: AssumptionSet::new(),
+            invalidated_log: Vec::new(),
         }
     }
 
@@ -345,7 +361,42 @@ impl Engine {
     }
 
     /// Executes a parsed statement.
+    ///
+    /// After every successful statement, active non-genuine assumptions
+    /// (installed by `DISCOVER`) are revalidated against the store's
+    /// per-function mutation counters: a write that violated an assumed
+    /// FD drops the assumption, logs it for `CHECK DATA` (`FDB053`), and
+    /// clears the derived-result cache — answers and plans compiled
+    /// under the assumption are no longer trustworthy.
     pub fn execute(&mut self, stmt: Statement) -> Result<String> {
+        let out = self.execute_inner(stmt)?;
+        if !self.nongenuine.is_empty() {
+            let dropped = self.nongenuine.revalidate(self.db.store());
+            if !dropped.is_empty() {
+                self.invalidated_log.extend(dropped);
+                self.cache.clear();
+            }
+        }
+        Ok(out)
+    }
+
+    /// The set of non-genuine planner assumptions currently active
+    /// (installed by `DISCOVER`, pruned by revalidation).
+    pub fn nongenuine(&self) -> &AssumptionSet {
+        &self.nongenuine
+    }
+
+    /// The derivations registered on the read-side database, keyed by
+    /// function — the "skip these" input of the discovery pass.
+    fn registered_derivations(&self) -> BTreeMap<fdb_types::FunctionId, Vec<Derivation>> {
+        let read = self.read_db();
+        read.derived_functions()
+            .into_iter()
+            .map(|f| (f, read.derivations(f).to_vec()))
+            .collect()
+    }
+
+    fn execute_inner(&mut self, stmt: Statement) -> Result<String> {
         match stmt {
             Statement::Empty => Ok(String::new()),
             Statement::Help => Ok(HELP.to_owned()),
@@ -609,6 +660,61 @@ impl Engine {
                 }
                 Ok(text)
             }
+            Statement::Discover { json } => {
+                let derived = self.registered_derivations();
+                let config = DiscoverConfig::default();
+                let report = {
+                    let read = self.read_db();
+                    fdb_check::discover(read.store(), read.schema(), &derived, &config)
+                };
+                // Every incidental FD becomes a planner assumption, keyed
+                // by the mutation counter it was observed at.
+                for fd in &report.fds {
+                    if fd.observed.is_functional() && !fd.declared.is_functional() {
+                        self.nongenuine.install(
+                            fd.function,
+                            FdKind::Functional,
+                            fd.function_version,
+                        );
+                    }
+                    if fd.observed.is_injective() && !fd.declared.is_injective() {
+                        self.nongenuine.install(
+                            fd.function,
+                            FdKind::Injective,
+                            fd.function_version,
+                        );
+                    }
+                }
+                let read = self.read_db();
+                if json {
+                    let tree = fdb_check::discovery_to_content(&report, read.schema());
+                    let mut out = fdb_check::render_content(&tree);
+                    out.push('\n');
+                    Ok(out)
+                } else {
+                    Ok(fdb_check::render_discovery_text(&report, read.schema()))
+                }
+            }
+            Statement::CheckData => {
+                let derived = self.registered_derivations();
+                let config = DiscoverConfig::default();
+                let read = self.read_db();
+                let report = fdb_check::discover(read.store(), read.schema(), &derived, &config);
+                let mut diags = fdb_check::discovery_diagnostics(&report, read.schema());
+                for a in &self.invalidated_log {
+                    diags.push(fdb_check::invalidation_diagnostic(
+                        read.schema(),
+                        a.function,
+                        a.kind.as_str(),
+                        a.observed_version,
+                    ));
+                }
+                if diags.is_empty() {
+                    Ok("data-clean\n".to_owned())
+                } else {
+                    Ok(fdb_check::render_text(&diags))
+                }
+            }
             Statement::Strict { on } => {
                 self.strict = on;
                 Ok(format!("strict mode {}\n", if on { "on" } else { "off" }))
@@ -664,8 +770,41 @@ impl Engine {
             Statement::ExplainPlan { function, x, y } => {
                 let db = self.read_db();
                 let f = db.resolve(&function)?;
-                let reports = db.explain_plan(f, &Value::atom(&x), &Value::atom(&y))?;
-                Ok(crate::format::render_plan_reports(db, f, &x, &y, &reports))
+                let (vx, vy) = (Value::atom(&x), Value::atom(&y));
+                let reports = db.explain_plan(f, &vx, &vy)?;
+                let mut out = crate::format::render_plan_reports(db, f, &x, &y, &reports);
+                // What-if under the discovered (non-genuine) FDs: for each
+                // derivation walking a function with an active assumption,
+                // show the cost the planner would charge if the assumed
+                // functionality were declared.
+                if !self.nongenuine.is_empty() {
+                    let spec = QuerySpec::truth(&vx, &vy, true);
+                    for (i, d) in db.derivations(f).iter().enumerate() {
+                        if !self.nongenuine.touches(d) {
+                            continue;
+                        }
+                        let what_if = self.nongenuine.plan_assuming(db.store(), d, &spec);
+                        let assumed: Vec<String> = self
+                            .nongenuine
+                            .active()
+                            .filter(|a| d.mentions(a.function))
+                            .map(|a| {
+                                format!(
+                                    "{} {}",
+                                    db.schema().function(a.function).name,
+                                    a.kind.as_str()
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "  non-genuine: derivation {} assuming {} — est cost {:.1}\n",
+                            i + 1,
+                            assumed.join(", "),
+                            what_if.est_cost,
+                        ));
+                    }
+                }
+                Ok(out)
             }
             Statement::ExplainAnalyze { function, x, y } => {
                 let read = match &self.replica {
@@ -1015,6 +1154,72 @@ mod tests {
         e.execute_line("DELETE class_list(math, john)").unwrap();
         assert_eq!(e.execute_line("TRUTH pupil(euclid, john)").unwrap(), "F\n");
         assert_eq!(e.cache_stats().local.invalidations, 1);
+    }
+
+    #[test]
+    fn discover_installs_assumptions_and_violating_writes_invalidate() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             INSERT teach(euclid, math)\n\
+             INSERT teach(laplace, stat)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        // Two distinct x→y pairs: the extension is one-one while the
+        // declaration is many-many, so DISCOVER reports an incidental FD
+        // and installs both directions as planner assumptions.
+        let out = e.execute_line("DISCOVER").unwrap();
+        assert!(out.contains("fd teach: observed one-one"), "got: {out}");
+        assert_eq!(e.nongenuine().len(), 2);
+        let out = e.execute_line("CHECK DATA").unwrap();
+        assert!(out.contains("FDB050"), "got: {out}");
+        // Reads leave the assumptions alone.
+        e.execute_line("SHOW teach").unwrap();
+        assert_eq!(e.nongenuine().len(), 2);
+        // A write giving euclid a second course breaks the functional
+        // direction only (geom stays a unique range value).
+        e.execute_line("INSERT teach(euclid, geom)").unwrap();
+        assert_eq!(e.nongenuine().len(), 1);
+        let out = e.execute_line("CHECK DATA").unwrap();
+        assert!(out.contains("FDB053"), "got: {out}");
+        assert!(out.contains("teach is functional"), "got: {out}");
+    }
+
+    #[test]
+    fn discover_json_and_explain_plan_annotation() {
+        let mut e = Engine::new();
+        run(
+            &mut e,
+            "DECLARE teach: faculty -> course (many-many)\n\
+             DECLARE class_list: course -> student (many-many)\n\
+             DECLARE pupil: faculty -> student (many-many)\n\
+             DERIVE pupil = teach o class_list\n\
+             INSERT teach(euclid, math)\n\
+             INSERT class_list(math, john)\n\
+             INSERT class_list(math, bill)",
+        )
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        let out = e.execute_line("DISCOVER JSON").unwrap();
+        assert!(out.starts_with('{'), "got: {out}");
+        assert!(out.contains("\"fds\""), "got: {out}");
+        assert!(!e.nongenuine().is_empty());
+        // EXPLAIN PLAN over a derivation that walks an assumed function
+        // carries the what-if annotation.
+        let out = e.execute_line("EXPLAIN PLAN pupil(euclid, john)").unwrap();
+        // teach has a single row (below min_support); the discovered FD
+        // is class_list's injectivity (john and bill are unique).
+        assert!(
+            out.contains("non-genuine: derivation 1 assuming"),
+            "got: {out}"
+        );
+        assert!(out.contains("class_list injective"), "got: {out}");
     }
 
     #[test]

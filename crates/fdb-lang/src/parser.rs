@@ -418,7 +418,18 @@ impl Parser {
                     self.next();
                     Statement::Check { json: true }
                 }
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("data") => {
+                    self.next();
+                    Statement::CheckData
+                }
                 _ => Statement::Check { json: false },
+            },
+            "DISCOVER" => match self.peek() {
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("json") => {
+                    self.next();
+                    Statement::Discover { json: true }
+                }
+                _ => Statement::Discover { json: false },
             },
             "STRICT" => {
                 let (arg, _) = self.ident("ON or OFF")?;
@@ -567,6 +578,18 @@ mod tests {
         assert_eq!(
             parse_statement("CHECK JSON", 1).unwrap(),
             Statement::Check { json: true }
+        );
+        assert_eq!(
+            parse_statement("CHECK DATA", 1).unwrap(),
+            Statement::CheckData
+        );
+        assert_eq!(
+            parse_statement("discover", 1).unwrap(),
+            Statement::Discover { json: false }
+        );
+        assert_eq!(
+            parse_statement("DISCOVER JSON", 1).unwrap(),
+            Statement::Discover { json: true }
         );
         assert_eq!(parse_statement("", 1).unwrap(), Statement::Empty);
         assert_eq!(

@@ -7,7 +7,9 @@
 //!   --deny warn                exit 2 (not 1) when warnings remain
 //!   --baseline FILE            suppress findings listed in FILE
 //!   --write-baseline           regenerate the baseline file and exit
+//!   --prune-baseline           drop stale baseline keys and exit
 //!   --chain-budget N           FDB030 threshold (default 10000)
+//!   --with-store FILE          replay FILE, mine its stored data (FDB05x)
 //!
 //! exit status: 0 clean, 1 warnings, 2 errors (or warnings under
 //! `--deny warn`), 3 usage/IO failure.
@@ -15,7 +17,15 @@
 //!
 //! Lines that do not parse become `FDB000` findings rather than aborting
 //! the run, so one bad line does not hide the rest of the report.
+//! `--with-store` goes one step further than the static passes: the file
+//! is *executed* (through the normal engine) and the resulting store is
+//! mined for incidental FDs, declared-functionality violations with
+//! minimal repairs, and candidate derivations — the data-aware `FDB05x`
+//! findings. Baseline keys that no longer match any finding are reported
+//! as a note on stderr; `--prune-baseline` rewrites the file without
+//! them.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use fdb_check::{
@@ -29,7 +39,9 @@ struct Options {
     deny_warn: bool,
     baseline_path: Option<String>,
     write_baseline: bool,
+    prune_baseline: bool,
     chain_budget: f64,
+    with_store: Option<String>,
     files: Vec<String>,
 }
 
@@ -41,7 +53,8 @@ enum Format {
 }
 
 const USAGE: &str = "usage: fdb-lint [--format text|json|sarif] [--deny warn] \
-                     [--baseline FILE [--write-baseline]] [--chain-budget N] FILE...";
+                     [--baseline FILE [--write-baseline | --prune-baseline]] \
+                     [--chain-budget N] [--with-store FILE] FILE...";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
@@ -49,7 +62,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deny_warn: false,
         baseline_path: None,
         write_baseline: false,
+        prune_baseline: false,
         chain_budget: CheckConfig::default().chain_budget,
+        with_store: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -74,6 +89,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 None => return Err("--baseline expects a file path".into()),
             },
             "--write-baseline" => opts.write_baseline = true,
+            "--prune-baseline" => opts.prune_baseline = true,
+            "--with-store" => match it.next() {
+                Some(p) => opts.with_store = Some(p.clone()),
+                None => return Err("--with-store expects a file path".into()),
+            },
             "--chain-budget" => {
                 opts.chain_budget = it
                     .next()
@@ -86,11 +106,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    if opts.files.is_empty() {
+    if opts.files.is_empty() && opts.with_store.is_none() {
         return Err(USAGE.into());
     }
     if opts.write_baseline && opts.baseline_path.is_none() {
         return Err("--write-baseline requires --baseline FILE".into());
+    }
+    if opts.prune_baseline && opts.baseline_path.is_none() {
+        return Err("--prune-baseline requires --baseline FILE".into());
+    }
+    if opts.prune_baseline && opts.write_baseline {
+        return Err("--prune-baseline and --write-baseline are mutually exclusive".into());
     }
     Ok(opts)
 }
@@ -131,6 +157,38 @@ fn lint_file(path: &str, config: &CheckConfig) -> Result<Vec<Diagnostic>, String
     Ok(diags)
 }
 
+/// Replays `path` through a fresh engine and mines the resulting store:
+/// the data-aware half of the linter. Returns the byte-stable report
+/// text (printed in text mode, and the CI golden format) plus the
+/// `FDB05x` diagnostics, which join the normal finding stream.
+fn discover_store(path: &str) -> Result<(String, Vec<Diagnostic>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut engine = fdb_lang::Engine::new();
+    for (i, line) in text.lines().enumerate() {
+        engine
+            .execute_line(line)
+            .map_err(|e| format!("{path}:{}: replay failed: {e}", i + 1))?;
+    }
+    let db = engine.database();
+    let derived: BTreeMap<fdb_types::FunctionId, Vec<fdb_types::Derivation>> = db
+        .derived_functions()
+        .into_iter()
+        .map(|f| (f, db.derivations(f).to_vec()))
+        .collect();
+    let report = fdb_check::discover(
+        db.store(),
+        db.schema(),
+        &derived,
+        &fdb_check::DiscoverConfig::default(),
+    );
+    let mut diags = fdb_check::discovery_diagnostics(&report, db.schema());
+    sort_diagnostics(&mut diags);
+    Ok((
+        fdb_check::render_discovery_text(&report, db.schema()),
+        diags,
+    ))
+}
+
 fn run(args: &[String]) -> Result<u8, String> {
     let opts = parse_args(args)?;
     let config = CheckConfig {
@@ -141,6 +199,12 @@ fn run(args: &[String]) -> Result<u8, String> {
     let mut entries: Vec<(String, Vec<Diagnostic>)> = Vec::new();
     for file in &opts.files {
         entries.push((file.clone(), lint_file(file, &config)?));
+    }
+    let mut store_report = None;
+    if let Some(store) = &opts.with_store {
+        let (report_text, diags) = discover_store(store)?;
+        store_report = Some(report_text);
+        entries.push((store.clone(), diags));
     }
 
     if opts.write_baseline {
@@ -156,7 +220,24 @@ fn run(args: &[String]) -> Result<u8, String> {
 
     if let Some(path) = &opts.baseline_path {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let baseline = Baseline::parse(&text);
+        let mut baseline = Baseline::parse(&text);
+        // Keys matching none of this run's (pre-filter) findings are
+        // stale: the underlying finding was fixed but the suppression
+        // lives on, and would silently mask a regression.
+        let stale = baseline.stale_keys(&entries);
+        if opts.prune_baseline {
+            let removed = baseline.remove_keys(&stale);
+            std::fs::write(path, baseline.render())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "pruned {removed} stale baseline entries from {path} ({} kept)",
+                baseline.len()
+            );
+            return Ok(0);
+        }
+        for key in &stale {
+            eprintln!("note: stale baseline entry `{key}` (--prune-baseline to drop)");
+        }
         for (file, diags) in &mut entries {
             *diags = baseline.filter(file, std::mem::take(diags));
         }
@@ -164,6 +245,9 @@ fn run(args: &[String]) -> Result<u8, String> {
 
     match opts.format {
         Format::Text => {
+            if let Some(report) = &store_report {
+                print!("{report}");
+            }
             let mut all = Vec::new();
             for (file, diags) in &entries {
                 for d in diags {

@@ -155,6 +155,204 @@ fn replica_mode_marker_turns_on_fdb040_per_file() {
 }
 
 #[test]
+fn stale_baseline_keys_are_noted_and_prunable() {
+    let warny = write_script("stale.fdb", WARNY);
+    let baseline = tmp("stale_baseline.txt");
+    let wpath = warny.to_str().unwrap();
+    let bpath = baseline.to_str().unwrap();
+
+    // Record the current findings, then fix the script: the recorded
+    // key no longer matches anything.
+    let out = lint(&["--baseline", bpath, "--write-baseline", wpath]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    std::fs::write(&warny, CLEAN).expect("fix script");
+    let out = lint(&["--baseline", bpath, wpath]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("note: stale baseline entry"), "{err}");
+    assert!(err.contains(&format!("FDB023 {wpath}:3")), "{err}");
+
+    // Pruning rewrites the file without the stale key and exits 0.
+    let out = lint(&["--baseline", bpath, "--prune-baseline", wpath]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pruned 1 stale baseline entries"), "{text}");
+    let rewritten = std::fs::read_to_string(&baseline).expect("baseline kept");
+    assert!(!rewritten.contains("FDB023"), "{rewritten}");
+    let out = lint(&["--baseline", bpath, wpath]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("stale"),
+        "no notes after pruning"
+    );
+
+    // --write-baseline output is sorted and deduplicated: two findings
+    // on distinct lines come back in line order, once each.
+    let doubled = format!("{WARNY}INSERT teach(gauss, algebra)\nDELETE teach(gauss, algebra)\n");
+    std::fs::write(&warny, doubled).expect("grow script");
+    let out = lint(&["--baseline", bpath, "--write-baseline", wpath]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let rewritten = std::fs::read_to_string(&baseline).expect("baseline rewritten");
+    let keys: Vec<&str> = rewritten.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(keys.len(), 2, "{rewritten}");
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "{rewritten}");
+
+    std::fs::remove_file(warny).ok();
+    std::fs::remove_file(baseline).ok();
+}
+
+#[test]
+fn with_store_mines_the_replayed_data() {
+    // grade is declared many-many but stores a violated many-one-looking
+    // extension? No: store a one-one extension (incidental FD, FDB050)
+    // plus a declared many-one function violated by a double mapping
+    // (FDB051 with a repair).
+    let store = write_script(
+        "store.fdb",
+        "DECLARE teach: faculty -> course (many-many)\n\
+         DECLARE office: faculty -> room (many-one)\n\
+         INSERT teach(euclid, math)\n\
+         INSERT teach(laplace, stat)\n\
+         INSERT office(euclid, e101)\n\
+         INSERT office(euclid, e202)\n",
+    );
+    let spath = store.to_str().unwrap();
+
+    let out = lint(&["--with-store", spath]);
+    // The violation is warn-severity, so the exit code is 1.
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fd teach: observed one-one"), "{text}");
+    assert!(
+        text.contains("violation office: declared many-one"),
+        "{text}"
+    );
+    assert!(text.contains("delete office(euclid,"), "{text}");
+    assert!(text.contains("FDB050"), "{text}");
+    assert!(text.contains("FDB051"), "{text}");
+
+    // The same findings flow through SARIF with the store file as the
+    // artifact.
+    let out = lint(&["--format", "sarif", "--with-store", spath]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"ruleId\":\"FDB051\""), "{text}");
+    assert!(text.contains("store.fdb"), "{text}");
+
+    // A replay failure is a usage/IO error, not a lint verdict.
+    let broken = write_script("broken_store.fdb", "INSERT ghost(a, b)\n");
+    let out = lint(&["--with-store", broken.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("replay failed"), "{err}");
+
+    std::fs::remove_file(store).ok();
+    std::fs::remove_file(broken).ok();
+}
+
+#[test]
+fn sarif_multi_file_source_points_each_finding_at_its_file() {
+    // `outer` SOURCEs `inner`; both carry a dead write, on different
+    // lines. Each SARIF result must carry its own file's uri and the
+    // column range of its own span.
+    let inner = write_script("sarif_inner.fdb", WARNY);
+    // The dead write sits *before* the SOURCE: a world-opening statement
+    // mutes the closed-world passes from that point on.
+    let outer = write_script(
+        "sarif_outer.fdb",
+        &format!(
+            "DECLARE office: faculty -> room (many-one)\n\
+             INSERT office(euclid, e101)\n\
+             DELETE office(euclid, e101)\n\
+             SOURCE \"{}\"\n",
+            inner.display()
+        ),
+    );
+    let opath = outer.to_str().unwrap();
+    let ipath = inner.to_str().unwrap();
+
+    fn as_u64(c: &serde::Content) -> Option<u64> {
+        match c {
+            serde::Content::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    let out = lint(&["--format", "sarif", opath, ipath]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let log = serde_json::parse(&text).expect("valid JSON");
+    let runs = log
+        .as_map()
+        .and_then(|m| serde::map_get(m, "runs"))
+        .unwrap();
+    let run = &runs.as_seq().unwrap()[0];
+    let results = run
+        .as_map()
+        .and_then(|m| serde::map_get(m, "results"))
+        .and_then(serde::Content::as_seq)
+        .unwrap();
+    // One FDB023 per file; collect (uri, startLine, startColumn).
+    let mut found = Vec::new();
+    for r in results {
+        let m = r.as_map().unwrap();
+        if serde::map_get(m, "ruleId").and_then(serde::Content::as_str) != Some("FDB023") {
+            continue;
+        }
+        let loc = serde::map_get(m, "locations")
+            .and_then(serde::Content::as_seq)
+            .unwrap()[0]
+            .as_map()
+            .and_then(|m| serde::map_get(m, "physicalLocation"))
+            .unwrap();
+        let uri = loc
+            .as_map()
+            .and_then(|m| serde::map_get(m, "artifactLocation"))
+            .and_then(serde::Content::as_map)
+            .and_then(|m| serde::map_get(m, "uri"))
+            .and_then(serde::Content::as_str)
+            .unwrap()
+            .to_owned();
+        let region = loc
+            .as_map()
+            .and_then(|m| serde::map_get(m, "region"))
+            .and_then(serde::Content::as_map)
+            .unwrap();
+        let line = serde::map_get(region, "startLine")
+            .and_then(as_u64)
+            .unwrap();
+        let start = serde::map_get(region, "startColumn")
+            .and_then(as_u64)
+            .unwrap();
+        let end = serde::map_get(region, "endColumn")
+            .and_then(as_u64)
+            .unwrap();
+        found.push((uri, line, start, end));
+    }
+    assert_eq!(found.len(), 2, "{text}");
+    // Both dead writes sit on line 3 of their own file; each span covers
+    // the function name after "DELETE " (col 8).
+    assert!(
+        found
+            .iter()
+            .any(|(u, l, s, e)| u == opath && *l == 3 && *s == 8 && *e > *s),
+        "{found:?}"
+    );
+    assert!(
+        found
+            .iter()
+            .any(|(u, l, s, e)| u == ipath && *l == 3 && *s == 8 && *e > *s),
+        "{found:?}"
+    );
+
+    std::fs::remove_file(outer).ok();
+    std::fs::remove_file(inner).ok();
+}
+
+#[test]
 fn usage_errors_exit_three() {
     let out = lint(&[]);
     assert_eq!(out.status.code(), Some(3), "{out:?}");

@@ -409,6 +409,12 @@ registry! {
         check_diags_warn => "fdb.check.diags.warn",
         /// Info-severity diagnostics emitted by the analyzer.
         check_diags_info => "fdb.check.diags.info",
+        /// Data-aware discovery runs (`DISCOVER`, `CHECK DATA`,
+        /// `fdb-lint --with-store`).
+        check_discover_runs => "fdb.check.discover_runs",
+        /// Non-genuine functionality assumptions dropped because a base
+        /// write violated them (plans cached against them are invalidated).
+        check_nongenuine_invalidations => "fdb.check.nongenuine_invalidations",
 
         // ---- fdb-lang / fdb-core: statement surface ----
         /// Statements executed (successfully or not).

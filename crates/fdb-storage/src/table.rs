@@ -310,6 +310,39 @@ impl Table {
         }
     }
 
+    /// Exact single-valuedness of the current extension, over *live* rows
+    /// only: `(functional, injective)`. `functional` holds when no domain
+    /// value maps to two live range values, `injective` when no range
+    /// value is reached from two live domain values. Unlike
+    /// [`Table::stats`] this scans the rows, so tombstoned index entries
+    /// cannot inflate the answer; nulls compare by identity (two distinct
+    /// unknowns count as distinct values). An empty table is vacuously
+    /// both.
+    pub fn single_valuedness(&self) -> (bool, bool) {
+        let mut seen_x: HashMap<&Value, &Value> = HashMap::new();
+        let mut seen_y: HashMap<&Value, &Value> = HashMap::new();
+        let mut functional = true;
+        let mut injective = true;
+        for r in self.rows.iter().filter(|r| r.alive) {
+            match seen_x.get(&r.x) {
+                Some(y) if *y != &r.y => functional = false,
+                _ => {
+                    seen_x.insert(&r.x, &r.y);
+                }
+            }
+            match seen_y.get(&r.y) {
+                Some(x) if *x != &r.x => injective = false,
+                _ => {
+                    seen_y.insert(&r.y, &r.x);
+                }
+            }
+            if !functional && !injective {
+                break;
+            }
+        }
+        (functional, injective)
+    }
+
     /// Width of the `by_x` index bucket for `v` — an O(1) upper bound on
     /// `rows_with_x(v).count()` (tombstoned entries are not subtracted).
     pub fn x_width(&self, v: &Value) -> usize {
@@ -536,6 +569,26 @@ mod tests {
         assert_eq!(t.x_width(&v("math")), 1);
         assert_eq!(t.stats().rows, 3);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn single_valuedness_is_exact_over_live_rows() {
+        let mut t = Table::new();
+        assert_eq!(t.single_valuedness(), (true, true));
+        t.insert(v("a"), v("x"));
+        t.insert(v("b"), v("y"));
+        assert_eq!(t.single_valuedness(), (true, true));
+        // a second range value for `a` breaks functionality only.
+        t.insert(v("a"), v("z"));
+        assert_eq!(t.single_valuedness(), (false, true));
+        // a second domain value for `y` breaks injectivity too.
+        t.insert(v("c"), v("y"));
+        assert_eq!(t.single_valuedness(), (false, false));
+        // tombstoning the offenders restores both — stats() would still
+        // see the dead index entries, single_valuedness must not.
+        t.remove(&v("a"), &v("z"));
+        t.remove(&v("c"), &v("y"));
+        assert_eq!(t.single_valuedness(), (true, true));
     }
 
     #[test]

@@ -526,3 +526,121 @@ fn error_recovery_keeps_analyzing() {
     assert!(cs.contains(&Code::EndpointMismatch), "{cs:?}");
     assert!(cs.contains(&Code::UndefinedFunction), "{cs:?}");
 }
+
+// --- FDB05x: data-aware discovery (store-backed, via `discover`) -------
+
+mod data_aware {
+    use std::collections::BTreeMap;
+
+    use fdb::check::{
+        discover, discovery_diagnostics, invalidation_diagnostic, Code, DiscoverConfig,
+    };
+    use fdb::storage::Store;
+    use fdb::types::{Schema, Value};
+
+    fn v(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .function("teach", "faculty", "course", "many-many")
+            .function("taught_by", "course", "faculty", "many-many")
+            .function("office", "faculty", "room", "many-one")
+            .build()
+            .expect("schema builds")
+    }
+
+    fn codes(store: &Store, schema: &Schema) -> Vec<Code> {
+        let report = discover(store, schema, &BTreeMap::new(), &DiscoverConfig::default());
+        discovery_diagnostics(&report, schema)
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn fdb050_incidental_functionality() {
+        let schema = schema();
+        let teach = schema.resolve("teach").unwrap();
+        let mut store = Store::new(schema.len());
+        // Two single-valued rows on a many-many declaration: fires.
+        store.base_insert(teach, v("euclid"), v("math"));
+        store.base_insert(teach, v("laplace"), v("stat"));
+        assert!(codes(&store, &schema).contains(&Code::IncidentalFunctionality));
+        // A genuinely many-many extension: silent.
+        let mut store = Store::new(schema.len());
+        store.base_insert(teach, v("euclid"), v("math"));
+        store.base_insert(teach, v("euclid"), v("geom"));
+        store.base_insert(teach, v("laplace"), v("math"));
+        assert!(!codes(&store, &schema).contains(&Code::IncidentalFunctionality));
+    }
+
+    #[test]
+    fn fdb051_functionality_violated() {
+        let schema = schema();
+        let office = schema.resolve("office").unwrap();
+        let mut store = Store::new(schema.len());
+        // Two rooms for one faculty under many-one: fires, with a repair.
+        store.base_insert(office, v("euclid"), v("e101"));
+        store.base_insert(office, v("euclid"), v("e202"));
+        let report = discover(
+            &store,
+            &schema,
+            &BTreeMap::new(),
+            &DiscoverConfig::default(),
+        );
+        let ds = discovery_diagnostics(&report, &schema);
+        let d = ds
+            .iter()
+            .find(|d| d.code == Code::FunctionalityViolated)
+            .expect("FDB051 fires");
+        assert!(
+            d.hint.as_deref().unwrap_or("").contains("delete office("),
+            "{d:?}"
+        );
+        // A violated table reports no incidental FD alongside.
+        assert!(!ds.iter().any(|d| d.code == Code::IncidentalFunctionality));
+        // One room per faculty: silent.
+        let mut store = Store::new(schema.len());
+        store.base_insert(office, v("euclid"), v("e101"));
+        store.base_insert(office, v("laplace"), v("l7"));
+        assert!(!codes(&store, &schema).contains(&Code::FunctionalityViolated));
+    }
+
+    #[test]
+    fn fdb052_candidate_derivation() {
+        let schema = schema();
+        let teach = schema.resolve("teach").unwrap();
+        let taught_by = schema.resolve("taught_by").unwrap();
+        // taught_by mirrors teach^-1 exactly: fires.
+        let mut store = Store::new(schema.len());
+        for (f, c) in [("euclid", "math"), ("laplace", "stat")] {
+            store.base_insert(teach, v(f), v(c));
+            store.base_insert(taught_by, v(c), v(f));
+        }
+        assert!(codes(&store, &schema).contains(&Code::CandidateDerivation));
+        // One unmirrored pair breaks the match: silent.
+        store.base_insert(teach, v("gauss"), v("algebra"));
+        store.base_insert(taught_by, v("algebra"), v("riemann"));
+        assert!(!codes(&store, &schema).contains(&Code::CandidateDerivation));
+    }
+
+    #[test]
+    fn fdb053_nongenuine_invalidated() {
+        let schema = schema();
+        let teach = schema.resolve("teach").unwrap();
+        // FDB053 is minted per invalidated assumption, not by discovery
+        // itself: a clean store produces none.
+        let mut store = Store::new(schema.len());
+        store.base_insert(teach, v("euclid"), v("math"));
+        store.base_insert(teach, v("laplace"), v("stat"));
+        assert!(!codes(&store, &schema).contains(&Code::NonGenuineInvalidated));
+        // The diagnostic constructor carries the function, direction and
+        // observation version.
+        let d = invalidation_diagnostic(&schema, teach, "functional", 7);
+        assert_eq!(d.code, Code::NonGenuineInvalidated);
+        assert!(d.message.contains("`teach is functional`"), "{}", d.message);
+        assert!(d.message.contains("v7"), "{}", d.message);
+    }
+}

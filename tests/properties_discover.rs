@@ -1,0 +1,118 @@
+//! Property tests for the minimal cardinality repair: on instances small
+//! enough to brute-force (≤ 8 facts), the exact solver must return a
+//! repair of provably minimum size, and every repair — exact or greedy —
+//! must actually restore the declared single-valuedness directions.
+
+use proptest::prelude::*;
+
+use fdb::check::minimal_repair;
+use fdb::types::Value;
+
+/// Whether `pairs` (minus the indices in `deleted`) satisfy the declared
+/// directions.
+fn consistent(
+    pairs: &[(Value, Value)],
+    deleted: &[bool],
+    functional: bool,
+    injective: bool,
+) -> bool {
+    for i in 0..pairs.len() {
+        if deleted[i] {
+            continue;
+        }
+        for j in (i + 1)..pairs.len() {
+            if deleted[j] {
+                continue;
+            }
+            let (xi, yi) = &pairs[i];
+            let (xj, yj) = &pairs[j];
+            if (functional && xi == xj && yi != yj) || (injective && yi == yj && xi != xj) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The smallest number of deletions that restores consistency, by
+/// exhaustive subset enumeration (2^n, n ≤ 8).
+fn brute_force_minimum(pairs: &[(Value, Value)], functional: bool, injective: bool) -> usize {
+    let n = pairs.len();
+    (0u32..(1 << n))
+        .filter(|mask| {
+            let deleted: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            consistent(pairs, &deleted, functional, injective)
+        })
+        .map(|mask| mask.count_ones() as usize)
+        .min()
+        .expect("deleting everything is always consistent")
+}
+
+/// Marks the repaired pairs as deleted (by multiset membership — repairs
+/// return values, not indices, and duplicates delete one row each).
+fn apply_repair(pairs: &[(Value, Value)], repair: &[(Value, Value)]) -> Vec<bool> {
+    let mut remaining = repair.to_vec();
+    pairs
+        .iter()
+        .map(|p| {
+            if let Some(pos) = remaining.iter().position(|r| r == p) {
+                remaining.remove(pos);
+                true
+            } else {
+                false
+            }
+        })
+        .collect()
+}
+
+fn small_pairs() -> impl Strategy<Value = Vec<(Value, Value)>> {
+    // Tiny alphabets force collisions, so conflicts are common.
+    prop::collection::vec((0u8..4, 0u8..4), 0..=8).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y)| (Value::atom(format!("x{x}")), Value::atom(format!("y{y}"))))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn exact_repair_matches_brute_force(
+        pairs in small_pairs(),
+        functional in any::<bool>(),
+        injective in any::<bool>(),
+    ) {
+        let (repair, exact, _groups) = minimal_repair(&pairs, functional, injective, 16);
+        // ≤ 8 facts with exact_limit 16: every component is solved exactly.
+        prop_assert!(exact, "components of ≤ 8 facts must be exact");
+        // The repair restores consistency…
+        let deleted = apply_repair(&pairs, &repair);
+        prop_assert_eq!(
+            deleted.iter().filter(|&&d| d).count(),
+            repair.len(),
+            "every repaired fact is present in the table"
+        );
+        prop_assert!(consistent(&pairs, &deleted, functional, injective));
+        // …and is no larger than the brute-force minimum.
+        let minimum = brute_force_minimum(&pairs, functional, injective);
+        prop_assert_eq!(repair.len(), minimum);
+    }
+
+    #[test]
+    fn greedy_repair_is_sound_even_when_not_minimal(
+        pairs in small_pairs(),
+        functional in any::<bool>(),
+        injective in any::<bool>(),
+    ) {
+        // exact_limit 0 clamps every component to the greedy path.
+        let (repair, _exact, _groups) = minimal_repair(&pairs, functional, injective, 0);
+        let deleted = apply_repair(&pairs, &repair);
+        prop_assert_eq!(
+            deleted.iter().filter(|&&d| d).count(),
+            repair.len(),
+            "every repaired fact is present in the table"
+        );
+        prop_assert!(consistent(&pairs, &deleted, functional, injective));
+    }
+}
